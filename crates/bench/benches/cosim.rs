@@ -1,0 +1,56 @@
+//! Criterion benches for the coupled electro-thermal fixed point — the
+//! "concurrent" loop the paper proposes — including the damping ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ptherm_core::cosim::ElectroThermalSolver;
+use ptherm_floorplan::{generator, ChipGeometry, Floorplan};
+use std::hint::black_box;
+
+fn feedback_power(_i: usize, t: f64) -> f64 {
+    0.25 + 0.04 * ((t - 300.0) / 25.0).exp2()
+}
+
+fn bench_cosim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cosim_fixed_point");
+    group.sample_size(20);
+
+    let three = Floorplan::paper_three_blocks();
+    let solver3 = ElectroThermalSolver::new(three);
+    group.bench_function("3_blocks", |b| {
+        b.iter(|| solver3.solve(black_box(feedback_power)).expect("converges"));
+    });
+
+    let sixteen =
+        generator::tiled(ChipGeometry::paper_1mm(), 4, 4, 0.02, 0.06, 3).expect("tiled floorplan");
+    let solver16 = ElectroThermalSolver::new(sixteen);
+    group.bench_function("16_blocks", |b| {
+        b.iter(|| {
+            solver16
+                .solve(black_box(|_i: usize, t: f64| {
+                    0.03 + 0.01 * ((t - 300.0) / 25.0).exp2()
+                }))
+                .expect("converges")
+        });
+    });
+    group.finish();
+}
+
+fn bench_damping_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cosim_damping");
+    group.sample_size(20);
+    for damping in [0.3f64, 0.7, 1.0] {
+        let mut solver = ElectroThermalSolver::new(Floorplan::paper_three_blocks());
+        solver.damping = damping;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{damping:.1}")),
+            &solver,
+            |b, s| {
+                b.iter(|| s.solve(black_box(feedback_power)).expect("converges"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cosim, bench_damping_ablation);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion benches for the leakage path: the paper's collapsing model
+//! against the exact solvers it replaces, plus the Chen'98 baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ptherm_core::leakage::baselines::chen98_stack_current;
+use ptherm_core::leakage::{CollapseParams, GateLeakageModel};
+use ptherm_netlist::cells;
+use ptherm_spice::network::solve_network;
+use ptherm_spice::stack::Stack;
+use ptherm_tech::Technology;
+use std::hint::black_box;
+
+fn bench_collapse(c: &mut Criterion) {
+    let tech = Technology::cmos_120nm();
+    let params = CollapseParams::from_mos(&tech.nmos, tech.vdd);
+    let mut group = c.benchmark_group("collapse_chain");
+    for n in [2usize, 4, 8] {
+        let widths = vec![1e-6; n];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &widths, |b, w| {
+            b.iter(|| params.collapse_chain(black_box(w), black_box(300.0)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_stack(c: &mut Criterion) {
+    let tech = Technology::cmos_120nm();
+    let mut group = c.benchmark_group("exact_stack_solve");
+    for n in [2usize, 4, 8] {
+        let widths = vec![1e-6; n];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &widths, |b, w| {
+            b.iter(|| Stack::off_current(black_box(&tech), black_box(w), 300.0).expect("solves"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gate_leakage(c: &mut Criterion) {
+    let tech = Technology::cmos_120nm();
+    let model = GateLeakageModel::new(&tech);
+    let nand3 = cells::nand(3, &tech);
+    let aoi22 = cells::aoi22(&tech);
+
+    c.bench_function("gate_off_current/nand3_000", |b| {
+        b.iter(|| {
+            model
+                .gate_off_current(black_box(&nand3), black_box(&[false, false, false]), 300.0)
+                .expect("blocking network")
+        });
+    });
+    c.bench_function("gate_off_current/aoi22_0101", |b| {
+        b.iter(|| {
+            model
+                .gate_off_current(
+                    black_box(&aoi22),
+                    black_box(&[false, true, false, true]),
+                    300.0,
+                )
+                .expect("blocking network")
+        });
+    });
+    c.bench_function("exact_network/aoi22_0101", |b| {
+        let blocking = aoi22
+            .bound_blocking(&[false, true, false, true])
+            .expect("blocking network");
+        b.iter(|| solve_network(black_box(&tech), black_box(&blocking), 300.0).expect("solves"));
+    });
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let tech = Technology::cmos_120nm();
+    let widths = vec![1e-6; 4];
+    c.bench_function("chen98_stack/4", |b| {
+        b.iter(|| chen98_stack_current(black_box(&tech), black_box(&widths), 300.0));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_collapse,
+    bench_exact_stack,
+    bench_gate_leakage,
+    bench_baseline
+);
+criterion_main!(benches);

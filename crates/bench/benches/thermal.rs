@@ -1,0 +1,79 @@
+//! Criterion benches for the thermal path: closed-form evaluation against
+//! the numerical references, plus the image-order ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ptherm_core::thermal::rect::rect_rise;
+use ptherm_core::thermal::ThermalModel;
+use ptherm_floorplan::Floorplan;
+use ptherm_thermal_num::{rect_surface_temperature, FdmSolver};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    c.bench_function("rect_rise_eq20", |b| {
+        b.iter(|| {
+            rect_rise(
+                black_box(10e-3),
+                black_box(148.0),
+                black_box(1e-6),
+                black_box(0.1e-6),
+                black_box(2e-6),
+                black_box(1e-6),
+            )
+        });
+    });
+    c.bench_function("rect_exact_eq17", |b| {
+        b.iter(|| {
+            rect_surface_temperature(
+                black_box(10e-3),
+                black_box(148.0),
+                black_box(1e-6),
+                black_box(0.1e-6),
+                black_box(2e-6),
+                black_box(1e-6),
+            )
+        });
+    });
+}
+
+fn bench_profile(c: &mut Criterion) {
+    let fp = Floorplan::paper_three_blocks();
+    let mut group = c.benchmark_group("temperature_query");
+    for (label, lateral, z) in [("paper_l2_z1", 2usize, 1usize), ("extended_l2_z9", 2, 9)] {
+        let model = ThermalModel::with_image_orders(&fp, lateral, z);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &model, |b, m| {
+            b.iter(|| m.temperature(black_box(0.4e-3), black_box(0.6e-3)));
+        });
+    }
+    group.finish();
+
+    let model = ThermalModel::paper_defaults(&fp);
+    c.bench_function("block_center_temperatures/3", |b| {
+        b.iter(|| model.block_center_temperatures());
+    });
+}
+
+fn bench_fdm(c: &mut Criterion) {
+    let fp = Floorplan::paper_three_blocks();
+    let g = *fp.geometry();
+    let n = 16;
+    let fdm = FdmSolver {
+        die_w: g.width,
+        die_l: g.length,
+        thickness: g.thickness,
+        k: g.conductivity,
+        sink_temperature: g.sink_temperature,
+        nx: n,
+        ny: n,
+        nz: 8,
+    };
+    let map = fp.power_map(n, n);
+    let mut group = c.benchmark_group("fdm_reference");
+    group.sample_size(10);
+    group.bench_function("solve_16x16x8", |b| {
+        b.iter(|| fdm.solve(black_box(&map)).expect("fdm solves"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_profile, bench_fdm);
+criterion_main!(benches);

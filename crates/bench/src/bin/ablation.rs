@@ -1,0 +1,197 @@
+//! Ablation studies for the design choices called out in DESIGN.md §7:
+//!
+//! 1. image configuration (lateral order × depth order) — accuracy vs the
+//!    FDM reference and evaluation cost,
+//! 2. Eq. 20 `min(T0, T_line)` vs the exact corner-term rectangle
+//!    evaluation — accuracy/speed trade,
+//! 3. node-drop formula inside the chain collapse — empirical Eq. 10 vs
+//!    its case (a)/(b) asymptotes,
+//! 4. fixed-point damping — iterations to convergence vs feedback gain.
+
+use ptherm_bench::{header, report, ShapeCheck, Table};
+use ptherm_core::cosim::ElectroThermalSolver;
+use ptherm_core::leakage::{CollapseParams, GateLeakageModel};
+use ptherm_core::thermal::rect::rect_rise;
+use ptherm_core::thermal::ThermalModel;
+use ptherm_floorplan::Floorplan;
+use ptherm_spice::stack::Stack;
+use ptherm_tech::constants::thermal_voltage;
+use ptherm_tech::{Polarity, Technology};
+use ptherm_thermal_num::{rect_surface_temperature, FdmSolver};
+use std::time::Instant;
+
+fn main() {
+    header("Ablations", "design-choice studies behind the reproduction");
+    let mut checks = Vec::new();
+
+    // ---- 1. image configuration --------------------------------------
+    let fp = Floorplan::paper_three_blocks();
+    let g = *fp.geometry();
+    let fdm = FdmSolver {
+        die_w: g.width,
+        die_l: g.length,
+        thickness: g.thickness,
+        k: g.conductivity,
+        sink_temperature: g.sink_temperature,
+        nx: 24,
+        ny: 24,
+        nz: 16,
+    };
+    let reference = fdm.solve(&fp.power_map(24, 24)).expect("fdm solves");
+    let ref_rises: Vec<f64> = fp
+        .blocks()
+        .iter()
+        .map(|b| reference.surface_at(b.cx, b.cy) - g.sink_temperature)
+        .collect();
+
+    let mut image_table = Table::new(["lateral", "z", "mean_err_%", "ns_per_query"]);
+    let mut err_paper = 0.0;
+    let mut err_best = f64::INFINITY;
+    for (lat, z) in [(0usize, 1usize), (1, 1), (2, 1), (2, 3), (2, 9), (3, 9)] {
+        let model = ThermalModel::with_image_orders(&fp, lat, z);
+        let rises: Vec<f64> = fp
+            .blocks()
+            .iter()
+            .map(|b| model.temperature_rise(b.cx, b.cy))
+            .collect();
+        let err = rises
+            .iter()
+            .zip(&ref_rises)
+            .map(|(a, r)| (a - r).abs() / r)
+            .sum::<f64>()
+            / rises.len() as f64;
+        let start = Instant::now();
+        let reps = 2000;
+        for _ in 0..reps {
+            std::hint::black_box(model.temperature(0.4e-3, 0.6e-3));
+        }
+        let ns = start.elapsed().as_nanos() as f64 / reps as f64;
+        if (lat, z) == (2, 1) {
+            err_paper = err;
+        }
+        err_best = err_best.min(err);
+        image_table.row([
+            lat.to_string(),
+            z.to_string(),
+            format!("{:.1}", err * 100.0),
+            format!("{ns:.0}"),
+        ]);
+    }
+    println!("image configuration vs FDM (block-centre rises):");
+    println!("{}", image_table.render());
+    checks.push(ShapeCheck::new(
+        "deeper image series beats the paper configuration",
+        err_best < err_paper,
+        format!(
+            "best {:.1}% vs paper {:.1}%",
+            err_best * 100.0,
+            err_paper * 100.0
+        ),
+    ));
+
+    // ---- 2. Eq. 20 vs exact corner evaluation -------------------------
+    let (w, l, p) = (1e-6, 0.1e-6, 10e-3);
+    let points: Vec<(f64, f64)> = (1..200)
+        .map(|i| (i as f64 * 0.05e-6, (i % 7) as f64 * 0.2e-6))
+        .collect();
+    let t0 = Instant::now();
+    let mut acc = 0.0;
+    for &(x, y) in &points {
+        acc += rect_rise(p, 148.0, w, l, x, y);
+    }
+    let t_eq20 = t0.elapsed().as_nanos() as f64 / points.len() as f64;
+    let t1 = Instant::now();
+    let mut acc2 = 0.0;
+    for &(x, y) in &points {
+        acc2 += rect_surface_temperature(p, 148.0, w, l, x, y);
+    }
+    let t_corner = t1.elapsed().as_nanos() as f64 / points.len() as f64;
+    let mean_gap = (acc - acc2).abs() / acc2;
+    println!(
+        "Eq. 20 vs exact corner form: {t_eq20:.0} ns vs {t_corner:.0} ns per eval, \
+         mean-field gap {:.1}%",
+        mean_gap * 100.0
+    );
+    checks.push(ShapeCheck::new(
+        "Eq. 20 and the exact corner form agree in the aggregate field",
+        mean_gap < 0.10,
+        format!("{:.1}%", mean_gap * 100.0),
+    ));
+
+    // ---- 3. node-drop formula inside the chain collapse ---------------
+    let tech = Technology::cmos_120nm();
+    let params = CollapseParams::from_mos(&tech.nmos, tech.vdd);
+    let model = GateLeakageModel::new(&tech);
+    let vt = thermal_voltage(300.0);
+    let variant_current = |case: &str, widths: &[f64]| -> f64 {
+        let mut w_eq = *widths.last().expect("non-empty");
+        for &w_below in widths[..widths.len() - 1].iter().rev() {
+            let x = match case {
+                "a" => params.delta_v_case_a(w_eq, w_below, 300.0),
+                "b" => params.delta_v_case_b(w_eq, w_below, 300.0),
+                _ => params.delta_v(w_eq, w_below, 300.0),
+            };
+            w_eq *= (-(1.0 + params.gamma_b + params.sigma) * x / (params.n * vt)).exp();
+        }
+        model.equivalent_off_current(w_eq, Polarity::Nmos, 300.0)
+    };
+    let mut collapse_table =
+        Table::new(["N", "exact_A", "eq10_err_%", "caseA_err_%", "caseB_err_%"]);
+    let mut worst = [0.0f64; 3];
+    for n in 2..=5 {
+        let widths = vec![1e-6; n];
+        let exact = Stack::off_current(&tech, &widths, 300.0).expect("solves");
+        let errs: Vec<f64> = ["10", "a", "b"]
+            .iter()
+            .map(|c| (variant_current(c, &widths) - exact).abs() / exact)
+            .collect();
+        for (w, e) in worst.iter_mut().zip(&errs) {
+            *w = w.max(*e);
+        }
+        collapse_table.row([
+            n.to_string(),
+            format!("{exact:.3e}"),
+            format!("{:.2}", errs[0] * 100.0),
+            format!("{:.2}", errs[1] * 100.0),
+            format!("{:.2}", errs[2] * 100.0),
+        ]);
+    }
+    println!("chain collapse with different node-drop formulas:");
+    println!("{}", collapse_table.render());
+    checks.push(ShapeCheck::new(
+        "the empirical Eq. 10 beats both of its asymptotes inside the chain",
+        worst[0] < worst[1] && worst[0] < worst[2],
+        format!(
+            "eq10 {:.1}% vs caseA {:.1}% vs caseB {:.1}%",
+            worst[0] * 100.0,
+            worst[1] * 100.0,
+            worst[2] * 100.0
+        ),
+    ));
+
+    // ---- 4. damping ----------------------------------------------------
+    let mut damping_table = Table::new(["damping", "iterations", "peak_K"]);
+    let mut iters = Vec::new();
+    for damping in [0.3, 0.5, 0.7, 1.0] {
+        let mut solver = ElectroThermalSolver::new(Floorplan::paper_three_blocks());
+        solver.damping = damping;
+        let r = solver
+            .solve(|_, t| 0.25 + 0.05 * ((t - 300.0) / 20.0).exp2())
+            .expect("stable case converges");
+        iters.push(r.iterations);
+        damping_table.row([
+            format!("{damping:.1}"),
+            r.iterations.to_string(),
+            format!("{:.3}", r.peak_temperature()),
+        ]);
+    }
+    println!("fixed-point damping:");
+    println!("{}", damping_table.render());
+    checks.push(ShapeCheck::new(
+        "light damping costs iterations; all dampings agree on the answer",
+        iters[0] > iters[3],
+        format!("{iters:?}"),
+    ));
+
+    std::process::exit(report(&checks));
+}

@@ -1,0 +1,134 @@
+//! Fig. 1 — power vs technology scaling at three temperatures.
+//!
+//! The paper opens with Duarte et al.'s scaling study: dynamic power grows
+//! slowly across generations while static power explodes, overtaking it in
+//! the sub-100 nm regime — and the crossover node moves *earlier* as
+//! junction temperature rises. Regenerated here from the embedded
+//! ITRS-like scaling table; the static series is computed twice, once from
+//! the closed-form single-device estimate and once by running the paper's
+//! own stack-collapsing model on an inverter-dominated gate mix in each
+//! node's expanded technology kit.
+
+use ptherm_bench::{eng, header, report, ShapeCheck, Table};
+use ptherm_core::leakage::GateLeakageModel;
+use ptherm_netlist::cells;
+use ptherm_tech::constants::celsius_to_kelvin;
+use ptherm_tech::ScalingTable;
+
+fn main() {
+    header(
+        "Fig. 1",
+        "dynamic vs static power across nodes 0.8 um -> 0.025 um at 25/100/150 C",
+    );
+    let table = ScalingTable::itrs_like();
+    let temps = [25.0, 100.0, 150.0].map(celsius_to_kelvin);
+
+    let mut out = Table::new([
+        "node_um",
+        "dynamic_W",
+        "static25_W",
+        "static100_W",
+        "static150_W",
+        "model_static25_W",
+    ]);
+    let mut dynamic = Vec::new();
+    let mut statics: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for node in &table.nodes {
+        let d = node.dynamic_power();
+        dynamic.push(d);
+        for (i, &t) in temps.iter().enumerate() {
+            statics[i].push(node.static_power(t));
+        }
+        // Full stack-collapsing model on a representative gate mix:
+        // an inverter + nand2 + nand3 blend, averaged over input vectors.
+        let tech = node.technology();
+        let model = GateLeakageModel::new(&tech);
+        let mix = [
+            (cells::inv(&tech), 0.5),
+            (cells::nand(2, &tech), 0.35),
+            (cells::nand(3, &tech), 0.15),
+        ];
+        let per_gate: f64 = mix
+            .iter()
+            .map(|(cell, frac)| {
+                frac * model
+                    .gate_average_static_power(cell, temps[0])
+                    .expect("library cells are complementary")
+            })
+            .sum();
+        let full_model = per_gate * node.n_gates;
+        out.row([
+            format!("{:.3}", node.node * 1e6),
+            eng(d),
+            eng(statics[0].last().copied().expect("filled")),
+            eng(statics[1].last().copied().expect("filled")),
+            eng(statics[2].last().copied().expect("filled")),
+            eng(full_model),
+        ]);
+    }
+    println!("{}", out.render());
+
+    let cross = |s: &[f64]| (0..s.len()).find(|&i| s[i] > dynamic[i]);
+    let c150 = cross(&statics[2]);
+    let c100 = cross(&statics[1]);
+    let c25 = cross(&statics[0]);
+    let node_um = |idx: Option<usize>| {
+        idx.map(|i| table.nodes[i].node * 1e6)
+            .map(|v| format!("{v:.3} um"))
+            .unwrap_or_else(|| "none".into())
+    };
+    println!(
+        "crossover nodes: 150C -> {}, 100C -> {}, 25C -> {}",
+        node_um(c150),
+        node_um(c100),
+        node_um(c25)
+    );
+
+    let checks = vec![
+        ShapeCheck::new(
+            "dynamic power grows mildly and monotonically with scaling",
+            dynamic.windows(2).all(|w| w[1] > 0.9 * w[0]),
+            format!(
+                "{:.1} W -> {:.1} W",
+                dynamic[0],
+                dynamic.last().expect("nonempty")
+            ),
+        ),
+        ShapeCheck::new(
+            "static power at 150 C overtakes dynamic power in the sub-100nm regime",
+            c150.is_some_and(|i| table.nodes[i].node <= 0.1e-6),
+            format!("crossover at {}", node_um(c150)),
+        ),
+        ShapeCheck::new(
+            "hotter junctions cross earlier (150C before 100C before 25C)",
+            match (c150, c100) {
+                (Some(a), Some(b)) => a <= b && c25.map_or(true, |c| b <= c),
+                _ => false,
+            },
+            format!("{} / {} / {}", node_um(c150), node_um(c100), node_um(c25)),
+        ),
+        ShapeCheck::new(
+            "static power is negligible (<1% of dynamic) at the 0.8 um node",
+            statics[2][0] < 0.01 * dynamic[0],
+            format!("{:.4} W vs {:.1} W at 150 C", statics[2][0], dynamic[0]),
+        ),
+        ShapeCheck::new(
+            "full collapsing model agrees with the closed-form estimate within 10x",
+            {
+                // Spot-check the 0.05 um node, 25 C.
+                let i = 7;
+                let tech = table.nodes[i].technology();
+                let model = GateLeakageModel::new(&tech);
+                let inv = cells::inv(&tech);
+                let per_gate = model
+                    .gate_average_static_power(&inv, temps[0])
+                    .expect("complementary");
+                let full = per_gate * table.nodes[i].n_gates;
+                let simple = statics[0][i];
+                full / simple > 0.1 && full / simple < 10.0
+            },
+            "order-of-magnitude consistency of the two static estimates",
+        ),
+    ];
+    std::process::exit(report(&checks));
+}

@@ -1,0 +1,120 @@
+//! Fig. 10 — thermal resistance of four nMOS devices: model prediction
+//! (Eq. 18) vs measurement (bars in the paper; the virtual rig here).
+//!
+//! For each device width the rig captures noisy traces at several seeds;
+//! the spread of the extracted `R_th` plays the role of the paper's error
+//! bars. The model line is Eq. 18 per watt (centre temperature of the
+//! dissipating rectangle); the "physical" value is the exact Eq. 17
+//! integral averaged over the device, so the model is expected to sit
+//! somewhat above the measured values (centre > average) — same
+//! qualitative agreement the paper reports.
+
+use ptherm_bench::{header, report, ShapeCheck, Table};
+use ptherm_core::thermal::resistance::self_heating_resistance;
+use ptherm_device::on_current::OnCurrentModel;
+use ptherm_math::stats::{mean, std_dev};
+use ptherm_tech::constants::celsius_to_kelvin;
+use ptherm_tech::Technology;
+use ptherm_thermal_num::rect_integral::rect_unit_integral;
+use ptherm_thermal_num::transient::ThermalRc;
+use ptherm_thermal_num::SelfHeatingRig;
+
+fn true_rth(k: f64, w: f64, l: f64) -> f64 {
+    let n = 15;
+    let mut acc = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            let x = w * ((i as f64 + 0.5) / n as f64 - 0.5);
+            let y = l * ((j as f64 + 0.5) / n as f64 - 0.5);
+            acc += rect_unit_integral(w, l, x, y, 0.0);
+        }
+    }
+    acc / (n * n) as f64 / (2.0 * std::f64::consts::PI * k * w * l)
+}
+
+fn main() {
+    header(
+        "Fig. 10",
+        "thermal resistance of four 0.35 um devices: Eq. 18 model vs virtual measurement",
+    );
+    let tech = Technology::cmos_350nm();
+    let l = tech.nmos.l;
+    let k_si = 148.0;
+    let widths = [4e-6, 8e-6, 15e-6, 30e-6];
+    let ambients = [30.0, 35.0, 40.0].map(celsius_to_kelvin);
+
+    let mut table = Table::new([
+        "W_um",
+        "model_Rth_K/W",
+        "measured_K/W",
+        "sigma_K/W",
+        "model/meas",
+    ]);
+    let mut ratios = Vec::new();
+    let mut measured_means = Vec::new();
+    for &w in &widths {
+        let rth_true = true_rth(k_si, w, l);
+        let thermal = ThermalRc {
+            rth: rth_true,
+            cth: 25e-3 / rth_true,
+        };
+        let mut extracted = Vec::new();
+        for seed in 0..6u64 {
+            let rig = SelfHeatingRig {
+                dut_current: move |t| {
+                    OnCurrentModel::new(&Technology::cmos_350nm().nmos, 300.0).current(w, 3.3, t)
+                },
+                supply: 3.3,
+                sense_resistance: 15.0,
+                thermal,
+                gate_frequency: 3.0,
+                noise_rms: 0.3e-3,
+                seed: 77 + seed,
+            };
+            let cal = rig.calibrate(&ambients, 1024).expect("calibration");
+            let m = rig.measure(ambients[0], cal, 2048).expect("measurement");
+            extracted.push(m.rth);
+        }
+        let meas = mean(&extracted);
+        let sigma = std_dev(&extracted);
+        let model = self_heating_resistance(k_si, w, l);
+        ratios.push(model / meas);
+        measured_means.push(meas);
+        table.row([
+            format!("{:.0}", w * 1e6),
+            format!("{model:.0}"),
+            format!("{meas:.0}"),
+            format!("{sigma:.0}"),
+            format!("{:.2}", model / meas),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let monotone = measured_means.windows(2).all(|p| p[1] < p[0]);
+    let worst_ratio = ratios.iter().cloned().fold(f64::MIN, f64::max);
+    let best_ratio = ratios.iter().cloned().fold(f64::MAX, f64::min);
+    let checks = vec![
+        ShapeCheck::new(
+            "measured Rth decreases with device width",
+            monotone,
+            format!("{measured_means:?}"),
+        ),
+        ShapeCheck::new(
+            "model within a factor 1.6 of measurement for every device",
+            best_ratio > 0.6 && worst_ratio < 1.6,
+            format!("model/measured in [{best_ratio:.2}, {worst_ratio:.2}]"),
+        ),
+        ShapeCheck::new(
+            "model sits at/above measurement (Eq. 18 is the CENTRE temperature; \
+             the measurement averages over the channel)",
+            best_ratio > 0.95,
+            format!("min ratio {best_ratio:.2}"),
+        ),
+        ShapeCheck::new(
+            "Rth magnitudes are device-scale (10^2 - 10^5 K/W)",
+            measured_means.iter().all(|&r| r > 1e2 && r < 1e5),
+            format!("{:.0} .. {:.0} K/W", measured_means[3], measured_means[0]),
+        ),
+    ];
+    std::process::exit(report(&checks));
+}

@@ -1,0 +1,142 @@
+//! Fig. 6 — isothermal map of a 1 mm × 1 mm IC with three logic blocks,
+//! boundary conditions enforced by the method of images.
+//!
+//! Regenerates the paper's map with the analytical model in two image
+//! configurations — the paper's (single `−P` bottom mirror) and the
+//! extended convergent depth series — and validates both against the 3-D
+//! finite-difference solve of the same die.
+
+use ptherm_bench::{header, heatmap, report, ShapeCheck, Table};
+use ptherm_core::thermal::ThermalModel;
+use ptherm_floorplan::Floorplan;
+use ptherm_math::stats;
+use ptherm_thermal_num::FdmSolver;
+
+fn main() {
+    header(
+        "Fig. 6",
+        "isothermal map of the 3-block 1 mm IC (analytic + images vs 3-D FDM)",
+    );
+    let fp = Floorplan::paper_three_blocks();
+    let g = *fp.geometry();
+    let n = 32;
+
+    // Analytic surface maps: paper mode and extended depth series.
+    let paper = ThermalModel::paper_defaults(&fp);
+    let extended = ThermalModel::with_image_orders(&fp, 3, 9);
+    let map_paper = paper.surface_grid(n, n);
+    let map_ext = extended.surface_grid(n, n);
+    println!("analytic surface map (paper mode: lateral order 2, single -P mirror):");
+    println!("{}", heatmap(&map_paper, n, n));
+
+    // FDM reference on the same grid.
+    let fdm = FdmSolver {
+        die_w: g.width,
+        die_l: g.length,
+        thickness: g.thickness,
+        k: g.conductivity,
+        sink_temperature: g.sink_temperature,
+        nx: n,
+        ny: n,
+        nz: 24,
+    };
+    let reference = fdm.solve(&fp.power_map(n, n)).expect("fdm solves");
+    let ref_grid: Vec<f64> = (0..n * n)
+        .map(|i| reference.surface_cell(i % n, i / n))
+        .collect();
+    println!("FDM reference map:");
+    println!("{}", heatmap(&ref_grid, n, n));
+
+    // Rise-level comparison over the interior (cells with meaningful rise).
+    let rises = |m: &[f64]| -> Vec<f64> { m.iter().map(|t| t - g.sink_temperature).collect() };
+    let (ra, re, rr) = (rises(&map_paper), rises(&map_ext), rises(&ref_grid));
+    let peak_r = rr.iter().cloned().fold(f64::MIN, f64::max);
+    let mask: Vec<usize> = (0..rr.len()).filter(|&i| rr[i] > 0.2 * peak_r).collect();
+    let sel = |v: &[f64]| -> Vec<f64> { mask.iter().map(|&i| v[i]).collect() };
+    let err_paper = stats::mean_relative_error(&sel(&ra), &sel(&rr), 1e-9).expect("metric");
+    let err_ext = stats::mean_relative_error(&sel(&re), &sel(&rr), 1e-9).expect("metric");
+    let peak_a = ra.iter().cloned().fold(f64::MIN, f64::max);
+    let peak_e = re.iter().cloned().fold(f64::MIN, f64::max);
+
+    let mut summary = Table::new(["model", "peak_rise_K", "mean_rel_err_vs_fdm_%"]);
+    summary.row([
+        "paper (z=1)".to_string(),
+        format!("{peak_a:.2}"),
+        format!("{:.1}", err_paper * 100.0),
+    ]);
+    summary.row([
+        "extended (z=9)".to_string(),
+        format!("{peak_e:.2}"),
+        format!("{:.1}", err_ext * 100.0),
+    ]);
+    summary.row([
+        "FDM reference".to_string(),
+        format!("{peak_r:.2}"),
+        "-".to_string(),
+    ]);
+    println!("{}", summary.render());
+
+    // Peak location agreement (paper mode).
+    let argmax = |v: &[f64]| {
+        let mut best = (0usize, f64::MIN);
+        for (i, &x) in v.iter().enumerate() {
+            if x > best.1 {
+                best = (i, x);
+            }
+        }
+        (best.0 % n, best.0 / n)
+    };
+    let (ax, ay) = argmax(&ra);
+    let (rx, ry) = argmax(&rr);
+
+    // Image-order ablation at the hottest block centre.
+    let mut ablation = Table::new(["lateral", "z", "T_center_K"]);
+    for (lat, z) in [(0, 1), (1, 1), (2, 1), (3, 1), (2, 3), (2, 5), (2, 9)] {
+        let m = ThermalModel::with_image_orders(&fp, lat, z);
+        ablation.row([
+            lat.to_string(),
+            z.to_string(),
+            format!("{:.3}", m.temperature(0.30e-3, 0.70e-3)),
+        ]);
+    }
+    println!("image-configuration ablation (hottest block centre):");
+    println!("{}", ablation.render());
+
+    let checks = vec![
+        ShapeCheck::new(
+            "hot spots sit on the right blocks (peak within 3 cells of FDM's)",
+            (ax as i64 - rx as i64).abs() <= 3 && (ay as i64 - ry as i64).abs() <= 3,
+            format!(
+                "analytic ({ax},{ay}) vs fdm ({rx},{ry}) — the Eq. 20 cap flattens \
+                 block tops, biasing the argmax toward the neighbour-facing edge"
+            ),
+        ),
+        ShapeCheck::new(
+            "extended-mode peak rise within 40% of FDM",
+            (peak_e - peak_r).abs() / peak_r < 0.40,
+            format!(
+                "{peak_e:.2} K vs {peak_r:.2} K — Eq. 18 assumes semi-infinite \
+                 spreading; at block-size ~ substrate-thickness it overestimates"
+            ),
+        ),
+        ShapeCheck::new(
+            "extended-mode mean rise error below 50% on the warm interior",
+            err_ext < 0.50,
+            format!("{:.1}%", err_ext * 100.0),
+        ),
+        ShapeCheck::new(
+            "paper mode (single mirror) overestimates but stays shape-correct",
+            peak_a > peak_r && err_paper < 1.5,
+            format!(
+                "peak {peak_a:.2} vs {peak_r:.2} K, mean err {:.0}%",
+                err_paper * 100.0
+            ),
+        ),
+        ShapeCheck::new(
+            "deeper image series improves accuracy over the paper's single mirror",
+            err_ext < err_paper,
+            format!("{:.1}% vs {:.1}%", err_ext * 100.0, err_paper * 100.0),
+        ),
+    ];
+    std::process::exit(report(&checks));
+}

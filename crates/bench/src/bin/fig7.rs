@@ -1,0 +1,99 @@
+//! Fig. 7 — temperature cross-section at the middle of the IC.
+//!
+//! The paper's claim: with the lateral images in place, the temperature
+//! derivative — and therefore the heat flux — vanishes at both sides of
+//! the IC. Regenerated for the 3-block floorplan, with the FDM reference
+//! cross-section for context and a no-images ablation showing the property
+//! disappear.
+
+use ptherm_bench::{header, line_chart, report, ShapeCheck, Table};
+use ptherm_core::thermal::ThermalModel;
+use ptherm_floorplan::Floorplan;
+use ptherm_thermal_num::FdmSolver;
+
+fn main() {
+    header(
+        "Fig. 7",
+        "mid-IC cross-section: zero temperature derivative at both die edges",
+    );
+    let fp = Floorplan::paper_three_blocks();
+    let g = *fp.geometry();
+    let y_cut = 0.55e-3; // through blocks A and B
+
+    let model = ThermalModel::with_image_orders(&fp, 3, 9);
+    let bare = ThermalModel::with_image_orders(&fp, 0, 9);
+    let section = model.cross_section(y_cut, 64);
+    println!("analytic cross-section T(x) at y = 0.55 mm:");
+    println!("{}", line_chart(&section, 64, 14));
+
+    let fdm = FdmSolver {
+        die_w: g.width,
+        die_l: g.length,
+        thickness: g.thickness,
+        k: g.conductivity,
+        sink_temperature: g.sink_temperature,
+        nx: 48,
+        ny: 48,
+        nz: 16,
+    };
+    let reference = fdm.solve(&fp.power_map(48, 48)).expect("fdm solves");
+
+    let mut table = Table::new(["x_um", "analytic_K", "fdm_K"]);
+    for i in (0..64).step_by(8) {
+        let (x, t) = section[i];
+        table.row([
+            format!("{:.0}", x * 1e6),
+            format!("{t:.3}"),
+            format!("{:.3}", reference.surface_at(x, y_cut)),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // Edge derivatives via one-sided differences at both sides.
+    let h = 1e-6;
+    let d_left = (model.temperature(h, y_cut) - model.temperature(0.0, y_cut)) / h;
+    let d_right = (model.temperature(g.width, y_cut) - model.temperature(g.width - h, y_cut)) / h;
+    // Interior gradient scale for comparison (flank of block B).
+    let d_interior =
+        ((model.temperature(0.60e-3, y_cut) - model.temperature(0.60e-3 - h, y_cut)) / h).abs();
+    // Order-0 lateral images only reflect across the x = 0 / y = 0 axes,
+    // so the RIGHT edge (x = W) loses its mirror: its flux must not vanish.
+    let d_right_bare =
+        (bare.temperature(g.width, y_cut) - bare.temperature(g.width - h, y_cut)) / h;
+
+    let checks = vec![
+        ShapeCheck::new(
+            "left-edge temperature derivative vanishes (|dT/dx| < 5% of interior)",
+            d_left.abs() < 0.05 * d_interior,
+            format!("{d_left:.1} K/m vs interior {d_interior:.1} K/m"),
+        ),
+        ShapeCheck::new(
+            "right-edge temperature derivative vanishes",
+            d_right.abs() < 0.05 * d_interior,
+            format!("{d_right:.1} K/m"),
+        ),
+        ShapeCheck::new(
+            "without the far-side mirror the right-edge flux does not vanish",
+            d_right_bare.abs() > 10.0 * d_right.abs(),
+            format!("bare {d_right_bare:.1} K/m vs imaged {d_right:.1} K/m"),
+        ),
+        ShapeCheck::new(
+            "cross-section peaks on/near the blocks it crosses",
+            {
+                let peak_x = section
+                    .iter()
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                    .expect("nonempty")
+                    .0;
+                // Block A spans x in [0.1, 0.5] mm; block B [0.625, 0.875] mm.
+                // Eq. 20's cap flattens the top along the source line, so the
+                // argmax may sit up to ~100 um outside the footprint.
+                let pad = 0.1e-3;
+                (0.1e-3 - pad..0.5e-3 + pad).contains(&peak_x)
+                    || (0.625e-3 - pad..0.875e-3 + pad).contains(&peak_x)
+            },
+            "peak within 100 um of a crossed block footprint",
+        ),
+    ];
+    std::process::exit(report(&checks));
+}

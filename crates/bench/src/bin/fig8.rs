@@ -1,0 +1,111 @@
+//! Fig. 8 — static current of nMOS stacks: the proposed model and the
+//! Chen'98 baseline against the exact ("SPICE") solution, stacks N = 1..4.
+//!
+//! The paper's claim: both stack-aware models track SPICE, the proposed
+//! model tracks it best. The exact reference here is `ptherm-spice` (full
+//! KCL, same device equations). Two width assignments are swept: equal
+//! widths (the paper's main case) and a mixed-width chain (harder for the
+//! `V_DS ≫ V_T` baselines).
+
+use ptherm_bench::{eng, header, report, ShapeCheck, Table};
+use ptherm_core::leakage::baselines::{
+    chen98_stack_current, gu96_stack_current, naive_stack_current,
+};
+use ptherm_core::leakage::GateLeakageModel;
+use ptherm_spice::stack::Stack;
+use ptherm_tech::Technology;
+
+fn run_case(
+    tech: &Technology,
+    label: &str,
+    widths_for: impl Fn(usize) -> Vec<f64>,
+    t: f64,
+    worst: &mut [f64; 3],
+) {
+    let model = GateLeakageModel::new(tech);
+    let mut table = Table::new([
+        "N",
+        "exact_A",
+        "proposed_A",
+        "chen98_A",
+        "gu96_A",
+        "naive_A",
+        "prop_err_%",
+        "chen_err_%",
+    ]);
+    println!("widths: {label}");
+    for n in 1..=4 {
+        let widths = widths_for(n);
+        let exact = Stack::off_current(tech, &widths, t).expect("stack solves");
+        let proposed = model.stack_off_current(&widths, t);
+        let chen = chen98_stack_current(tech, &widths, t);
+        let gu = gu96_stack_current(tech, &widths, t);
+        let naive = naive_stack_current(tech, &widths, t);
+        let e_prop = (proposed - exact).abs() / exact;
+        let e_chen = (chen - exact).abs() / exact;
+        let e_naive = (naive - exact).abs() / exact;
+        if n >= 2 {
+            worst[0] = worst[0].max(e_prop);
+            worst[1] = worst[1].max(e_chen);
+            worst[2] = worst[2].max(e_naive);
+        }
+        table.row([
+            n.to_string(),
+            eng(exact),
+            eng(proposed),
+            eng(chen),
+            gu.map(eng).unwrap_or_else(|| "n/a".into()),
+            eng(naive),
+            format!("{:.2}", e_prop * 100.0),
+            format!("{:.2}", e_chen * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+fn main() {
+    header(
+        "Fig. 8",
+        "stack leakage: proposed model and Chen'98 vs exact solution (0.12 um, 300 K)",
+    );
+    let tech = Technology::cmos_120nm();
+    let t = 300.0;
+    let mut worst = [0.0f64; 3]; // proposed, chen, naive
+
+    run_case(&tech, "equal, W = 1 um", |n| vec![1e-6; n], t, &mut worst);
+    run_case(
+        &tech,
+        "mixed, W_i = (1, 3, 0.5, 2) um",
+        |n| [1e-6, 3e-6, 0.5e-6, 2e-6][..n].to_vec(),
+        t,
+        &mut worst,
+    );
+    // Temperature robustness: repeat equal-width case hot.
+    run_case(
+        &tech,
+        "equal, W = 1 um, 398 K",
+        |n| vec![1e-6; n],
+        398.15,
+        &mut worst,
+    );
+
+    let [e_prop, e_chen, e_naive] = worst;
+    let checks = vec![
+        ShapeCheck::new(
+            "proposed model stays within 10% of the exact stack current",
+            e_prop < 0.10,
+            format!("worst error {:.2}%", e_prop * 100.0),
+        ),
+        ShapeCheck::new(
+            "proposed model beats the Chen'98 baseline",
+            e_prop < e_chen,
+            format!("{:.2}% vs {:.2}%", e_prop * 100.0, e_chen * 100.0),
+        ),
+        ShapeCheck::new(
+            "ignoring the stack effect is catastrophically wrong",
+            e_naive > 1.0,
+            format!("naive worst error {:.0}%", e_naive * 100.0),
+        ),
+    ];
+    std::process::exit(report(&checks));
+}

@@ -1,0 +1,148 @@
+//! Fig. 9 — self-heating oscilloscope traces of a single MOS transistor at
+//! three ambient temperatures (30/35/40 °C), gated at 3 Hz.
+//!
+//! Paper setup (§4.2): the device is switched ON/OFF; the voltage across a
+//! series sense resistor (∝ drain current ∝ temperature) is recorded. The
+//! traces show the exponential charging of the device's thermal
+//! capacitance; the three ambients calibrate the V→T conversion.
+//!
+//! Substitution (no 0.35 µm test chip): the virtual measurement rig of
+//! `ptherm-thermal-num` drives the α-power-law device model through a
+//! lumped thermal RC whose "true" resistance comes from the exact Eq. 17
+//! integral averaged over the device footprint.
+
+use ptherm_bench::{header, line_chart, report, ShapeCheck, Table};
+use ptherm_device::on_current::OnCurrentModel;
+use ptherm_tech::constants::celsius_to_kelvin;
+use ptherm_tech::Technology;
+use ptherm_thermal_num::rect_integral::rect_unit_integral;
+use ptherm_thermal_num::transient::ThermalRc;
+use ptherm_thermal_num::SelfHeatingRig;
+
+/// Source-averaged exact thermal resistance of a `w × l` device (Eq. 17
+/// averaged over the footprint), K/W.
+fn true_rth(k: f64, w: f64, l: f64) -> f64 {
+    let n = 15;
+    let mut acc = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            let x = w * ((i as f64 + 0.5) / n as f64 - 0.5);
+            let y = l * ((j as f64 + 0.5) / n as f64 - 0.5);
+            acc += rect_unit_integral(w, l, x, y, 0.0);
+        }
+    }
+    acc / (n * n) as f64 / (2.0 * std::f64::consts::PI * k * w * l)
+}
+
+fn main() {
+    header(
+        "Fig. 9",
+        "self-heating scope traces at 30/35/40 C ambient (virtual measurement rig)",
+    );
+    let tech = Technology::cmos_350nm();
+    let w = 10e-6;
+    let l = tech.nmos.l;
+    let on = OnCurrentModel::new(&tech.nmos, tech.t_ref);
+    let rth = true_rth(148.0, w, l);
+    let thermal = ThermalRc {
+        rth,
+        cth: 25e-3 / rth,
+    }; // tau = 25 ms (die-scale)
+
+    let rig = SelfHeatingRig {
+        dut_current: |t| {
+            OnCurrentModel::new(&Technology::cmos_350nm().nmos, 300.0).current(10e-6, 3.3, t)
+        },
+        supply: 3.3,
+        sense_resistance: 20.0,
+        thermal,
+        gate_frequency: 3.0,
+        noise_rms: 0.3e-3,
+        seed: 2005,
+    };
+
+    let ambients = [30.0, 35.0, 40.0].map(celsius_to_kelvin);
+    let mut table = Table::new(["t_ms", "V@30C_mV", "V@35C_mV", "V@40C_mV"]);
+    let mut traces = Vec::new();
+    for ambient in ambients {
+        traces.push(rig.capture(ambient, 1024).expect("capture"));
+    }
+    for row in (0..1024).step_by(96) {
+        table.row([
+            format!("{:.3}", traces[0].time[row] * 1e3),
+            format!("{:.3}", traces[0].voltage[row] * 1e3),
+            format!("{:.3}", traces[1].voltage[row] * 1e3),
+            format!("{:.3}", traces[2].voltage[row] * 1e3),
+        ]);
+    }
+    println!("{}", table.render());
+    let pts: Vec<(f64, f64)> = traces[0]
+        .time
+        .iter()
+        .zip(&traces[0].voltage)
+        .step_by(16)
+        .map(|(&t, &v)| (t * 1e3, v * 1e3))
+        .collect();
+    println!("scope trace at 30 C (mV vs ms):");
+    println!("{}", line_chart(&pts, 64, 14));
+
+    // Full extraction at 30 C.
+    let cal = rig.calibrate(&ambients, 1024).expect("calibration");
+    let m = rig.measure(ambients[0], cal, 2048).expect("measurement");
+    println!(
+        "extraction at 30 C: dT = {:.2} K, tau = {:.1} us, P = {:.2} mW, Rth = {:.0} K/W (true {:.0})",
+        m.delta_t,
+        m.tau * 1e6,
+        m.power * 1e3,
+        m.rth,
+        rth
+    );
+
+    // Baseline (t -> 0) voltages must order with ambient: hotter chuck,
+    // lower current, lower sense voltage (negative TC above ZTC).
+    let v0: Vec<f64> = traces
+        .iter()
+        .map(|t| t.voltage[..8].iter().sum::<f64>() / 8.0)
+        .collect();
+    // Early-vs-late drop shows the exponential settling.
+    let drop = |tr: &ptherm_thermal_num::measurement::ScopeTrace| {
+        let head: f64 = tr.voltage[..32].iter().sum::<f64>() / 32.0;
+        let tail: f64 = tr.voltage[992..].iter().sum::<f64>() / 32.0;
+        head - tail
+    };
+
+    let tc = on.temperature_coefficient(w, 3.3, 303.15);
+    let checks = vec![
+        ShapeCheck::new(
+            "device has negative TC at full drive (above the ZTC point)",
+            tc < 0.0,
+            format!("dI/dT/I = {tc:.2e} 1/K"),
+        ),
+        ShapeCheck::new(
+            "baseline sense voltage decreases with ambient (calibration signal)",
+            v0[0] > v0[1] && v0[1] > v0[2],
+            format!(
+                "{:.2} > {:.2} > {:.2} mV",
+                v0[0] * 1e3,
+                v0[1] * 1e3,
+                v0[2] * 1e3
+            ),
+        ),
+        ShapeCheck::new(
+            "traces settle exponentially (visible self-heating sag)",
+            traces.iter().all(|t| drop(t) > 5.0 * rig.noise_rms),
+            format!("sag {:.2} mV at 30 C", drop(&traces[0]) * 1e3),
+        ),
+        ShapeCheck::new(
+            "extracted Rth within 15% of the rig's true Rth",
+            (m.rth - rth).abs() / rth < 0.15,
+            format!("{:.0} vs {:.0} K/W", m.rth, rth),
+        ),
+        ShapeCheck::new(
+            "extracted time constant within 25% of the rig's",
+            (m.tau - 25e-3).abs() / 25e-3 < 0.25,
+            format!("{:.1} ms vs 25 ms", m.tau * 1e3),
+        ),
+    ];
+    std::process::exit(report(&checks));
+}

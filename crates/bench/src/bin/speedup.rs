@@ -1,0 +1,194 @@
+//! The paper's headline claim: analytical models give "faster estimation
+//! and optimization" than numerical procedures (SPICE + PDE solvers).
+//!
+//! Three measurements on identical workloads:
+//!
+//! 1. **leakage** — per-vector gate OFF current: stack collapsing (Eq. 13)
+//!    vs the exact Newton network solve,
+//! 2. **thermal** — 3-block die surface temperature: Eq. 21 + images vs
+//!    one 3-D finite-difference solve,
+//! 3. **co-simulation** — the coupled fixed point: closed-form loop vs a
+//!    numerical loop that re-solves the FDM field every iteration.
+//!
+//! Wall-clock ratios are hardware-dependent; the shape claim is that the
+//! analytical route wins by orders of magnitude.
+
+use ptherm_bench::{header, report, ShapeCheck, Table};
+use ptherm_core::cosim::ElectroThermalSolver;
+use ptherm_core::leakage::GateLeakageModel;
+use ptherm_core::thermal::ThermalModel;
+use ptherm_floorplan::Floorplan;
+use ptherm_netlist::cells;
+use ptherm_spice::network::solve_network;
+use ptherm_tech::Technology;
+use ptherm_thermal_num::FdmSolver;
+use std::time::Instant;
+
+fn time<F: FnMut()>(mut f: F, reps: usize) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+fn main() {
+    header(
+        "Speed",
+        "analytical estimation vs numerical references (the paper's core claim)",
+    );
+    let tech = Technology::cmos_120nm();
+    let model = GateLeakageModel::new(&tech);
+    let library = cells::standard_library(&tech);
+
+    // --- leakage ---------------------------------------------------------
+    let vectors: Vec<(usize, Vec<bool>)> = library
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, cell)| {
+            let n = cell.inputs().len();
+            (0..(1u64 << n)).map(move |bits| {
+                (
+                    ci,
+                    (0..n).map(|i| bits >> i & 1 == 1).collect::<Vec<bool>>(),
+                )
+            })
+        })
+        .collect();
+    let t_analytic = time(
+        || {
+            for (ci, v) in &vectors {
+                let _ = model.gate_off_current(&library[*ci], v, 300.0);
+            }
+        },
+        20,
+    );
+    let t_exact = time(
+        || {
+            for (ci, v) in &vectors {
+                if let Ok(blocking) = library[*ci].bound_blocking(v) {
+                    let _ = solve_network(&tech, &blocking, 300.0);
+                }
+            }
+        },
+        2,
+    );
+    let leak_speedup = t_exact / t_analytic;
+
+    // --- thermal ---------------------------------------------------------
+    // Block-centre temperatures of a 16-block chip: the workload a floorplan
+    // optimizer queries in its inner loop. FDM must solve the whole field.
+    let fp16 = ptherm_floorplan::generator::tiled(
+        ptherm_floorplan::ChipGeometry::paper_1mm(),
+        4,
+        4,
+        0.02,
+        0.08,
+        1,
+    )
+    .expect("tiled floorplan");
+    let fp = Floorplan::paper_three_blocks();
+    let g = *fp.geometry();
+    let n = 32;
+    // Paper image configuration (single bottom mirror): what the paper's
+    // CAD tool would run. The extended depth series trades ~5x evaluation
+    // cost for accuracy (see fig6).
+    let thermal = ThermalModel::paper_defaults(&fp16);
+    let t_thermal_analytic = time(
+        || {
+            let _ = thermal.block_center_temperatures();
+        },
+        20,
+    );
+    let fdm = FdmSolver {
+        die_w: g.width,
+        die_l: g.length,
+        thickness: g.thickness,
+        k: g.conductivity,
+        sink_temperature: g.sink_temperature,
+        nx: n,
+        ny: n,
+        nz: 12,
+    };
+    let map = fp16.power_map(n, n);
+    let t_thermal_fdm = time(
+        || {
+            let _ = fdm.solve(&map).expect("fdm solves");
+        },
+        2,
+    );
+    let thermal_speedup = t_thermal_fdm / t_thermal_analytic;
+
+    // --- co-simulation ---------------------------------------------------
+    let power = |_i: usize, t: f64| 0.25 + 0.04 * ((t - 300.0) / 25.0).exp2();
+    let solver = ElectroThermalSolver::new(fp.clone());
+    let t_cosim_analytic = time(
+        || {
+            let _ = solver.solve(power).expect("cosim converges");
+        },
+        3,
+    );
+    // Numerical loop: FDM thermal solve per Picard iteration.
+    let t_cosim_numeric = time(
+        || {
+            let mut plan = fp.clone();
+            let mut temps = vec![g.sink_temperature; plan.blocks().len()];
+            for _ in 0..12 {
+                for i in 0..temps.len() {
+                    plan.set_power(i, power(i, temps[i]));
+                }
+                let sol = fdm.solve(&plan.power_map(n, n)).expect("fdm solves");
+                let fresh: Vec<f64> = plan
+                    .blocks()
+                    .iter()
+                    .map(|b| sol.surface_at(b.cx, b.cy))
+                    .collect();
+                for i in 0..temps.len() {
+                    temps[i] += 0.7 * (fresh[i] - temps[i]);
+                }
+            }
+        },
+        1,
+    );
+    let cosim_speedup = t_cosim_numeric / t_cosim_analytic;
+
+    let mut table = Table::new(["task", "analytic_s", "numeric_s", "speedup_x"]);
+    table.row([
+        "gate leakage (library x vectors)".to_string(),
+        format!("{t_analytic:.3e}"),
+        format!("{t_exact:.3e}"),
+        format!("{leak_speedup:.0}"),
+    ]);
+    table.row([
+        "block temperatures (16-block chip)".to_string(),
+        format!("{t_thermal_analytic:.3e}"),
+        format!("{t_thermal_fdm:.3e}"),
+        format!("{thermal_speedup:.0}"),
+    ]);
+    table.row([
+        "electro-thermal fixed point".to_string(),
+        format!("{t_cosim_analytic:.3e}"),
+        format!("{t_cosim_numeric:.3e}"),
+        format!("{cosim_speedup:.0}"),
+    ]);
+    println!("{}", table.render());
+
+    let checks = vec![
+        ShapeCheck::new(
+            "analytical leakage beats the exact network solve by >= 10x",
+            leak_speedup >= 10.0,
+            format!("{leak_speedup:.0}x"),
+        ),
+        ShapeCheck::new(
+            "analytical block temperatures beat the FDM solve by >= 10x",
+            thermal_speedup >= 10.0,
+            format!("{thermal_speedup:.0}x"),
+        ),
+        ShapeCheck::new(
+            "closed-form co-simulation beats the numerical loop by >= 10x",
+            cosim_speedup >= 10.0,
+            format!("{cosim_speedup:.0}x"),
+        ),
+    ];
+    std::process::exit(report(&checks));
+}

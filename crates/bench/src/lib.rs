@@ -1,0 +1,241 @@
+//! Shared harness for the figure-regeneration binaries.
+//!
+//! Every `fig*` binary follows the same protocol: print the experiment
+//! header, the regenerated data series as an aligned table (grep-friendly
+//! TSV is one flag away: every row is also tab-separated), an ASCII
+//! rendition where the paper shows a 2-D figure, and a list of **shape
+//! checks** — the paper-level claims the reproduction must honour (who
+//! wins, by what factor, where crossovers fall). A binary exits non-zero
+//! when a shape check fails, so the whole experiment suite doubles as an
+//! integration test.
+
+use std::fmt::Write as _;
+
+/// A printable data table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringified cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders with aligned columns (cells also remain tab-separated).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    out.push('\t');
+                }
+                let _ = write!(out, "{cell:>w$}", w = w);
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.headers, &widths, &mut out);
+        fmt_row(
+            &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
+            &widths,
+            &mut out,
+        );
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a float in compact engineering style.
+pub fn eng(value: f64) -> String {
+    if value == 0.0 {
+        return "0".into();
+    }
+    let a = value.abs();
+    if (1e-2..1e4).contains(&a) {
+        format!("{value:.4}")
+    } else {
+        format!("{value:.3e}")
+    }
+}
+
+/// ASCII heat map of a row-major `nx × ny` grid (used for the Fig. 6
+/// isotherm view). Row 0 of the grid is the bottom of the plot.
+pub fn heatmap(values: &[f64], nx: usize, ny: usize) -> String {
+    assert_eq!(values.len(), nx * ny, "grid size mismatch");
+    const SHADES: &[u8] = b" .:-=+*#%@";
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let span = (hi - lo).max(1e-30);
+    let mut out = String::with_capacity((nx + 1) * ny);
+    for iy in (0..ny).rev() {
+        for ix in 0..nx {
+            let t = (values[ix + nx * iy] - lo) / span;
+            let idx = ((t * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1);
+            out.push(SHADES[idx] as char);
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "scale: ' ' = {lo:.2} .. '@' = {hi:.2}");
+    out
+}
+
+/// Simple ASCII line chart of `(x, y)` samples.
+pub fn line_chart(series: &[(f64, f64)], width: usize, height: usize) -> String {
+    if series.is_empty() || width < 2 || height < 2 {
+        return String::new();
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in series {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    let xs = (x1 - x0).max(1e-30);
+    let ys = (y1 - y0).max(1e-30);
+    let mut canvas = vec![vec![b' '; width]; height];
+    for &(x, y) in series {
+        let cx = (((x - x0) / xs) * (width - 1) as f64).round() as usize;
+        let cy = (((y - y0) / ys) * (height - 1) as f64).round() as usize;
+        canvas[height - 1 - cy][cx] = b'*';
+    }
+    let mut out = String::new();
+    for row in canvas {
+        out.push_str(std::str::from_utf8(&row).expect("ascii"));
+        out.push('\n');
+    }
+    let _ = writeln!(out, "x: {x0:.3e} .. {x1:.3e}   y: {y0:.3e} .. {y1:.3e}");
+    out
+}
+
+/// One paper-level claim checked by an experiment binary.
+#[derive(Debug, Clone)]
+pub struct ShapeCheck {
+    /// What is being asserted (readable sentence).
+    pub claim: String,
+    /// Whether the regenerated data satisfies it.
+    pub pass: bool,
+    /// Measured quantity backing the verdict.
+    pub detail: String,
+}
+
+impl ShapeCheck {
+    /// Builds a check from a claim, a verdict and supporting detail.
+    pub fn new(claim: impl Into<String>, pass: bool, detail: impl Into<String>) -> Self {
+        ShapeCheck {
+            claim: claim.into(),
+            pass,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Prints the experiment header.
+pub fn header(figure: &str, description: &str) {
+    println!("================================================================");
+    println!("{figure} — {description}");
+    println!("================================================================");
+}
+
+/// Prints the checks and returns the process exit code (0 = all pass).
+#[must_use]
+pub fn report(checks: &[ShapeCheck]) -> i32 {
+    println!();
+    println!("shape checks:");
+    let mut failed = 0;
+    for c in checks {
+        let verdict = if c.pass { "PASS" } else { "FAIL" };
+        println!("  [{verdict}] {} ({})", c.claim, c.detail);
+        if !c.pass {
+            failed += 1;
+        }
+    }
+    println!(
+        "{} of {} checks passed",
+        checks.len() - failed,
+        checks.len()
+    );
+    i32::from(failed > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["n", "value"]);
+        t.row(["1", "10.0"]);
+        t.row(["2", "3.5"]);
+        let s = t.render();
+        assert!(s.contains('\t'));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn table_checks_arity() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn heatmap_spans_shades() {
+        let grid: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let s = heatmap(&grid, 4, 4);
+        assert!(s.contains('@'));
+        assert!(s.lines().count() == 5);
+    }
+
+    #[test]
+    fn line_chart_plots_all_points() {
+        let pts: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, (i as f64).sin())).collect();
+        let s = line_chart(&pts, 40, 10);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn report_counts_failures() {
+        let checks = [
+            ShapeCheck::new("a", true, "x"),
+            ShapeCheck::new("b", false, "y"),
+        ];
+        assert_eq!(report(&checks), 1);
+        assert_eq!(report(&checks[..1]), 0);
+    }
+
+    #[test]
+    fn eng_formatting() {
+        assert_eq!(eng(0.0), "0");
+        assert!(eng(1234.5).starts_with("1234."));
+        assert!(eng(1.2e-9).contains('e'));
+    }
+}

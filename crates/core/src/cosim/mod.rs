@@ -1,0 +1,303 @@
+//! The **concurrent** part of the paper: solving power and temperature
+//! together.
+//!
+//! Static power depends exponentially on temperature (Eq. 13) and
+//! temperature depends linearly on dissipated power (Eq. 21); a consistent
+//! operating point is a fixed point of the composition. Because both
+//! directions are closed-form, one iteration costs microseconds — the
+//! paper's pitch is that this loop replaces coupled SPICE + PDE solves.
+//!
+//! The solver iterates damped Picard:
+//!
+//! ```text
+//! P_i^{(k)} = power_model(i, T_i^{(k)})
+//! T^{(k+1)} = T^{(k)} + λ·(Thermal(P^{(k)}) − T^{(k)})
+//! ```
+//!
+//! with divergence detection — when leakage growth outruns the thermal
+//! path's ability to shed heat, there **is no** fixed point (thermal
+//! runaway), and the solver reports it rather than oscillating forever.
+
+pub mod power_model;
+
+use crate::thermal::ThermalModel;
+use ptherm_floorplan::Floorplan;
+use std::fmt;
+
+/// Error returned by [`ElectroThermalSolver::solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CosimError {
+    /// Temperatures ran away past the safety ceiling: no stable operating
+    /// point exists for this power model (thermal runaway).
+    ThermalRunaway {
+        /// Iteration at which the ceiling was crossed.
+        iteration: usize,
+        /// Hottest block temperature reached, K.
+        temperature: f64,
+    },
+    /// The iteration budget was exhausted before convergence.
+    NotConverged {
+        /// Last maximum block-temperature change, K.
+        last_delta: f64,
+    },
+    /// A power model returned a non-finite or negative value.
+    BadPower {
+        /// Block index.
+        block: usize,
+        /// Offending value.
+        power: f64,
+    },
+}
+
+impl fmt::Display for CosimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CosimError::ThermalRunaway {
+                iteration,
+                temperature,
+            } => write!(
+                f,
+                "thermal runaway at iteration {iteration}: {temperature:.1} K exceeds the ceiling"
+            ),
+            CosimError::NotConverged { last_delta } => {
+                write!(
+                    f,
+                    "co-simulation did not converge (last delta {last_delta:.2e} K)"
+                )
+            }
+            CosimError::BadPower { block, power } => {
+                write!(f, "power model returned {power} W for block {block}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CosimError {}
+
+/// Converged electro-thermal operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CosimResult {
+    /// Block-centre temperatures, K.
+    pub block_temperatures: Vec<f64>,
+    /// Block powers at the fixed point, W.
+    pub block_powers: Vec<f64>,
+    /// Picard iterations used.
+    pub iterations: usize,
+    /// Always true on `Ok` (kept for result logging symmetry).
+    pub converged: bool,
+    /// Maximum block-temperature change per iteration, K (convergence
+    /// trace for the ablation benches).
+    pub history: Vec<f64>,
+}
+
+impl CosimResult {
+    /// Total chip power at the fixed point, W.
+    pub fn total_power(&self) -> f64 {
+        self.block_powers.iter().sum()
+    }
+
+    /// Hottest block temperature, K.
+    pub fn peak_temperature(&self) -> f64 {
+        self.block_temperatures
+            .iter()
+            .fold(f64::NEG_INFINITY, |m, &t| m.max(t))
+    }
+}
+
+/// The coupled power-thermal fixed-point solver.
+#[derive(Debug, Clone)]
+pub struct ElectroThermalSolver {
+    floorplan: Floorplan,
+    /// Lateral image order for the thermal model.
+    pub lateral_order: usize,
+    /// Depth-series order for the thermal model (1 = paper's single
+    /// bottom mirror; higher orders model the finite-slab sink better).
+    pub z_order: usize,
+    /// Under-relaxation factor λ ∈ (0, 1].
+    pub damping: f64,
+    /// Iteration budget.
+    pub max_iterations: usize,
+    /// Convergence threshold on the max block-temperature change, K.
+    pub tolerance_k: f64,
+    /// Runaway ceiling, K (silicon is long dead past ~500 K).
+    pub ceiling_k: f64,
+}
+
+impl ElectroThermalSolver {
+    /// Builds a solver with the defaults used in the experiments:
+    /// image order 2, damping 0.7, 200 iterations, 1 mK tolerance, 1000 K
+    /// ceiling.
+    pub fn new(floorplan: Floorplan) -> Self {
+        ElectroThermalSolver {
+            floorplan,
+            lateral_order: 2,
+            z_order: 9,
+            damping: 0.7,
+            max_iterations: 200,
+            tolerance_k: 1e-3,
+            ceiling_k: 1000.0,
+        }
+    }
+
+    /// The floorplan geometry (block powers are owned by the iteration).
+    pub fn floorplan(&self) -> &Floorplan {
+        &self.floorplan
+    }
+
+    /// Solves for the coupled operating point. `block_power(i, T)` returns
+    /// the power of block `i` at temperature `T` — typically dynamic power
+    /// plus the strongly temperature-dependent leakage.
+    ///
+    /// # Errors
+    ///
+    /// See [`CosimError`].
+    pub fn solve<F>(&self, block_power: F) -> Result<CosimResult, CosimError>
+    where
+        F: Fn(usize, f64) -> f64,
+    {
+        let n = self.floorplan.blocks().len();
+        let sink = self.floorplan.geometry().sink_temperature;
+        let mut temperatures = vec![sink; n];
+        let mut powers = vec![0.0; n];
+        let mut plan = self.floorplan.clone();
+        let mut history = Vec::new();
+
+        for iteration in 0..self.max_iterations {
+            // Power at the current temperature estimate.
+            for i in 0..n {
+                let p = block_power(i, temperatures[i]);
+                if !p.is_finite() || p < 0.0 {
+                    return Err(CosimError::BadPower { block: i, power: p });
+                }
+                powers[i] = p;
+                plan.set_power(i, p);
+            }
+            // Closed-form thermal solve.
+            let model = ThermalModel::with_image_orders(&plan, self.lateral_order, self.z_order);
+            let fresh = model.block_center_temperatures();
+            // Damped update.
+            let mut delta: f64 = 0.0;
+            for i in 0..n {
+                let next = temperatures[i] + self.damping * (fresh[i] - temperatures[i]);
+                delta = delta.max((next - temperatures[i]).abs());
+                temperatures[i] = next;
+            }
+            history.push(delta);
+            let peak = temperatures
+                .iter()
+                .fold(f64::NEG_INFINITY, |m, &t| m.max(t));
+            if peak > self.ceiling_k {
+                return Err(CosimError::ThermalRunaway {
+                    iteration,
+                    temperature: peak,
+                });
+            }
+            if delta < self.tolerance_k {
+                // Refresh powers at the converged temperatures for the
+                // report.
+                for i in 0..n {
+                    powers[i] = block_power(i, temperatures[i]);
+                }
+                return Ok(CosimResult {
+                    block_temperatures: temperatures,
+                    block_powers: powers,
+                    iterations: iteration + 1,
+                    converged: true,
+                    history,
+                });
+            }
+        }
+        Err(CosimError::NotConverged {
+            last_delta: history.last().copied().unwrap_or(f64::NAN),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptherm_floorplan::Floorplan;
+
+    fn solver() -> ElectroThermalSolver {
+        ElectroThermalSolver::new(Floorplan::paper_three_blocks())
+    }
+
+    #[test]
+    fn constant_power_converges_to_thermal_solution() {
+        let s = solver();
+        let result = s.solve(|i, _| [0.35, 0.30, 0.25][i]).unwrap();
+        assert!(result.converged);
+        // Same temperatures as a one-shot thermal solve.
+        let mut plan = s.floorplan().clone();
+        for (i, &p) in [0.35, 0.30, 0.25].iter().enumerate() {
+            plan.set_power(i, p);
+        }
+        let direct = ThermalModel::with_image_orders(&plan, 2, 9).block_center_temperatures();
+        for (a, b) in result.block_temperatures.iter().zip(&direct) {
+            assert!((a - b).abs() < 5e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn leakage_feedback_raises_the_operating_point() {
+        let s = solver();
+        let flat = s.solve(|_, _| 0.3).unwrap();
+        // Leakage doubling every 20 K on top of the same 0.3 W baseline.
+        let coupled = s
+            .solve(|_, t| 0.3 + 0.05 * ((t - 300.0) / 20.0).exp2())
+            .unwrap();
+        assert!(coupled.peak_temperature() > flat.peak_temperature());
+        assert!(coupled.total_power() > flat.total_power());
+    }
+
+    #[test]
+    fn runaway_is_detected() {
+        let s = solver();
+        // Violent exponential: doubles every 3 K. No fixed point.
+        let err = s
+            .solve(|_, t| 0.5 * ((t - 300.0) / 3.0).exp2())
+            .unwrap_err();
+        assert!(matches!(err, CosimError::ThermalRunaway { .. }));
+    }
+
+    #[test]
+    fn bad_power_is_reported() {
+        let s = solver();
+        let err = s
+            .solve(|i, _| if i == 1 { f64::NAN } else { 0.1 })
+            .unwrap_err();
+        assert!(matches!(err, CosimError::BadPower { block: 1, .. }));
+    }
+
+    #[test]
+    fn convergence_history_decreases() {
+        let s = solver();
+        let result = s
+            .solve(|_, t| 0.2 + 0.02 * ((t - 300.0) / 30.0).exp2())
+            .unwrap();
+        // Geometric-ish decay of the update magnitude.
+        let h = &result.history;
+        assert!(h.len() >= 3);
+        assert!(h.last().unwrap() < &s.tolerance_k);
+        assert!(h[0] > *h.last().unwrap());
+    }
+
+    #[test]
+    fn tight_budget_reports_not_converged() {
+        let mut s = solver();
+        s.max_iterations = 2;
+        s.tolerance_k = 1e-9;
+        let err = s.solve(|_, _| 0.3).unwrap_err();
+        assert!(matches!(err, CosimError::NotConverged { .. }));
+    }
+
+    #[test]
+    fn zero_power_chip_sits_at_sink_temperature() {
+        let s = solver();
+        let r = s.solve(|_, _| 0.0).unwrap();
+        for t in &r.block_temperatures {
+            assert!((t - 300.0).abs() < 1e-9);
+        }
+        assert_eq!(r.total_power(), 0.0);
+    }
+}

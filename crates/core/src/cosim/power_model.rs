@@ -1,0 +1,88 @@
+//! Ready-made block power models for the co-simulation loop.
+//!
+//! The paper's complete flow: per block, dynamic power (transient +
+//! short-circuit, §2) plus the temperature-dependent static power of its
+//! gates (§2.1), all closed-form. [`CircuitBlockPower`] packages that per
+//! block so `ElectroThermalSolver::solve` can be fed with real circuits.
+
+use crate::leakage::circuit::circuit_static_power;
+use ptherm_netlist::circuit::Circuit;
+use ptherm_tech::Technology;
+
+/// Power model of one block backed by a gate-count circuit.
+#[derive(Debug, Clone)]
+pub struct CircuitBlockPower {
+    /// The circuit occupying the block.
+    pub circuit: Circuit,
+    /// Technology kit.
+    pub tech: Technology,
+}
+
+impl CircuitBlockPower {
+    /// Total block power at junction temperature `temperature_k`, W:
+    /// dynamic (weak temperature dependence through the short-circuit
+    /// component) plus static (exponential in temperature).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit contains a non-complementary cell (library
+    /// cells never are — this indicates a corrupted circuit).
+    pub fn power(&self, temperature_k: f64) -> f64 {
+        let dynamic = self.circuit.dynamic_power(&self.tech, temperature_k);
+        let stat = circuit_static_power(&self.tech, &self.circuit, temperature_k)
+            .expect("library cells are complementary");
+        dynamic + stat
+    }
+
+    /// The static share of the block power at `temperature_k` ∈ [0, 1].
+    pub fn static_fraction(&self, temperature_k: f64) -> f64 {
+        let stat = circuit_static_power(&self.tech, &self.circuit, temperature_k)
+            .expect("library cells are complementary");
+        stat / self.power(temperature_k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block() -> CircuitBlockPower {
+        let tech = Technology::cmos_120nm();
+        let circuit = Circuit::random("blk", 21, 5_000, 1.5e9, &tech);
+        CircuitBlockPower { circuit, tech }
+    }
+
+    #[test]
+    fn power_increases_with_temperature() {
+        let b = block();
+        assert!(b.power(400.0) > b.power(300.0));
+    }
+
+    #[test]
+    fn static_fraction_grows_with_temperature() {
+        let b = block();
+        let cold = b.static_fraction(300.0);
+        let hot = b.static_fraction(400.0);
+        assert!(hot > cold);
+        assert!((0.0..1.0).contains(&cold));
+        assert!((0.0..1.0).contains(&hot));
+    }
+
+    #[test]
+    fn cosim_with_real_circuit_blocks_converges() {
+        use crate::cosim::ElectroThermalSolver;
+        use ptherm_floorplan::Floorplan;
+        let tech = Technology::cmos_120nm();
+        let blocks: Vec<CircuitBlockPower> = (0..3)
+            .map(|i| CircuitBlockPower {
+                circuit: Circuit::random(format!("b{i}"), i as u64, 20_000, 1.5e9, &tech),
+                tech: tech.clone(),
+            })
+            .collect();
+        let solver = ElectroThermalSolver::new(Floorplan::paper_three_blocks());
+        let result = solver.solve(|i, t| blocks[i].power(t)).unwrap();
+        assert!(result.converged);
+        assert!(result.peak_temperature() > 300.0);
+        assert!(result.total_power() > 0.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Block-level static power: rolling the per-gate model up over gate-count
+//! circuits.
+//!
+//! The paper's end goal is full-chip estimation ("hundreds of millions of
+//! transistors") — which is why it insists on closed forms. At block level
+//! the state of every gate input is unknown, so the standard treatment
+//! applies: average the vector-dependent leakage over a uniform input
+//! distribution (worst-case is also provided).
+
+use crate::leakage::{GateLeakageModel, LeakageError};
+use ptherm_netlist::circuit::Circuit;
+use ptherm_tech::Technology;
+
+/// Static power of a whole circuit at `temperature_k`, watts, averaging
+/// each cell's leakage over its input vectors.
+///
+/// # Errors
+///
+/// Propagates [`LeakageError`] from any cell (non-complementary cells).
+pub fn circuit_static_power(
+    tech: &Technology,
+    circuit: &Circuit,
+    temperature_k: f64,
+) -> Result<f64, LeakageError> {
+    let model = GateLeakageModel::new(tech);
+    let mut total = 0.0;
+    for group in &circuit.groups {
+        let per_gate = model.gate_average_static_power(&group.cell, temperature_k)?;
+        total += per_gate * group.count as f64;
+    }
+    Ok(total)
+}
+
+/// Worst-case static power of a whole circuit (every gate at its leakiest
+/// vector simultaneously — a pessimistic but standard sign-off bound).
+///
+/// # Errors
+///
+/// Propagates [`LeakageError`].
+pub fn circuit_worst_static_power(
+    tech: &Technology,
+    circuit: &Circuit,
+    temperature_k: f64,
+) -> Result<f64, LeakageError> {
+    let model = GateLeakageModel::new(tech);
+    let mut total = 0.0;
+    for group in &circuit.groups {
+        let per_gate = model.gate_worst_static_power(&group.cell, temperature_k)?;
+        total += per_gate * group.count as f64;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_power_scales_with_gate_count() {
+        let tech = Technology::cmos_120nm();
+        let small = Circuit::random("s", 5, 100, 1e9, &tech);
+        let mut big = small.clone();
+        for g in &mut big.groups {
+            g.count *= 3;
+        }
+        let p1 = circuit_static_power(&tech, &small, 300.0).unwrap();
+        let p2 = circuit_static_power(&tech, &big, 300.0).unwrap();
+        assert!((p2 / p1 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worst_bounds_average() {
+        let tech = Technology::cmos_120nm();
+        let c = Circuit::random("c", 3, 200, 1e9, &tech);
+        let avg = circuit_static_power(&tech, &c, 300.0).unwrap();
+        let worst = circuit_worst_static_power(&tech, &c, 300.0).unwrap();
+        assert!(worst > avg);
+        assert!(worst < 20.0 * avg, "worst/avg = {}", worst / avg);
+    }
+
+    #[test]
+    fn hot_block_leaks_much_more() {
+        let tech = Technology::cmos_120nm();
+        let c = Circuit::random("c", 3, 1000, 1e9, &tech);
+        let cold = circuit_static_power(&tech, &c, 298.15).unwrap();
+        let hot = circuit_static_power(&tech, &c, 398.15).unwrap();
+        assert!(hot / cold > 10.0);
+    }
+
+    #[test]
+    fn magnitude_is_plausible_for_120nm() {
+        // 10k gates at 25C: leakage in the tens-of-uW to mW range.
+        let tech = Technology::cmos_120nm();
+        let c = Circuit::random("c", 7, 10_000, 1e9, &tech);
+        let p = circuit_static_power(&tech, &c, 298.15).unwrap();
+        assert!(p > 1e-6 && p < 1e-1, "P_static = {p} W");
+    }
+}

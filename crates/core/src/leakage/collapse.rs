@@ -1,0 +1,248 @@
+//! The transistor-stack collapsing technique (Eqs. 3–12).
+//!
+//! Two series OFF transistors — widths `W_top` above `W_bot` — carry the
+//! same current. Equating Eq. (1) for both (with the threshold model of
+//! Eq. 2) gives a transcendental equation for the voltage drop `x` across
+//! the *bottom* device of the pair:
+//!
+//! ```text
+//! e^{α·x/V_T} · (1 − e^{−x/V_T}) = R
+//! R = (W_top / W_bot) · e^{σ·V_DD/(n·V_T)},     α = (1 + γ' + 2σ) / n
+//! ```
+//!
+//! with asymptotics `x → (V_T/α)·ln R` for `x ≫ V_T` (the paper's Eq. 7)
+//! and `x → V_T·R` for `x ≪ V_T` (Eq. 8). The paper bridges the two with
+//! the empirical Eq. (10); the OCR of the equation is corrupted, so it is
+//! **reconstructed** here from the asymptotics (see DESIGN.md §2):
+//!
+//! ```text
+//! x = V_T · [1 + (1/α − 1)·σ_L(f)] · ln(1 + e^f),      f = ln R
+//! ```
+//!
+//! where `σ_L` is the logistic function. Both limits are honoured exactly
+//! and the mid-range error against the exact root is below 1% for 0.12 µm
+//! parameters (verified against `ptherm-spice` in the Fig. 3 reproduction).
+//!
+//! The pair then collapses into one equivalent transistor (Eq. 6):
+//!
+//! ```text
+//! W_eq = W_top · e^{−(1 + γ' + σ)·x/(n·V_T)}
+//! ```
+//!
+//! and the chain collapses by repeating from the top (Fig. 2), which is
+//! algebraically identical to the paper's Eqs. (11)–(12).
+
+use ptherm_tech::constants::thermal_voltage;
+use ptherm_tech::MosParams;
+
+/// Device-flavour parameters needed by the collapsing algebra.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollapseParams {
+    /// Subthreshold slope factor `n`.
+    pub n: f64,
+    /// Linearized body-effect coefficient `γ'`.
+    pub gamma_b: f64,
+    /// DIBL coefficient `σ`.
+    pub sigma: f64,
+    /// Supply voltage `V_DD`, V.
+    pub vdd: f64,
+}
+
+impl CollapseParams {
+    /// Extracts the collapsing parameters from a device parameter set.
+    pub fn from_mos(params: &MosParams, vdd: f64) -> Self {
+        CollapseParams {
+            n: params.n,
+            gamma_b: params.gamma_b,
+            sigma: params.sigma,
+            vdd,
+        }
+    }
+
+    /// The paper's `α = (1 + γ' + 2σ)/n` (Eq. 9).
+    pub fn alpha(&self) -> f64 {
+        (1.0 + self.gamma_b + 2.0 * self.sigma) / self.n
+    }
+
+    /// The exponent `f = ln[(W_top/W_bot)·e^{σ·V_DD/(n·V_T)}]` (Eq. 9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a width is non-positive.
+    pub fn log_ratio(&self, w_top: f64, w_bot: f64, temperature_k: f64) -> f64 {
+        assert!(w_top > 0.0 && w_bot > 0.0, "widths must be positive");
+        let vt = thermal_voltage(temperature_k);
+        (w_top / w_bot).ln() + self.sigma * self.vdd / (self.n * vt)
+    }
+
+    /// Empirical drain-source drop across the bottom device of the pair —
+    /// the reconstruction of the paper's Eq. (10).
+    pub fn delta_v(&self, w_top: f64, w_bot: f64, temperature_k: f64) -> f64 {
+        let vt = thermal_voltage(temperature_k);
+        let f = self.log_ratio(w_top, w_bot, temperature_k);
+        let alpha = self.alpha();
+        let logistic = 1.0 / (1.0 + (-f).exp());
+        // ln(1 + e^f), numerically stable.
+        let softplus = if f > 30.0 {
+            f
+        } else if f < -30.0 {
+            f.exp()
+        } else {
+            (1.0 + f.exp()).ln()
+        };
+        vt * (1.0 + (1.0 / alpha - 1.0) * logistic) * softplus
+    }
+
+    /// Large-drop asymptote `x = (V_T/α)·ln R` (the paper's Eq. 7 — also
+    /// the core of the Chen'98-style baselines). Clamped at zero for
+    /// `R < 1`.
+    pub fn delta_v_case_a(&self, w_top: f64, w_bot: f64, temperature_k: f64) -> f64 {
+        let vt = thermal_voltage(temperature_k);
+        let f = self.log_ratio(w_top, w_bot, temperature_k);
+        (vt * f / self.alpha()).max(0.0)
+    }
+
+    /// Small-drop asymptote `x = V_T·R` (the paper's Eq. 8).
+    pub fn delta_v_case_b(&self, w_top: f64, w_bot: f64, temperature_k: f64) -> f64 {
+        let vt = thermal_voltage(temperature_k);
+        let f = self.log_ratio(w_top, w_bot, temperature_k);
+        vt * f.exp()
+    }
+
+    /// Collapses the pair into one equivalent width (Eq. 6): the `x` drop
+    /// shields the upper device, shrinking it by
+    /// `e^{−(1+γ'+σ)·x/(n·V_T)}`.
+    pub fn collapse_pair(&self, w_top: f64, w_bot: f64, temperature_k: f64) -> f64 {
+        let vt = thermal_voltage(temperature_k);
+        let x = self.delta_v(w_top, w_bot, temperature_k);
+        w_top * (-(1.0 + self.gamma_b + self.sigma) * x / (self.n * vt)).exp()
+    }
+
+    /// Collapses a whole OFF chain (widths ordered **bottom → top**, the
+    /// paper's `T_1 … T_N`) into a single equivalent width (Eqs. 11–12).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `widths` is empty or contains a non-positive width.
+    pub fn collapse_chain(&self, widths: &[f64], temperature_k: f64) -> f64 {
+        assert!(!widths.is_empty(), "cannot collapse an empty chain");
+        // Pairwise from the top (Fig. 2): W_eq represents everything above
+        // the device currently being absorbed. Each collapse multiplies by
+        // e^{−(1+γ'+σ)·x_i/(n·V_T)}, so the final width carries the sum of
+        // the node drops — exactly Eqs. (11)–(12).
+        let mut w_eq = *widths.last().expect("non-empty");
+        for &w_below in widths[..widths.len() - 1].iter().rev() {
+            w_eq = self.collapse_pair(w_eq, w_below, temperature_k);
+        }
+        w_eq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptherm_tech::Technology;
+
+    fn params() -> CollapseParams {
+        let t = Technology::cmos_120nm();
+        CollapseParams::from_mos(&t.nmos, t.vdd)
+    }
+
+    #[test]
+    fn alpha_matches_formula() {
+        let p = params();
+        assert!((p.alpha() - (1.0 + 0.20 + 0.16) / 1.40).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_v_bridges_the_asymptotes() {
+        let p = params();
+        let t = 300.0;
+        // Large R: wide top over narrow bottom -> case (a).
+        let xa = p.delta_v(64e-6, 1e-6, t);
+        let ca = p.delta_v_case_a(64e-6, 1e-6, t);
+        assert!((xa - ca).abs() / ca < 0.05, "case a: {xa} vs {ca}");
+        // Small R: narrow top over wide bottom -> case (b).
+        let xb = p.delta_v(1e-6, 1e-5 * 2f64.powi(12), t);
+        let cb = p.delta_v_case_b(1e-6, 1e-5 * 2f64.powi(12), t);
+        assert!((xb - cb).abs() / cb < 0.05, "case b: {xb} vs {cb}");
+    }
+
+    #[test]
+    fn delta_v_solves_the_transcendental_equation() {
+        // The reconstruction must satisfy e^{αx/VT}(1−e^{−x/VT}) = R to ~1%
+        // across four decades of width ratio (Fig. 3's claim).
+        let p = params();
+        let t = 300.0;
+        let vt = thermal_voltage(t);
+        for k in -6..=6 {
+            let w_top = 1e-6 * 2f64.powi(k);
+            let w_bot = 1e-6;
+            let x = p.delta_v(w_top, w_bot, t);
+            let r = (w_top / w_bot) * (p.sigma * p.vdd / (p.n * vt)).exp();
+            let lhs = (p.alpha() * x / vt).exp() * (1.0 - (-x / vt).exp());
+            let rel = (lhs - r).abs() / r;
+            assert!(rel < 0.04, "ratio 2^{k}: residual {rel:.3}");
+        }
+    }
+
+    #[test]
+    fn equal_width_two_stack_drop_is_a_few_thermal_voltages() {
+        // The classic result: V_1 of an equal 2-stack sits ~V_T·ln2-to-a-few
+        // V_T above ground (DIBL pushes it up a bit).
+        let p = params();
+        let x = p.delta_v(1e-6, 1e-6, 300.0);
+        let vt = thermal_voltage(300.0);
+        assert!(x > 0.5 * vt && x < 4.0 * vt, "x = {x}");
+    }
+
+    #[test]
+    fn collapse_pair_shrinks_the_width() {
+        let p = params();
+        let w_eq = p.collapse_pair(1e-6, 1e-6, 300.0);
+        assert!(w_eq < 1e-6);
+        assert!(w_eq > 0.0);
+        // Stack suppression factor ~5-15x at these parameters.
+        let factor = 1e-6 / w_eq;
+        assert!(factor > 3.0 && factor < 30.0, "suppression {factor}");
+    }
+
+    #[test]
+    fn chain_collapse_is_monotone_in_depth() {
+        let p = params();
+        let mut last = f64::INFINITY;
+        for n in 1..=6 {
+            let w = p.collapse_chain(&vec![1e-6; n], 300.0);
+            assert!(w < last, "depth {n} must shrink the equivalent width");
+            last = w;
+        }
+    }
+
+    #[test]
+    fn single_device_chain_is_identity() {
+        let p = params();
+        assert_eq!(p.collapse_chain(&[3e-6], 300.0), 3e-6);
+    }
+
+    #[test]
+    fn temperature_weakens_the_stack_effect() {
+        // Hotter: larger V_T -> smaller x/V_T shielding exponent -> the
+        // equivalent width shrinks less.
+        let p = params();
+        let cold = p.collapse_chain(&[1e-6, 1e-6], 280.0);
+        let hot = p.collapse_chain(&[1e-6, 1e-6], 400.0);
+        assert!(hot > cold, "stack effect must weaken with temperature");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty chain")]
+    fn empty_chain_panics() {
+        params().collapse_chain(&[], 300.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "widths must be positive")]
+    fn non_positive_width_panics() {
+        params().delta_v(0.0, 1e-6, 300.0);
+    }
+}

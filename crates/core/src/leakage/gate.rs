@@ -1,0 +1,487 @@
+//! Gate-level OFF current: Eq. (13) plus the network rules of §2.1.1.
+//!
+//! For a given input vector the blocking network of a static CMOS gate is
+//! reduced to one equivalent transistor:
+//!
+//! * an OFF chain collapses via [`CollapseParams::collapse_chain`],
+//! * parallel OFF chains add their effective widths,
+//! * an OFF chain in parallel with an ON chain is *discarded* (the ON chain
+//!   dominates conduction — the paper's rule),
+//! * ON transistors in series are transparent ("considered part of the
+//!   internal nodes").
+//!
+//! The paper spells this out for chains of single transistors; the
+//! recursive extension to arbitrary series-parallel trees (needed for
+//! AOI/OAI cells) reduces every sub-network bottom-up to an equivalent
+//! width first, then collapses the enclosing chain — each step uses only
+//! the paper's two primitive rules.
+
+use crate::leakage::collapse::CollapseParams;
+use ptherm_netlist::cell::BindCellError;
+use ptherm_netlist::{BoundNetwork, BoundNode, Cell};
+use ptherm_tech::constants::thermal_voltage;
+use ptherm_tech::{Polarity, Technology};
+use std::fmt;
+
+/// Error produced by the gate-level model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LeakageError {
+    /// The network conducts — it has no OFF current to compute.
+    NetworkConducts,
+    /// Binding the cell to the vector failed (arity, complementarity).
+    Bind(BindCellError),
+}
+
+impl fmt::Display for LeakageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LeakageError::NetworkConducts => {
+                write!(f, "network conducts; no OFF current to estimate")
+            }
+            LeakageError::Bind(e) => write!(f, "cannot bind cell: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LeakageError {}
+
+impl From<BindCellError> for LeakageError {
+    fn from(e: BindCellError) -> Self {
+        LeakageError::Bind(e)
+    }
+}
+
+/// The paper's analytical gate-leakage estimator, bound to one technology.
+///
+/// # Example
+///
+/// ```
+/// use ptherm_core::leakage::GateLeakageModel;
+/// use ptherm_netlist::cells;
+/// use ptherm_tech::Technology;
+///
+/// # fn main() -> Result<(), ptherm_core::leakage::LeakageError> {
+/// let tech = Technology::cmos_120nm();
+/// let model = GateLeakageModel::new(&tech);
+/// let nand2 = cells::nand(2, &tech);
+/// // The all-low vector leaves a 2-deep OFF stack: lowest leakage state.
+/// let i00 = model.gate_off_current(&nand2, &[false, false], 300.0)?;
+/// let i10 = model.gate_off_current(&nand2, &[true, false], 300.0)?;
+/// assert!(i10 > i00);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct GateLeakageModel<'a> {
+    tech: &'a Technology,
+}
+
+impl<'a> GateLeakageModel<'a> {
+    /// Binds the model to a technology kit.
+    pub fn new(tech: &'a Technology) -> Self {
+        GateLeakageModel { tech }
+    }
+
+    /// The technology this model evaluates.
+    pub fn technology(&self) -> &Technology {
+        self.tech
+    }
+
+    /// Effective width of a bound network, or `None` when it conducts.
+    ///
+    /// This is the recursive series-parallel collapse described in the
+    /// module docs.
+    pub fn effective_width(&self, network: &BoundNetwork, temperature_k: f64) -> Option<f64> {
+        let params = CollapseParams::from_mos(self.tech.mos(network.polarity()), self.tech.vdd);
+        effective_width_node(network.root(), &params, temperature_k)
+    }
+
+    /// OFF current of an all-OFF nMOS stack (widths bottom → top) — the
+    /// exact configuration of the paper's Figs. 3 and 8.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty chain or non-positive widths (programming
+    /// errors, mirroring [`CollapseParams::collapse_chain`]).
+    pub fn stack_off_current(&self, widths: &[f64], temperature_k: f64) -> f64 {
+        let params = CollapseParams::from_mos(&self.tech.nmos, self.tech.vdd);
+        let w_eff = params.collapse_chain(widths, temperature_k);
+        self.equivalent_off_current(w_eff, Polarity::Nmos, temperature_k)
+    }
+
+    /// Eq. (13): the OFF current of the equivalent transistor of width
+    /// `w_eff` across the full rail.
+    pub fn equivalent_off_current(
+        &self,
+        w_eff: f64,
+        polarity: Polarity,
+        temperature_k: f64,
+    ) -> f64 {
+        let p = self.tech.mos(polarity);
+        let vt = thermal_voltage(temperature_k);
+        let vth0 = p.vt0 - p.k_t * (temperature_k - self.tech.t_ref);
+        (w_eff / p.l)
+            * p.i0
+            * (temperature_k / self.tech.t_ref).powi(2)
+            * (-vth0 / (p.n * vt)).exp()
+            * (1.0 - (-self.tech.vdd / vt).exp())
+    }
+
+    /// OFF current of a blocking bound network.
+    ///
+    /// # Errors
+    ///
+    /// [`LeakageError::NetworkConducts`] when the network has an all-ON
+    /// path.
+    pub fn network_off_current(
+        &self,
+        network: &BoundNetwork,
+        temperature_k: f64,
+    ) -> Result<f64, LeakageError> {
+        let w_eff = self
+            .effective_width(network, temperature_k)
+            .ok_or(LeakageError::NetworkConducts)?;
+        Ok(self.equivalent_off_current(w_eff, network.polarity(), temperature_k))
+    }
+
+    /// OFF current of a gate for one input vector (through its blocking
+    /// network).
+    ///
+    /// # Errors
+    ///
+    /// See [`LeakageError`].
+    pub fn gate_off_current(
+        &self,
+        cell: &Cell,
+        vector: &[bool],
+        temperature_k: f64,
+    ) -> Result<f64, LeakageError> {
+        let blocking = cell.bound_blocking(vector)?;
+        self.network_off_current(&blocking, temperature_k)
+    }
+
+    /// Static power of a gate at one vector: `P = I_OFF · V_DD`.
+    ///
+    /// # Errors
+    ///
+    /// See [`LeakageError`].
+    pub fn gate_static_power(
+        &self,
+        cell: &Cell,
+        vector: &[bool],
+        temperature_k: f64,
+    ) -> Result<f64, LeakageError> {
+        Ok(self.gate_off_current(cell, vector, temperature_k)? * self.tech.vdd)
+    }
+
+    /// Static power averaged over all `2^n` input vectors with equal
+    /// probability — the state-agnostic per-gate estimate used in
+    /// block-level roll-ups.
+    ///
+    /// # Errors
+    ///
+    /// See [`LeakageError`].
+    pub fn gate_average_static_power(
+        &self,
+        cell: &Cell,
+        temperature_k: f64,
+    ) -> Result<f64, LeakageError> {
+        let n = cell.inputs().len();
+        let mut acc = 0.0;
+        let count = 1u64 << n;
+        for bits in 0..count {
+            let v: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            acc += self.gate_static_power(cell, &v, temperature_k)?;
+        }
+        Ok(acc / count as f64)
+    }
+
+    /// Static power with per-input one-probabilities: each input `i` is 1
+    /// with probability `p1[i]` independently, and the vector-dependent
+    /// leakage is averaged under that distribution. This is the standard
+    /// signal-probability refinement over the uniform average (e.g. inputs
+    /// held low in standby make deep stacks far more likely).
+    ///
+    /// # Errors
+    ///
+    /// [`LeakageError::Bind`] when `p1.len()` differs from the cell arity
+    /// (reported as a wrong-arity bind error), plus the usual conditions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]`.
+    pub fn gate_static_power_weighted(
+        &self,
+        cell: &Cell,
+        p1: &[f64],
+        temperature_k: f64,
+    ) -> Result<f64, LeakageError> {
+        let n = cell.inputs().len();
+        if p1.len() != n {
+            return Err(LeakageError::Bind(BindCellError::WrongArity {
+                expected: n,
+                found: p1.len(),
+            }));
+        }
+        assert!(
+            p1.iter().all(|&p| (0.0..=1.0).contains(&p)),
+            "probabilities must be in [0, 1]"
+        );
+        let mut acc = 0.0;
+        for bits in 0..(1u64 << n) {
+            let v: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            let weight: f64 = v
+                .iter()
+                .zip(p1)
+                .map(|(&b, &p)| if b { p } else { 1.0 - p })
+                .product();
+            if weight == 0.0 {
+                continue;
+            }
+            acc += weight * self.gate_static_power(cell, &v, temperature_k)?;
+        }
+        Ok(acc)
+    }
+
+    /// Worst-case (maximum over vectors) static power of a gate.
+    ///
+    /// # Errors
+    ///
+    /// See [`LeakageError`].
+    pub fn gate_worst_static_power(
+        &self,
+        cell: &Cell,
+        temperature_k: f64,
+    ) -> Result<f64, LeakageError> {
+        let n = cell.inputs().len();
+        let mut worst: f64 = 0.0;
+        for bits in 0..(1u64 << n) {
+            let v: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            worst = worst.max(self.gate_static_power(cell, &v, temperature_k)?);
+        }
+        Ok(worst)
+    }
+}
+
+/// Recursive effective width; `None` = the sub-network conducts.
+fn effective_width_node(
+    node: &BoundNode,
+    params: &CollapseParams,
+    temperature_k: f64,
+) -> Option<f64> {
+    match node {
+        BoundNode::Device { width, gate_on } => {
+            if *gate_on {
+                None
+            } else {
+                Some(*width)
+            }
+        }
+        BoundNode::Parallel(children) => {
+            let mut sum = 0.0;
+            for child in children {
+                match effective_width_node(child, params, temperature_k) {
+                    // An ON branch short-circuits the whole parallel group:
+                    // OFF siblings are discarded (paper §2.1.1).
+                    None => return None,
+                    Some(w) => sum += w,
+                }
+            }
+            Some(sum)
+        }
+        BoundNode::Series(children) => {
+            // ON sub-networks are transparent; the remaining OFF
+            // equivalents form a chain ordered bottom -> top.
+            let chain: Vec<f64> = children
+                .iter()
+                .filter_map(|c| effective_width_node(c, params, temperature_k))
+                .collect();
+            if chain.is_empty() {
+                return None;
+            }
+            Some(params.collapse_chain(&chain, temperature_k))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptherm_netlist::{cells, Network};
+
+    fn tech() -> Technology {
+        Technology::cmos_120nm()
+    }
+
+    #[test]
+    fn stack_current_decreases_with_depth() {
+        let t = tech();
+        let m = GateLeakageModel::new(&t);
+        let mut last = f64::INFINITY;
+        for n in 1..=4 {
+            let i = m.stack_off_current(&vec![1e-6; n], 300.0);
+            assert!(i < last);
+            last = i;
+        }
+    }
+
+    #[test]
+    fn nand_all_low_is_min_leakage_vector() {
+        let t = tech();
+        let m = GateLeakageModel::new(&t);
+        let g = cells::nand(3, &t);
+        let mut currents = Vec::new();
+        for bits in 0..8u32 {
+            let v: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            currents.push((v.clone(), m.gate_off_current(&g, &v, 300.0).unwrap()));
+        }
+        let (min_v, _) = currents
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .unwrap()
+            .clone();
+        assert_eq!(min_v, vec![false, false, false]);
+    }
+
+    #[test]
+    fn parallel_off_chains_add_widths() {
+        let t = tech();
+        let m = GateLeakageModel::new(&t);
+        let par = Network::Parallel(vec![Network::device(1e-6, 0), Network::device(2e-6, 1)]);
+        let bound = BoundNetwork::pulldown(&par, &[false, false]);
+        let w = m.effective_width(&bound, 300.0).unwrap();
+        assert!((w - 3e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn on_branch_discards_parallel_off_chain() {
+        let t = tech();
+        let m = GateLeakageModel::new(&t);
+        let par = Network::Parallel(vec![Network::device(1e-6, 0), Network::device(2e-6, 1)]);
+        let bound = BoundNetwork::pulldown(&par, &[true, false]);
+        assert_eq!(m.effective_width(&bound, 300.0), None);
+    }
+
+    #[test]
+    fn on_series_devices_are_transparent() {
+        let t = tech();
+        let m = GateLeakageModel::new(&t);
+        let series = Network::Series(vec![
+            Network::device(1e-6, 0),
+            Network::device(1e-6, 1),
+            Network::device(1e-6, 2),
+        ]);
+        // Middle device ON: effective 2-stack.
+        let mixed = BoundNetwork::pulldown(&series, &[false, true, false]);
+        let all_off = BoundNetwork::pulldown(&series, &[false, false, false]);
+        let w_mixed = m.effective_width(&mixed, 300.0).unwrap();
+        let w_all = m.effective_width(&all_off, 300.0).unwrap();
+        assert!(w_mixed > w_all, "2-stack must out-leak 3-stack");
+        // And exactly equals a plain 2-chain collapse.
+        let params = CollapseParams::from_mos(&t.nmos, t.vdd);
+        let w2 = params.collapse_chain(&[1e-6, 1e-6], 300.0);
+        assert!((w_mixed - w2).abs() / w2 < 1e-12);
+    }
+
+    #[test]
+    fn conducting_network_is_an_error() {
+        let t = tech();
+        let m = GateLeakageModel::new(&t);
+        let g = cells::nand(2, &t);
+        let (down, _) = g.bind_both(&[true, true]).unwrap();
+        assert!(matches!(
+            m.network_off_current(&down, 300.0),
+            Err(LeakageError::NetworkConducts)
+        ));
+    }
+
+    #[test]
+    fn leakage_grows_exponentially_with_temperature() {
+        let t = tech();
+        let m = GateLeakageModel::new(&t);
+        let g = cells::nand(2, &t);
+        let cold = m.gate_off_current(&g, &[false, false], 298.15).unwrap();
+        let hot = m.gate_off_current(&g, &[false, false], 398.15).unwrap();
+        assert!(hot / cold > 10.0, "ratio = {}", hot / cold);
+    }
+
+    #[test]
+    fn average_and_worst_bracket_each_vector() {
+        let t = tech();
+        let m = GateLeakageModel::new(&t);
+        let g = cells::aoi21(&t);
+        let avg = m.gate_average_static_power(&g, 300.0).unwrap();
+        let worst = m.gate_worst_static_power(&g, 300.0).unwrap();
+        assert!(worst >= avg);
+        for bits in 0..8u32 {
+            let v: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let p = m.gate_static_power(&g, &v, 300.0).unwrap();
+            assert!(p <= worst * (1.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn pullup_blocking_network_uses_pmos() {
+        let t = tech();
+        let m = GateLeakageModel::new(&t);
+        let g = cells::nor(2, &t);
+        // Output low (any input high): pull-up (pMOS series stack) blocks.
+        let i = m.gate_off_current(&g, &[true, true], 300.0).unwrap();
+        assert!(i > 0.0);
+        // NOR at 11 has a 2-deep pMOS OFF stack; at 10 only one pMOS is
+        // OFF (the other is ON and transparent)... in the series pull-up
+        // both devices are in series, so 10 leaves a 1-deep stack:
+        let i10 = m.gate_off_current(&g, &[true, false], 300.0).unwrap();
+        assert!(i10 > i, "single OFF device must out-leak the 2-stack");
+    }
+
+    #[test]
+    fn wrong_arity_is_reported() {
+        let t = tech();
+        let m = GateLeakageModel::new(&t);
+        let g = cells::nand(2, &t);
+        assert!(matches!(
+            m.gate_off_current(&g, &[true], 300.0),
+            Err(LeakageError::Bind(_))
+        ));
+    }
+
+    #[test]
+    fn weighted_power_interpolates_between_vectors() {
+        let t = tech();
+        let m = GateLeakageModel::new(&t);
+        let g = cells::nand(2, &t);
+        // Degenerate probabilities reproduce single vectors.
+        let p00 = m
+            .gate_static_power_weighted(&g, &[0.0, 0.0], 300.0)
+            .unwrap();
+        let exact00 = m.gate_static_power(&g, &[false, false], 300.0).unwrap();
+        assert!((p00 - exact00).abs() / exact00 < 1e-12);
+        // Uniform probabilities reproduce the uniform average.
+        let half = m
+            .gate_static_power_weighted(&g, &[0.5, 0.5], 300.0)
+            .unwrap();
+        let avg = m.gate_average_static_power(&g, 300.0).unwrap();
+        assert!((half - avg).abs() / avg < 1e-12);
+        // Inputs mostly low bias toward the stacked (low-leakage) state.
+        let low = m
+            .gate_static_power_weighted(&g, &[0.05, 0.05], 300.0)
+            .unwrap();
+        assert!(low < avg);
+    }
+
+    #[test]
+    fn weighted_power_validates_inputs() {
+        let t = tech();
+        let m = GateLeakageModel::new(&t);
+        let g = cells::nand(2, &t);
+        assert!(matches!(
+            m.gate_static_power_weighted(&g, &[0.5], 300.0),
+            Err(LeakageError::Bind(_))
+        ));
+        let panics = std::panic::catch_unwind(|| {
+            let _ = m.gate_static_power_weighted(&g, &[0.5, 1.5], 300.0);
+        });
+        assert!(panics.is_err(), "out-of-range probability must panic");
+    }
+}

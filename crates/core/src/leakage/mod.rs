@@ -1,0 +1,24 @@
+//! §2 of the paper: compact analytical static-power estimation.
+//!
+//! * [`collapse`] — the two-transistor collapsing step (Eqs. 3–10) and the
+//!   full-chain recursion (Eqs. 11–12),
+//! * [`gate`] — [`GateLeakageModel`]: per-gate OFF current (Eq. 13) for any
+//!   input vector, generalized to series-parallel networks,
+//! * [`baselines`] — reconstructions of the prior models the paper compares
+//!   against in Fig. 8,
+//! * [`circuit`] — block-level static power roll-ups over gate-count
+//!   circuits,
+//! * [`sensitivity`] — closed-form temperature sensitivity and the
+//!   thermal-runaway stability margin (extension),
+//! * [`standby`] — minimum-leakage input-vector search, the classic
+//!   optimization the model enables (extension).
+
+pub mod baselines;
+pub mod circuit;
+pub mod collapse;
+pub mod gate;
+pub mod sensitivity;
+pub mod standby;
+
+pub use collapse::CollapseParams;
+pub use gate::{GateLeakageModel, LeakageError};

@@ -1,0 +1,142 @@
+//! Analytical temperature sensitivity of the leakage model — and the
+//! closed-form thermal-runaway margin it enables.
+//!
+//! *Extension beyond the paper.* The paper stops at solving the coupled
+//! fixed point; a CAD tool also needs to know **how stable** that point is.
+//! Because Eq. (13) is closed-form, its logarithmic temperature derivative
+//! is too:
+//!
+//! ```text
+//! d ln I / dT = 2/T + K_T/(n·V_T) + (V_T0 − K_T·(T − T_ref))/(n·V_T·T)
+//! ```
+//!
+//! (the three terms: the `(T/T_ref)²` prefactor, the threshold shift, and
+//! the thermal-voltage growth in the exponent — the small `V_DD/V_T`
+//! factor's derivative is negligible and omitted). The damped Picard loop
+//! of [`crate::cosim`] converges iff the loop gain
+//! `g = R_th,eff · dP/dT < 1`; `runaway_margin` evaluates `1 − g` at an
+//! operating point, giving designers the classic electro-thermal stability
+//! criterion without any numerics.
+
+use ptherm_tech::constants::thermal_voltage;
+use ptherm_tech::MosParams;
+
+/// Logarithmic temperature sensitivity `d ln I_OFF / dT` (1/K) of the
+/// equivalent-transistor current (Eq. 13) at temperature `t_k`.
+pub fn leakage_log_sensitivity(params: &MosParams, t_ref: f64, t_k: f64) -> f64 {
+    let vt = thermal_voltage(t_k);
+    let vth = params.vt0 - params.k_t * (t_k - t_ref);
+    2.0 / t_k + params.k_t / (params.n * vt) + vth / (params.n * vt * t_k)
+}
+
+/// Temperature rise that multiplies leakage by `e` (the "e-folding"
+/// temperature), K. A compact way to express how violent the exponential
+/// is at an operating point.
+pub fn leakage_efolding_temperature(params: &MosParams, t_ref: f64, t_k: f64) -> f64 {
+    1.0 / leakage_log_sensitivity(params, t_ref, t_k)
+}
+
+/// Stability margin `1 − R_th·dP/dT` of an electro-thermal operating point.
+///
+/// * `rth_eff` — effective thermal resistance seen by the block, K/W
+///   (rise per watt at its own centre; obtainable from the thermal model
+///   by differencing),
+/// * `static_power` — leakage power at the operating point, W,
+/// * `sensitivity` — `d ln P_static / dT` there, 1/K (static power shares
+///   the current's sensitivity since `P = I·V_DD`).
+///
+/// Margin > 0: stable fixed point (Picard converges); margin ≤ 0: thermal
+/// runaway — matching [`crate::cosim::CosimError::ThermalRunaway`].
+pub fn runaway_margin(rth_eff: f64, static_power: f64, sensitivity: f64) -> f64 {
+    1.0 - rth_eff * static_power * sensitivity
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::leakage::GateLeakageModel;
+    use ptherm_tech::{Polarity, Technology};
+
+    #[test]
+    fn analytic_sensitivity_matches_finite_differences() {
+        let tech = Technology::cmos_120nm();
+        let model = GateLeakageModel::new(&tech);
+        for t in [280.0, 300.0, 350.0, 400.0] {
+            let h = 0.01;
+            let ip = model.equivalent_off_current(1e-6, Polarity::Nmos, t + h);
+            let im = model.equivalent_off_current(1e-6, Polarity::Nmos, t - h);
+            let fd = (ip.ln() - im.ln()) / (2.0 * h);
+            let analytic = leakage_log_sensitivity(&tech.nmos, tech.t_ref, t);
+            assert!(
+                (analytic - fd).abs() / fd < 0.02,
+                "T = {t}: analytic {analytic:.5} vs fd {fd:.5}"
+            );
+        }
+    }
+
+    #[test]
+    fn sensitivity_decreases_with_temperature() {
+        // The exponential softens as V_T grows and V_TH shrinks: hot
+        // devices are (relatively) less temperature-sensitive.
+        let tech = Technology::cmos_120nm();
+        let cold = leakage_log_sensitivity(&tech.nmos, tech.t_ref, 280.0);
+        let hot = leakage_log_sensitivity(&tech.nmos, tech.t_ref, 400.0);
+        assert!(cold > hot);
+        // Typical magnitude: leakage doubles every 8-15 K near room temp.
+        let doubling = std::f64::consts::LN_2 / cold;
+        assert!(
+            (5.0..25.0).contains(&doubling),
+            "doubling every {doubling:.1} K"
+        );
+    }
+
+    #[test]
+    fn efolding_temperature_is_inverse_sensitivity() {
+        let tech = Technology::cmos_120nm();
+        let s = leakage_log_sensitivity(&tech.nmos, tech.t_ref, 320.0);
+        let e = leakage_efolding_temperature(&tech.nmos, tech.t_ref, 320.0);
+        assert!((s * e - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn margin_sign_predicts_cosim_outcome() {
+        use crate::cosim::ElectroThermalSolver;
+        use ptherm_floorplan::Floorplan;
+
+        let plan = Floorplan::paper_three_blocks();
+        let solver = ElectroThermalSolver::new(plan.clone());
+
+        // Effective self-resistance of block 0 by differencing the model
+        // (other blocks zeroed so only the self-term is measured).
+        let mut warm = plan.clone();
+        warm.set_power(0, 1.0);
+        warm.set_power(1, 0.0);
+        warm.set_power(2, 0.0);
+        let m = crate::thermal::ThermalModel::with_image_orders(&warm, 2, 9);
+        let rth_eff = m.temperature_rise(plan.blocks()[0].cx, plan.blocks()[0].cy);
+        assert!(rth_eff > 1.0 && rth_eff < 50.0, "rth_eff = {rth_eff}");
+
+        // Synthetic leakage: P = p0·2^((T-300)/d), sensitivity ln2/d. The
+        // margin must be evaluated at the OPERATING point (power grows as
+        // the block heats), so the test cases are chosen far from the
+        // boundary where the cold-power margin is already decisive.
+        let run = |p0: f64, d: f64| solver.solve(move |_, t| p0 * ((t - 300.0) / d).exp2());
+        for (p0, d, expect_stable) in [(0.05f64, 20.0f64, true), (1.0, 4.0, false)] {
+            let sens = std::f64::consts::LN_2 / d;
+            let margin = runaway_margin(rth_eff, p0, sens);
+            let converged = run(p0, d).is_ok();
+            assert_eq!(
+                converged, expect_stable,
+                "p0 {p0}, d {d}: margin {margin:.2}"
+            );
+            if expect_stable {
+                assert!(
+                    margin > 0.5,
+                    "stable case should show a wide margin: {margin:.2}"
+                );
+            } else {
+                assert!(margin < 0.5, "runaway case margin: {margin:.2}");
+            }
+        }
+    }
+}

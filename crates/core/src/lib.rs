@@ -1,0 +1,49 @@
+//! # ptherm-core — the DATE'05 fast concurrent power-thermal model
+//!
+//! From-scratch implementation of Rosselló, Canals, Bota, Keshavarzi &
+//! Segura, *"A Fast Concurrent Power-Thermal Model for Sub-100nm Digital
+//! ICs"*, DATE 2005. Everything in this crate is **closed-form** — that is
+//! the paper's thesis: replace SPICE + numerical PDE solves with analytical
+//! expressions so full-chip electro-thermal estimation fits in a design
+//! loop.
+//!
+//! * [`leakage`] — §2: the subthreshold leakage of CMOS gates via the
+//!   *transistor-stack collapsing* technique (Eqs. 3–13), generalized to
+//!   series-parallel networks, plus the reconstructed prior-work baselines
+//!   it is compared against (Chen'98, Gu'96, no-stack-effect),
+//! * [`thermal`] — §3: closed-form thermal profiles of rectangular heat
+//!   sources (Eqs. 16–20), superposition over a floorplan (Eq. 21) and the
+//!   method of images for the die boundary conditions,
+//! * [`cosim`] — the "concurrent" coupling: leakage depends exponentially
+//!   on temperature and temperature depends on dissipated power, so the two
+//!   closed forms are iterated to a damped fixed point (with thermal-runaway
+//!   detection when no fixed point exists).
+//!
+//! Validation lives elsewhere by design: `ptherm-spice` solves the same
+//! device equations exactly, `ptherm-thermal-num` integrates the same heat
+//! equation numerically, and the workspace's experiment binaries reproduce
+//! the paper's Figs. 1–10 against those references.
+//!
+//! # Example: the concurrent estimate in five lines
+//!
+//! ```
+//! use ptherm_core::cosim::ElectroThermalSolver;
+//! use ptherm_floorplan::Floorplan;
+//!
+//! # fn main() -> Result<(), ptherm_core::cosim::CosimError> {
+//! let solver = ElectroThermalSolver::new(Floorplan::paper_three_blocks());
+//! // Block power = 0.2 W of dynamic power plus leakage that doubles every
+//! // 25 kelvin (a typical sub-100nm law).
+//! let result = solver.solve(|_, t| 0.2 + 0.05 * ((t - 300.0) / 25.0).exp2())?;
+//! assert!(result.converged);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cosim;
+pub mod leakage;
+pub mod thermal;
+
+pub use cosim::{CosimError, CosimResult, ElectroThermalSolver};
+pub use leakage::GateLeakageModel;
+pub use thermal::ThermalModel;

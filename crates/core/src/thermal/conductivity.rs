@@ -1,0 +1,101 @@
+//! Temperature-dependent conductivity — an *extension* beyond the paper.
+//!
+//! The paper treats `k_Si` as a constant (Eqs. 16–19). Real silicon loses
+//! ~30 % of its conductivity between 300 K and 400 K (`k ∝ T^{-4/3}`),
+//! which matters exactly in the regime the paper targets: hot, leaky
+//! sub-100 nm parts. Because the closed forms are linear in `1/k`, a
+//! self-consistent conductivity needs only a scalar outer iteration:
+//! evaluate the profile, update `k` at the resulting mean block
+//! temperature, repeat. Two to three rounds suffice (the map is strongly
+//! contractive — `k` varies slowly compared to the exponential leakage).
+
+use crate::thermal::ThermalModel;
+use ptherm_floorplan::Floorplan;
+use ptherm_tech::constants::silicon_thermal_conductivity;
+
+/// Block-centre temperatures with `k = k(T)` solved self-consistently.
+///
+/// Returns the temperatures and the converged conductivity. The floorplan's
+/// stored conductivity is used only as the starting guess.
+///
+/// # Panics
+///
+/// Panics if `max_iterations == 0`.
+pub fn block_temperatures_with_kt(
+    floorplan: &Floorplan,
+    lateral_order: usize,
+    z_order: usize,
+    max_iterations: usize,
+) -> (Vec<f64>, f64) {
+    assert!(max_iterations > 0, "need at least one iteration");
+    let mut geometry = *floorplan.geometry();
+    let blocks = floorplan.blocks().to_vec();
+    let mut temps = vec![geometry.sink_temperature; blocks.len()];
+    for _ in 0..max_iterations {
+        let t_mean = temps.iter().sum::<f64>() / temps.len().max(1) as f64;
+        geometry.conductivity = silicon_thermal_conductivity(t_mean);
+        let plan = Floorplan::new(geometry, blocks.clone())
+            .expect("geometry change cannot invalidate block placement");
+        let model = ThermalModel::with_image_orders(&plan, lateral_order, z_order);
+        let fresh = model.block_center_temperatures();
+        let delta = temps
+            .iter()
+            .zip(&fresh)
+            .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()));
+        temps = fresh;
+        if delta < 1e-6 {
+            break;
+        }
+    }
+    (temps, geometry.conductivity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptherm_floorplan::{Block, ChipGeometry};
+
+    fn hot_plan(sink: f64, power: f64) -> Floorplan {
+        let mut g = ChipGeometry::paper_1mm();
+        g.sink_temperature = sink;
+        Floorplan::new(
+            g,
+            vec![Block::new("b", 0.5e-3, 0.5e-3, 0.4e-3, 0.4e-3, power)],
+        )
+        .expect("valid plan")
+    }
+
+    #[test]
+    fn cold_chip_matches_constant_k() {
+        // At the 300 K reference with negligible power, k(T) = k(300) and
+        // the result equals the constant-k model.
+        let plan = hot_plan(300.0, 1e-3);
+        let (temps, k) = block_temperatures_with_kt(&plan, 2, 9, 5);
+        let constant = ThermalModel::with_image_orders(&plan, 2, 9).block_center_temperatures();
+        assert!((k - 148.0).abs() < 0.5, "k = {k}");
+        assert!((temps[0] - constant[0]).abs() < 0.01);
+    }
+
+    #[test]
+    fn hot_chip_runs_hotter_with_kt() {
+        // 400 K sink: conductivity drops ~30%, so rises grow accordingly.
+        let plan = hot_plan(400.0, 2.0);
+        let (temps, k) = block_temperatures_with_kt(&plan, 2, 9, 6);
+        let constant = ThermalModel::with_image_orders(&plan, 2, 9).block_center_temperatures();
+        assert!(k < 120.0, "k = {k}");
+        let rise_kt = temps[0] - 400.0;
+        let rise_const = constant[0] - 400.0;
+        assert!(
+            rise_kt > 1.2 * rise_const,
+            "k(T) rise {rise_kt:.2} vs constant {rise_const:.2}"
+        );
+    }
+
+    #[test]
+    fn iteration_converges_quickly() {
+        let plan = hot_plan(350.0, 1.0);
+        let (two, _) = block_temperatures_with_kt(&plan, 2, 9, 2);
+        let (many, _) = block_temperatures_with_kt(&plan, 2, 9, 10);
+        assert!((two[0] - many[0]).abs() < 0.05, "{} vs {}", two[0], many[0]);
+    }
+}

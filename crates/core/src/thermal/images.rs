@@ -1,0 +1,204 @@
+//! Method of images for the die boundary conditions (§3.3, Fig. 6).
+//!
+//! Two identical sources mirrored across a plane force zero normal flux on
+//! that plane; a source and its **negated** mirror force zero temperature.
+//! The paper uses both tricks:
+//!
+//! * **adiabatic sides** — every block is reflected across the four die
+//!   edges ("several images for each side"); reflections compose, giving
+//!   the lattice `x' = 2·m·W ± x`, `y' = 2·n·L ± y`,
+//! * **isothermal bottom** — every (reflected) block gets a `−P` image
+//!   mirrored through the bottom plane, i.e. a sink at depth
+//!   `2·thickness` below the surface.
+//!
+//! `lateral_order` bounds `|m|, |n|`; order 1–2 is already accurate to a
+//! few percent against the finite-difference reference (the `fig6`/`fig7`
+//! experiments sweep it as an ablation).
+
+/// One image source: position of its centre and the sign of its power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImageSource {
+    /// Image centre x, die coordinates, m.
+    pub cx: f64,
+    /// Image centre y, die coordinates, m.
+    pub cy: f64,
+    /// +1 for heat sources, −1 for the bottom-mirror sinks.
+    pub sign: f64,
+    /// Depth of the image plane below the surface (0 for lateral images,
+    /// `2·thickness` for bottom mirrors), m.
+    pub depth: f64,
+}
+
+/// Expands a block centre into its lateral images (including the original)
+/// for a `die_w × die_l` die.
+///
+/// With `order = k`, each axis contributes reflections `m ∈ [−k, k]` of
+/// both parities, giving `(2·(2k+1))²` images per block — `k = 0` keeps
+/// just the two in-place parities collapsing to the original source.
+pub fn lateral_images(cx: f64, cy: f64, die_w: f64, die_l: f64, order: usize) -> Vec<(f64, f64)> {
+    let k = order as i64;
+    let mut out = Vec::with_capacity(((2 * k as usize + 1) * 2).pow(2));
+    for m in -k..=k {
+        for &px in &[cx, -cx] {
+            let x = 2.0 * m as f64 * die_w + px;
+            for n in -k..=k {
+                for &py in &[cy, -cy] {
+                    let y = 2.0 * n as f64 * die_l + py;
+                    out.push((x, y));
+                }
+            }
+        }
+    }
+    // The original (m = n = 0, +x, +y) is included; remove the duplicate
+    // that appears when the block sits exactly on a mirror plane.
+    out.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).expect("finite"));
+    out.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-15 && (a.1 - b.1).abs() < 1e-15);
+    out
+}
+
+/// Full image expansion of one block: lateral lattice times the depth
+/// series.
+///
+/// `z_order` controls the isothermal-bottom treatment:
+///
+/// * **`z_order = 0`** — no bottom treatment (semi-infinite substrate),
+/// * **`z_order = 1`** — **the paper's method**: one `−P` image mirrored
+///   through the bottom plane (zeroes the bottom-plane temperature
+///   exactly; the mirror's flux leaks through the adiabatic top),
+/// * **`z_order ≥ 3` (odd)** — deeper truncations of the exact finite-slab
+///   Green's function. Reflecting alternately across the Dirichlet bottom
+///   and the Neumann top gives images of strength `2P·(−1)^k` at depths
+///   `2k·thickness` (the factor 2 merges each image with its own top-plane
+///   reflection; validated against the FDM reference). The truncated tail
+///   is handled trapezoid-style — the last term keeps half weight — which
+///   (a) leaves zero net monopole per lateral site, so the 2-D image
+///   lattice converges, and (b) reduces **exactly** to the paper's single
+///   `−P` mirror at `z_order = 1`:
+///
+/// ```text
+/// T(r) = K(r, 0) + Σ_{k=1}^{z−1} 2·(−1)^k·K(r, 2k·t) + (−1)^z·K(r, 2z·t)
+/// ```
+///
+/// Even non-zero orders are rounded up to odd (a truncation ending on a
+/// positive full-weight term would diverge laterally).
+pub fn expand_images(
+    cx: f64,
+    cy: f64,
+    die_w: f64,
+    die_l: f64,
+    thickness: f64,
+    lateral_order: usize,
+    z_order: usize,
+) -> Vec<ImageSource> {
+    let z_order = if z_order > 0 && z_order % 2 == 0 {
+        z_order + 1
+    } else {
+        z_order
+    };
+    let lateral = lateral_images(cx, cy, die_w, die_l, lateral_order);
+    let mut out = Vec::with_capacity(lateral.len() * (z_order + 1));
+    for &(x, y) in &lateral {
+        for k in 0..=z_order {
+            let magnitude = if k == 0 || k == z_order { 1.0 } else { 2.0 };
+            out.push(ImageSource {
+                cx: x,
+                cy: y,
+                sign: magnitude * if k % 2 == 0 { 1.0 } else { -1.0 },
+                depth: 2.0 * k as f64 * thickness,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_zero_keeps_parities_only() {
+        let imgs = lateral_images(0.3e-3, 0.7e-3, 1e-3, 1e-3, 0);
+        // (±x) × (±y) = 4 distinct images when the block is off-centre.
+        assert_eq!(imgs.len(), 4);
+        assert!(imgs.contains(&(0.3e-3, 0.7e-3)));
+        assert!(imgs.contains(&(-0.3e-3, 0.7e-3)));
+    }
+
+    #[test]
+    fn image_count_grows_with_order() {
+        let i1 = lateral_images(0.3e-3, 0.7e-3, 1e-3, 1e-3, 1).len();
+        let i2 = lateral_images(0.3e-3, 0.7e-3, 1e-3, 1e-3, 2).len();
+        assert_eq!(i1, 36);
+        assert_eq!(i2, 100);
+    }
+
+    #[test]
+    fn centered_block_on_mirror_plane_dedupes() {
+        // A block at the die centre: ±x images coincide pairwise after the
+        // lattice shift? They do not (centre is not on an edge); but a
+        // block AT x = 0 does.
+        let imgs = lateral_images(0.0, 0.4e-3, 1e-3, 1e-3, 0);
+        assert_eq!(imgs.len(), 2);
+    }
+
+    #[test]
+    fn mirror_symmetry_across_the_edge() {
+        // For every image at x there is one at -x (flux through x = 0
+        // cancels by symmetry).
+        let imgs = lateral_images(0.3e-3, 0.5e-3, 1e-3, 1e-3, 2);
+        for &(x, y) in &imgs {
+            assert!(
+                imgs.iter()
+                    .any(|&(x2, y2)| (x2 + x).abs() < 1e-15 && (y2 - y).abs() < 1e-15),
+                "missing mirror of ({x}, {y})"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_mode_adds_one_negative_mirror() {
+        let imgs = expand_images(0.3e-3, 0.5e-3, 1e-3, 1e-3, 0.3e-3, 1, 1);
+        let positives = imgs.iter().filter(|i| i.sign > 0.0).count();
+        let negatives = imgs.iter().filter(|i| i.sign < 0.0).count();
+        assert_eq!(positives, negatives);
+        for i in imgs.iter().filter(|i| i.sign < 0.0) {
+            assert_eq!(i.depth, 0.6e-3);
+        }
+    }
+
+    #[test]
+    fn no_bottom_mirror_option() {
+        let imgs = expand_images(0.3e-3, 0.5e-3, 1e-3, 1e-3, 0.3e-3, 1, 0);
+        assert!(imgs.iter().all(|i| i.sign > 0.0 && i.depth == 0.0));
+    }
+
+    #[test]
+    fn depth_series_alternates_and_deepens() {
+        // Order 4 rounds up to 5; lateral order 0 with an off-axis block
+        // gives four lateral parities, six depth terms each.
+        let imgs = expand_images(0.5e-3, 0.5e-3, 1e-3, 1e-3, 0.3e-3, 0, 4);
+        assert_eq!(imgs.len(), 24);
+        for (i, img) in imgs.iter().enumerate() {
+            let k = i % 6;
+            // Interior terms carry double weight; the endpoints (k = 0 and
+            // the trapezoid-weighted last term) carry single weight.
+            let magnitude = if k == 0 || k == 5 { 1.0 } else { 2.0 };
+            let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+            assert_eq!(img.sign, magnitude * sign, "term {k}");
+            assert!((img.depth - 2.0 * k as f64 * 0.3e-3).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn depth_series_has_zero_net_monopole() {
+        // The signed weights of the depth series must sum to zero for any
+        // order, or the lateral lattice diverges.
+        for z in [1usize, 3, 5, 9, 4] {
+            let imgs = expand_images(0.2e-3, 0.3e-3, 1e-3, 1e-3, 0.3e-3, 0, z);
+            // Group by lateral site: all sites share the same depth column,
+            // so the total must vanish.
+            let net: f64 = imgs.iter().map(|i| i.sign).sum();
+            assert!(net.abs() < 1e-12, "z = {z}: net {net}");
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! §3 of the paper: fast analytical thermal-profile estimation.
+//!
+//! * [`rect`] — the closed forms: point source (Eq. 16), exact centre
+//!   temperature of a rectangle (Eq. 18), finite-line far field (Eq. 19)
+//!   and their `min` combination (Eq. 20),
+//! * [`images`] — the method of images enforcing adiabatic die sides and
+//!   the isothermal bottom (Figs. 6–7),
+//! * [`profile`] — [`ThermalModel`]: superposition over a floorplan
+//!   (Eq. 21) with images, surface maps and cross-sections,
+//! * [`resistance`] — self-heating thermal resistance from Eq. 18
+//!   (the model line of Fig. 10),
+//! * [`conductivity`] — self-consistent `k(T)` iteration (extension).
+
+pub mod conductivity;
+pub mod images;
+pub mod profile;
+pub mod rect;
+pub mod resistance;
+
+pub use profile::ThermalModel;

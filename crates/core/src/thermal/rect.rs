@@ -1,0 +1,196 @@
+//! Closed-form temperature rises: Eqs. (16), (18), (19) and (20).
+//!
+//! All functions return the temperature **rise** (kelvin) at a surface
+//! field point caused by one rectangular source dissipating `power` watts
+//! on a semi-infinite substrate with adiabatic top (the half-space Green's
+//! function `1/(2πkr)`). Boundary conditions of a finite die are handled
+//! one level up by the method of images.
+//!
+//! Geometry: source centred at the origin, `w` along x, `l` along y; field
+//! point `(x, y)` relative to the source centre, optionally at depth `z`
+//! (bottom-mirror images evaluate at `z = 2·thickness`).
+
+/// Eq. (16): ideal point source, `T = P/(2πk·r)`.
+///
+/// Returns infinity at `r = 0` (the paper caps it with Eq. 18's value via
+/// Eq. 20).
+pub fn point_source_rise(power: f64, k: f64, r: f64) -> f64 {
+    power / (2.0 * std::f64::consts::PI * k * r)
+}
+
+/// Eq. (18): exact temperature at the **centre** of a uniformly
+/// dissipating `w × l` rectangle:
+///
+/// ```text
+/// T0 = P/(2πk·w·l) · [ l·ln((c+w)/(c−w)) + w·ln((c+l)/(c−l)) ],  c = √(w²+l²)
+/// ```
+///
+/// # Panics
+///
+/// Panics if `w`, `l` or `k` is not strictly positive.
+pub fn center_rise(power: f64, k: f64, w: f64, l: f64) -> f64 {
+    assert!(w > 0.0 && l > 0.0 && k > 0.0, "w, l, k must be positive");
+    let c = (w * w + l * l).sqrt();
+    power / (2.0 * std::f64::consts::PI * k * w * l)
+        * (l * ((c + w) / (c - w)).ln() + w * ((c + l) / (c - l)).ln())
+}
+
+/// Eq. (19): far-field of the rectangle treated as a finite **line** source
+/// along its longer axis:
+///
+/// ```text
+/// T = P/(2πk·s) · ln[ (u + s/2 + r₊) / (u − s/2 + r₋) ]
+/// r± = √((u ± s/2)² + v² + z²)
+/// ```
+///
+/// where `s = max(w, l)` is the line length, `u` the field coordinate along
+/// the line and `v` across it. Exact for a true line source; diverges as
+/// the field point approaches the line (Eq. 20 caps it with Eq. 18).
+///
+/// # Panics
+///
+/// Panics if `w`, `l` or `k` is not strictly positive.
+pub fn line_far_field_rise(power: f64, k: f64, w: f64, l: f64, x: f64, y: f64, z: f64) -> f64 {
+    assert!(w > 0.0 && l > 0.0 && k > 0.0, "w, l, k must be positive");
+    // Orient along the longer side (the paper assumes W > L and notes the
+    // result also holds for W = L).
+    let (s, u, v) = if w >= l { (w, x, y) } else { (l, y, x) };
+    // The log form is symmetric in u but numerically degenerate (0/0) on
+    // the negative axis; evaluate on the positive side.
+    let u = u.abs();
+    let half = s / 2.0;
+    let r_plus = ((u + half) * (u + half) + v * v + z * z).sqrt();
+    let r_minus = ((u - half) * (u - half) + v * v + z * z).sqrt();
+    let denom = u - half + r_minus;
+    if denom <= 0.0 {
+        // On the line itself (v = z = 0, |u| < s/2): the line field
+        // diverges; report infinity so the Eq. 20 min() picks Eq. 18.
+        return f64::INFINITY;
+    }
+    power / (2.0 * std::f64::consts::PI * k * s) * ((u + half + r_plus) / denom).ln()
+}
+
+/// Eq. (20): the paper's combined estimate
+/// `T(x, y) = min{ T0, T_line(x, y) }` — the line far-field capped by the
+/// exact centre temperature near/on the source.
+pub fn rect_rise(power: f64, k: f64, w: f64, l: f64, x: f64, y: f64) -> f64 {
+    center_rise(power, k, w, l).min(line_far_field_rise(power, k, w, l, x, y, 0.0))
+}
+
+/// Depth-offset variant of Eq. (20) used for bottom-mirror images: the
+/// field point sits `z` above/below the source plane.
+pub fn rect_rise_depth(power: f64, k: f64, w: f64, l: f64, x: f64, y: f64, z: f64) -> f64 {
+    if z == 0.0 {
+        return rect_rise(power, k, w, l, x, y);
+    }
+    // The centre cap still applies (an image can never contribute more
+    // than its on-source peak).
+    center_rise(power, k, w, l).min(line_far_field_rise(power, k, w, l, x, y, z))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const K: f64 = 148.0;
+
+    #[test]
+    fn center_rise_matches_paper_example_scale() {
+        // Fig. 5: W = 1 um, L = 0.1 um, P = 10 mW -> tens of kelvin peak.
+        let t0 = center_rise(10e-3, K, 1e-6, 0.1e-6);
+        assert!(t0 > 10.0 && t0 < 200.0, "T0 = {t0}");
+    }
+
+    #[test]
+    fn line_field_reduces_to_point_source_far_away() {
+        let (w, l, p) = (1e-6, 0.1e-6, 10e-3);
+        let r = 100e-6;
+        let t = line_far_field_rise(p, K, w, l, 0.0, r, 0.0);
+        let point = point_source_rise(p, K, r);
+        assert!((t - point).abs() / point < 1e-3, "{t} vs {point}");
+    }
+
+    #[test]
+    fn line_field_diverges_on_the_line() {
+        let t = line_far_field_rise(1e-3, K, 1e-6, 0.1e-6, 0.0, 0.0, 0.0);
+        assert!(t.is_infinite());
+    }
+
+    #[test]
+    fn combined_rise_is_continuous_and_capped() {
+        let (w, l, p) = (1e-6, 0.1e-6, 10e-3);
+        let t0 = center_rise(p, K, w, l);
+        // On the source: capped at T0.
+        assert_eq!(rect_rise(p, K, w, l, 0.0, 0.0), t0);
+        // Far away: below T0 and decreasing.
+        let t1 = rect_rise(p, K, w, l, 3e-6, 0.0);
+        let t2 = rect_rise(p, K, w, l, 6e-6, 0.0);
+        assert!(t1 < t0 && t2 < t1);
+    }
+
+    #[test]
+    fn longer_axis_orientation_is_automatic() {
+        // Swapping w/l and x/y must give the same field.
+        let a = rect_rise(1e-3, K, 2e-6, 0.5e-6, 4e-6, 1e-6);
+        let b = rect_rise(1e-3, K, 0.5e-6, 2e-6, 1e-6, 4e-6);
+        assert!((a - b).abs() / a < 1e-12);
+    }
+
+    #[test]
+    fn depth_variant_matches_plain_at_zero_and_decays() {
+        let (w, l, p) = (1e-6, 1e-6, 1e-3);
+        let plain = rect_rise(p, K, w, l, 2e-6, 0.0);
+        assert_eq!(rect_rise_depth(p, K, w, l, 2e-6, 0.0, 0.0), plain);
+        let deep = rect_rise_depth(p, K, w, l, 2e-6, 0.0, 50e-6);
+        assert!(deep < plain);
+        // At large depth it approaches the 3-D point source.
+        let z = 500e-6;
+        let t = rect_rise_depth(p, K, w, l, 0.0, 0.0, z);
+        let point = point_source_rise(p, K, z);
+        assert!((t - point).abs() / point < 1e-2, "{t} vs {point}");
+    }
+
+    #[test]
+    fn eq18_equals_exact_corner_integral() {
+        // Independent check against the exact Eq. 17 evaluation from
+        // ptherm-thermal-num.
+        let (w, l, p) = (1e-6, 0.1e-6, 10e-3);
+        let exact = ptherm_thermal_num::rect_surface_temperature(p, K, w, l, 0.0, 0.0);
+        let eq18 = center_rise(p, K, w, l);
+        assert!((exact - eq18).abs() / exact < 1e-12, "{eq18} vs {exact}");
+    }
+
+    #[test]
+    fn eq20_accuracy_against_exact_profile() {
+        // The Fig. 5 claim: min(T0, T_line) tracks the exact Eq. 17 profile
+        // closely enough for IC-level estimation. Check within a few % at
+        // moderate distance and within ~35% everywhere (the worst mismatch
+        // sits at the source edge where the cap flattens the profile).
+        let (w, l, p) = (1e-6, 0.1e-6, 10e-3);
+        for (x, y, tol) in [
+            (2e-6, 0.0, 0.08),
+            (5e-6, 0.0, 0.03),
+            (0.0, 2e-6, 0.08),
+            (3e-6, 3e-6, 0.05),
+            (0.6e-6, 0.0, 0.35),
+        ] {
+            let exact = ptherm_thermal_num::rect_surface_temperature(p, K, w, l, x, y);
+            let model = rect_rise(p, K, w, l, x, y);
+            let rel = (model - exact).abs() / exact;
+            assert!(rel < tol, "({x:.1e},{y:.1e}): rel {rel:.3}");
+        }
+    }
+
+    #[test]
+    fn linearity_in_power() {
+        let a = rect_rise(1e-3, K, 1e-6, 1e-6, 2e-6, 1e-6);
+        let b = rect_rise(4e-3, K, 1e-6, 1e-6, 2e-6, 1e-6);
+        assert!((b / a - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn degenerate_rectangle_rejected() {
+        center_rise(1e-3, K, 0.0, 1e-6);
+    }
+}

@@ -1,0 +1,68 @@
+//! Self-heating thermal resistance from Eq. (18) — the model line of
+//! Fig. 10.
+//!
+//! The paper defines `R_th = ΔT_SH / P`; with the analytical centre
+//! temperature (Eq. 18) linear in power, the model prediction is simply
+//! Eq. 18 evaluated per watt. The Fig. 10 experiment compares this against
+//! the virtual measurement rig (and the finite-difference die solve).
+
+use crate::thermal::rect::center_rise;
+
+/// Model thermal resistance of a `w × l` device on a semi-infinite
+/// substrate of conductivity `k`, K/W (Eq. 18 per watt).
+///
+/// # Panics
+///
+/// Panics if `w`, `l` or `k` is not strictly positive.
+pub fn self_heating_resistance(k: f64, w: f64, l: f64) -> f64 {
+    center_rise(1.0, k, w, l)
+}
+
+/// Predicted steady self-heating rise for a device dissipating `power`, K.
+pub fn self_heating_rise(power: f64, k: f64, w: f64, l: f64) -> f64 {
+    power * self_heating_resistance(k, w, l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrower_devices_run_hotter() {
+        let k = 148.0;
+        let l = 0.35e-6;
+        let r: Vec<f64> = [0.5e-6, 1e-6, 2e-6, 5e-6]
+            .iter()
+            .map(|&w| self_heating_resistance(k, w, l))
+            .collect();
+        assert!(
+            r.windows(2).all(|p| p[1] < p[0]),
+            "Rth must fall with width: {r:?}"
+        );
+    }
+
+    #[test]
+    fn magnitude_matches_measured_device_scale() {
+        // Micrometre devices on silicon: 10^3–10^5 K/W — the range of the
+        // paper's Fig. 10.
+        let r = self_heating_resistance(148.0, 1e-6, 0.35e-6);
+        assert!(r > 1e3 && r < 1e6, "Rth = {r:.3e} K/W");
+    }
+
+    #[test]
+    fn rise_is_linear_in_power() {
+        let k = 148.0;
+        let dt = self_heating_rise(10e-3, k, 1e-6, 0.35e-6);
+        let dt2 = self_heating_rise(20e-3, k, 1e-6, 0.35e-6);
+        assert!((dt2 / dt - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resistance_scales_inversely_with_size() {
+        // Doubling both dimensions halves Rth (1/λ law of the 1/r kernel).
+        let k = 148.0;
+        let r1 = self_heating_resistance(k, 1e-6, 0.5e-6);
+        let r2 = self_heating_resistance(k, 2e-6, 1e-6);
+        assert!((r1 / r2 - 2.0).abs() < 1e-12);
+    }
+}

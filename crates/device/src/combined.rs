@@ -1,0 +1,263 @@
+//! Combined subthreshold + strong-inversion device model for the exact
+//! network solver.
+//!
+//! The paper's analytical model only ever evaluates *OFF* devices (ON
+//! devices are collapsed into internal nodes), so Eq. (1) suffices for it.
+//! The **exact** reference solver, however, must also carry ON devices —
+//! e.g. a NAND2 at input `01`, where the leakage path runs through one ON
+//! and one OFF device. A subthreshold-only equation mis-models the ON
+//! device, so the solver uses this combined model:
+//!
+//! ```text
+//! I = I_sub^capped + I_strong
+//! I_sub^capped = (W/L)·I0·(T/T_ref)²·e^{softmin(V_GS − V_TH, 0)/(n·V_T)}·(1 − e^{−V_DS/V_T})
+//! I_strong     = (W/L)·k_sat·(T/T_ref)^{−m} · od^α · tanh(V_DS / V_Dsat)
+//! od           = s·ln(1 + e^{(V_GS − V_TH)/s}),     s = n·V_T/3
+//! V_Dsat       = c_sat·od + 1 mV,                    c_sat = 0.5
+//! ```
+//!
+//! Two smooth clamps make the pieces coexist:
+//!
+//! * the subthreshold exponent is *soft-capped* at zero overdrive
+//!   (`softmin(·, 0)`) — Eq. (1) is only valid below threshold, and
+//!   uncapped it would exceed the strong-inversion current by orders of
+//!   magnitude at full gate drive;
+//! * the softplus overdrive `od` turns strong inversion on smoothly, with a
+//!   scale sharp enough (`s = n·V_T/3`) that the strong tail decays at three
+//!   times the subthreshold rate below threshold — OFF-device currents stay
+//!   pure Eq. (1) to better than 1e-9 relative.
+//!
+//! The `tanh` spans triode → saturation smoothly; everything is C¹, which
+//! the damped Newton solvers require.
+
+use crate::subthreshold::{NodalCurrent, SubthresholdModel};
+use ptherm_tech::constants::thermal_voltage;
+use ptherm_tech::MosParams;
+
+const C_SAT: f64 = 0.5;
+const VDSAT_FLOOR: f64 = 1e-3;
+
+/// Numerically-stable `(softplus(x)·s, logistic(x))`:
+/// `softplus = s·ln(1 + e^{x})`, `logistic = 1/(1 + e^{−x})`.
+fn softplus_logistic(x: f64, s: f64) -> (f64, f64) {
+    if x > 30.0 {
+        (s * x, 1.0)
+    } else if x < -30.0 {
+        (s * x.exp(), x.exp())
+    } else {
+        (s * (1.0 + x.exp()).ln(), 1.0 / (1.0 + (-x).exp()))
+    }
+}
+
+/// Subthreshold + strong-inversion evaluator (n-channel convention).
+#[derive(Debug, Clone, Copy)]
+pub struct CombinedModel<'a> {
+    sub: SubthresholdModel<'a>,
+    params: &'a MosParams,
+    t_ref: f64,
+}
+
+impl<'a> CombinedModel<'a> {
+    /// Binds the model to device parameters, supply and reference
+    /// temperature.
+    pub fn new(params: &'a MosParams, vdd: f64, t_ref: f64) -> Self {
+        CombinedModel {
+            sub: SubthresholdModel::new(params, vdd, t_ref),
+            params,
+            t_ref,
+        }
+    }
+
+    /// The underlying subthreshold model.
+    pub fn subthreshold(&self) -> &SubthresholdModel<'a> {
+        &self.sub
+    }
+
+    /// Current and nodal derivatives for absolute node voltages (see
+    /// [`SubthresholdModel::current_nodal`]); adds the strong-inversion
+    /// component and its analytic derivatives.
+    pub fn current_nodal(
+        &self,
+        w: f64,
+        vs: f64,
+        vd: f64,
+        vg: f64,
+        vb: f64,
+        temperature_k: f64,
+    ) -> NodalCurrent {
+        let p = self.params;
+        let vt = thermal_voltage(temperature_k);
+        let nvt = p.n * vt;
+        let bias = crate::Bias {
+            vgs: vg - vs,
+            vds: vd - vs,
+            vsb: vs - vb,
+        };
+        let vth = self.sub.threshold_voltage(bias, temperature_k);
+        let u_raw = bias.vgs - vth;
+        // d(V_GS - V_TH)/dvs and /dvd: threshold shifts with body effect
+        // (γ') and DIBL (σ), same algebra as the subthreshold model.
+        let dy_dvs = -1.0 - p.gamma_b - p.sigma;
+        let dy_dvd = p.sigma;
+        let s = p.n * vt / 3.0;
+
+        // --- capped subthreshold component -------------------------------
+        // softmin(u, 0) = u - softplus(u): caps the exponent at 0 overdrive.
+        let (sp, sig_plus) = softplus_logistic(u_raw / s, s);
+        let u_capped = u_raw - sp;
+        let cap_sig = 1.0 - sig_plus; // d softmin / d u_raw = logistic(-x)
+        let prefactor = (w / p.l) * p.i0 * (temperature_k / self.t_ref).powi(2);
+        let e_u = (u_capped / nvt).exp();
+        let e_d = (-bias.vds / vt).exp();
+        let g = 1.0 - e_d;
+        let i_sub = prefactor * e_u * g;
+        let dg_dvs = -e_d / vt;
+        let dg_dvd = e_d / vt;
+        let di_sub_dvs = prefactor * e_u * (cap_sig * dy_dvs / nvt * g + dg_dvs);
+        let di_sub_dvd = prefactor * e_u * (cap_sig * dy_dvd / nvt * g + dg_dvd);
+
+        let mut out = NodalCurrent {
+            i: i_sub,
+            di_dvs: di_sub_dvs,
+            di_dvd: di_sub_dvd,
+        };
+
+        // --- strong-inversion component -----------------------------------
+        let (od, sig) = softplus_logistic(u_raw / s, s);
+        if od <= 0.0 {
+            return out;
+        }
+        let k = (w / p.l) * p.k_sat * (temperature_k / self.t_ref).powf(-p.mobility_exponent);
+        let imax = k * od.powf(p.alpha_sat);
+        let vdsat = C_SAT * od + VDSAT_FLOOR;
+        let th = (bias.vds / vdsat).tanh();
+        let sech2 = 1.0 - th * th;
+
+        let dod_dvs = sig * dy_dvs;
+        let dod_dvd = sig * dy_dvd;
+        let dimax_dod = p.alpha_sat * imax / od;
+        // dth/dvs = sech² · (dvds/dvs / vdsat − vds·dvdsat/dvs / vdsat²).
+        let dth_dvs = sech2 * (-1.0 / vdsat - bias.vds * C_SAT * dod_dvs / (vdsat * vdsat));
+        let dth_dvd = sech2 * (1.0 / vdsat - bias.vds * C_SAT * dod_dvd / (vdsat * vdsat));
+
+        out.i += imax * th;
+        out.di_dvs += dimax_dod * dod_dvs * th + imax * dth_dvs;
+        out.di_dvd += dimax_dod * dod_dvd * th + imax * dth_dvd;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptherm_tech::Technology;
+
+    fn model(tech: &Technology) -> CombinedModel<'_> {
+        CombinedModel::new(&tech.nmos, tech.vdd, tech.t_ref)
+    }
+
+    #[test]
+    fn off_device_reduces_to_subthreshold() {
+        let tech = Technology::cmos_120nm();
+        let m = model(&tech);
+        let sub = SubthresholdModel::new(&tech.nmos, tech.vdd, tech.t_ref);
+        let i_comb = m.current_nodal(1e-6, 0.0, 1.2, 0.0, 0.0, 300.0).i;
+        let i_sub = sub.current_nodal(1e-6, 0.0, 1.2, 0.0, 0.0, 300.0).i;
+        assert!((i_comb - i_sub).abs() / i_sub < 1e-6, "{i_comb} vs {i_sub}");
+    }
+
+    #[test]
+    fn on_device_carries_strong_current() {
+        let tech = Technology::cmos_120nm();
+        let m = model(&tech);
+        // Full gate drive, full rail: mA-class, far above leakage.
+        let i_on = m.current_nodal(1e-6, 0.0, 1.2, 1.2, 0.0, 300.0).i;
+        assert!(i_on > 1e-4, "I_on = {i_on:.3e}");
+        let i_off = m.current_nodal(1e-6, 0.0, 1.2, 0.0, 0.0, 300.0).i;
+        assert!(i_on / i_off > 1e5);
+    }
+
+    #[test]
+    fn triode_region_is_resistive() {
+        // Small V_DS at full drive: current ~ linear in V_DS.
+        let tech = Technology::cmos_120nm();
+        let m = model(&tech);
+        let i1 = m.current_nodal(1e-6, 0.0, 0.01, 1.2, 0.0, 300.0).i;
+        let i2 = m.current_nodal(1e-6, 0.0, 0.02, 1.2, 0.0, 300.0).i;
+        let ratio = i2 / i1;
+        assert!(
+            (ratio - 2.0).abs() < 0.15,
+            "triode linearity: ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn saturation_region_flattens() {
+        let tech = Technology::cmos_120nm();
+        let m = model(&tech);
+        let i_half = m.current_nodal(1e-6, 0.0, 0.8, 1.2, 0.0, 300.0).i;
+        let i_full = m.current_nodal(1e-6, 0.0, 1.2, 1.2, 0.0, 300.0).i;
+        // DIBL keeps a mild slope in saturation (like channel-length
+        // modulation); the current must be within ~15% across the region
+        // while it doubles across the triode region.
+        assert!((i_full - i_half) / i_full < 0.15, "saturation flatness");
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let tech = Technology::cmos_120nm();
+        let m = model(&tech);
+        // Probe a mix of regions, including the tricky near-threshold zone.
+        let cases = [
+            (0.0, 1.2, 0.0),  // off, full rail
+            (0.1, 1.2, 1.2),  // on pass device, source lifted
+            (0.9, 1.2, 1.2),  // on, source near drain
+            (0.0, 0.05, 1.2), // deep triode
+            (0.3, 0.8, 0.5),  // near threshold
+        ];
+        for (vs, vd, vg) in cases {
+            let nc = m.current_nodal(1e-6, vs, vd, vg, 0.0, 320.0);
+            let h = 1e-7;
+            let f = |vs: f64, vd: f64| m.current_nodal(1e-6, vs, vd, vg, 0.0, 320.0).i;
+            let fd_s = (f(vs + h, vd) - f(vs - h, vd)) / (2.0 * h);
+            let fd_d = (f(vs, vd + h) - f(vs, vd - h)) / (2.0 * h);
+            let denom_s = fd_s.abs().max(1e-12);
+            let denom_d = fd_d.abs().max(1e-12);
+            assert!(
+                (nc.di_dvs - fd_s).abs() / denom_s < 1e-4,
+                "case ({vs},{vd},{vg}): di_dvs {} vs fd {fd_s}",
+                nc.di_dvs
+            );
+            assert!(
+                (nc.di_dvd - fd_d).abs() / denom_d < 1e-4,
+                "case ({vs},{vd},{vg}): di_dvd {} vs fd {fd_d}",
+                nc.di_dvd
+            );
+        }
+    }
+
+    #[test]
+    fn pass_transistor_weakens_as_source_rises() {
+        // The classic threshold drop: an ON device with gate at VDD loses
+        // drive as its source approaches VDD - VTH.
+        let tech = Technology::cmos_120nm();
+        let m = model(&tech);
+        let i_low = m.current_nodal(1e-6, 0.0, 1.2, 1.2, 0.0, 300.0).i;
+        let i_high = m.current_nodal(1e-6, 0.9, 1.2, 1.2, 0.0, 300.0).i;
+        assert!(
+            i_high < 0.05 * i_low,
+            "pass drop: {i_high:.2e} vs {i_low:.2e}"
+        );
+    }
+
+    #[test]
+    fn current_is_continuous_across_zero_vds() {
+        let tech = Technology::cmos_120nm();
+        let m = model(&tech);
+        let eps = 1e-9;
+        let ip = m.current_nodal(1e-6, 0.0, eps, 1.2, 0.0, 300.0).i;
+        let im = m.current_nodal(1e-6, 0.0, -eps, 1.2, 0.0, 300.0).i;
+        assert!(ip > 0.0 && im < 0.0);
+        assert!((ip + im).abs() < 1e-3 * ip.abs().max(1e-30));
+    }
+}

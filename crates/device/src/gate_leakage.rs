@@ -1,0 +1,84 @@
+//! Gate-tunnelling leakage — an *extension* beyond the paper.
+//!
+//! The DATE'05 model assumes subthreshold conduction dominates static power
+//! (§2.1: "We assume that the main static power source is due to
+//! subthreshold currents"), which is accurate down to ~100 nm with SiO₂
+//! around 2 nm. For completeness the workspace carries a simple exponential
+//! gate-tunnelling density so the power roll-ups can report how small the
+//! component is (and so future oxide scaling studies have a hook):
+//!
+//! ```text
+//! I_gate = J0 · W · L · e^{V_ox / V0}
+//! ```
+//!
+//! with `J0` and `V0` chosen per node. The component is **off by default**
+//! in all power reports.
+
+use ptherm_tech::Technology;
+
+/// Exponential gate-tunnelling model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateLeakageModel {
+    /// Current density prefactor at zero oxide voltage, A/m².
+    pub j0: f64,
+    /// Exponential voltage scale, V.
+    pub v0: f64,
+}
+
+impl GateLeakageModel {
+    /// Representative parameters for a technology node: tunnelling rises
+    /// steeply below ~130 nm as oxides thin. Values give ~1000x smaller
+    /// gate than subthreshold leakage at the 120 nm node — consistent with
+    /// the paper's neglect of the component.
+    pub fn for_technology(tech: &Technology) -> Self {
+        let node_nm = tech.node * 1e9;
+        // J0 doubles roughly every 15 nm of scaling below 180 nm.
+        let j0 = if node_nm >= 180.0 {
+            1e-9
+        } else {
+            1e-9 * 2f64.powf((180.0 - node_nm) / 15.0)
+        };
+        GateLeakageModel { j0, v0: 0.35 }
+    }
+
+    /// Gate current of a `w x l` gate with oxide voltage `v_ox`, amperes.
+    pub fn current(&self, w: f64, l: f64, v_ox: f64) -> f64 {
+        self.j0 * w * l * (v_ox / self.v0).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_leakage_grows_as_nodes_shrink() {
+        let old = GateLeakageModel::for_technology(&Technology::cmos_350nm());
+        let new = GateLeakageModel::for_technology(&Technology::cmos_120nm());
+        assert!(new.j0 > 10.0 * old.j0);
+    }
+
+    #[test]
+    fn gate_leakage_negligible_vs_subthreshold_at_120nm() {
+        use crate::subthreshold::SubthresholdModel;
+        use crate::Bias;
+        let tech = Technology::cmos_120nm();
+        let sub = SubthresholdModel::new(&tech.nmos, tech.vdd, tech.t_ref);
+        let gate = GateLeakageModel::for_technology(&tech);
+        let w = 1e-6;
+        let i_sub = sub.current(w, Bias::off_full_rail(tech.vdd), 300.0);
+        let i_gate = gate.current(w, tech.nmos.l, tech.vdd);
+        assert!(
+            i_gate < 0.05 * i_sub,
+            "gate {i_gate:.2e} should be far below subthreshold {i_sub:.2e}"
+        );
+    }
+
+    #[test]
+    fn current_scales_with_area_and_voltage() {
+        let m = GateLeakageModel { j0: 1e-6, v0: 0.35 };
+        let base = m.current(1e-6, 1e-7, 1.0);
+        assert!((m.current(2e-6, 1e-7, 1.0) / base - 2.0).abs() < 1e-12);
+        assert!(m.current(1e-6, 1e-7, 1.2) > base);
+    }
+}

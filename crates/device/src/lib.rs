@@ -1,0 +1,63 @@
+//! Compact MOSFET models for the `ptherm` workspace.
+//!
+//! Implements the device physics of §2.1 of the DATE'05 paper:
+//!
+//! * [`subthreshold`] — the subthreshold current of Eq. (1) with the
+//!   threshold-voltage model of Eq. (2) (body effect, DIBL and temperature),
+//!   plus the analytic derivatives the exact network solver needs,
+//! * [`on_current`] — an α-power-law ON-state drain current with mobility
+//!   and threshold temperature dependence; this drives the synthetic
+//!   self-heating measurements (Figs. 9–10),
+//! * [`gate_leakage`] — a simple gate-tunnelling extension (not part of the
+//!   paper, which assumes subthreshold leakage dominates; kept optional and
+//!   off by default in the power roll-ups).
+//!
+//! All equations are written in *n-channel convention* (source at the lower
+//! potential). Pull-up networks mirror their node voltages around `V_DD`
+//! before calling in, so the same positive-parameter equations serve both
+//! polarities.
+//!
+//! # Example
+//!
+//! ```
+//! use ptherm_device::subthreshold::SubthresholdModel;
+//! use ptherm_tech::Technology;
+//!
+//! let tech = Technology::cmos_120nm();
+//! let model = SubthresholdModel::new(&tech.nmos, tech.vdd, tech.t_ref);
+//! // An OFF minimum-width device with full V_DD across it.
+//! let bias = ptherm_device::Bias { vgs: 0.0, vds: tech.vdd, vsb: 0.0 };
+//! let i_off = model.current(tech.nmos.w_min, bias, 300.0);
+//! assert!(i_off > 0.0);
+//! ```
+
+pub mod combined;
+pub mod gate_leakage;
+pub mod on_current;
+pub mod subthreshold;
+
+pub use combined::CombinedModel;
+pub use subthreshold::SubthresholdModel;
+
+/// Terminal bias of a device in n-channel convention.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Bias {
+    /// Gate-source voltage, V.
+    pub vgs: f64,
+    /// Drain-source voltage, V.
+    pub vds: f64,
+    /// Source-body voltage, V (positive = reverse body bias).
+    pub vsb: f64,
+}
+
+impl Bias {
+    /// Bias of an OFF device at the bottom of a conducting path: gate at 0,
+    /// source grounded, full supply across the channel.
+    pub fn off_full_rail(vdd: f64) -> Self {
+        Bias {
+            vgs: 0.0,
+            vds: vdd,
+            vsb: 0.0,
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! ON-state drain current: α-power law with temperature dependence.
+//!
+//! The self-heating measurements of Figs. 9–10 pulse a transistor ON and
+//! watch its drain current sag as the channel heats: mobility degrades as
+//! `(T/T_ref)^{-m}` while the threshold drops by `K_T (T - T_ref)`. At high
+//! gate drive the mobility term wins, so the current has a *negative*
+//! temperature coefficient — this is the physical signal the synthetic
+//! oscilloscope in `ptherm-thermal-num` digitizes.
+//!
+//! The model is the classic Sakurai–Newton α-power law in saturation:
+//!
+//! ```text
+//! I_D = (W/L) · k_sat · (T/T_ref)^{-m} · (V_GS − V_TH(T))^α        V_GS > V_TH
+//! ```
+//!
+//! Assumption (documented): the measurement rig keeps the device saturated
+//! (`V_DS` stays well above `V_Dsat` because the series sense resistor is
+//! small), so no linear-region branch is modelled.
+
+use ptherm_tech::MosParams;
+
+/// α-power-law evaluator bound to one device flavour.
+#[derive(Debug, Clone, Copy)]
+pub struct OnCurrentModel<'a> {
+    params: &'a MosParams,
+    t_ref: f64,
+}
+
+impl<'a> OnCurrentModel<'a> {
+    /// Binds the model to device parameters and the reference temperature.
+    pub fn new(params: &'a MosParams, t_ref: f64) -> Self {
+        OnCurrentModel { params, t_ref }
+    }
+
+    /// Threshold voltage at temperature (zero body bias, saturation).
+    pub fn threshold_voltage(&self, temperature_k: f64) -> f64 {
+        self.params.vt0 - self.params.k_t * (temperature_k - self.t_ref)
+    }
+
+    /// Saturation drain current of a device of width `w` at gate drive
+    /// `vgs`, in amperes. Returns 0 below threshold.
+    pub fn current(&self, w: f64, vgs: f64, temperature_k: f64) -> f64 {
+        let p = self.params;
+        let vth = self.threshold_voltage(temperature_k);
+        let overdrive = vgs - vth;
+        if overdrive <= 0.0 {
+            return 0.0;
+        }
+        (w / p.l)
+            * p.k_sat
+            * (temperature_k / self.t_ref).powf(-p.mobility_exponent)
+            * overdrive.powf(p.alpha_sat)
+    }
+
+    /// Linearized temperature coefficient `dI/dT / I` (1/K) around
+    /// `temperature_k`, by central differences. The measurement rig uses
+    /// this to convert current sag into temperature rise.
+    pub fn temperature_coefficient(&self, w: f64, vgs: f64, temperature_k: f64) -> f64 {
+        let h = 0.05;
+        let ip = self.current(w, vgs, temperature_k + h);
+        let im = self.current(w, vgs, temperature_k - h);
+        let i = self.current(w, vgs, temperature_k);
+        if i == 0.0 {
+            return 0.0;
+        }
+        (ip - im) / (2.0 * h * i)
+    }
+
+    /// Gate drive at which the temperature coefficient vanishes (the "ZTC"
+    /// bias point), found by bisection within `(V_TH, v_max)`. Returns
+    /// `None` when there is no sign change in the interval.
+    ///
+    /// Below the ZTC point threshold shift wins (current grows with T);
+    /// above it mobility wins (current sags with T). The measurement rig
+    /// biases well above ZTC.
+    pub fn zero_tc_gate_voltage(&self, w: f64, v_max: f64, temperature_k: f64) -> Option<f64> {
+        let vth = self.threshold_voltage(temperature_k);
+        let mut lo = vth + 1e-3;
+        let mut hi = v_max;
+        let tc = |v: f64| self.temperature_coefficient(w, v, temperature_k);
+        let (flo, fhi) = (tc(lo), tc(hi));
+        if flo.signum() == fhi.signum() {
+            return None;
+        }
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if tc(mid).signum() == flo.signum() {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(0.5 * (lo + hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptherm_tech::Technology;
+
+    #[test]
+    fn current_is_zero_below_threshold() {
+        let tech = Technology::cmos_350nm();
+        let m = OnCurrentModel::new(&tech.nmos, tech.t_ref);
+        assert_eq!(m.current(1e-5, 0.2, 300.0), 0.0);
+    }
+
+    #[test]
+    fn current_scales_with_width_and_overdrive() {
+        let tech = Technology::cmos_350nm();
+        let m = OnCurrentModel::new(&tech.nmos, tech.t_ref);
+        let i1 = m.current(1e-5, 3.3, 300.0);
+        let i2 = m.current(2e-5, 3.3, 300.0);
+        assert!((i2 / i1 - 2.0).abs() < 1e-12);
+        assert!(m.current(1e-5, 3.3, 300.0) > m.current(1e-5, 2.0, 300.0));
+    }
+
+    #[test]
+    fn full_drive_current_magnitude_is_plausible() {
+        // A 10 um / 0.35 um device at full rail should carry mA-class
+        // current (the paper's measured devices dissipate ~mW–tens of mW).
+        let tech = Technology::cmos_350nm();
+        let m = OnCurrentModel::new(&tech.nmos, tech.t_ref);
+        let i = m.current(10e-6, 3.3, 300.0);
+        assert!(i > 5e-4 && i < 5e-2, "I_on = {i:.3e} A");
+    }
+
+    #[test]
+    fn high_drive_tc_is_negative_low_drive_positive() {
+        let tech = Technology::cmos_350nm();
+        let m = OnCurrentModel::new(&tech.nmos, tech.t_ref);
+        let w = 10e-6;
+        let tc_high = m.temperature_coefficient(w, 3.3, 300.0);
+        assert!(tc_high < 0.0, "tc at full drive = {tc_high}");
+        let vth = m.threshold_voltage(300.0);
+        let tc_low = m.temperature_coefficient(w, vth + 0.05, 300.0);
+        assert!(tc_low > 0.0, "tc near threshold = {tc_low}");
+    }
+
+    #[test]
+    fn ztc_point_exists_between_threshold_and_rail() {
+        let tech = Technology::cmos_350nm();
+        let m = OnCurrentModel::new(&tech.nmos, tech.t_ref);
+        let ztc = m
+            .zero_tc_gate_voltage(10e-6, 3.3, 300.0)
+            .expect("ZTC in range");
+        let vth = m.threshold_voltage(300.0);
+        assert!(ztc > vth && ztc < 3.3, "ztc = {ztc}");
+        let tc = m.temperature_coefficient(10e-6, ztc, 300.0);
+        assert!(tc.abs() < 1e-5, "tc at ztc = {tc}");
+    }
+
+    #[test]
+    fn current_sags_when_device_heats() {
+        // The self-heating signal: at fixed full-rail drive, I(T) decreases.
+        let tech = Technology::cmos_350nm();
+        let m = OnCurrentModel::new(&tech.nmos, tech.t_ref);
+        let i_cold = m.current(10e-6, 3.3, 303.15);
+        let i_hot = m.current(10e-6, 3.3, 313.15);
+        assert!(i_hot < i_cold);
+        // ~fraction-of-a-percent per kelvin: small-signal linearity holds.
+        let rel = (i_cold - i_hot) / i_cold / 10.0;
+        assert!(rel > 1e-4 && rel < 1e-2, "per-kelvin sag = {rel}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Synthetic floorplan generators for block-level experiments.
+
+use crate::{Block, BuildFloorplanError, ChipGeometry, Floorplan};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Regular `rows × cols` tiling of the die with uniform gutter spacing;
+/// per-tile powers are drawn from `[p_min, p_max)` with a seeded RNG.
+///
+/// # Errors
+///
+/// Propagates [`BuildFloorplanError`] (cannot occur for sane inputs — tiles
+/// never overlap by construction).
+///
+/// # Panics
+///
+/// Panics if `rows`/`cols` are zero or `p_min > p_max`.
+pub fn tiled(
+    geometry: ChipGeometry,
+    rows: usize,
+    cols: usize,
+    p_min: f64,
+    p_max: f64,
+    seed: u64,
+) -> Result<Floorplan, BuildFloorplanError> {
+    assert!(rows > 0 && cols > 0, "need at least one tile");
+    assert!(p_min <= p_max && p_min >= 0.0, "bad power range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gutter = 0.1; // 10% of the pitch between tiles
+    let pitch_x = geometry.width / cols as f64;
+    let pitch_y = geometry.length / rows as f64;
+    let w = pitch_x * (1.0 - gutter);
+    let l = pitch_y * (1.0 - gutter);
+    let mut blocks = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let power = if p_min == p_max {
+                p_min
+            } else {
+                rng.gen_range(p_min..p_max)
+            };
+            blocks.push(Block::new(
+                format!("tile-{r}-{c}"),
+                (c as f64 + 0.5) * pitch_x,
+                (r as f64 + 0.5) * pitch_y,
+                w,
+                l,
+                power,
+            ));
+        }
+    }
+    Floorplan::new(geometry, blocks)
+}
+
+/// A single centred hotspot block covering `fraction` of the die area and
+/// dissipating `power` — the minimal thermal scenario.
+///
+/// # Errors
+///
+/// Propagates [`BuildFloorplanError`].
+///
+/// # Panics
+///
+/// Panics if `fraction` is outside `(0, 1]`.
+pub fn hotspot(
+    geometry: ChipGeometry,
+    fraction: f64,
+    power: f64,
+) -> Result<Floorplan, BuildFloorplanError> {
+    assert!(fraction > 0.0 && fraction <= 1.0, "fraction in (0, 1]");
+    let scale = fraction.sqrt();
+    let block = Block::new(
+        "hotspot",
+        geometry.width / 2.0,
+        geometry.length / 2.0,
+        geometry.width * scale,
+        geometry.length * scale,
+        power,
+    );
+    Floorplan::new(geometry, vec![block])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiled_is_valid_and_repeatable() {
+        let g = ChipGeometry::paper_1mm();
+        let a = tiled(g, 4, 4, 0.01, 0.1, 9).unwrap();
+        let b = tiled(g, 4, 4, 0.01, 0.1, 9).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.blocks().len(), 16);
+        assert!(a.total_power() > 0.16 && a.total_power() < 1.6);
+    }
+
+    #[test]
+    fn tiled_uniform_power_option() {
+        let g = ChipGeometry::paper_1mm();
+        let fp = tiled(g, 2, 3, 0.05, 0.05, 0).unwrap();
+        for b in fp.blocks() {
+            assert_eq!(b.power, 0.05);
+        }
+    }
+
+    #[test]
+    fn hotspot_covers_requested_fraction() {
+        let g = ChipGeometry::paper_1mm();
+        let fp = hotspot(g, 0.25, 1.0).unwrap();
+        let b = &fp.blocks()[0];
+        let frac = b.area() / (g.width * g.length);
+        assert!((frac - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction in (0, 1]")]
+    fn hotspot_fraction_validated() {
+        let _ = hotspot(ChipGeometry::paper_1mm(), 1.5, 1.0);
+    }
+}

@@ -1,0 +1,393 @@
+//! Chip geometry, block floorplans and power maps.
+//!
+//! The paper's block-level thermal model (§3.3, Fig. 6) works on a set of
+//! rectangular power sources inside a die with adiabatic sides and an
+//! isothermal bottom. This crate owns that geometry:
+//!
+//! * [`Block`] — a named rectangle with a power assignment,
+//! * [`ChipGeometry`] — die dimensions, substrate thickness, conductivity
+//!   and heat-sink temperature,
+//! * [`Floorplan`] — validated block collection with overlap / bounds
+//!   checks, rasterization onto grid power maps, and seeded generators for
+//!   synthetic chips (regular tiles and the paper's three-block layout).
+//!
+//! Coordinates: origin at the lower-left die corner; block positions are
+//! their **centres** (matching the paper's "rectangles located at (x_i,
+//! y_i)" in Eq. 21).
+
+pub mod generator;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A rectangular power source on the die.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Block name, unique within a floorplan.
+    pub name: String,
+    /// Centre x, m.
+    pub cx: f64,
+    /// Centre y, m.
+    pub cy: f64,
+    /// Width (x extent), m.
+    pub w: f64,
+    /// Length (y extent), m.
+    pub l: f64,
+    /// Dissipated power, W.
+    pub power: f64,
+}
+
+impl Block {
+    /// Creates a block from centre, size and power.
+    pub fn new(name: impl Into<String>, cx: f64, cy: f64, w: f64, l: f64, power: f64) -> Self {
+        Block {
+            name: name.into(),
+            cx,
+            cy,
+            w,
+            l,
+            power,
+        }
+    }
+
+    /// Area, m².
+    pub fn area(&self) -> f64 {
+        self.w * self.l
+    }
+
+    /// Power density, W/m².
+    pub fn power_density(&self) -> f64 {
+        self.power / self.area()
+    }
+
+    /// Axis-aligned bounds `(x0, y0, x1, y1)`.
+    pub fn bounds(&self) -> (f64, f64, f64, f64) {
+        (
+            self.cx - self.w / 2.0,
+            self.cy - self.l / 2.0,
+            self.cx + self.w / 2.0,
+            self.cy + self.l / 2.0,
+        )
+    }
+
+    fn overlaps(&self, other: &Block) -> bool {
+        let (ax0, ay0, ax1, ay1) = self.bounds();
+        let (bx0, by0, bx1, by1) = other.bounds();
+        ax0 < bx1 && bx0 < ax1 && ay0 < by1 && by0 < ay1
+    }
+}
+
+/// Die geometry and thermal boundary data.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChipGeometry {
+    /// Die width (x), m.
+    pub width: f64,
+    /// Die depth (y), m.
+    pub length: f64,
+    /// Substrate thickness, m.
+    pub thickness: f64,
+    /// Substrate thermal conductivity, W/(m·K).
+    pub conductivity: f64,
+    /// Heat-sink temperature at the die bottom, K.
+    pub sink_temperature: f64,
+}
+
+impl ChipGeometry {
+    /// A 1 mm × 1 mm die (the paper's Fig. 6 example) with a 300 µm
+    /// substrate on a 300 K sink.
+    pub fn paper_1mm() -> Self {
+        ChipGeometry {
+            width: 1e-3,
+            length: 1e-3,
+            thickness: 0.3e-3,
+            conductivity: 148.0,
+            sink_temperature: 300.0,
+        }
+    }
+}
+
+/// Error produced by [`Floorplan::new`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildFloorplanError {
+    /// A block extends beyond the die.
+    OutOfBounds {
+        /// Offending block name.
+        block: String,
+    },
+    /// Two blocks overlap.
+    Overlap {
+        /// First block.
+        a: String,
+        /// Second block.
+        b: String,
+    },
+    /// A block has non-positive dimensions or negative power.
+    BadBlock {
+        /// Offending block name.
+        block: String,
+        /// Explanation.
+        detail: String,
+    },
+    /// Duplicate block name.
+    DuplicateName {
+        /// The repeated name.
+        name: String,
+    },
+}
+
+impl fmt::Display for BuildFloorplanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildFloorplanError::OutOfBounds { block } => {
+                write!(f, "block {block} extends beyond the die")
+            }
+            BuildFloorplanError::Overlap { a, b } => write!(f, "blocks {a} and {b} overlap"),
+            BuildFloorplanError::BadBlock { block, detail } => {
+                write!(f, "block {block} is invalid: {detail}")
+            }
+            BuildFloorplanError::DuplicateName { name } => {
+                write!(f, "duplicate block name {name}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildFloorplanError {}
+
+/// A validated floorplan: blocks inside the die, pairwise non-overlapping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    geometry: ChipGeometry,
+    blocks: Vec<Block>,
+}
+
+impl Floorplan {
+    /// Validates and builds a floorplan.
+    ///
+    /// # Errors
+    ///
+    /// See [`BuildFloorplanError`].
+    pub fn new(geometry: ChipGeometry, blocks: Vec<Block>) -> Result<Self, BuildFloorplanError> {
+        for b in &blocks {
+            if !(b.w > 0.0 && b.l > 0.0) || !b.power.is_finite() || b.power < 0.0 {
+                return Err(BuildFloorplanError::BadBlock {
+                    block: b.name.clone(),
+                    detail: format!("w {}, l {}, power {}", b.w, b.l, b.power),
+                });
+            }
+            let (x0, y0, x1, y1) = b.bounds();
+            let eps = 1e-12;
+            if x0 < -eps || y0 < -eps || x1 > geometry.width + eps || y1 > geometry.length + eps {
+                return Err(BuildFloorplanError::OutOfBounds {
+                    block: b.name.clone(),
+                });
+            }
+        }
+        for i in 0..blocks.len() {
+            for j in (i + 1)..blocks.len() {
+                if blocks[i].name == blocks[j].name {
+                    return Err(BuildFloorplanError::DuplicateName {
+                        name: blocks[i].name.clone(),
+                    });
+                }
+                if blocks[i].overlaps(&blocks[j]) {
+                    return Err(BuildFloorplanError::Overlap {
+                        a: blocks[i].name.clone(),
+                        b: blocks[j].name.clone(),
+                    });
+                }
+            }
+        }
+        Ok(Floorplan { geometry, blocks })
+    }
+
+    /// Die geometry.
+    pub fn geometry(&self) -> &ChipGeometry {
+        &self.geometry
+    }
+
+    /// The blocks.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Mutable access to block powers (geometry is fixed after validation;
+    /// powers are what co-simulation iterates on).
+    pub fn set_power(&mut self, block_index: usize, power: f64) {
+        assert!(
+            power.is_finite() && power >= 0.0,
+            "power must be finite and non-negative"
+        );
+        self.blocks[block_index].power = power;
+    }
+
+    /// Total dissipated power, W.
+    pub fn total_power(&self) -> f64 {
+        self.blocks.iter().map(|b| b.power).sum()
+    }
+
+    /// Rasterizes all blocks onto an `nx × ny` top-surface power map
+    /// (row-major, W per cell) for the finite-difference reference solver.
+    pub fn power_map(&self, nx: usize, ny: usize) -> Vec<f64> {
+        let mut map = vec![0.0; nx * ny];
+        for b in &self.blocks {
+            let single = rasterize(nx, ny, self.geometry.width, self.geometry.length, b);
+            for (m, s) in map.iter_mut().zip(single) {
+                *m += s;
+            }
+        }
+        map
+    }
+
+    /// The paper's Fig. 6 scenario: three logic blocks inside a 1 mm die.
+    /// Powers follow the figure's relative sizes (one large warm block, two
+    /// small hot blocks).
+    pub fn paper_three_blocks() -> Self {
+        let geometry = ChipGeometry::paper_1mm();
+        let blocks = vec![
+            Block::new("blk-a", 0.30e-3, 0.70e-3, 0.40e-3, 0.30e-3, 0.35),
+            Block::new("blk-b", 0.75e-3, 0.55e-3, 0.25e-3, 0.25e-3, 0.30),
+            Block::new("blk-c", 0.35e-3, 0.25e-3, 0.30e-3, 0.20e-3, 0.25),
+        ];
+        Floorplan::new(geometry, blocks).expect("paper layout is valid")
+    }
+}
+
+fn rasterize(nx: usize, ny: usize, die_w: f64, die_l: f64, b: &Block) -> Vec<f64> {
+    let dx = die_w / nx as f64;
+    let dy = die_l / ny as f64;
+    let (x0, y0, x1, y1) = b.bounds();
+    let mut map = vec![0.0; nx * ny];
+    let mut covered = 0.0;
+    for iy in 0..ny {
+        let cy0 = iy as f64 * dy;
+        let cy1 = cy0 + dy;
+        let oy = (y1.min(cy1) - y0.max(cy0)).max(0.0);
+        if oy == 0.0 {
+            continue;
+        }
+        for ix in 0..nx {
+            let cx0 = ix as f64 * dx;
+            let cx1 = cx0 + dx;
+            let ox = (x1.min(cx1) - x0.max(cx0)).max(0.0);
+            if ox == 0.0 {
+                continue;
+            }
+            let a = ox * oy;
+            map[ix + nx * iy] = a;
+            covered += a;
+        }
+    }
+    if covered > 0.0 {
+        for v in &mut map {
+            *v *= b.power / covered;
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_layout_is_valid_and_summing() {
+        let fp = Floorplan::paper_three_blocks();
+        assert_eq!(fp.blocks().len(), 3);
+        assert!((fp.total_power() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_bounds_is_rejected() {
+        let g = ChipGeometry::paper_1mm();
+        let err = Floorplan::new(
+            g,
+            vec![Block::new("b", 0.95e-3, 0.5e-3, 0.2e-3, 0.2e-3, 0.1)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, BuildFloorplanError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn overlap_is_rejected() {
+        let g = ChipGeometry::paper_1mm();
+        let err = Floorplan::new(
+            g,
+            vec![
+                Block::new("a", 0.5e-3, 0.5e-3, 0.3e-3, 0.3e-3, 0.1),
+                Block::new("b", 0.6e-3, 0.6e-3, 0.3e-3, 0.3e-3, 0.1),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, BuildFloorplanError::Overlap { .. }));
+    }
+
+    #[test]
+    fn touching_blocks_are_allowed() {
+        let g = ChipGeometry::paper_1mm();
+        let fp = Floorplan::new(
+            g,
+            vec![
+                Block::new("a", 0.25e-3, 0.5e-3, 0.5e-3, 0.5e-3, 0.1),
+                Block::new("b", 0.75e-3, 0.5e-3, 0.5e-3, 0.5e-3, 0.1),
+            ],
+        );
+        assert!(fp.is_ok());
+    }
+
+    #[test]
+    fn bad_blocks_and_duplicates_rejected() {
+        let g = ChipGeometry::paper_1mm();
+        assert!(matches!(
+            Floorplan::new(g, vec![Block::new("a", 0.5e-3, 0.5e-3, 0.0, 0.1e-3, 0.1)]),
+            Err(BuildFloorplanError::BadBlock { .. })
+        ));
+        assert!(matches!(
+            Floorplan::new(
+                g,
+                vec![Block::new("a", 0.5e-3, 0.5e-3, -0.1e-3, 0.1e-3, 0.1)]
+            ),
+            Err(BuildFloorplanError::BadBlock { .. })
+        ));
+        assert!(matches!(
+            Floorplan::new(
+                g,
+                vec![
+                    Block::new("a", 0.2e-3, 0.2e-3, 0.1e-3, 0.1e-3, 0.1),
+                    Block::new("a", 0.7e-3, 0.7e-3, 0.1e-3, 0.1e-3, 0.1),
+                ]
+            ),
+            Err(BuildFloorplanError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn power_map_conserves_power() {
+        let fp = Floorplan::paper_three_blocks();
+        let map = fp.power_map(32, 32);
+        let total: f64 = map.iter().sum();
+        assert!((total - fp.total_power()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_power_updates_totals() {
+        let mut fp = Floorplan::paper_three_blocks();
+        fp.set_power(0, 1.0);
+        assert!((fp.total_power() - (1.0 + 0.30 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power must be finite")]
+    fn set_power_rejects_nan() {
+        let mut fp = Floorplan::paper_three_blocks();
+        fp.set_power(0, f64::NAN);
+    }
+
+    #[test]
+    fn block_accessors() {
+        let b = Block::new("x", 1.0, 2.0, 0.5, 0.25, 2.0);
+        assert_eq!(b.area(), 0.125);
+        assert_eq!(b.power_density(), 16.0);
+        assert_eq!(b.bounds(), (0.75, 1.875, 1.25, 2.125));
+    }
+}

@@ -1,0 +1,277 @@
+//! Conjugate-gradient solver with optional Jacobi preconditioning.
+//!
+//! Used by the 3-D finite-difference thermal reference solver, whose
+//! discretized conduction operator is symmetric positive definite.
+
+use crate::sparse::LinearOperator;
+use std::fmt;
+
+/// Convergence report of a CG solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgSolution {
+    /// Solution vector.
+    pub x: Vec<f64>,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Final relative residual `||b - A x|| / ||b||`.
+    pub relative_residual: f64,
+}
+
+/// Error returned by [`solve_cg`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveCgError {
+    /// Dimensions of operator and right-hand side differ.
+    DimensionMismatch {
+        /// Operator dimension.
+        operator: usize,
+        /// Right-hand-side length.
+        rhs: usize,
+    },
+    /// Residual failed to reach the tolerance within the iteration budget.
+    NotConverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// Relative residual reached.
+        relative_residual: f64,
+    },
+    /// The operator produced a non-finite value or a non-positive curvature
+    /// direction (it is not SPD).
+    Breakdown {
+        /// Iteration at which breakdown occurred.
+        iteration: usize,
+    },
+}
+
+impl fmt::Display for SolveCgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveCgError::DimensionMismatch { operator, rhs } => {
+                write!(f, "cg dimension mismatch: operator {operator}, rhs {rhs}")
+            }
+            SolveCgError::NotConverged { iterations, relative_residual } => write!(
+                f,
+                "cg failed to converge in {iterations} iterations (residual {relative_residual:.3e})"
+            ),
+            SolveCgError::Breakdown { iteration } => {
+                write!(f, "cg breakdown at iteration {iteration}: operator not SPD")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveCgError {}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Solves `A x = b` for a symmetric positive-definite operator.
+///
+/// Jacobi (diagonal) preconditioning is applied automatically when the
+/// operator exposes its diagonal via [`LinearOperator::diagonal`].
+///
+/// # Errors
+///
+/// * [`SolveCgError::DimensionMismatch`] if `b.len() != a.dim()`.
+/// * [`SolveCgError::NotConverged`] when `max_iter` is exhausted.
+/// * [`SolveCgError::Breakdown`] when the operator is detectably not SPD.
+///
+/// # Example
+///
+/// ```
+/// use ptherm_math::{CsrMatrix, cg::solve_cg};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = CsrMatrix::from_triplets(2, &[(0, 0, 4.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0)])?;
+/// let sol = solve_cg(&a, &[1.0, 2.0], 1e-12, 100)?;
+/// assert!(sol.relative_residual < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_cg<A: LinearOperator + ?Sized>(
+    a: &A,
+    b: &[f64],
+    tolerance: f64,
+    max_iter: usize,
+) -> Result<CgSolution, SolveCgError> {
+    let n = a.dim();
+    if b.len() != n {
+        return Err(SolveCgError::DimensionMismatch {
+            operator: n,
+            rhs: b.len(),
+        });
+    }
+    let b_norm = norm(b);
+    if b_norm == 0.0 {
+        return Ok(CgSolution {
+            x: vec![0.0; n],
+            iterations: 0,
+            relative_residual: 0.0,
+        });
+    }
+
+    // Jacobi preconditioner: M^{-1} = 1/diag(A) where available and positive.
+    let inv_diag: Option<Vec<f64>> = a.diagonal().map(|d| {
+        d.iter()
+            .map(|&v| if v > 0.0 { 1.0 / v } else { 1.0 })
+            .collect()
+    });
+    let precond = |r: &[f64], z: &mut [f64]| match &inv_diag {
+        Some(m) => {
+            for i in 0..r.len() {
+                z[i] = m[i] * r[i];
+            }
+        }
+        None => z.copy_from_slice(r),
+    };
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut z = vec![0.0; n];
+    precond(&r, &mut z);
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut ap = vec![0.0; n];
+
+    for k in 0..max_iter {
+        let rel = norm(&r) / b_norm;
+        if rel <= tolerance {
+            return Ok(CgSolution {
+                x,
+                iterations: k,
+                relative_residual: rel,
+            });
+        }
+        a.apply(&p, &mut ap);
+        let p_ap = dot(&p, &ap);
+        if !p_ap.is_finite() || p_ap <= 0.0 {
+            return Err(SolveCgError::Breakdown { iteration: k });
+        }
+        let alpha = rz / p_ap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        precond(&r, &mut z);
+        let rz_next = dot(&r, &z);
+        let beta = rz_next / rz;
+        rz = rz_next;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+
+    let rel = norm(&r) / b_norm;
+    if rel <= tolerance {
+        Ok(CgSolution {
+            x,
+            iterations: max_iter,
+            relative_residual: rel,
+        })
+    } else {
+        Err(SolveCgError::NotConverged {
+            iterations: max_iter,
+            relative_residual: rel,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::CsrMatrix;
+
+    /// 1-D Poisson matrix: tridiag(-1, 2, -1), classic SPD test case.
+    fn poisson(n: usize) -> CsrMatrix {
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 2.0));
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+                t.push((i + 1, i, -1.0));
+            }
+        }
+        CsrMatrix::from_triplets(n, &t).unwrap()
+    }
+
+    #[test]
+    fn poisson_solution_matches_direct() {
+        let n = 64;
+        let a = poisson(n);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        let sol = solve_cg(&a, &b, 1e-12, 10 * n).unwrap();
+        let lower = vec![-1.0; n - 1];
+        let diag = vec![2.0; n];
+        let upper = vec![-1.0; n - 1];
+        let direct = crate::tridiag::solve_tridiagonal(&lower, &diag, &upper, &b).unwrap();
+        for (a, b) in sol.x.iter().zip(&direct) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn zero_rhs_short_circuits() {
+        let a = poisson(8);
+        let sol = solve_cg(&a, &[0.0; 8], 1e-12, 10).unwrap();
+        assert_eq!(sol.iterations, 0);
+        assert!(sol.x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn dimension_mismatch_reported() {
+        let a = poisson(4);
+        assert!(matches!(
+            solve_cg(&a, &[1.0; 3], 1e-10, 10),
+            Err(SolveCgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn non_spd_breaks_down() {
+        // Negative-definite operator: p' A p < 0 on the first iteration.
+        let a = CsrMatrix::from_triplets(2, &[(0, 0, -1.0), (1, 1, -1.0)]).unwrap();
+        assert!(matches!(
+            solve_cg(&a, &[1.0, 1.0], 1e-10, 10),
+            Err(SolveCgError::Breakdown { .. })
+        ));
+    }
+
+    #[test]
+    fn iteration_budget_enforced() {
+        let a = poisson(256);
+        let b = vec![1.0; 256];
+        assert!(matches!(
+            solve_cg(&a, &b, 1e-14, 3),
+            Err(SolveCgError::NotConverged { iterations: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn preconditioning_helps_scaled_system() {
+        // Badly scaled SPD diagonal + coupling; Jacobi brings it back.
+        let mut t = Vec::new();
+        let n = 32;
+        for i in 0..n {
+            let scale = if i % 2 == 0 { 1.0 } else { 1e6 };
+            t.push((i, i, 2.0 * scale));
+            if i + 1 < n {
+                t.push((i, i + 1, -0.5));
+                t.push((i + 1, i, -0.5));
+            }
+        }
+        let a = CsrMatrix::from_triplets(n, &t).unwrap();
+        let b = vec![1.0; n];
+        let sol = solve_cg(&a, &b, 1e-10, 500).unwrap();
+        let mut residual = vec![0.0; n];
+        a.apply(&sol.x, &mut residual);
+        for i in 0..n {
+            residual[i] -= b[i];
+        }
+        let rel = residual.iter().map(|v| v * v).sum::<f64>().sqrt() / (n as f64).sqrt();
+        assert!(rel < 1e-8);
+    }
+}

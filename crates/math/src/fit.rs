@@ -1,0 +1,458 @@
+//! Curve fitting: linear least squares, Levenberg–Marquardt, and the
+//! exponential-saturation fit used to extract thermal resistances from
+//! self-heating transients (Figs. 9–10 of the paper).
+
+use crate::matrix::Matrix;
+use std::fmt;
+
+/// Error produced by the fitting routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// Fewer samples than parameters, or empty input.
+    NotEnoughData {
+        /// Samples provided.
+        samples: usize,
+        /// Parameters requested.
+        parameters: usize,
+    },
+    /// Input lengths differ or contain non-finite values.
+    BadInput {
+        /// Explanation.
+        detail: String,
+    },
+    /// Normal equations were singular (collinear basis).
+    Degenerate,
+    /// Iterative refinement failed to converge.
+    NotConverged {
+        /// Best parameter estimate found.
+        best: Vec<f64>,
+    },
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::NotEnoughData {
+                samples,
+                parameters,
+            } => {
+                write!(
+                    f,
+                    "not enough data: {samples} samples for {parameters} parameters"
+                )
+            }
+            FitError::BadInput { detail } => write!(f, "bad fit input: {detail}"),
+            FitError::Degenerate => write!(f, "degenerate least-squares system"),
+            FitError::NotConverged { .. } => write!(f, "fit iteration did not converge"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Result of a least-squares fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitResult {
+    /// Fitted parameters.
+    pub parameters: Vec<f64>,
+    /// Root-mean-square residual.
+    pub rms_residual: f64,
+}
+
+fn validate_xy(x: &[f64], y: &[f64]) -> Result<(), FitError> {
+    if x.len() != y.len() {
+        return Err(FitError::BadInput {
+            detail: format!("x has {} samples, y has {}", x.len(), y.len()),
+        });
+    }
+    if x.iter().chain(y).any(|v| !v.is_finite()) {
+        return Err(FitError::BadInput {
+            detail: "non-finite sample".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Linear least squares: finds `beta` minimizing `||X beta - y||`.
+///
+/// `basis` evaluates the row of regressors for one abscissa.
+///
+/// # Errors
+///
+/// See [`FitError`].
+///
+/// # Example
+///
+/// ```
+/// use ptherm_math::fit::linear_least_squares;
+///
+/// # fn main() -> Result<(), ptherm_math::fit::FitError> {
+/// // Fit y = a + b x to exact line 2 + 3x.
+/// let x = [0.0, 1.0, 2.0, 3.0];
+/// let y = [2.0, 5.0, 8.0, 11.0];
+/// let fit = linear_least_squares(&x, &y, 2, |xi| vec![1.0, xi])?;
+/// assert!((fit.parameters[0] - 2.0).abs() < 1e-10);
+/// assert!((fit.parameters[1] - 3.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn linear_least_squares<B>(
+    x: &[f64],
+    y: &[f64],
+    n_params: usize,
+    mut basis: B,
+) -> Result<FitResult, FitError>
+where
+    B: FnMut(f64) -> Vec<f64>,
+{
+    validate_xy(x, y)?;
+    if x.len() < n_params || n_params == 0 {
+        return Err(FitError::NotEnoughData {
+            samples: x.len(),
+            parameters: n_params,
+        });
+    }
+    // Normal equations X'X beta = X'y (adequate at these sizes).
+    let mut xtx = Matrix::zeros(n_params, n_params);
+    let mut xty = vec![0.0; n_params];
+    for (&xi, &yi) in x.iter().zip(y) {
+        let row = basis(xi);
+        assert_eq!(row.len(), n_params, "basis row has wrong length");
+        for i in 0..n_params {
+            xty[i] += row[i] * yi;
+            for j in 0..n_params {
+                xtx[(i, j)] += row[i] * row[j];
+            }
+        }
+    }
+    let beta = xtx.solve(&xty).map_err(|_| FitError::Degenerate)?;
+    let mut ss = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        let row = basis(xi);
+        let pred: f64 = row.iter().zip(&beta).map(|(r, b)| r * b).sum();
+        ss += (pred - yi) * (pred - yi);
+    }
+    Ok(FitResult {
+        parameters: beta,
+        rms_residual: (ss / x.len() as f64).sqrt(),
+    })
+}
+
+/// Parameters of the saturating exponential `y(t) = y0 + dy (1 - e^{-t/tau})`.
+///
+/// This is precisely the self-heating waveform of the paper's Fig. 9: the
+/// device temperature charges its thermal capacitance towards
+/// `ΔT_SH = R_th P` with time constant `tau = R_th C_th`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpSaturation {
+    /// Value at `t = 0`.
+    pub y0: f64,
+    /// Total excursion (`y(inf) - y0`).
+    pub dy: f64,
+    /// Time constant.
+    pub tau: f64,
+    /// Root-mean-square residual of the fit.
+    pub rms_residual: f64,
+}
+
+/// Fits `y(t) = y0 + dy (1 - e^{-t/tau})` to samples.
+///
+/// Strategy: grid + golden-section search on `tau` (the only nonlinear
+/// parameter); for each candidate `tau` the conditionally-linear `y0, dy`
+/// are solved exactly. Robust to the noise levels of the synthetic scope.
+///
+/// # Errors
+///
+/// See [`FitError`]. Requires at least 4 samples and a strictly increasing
+/// positive time axis.
+pub fn fit_exp_saturation(t: &[f64], y: &[f64]) -> Result<ExpSaturation, FitError> {
+    validate_xy(t, y)?;
+    if t.len() < 4 {
+        return Err(FitError::NotEnoughData {
+            samples: t.len(),
+            parameters: 3,
+        });
+    }
+    if t.windows(2).any(|w| w[1] <= w[0]) {
+        return Err(FitError::BadInput {
+            detail: "time axis must be increasing".into(),
+        });
+    }
+    let span = t[t.len() - 1] - t[0];
+    if span <= 0.0 {
+        return Err(FitError::BadInput {
+            detail: "zero time span".into(),
+        });
+    }
+
+    let sse_for = |tau: f64| -> Result<(f64, f64, f64), FitError> {
+        // Conditionally-linear solve for (y0, dy) at fixed tau.
+        let fit = linear_least_squares(t, y, 2, |ti| vec![1.0, 1.0 - (-(ti - t[0]) / tau).exp()])?;
+        let y0 = fit.parameters[0];
+        let dy = fit.parameters[1];
+        Ok((fit.rms_residual, y0, dy))
+    };
+
+    // Log-spaced grid over plausible time constants.
+    let mut best = (f64::INFINITY, span / 5.0, 0.0, 0.0); // (rms, tau, y0, dy)
+    let lo = span * 1e-3;
+    let hi = span * 10.0;
+    let n_grid = 60;
+    for k in 0..=n_grid {
+        let tau = lo * (hi / lo).powf(k as f64 / n_grid as f64);
+        if let Ok((rms, y0, dy)) = sse_for(tau) {
+            if rms < best.0 {
+                best = (rms, tau, y0, dy);
+            }
+        }
+    }
+    if !best.0.is_finite() {
+        return Err(FitError::Degenerate);
+    }
+    // Golden-section refinement around the best grid point.
+    let mut a = best.1 / 2.0;
+    let mut b = best.1 * 2.0;
+    let phi = (5f64.sqrt() - 1.0) / 2.0;
+    for _ in 0..60 {
+        let c = b - phi * (b - a);
+        let d = a + phi * (b - a);
+        let fc = sse_for(c).map(|v| v.0).unwrap_or(f64::INFINITY);
+        let fd = sse_for(d).map(|v| v.0).unwrap_or(f64::INFINITY);
+        if fc < fd {
+            b = d;
+        } else {
+            a = c;
+        }
+    }
+    let tau = 0.5 * (a + b);
+    let (rms, y0, dy) = sse_for(tau)?;
+    Ok(ExpSaturation {
+        y0,
+        dy,
+        tau,
+        rms_residual: rms,
+    })
+}
+
+/// Levenberg–Marquardt minimization of `sum_i r_i(p)^2` with forward-difference
+/// Jacobians.
+///
+/// `residuals(p)` returns the residual vector. Used for the occasional
+/// non-trivial calibration fit in the experiment harness.
+///
+/// # Errors
+///
+/// See [`FitError`].
+pub fn levenberg_marquardt<R>(
+    mut residuals: R,
+    p0: &[f64],
+    tol: f64,
+    max_iter: usize,
+) -> Result<FitResult, FitError>
+where
+    R: FnMut(&[f64]) -> Vec<f64>,
+{
+    let n = p0.len();
+    if n == 0 {
+        return Err(FitError::NotEnoughData {
+            samples: 0,
+            parameters: 0,
+        });
+    }
+    let mut p = p0.to_vec();
+    let mut r = residuals(&p);
+    if r.len() < n {
+        return Err(FitError::NotEnoughData {
+            samples: r.len(),
+            parameters: n,
+        });
+    }
+    if r.iter().any(|v| !v.is_finite()) {
+        return Err(FitError::BadInput {
+            detail: "non-finite residual at p0".into(),
+        });
+    }
+    let mut ss: f64 = r.iter().map(|v| v * v).sum();
+    let mut lambda = 1e-3;
+    let m = r.len();
+
+    for _ in 0..max_iter {
+        // Forward-difference Jacobian (m x n).
+        let mut jac = Matrix::zeros(m, n);
+        for j in 0..n {
+            let h = 1e-7 * (1.0 + p[j].abs());
+            let mut pj = p.clone();
+            pj[j] += h;
+            let rj = residuals(&pj);
+            for i in 0..m {
+                jac[(i, j)] = (rj[i] - r[i]) / h;
+            }
+        }
+        // Normal equations with damping: (J'J + lambda diag(J'J)) dp = -J'r.
+        let jt = jac.transposed();
+        let mut jtj = jt.mul_mat(&jac);
+        let jtr = jt.mul_vec(&r);
+        let mut improved = false;
+        for _ in 0..20 {
+            let mut damped = jtj.clone();
+            for i in 0..n {
+                let d = jtj[(i, i)];
+                damped[(i, i)] = d + lambda * d.max(1e-12);
+            }
+            let neg: Vec<f64> = jtr.iter().map(|v| -v).collect();
+            let Ok(dp) = damped.solve(&neg) else {
+                lambda *= 10.0;
+                continue;
+            };
+            let p_new: Vec<f64> = p.iter().zip(&dp).map(|(a, b)| a + b).collect();
+            let r_new = residuals(&p_new);
+            let ss_new: f64 = r_new.iter().map(|v| v * v).sum();
+            if ss_new.is_finite() && ss_new < ss {
+                let rel = (ss - ss_new) / ss.max(1e-300);
+                p = p_new;
+                r = r_new;
+                ss = ss_new;
+                lambda = (lambda * 0.3).max(1e-12);
+                improved = true;
+                if rel < tol {
+                    return Ok(FitResult {
+                        parameters: p,
+                        rms_residual: (ss / m as f64).sqrt(),
+                    });
+                }
+                break;
+            }
+            lambda *= 10.0;
+            if lambda > 1e12 {
+                break;
+            }
+        }
+        if !improved {
+            // Converged to a (possibly local) minimum.
+            return Ok(FitResult {
+                parameters: p,
+                rms_residual: (ss / m as f64).sqrt(),
+            });
+        }
+        // `jtj` is recomputed next loop; silence the unused assignment.
+        let _ = &mut jtj;
+    }
+    Err(FitError::NotConverged { best: p })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_fit_quadratic_basis() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64 * 0.1).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 1.5 - 0.5 * v + 0.25 * v * v).collect();
+        let fit = linear_least_squares(&x, &y, 3, |xi| vec![1.0, xi, xi * xi]).unwrap();
+        assert!((fit.parameters[0] - 1.5).abs() < 1e-9);
+        assert!((fit.parameters[1] + 0.5).abs() < 1e-9);
+        assert!((fit.parameters[2] - 0.25).abs() < 1e-9);
+        assert!(fit.rms_residual < 1e-10);
+    }
+
+    #[test]
+    fn degenerate_basis_detected() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [0.0, 1.0, 2.0, 3.0];
+        // Two identical regressors are collinear.
+        assert!(matches!(
+            linear_least_squares(&x, &y, 2, |xi| vec![xi, xi]),
+            Err(FitError::Degenerate)
+        ));
+    }
+
+    #[test]
+    fn not_enough_data_detected() {
+        assert!(matches!(
+            linear_least_squares(&[1.0], &[1.0], 2, |xi| vec![1.0, xi]),
+            Err(FitError::NotEnoughData { .. })
+        ));
+    }
+
+    #[test]
+    fn exp_saturation_recovers_truth() {
+        let tau = 0.02;
+        let y0 = 1.3;
+        let dy = 0.7;
+        let t: Vec<f64> = (0..400).map(|i| i as f64 * 2.5e-4).collect();
+        let y: Vec<f64> = t
+            .iter()
+            .map(|&ti| y0 + dy * (1.0 - (-ti / tau).exp()))
+            .collect();
+        let fit = fit_exp_saturation(&t, &y).unwrap();
+        assert!((fit.y0 - y0).abs() < 1e-6, "y0 {}", fit.y0);
+        assert!((fit.dy - dy).abs() < 1e-5, "dy {}", fit.dy);
+        assert!((fit.tau - tau).abs() / tau < 1e-4, "tau {}", fit.tau);
+    }
+
+    #[test]
+    fn exp_saturation_tolerates_noise() {
+        // Deterministic pseudo-noise, ~1% of the excursion.
+        let tau = 5e-3;
+        let dy = 2.0;
+        let mut seed = 42u64;
+        let mut noise = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0) * 0.02
+        };
+        let t: Vec<f64> = (0..600).map(|i| i as f64 * 5e-5).collect();
+        let y: Vec<f64> = t
+            .iter()
+            .map(|&ti| dy * (1.0 - (-ti / tau).exp()) + noise())
+            .collect();
+        let fit = fit_exp_saturation(&t, &y).unwrap();
+        assert!((fit.dy - dy).abs() / dy < 0.02, "dy {}", fit.dy);
+        assert!((fit.tau - tau).abs() / tau < 0.05, "tau {}", fit.tau);
+    }
+
+    #[test]
+    fn exp_saturation_input_validation() {
+        assert!(matches!(
+            fit_exp_saturation(&[0.0, 1.0], &[0.0, 1.0]),
+            Err(FitError::NotEnoughData { .. })
+        ));
+        assert!(matches!(
+            fit_exp_saturation(&[0.0, 1.0, 0.5, 2.0], &[0.0; 4]),
+            Err(FitError::BadInput { .. })
+        ));
+    }
+
+    #[test]
+    fn lm_fits_gaussian_amplitude_and_width() {
+        let xs: Vec<f64> = (0..80).map(|i| -2.0 + i as f64 * 0.05).collect();
+        let truth = [2.5, 0.4]; // amplitude, sigma
+        let data: Vec<f64> = xs
+            .iter()
+            .map(|&x| truth[0] * (-(x * x) / (2.0 * truth[1] * truth[1])).exp())
+            .collect();
+        let fit = levenberg_marquardt(
+            |p| {
+                xs.iter()
+                    .zip(&data)
+                    .map(|(&x, &d)| p[0] * (-(x * x) / (2.0 * p[1] * p[1])).exp() - d)
+                    .collect()
+            },
+            &[1.0, 1.0],
+            1e-14,
+            200,
+        )
+        .unwrap();
+        assert!((fit.parameters[0] - truth[0]).abs() < 1e-5);
+        assert!((fit.parameters[1].abs() - truth[1]).abs() < 1e-5);
+    }
+
+    #[test]
+    fn lm_rejects_underdetermined() {
+        assert!(matches!(
+            levenberg_marquardt(|_| vec![1.0], &[0.0, 0.0], 1e-10, 10),
+            Err(FitError::NotEnoughData { .. })
+        ));
+    }
+}

@@ -1,0 +1,46 @@
+//! Small, dependency-free numerical toolbox backing the `ptherm` workspace.
+//!
+//! The DATE'05 power-thermal model is deliberately *closed-form*; numerics are
+//! only needed to build the reference solutions the paper compares against
+//! (SPICE-like DC operating points, "exact" thermal integrals, 3-D finite
+//! differences) and to post-process synthetic measurements. This crate
+//! provides exactly the machinery those references need and nothing more:
+//!
+//! * [`matrix`] — dense row-major matrices with LU factorization,
+//! * [`tridiag`] — Thomas-algorithm tridiagonal solves,
+//! * [`sparse`] — CSR matrices and matrix-free operators,
+//! * [`cg`] — (preconditioned) conjugate gradients,
+//! * [`roots`] — bracketing (bisection/Brent) and damped Newton in 1-D,
+//! * [`newton`] — damped multi-dimensional Newton with line search,
+//! * [`quadrature`] — adaptive Simpson and Gauss–Legendre rules in 1-D/2-D,
+//! * [`ode`] — RK4 and adaptive RKF45 integrators,
+//! * [`fit`] — linear least squares, exponential-saturation fits and a small
+//!   Levenberg–Marquardt implementation,
+//! * [`stats`] — error metrics used throughout the experiment harness.
+//!
+//! # Example
+//!
+//! ```
+//! use ptherm_math::roots::brent;
+//!
+//! # fn main() -> Result<(), ptherm_math::roots::RootError> {
+//! // Solve x^3 = 2 on [0, 2].
+//! let root = brent(|x| x * x * x - 2.0, 0.0, 2.0, 1e-12, 100)?;
+//! assert!((root - 2f64.powf(1.0 / 3.0)).abs() < 1e-10);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cg;
+pub mod fit;
+pub mod matrix;
+pub mod newton;
+pub mod ode;
+pub mod quadrature;
+pub mod roots;
+pub mod sparse;
+pub mod stats;
+pub mod tridiag;
+
+pub use matrix::Matrix;
+pub use sparse::CsrMatrix;

@@ -1,0 +1,500 @@
+//! Dense row-major matrices with partial-pivot LU factorization.
+//!
+//! Sized for the small systems that appear in this workspace: Jacobians of
+//! transistor networks (a handful of internal nodes) and least-squares normal
+//! equations. Everything is `f64`.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Error produced by factorizations and solves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveMatrixError {
+    /// The matrix is singular (a pivot collapsed below the tolerance).
+    Singular {
+        /// Column at which factorization broke down.
+        column: usize,
+    },
+    /// Operand dimensions do not line up.
+    DimensionMismatch {
+        /// What was expected, e.g. "rhs length 4".
+        expected: String,
+        /// What was found.
+        found: String,
+    },
+}
+
+impl fmt::Display for SolveMatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveMatrixError::Singular { column } => {
+                write!(f, "matrix is singular at column {column}")
+            }
+            SolveMatrixError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveMatrixError {}
+
+/// Dense row-major `f64` matrix.
+///
+/// # Example
+///
+/// ```
+/// use ptherm_math::Matrix;
+///
+/// # fn main() -> Result<(), ptherm_math::matrix::SolveMatrixError> {
+/// let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+/// let x = a.solve(&[1.0, 2.0])?;
+/// assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+/// assert!((x[0] + 3.0 * x[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveMatrixError::DimensionMismatch`] if rows have unequal
+    /// lengths or the input is empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, SolveMatrixError> {
+        let r = rows.len();
+        if r == 0 {
+            return Err(SolveMatrixError::DimensionMismatch {
+                expected: "at least one row".into(),
+                found: "0 rows".into(),
+            });
+        }
+        let c = rows[0].len();
+        if c == 0 {
+            return Err(SolveMatrixError::DimensionMismatch {
+                expected: "at least one column".into(),
+                found: "0 columns".into(),
+            });
+        }
+        let mut data = Vec::with_capacity(r * c);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != c {
+                return Err(SolveMatrixError::DimensionMismatch {
+                    expected: format!("row length {c}"),
+                    found: format!("row {i} has length {}", row.len()),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix {
+            rows: r,
+            cols: c,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow the underlying row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix-vector product `A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "mul_vec dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// Matrix-matrix product `A B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != b.rows()`.
+    pub fn mul_mat(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.cols, b.rows, "mul_mat dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, b.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..b.cols {
+                    out[(i, j)] += aik * b[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// LU factorization with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveMatrixError::Singular`] when a pivot vanishes and
+    /// [`SolveMatrixError::DimensionMismatch`] for non-square matrices.
+    pub fn lu(&self) -> Result<Lu, SolveMatrixError> {
+        if self.rows != self.cols {
+            return Err(SolveMatrixError::DimensionMismatch {
+                expected: "square matrix".into(),
+                found: format!("{}x{}", self.rows, self.cols),
+            });
+        }
+        let n = self.rows;
+        let mut lu = self.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Pivot search on column k.
+            let mut p = k;
+            let mut max = lu[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = lu[i * n + k].abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if max < f64::MIN_POSITIVE * 16.0 || !max.is_finite() {
+                return Err(SolveMatrixError::Singular { column: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, p * n + j);
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[k * n + k];
+            for i in (k + 1)..n {
+                let m = lu[i * n + k] / pivot;
+                lu[i * n + k] = m;
+                for j in (k + 1)..n {
+                    lu[i * n + j] -= m * lu[k * n + j];
+                }
+            }
+        }
+        Ok(Lu { n, lu, perm, sign })
+    }
+
+    /// Solves `A x = b` through LU factorization.
+    ///
+    /// # Errors
+    ///
+    /// See [`Matrix::lu`]; additionally checks that `b.len()` matches.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolveMatrixError> {
+        if b.len() != self.rows {
+            return Err(SolveMatrixError::DimensionMismatch {
+                expected: format!("rhs length {}", self.rows),
+                found: format!("rhs length {}", b.len()),
+            });
+        }
+        self.lu()?.solve(b)
+    }
+
+    /// Matrix inverse through LU factorization.
+    ///
+    /// # Errors
+    ///
+    /// See [`Matrix::lu`].
+    pub fn inverse(&self) -> Result<Matrix, SolveMatrixError> {
+        let lu = self.lu()?;
+        let n = self.rows;
+        let mut out = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e.fill(0.0);
+            e[j] = 1.0;
+            let col = lu.solve(&e)?;
+            for i in 0..n {
+                out[(i, j)] = col[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Determinant through LU factorization; zero for singular matrices.
+    pub fn determinant(&self) -> f64 {
+        match self.lu() {
+            Ok(lu) => lu.determinant(),
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Maximum absolute entry (infinity norm of the flattened matrix).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, v| m.max(v.abs()))
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.rows && j < self.cols, "matrix index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.rows && j < self.cols, "matrix index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:>12.5e}", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Partial-pivot LU factorization of a square matrix.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    n: usize,
+    lu: Vec<f64>,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+impl Lu {
+    /// Solves `A x = b` reusing the factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveMatrixError::DimensionMismatch`] if `b.len() != n`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolveMatrixError> {
+        if b.len() != self.n {
+            return Err(SolveMatrixError::DimensionMismatch {
+                expected: format!("rhs length {}", self.n),
+                found: format!("rhs length {}", b.len()),
+            });
+        }
+        let n = self.n;
+        // Forward substitution on the permuted rhs.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = acc / self.lu[i * n + i];
+        }
+        Ok(x)
+    }
+
+    /// Determinant recovered from the factorization.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.sign;
+        for i in 0..self.n {
+            det *= self.lu[i * self.n + i];
+        }
+        det
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn identity_solve_is_rhs() {
+        let a = Matrix::identity(4);
+        let b = [1.0, -2.0, 3.5, 0.25];
+        let x = a.solve(&b).unwrap();
+        assert_eq!(x, b.to_vec());
+    }
+
+    #[test]
+    fn solve_matches_known_system() {
+        let a =
+            Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]).unwrap();
+        let x = a.solve(&[8.0, -11.0, -3.0]).unwrap();
+        assert_close(x[0], 2.0, 1e-12);
+        assert_close(x[1], 3.0, 1e-12);
+        assert_close(x[2], -1.0, 1e-12);
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // Zero top-left pivot; fails without partial pivoting.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = a.solve(&[3.0, 7.0]).unwrap();
+        assert_close(x[0], 7.0, 1e-15);
+        assert_close(x[1], 3.0, 1e-15);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        match a.solve(&[1.0, 2.0]) {
+            Err(SolveMatrixError::Singular { .. }) => {}
+            other => panic!("expected singular error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn determinant_and_inverse_agree() {
+        let a = Matrix::from_rows(&[&[3.0, 0.5], &[-1.0, 2.0]]).unwrap();
+        let det = a.determinant();
+        assert_close(det, 6.5, 1e-12);
+        let inv = a.inverse().unwrap();
+        let prod = a.mul_mat(&inv);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_close(prod[(i, j)], if i == j { 1.0 } else { 0.0 }, 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn non_square_lu_is_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.lu(),
+            Err(SolveMatrixError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rhs_length_is_checked() {
+        let a = Matrix::identity(3);
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(SolveMatrixError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        let rows: [&[f64]; 2] = [&[1.0, 2.0], &[3.0]];
+        assert!(Matrix::from_rows(&rows).is_err());
+    }
+
+    #[test]
+    fn mul_vec_and_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let y = a.mul_vec(&[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![6.0, 15.0]);
+        let t = a.transposed();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let a = Matrix::identity(2);
+        assert!(!format!("{a}").is_empty());
+    }
+
+    #[test]
+    fn random_solve_roundtrip() {
+        // Deterministic pseudo-random matrix: x -> b -> solve -> x.
+        let n = 8;
+        let mut a = Matrix::zeros(n, n);
+        let mut seed = 0x12345678u64;
+        let mut next = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = next();
+            }
+            a[(i, i)] += 4.0; // diagonal dominance keeps it comfortably regular
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 3.0).collect();
+        let b = a.mul_vec(&x_true);
+        let x = a.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert_close(*xi, *ti, 1e-10);
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Damped multi-dimensional Newton iteration with a backtracking line search.
+//!
+//! This drives the general series-parallel network solver in `ptherm-spice`:
+//! unknowns are internal node voltages, residuals are KCL currents, and the
+//! Jacobian is assembled dense (networks have only a handful of nodes).
+
+use crate::matrix::{Matrix, SolveMatrixError};
+use std::fmt;
+
+/// Problem definition for [`solve_newton`].
+pub trait NewtonSystem {
+    /// Number of unknowns.
+    fn dim(&self) -> usize;
+
+    /// Residual vector `F(x)` written into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if slice lengths differ from [`Self::dim`].
+    fn residual(&self, x: &[f64], out: &mut [f64]);
+
+    /// Jacobian `J(x)`; the default implementation uses forward differences
+    /// on [`Self::residual`].
+    fn jacobian(&self, x: &[f64]) -> Matrix {
+        let n = self.dim();
+        let mut j = Matrix::zeros(n, n);
+        let mut f0 = vec![0.0; n];
+        let mut f1 = vec![0.0; n];
+        self.residual(x, &mut f0);
+        let mut xp = x.to_vec();
+        for col in 0..n {
+            let h = 1e-7 * (1.0 + x[col].abs());
+            xp[col] = x[col] + h;
+            self.residual(&xp, &mut f1);
+            xp[col] = x[col];
+            for row in 0..n {
+                j[(row, col)] = (f1[row] - f0[row]) / h;
+            }
+        }
+        j
+    }
+
+    /// Clamp an iterate into the admissible region (e.g. node voltages into
+    /// `[0, V_DD]`). The default is a no-op.
+    fn project(&self, _x: &mut [f64]) {}
+}
+
+/// Outcome of a successful Newton solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NewtonSolution {
+    /// Converged unknowns.
+    pub x: Vec<f64>,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Final residual infinity norm.
+    pub residual_norm: f64,
+}
+
+/// Error returned by [`solve_newton`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveNewtonError {
+    /// The Jacobian became singular.
+    SingularJacobian {
+        /// Iteration at which it happened.
+        iteration: usize,
+        /// Underlying factorization error.
+        source: SolveMatrixError,
+    },
+    /// Residual reduction stalled (line search exhausted).
+    Stalled {
+        /// Iteration at which progress stopped.
+        iteration: usize,
+        /// Residual norm at the stall point.
+        residual_norm: f64,
+        /// Iterate at the stall point.
+        x: Vec<f64>,
+    },
+    /// Iteration budget exhausted.
+    NotConverged {
+        /// Residual norm after the final iteration.
+        residual_norm: f64,
+        /// Final iterate.
+        x: Vec<f64>,
+    },
+    /// Residual produced NaN or infinity.
+    NonFinite,
+}
+
+impl fmt::Display for SolveNewtonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveNewtonError::SingularJacobian { iteration, source } => {
+                write!(
+                    f,
+                    "singular jacobian at newton iteration {iteration}: {source}"
+                )
+            }
+            SolveNewtonError::Stalled {
+                iteration,
+                residual_norm,
+                ..
+            } => write!(
+                f,
+                "newton stalled at iteration {iteration} with residual {residual_norm:.3e}"
+            ),
+            SolveNewtonError::NotConverged { residual_norm, .. } => {
+                write!(f, "newton did not converge (residual {residual_norm:.3e})")
+            }
+            SolveNewtonError::NonFinite => write!(f, "newton residual became non-finite"),
+        }
+    }
+}
+
+impl std::error::Error for SolveNewtonError {}
+
+fn inf_norm(v: &[f64]) -> f64 {
+    v.iter().fold(0.0, |m, x| m.max(x.abs()))
+}
+
+/// Solves `F(x) = 0` by damped Newton with backtracking.
+///
+/// Each step solves `J dx = -F`, then backtracks `dx <- dx/2` until the
+/// residual norm decreases (Armijo-like acceptance with zero slope demand,
+/// which is adequate for the well-behaved exponential systems here).
+///
+/// # Errors
+///
+/// See [`SolveNewtonError`]. On [`SolveNewtonError::Stalled`] and
+/// [`SolveNewtonError::NotConverged`] the best iterate is included so callers
+/// can fall back to bracketing methods.
+pub fn solve_newton<S: NewtonSystem + ?Sized>(
+    system: &S,
+    x0: &[f64],
+    tolerance: f64,
+    max_iter: usize,
+) -> Result<NewtonSolution, SolveNewtonError> {
+    let n = system.dim();
+    assert_eq!(x0.len(), n, "initial guess has wrong dimension");
+
+    let mut x = x0.to_vec();
+    system.project(&mut x);
+    let mut f = vec![0.0; n];
+    system.residual(&x, &mut f);
+    if f.iter().any(|v| !v.is_finite()) {
+        return Err(SolveNewtonError::NonFinite);
+    }
+    let mut fnorm = inf_norm(&f);
+
+    for iter in 0..max_iter {
+        if fnorm <= tolerance {
+            return Ok(NewtonSolution {
+                x,
+                iterations: iter,
+                residual_norm: fnorm,
+            });
+        }
+        let jac = system.jacobian(&x);
+        let neg_f: Vec<f64> = f.iter().map(|v| -v).collect();
+        let dx = match jac.solve(&neg_f) {
+            Ok(dx) => dx,
+            Err(source) => {
+                return Err(SolveNewtonError::SingularJacobian {
+                    iteration: iter,
+                    source,
+                })
+            }
+        };
+
+        let mut lambda = 1.0;
+        let mut accepted = false;
+        let mut x_new = vec![0.0; n];
+        let mut f_new = vec![0.0; n];
+        for _ in 0..40 {
+            for i in 0..n {
+                x_new[i] = x[i] + lambda * dx[i];
+            }
+            system.project(&mut x_new);
+            system.residual(&x_new, &mut f_new);
+            let ok = f_new.iter().all(|v| v.is_finite());
+            if ok && inf_norm(&f_new) < fnorm {
+                accepted = true;
+                break;
+            }
+            lambda *= 0.5;
+        }
+        if !accepted {
+            return Err(SolveNewtonError::Stalled {
+                iteration: iter,
+                residual_norm: fnorm,
+                x,
+            });
+        }
+        x.copy_from_slice(&x_new);
+        f.copy_from_slice(&f_new);
+        fnorm = inf_norm(&f);
+    }
+
+    if fnorm <= tolerance {
+        Ok(NewtonSolution {
+            x: x.clone(),
+            iterations: max_iter,
+            residual_norm: fnorm,
+        })
+    } else {
+        Err(SolveNewtonError::NotConverged {
+            residual_norm: fnorm,
+            x,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Quadratic;
+
+    impl NewtonSystem for Quadratic {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn residual(&self, x: &[f64], out: &mut [f64]) {
+            // x^2 + y^2 = 4, x - y = 0  =>  x = y = sqrt(2).
+            out[0] = x[0] * x[0] + x[1] * x[1] - 4.0;
+            out[1] = x[0] - x[1];
+        }
+        fn project(&self, x: &mut [f64]) {
+            for v in x.iter_mut() {
+                *v = v.clamp(0.0, 10.0);
+            }
+        }
+    }
+
+    #[test]
+    fn solves_2d_system_with_fd_jacobian() {
+        let sol = solve_newton(&Quadratic, &[1.0, 2.0], 1e-10, 50).unwrap();
+        let s = 2f64.sqrt();
+        assert!((sol.x[0] - s).abs() < 1e-6);
+        assert!((sol.x[1] - s).abs() < 1e-6);
+    }
+
+    struct Exponential;
+
+    impl NewtonSystem for Exponential {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn residual(&self, x: &[f64], out: &mut [f64]) {
+            out[0] = x[0].exp() - 3.0;
+        }
+        fn jacobian(&self, x: &[f64]) -> Matrix {
+            let mut j = Matrix::zeros(1, 1);
+            j[(0, 0)] = x[0].exp();
+            j
+        }
+    }
+
+    #[test]
+    fn analytic_jacobian_path() {
+        let sol = solve_newton(&Exponential, &[0.0], 1e-12, 50).unwrap();
+        assert!((sol.x[0] - 3f64.ln()).abs() < 1e-10);
+        assert!(sol.iterations < 20);
+    }
+
+    struct NoRoot;
+
+    impl NewtonSystem for NoRoot {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn residual(&self, x: &[f64], out: &mut [f64]) {
+            out[0] = x[0] * x[0] + 1.0; // strictly positive
+        }
+    }
+
+    #[test]
+    fn rootless_system_reports_stall_or_budget() {
+        match solve_newton(&NoRoot, &[3.0], 1e-12, 30) {
+            Err(SolveNewtonError::Stalled { .. }) | Err(SolveNewtonError::NotConverged { .. }) => {}
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn already_converged_returns_immediately() {
+        let sol = solve_newton(&Exponential, &[3f64.ln()], 1e-9, 5).unwrap();
+        assert_eq!(sol.iterations, 0);
+    }
+}

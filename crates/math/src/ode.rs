@@ -1,0 +1,327 @@
+//! Explicit ODE integrators: classic RK4 and adaptive RKF45.
+//!
+//! The self-heating transient of Figs. 9–10 is a (possibly multi-node)
+//! thermal RC network `C dT/dt = P(t) - G (T - T_amb)`; these integrators
+//! produce the synthetic oscilloscope traces the measurement rig digitizes.
+
+use std::fmt;
+
+/// Error returned by the adaptive integrator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IntegrateOdeError {
+    /// Step size collapsed below `min_step` without meeting the tolerance.
+    StepUnderflow {
+        /// Time at which the step collapsed.
+        t: f64,
+    },
+    /// The derivative returned NaN or infinity.
+    NonFinite {
+        /// Time of the offending evaluation.
+        t: f64,
+    },
+    /// Invalid time span or tolerances.
+    BadInput {
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for IntegrateOdeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntegrateOdeError::StepUnderflow { t } => {
+                write!(f, "ode step size underflow at t = {t:.6e}")
+            }
+            IntegrateOdeError::NonFinite { t } => {
+                write!(f, "ode derivative non-finite at t = {t:.6e}")
+            }
+            IntegrateOdeError::BadInput { detail } => write!(f, "ode bad input: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for IntegrateOdeError {}
+
+/// Dense output of an ODE integration: sample times and states.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OdeTrajectory {
+    /// Sample times, strictly increasing, first = t0, last = t1.
+    pub t: Vec<f64>,
+    /// State at each sample time (`y[i].len() == dim`).
+    pub y: Vec<Vec<f64>>,
+}
+
+impl OdeTrajectory {
+    /// Linear interpolation of the state at time `t` (clamped to the span).
+    pub fn sample(&self, t: f64) -> Vec<f64> {
+        if self.t.is_empty() {
+            return Vec::new();
+        }
+        if t <= self.t[0] {
+            return self.y[0].clone();
+        }
+        if t >= *self.t.last().expect("nonempty") {
+            return self.y.last().expect("nonempty").clone();
+        }
+        let idx = match self
+            .t
+            .binary_search_by(|v| v.partial_cmp(&t).expect("finite times"))
+        {
+            Ok(i) => return self.y[i].clone(),
+            Err(i) => i,
+        };
+        let (t0, t1) = (self.t[idx - 1], self.t[idx]);
+        let w = (t - t0) / (t1 - t0);
+        self.y[idx - 1]
+            .iter()
+            .zip(&self.y[idx])
+            .map(|(a, b)| a + w * (b - a))
+            .collect()
+    }
+}
+
+/// Fixed-step classic Runge–Kutta 4 integration from `t0` to `t1`.
+///
+/// Records every step in the returned trajectory.
+///
+/// # Panics
+///
+/// Panics if `steps == 0` or `t1 <= t0`.
+pub fn rk4<F>(mut f: F, t0: f64, t1: f64, y0: &[f64], steps: usize) -> OdeTrajectory
+where
+    F: FnMut(f64, &[f64]) -> Vec<f64>,
+{
+    assert!(steps > 0, "rk4 needs at least one step");
+    assert!(t1 > t0, "rk4 needs a forward time span");
+    let h = (t1 - t0) / steps as f64;
+    let n = y0.len();
+    let mut t = t0;
+    let mut y = y0.to_vec();
+    let mut out_t = Vec::with_capacity(steps + 1);
+    let mut out_y = Vec::with_capacity(steps + 1);
+    out_t.push(t);
+    out_y.push(y.clone());
+    for _ in 0..steps {
+        let k1 = f(t, &y);
+        let y2: Vec<f64> = (0..n).map(|i| y[i] + 0.5 * h * k1[i]).collect();
+        let k2 = f(t + 0.5 * h, &y2);
+        let y3: Vec<f64> = (0..n).map(|i| y[i] + 0.5 * h * k2[i]).collect();
+        let k3 = f(t + 0.5 * h, &y3);
+        let y4: Vec<f64> = (0..n).map(|i| y[i] + h * k3[i]).collect();
+        let k4 = f(t + h, &y4);
+        for i in 0..n {
+            y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+        t += h;
+        out_t.push(t);
+        out_y.push(y.clone());
+    }
+    OdeTrajectory { t: out_t, y: out_y }
+}
+
+// Runge–Kutta–Fehlberg 4(5) Butcher tableau.
+const A21: f64 = 1.0 / 4.0;
+const A31: f64 = 3.0 / 32.0;
+const A32: f64 = 9.0 / 32.0;
+const A41: f64 = 1932.0 / 2197.0;
+const A42: f64 = -7200.0 / 2197.0;
+const A43: f64 = 7296.0 / 2197.0;
+const A51: f64 = 439.0 / 216.0;
+const A52: f64 = -8.0;
+const A53: f64 = 3680.0 / 513.0;
+const A54: f64 = -845.0 / 4104.0;
+const A61: f64 = -8.0 / 27.0;
+const A62: f64 = 2.0;
+const A63: f64 = -3544.0 / 2565.0;
+const A64: f64 = 1859.0 / 4104.0;
+const A65: f64 = -11.0 / 40.0;
+// 5th-order weights.
+const B1: f64 = 16.0 / 135.0;
+const B3: f64 = 6656.0 / 12825.0;
+const B4: f64 = 28561.0 / 56430.0;
+const B5: f64 = -9.0 / 50.0;
+const B6: f64 = 2.0 / 55.0;
+// 4th-order weights (for the error estimate).
+const E1: f64 = 25.0 / 216.0;
+const E3: f64 = 1408.0 / 2565.0;
+const E4: f64 = 2197.0 / 4104.0;
+const E5: f64 = -1.0 / 5.0;
+
+/// Adaptive RKF45 integration from `t0` to `t1` with per-component absolute
+/// tolerance `tol`.
+///
+/// # Errors
+///
+/// See [`IntegrateOdeError`].
+pub fn rkf45<F>(
+    mut f: F,
+    t0: f64,
+    t1: f64,
+    y0: &[f64],
+    tol: f64,
+    min_step: f64,
+) -> Result<OdeTrajectory, IntegrateOdeError>
+where
+    F: FnMut(f64, &[f64]) -> Vec<f64>,
+{
+    if !(t1 > t0) || !tol.is_finite() || tol <= 0.0 {
+        return Err(IntegrateOdeError::BadInput {
+            detail: format!("span [{t0}, {t1}], tol {tol}"),
+        });
+    }
+    let n = y0.len();
+    let mut t = t0;
+    let mut y = y0.to_vec();
+    let mut h = (t1 - t0) / 100.0;
+    let mut out_t = vec![t];
+    let mut out_y = vec![y.clone()];
+
+    let check = |v: &[f64], t: f64| -> Result<(), IntegrateOdeError> {
+        if v.iter().any(|x| !x.is_finite()) {
+            Err(IntegrateOdeError::NonFinite { t })
+        } else {
+            Ok(())
+        }
+    };
+
+    while t < t1 {
+        if h < min_step {
+            return Err(IntegrateOdeError::StepUnderflow { t });
+        }
+        if t + h > t1 {
+            h = t1 - t;
+        }
+        let k1 = f(t, &y);
+        check(&k1, t)?;
+        let y2: Vec<f64> = (0..n).map(|i| y[i] + h * A21 * k1[i]).collect();
+        let k2 = f(t + h / 4.0, &y2);
+        check(&k2, t)?;
+        let y3: Vec<f64> = (0..n)
+            .map(|i| y[i] + h * (A31 * k1[i] + A32 * k2[i]))
+            .collect();
+        let k3 = f(t + 3.0 * h / 8.0, &y3);
+        check(&k3, t)?;
+        let y4: Vec<f64> = (0..n)
+            .map(|i| y[i] + h * (A41 * k1[i] + A42 * k2[i] + A43 * k3[i]))
+            .collect();
+        let k4 = f(t + 12.0 * h / 13.0, &y4);
+        check(&k4, t)?;
+        let y5: Vec<f64> = (0..n)
+            .map(|i| y[i] + h * (A51 * k1[i] + A52 * k2[i] + A53 * k3[i] + A54 * k4[i]))
+            .collect();
+        let k5 = f(t + h, &y5);
+        check(&k5, t)?;
+        let y6: Vec<f64> = (0..n)
+            .map(|i| {
+                y[i] + h * (A61 * k1[i] + A62 * k2[i] + A63 * k3[i] + A64 * k4[i] + A65 * k5[i])
+            })
+            .collect();
+        let k6 = f(t + h / 2.0, &y6);
+        check(&k6, t)?;
+
+        let mut err: f64 = 0.0;
+        let mut y_next = vec![0.0; n];
+        for i in 0..n {
+            let hi = B1 * k1[i] + B3 * k3[i] + B4 * k4[i] + B5 * k5[i] + B6 * k6[i];
+            let lo = E1 * k1[i] + E3 * k3[i] + E4 * k4[i] + E5 * k5[i];
+            y_next[i] = y[i] + h * hi;
+            err = err.max((h * (hi - lo)).abs());
+        }
+
+        if err <= tol || h <= min_step * 2.0 {
+            t += h;
+            y = y_next;
+            out_t.push(t);
+            out_y.push(y.clone());
+        }
+        // Step-size controller (clamped growth).
+        let scale = if err > 0.0 {
+            0.9 * (tol / err).powf(0.2)
+        } else {
+            4.0
+        };
+        h *= scale.clamp(0.2, 4.0);
+    }
+    Ok(OdeTrajectory { t: out_t, y: out_y })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rk4_exponential_decay() {
+        // dy/dt = -y, y(0) = 1  =>  y(t) = e^{-t}.
+        let traj = rk4(|_, y| vec![-y[0]], 0.0, 5.0, &[1.0], 500);
+        let last = traj.y.last().unwrap()[0];
+        assert!((last - (-5.0f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rkf45_matches_rk4_on_rc_charging() {
+        // Thermal RC: C dT/dt = P - G T with P/G = 10, tau = C/G = 2.
+        let g = 0.5;
+        let c = 1.0;
+        let p = 5.0;
+        let rhs = move |_t: f64, y: &[f64]| vec![(p - g * y[0]) / c];
+        let fine = rk4(rhs, 0.0, 8.0, &[0.0], 4000);
+        let adaptive = rkf45(rhs, 0.0, 8.0, &[0.0], 1e-10, 1e-12).unwrap();
+        let exact = |t: f64| (p / g) * (1.0 - (-g * t / c).exp());
+        assert!((fine.y.last().unwrap()[0] - exact(8.0)).abs() < 1e-8);
+        assert!((adaptive.y.last().unwrap()[0] - exact(8.0)).abs() < 1e-7);
+        // Interpolated sample agrees mid-span; the sampler is linear between
+        // (possibly large) adaptive steps, so the tolerance is loose here.
+        let mid = adaptive.sample(3.3)[0];
+        assert!((mid - exact(3.3)).abs() < 0.05);
+    }
+
+    #[test]
+    fn rkf45_rejects_bad_input() {
+        assert!(matches!(
+            rkf45(|_, y| vec![-y[0]], 1.0, 0.0, &[1.0], 1e-8, 1e-12),
+            Err(IntegrateOdeError::BadInput { .. })
+        ));
+        assert!(matches!(
+            rkf45(|_, y| vec![-y[0]], 0.0, 1.0, &[1.0], -1.0, 1e-12),
+            Err(IntegrateOdeError::BadInput { .. })
+        ));
+    }
+
+    #[test]
+    fn rkf45_flags_nonfinite_derivative() {
+        let res = rkf45(
+            |t, _| vec![if t > 0.5 { f64::NAN } else { 1.0 }],
+            0.0,
+            1.0,
+            &[0.0],
+            1e-8,
+            1e-12,
+        );
+        assert!(matches!(res, Err(IntegrateOdeError::NonFinite { .. })));
+    }
+
+    #[test]
+    fn trajectory_sampling_clamps_to_span() {
+        let traj = rk4(|_, y| vec![-y[0]], 0.0, 1.0, &[2.0], 10);
+        assert_eq!(traj.sample(-1.0)[0], 2.0);
+        let end = traj.y.last().unwrap()[0];
+        assert_eq!(traj.sample(99.0)[0], end);
+    }
+
+    #[test]
+    fn rkf45_two_dimensional_oscillator() {
+        // y'' = -y as a system; energy must be conserved to tolerance.
+        let traj = rkf45(
+            |_, y| vec![y[1], -y[0]],
+            0.0,
+            std::f64::consts::TAU,
+            &[1.0, 0.0],
+            1e-10,
+            1e-13,
+        )
+        .unwrap();
+        let last = traj.y.last().unwrap();
+        assert!((last[0] - 1.0).abs() < 1e-6);
+        assert!(last[1].abs() < 1e-6);
+    }
+}

@@ -1,0 +1,326 @@
+//! Numerical integration: fixed-order Gauss–Legendre and adaptive Simpson,
+//! in one and two dimensions.
+//!
+//! The "exact" thermal profile of the paper (Eq. 17) is a singular surface
+//! integral `∬ dA / r`; the adaptive 2-D Simpson rule here integrates it to
+//! high accuracy away from the singularity and cross-checks the closed-form
+//! corner-term primitive implemented in `ptherm-thermal-num`.
+
+use std::fmt;
+
+/// Error produced by the adaptive integrators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IntegrateError {
+    /// Recursion depth exhausted before the local tolerance was met.
+    DepthExhausted {
+        /// Interval (or cell) midpoint where refinement gave up.
+        at: f64,
+    },
+    /// The integrand returned NaN or infinity.
+    NonFinite {
+        /// Evaluation abscissa.
+        at: f64,
+    },
+    /// Invalid integration bounds (reversed or non-finite).
+    BadBounds,
+}
+
+impl fmt::Display for IntegrateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntegrateError::DepthExhausted { at } => {
+                write!(f, "adaptive refinement depth exhausted near {at:.6e}")
+            }
+            IntegrateError::NonFinite { at } => {
+                write!(f, "integrand non-finite at {at:.6e}")
+            }
+            IntegrateError::BadBounds => write!(f, "invalid integration bounds"),
+        }
+    }
+}
+
+impl std::error::Error for IntegrateError {}
+
+/// 16-point Gauss–Legendre nodes on [-1, 1] (positive half; symmetric).
+const GL16_X: [f64; 8] = [
+    0.0950125098376374,
+    0.2816035507792589,
+    0.4580167776572274,
+    0.6178762444026438,
+    0.7554044083550030,
+    0.8656312023878318,
+    0.9445750230732326,
+    0.9894009349916499,
+];
+const GL16_W: [f64; 8] = [
+    0.1894506104550685,
+    0.1826034150449236,
+    0.1691565193950025,
+    0.1495959888165767,
+    0.1246289712555339,
+    0.0951585116824928,
+    0.0622535239386479,
+    0.0271524594117541,
+];
+
+/// Fixed 16-point Gauss–Legendre quadrature on `[a, b]`.
+///
+/// Exact for polynomials up to degree 31; the workhorse for smooth
+/// integrands.
+///
+/// # Example
+///
+/// ```
+/// use ptherm_math::quadrature::gauss_legendre_16;
+///
+/// let integral = gauss_legendre_16(|x| x.sin(), 0.0, std::f64::consts::PI);
+/// assert!((integral - 2.0).abs() < 1e-12);
+/// ```
+pub fn gauss_legendre_16<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64) -> f64 {
+    let c = 0.5 * (a + b);
+    let h = 0.5 * (b - a);
+    let mut acc = 0.0;
+    for i in 0..8 {
+        let dx = h * GL16_X[i];
+        acc += GL16_W[i] * (f(c - dx) + f(c + dx));
+    }
+    acc * h
+}
+
+fn simpson(fa: f64, fm: f64, fb: f64, h: f64) -> f64 {
+    h / 6.0 * (fa + 4.0 * fm + fb)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn adaptive_simpson_rec<F: FnMut(f64) -> f64>(
+    f: &mut F,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fm: f64,
+    fb: f64,
+    whole: f64,
+    tol: f64,
+    depth: usize,
+) -> Result<f64, IntegrateError> {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    if !flm.is_finite() {
+        return Err(IntegrateError::NonFinite { at: lm });
+    }
+    if !frm.is_finite() {
+        return Err(IntegrateError::NonFinite { at: rm });
+    }
+    let left = simpson(fa, flm, fm, m - a);
+    let right = simpson(fm, frm, fb, b - m);
+    let delta = left + right - whole;
+    if delta.abs() <= 15.0 * tol {
+        return Ok(left + right + delta / 15.0);
+    }
+    if depth == 0 {
+        return Err(IntegrateError::DepthExhausted { at: m });
+    }
+    let l = adaptive_simpson_rec(f, a, m, fa, flm, fm, left, 0.5 * tol, depth - 1)?;
+    let r = adaptive_simpson_rec(f, m, b, fm, frm, fb, right, 0.5 * tol, depth - 1)?;
+    Ok(l + r)
+}
+
+/// Adaptive Simpson quadrature on `[a, b]` with absolute tolerance `tol`.
+///
+/// # Errors
+///
+/// See [`IntegrateError`].
+pub fn adaptive_simpson<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    tol: f64,
+    max_depth: usize,
+) -> Result<f64, IntegrateError> {
+    if !a.is_finite() || !b.is_finite() || a >= b {
+        return Err(IntegrateError::BadBounds);
+    }
+    let m = 0.5 * (a + b);
+    let fa = f(a);
+    let fm = f(m);
+    let fb = f(b);
+    for (v, at) in [(fa, a), (fm, m), (fb, b)] {
+        if !v.is_finite() {
+            return Err(IntegrateError::NonFinite { at });
+        }
+    }
+    let whole = simpson(fa, fm, fb, b - a);
+    adaptive_simpson_rec(&mut f, a, b, fa, fm, fb, whole, tol, max_depth)
+}
+
+/// Adaptive 2-D integration of `f(x, y)` over the rectangle
+/// `[ax, bx] x [ay, by]`, by nesting adaptive Simpson rules.
+///
+/// The inner integral is evaluated with tolerance `tol / (bx - ax)` so the
+/// outer error target is honoured.
+///
+/// # Errors
+///
+/// See [`IntegrateError`].
+pub fn adaptive_simpson_2d<F>(
+    mut f: F,
+    ax: f64,
+    bx: f64,
+    ay: f64,
+    by: f64,
+    tol: f64,
+    max_depth: usize,
+) -> Result<f64, IntegrateError>
+where
+    F: FnMut(f64, f64) -> f64,
+{
+    if ax >= bx || ay >= by {
+        return Err(IntegrateError::BadBounds);
+    }
+    let inner_tol = tol / (bx - ax).max(1.0);
+    let mut failure: Option<IntegrateError> = None;
+    let result = adaptive_simpson(
+        |x| match adaptive_simpson(|y| f(x, y), ay, by, inner_tol, max_depth) {
+            Ok(v) => v,
+            Err(e) => {
+                if failure.is_none() {
+                    failure = Some(e);
+                }
+                f64::NAN
+            }
+        },
+        ax,
+        bx,
+        tol,
+        max_depth,
+    );
+    match (result, failure) {
+        (Ok(v), None) => Ok(v),
+        (_, Some(e)) => Err(e),
+        (Err(e), None) => Err(e),
+    }
+}
+
+/// Tensor-product 16x16 Gauss–Legendre rule over a rectangle; fast and
+/// accurate for smooth 2-D integrands (used per-subcell by the thermal
+/// quadrature reference).
+pub fn gauss_legendre_2d<F>(mut f: F, ax: f64, bx: f64, ay: f64, by: f64) -> f64
+where
+    F: FnMut(f64, f64) -> f64,
+{
+    let cx = 0.5 * (ax + bx);
+    let hx = 0.5 * (bx - ax);
+    let cy = 0.5 * (ay + by);
+    let hy = 0.5 * (by - ay);
+    let mut acc = 0.0;
+    for i in 0..8 {
+        for si in [-1.0, 1.0] {
+            let x = cx + si * hx * GL16_X[i];
+            let wi = GL16_W[i];
+            for j in 0..8 {
+                for sj in [-1.0, 1.0] {
+                    let y = cy + sj * hy * GL16_X[j];
+                    acc += wi * GL16_W[j] * f(x, y);
+                }
+            }
+        }
+    }
+    acc * hx * hy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn gauss_legendre_polynomial_exactness() {
+        // Degree-9 polynomial integrates exactly.
+        let f = |x: f64| 3.0 * x.powi(9) - x.powi(4) + 2.0;
+        let got = gauss_legendre_16(f, -1.0, 2.0);
+        let exact = |x: f64| 0.3 * x.powi(10) - 0.2 * x.powi(5) + 2.0 * x;
+        assert!((got - (exact(2.0) - exact(-1.0))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adaptive_simpson_smooth() {
+        let v = adaptive_simpson(|x| (-x).exp(), 0.0, 10.0, 1e-12, 40).unwrap();
+        assert!((v - (1.0 - (-10.0f64).exp())).abs() < 1e-10);
+    }
+
+    #[test]
+    fn adaptive_simpson_handles_peaked_integrand() {
+        // Narrow Lorentzian centered off-midpoint.
+        let eps = 1e-3;
+        let v = adaptive_simpson(
+            |x: f64| eps / (eps * eps + (x - 0.3) * (x - 0.3)),
+            -1.0,
+            1.0,
+            1e-10,
+            48,
+        )
+        .unwrap();
+        let exact = ((1.0 - 0.3) / eps).atan() + ((1.0 + 0.3) / eps).atan();
+        assert!((v - exact).abs() < 1e-7, "{v} vs {exact}");
+    }
+
+    #[test]
+    fn bad_bounds_rejected() {
+        assert!(matches!(
+            adaptive_simpson(|x| x, 1.0, 0.0, 1e-9, 10),
+            Err(IntegrateError::BadBounds)
+        ));
+        assert!(matches!(
+            adaptive_simpson_2d(|x, _| x, 0.0, 1.0, 2.0, 1.0, 1e-9, 10),
+            Err(IntegrateError::BadBounds)
+        ));
+    }
+
+    #[test]
+    fn nonfinite_integrand_reported() {
+        assert!(matches!(
+            adaptive_simpson(|x| 1.0 / x, 0.0, 1.0, 1e-9, 20),
+            Err(IntegrateError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn two_dimensional_separable() {
+        // ∬ sin(x) e^{-y} over [0,pi]x[0,1] = 2 (1 - e^{-1}).
+        let v =
+            adaptive_simpson_2d(|x, y| x.sin() * (-y).exp(), 0.0, PI, 0.0, 1.0, 1e-10, 30).unwrap();
+        let exact = 2.0 * (1.0 - (-1.0f64).exp());
+        assert!((v - exact).abs() < 1e-8);
+        let g = gauss_legendre_2d(|x, y| x.sin() * (-y).exp(), 0.0, PI, 0.0, 1.0);
+        assert!((g - exact).abs() < 1e-10);
+    }
+
+    #[test]
+    fn inverse_distance_integral_matches_closed_form() {
+        // ∬_{[-a,a]^2} dA / sqrt(x^2 + y^2 + z^2) with z offset has the
+        // classic corner closed form; check the quadrature against it at
+        // z = 0.5, a = 1.
+        let a = 1.0;
+        let z: f64 = 0.5;
+        let num = adaptive_simpson_2d(
+            |x, y| 1.0 / (x * x + y * y + z * z).sqrt(),
+            -a,
+            a,
+            -a,
+            a,
+            1e-10,
+            36,
+        )
+        .unwrap();
+        // Corner primitive: F(x,y) = x ln(y+r) + y ln(x+r) - z atan(x y / (z r)).
+        let corner = |x: f64, y: f64| {
+            let r = (x * x + y * y + z * z).sqrt();
+            x * (y + r).ln() + y * (x + r).ln() - z * (x * y / (z * r)).atan()
+        };
+        let exact = corner(a, a) - corner(-a, a) - corner(a, -a) + corner(-a, -a);
+        assert!((num - exact).abs() < 1e-7, "{num} vs {exact}");
+    }
+}

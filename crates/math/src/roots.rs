@@ -1,0 +1,395 @@
+//! One-dimensional root finding: bisection, Brent's method and damped Newton.
+//!
+//! The exact stacked-node equation of the leakage model,
+//! `e^{alpha x / V_T} (1 - e^{-x / V_T}) = R`, is solved with [`brent`] to
+//! produce the "exact" curve the paper's Eq. (10) is benchmarked against
+//! (Fig. 3), and the SPICE-substitute falls back to bracketing when Newton
+//! stalls.
+
+use std::fmt;
+
+/// Error produced by the 1-D root finders.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RootError {
+    /// The supplied interval does not bracket a sign change.
+    NoBracket {
+        /// Function value at the left end.
+        f_left: f64,
+        /// Function value at the right end.
+        f_right: f64,
+    },
+    /// The iteration budget was exhausted before reaching the tolerance.
+    NotConverged {
+        /// Best estimate when the budget ran out.
+        best: f64,
+        /// Residual at the best estimate.
+        residual: f64,
+    },
+    /// The function returned NaN/inf inside the search interval.
+    NonFinite {
+        /// Evaluation point that produced the non-finite value.
+        at: f64,
+    },
+}
+
+impl fmt::Display for RootError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RootError::NoBracket { f_left, f_right } => write!(
+                f,
+                "interval does not bracket a root (f(a) = {f_left:.3e}, f(b) = {f_right:.3e})"
+            ),
+            RootError::NotConverged { best, residual } => write!(
+                f,
+                "root search did not converge (best x = {best:.6e}, residual {residual:.3e})"
+            ),
+            RootError::NonFinite { at } => {
+                write!(
+                    f,
+                    "function evaluated to a non-finite value at x = {at:.6e}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RootError {}
+
+/// Plain bisection on `[a, b]`.
+///
+/// Robust but slow; used as the fallback of last resort.
+///
+/// # Errors
+///
+/// [`RootError::NoBracket`] if `f(a)` and `f(b)` have the same sign,
+/// [`RootError::NonFinite`] if the function misbehaves.
+pub fn bisect<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut a: f64,
+    mut b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, RootError> {
+    let mut fa = f(a);
+    let fb = f(b);
+    if !fa.is_finite() {
+        return Err(RootError::NonFinite { at: a });
+    }
+    if !fb.is_finite() {
+        return Err(RootError::NonFinite { at: b });
+    }
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(RootError::NoBracket {
+            f_left: fa,
+            f_right: fb,
+        });
+    }
+    for _ in 0..max_iter {
+        let m = 0.5 * (a + b);
+        let fm = f(m);
+        if !fm.is_finite() {
+            return Err(RootError::NonFinite { at: m });
+        }
+        if fm == 0.0 || (b - a).abs() < tol {
+            return Ok(m);
+        }
+        if fm.signum() == fa.signum() {
+            a = m;
+            fa = fm;
+        } else {
+            b = m;
+        }
+    }
+    let m = 0.5 * (a + b);
+    Err(RootError::NotConverged {
+        best: m,
+        residual: f(m),
+    })
+}
+
+/// Brent's method on `[a, b]`: bisection safety with superlinear speed.
+///
+/// # Errors
+///
+/// Same conditions as [`bisect`].
+///
+/// # Example
+///
+/// ```
+/// use ptherm_math::roots::brent;
+///
+/// # fn main() -> Result<(), ptherm_math::roots::RootError> {
+/// let r = brent(|x| x.exp() - 2.0, 0.0, 1.0, 1e-14, 100)?;
+/// assert!((r - 2f64.ln()).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn brent<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a0: f64,
+    b0: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, RootError> {
+    let mut a = a0;
+    let mut b = b0;
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if !fa.is_finite() {
+        return Err(RootError::NonFinite { at: a });
+    }
+    if !fb.is_finite() {
+        return Err(RootError::NonFinite { at: b });
+    }
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(RootError::NoBracket {
+            f_left: fa,
+            f_right: fb,
+        });
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut mflag = true;
+
+    for _ in 0..max_iter {
+        if fb == 0.0 || (b - a).abs() < tol {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+
+        let lo = (3.0 * a + b) / 4.0;
+        let cond1 = !((s > lo.min(b) && s < lo.max(b)) || (s > b.min(lo) && s < b.max(lo)));
+        let cond2 = mflag && (s - b).abs() >= (b - c).abs() / 2.0;
+        let cond3 = !mflag && (s - b).abs() >= (c - d).abs() / 2.0;
+        let cond4 = mflag && (b - c).abs() < tol;
+        let cond5 = !mflag && (c - d).abs() < tol;
+        if cond1 || cond2 || cond3 || cond4 || cond5 {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+
+        let fs = f(s);
+        if !fs.is_finite() {
+            return Err(RootError::NonFinite { at: s });
+        }
+        d = c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(RootError::NotConverged {
+        best: b,
+        residual: fb,
+    })
+}
+
+/// Damped Newton iteration with bracketing safeguards.
+///
+/// `f_df` must return `(f(x), f'(x))`. The iterate is clamped to `[lo, hi]`
+/// and halves its step until the residual decreases (up to 30 halvings),
+/// which tames the exponential device equations.
+///
+/// # Errors
+///
+/// [`RootError::NotConverged`] if the budget runs out,
+/// [`RootError::NonFinite`] if the function misbehaves.
+pub fn newton_damped<F: FnMut(f64) -> (f64, f64)>(
+    mut f_df: F,
+    x0: f64,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, RootError> {
+    let mut x = x0.clamp(lo, hi);
+    let (mut fx, mut dfx) = f_df(x);
+    if !fx.is_finite() {
+        return Err(RootError::NonFinite { at: x });
+    }
+    for _ in 0..max_iter {
+        if fx.abs() <= tol {
+            return Ok(x);
+        }
+        let mut step = if dfx.abs() > f64::MIN_POSITIVE {
+            -fx / dfx
+        } else {
+            // Flat derivative: nudge toward the middle of the interval.
+            0.5 * ((lo + hi) * 0.5 - x)
+        };
+        if !step.is_finite() {
+            return Err(RootError::NonFinite { at: x });
+        }
+        // Damped update: halve until the residual actually decreases.
+        let mut accepted = false;
+        for _ in 0..30 {
+            let x_new = (x + step).clamp(lo, hi);
+            let (f_new, df_new) = f_df(x_new);
+            if f_new.is_finite() && f_new.abs() < fx.abs() {
+                x = x_new;
+                fx = f_new;
+                dfx = df_new;
+                accepted = true;
+                break;
+            }
+            step *= 0.5;
+        }
+        if !accepted {
+            // Stalled; report where we are.
+            return Err(RootError::NotConverged {
+                best: x,
+                residual: fx,
+            });
+        }
+    }
+    if fx.abs() <= tol {
+        Ok(x)
+    } else {
+        Err(RootError::NotConverged {
+            best: x,
+            residual: fx,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_cubic_root() {
+        let r = bisect(|x| x * x * x - 8.0, 0.0, 4.0, 1e-12, 200).unwrap();
+        assert!((r - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_rejects_bad_bracket() {
+        assert!(matches!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 50),
+            Err(RootError::NoBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn brent_matches_bisect_but_faster() {
+        let mut n_brent = 0usize;
+        let mut n_bisect = 0usize;
+        let f = |x: f64| (x - 0.337).tanh() + 0.1 * x;
+        let rb = brent(
+            |x| {
+                n_brent += 1;
+                f(x)
+            },
+            -4.0,
+            4.0,
+            1e-13,
+            200,
+        )
+        .unwrap();
+        let ri = bisect(
+            |x| {
+                n_bisect += 1;
+                f(x)
+            },
+            -4.0,
+            4.0,
+            1e-13,
+            200,
+        )
+        .unwrap();
+        assert!((rb - ri).abs() < 1e-9);
+        assert!(n_brent < n_bisect, "brent {n_brent} vs bisect {n_bisect}");
+    }
+
+    #[test]
+    fn brent_endpoint_root() {
+        let r = brent(|x| x, 0.0, 1.0, 1e-14, 50).unwrap();
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn brent_nonfinite_reported() {
+        assert!(matches!(
+            brent(
+                |x| if x > 0.5 { f64::NAN } else { -1.0 },
+                0.0,
+                1.0,
+                1e-12,
+                50
+            ),
+            Err(RootError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn newton_converges_on_exponential() {
+        // Same structure as the stack equation: e^{2x}(1 - e^{-x}) = 1.
+        let g = |x: f64| {
+            let e2 = (2.0 * x).exp();
+            let em = (-x).exp();
+            (e2 * (1.0 - em) - 1.0, 2.0 * e2 * (1.0 - em) + e2 * em)
+        };
+        let x = newton_damped(g, 0.1, 0.0, 5.0, 1e-13, 100).unwrap();
+        let check = (2.0 * x).exp() * (1.0 - (-x).exp());
+        assert!((check - 1.0).abs() < 1e-10);
+        // Cross-check against Brent.
+        let xb = brent(
+            |x| (2.0 * x).exp() * (1.0 - (-x).exp()) - 1.0,
+            1e-9,
+            5.0,
+            1e-13,
+            200,
+        )
+        .unwrap();
+        assert!((x - xb).abs() < 1e-9);
+    }
+
+    #[test]
+    fn newton_respects_bounds() {
+        // Root at x = -3 lies outside [0, 10]; must not converge but also
+        // must not escape the interval.
+        let res = newton_damped(|x| (x + 3.0, 1.0), 5.0, 0.0, 10.0, 1e-12, 25);
+        match res {
+            Err(RootError::NotConverged { best, .. }) => {
+                assert!((0.0..=10.0).contains(&best));
+            }
+            other => panic!("expected NotConverged, got {other:?}"),
+        }
+    }
+}

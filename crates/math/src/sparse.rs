@@ -1,0 +1,248 @@
+//! Compressed sparse row matrices and matrix-free linear operators.
+//!
+//! The 3-D finite-difference thermal solver produces systems with ~10^5
+//! unknowns and 7-point stencils; CSR storage plus a [`LinearOperator`]
+//! abstraction keeps the conjugate-gradient solver (see [`crate::cg`])
+//! oblivious to whether the matrix is assembled or applied on the fly.
+
+use std::fmt;
+
+/// Anything that can apply `y = A x` for a symmetric positive-definite `A`.
+pub trait LinearOperator {
+    /// Dimension of the (square) operator.
+    fn dim(&self) -> usize;
+
+    /// Computes `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `x.len() != self.dim()` or
+    /// `y.len() != self.dim()`.
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+
+    /// Diagonal of the operator, used for Jacobi preconditioning.
+    /// Returns `None` when the diagonal is not cheaply available.
+    fn diagonal(&self) -> Option<Vec<f64>> {
+        None
+    }
+}
+
+/// Error produced while assembling a [`CsrMatrix`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildCsrError {
+    /// A triplet referenced a row or column outside the matrix.
+    IndexOutOfBounds {
+        /// Offending row index.
+        row: usize,
+        /// Offending column index.
+        col: usize,
+        /// Matrix dimension.
+        dim: usize,
+    },
+}
+
+impl fmt::Display for BuildCsrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildCsrError::IndexOutOfBounds { row, col, dim } => {
+                write!(f, "triplet ({row}, {col}) outside {dim}x{dim} matrix")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildCsrError {}
+
+/// Square sparse matrix in compressed-sparse-row form.
+///
+/// # Example
+///
+/// ```
+/// use ptherm_math::CsrMatrix;
+/// use ptherm_math::sparse::LinearOperator;
+///
+/// # fn main() -> Result<(), ptherm_math::sparse::BuildCsrError> {
+/// let a = CsrMatrix::from_triplets(2, &[(0, 0, 2.0), (0, 1, 1.0), (1, 1, 3.0)])?;
+/// let mut y = vec![0.0; 2];
+/// a.apply(&[1.0, 1.0], &mut y);
+/// assert_eq!(y, vec![3.0, 3.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    dim: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds an `n x n` CSR matrix from `(row, col, value)` triplets.
+    /// Duplicate entries are summed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildCsrError::IndexOutOfBounds`] for triplets outside the
+    /// matrix.
+    pub fn from_triplets(
+        n: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<Self, BuildCsrError> {
+        for &(r, c, _) in triplets {
+            if r >= n || c >= n {
+                return Err(BuildCsrError::IndexOutOfBounds {
+                    row: r,
+                    col: c,
+                    dim: n,
+                });
+            }
+        }
+        // Count entries per row, then bucket-sort triplets into rows.
+        let mut counts = vec![0usize; n + 1];
+        for &(r, _, _) in triplets {
+            counts[r + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let mut cols = vec![0usize; triplets.len()];
+        let mut vals = vec![0.0f64; triplets.len()];
+        let mut cursor = counts.clone();
+        for &(r, c, v) in triplets {
+            let at = cursor[r];
+            cols[at] = c;
+            vals[at] = v;
+            cursor[r] += 1;
+        }
+        // Sort within each row and merge duplicates.
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        row_ptr.push(0);
+        for r in 0..n {
+            let lo = counts[r];
+            let hi = counts[r + 1];
+            let mut row: Vec<(usize, f64)> = cols[lo..hi]
+                .iter()
+                .copied()
+                .zip(vals[lo..hi].iter().copied())
+                .collect();
+            row.sort_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < row.len() {
+                let (c, mut v) = row[i];
+                let mut j = i + 1;
+                while j < row.len() && row[j].0 == c {
+                    v += row[j].1;
+                    j += 1;
+                }
+                col_idx.push(c);
+                values.push(v);
+                i = j;
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Ok(CsrMatrix {
+            dim: n,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Number of stored (structural) non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value at `(row, col)`, zero if not stored.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        if row >= self.dim {
+            return 0.0;
+        }
+        let lo = self.row_ptr[row];
+        let hi = self.row_ptr[row + 1];
+        match self.col_idx[lo..hi].binary_search(&col) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+}
+
+impl LinearOperator for CsrMatrix {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.dim, "apply: x dimension mismatch");
+        assert_eq!(y.len(), self.dim, "apply: y dimension mismatch");
+        for r in 0..self.dim {
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[r] = acc;
+        }
+    }
+
+    fn diagonal(&self) -> Option<Vec<f64>> {
+        Some((0..self.dim).map(|i| self.get(i, i)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_sum_duplicates_and_sort() {
+        let a = CsrMatrix::from_triplets(3, &[(2, 0, 1.0), (0, 2, 5.0), (2, 0, 2.0), (1, 1, 4.0)])
+            .unwrap();
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.get(2, 0), 3.0);
+        assert_eq!(a.get(0, 2), 5.0);
+        assert_eq!(a.get(1, 1), 4.0);
+        assert_eq!(a.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        assert!(matches!(
+            CsrMatrix::from_triplets(2, &[(0, 2, 1.0)]),
+            Err(BuildCsrError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn apply_matches_dense() {
+        use crate::matrix::Matrix;
+        let triplets = [
+            (0, 0, 4.0),
+            (0, 1, -1.0),
+            (1, 0, -1.0),
+            (1, 1, 4.0),
+            (1, 2, -1.0),
+            (2, 1, -1.0),
+            (2, 2, 4.0),
+        ];
+        let a = CsrMatrix::from_triplets(3, &triplets).unwrap();
+        let mut dense = Matrix::zeros(3, 3);
+        for &(r, c, v) in &triplets {
+            dense[(r, c)] += v;
+        }
+        let x = [1.0, 2.0, -3.0];
+        let mut y = vec![0.0; 3];
+        a.apply(&x, &mut y);
+        assert_eq!(y, dense.mul_vec(&x));
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let a = CsrMatrix::from_triplets(2, &[(0, 0, 7.0), (1, 0, 1.0)]).unwrap();
+        assert_eq!(a.diagonal(), Some(vec![7.0, 0.0]));
+    }
+}

@@ -1,0 +1,206 @@
+//! Error metrics and small descriptive statistics used by the experiment
+//! harness to compare model predictions against reference solutions.
+
+use std::fmt;
+
+/// Error for metric computations on malformed inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricError {
+    /// Input slices were empty or of different lengths.
+    BadInput {
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for MetricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricError::BadInput { detail } => write!(f, "bad metric input: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for MetricError {}
+
+fn check_pair(a: &[f64], b: &[f64]) -> Result<(), MetricError> {
+    if a.is_empty() || a.len() != b.len() {
+        return Err(MetricError::BadInput {
+            detail: format!("lengths {} and {}", a.len(), b.len()),
+        });
+    }
+    Ok(())
+}
+
+/// Arithmetic mean; 0 for empty input.
+pub fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Population standard deviation; 0 for inputs shorter than 2.
+pub fn std_dev(v: &[f64]) -> f64 {
+    if v.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(v);
+    (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64).sqrt()
+}
+
+/// Root-mean-square of the elementwise difference.
+///
+/// # Errors
+///
+/// [`MetricError::BadInput`] on empty or mismatched slices.
+pub fn rms_error(model: &[f64], reference: &[f64]) -> Result<f64, MetricError> {
+    check_pair(model, reference)?;
+    let ss: f64 = model
+        .iter()
+        .zip(reference)
+        .map(|(m, r)| (m - r) * (m - r))
+        .sum();
+    Ok((ss / model.len() as f64).sqrt())
+}
+
+/// Maximum relative error `max |m - r| / |r|`, skipping reference values
+/// whose magnitude is below `floor` (to avoid dividing by ~0).
+///
+/// # Errors
+///
+/// [`MetricError::BadInput`] on empty or mismatched slices, or when every
+/// reference entry is below the floor.
+pub fn max_relative_error(
+    model: &[f64],
+    reference: &[f64],
+    floor: f64,
+) -> Result<f64, MetricError> {
+    check_pair(model, reference)?;
+    let mut max = f64::NEG_INFINITY;
+    let mut used = 0usize;
+    for (m, r) in model.iter().zip(reference) {
+        if r.abs() <= floor {
+            continue;
+        }
+        used += 1;
+        max = max.max((m - r).abs() / r.abs());
+    }
+    if used == 0 {
+        return Err(MetricError::BadInput {
+            detail: "all reference values below floor".into(),
+        });
+    }
+    Ok(max)
+}
+
+/// Mean relative error (same floor semantics as [`max_relative_error`]).
+///
+/// # Errors
+///
+/// See [`max_relative_error`].
+pub fn mean_relative_error(
+    model: &[f64],
+    reference: &[f64],
+    floor: f64,
+) -> Result<f64, MetricError> {
+    check_pair(model, reference)?;
+    let mut acc = 0.0;
+    let mut used = 0usize;
+    for (m, r) in model.iter().zip(reference) {
+        if r.abs() <= floor {
+            continue;
+        }
+        used += 1;
+        acc += (m - r).abs() / r.abs();
+    }
+    if used == 0 {
+        return Err(MetricError::BadInput {
+            detail: "all reference values below floor".into(),
+        });
+    }
+    Ok(acc / used as f64)
+}
+
+/// True when `series` is non-strictly monotonically increasing.
+pub fn is_monotonic_increasing(series: &[f64]) -> bool {
+    series.windows(2).all(|w| w[1] >= w[0])
+}
+
+/// True when `series` is non-strictly monotonically decreasing.
+pub fn is_monotonic_decreasing(series: &[f64]) -> bool {
+    series.windows(2).all(|w| w[1] <= w[0])
+}
+
+/// Index of the first element where `a` crosses above `b`, i.e. the smallest
+/// `i` with `a[i] > b[i]` while `a[i-1] <= b[i-1]` (or `i == 0`). `None` if
+/// no crossover occurs.
+pub fn crossover_index(a: &[f64], b: &[f64]) -> Option<usize> {
+    if a.len() != b.len() {
+        return None;
+    }
+    for i in 0..a.len() {
+        if a[i] > b[i] && (i == 0 || a[i - 1] <= b[i - 1]) {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert!((std_dev(&[1.0, 1.0, 1.0])).abs() < 1e-15);
+        assert!((std_dev(&[0.0, 2.0]) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rms_and_relative_errors() {
+        let model = [1.1, 2.2, 2.7];
+        let reference = [1.0, 2.0, 3.0];
+        let rms = rms_error(&model, &reference).unwrap();
+        assert!((rms - ((0.01 + 0.04 + 0.09f64) / 3.0).sqrt()).abs() < 1e-12);
+        let maxrel = max_relative_error(&model, &reference, 0.0).unwrap();
+        assert!((maxrel - 0.1).abs() < 1e-12);
+        let meanrel = mean_relative_error(&model, &reference, 0.0).unwrap();
+        assert!((meanrel - (0.1 + 0.1 + 0.1) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn floor_skips_tiny_references() {
+        let rel = max_relative_error(&[1.0, 5.0], &[1e-18, 4.0], 1e-12).unwrap();
+        assert!((rel - 0.25).abs() < 1e-12);
+        assert!(max_relative_error(&[1.0], &[0.0], 1e-12).is_err());
+    }
+
+    #[test]
+    fn mismatched_inputs_rejected() {
+        assert!(rms_error(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(rms_error(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn monotonicity_checks() {
+        assert!(is_monotonic_increasing(&[1.0, 1.0, 2.0]));
+        assert!(!is_monotonic_increasing(&[1.0, 0.5]));
+        assert!(is_monotonic_decreasing(&[3.0, 2.0, 2.0]));
+        assert!(is_monotonic_decreasing(&[]));
+    }
+
+    #[test]
+    fn crossover_detection() {
+        // a crosses above b at index 2.
+        let a = [0.0, 1.0, 3.0, 4.0];
+        let b = [2.0, 2.0, 2.0, 2.0];
+        assert_eq!(crossover_index(&a, &b), Some(2));
+        assert_eq!(crossover_index(&b, &a), Some(0));
+        assert_eq!(crossover_index(&[0.0], &[1.0]), None);
+        assert_eq!(crossover_index(&[0.0, 1.0], &[1.0]), None);
+    }
+}

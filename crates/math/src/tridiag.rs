@@ -1,0 +1,173 @@
+//! Tridiagonal systems via the Thomas algorithm.
+//!
+//! Transistor-stack Jacobians are tridiagonal (each internal node only couples
+//! to its neighbours), so the Newton iterations in `ptherm-spice` solve their
+//! linear systems here in O(n) instead of O(n^3).
+
+use std::fmt;
+
+/// Error returned by [`solve_tridiagonal`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveTridiagError {
+    /// Bands or right-hand side have inconsistent lengths.
+    DimensionMismatch {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+    /// Elimination broke down (zero pivot) — the system is singular or needs
+    /// pivoting beyond what the Thomas algorithm provides.
+    ZeroPivot {
+        /// Row at which the pivot vanished.
+        row: usize,
+    },
+}
+
+impl fmt::Display for SolveTridiagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveTridiagError::DimensionMismatch { detail } => {
+                write!(f, "tridiagonal dimension mismatch: {detail}")
+            }
+            SolveTridiagError::ZeroPivot { row } => {
+                write!(f, "tridiagonal elimination hit a zero pivot at row {row}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveTridiagError {}
+
+/// Solves a tridiagonal system `A x = d`.
+///
+/// `lower` is the sub-diagonal (length `n-1`), `diag` the main diagonal
+/// (length `n`), `upper` the super-diagonal (length `n-1`).
+///
+/// # Errors
+///
+/// Returns [`SolveTridiagError::DimensionMismatch`] on inconsistent band
+/// lengths and [`SolveTridiagError::ZeroPivot`] when elimination breaks down.
+///
+/// # Example
+///
+/// ```
+/// use ptherm_math::tridiag::solve_tridiagonal;
+///
+/// # fn main() -> Result<(), ptherm_math::tridiag::SolveTridiagError> {
+/// // [2 1 0; 1 2 1; 0 1 2] x = [4; 8; 8]  =>  x = [1; 2; 3]
+/// let x = solve_tridiagonal(&[1.0, 1.0], &[2.0, 2.0, 2.0], &[1.0, 1.0], &[4.0, 8.0, 8.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 2.0).abs() < 1e-12);
+/// assert!((x[2] - 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_tridiagonal(
+    lower: &[f64],
+    diag: &[f64],
+    upper: &[f64],
+    rhs: &[f64],
+) -> Result<Vec<f64>, SolveTridiagError> {
+    let n = diag.len();
+    if n == 0 {
+        return Err(SolveTridiagError::DimensionMismatch {
+            detail: "empty diagonal".into(),
+        });
+    }
+    if lower.len() != n - 1 || upper.len() != n - 1 || rhs.len() != n {
+        return Err(SolveTridiagError::DimensionMismatch {
+            detail: format!(
+                "diag {n}, lower {}, upper {}, rhs {}",
+                lower.len(),
+                upper.len(),
+                rhs.len()
+            ),
+        });
+    }
+
+    let mut c_star = vec![0.0; n - 1.max(1)];
+    let mut d_star = vec![0.0; n];
+
+    let mut beta = diag[0];
+    if beta.abs() < f64::MIN_POSITIVE * 16.0 || !beta.is_finite() {
+        return Err(SolveTridiagError::ZeroPivot { row: 0 });
+    }
+    if n > 1 {
+        c_star[0] = upper[0] / beta;
+    }
+    d_star[0] = rhs[0] / beta;
+
+    for i in 1..n {
+        beta = diag[i] - lower[i - 1] * c_star.get(i - 1).copied().unwrap_or(0.0);
+        if beta.abs() < f64::MIN_POSITIVE * 16.0 || !beta.is_finite() {
+            return Err(SolveTridiagError::ZeroPivot { row: i });
+        }
+        if i < n - 1 {
+            c_star[i] = upper[i] / beta;
+        }
+        d_star[i] = (rhs[i] - lower[i - 1] * d_star[i - 1]) / beta;
+    }
+
+    // Back substitution.
+    let mut x = d_star;
+    for i in (0..n - 1).rev() {
+        let next = x[i + 1];
+        x[i] -= c_star[i] * next;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_equation() {
+        let x = solve_tridiagonal(&[], &[4.0], &[], &[8.0]).unwrap();
+        assert_eq!(x, vec![2.0]);
+    }
+
+    #[test]
+    fn matches_dense_solver() {
+        use crate::matrix::Matrix;
+        let n = 12;
+        let lower: Vec<f64> = (0..n - 1).map(|i| -1.0 - 0.01 * i as f64).collect();
+        let upper: Vec<f64> = (0..n - 1).map(|i| -0.5 - 0.02 * i as f64).collect();
+        let diag: Vec<f64> = (0..n).map(|i| 3.0 + 0.1 * i as f64).collect();
+        let rhs: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+
+        let x = solve_tridiagonal(&lower, &diag, &upper, &rhs).unwrap();
+
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = diag[i];
+            if i + 1 < n {
+                a[(i + 1, i)] = lower[i];
+                a[(i, i + 1)] = upper[i];
+            }
+        }
+        let x_dense = a.solve(&rhs).unwrap();
+        for (a, b) in x.iter().zip(&x_dense) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        assert!(matches!(
+            solve_tridiagonal(&[1.0], &[1.0, 1.0, 1.0], &[1.0, 1.0], &[0.0; 3]),
+            Err(SolveTridiagError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            solve_tridiagonal(&[], &[], &[], &[]),
+            Err(SolveTridiagError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_pivot_detected() {
+        assert!(matches!(
+            solve_tridiagonal(&[1.0], &[0.0, 1.0], &[1.0], &[1.0, 1.0]),
+            Err(SolveTridiagError::ZeroPivot { row: 0 })
+        ));
+    }
+}

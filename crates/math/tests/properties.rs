@@ -1,0 +1,113 @@
+//! Property-based tests for the numerical toolbox: randomized systems
+//! against the algebraic identities each solver must satisfy.
+
+use proptest::prelude::*;
+use ptherm_math::fit::{fit_exp_saturation, linear_least_squares};
+use ptherm_math::quadrature::{adaptive_simpson, gauss_legendre_16};
+use ptherm_math::roots::{bisect, brent};
+use ptherm_math::tridiag::solve_tridiagonal;
+use ptherm_math::Matrix;
+
+fn small_f64() -> impl Strategy<Value = f64> {
+    -5.0..5.0f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// LU solve round-trip: build a diagonally dominant matrix, pick x,
+    /// solve for A x = b, recover x.
+    #[test]
+    fn dense_solve_roundtrip(
+        entries in proptest::collection::vec(small_f64(), 16),
+        x in proptest::collection::vec(small_f64(), 4),
+    ) {
+        let mut a = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                a[(i, j)] = entries[i * 4 + j];
+            }
+            a[(i, i)] += 25.0; // dominance keeps it regular
+        }
+        let b = a.mul_vec(&x);
+        let got = a.solve(&b).expect("dominant matrix is regular");
+        for (g, t) in got.iter().zip(&x) {
+            prop_assert!((g - t).abs() < 1e-8);
+        }
+    }
+
+    /// Tridiagonal and dense solvers agree on random dominant systems.
+    #[test]
+    fn tridiag_matches_dense(
+        diag in proptest::collection::vec(3.0..9.0f64, 6),
+        off in proptest::collection::vec(-1.0..1.0f64, 10),
+        rhs in proptest::collection::vec(small_f64(), 6),
+    ) {
+        let lower = &off[..5];
+        let upper = &off[5..];
+        let x = solve_tridiagonal(lower, &diag, upper, &rhs).expect("dominant system");
+        let mut a = Matrix::zeros(6, 6);
+        for i in 0..6 {
+            a[(i, i)] = diag[i];
+            if i + 1 < 6 {
+                a[(i + 1, i)] = lower[i];
+                a[(i, i + 1)] = upper[i];
+            }
+        }
+        let dense = a.solve(&rhs).expect("same system");
+        for (p, q) in x.iter().zip(&dense) {
+            prop_assert!((p - q).abs() < 1e-8);
+        }
+    }
+
+    /// Brent and bisection find the same root of randomized monotone
+    /// cubics.
+    #[test]
+    fn brent_agrees_with_bisect(a in 0.2..3.0f64, b in -2.0..2.0f64) {
+        let f = move |x: f64| a * x * x * x + x - b;
+        let rb = brent(f, -10.0, 10.0, 1e-12, 200).expect("monotone cubic");
+        let ri = bisect(f, -10.0, 10.0, 1e-12, 300).expect("monotone cubic");
+        prop_assert!((rb - ri).abs() < 1e-8);
+        prop_assert!(f(rb).abs() < 1e-8);
+    }
+
+    /// Quadrature linearity and interval additivity on random smooth
+    /// integrands.
+    #[test]
+    fn quadrature_is_linear_and_additive(c1 in small_f64(), c2 in small_f64(), split in 0.2..0.8f64) {
+        let f = move |x: f64| c1 * (2.0 * x).sin() + c2 * x * x;
+        let whole = adaptive_simpson(f, 0.0, 1.0, 1e-12, 30).expect("smooth");
+        let left = adaptive_simpson(f, 0.0, split, 1e-12, 30).expect("smooth");
+        let right = adaptive_simpson(f, split, 1.0, 1e-12, 30).expect("smooth");
+        prop_assert!((whole - left - right).abs() < 1e-9);
+        let gl = gauss_legendre_16(f, 0.0, 1.0);
+        prop_assert!((whole - gl).abs() < 1e-9);
+    }
+
+    /// Least squares recovers the generating line exactly from noiseless
+    /// data, whatever the line.
+    #[test]
+    fn least_squares_recovers_lines(a in small_f64(), b in small_f64()) {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.37).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| a + b * x).collect();
+        let fit = linear_least_squares(&xs, &ys, 2, |x| vec![1.0, x]).expect("well-posed");
+        prop_assert!((fit.parameters[0] - a).abs() < 1e-8);
+        prop_assert!((fit.parameters[1] - b).abs() < 1e-8);
+    }
+
+    /// Exponential-saturation fit recovers randomized parameters.
+    #[test]
+    fn exp_fit_recovers_parameters(
+        y0 in -1.0..1.0f64,
+        dy in 0.2..3.0f64,
+        tau_ms in 1.0..30.0f64,
+    ) {
+        let tau = tau_ms * 1e-3;
+        let t: Vec<f64> = (0..300).map(|i| i as f64 * 5.0 * tau / 300.0).collect();
+        let y: Vec<f64> = t.iter().map(|&ti| y0 + dy * (1.0 - (-ti / tau).exp())).collect();
+        let fit = fit_exp_saturation(&t, &y).expect("clean signal");
+        prop_assert!((fit.y0 - y0).abs() < 1e-4, "y0 {} vs {y0}", fit.y0);
+        prop_assert!((fit.dy - dy).abs() / dy < 1e-3, "dy {} vs {dy}", fit.dy);
+        prop_assert!((fit.tau - tau).abs() / tau < 1e-2, "tau {} vs {tau}", fit.tau);
+    }
+}

@@ -1,0 +1,295 @@
+//! Static CMOS cells: complementary pull-up / pull-down network pairs.
+
+use crate::topology::{BoundNetwork, Network};
+use std::fmt;
+
+/// Error produced when constructing or binding a [`Cell`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BindCellError {
+    /// The input vector length does not match the cell arity.
+    WrongArity {
+        /// Cell input count.
+        expected: usize,
+        /// Vector length provided.
+        found: usize,
+    },
+    /// Both networks conduct for this vector (not a complementary cell).
+    ShortCircuit {
+        /// The offending vector.
+        vector: Vec<bool>,
+    },
+    /// Neither network conducts for this vector (floating output).
+    FloatingOutput {
+        /// The offending vector.
+        vector: Vec<bool>,
+    },
+    /// A device references an input pin outside the declared inputs.
+    DanglingInput {
+        /// Largest referenced pin.
+        referenced: usize,
+        /// Declared input count.
+        declared: usize,
+    },
+}
+
+impl fmt::Display for BindCellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindCellError::WrongArity { expected, found } => {
+                write!(f, "input vector has {found} bits, cell expects {expected}")
+            }
+            BindCellError::ShortCircuit { vector } => {
+                write!(f, "both networks conduct for vector {vector:?}")
+            }
+            BindCellError::FloatingOutput { vector } => {
+                write!(f, "neither network conducts for vector {vector:?}")
+            }
+            BindCellError::DanglingInput {
+                referenced,
+                declared,
+            } => {
+                write!(
+                    f,
+                    "device references input {referenced} but cell declares {declared}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BindCellError {}
+
+/// A static CMOS cell.
+///
+/// Built from its pull-down network; the pull-up is the structural dual (the
+/// usual static-CMOS construction), with pMOS widths scaled by a mobility
+/// compensation factor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    name: String,
+    inputs: Vec<String>,
+    pulldown: Network,
+    pullup: Network,
+    /// Switched output load, F (self + wire estimate).
+    load_cap: f64,
+}
+
+impl Cell {
+    /// Builds a cell from its pull-down network; the pull-up is the dual
+    /// with widths scaled by `pmos_width_scale`.
+    ///
+    /// # Errors
+    ///
+    /// [`BindCellError::DanglingInput`] when a device references a pin
+    /// outside `inputs`.
+    pub fn from_pulldown(
+        name: impl Into<String>,
+        inputs: Vec<String>,
+        pulldown: Network,
+        pmos_width_scale: f64,
+        load_cap: f64,
+    ) -> Result<Self, BindCellError> {
+        if let Some(max) = pulldown.max_input() {
+            if max >= inputs.len() {
+                return Err(BindCellError::DanglingInput {
+                    referenced: max,
+                    declared: inputs.len(),
+                });
+            }
+        }
+        let pullup = pulldown.dual(|w| pmos_width_scale * w);
+        Ok(Cell {
+            name: name.into(),
+            inputs,
+            pulldown,
+            pullup,
+            load_cap,
+        })
+    }
+
+    /// Cell name, e.g. `"nand3"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Input pin names.
+    pub fn inputs(&self) -> &[String] {
+        &self.inputs
+    }
+
+    /// The pull-down network.
+    pub fn pulldown(&self) -> &Network {
+        &self.pulldown
+    }
+
+    /// The pull-up network.
+    pub fn pullup(&self) -> &Network {
+        &self.pullup
+    }
+
+    /// Switched output load, F.
+    pub fn load_cap(&self) -> f64 {
+        self.load_cap
+    }
+
+    /// Total drawn transistor count.
+    pub fn transistor_count(&self) -> usize {
+        self.pulldown.transistor_count() + self.pullup.transistor_count()
+    }
+
+    /// Logic value of the output for a vector (true = V_DD).
+    ///
+    /// # Errors
+    ///
+    /// [`BindCellError::WrongArity`] on length mismatch, and
+    /// [`BindCellError::ShortCircuit`] / [`BindCellError::FloatingOutput`]
+    /// for non-complementary networks.
+    pub fn output(&self, vector: &[bool]) -> Result<bool, BindCellError> {
+        let (down, up) = self.bind_both(vector)?;
+        match (down.is_conducting(), up.is_conducting()) {
+            (true, false) => Ok(false),
+            (false, true) => Ok(true),
+            (true, true) => Err(BindCellError::ShortCircuit {
+                vector: vector.to_vec(),
+            }),
+            (false, false) => Err(BindCellError::FloatingOutput {
+                vector: vector.to_vec(),
+            }),
+        }
+    }
+
+    /// Binds both networks for a vector.
+    ///
+    /// # Errors
+    ///
+    /// [`BindCellError::WrongArity`] on length mismatch.
+    pub fn bind_both(
+        &self,
+        vector: &[bool],
+    ) -> Result<(BoundNetwork, BoundNetwork), BindCellError> {
+        if vector.len() != self.inputs.len() {
+            return Err(BindCellError::WrongArity {
+                expected: self.inputs.len(),
+                found: vector.len(),
+            });
+        }
+        Ok((
+            BoundNetwork::pulldown(&self.pulldown, vector),
+            BoundNetwork::pullup(&self.pullup, vector),
+        ))
+    }
+
+    /// The *blocking* network for a vector — the one static leakage flows
+    /// through (the conducting network ties the output to its rail).
+    ///
+    /// # Errors
+    ///
+    /// See [`Cell::output`].
+    pub fn bound_blocking(&self, vector: &[bool]) -> Result<BoundNetwork, BindCellError> {
+        let (down, up) = self.bind_both(vector)?;
+        match (down.is_conducting(), up.is_conducting()) {
+            (true, false) => Ok(up),
+            (false, true) => Ok(down),
+            (true, true) => Err(BindCellError::ShortCircuit {
+                vector: vector.to_vec(),
+            }),
+            (false, false) => Err(BindCellError::FloatingOutput {
+                vector: vector.to_vec(),
+            }),
+        }
+    }
+
+    /// Checks complementarity over *all* input vectors (exponential in
+    /// arity; cells have ≤ 8 inputs in practice).
+    ///
+    /// # Errors
+    ///
+    /// The first vector violating complementarity.
+    pub fn verify_complementary(&self) -> Result<(), BindCellError> {
+        let n = self.inputs.len();
+        for bits in 0..(1u32 << n) {
+            let v: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            self.output(&v)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} inputs, {} devices)",
+            self.name,
+            self.inputs.len(),
+            self.transistor_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nand2() -> Cell {
+        let pd = Network::Series(vec![Network::device(4e-7, 0), Network::device(4e-7, 1)]);
+        Cell::from_pulldown("nand2", vec!["a".into(), "b".into()], pd, 2.0, 2e-15).unwrap()
+    }
+
+    #[test]
+    fn nand2_truth_table() {
+        let c = nand2();
+        assert_eq!(c.output(&[false, false]).unwrap(), true);
+        assert_eq!(c.output(&[true, false]).unwrap(), true);
+        assert_eq!(c.output(&[false, true]).unwrap(), true);
+        assert_eq!(c.output(&[true, true]).unwrap(), false);
+    }
+
+    #[test]
+    fn blocking_network_polarity() {
+        use ptherm_tech::Polarity;
+        let c = nand2();
+        // Inputs 11: output low, pull-up blocks.
+        let b = c.bound_blocking(&[true, true]).unwrap();
+        assert_eq!(b.polarity(), Polarity::Pmos);
+        // Inputs 00: output high, pull-down blocks with a 2-deep OFF stack.
+        let b = c.bound_blocking(&[false, false]).unwrap();
+        assert_eq!(b.polarity(), Polarity::Nmos);
+        assert_eq!(b.max_stack_depth(), 2);
+    }
+
+    #[test]
+    fn arity_is_checked() {
+        let c = nand2();
+        assert!(matches!(
+            c.output(&[true]),
+            Err(BindCellError::WrongArity {
+                expected: 2,
+                found: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn dangling_input_rejected() {
+        let pd = Network::device(4e-7, 3);
+        let err = Cell::from_pulldown("bad", vec!["a".into()], pd, 2.0, 1e-15).unwrap_err();
+        assert!(matches!(
+            err,
+            BindCellError::DanglingInput {
+                referenced: 3,
+                declared: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn complementarity_holds_for_duals() {
+        nand2().verify_complementary().unwrap();
+    }
+
+    #[test]
+    fn transistor_count_counts_both_networks() {
+        assert_eq!(nand2().transistor_count(), 4);
+    }
+}

@@ -1,0 +1,228 @@
+//! Built-in standard-cell library.
+//!
+//! Sizing follows the textbook static-CMOS rules: an inverter's nMOS is
+//! drawn at `2·w_min`; series stacks are up-sized by the stack depth to keep
+//! pull-down drive; pull-up devices carry a 2x mobility-compensation factor
+//! (applied via the dual construction). Load capacitance is estimated as the
+//! technology's per-gate switched capacitance scaled by the device count.
+
+use crate::cell::Cell;
+use crate::topology::Network;
+use ptherm_tech::Technology;
+
+fn input_names(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            // a, b, c ... then i10, i11, ...
+            if i < 26 {
+                char::from(b'a' + i as u8).to_string()
+            } else {
+                format!("i{i}")
+            }
+        })
+        .collect()
+}
+
+fn load_for(tech: &Technology, devices: usize) -> f64 {
+    tech.c_gate * (devices as f64 / 2.0).max(1.0)
+}
+
+/// Inverter.
+///
+/// # Panics
+///
+/// Never panics for a validated technology (input indices are in range by
+/// construction); the same holds for every constructor in this module.
+pub fn inv(tech: &Technology) -> Cell {
+    let w = 2.0 * tech.nmos.w_min;
+    let pd = Network::device(w, 0);
+    Cell::from_pulldown("inv", input_names(1), pd, 2.0, load_for(tech, 2))
+        .expect("inverter construction is infallible")
+}
+
+/// `n`-input NAND (series pull-down stack, up-sized by the stack depth).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 8` (no real library stacks deeper).
+pub fn nand(n: usize, tech: &Technology) -> Cell {
+    assert!((1..=8).contains(&n), "nand arity {n} out of range 1..=8");
+    if n == 1 {
+        return inv(tech);
+    }
+    let w = 2.0 * tech.nmos.w_min * n as f64;
+    let pd = Network::Series((0..n).map(|i| Network::device(w, i)).collect());
+    Cell::from_pulldown(
+        format!("nand{n}"),
+        input_names(n),
+        pd,
+        2.0 / n as f64,
+        load_for(tech, 2 * n),
+    )
+    .expect("nand construction is infallible")
+}
+
+/// `n`-input NOR (parallel pull-down; the dual pull-up is a series pMOS
+/// stack, so pull-up devices get the full `2n` up-sizing).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 8`.
+pub fn nor(n: usize, tech: &Technology) -> Cell {
+    assert!((1..=8).contains(&n), "nor arity {n} out of range 1..=8");
+    if n == 1 {
+        return inv(tech);
+    }
+    let w = 2.0 * tech.nmos.w_min;
+    let pd = Network::Parallel((0..n).map(|i| Network::device(w, i)).collect());
+    Cell::from_pulldown(
+        format!("nor{n}"),
+        input_names(n),
+        pd,
+        2.0 * n as f64,
+        load_for(tech, 2 * n),
+    )
+    .expect("nor construction is infallible")
+}
+
+/// AOI21: `out = !(a·b + c)` — AND-OR-invert, 2+1 structure.
+pub fn aoi21(tech: &Technology) -> Cell {
+    let w = 4.0 * tech.nmos.w_min;
+    let pd = Network::Parallel(vec![
+        Network::Series(vec![Network::device(w, 0), Network::device(w, 1)]),
+        Network::device(0.5 * w, 2),
+    ]);
+    Cell::from_pulldown("aoi21", input_names(3), pd, 2.0, load_for(tech, 6))
+        .expect("aoi21 construction is infallible")
+}
+
+/// AOI22: `out = !(a·b + c·d)`.
+pub fn aoi22(tech: &Technology) -> Cell {
+    let w = 4.0 * tech.nmos.w_min;
+    let pair = |i: usize| Network::Series(vec![Network::device(w, i), Network::device(w, i + 1)]);
+    let pd = Network::Parallel(vec![pair(0), pair(2)]);
+    Cell::from_pulldown("aoi22", input_names(4), pd, 2.0, load_for(tech, 8))
+        .expect("aoi22 construction is infallible")
+}
+
+/// OAI21: `out = !((a + b)·c)` — OR-AND-invert.
+pub fn oai21(tech: &Technology) -> Cell {
+    let w = 4.0 * tech.nmos.w_min;
+    let pd = Network::Series(vec![
+        Network::Parallel(vec![Network::device(w, 0), Network::device(w, 1)]),
+        Network::device(w, 2),
+    ]);
+    Cell::from_pulldown("oai21", input_names(3), pd, 2.0, load_for(tech, 6))
+        .expect("oai21 construction is infallible")
+}
+
+/// OAI22: `out = !((a + b)·(c + d))`.
+pub fn oai22(tech: &Technology) -> Cell {
+    let w = 4.0 * tech.nmos.w_min;
+    let pair = |i: usize| Network::Parallel(vec![Network::device(w, i), Network::device(w, i + 1)]);
+    let pd = Network::Series(vec![pair(0), pair(2)]);
+    Cell::from_pulldown("oai22", input_names(4), pd, 2.0, load_for(tech, 8))
+        .expect("oai22 construction is infallible")
+}
+
+/// The whole built-in library — used by the random circuit generator and the
+/// library-wide experiments.
+pub fn standard_library(tech: &Technology) -> Vec<Cell> {
+    vec![
+        inv(tech),
+        nand(2, tech),
+        nand(3, tech),
+        nand(4, tech),
+        nor(2, tech),
+        nor(3, tech),
+        nor(4, tech),
+        aoi21(tech),
+        aoi22(tech),
+        oai21(tech),
+        oai22(tech),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::cmos_120nm()
+    }
+
+    #[test]
+    fn library_cells_are_complementary() {
+        for cell in standard_library(&tech()) {
+            cell.verify_complementary()
+                .unwrap_or_else(|e| panic!("{}: {e}", cell.name()));
+        }
+    }
+
+    #[test]
+    fn truth_tables_match_logic() {
+        let t = tech();
+        // NOR3: output high only for all-zero input.
+        let nor3 = nor(3, &t);
+        for bits in 0..8u32 {
+            let v: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let expect = !v.iter().any(|&b| b);
+            assert_eq!(nor3.output(&v).unwrap(), expect, "{v:?}");
+        }
+        // AOI21: !(a·b + c).
+        let g = aoi21(&t);
+        for bits in 0..8u32 {
+            let v: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let expect = !((v[0] && v[1]) || v[2]);
+            assert_eq!(g.output(&v).unwrap(), expect, "{v:?}");
+        }
+        // OAI22: !((a+b)(c+d)).
+        let g = oai22(&t);
+        for bits in 0..16u32 {
+            let v: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+            let expect = !((v[0] || v[1]) && (v[2] || v[3]));
+            assert_eq!(g.output(&v).unwrap(), expect, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn nand_stack_is_upsized() {
+        let t = tech();
+        let n4 = nand(4, &t);
+        match n4.pulldown() {
+            crate::topology::Network::Series(v) => {
+                assert_eq!(v.len(), 4);
+                match &v[0] {
+                    crate::topology::Network::Device(d) => {
+                        assert!((d.width - 8.0 * t.nmos.w_min).abs() < 1e-18)
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nand1_degenerates_to_inverter() {
+        let t = tech();
+        assert_eq!(nand(1, &t).name(), "inv");
+        assert_eq!(nor(1, &t).name(), "inv");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn nand_arity_is_bounded() {
+        nand(9, &tech());
+    }
+
+    #[test]
+    fn library_has_expected_size_and_unique_names() {
+        let lib = standard_library(&tech());
+        assert_eq!(lib.len(), 11);
+        let mut names: Vec<&str> = lib.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 11);
+    }
+}

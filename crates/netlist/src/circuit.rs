@@ -1,0 +1,171 @@
+//! Gate-count circuits: the workload unit of block-level experiments.
+//!
+//! A [`Circuit`] is a bag of gate groups (cell type × instance count ×
+//! activity), enough to evaluate block power without carrying full
+//! connectivity — the paper's block-level thermal model only needs power per
+//! block. A seeded random generator produces repeatable synthetic logic
+//! blocks with a realistic cell mix.
+
+use crate::cell::Cell;
+use crate::cells;
+use crate::dynamic_power::gate_dynamic_power;
+use ptherm_tech::Technology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A group of identical gate instances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateGroup {
+    /// The cell replicated by this group.
+    pub cell: Cell,
+    /// Instance count.
+    pub count: usize,
+    /// Average switching activity per clock cycle.
+    pub activity: f64,
+    /// Representative input transition time, s.
+    pub input_transition_s: f64,
+}
+
+/// A block-level circuit: groups of gates plus a clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Circuit {
+    /// Human-readable name.
+    pub name: String,
+    /// Gate groups.
+    pub groups: Vec<GateGroup>,
+    /// Clock frequency, Hz.
+    pub frequency_hz: f64,
+}
+
+impl Circuit {
+    /// Total gate instances.
+    pub fn gate_count(&self) -> usize {
+        self.groups.iter().map(|g| g.count).sum()
+    }
+
+    /// Total drawn transistors.
+    pub fn transistor_count(&self) -> usize {
+        self.groups
+            .iter()
+            .map(|g| g.count * g.cell.transistor_count())
+            .sum()
+    }
+
+    /// Dynamic power (transient + short-circuit) of the whole circuit at
+    /// `temperature_k`, watts.
+    pub fn dynamic_power(&self, tech: &Technology, temperature_k: f64) -> f64 {
+        self.groups
+            .iter()
+            .map(|g| {
+                let wn = g.cell.pulldown().first_width().unwrap_or(tech.nmos.w_min);
+                let wp = g.cell.pullup().first_width().unwrap_or(tech.pmos.w_min);
+                g.count as f64
+                    * gate_dynamic_power(
+                        tech,
+                        g.cell.load_cap(),
+                        wn,
+                        wp,
+                        g.input_transition_s,
+                        self.frequency_hz,
+                        g.activity,
+                        temperature_k,
+                    )
+            })
+            .sum()
+    }
+
+    /// Generates a repeatable synthetic logic block with `n_gates` instances
+    /// drawn from the standard library with a typical cell mix (inverters
+    /// and 2-input gates dominate), random activities in `[0.02, 0.2]` and
+    /// transitions in `[30, 120] ps`.
+    pub fn random(
+        name: impl Into<String>,
+        seed: u64,
+        n_gates: usize,
+        frequency_hz: f64,
+        tech: &Technology,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lib = cells::standard_library(tech);
+        // Mix weights roughly matching placed-design statistics.
+        let weights = [30.0, 20.0, 8.0, 4.0, 12.0, 5.0, 2.0, 6.0, 5.0, 5.0, 3.0];
+        debug_assert_eq!(weights.len(), lib.len());
+        let total_w: f64 = weights.iter().sum();
+
+        // Deal instance counts to each cell type.
+        let mut counts = vec![0usize; lib.len()];
+        for _ in 0..n_gates {
+            let mut pick = rng.gen_range(0.0..total_w);
+            let mut idx = 0;
+            for (i, w) in weights.iter().enumerate() {
+                if pick < *w {
+                    idx = i;
+                    break;
+                }
+                pick -= w;
+            }
+            counts[idx] += 1;
+        }
+
+        let groups = lib
+            .into_iter()
+            .zip(counts)
+            .filter(|(_, c)| *c > 0)
+            .map(|(cell, count)| GateGroup {
+                cell,
+                count,
+                activity: rng.gen_range(0.02..0.2),
+                input_transition_s: rng.gen_range(30e-12..120e-12),
+            })
+            .collect();
+
+        Circuit {
+            name: name.into(),
+            groups,
+            frequency_hz,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_circuit_is_repeatable() {
+        let tech = Technology::cmos_120nm();
+        let a = Circuit::random("blk", 7, 1000, 1e9, &tech);
+        let b = Circuit::random("blk", 7, 1000, 1e9, &tech);
+        assert_eq!(a, b);
+        let c = Circuit::random("blk", 8, 1000, 1e9, &tech);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn counts_add_up() {
+        let tech = Technology::cmos_120nm();
+        let c = Circuit::random("blk", 1, 500, 1e9, &tech);
+        assert_eq!(c.gate_count(), 500);
+        assert!(c.transistor_count() >= 2 * 500);
+    }
+
+    #[test]
+    fn dynamic_power_scales_with_gates_and_frequency() {
+        let tech = Technology::cmos_120nm();
+        let small = Circuit::random("s", 3, 100, 1e9, &tech);
+        let big = Circuit::random("s", 3, 100, 2e9, &tech);
+        let p1 = small.dynamic_power(&tech, 300.0);
+        let p2 = big.dynamic_power(&tech, 300.0);
+        assert!(p1 > 0.0);
+        assert!((p2 / p1 - 2.0).abs() < 1e-9, "linear in f");
+    }
+
+    #[test]
+    fn dynamic_power_magnitude_plausible() {
+        // 10k gates at 1 GHz in 120nm: watch for mW-to-W scale.
+        let tech = Technology::cmos_120nm();
+        let c = Circuit::random("blk", 11, 10_000, 1e9, &tech);
+        let p = c.dynamic_power(&tech, 300.0);
+        assert!(p > 1e-4 && p < 10.0, "P_dyn = {p} W");
+    }
+}

@@ -1,0 +1,45 @@
+//! Gate topologies, standard cells, input vectors and circuit-level power
+//! bookkeeping for the `ptherm` workspace.
+//!
+//! The leakage model of the DATE'05 paper operates on *transistor networks*:
+//! series/parallel compositions of devices between a supply rail and the
+//! gate output. This crate owns that representation:
+//!
+//! * [`topology`] — the series-parallel [`Network`](topology::Network) tree,
+//!   its dual (pull-up from pull-down), and the *bound* form in which every
+//!   transistor knows whether its gate is driven high (after mirroring
+//!   pull-up networks into n-channel convention),
+//! * [`cell`] — a static CMOS [`Cell`](cell::Cell): complementary pull-up /
+//!   pull-down networks plus input names and load capacitance,
+//! * [`cells`] — the built-in library (INV, NAND2–4, NOR2–4, AOI21/22,
+//!   OAI21/22),
+//! * [`vectors`] — input-vector enumeration helpers,
+//! * [`circuit`] — gate-count circuits and a seeded random generator for
+//!   block-level experiments,
+//! * [`dynamic_power`] — transient `α f C V²` power and a compact
+//!   short-circuit model in the spirit of the paper's companion reference
+//!   [10] (Rosselló & Segura, TCAD 2002).
+//!
+//! # Example
+//!
+//! ```
+//! use ptherm_netlist::cells;
+//! use ptherm_tech::Technology;
+//!
+//! let tech = Technology::cmos_120nm();
+//! let nand2 = cells::nand(2, &tech);
+//! assert_eq!(nand2.inputs().len(), 2);
+//! // With both inputs low the pull-down network blocks (it is a 2-stack).
+//! let bound = nand2.bound_blocking(&[false, false]).expect("complementary cell");
+//! assert_eq!(bound.max_stack_depth(), 2);
+//! ```
+
+pub mod cell;
+pub mod cells;
+pub mod circuit;
+pub mod dynamic_power;
+pub mod topology;
+pub mod vectors;
+
+pub use cell::{BindCellError, Cell};
+pub use topology::{BoundNetwork, BoundNode, Network, Transistor};

@@ -1,0 +1,352 @@
+//! Series-parallel transistor networks and their input-bound form.
+//!
+//! A [`Network`] is a tree whose leaves are transistors (width + input pin)
+//! and whose internal nodes are series or parallel compositions. For static
+//! CMOS the pull-up network is the *dual* of the pull-down network
+//! ([`Network::dual`]): series ↔ parallel with the same input assignment.
+//!
+//! Binding a network to a concrete input vector produces a [`BoundNetwork`]
+//! in which each device simply knows whether its gate is ON. Pull-up
+//! networks are mirrored into n-channel convention during binding, so every
+//! consumer (the exact solver, the paper's collapsing model) only ever sees
+//! "nMOS-like" networks whose source rail is at 0 and whose far end is at
+//! `V_DD`.
+//!
+//! Ordering convention: the elements of a [`Network::Series`] list run from
+//! the **source rail** (ground for pull-down; the supply for pull-up) toward
+//! the gate output. The paper labels the same chain `T1` (closest to the
+//! rail) through `TN` (Fig. 2).
+
+use ptherm_tech::Polarity;
+use std::fmt;
+
+/// A transistor leaf: drawn width plus the input pin driving its gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transistor {
+    /// Drawn channel width, m.
+    pub width: f64,
+    /// Index of the cell input connected to the gate.
+    pub input: usize,
+}
+
+/// Series-parallel transistor network (unbound: leaves reference input pins).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Network {
+    /// Single device.
+    Device(Transistor),
+    /// Chain of sub-networks, ordered source rail → output.
+    Series(Vec<Network>),
+    /// Parallel combination of sub-networks.
+    Parallel(Vec<Network>),
+}
+
+impl Network {
+    /// Convenience constructor for a single device.
+    pub fn device(width: f64, input: usize) -> Self {
+        Network::Device(Transistor { width, input })
+    }
+
+    /// Number of transistors in the network.
+    pub fn transistor_count(&self) -> usize {
+        match self {
+            Network::Device(_) => 1,
+            Network::Series(v) | Network::Parallel(v) => {
+                v.iter().map(Network::transistor_count).sum()
+            }
+        }
+    }
+
+    /// Largest input index referenced, or `None` for an empty composite.
+    pub fn max_input(&self) -> Option<usize> {
+        match self {
+            Network::Device(t) => Some(t.input),
+            Network::Series(v) | Network::Parallel(v) => {
+                v.iter().filter_map(Network::max_input).max()
+            }
+        }
+    }
+
+    /// Width of the first (rail-side) device — a representative drive width
+    /// for short-circuit estimates.
+    pub fn first_width(&self) -> Option<f64> {
+        match self {
+            Network::Device(t) => Some(t.width),
+            Network::Series(v) | Network::Parallel(v) => v.first().and_then(Network::first_width),
+        }
+    }
+
+    /// The structural dual: series ↔ parallel, device widths mapped through
+    /// `width_map` (pull-up devices are usually drawn wider to compensate
+    /// hole mobility).
+    pub fn dual<F: Fn(f64) -> f64 + Copy>(&self, width_map: F) -> Network {
+        match self {
+            Network::Device(t) => Network::Device(Transistor {
+                width: width_map(t.width),
+                input: t.input,
+            }),
+            Network::Series(v) => Network::Parallel(v.iter().map(|n| n.dual(width_map)).collect()),
+            Network::Parallel(v) => Network::Series(v.iter().map(|n| n.dual(width_map)).collect()),
+        }
+    }
+
+    /// Binds the network to an input vector.
+    ///
+    /// `gate_on_when` decides whether a device conducts for a given input
+    /// level: pull-down nMOS conduct on `true`, pull-up pMOS conduct on
+    /// `false`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a device references an input outside `inputs`. Cells
+    /// validate input arity at construction, so this indicates an internal
+    /// inconsistency.
+    fn bind(&self, inputs: &[bool], gate_on_when: bool) -> BoundNode {
+        match self {
+            Network::Device(t) => BoundNode::Device {
+                width: t.width,
+                gate_on: inputs[t.input] == gate_on_when,
+            },
+            Network::Series(v) => {
+                BoundNode::Series(v.iter().map(|n| n.bind(inputs, gate_on_when)).collect())
+            }
+            Network::Parallel(v) => {
+                BoundNode::Parallel(v.iter().map(|n| n.bind(inputs, gate_on_when)).collect())
+            }
+        }
+    }
+}
+
+/// A bound network node: every gate resolved to ON/OFF.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundNode {
+    /// Single device with resolved gate state.
+    Device {
+        /// Drawn width, m.
+        width: f64,
+        /// Whether the gate is driven to the conducting level.
+        gate_on: bool,
+    },
+    /// Chain ordered source rail → output.
+    Series(Vec<BoundNode>),
+    /// Parallel combination.
+    Parallel(Vec<BoundNode>),
+}
+
+impl BoundNode {
+    /// True when an all-ON path connects the two ends.
+    pub fn is_conducting(&self) -> bool {
+        match self {
+            BoundNode::Device { gate_on, .. } => *gate_on,
+            BoundNode::Series(v) => v.iter().all(BoundNode::is_conducting),
+            BoundNode::Parallel(v) => v.iter().any(BoundNode::is_conducting),
+        }
+    }
+
+    /// Number of devices.
+    pub fn transistor_count(&self) -> usize {
+        match self {
+            BoundNode::Device { .. } => 1,
+            BoundNode::Series(v) | BoundNode::Parallel(v) => {
+                v.iter().map(BoundNode::transistor_count).sum()
+            }
+        }
+    }
+
+    /// Number of series OFF devices on the *dominant* (least-blocked)
+    /// rail-to-output path — the stack depth that drives the paper's
+    /// collapsing recursion. ON devices are transparent ("part of the
+    /// internal nodes", §2.1.2) and an ON branch bypasses OFF branches in
+    /// parallel with it (the paper discards those chains), hence `min`
+    /// across parallel branches.
+    pub fn off_stack_depth(&self) -> usize {
+        match self {
+            BoundNode::Device { gate_on, .. } => usize::from(!*gate_on),
+            BoundNode::Series(v) => v.iter().map(BoundNode::off_stack_depth).sum(),
+            BoundNode::Parallel(v) => v.iter().map(BoundNode::off_stack_depth).min().unwrap_or(0),
+        }
+    }
+}
+
+/// A bound network with its device polarity, in n-channel convention.
+///
+/// For pull-up networks the mirroring `v' = V_DD − v` has already been
+/// applied conceptually: the source rail is at potential 0 and a blocking
+/// network sees `V_DD` at its far end, regardless of polarity. Consumers
+/// pick device parameters by [`BoundNetwork::polarity`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundNetwork {
+    polarity: Polarity,
+    root: BoundNode,
+}
+
+impl BoundNetwork {
+    /// Binds a pull-down network (nMOS; devices conduct on logic 1).
+    pub fn pulldown(net: &Network, inputs: &[bool]) -> Self {
+        BoundNetwork {
+            polarity: Polarity::Nmos,
+            root: net.bind(inputs, true),
+        }
+    }
+
+    /// Binds a pull-up network (pMOS; devices conduct on logic 0), mirrored
+    /// into n-channel convention.
+    pub fn pullup(net: &Network, inputs: &[bool]) -> Self {
+        BoundNetwork {
+            polarity: Polarity::Pmos,
+            root: net.bind(inputs, false),
+        }
+    }
+
+    /// Device polarity (selects the parameter set).
+    pub fn polarity(&self) -> Polarity {
+        self.polarity
+    }
+
+    /// Root of the bound series-parallel tree.
+    pub fn root(&self) -> &BoundNode {
+        &self.root
+    }
+
+    /// True when an all-ON path exists (the network conducts).
+    pub fn is_conducting(&self) -> bool {
+        self.root.is_conducting()
+    }
+
+    /// OFF-device stack depth of the dominant leakage path (see
+    /// [`BoundNode::off_stack_depth`]).
+    pub fn max_stack_depth(&self) -> usize {
+        self.root.off_stack_depth()
+    }
+}
+
+impl fmt::Display for BoundNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn rec(node: &BoundNode, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match node {
+                BoundNode::Device { width, gate_on } => {
+                    write!(
+                        f,
+                        "{}({:.0}n)",
+                        if *gate_on { "ON" } else { "off" },
+                        width * 1e9
+                    )
+                }
+                BoundNode::Series(v) => {
+                    write!(f, "[")?;
+                    for (i, n) in v.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " - ")?;
+                        }
+                        rec(n, f)?;
+                    }
+                    write!(f, "]")
+                }
+                BoundNode::Parallel(v) => {
+                    write!(f, "(")?;
+                    for (i, n) in v.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " | ")?;
+                        }
+                        rec(n, f)?;
+                    }
+                    write!(f, ")")
+                }
+            }
+        }
+        write!(f, "{} ", self.polarity)?;
+        rec(&self.root, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nand2_pulldown() -> Network {
+        Network::Series(vec![Network::device(4e-7, 0), Network::device(4e-7, 1)])
+    }
+
+    #[test]
+    fn counts_and_max_input() {
+        let pd = nand2_pulldown();
+        assert_eq!(pd.transistor_count(), 2);
+        assert_eq!(pd.max_input(), Some(1));
+    }
+
+    #[test]
+    fn dual_swaps_series_and_parallel() {
+        let pd = nand2_pulldown();
+        let pu = pd.dual(|w| 2.0 * w);
+        match &pu {
+            Network::Parallel(v) => {
+                assert_eq!(v.len(), 2);
+                match &v[0] {
+                    Network::Device(t) => assert_eq!(t.width, 8e-7),
+                    other => panic!("expected device, got {other:?}"),
+                }
+            }
+            other => panic!("expected parallel, got {other:?}"),
+        }
+        // Dual of dual restores the structure (widths doubled twice).
+        let back = pu.dual(|w| w / 4.0);
+        assert_eq!(
+            back,
+            Network::Series(vec![Network::device(2e-7, 0), Network::device(2e-7, 1),])
+        );
+    }
+
+    #[test]
+    fn pulldown_binding_follows_inputs() {
+        let pd = nand2_pulldown();
+        let b = BoundNetwork::pulldown(&pd, &[true, true]);
+        assert!(b.is_conducting());
+        let b = BoundNetwork::pulldown(&pd, &[true, false]);
+        assert!(!b.is_conducting());
+        assert_eq!(b.max_stack_depth(), 1); // one OFF device, one ON
+    }
+
+    #[test]
+    fn pullup_binding_is_mirrored() {
+        let pu = nand2_pulldown().dual(|w| 2.0 * w);
+        // NAND pull-up conducts when any input is 0.
+        assert!(BoundNetwork::pullup(&pu, &[false, true]).is_conducting());
+        assert!(!BoundNetwork::pullup(&pu, &[true, true]).is_conducting());
+    }
+
+    #[test]
+    fn complementarity_of_dual_networks() {
+        // For every input vector exactly one of pull-down / pull-up conducts.
+        let pd = Network::Series(vec![
+            Network::device(4e-7, 0),
+            Network::Parallel(vec![Network::device(4e-7, 1), Network::device(4e-7, 2)]),
+        ]); // AOI-ish: out = !(a & (b | c))
+        let pu = pd.dual(|w| 2.0 * w);
+        for bits in 0..8u32 {
+            let v: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let down = BoundNetwork::pulldown(&pd, &v).is_conducting();
+            let up = BoundNetwork::pullup(&pu, &v).is_conducting();
+            assert_ne!(down, up, "vector {v:?} must drive exactly one network");
+        }
+    }
+
+    #[test]
+    fn off_stack_depth_counts_only_off_devices() {
+        let pd = Network::Series(vec![
+            Network::device(4e-7, 0),
+            Network::device(4e-7, 1),
+            Network::device(4e-7, 2),
+        ]);
+        let b = BoundNetwork::pulldown(&pd, &[false, true, false]);
+        assert_eq!(b.max_stack_depth(), 2);
+        let b = BoundNetwork::pulldown(&pd, &[false, false, false]);
+        assert_eq!(b.max_stack_depth(), 3);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let pd = nand2_pulldown();
+        let b = BoundNetwork::pulldown(&pd, &[true, false]);
+        let s = format!("{b}");
+        assert!(s.contains("ON") && s.contains("off"), "{s}");
+    }
+}

@@ -1,0 +1,58 @@
+//! Input-vector helpers.
+//!
+//! Gate leakage is input-state dependent (the whole point of the stack
+//! effect); experiments sweep or sample vectors with these utilities.
+
+/// Converts the low `n` bits of `bits` into a vector (`bit 0` → input 0).
+pub fn vector_from_bits(bits: u64, n: usize) -> Vec<bool> {
+    (0..n).map(|i| bits >> i & 1 == 1).collect()
+}
+
+/// Iterator over all `2^n` input vectors in bit order.
+///
+/// # Panics
+///
+/// Panics if `n > 20` — enumeration beyond a million vectors is a bug, not
+/// an experiment.
+pub fn all_vectors(n: usize) -> impl Iterator<Item = Vec<bool>> {
+    assert!(n <= 20, "refusing to enumerate 2^{n} vectors");
+    (0u64..(1u64 << n)).map(move |bits| vector_from_bits(bits, n))
+}
+
+/// Fraction of `1` bits across a vector (used by activity heuristics).
+pub fn ones_fraction(v: &[bool]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().filter(|&&b| b).count() as f64 / v.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_to_vector() {
+        assert_eq!(vector_from_bits(0b101, 3), vec![true, false, true]);
+        assert_eq!(vector_from_bits(0, 2), vec![false, false]);
+    }
+
+    #[test]
+    fn enumeration_is_complete_and_ordered() {
+        let all: Vec<Vec<bool>> = all_vectors(3).collect();
+        assert_eq!(all.len(), 8);
+        assert_eq!(all[0], vec![false, false, false]);
+        assert_eq!(all[7], vec![true, true, true]);
+        // All distinct.
+        let mut sorted = all.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+    }
+
+    #[test]
+    fn ones_fraction_counts() {
+        assert_eq!(ones_fraction(&[]), 0.0);
+        assert_eq!(ones_fraction(&[true, false, true, false]), 0.5);
+    }
+}

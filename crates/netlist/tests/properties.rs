@@ -1,0 +1,78 @@
+//! Property-based tests for the topology layer: random series-parallel
+//! trees against structural invariants.
+
+use proptest::prelude::*;
+use ptherm_netlist::{BoundNetwork, Cell, Network};
+
+/// Strategy for random series-parallel trees over `n_inputs` pins.
+fn sp_network(n_inputs: usize) -> impl Strategy<Value = Network> {
+    let leaf = (0..n_inputs, 0.2f64..4.0).prop_map(|(i, w)| Network::device(w * 1e-6, i));
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Network::Series),
+            proptest::collection::vec(inner, 2..4).prop_map(Network::Parallel),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dual-of-dual with inverse width map restores the original tree.
+    #[test]
+    fn dual_is_an_involution(net in sp_network(3)) {
+        let there = net.dual(|w| 2.0 * w);
+        let back = there.dual(|w| w / 2.0);
+        prop_assert_eq!(net, back);
+    }
+
+    /// A cell built from any SP pull-down with its dual pull-up is
+    /// complementary for every input vector.
+    #[test]
+    fn dual_cells_are_complementary(net in sp_network(3)) {
+        let cell = Cell::from_pulldown(
+            "prop",
+            vec!["a".into(), "b".into(), "c".into()],
+            net,
+            2.0,
+            1e-15,
+        ).expect("inputs in range by construction");
+        cell.verify_complementary().expect("dual construction is complementary");
+    }
+
+    /// Conduction is monotone in the inputs for pull-down networks:
+    /// turning ON more inputs can never break an existing path.
+    #[test]
+    fn pulldown_conduction_is_monotone(net in sp_network(3), bits in 0u8..8) {
+        let v: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+        let conducts = BoundNetwork::pulldown(&net, &v).is_conducting();
+        for flip in 0..3 {
+            if !v[flip] {
+                let mut more = v.clone();
+                more[flip] = true;
+                let still = BoundNetwork::pulldown(&net, &more).is_conducting();
+                prop_assert!(!conducts || still, "raising an input broke a path");
+            }
+        }
+    }
+
+    /// Stack depth bounds: zero iff conducting; never exceeds the device
+    /// count.
+    #[test]
+    fn stack_depth_bounds(net in sp_network(3), bits in 0u8..8) {
+        let v: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+        let bound = BoundNetwork::pulldown(&net, &v);
+        let depth = bound.max_stack_depth();
+        prop_assert_eq!(depth == 0, bound.is_conducting());
+        prop_assert!(depth <= net.transistor_count());
+    }
+
+    /// Transistor count is preserved by binding and duality.
+    #[test]
+    fn counts_are_preserved(net in sp_network(3)) {
+        let n = net.transistor_count();
+        prop_assert_eq!(net.dual(|w| w).transistor_count(), n);
+        let bound = BoundNetwork::pulldown(&net, &[true, false, true]);
+        prop_assert_eq!(bound.root().transistor_count(), n);
+    }
+}

@@ -1,0 +1,45 @@
+//! Exact DC operating-point solver for subthreshold transistor networks —
+//! the workspace's **SPICE substitute**.
+//!
+//! The paper validates its analytical leakage model against HSPICE with
+//! BSIM3 models (Figs. 3 and 8). We have no proprietary simulator or foundry
+//! deck, so this crate solves the *same* network of devices governed by the
+//! *same* compact equations (Eq. 1–2, via `ptherm-device`) **exactly** — no
+//! stack collapsing, no `V_DS ≫ V_T` shortcut, full Kirchhoff current law at
+//! every internal node:
+//!
+//! * [`stack`] — the fast path for series chains (the paper's Fig. 2
+//!   topology): damped Newton on a tridiagonal Jacobian, with a bisection
+//!   "current ladder" fallback that is unconditionally convergent for OFF
+//!   chains,
+//! * [`network`] — general series-parallel networks via dense damped Newton
+//!   with a `V_DD`-ramping homotopy fallback.
+//!
+//! Model-vs-"SPICE" error in the experiments means model-vs-this-crate, and
+//! since both sides share the device equations, the error measured is
+//! *exactly the collapsing approximation error* — the quantity the paper's
+//! Figs. 3 and 8 report.
+//!
+//! # Example
+//!
+//! ```
+//! use ptherm_spice::stack::Stack;
+//! use ptherm_tech::Technology;
+//!
+//! # fn main() -> Result<(), ptherm_spice::stack::SolveStackError> {
+//! let tech = Technology::cmos_120nm();
+//! // A 3-deep all-OFF nMOS stack of 1 um devices at 300 K.
+//! let stack = Stack::all_off(&tech, &[1e-6, 1e-6, 1e-6]);
+//! let sol = stack.solve(300.0)?;
+//! assert!(sol.current > 0.0);
+//! assert_eq!(sol.node_voltages.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod network;
+pub mod stack;
+pub mod sweep;
+
+pub use network::{solve_network, NetworkSolution, SolveNetworkError};
+pub use stack::{SolveStackError, Stack, StackSolution};

@@ -1,0 +1,487 @@
+//! Exact DC solution of general series-parallel networks.
+//!
+//! Consumes the bound networks produced by `ptherm-netlist` (any input
+//! vector, both polarities — pull-ups arrive pre-mirrored into n-channel
+//! convention) and solves full KCL with damped Newton; when Newton stalls, a
+//! supply-ramping homotopy walks the solution up from a fraction of `V_DD`.
+//!
+//! This is the reference for the *series-parallel generalization* of the
+//! paper's collapsing technique (gate-level leakage of AOI/OAI cells and
+//! friends).
+
+use ptherm_device::combined::CombinedModel;
+use ptherm_math::newton::{solve_newton, NewtonSystem, SolveNewtonError};
+use ptherm_math::Matrix;
+use ptherm_netlist::{BoundNetwork, BoundNode};
+use ptherm_tech::Technology;
+use std::fmt;
+
+/// Error returned by [`solve_network`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveNetworkError {
+    /// The network has no devices.
+    EmptyNetwork,
+    /// A device has a non-positive or non-finite width.
+    BadDevice {
+        /// Width found.
+        width: f64,
+    },
+    /// The Newton iteration (and its homotopy fallback) failed.
+    DidNotConverge {
+        /// Description of the failure.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SolveNetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveNetworkError::EmptyNetwork => write!(f, "network has no devices"),
+            SolveNetworkError::BadDevice { width } => {
+                write!(f, "device has invalid width {width}")
+            }
+            SolveNetworkError::DidNotConverge { detail } => {
+                write!(f, "network solve did not converge: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveNetworkError {}
+
+/// Solution of a network DC operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkSolution {
+    /// Voltages of the internal nodes (solver ordering; opaque but stable).
+    pub node_voltages: Vec<f64>,
+    /// Total current from the `V_DD` end to the rail end, A.
+    pub current: f64,
+    /// True when the homotopy fallback was engaged.
+    pub used_homotopy: bool,
+}
+
+/// One device edge in the flattened graph.
+#[derive(Debug, Clone, Copy)]
+struct Edge {
+    /// Node index on the source (rail) side; 0 = rail, 1 = vdd, 2+ internal.
+    a: usize,
+    /// Node index on the drain (supply) side.
+    b: usize,
+    width: f64,
+    gate_on: bool,
+}
+
+/// Flattens a bound series-parallel tree into device edges.
+fn flatten(node: &BoundNode, a: usize, b: usize, next: &mut usize, edges: &mut Vec<Edge>) {
+    match node {
+        BoundNode::Device { width, gate_on } => {
+            edges.push(Edge {
+                a,
+                b,
+                width: *width,
+                gate_on: *gate_on,
+            });
+        }
+        BoundNode::Series(children) => {
+            let mut lo = a;
+            for (i, child) in children.iter().enumerate() {
+                let hi = if i == children.len() - 1 {
+                    b
+                } else {
+                    let id = *next;
+                    *next += 1;
+                    id
+                };
+                flatten(child, lo, hi, next, edges);
+                lo = hi;
+            }
+        }
+        BoundNode::Parallel(children) => {
+            for child in children {
+                flatten(child, a, b, next, edges);
+            }
+        }
+    }
+}
+
+struct NetworkSystem<'m, 'p> {
+    model: &'m CombinedModel<'p>,
+    edges: Vec<Edge>,
+    n_internal: usize,
+    vdd: f64,
+    temperature_k: f64,
+    scale: f64,
+}
+
+impl NetworkSystem<'_, '_> {
+    fn node_voltage(&self, x: &[f64], id: usize) -> f64 {
+        match id {
+            0 => 0.0,
+            1 => self.vdd,
+            _ => x[id - 2],
+        }
+    }
+
+    fn gate_voltage(&self, e: &Edge) -> f64 {
+        if e.gate_on {
+            self.vdd
+        } else {
+            0.0
+        }
+    }
+}
+
+impl NewtonSystem for NetworkSystem<'_, '_> {
+    fn dim(&self) -> usize {
+        self.n_internal
+    }
+
+    fn residual(&self, x: &[f64], out: &mut [f64]) {
+        out.fill(0.0);
+        for e in &self.edges {
+            let vs = self.node_voltage(x, e.a);
+            let vd = self.node_voltage(x, e.b);
+            let nc = self.model.current_nodal(
+                e.width,
+                vs,
+                vd,
+                self.gate_voltage(e),
+                0.0,
+                self.temperature_k,
+            );
+            // Conventional current flows drain(b) -> source(a): node a gains.
+            if e.a >= 2 {
+                out[e.a - 2] += nc.i / self.scale;
+            }
+            if e.b >= 2 {
+                out[e.b - 2] -= nc.i / self.scale;
+            }
+        }
+    }
+
+    fn jacobian(&self, x: &[f64]) -> Matrix {
+        let n = self.n_internal;
+        let mut j = Matrix::zeros(n.max(1), n.max(1));
+        for e in &self.edges {
+            let vs = self.node_voltage(x, e.a);
+            let vd = self.node_voltage(x, e.b);
+            let nc = self.model.current_nodal(
+                e.width,
+                vs,
+                vd,
+                self.gate_voltage(e),
+                0.0,
+                self.temperature_k,
+            );
+            let (ia, ib) = (e.a, e.b);
+            if ia >= 2 {
+                j[(ia - 2, ia - 2)] += nc.di_dvs / self.scale;
+                if ib >= 2 {
+                    j[(ia - 2, ib - 2)] += nc.di_dvd / self.scale;
+                }
+            }
+            if ib >= 2 {
+                j[(ib - 2, ib - 2)] -= nc.di_dvd / self.scale;
+                if ia >= 2 {
+                    j[(ib - 2, ia - 2)] -= nc.di_dvs / self.scale;
+                }
+            }
+        }
+        j
+    }
+
+    fn project(&self, x: &mut [f64]) {
+        for v in x.iter_mut() {
+            *v = v.clamp(0.0, self.vdd);
+        }
+    }
+}
+
+/// Solves the DC operating point of a bound network in technology `tech` at
+/// `temperature_k`.
+///
+/// The network spans rail (0 V) → `V_DD` regardless of polarity (pull-up
+/// networks are already mirrored); device parameters are chosen by the
+/// network's polarity.
+///
+/// # Errors
+///
+/// See [`SolveNetworkError`].
+pub fn solve_network(
+    tech: &Technology,
+    network: &BoundNetwork,
+    temperature_k: f64,
+) -> Result<NetworkSolution, SolveNetworkError> {
+    let params = tech.mos(network.polarity());
+    let model = CombinedModel::new(params, tech.vdd, tech.t_ref);
+
+    let mut edges = Vec::new();
+    let mut next = 2usize;
+    flatten(network.root(), 0, 1, &mut next, &mut edges);
+    if edges.is_empty() {
+        return Err(SolveNetworkError::EmptyNetwork);
+    }
+    for e in &edges {
+        if !(e.width > 0.0) || !e.width.is_finite() {
+            return Err(SolveNetworkError::BadDevice { width: e.width });
+        }
+    }
+    let n_internal = next - 2;
+
+    // Characteristic current: the network current is bounded by its most
+    // limiting device (each at its own gate voltage, full rail across it),
+    // so the minimum sets the right residual scale.
+    let scale = edges
+        .iter()
+        .map(|e| {
+            let vg = if e.gate_on { tech.vdd } else { 0.0 };
+            model
+                .current_nodal(e.width, 0.0, tech.vdd, vg, 0.0, temperature_k)
+                .i
+                .abs()
+        })
+        .fold(f64::INFINITY, f64::min)
+        .max(1e-30);
+
+    let total_current = |system: &NetworkSystem, x: &[f64]| -> f64 {
+        // Sum of currents on edges touching the VDD node.
+        let mut i_total = 0.0;
+        for e in &system.edges {
+            if e.b == 1 || e.a == 1 {
+                let vs = system.node_voltage(x, e.a);
+                let vd = system.node_voltage(x, e.b);
+                let nc = model.current_nodal(
+                    e.width,
+                    vs,
+                    vd,
+                    system.gate_voltage(e),
+                    0.0,
+                    temperature_k,
+                );
+                // Edge with drain at VDD draws nc.i out of the supply.
+                if e.b == 1 {
+                    i_total += nc.i;
+                } else {
+                    i_total -= nc.i;
+                }
+            }
+        }
+        i_total
+    };
+
+    if n_internal == 0 {
+        // Pure parallel combination: no unknowns.
+        let system = NetworkSystem {
+            model: &model,
+            edges,
+            n_internal,
+            vdd: tech.vdd,
+            temperature_k,
+            scale,
+        };
+        let current = total_current(&system, &[]);
+        return Ok(NetworkSolution {
+            node_voltages: Vec::new(),
+            current,
+            used_homotopy: false,
+        });
+    }
+
+    let system = NetworkSystem {
+        model: &model,
+        edges,
+        n_internal,
+        vdd: tech.vdd,
+        temperature_k,
+        scale,
+    };
+    let x0: Vec<f64> = (0..n_internal)
+        .map(|i| 0.05 * tech.vdd * (i + 1) as f64 / (n_internal + 1) as f64)
+        .collect();
+
+    match solve_newton(&system, &x0, 1e-12, 120) {
+        Ok(sol) => {
+            let current = total_current(&system, &sol.x);
+            Ok(NetworkSolution {
+                node_voltages: sol.x,
+                current,
+                used_homotopy: false,
+            })
+        }
+        Err(first_err) => {
+            // Homotopy: ramp VDD from 10% to 100% in steps, warm-starting.
+            let mut x = x0;
+            let steps = 10;
+            for k in 1..=steps {
+                let vdd_k = tech.vdd * k as f64 / steps as f64;
+                let sys_k = NetworkSystem {
+                    model: &model,
+                    edges: system.edges.clone(),
+                    n_internal,
+                    vdd: vdd_k,
+                    temperature_k,
+                    scale,
+                };
+                match solve_newton(&sys_k, &x, 1e-12, 120) {
+                    Ok(sol) => x = sol.x,
+                    Err(SolveNewtonError::Stalled { x: best, .. })
+                    | Err(SolveNewtonError::NotConverged { x: best, .. }) => x = best,
+                    Err(e) => {
+                        return Err(SolveNetworkError::DidNotConverge {
+                            detail: format!("homotopy step {k}: {e}; original: {first_err}"),
+                        })
+                    }
+                }
+            }
+            // Final polish at full VDD.
+            match solve_newton(&system, &x, 1e-10, 200) {
+                Ok(sol) => {
+                    let current = total_current(&system, &sol.x);
+                    Ok(NetworkSolution {
+                        node_voltages: sol.x,
+                        current,
+                        used_homotopy: true,
+                    })
+                }
+                Err(e) => Err(SolveNetworkError::DidNotConverge {
+                    detail: format!("after homotopy: {e}"),
+                }),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::Stack;
+    use ptherm_netlist::{cells, Network};
+    use ptherm_tech::Technology;
+
+    fn tech() -> Technology {
+        Technology::cmos_120nm()
+    }
+
+    #[test]
+    fn series_network_matches_stack_solver() {
+        let t = tech();
+        let widths = [1e-6, 2e-6, 1.5e-6];
+        let net = Network::Series(
+            widths
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| Network::device(w, i))
+                .collect(),
+        );
+        let bound = ptherm_netlist::BoundNetwork::pulldown(&net, &[false, false, false]);
+        let sol = solve_network(&t, &bound, 300.0).unwrap();
+        let exact = Stack::off_current(&t, &widths, 300.0).unwrap();
+        let rel = (sol.current - exact).abs() / exact;
+        assert!(
+            rel < 1e-8,
+            "network {:.6e} vs stack {:.6e}",
+            sol.current,
+            exact
+        );
+    }
+
+    #[test]
+    fn parallel_network_sums_device_currents() {
+        use ptherm_device::combined::CombinedModel;
+        let t = tech();
+        let net = Network::Parallel(vec![Network::device(1e-6, 0), Network::device(2e-6, 1)]);
+        let bound = ptherm_netlist::BoundNetwork::pulldown(&net, &[false, false]);
+        let sol = solve_network(&t, &bound, 300.0).unwrap();
+        let m = CombinedModel::new(&t.nmos, t.vdd, t.t_ref);
+        let direct = m.current_nodal(3e-6, 0.0, t.vdd, 0.0, 0.0, 300.0).i;
+        assert!((sol.current - direct).abs() / direct < 1e-12);
+    }
+
+    #[test]
+    fn nand3_low_inputs_match_stack() {
+        // The blocking pull-down of NAND3 at inputs 000 is exactly a 3-stack.
+        let t = tech();
+        let g = cells::nand(3, &t);
+        let blocking = g.bound_blocking(&[false, false, false]).unwrap();
+        let sol = solve_network(&t, &blocking, 300.0).unwrap();
+        let w = 2.0 * t.nmos.w_min * 3.0;
+        let exact = Stack::off_current(&t, &[w, w, w], 300.0).unwrap();
+        assert!((sol.current - exact).abs() / exact < 1e-8);
+    }
+
+    #[test]
+    fn aoi_network_solves_and_is_positive() {
+        let t = tech();
+        let g = cells::aoi22(&t);
+        for bits in 0..16u32 {
+            let v: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+            let blocking = g.bound_blocking(&v).unwrap();
+            let sol =
+                solve_network(&t, &blocking, 300.0).unwrap_or_else(|e| panic!("vector {v:?}: {e}"));
+            assert!(sol.current > 0.0, "vector {v:?}");
+        }
+    }
+
+    #[test]
+    fn partially_on_network_current_is_bounded_by_limiting_devices() {
+        // OAI21 with inputs making one parallel branch ON: current through
+        // the series OFF device dominates; must be below its standalone
+        // current but positive.
+        let t = tech();
+        let g = cells::oai21(&t);
+        // inputs a=1,b=0,c=0: pulldown = (a|b) & c -> c OFF blocks.
+        let blocking = g.bound_blocking(&[true, false, false]).unwrap();
+        assert_eq!(blocking.max_stack_depth(), 1);
+        let sol = solve_network(&t, &blocking, 300.0).unwrap();
+        assert!(sol.current > 0.0);
+    }
+
+    #[test]
+    fn pullup_blocking_network_uses_pmos_parameters() {
+        let t = tech();
+        let g = cells::nor(2, &t);
+        // NOR with any input high: output low... wait, output low means
+        // pull-down conducts and pull-up blocks.
+        let blocking = g.bound_blocking(&[true, true]).unwrap();
+        assert_eq!(blocking.polarity(), ptherm_tech::Polarity::Pmos);
+        let sol = solve_network(&t, &blocking, 300.0).unwrap();
+        assert!(sol.current > 0.0);
+        // The pMOS 2-stack (NOR pull-up is series) leaks less than a single
+        // pMOS of the same width.
+        let w = blocking.root().transistor_count();
+        assert_eq!(w, 2);
+    }
+
+    #[test]
+    fn leakage_depends_on_input_vector() {
+        // NAND2: vector 00 (2 OFF in series) leaks much less than vector 01
+        // (1 OFF device effectively).
+        let t = tech();
+        let g = cells::nand(2, &t);
+        let i00 = solve_network(&t, &g.bound_blocking(&[false, false]).unwrap(), 300.0)
+            .unwrap()
+            .current;
+        let i10 = solve_network(&t, &g.bound_blocking(&[true, false]).unwrap(), 300.0)
+            .unwrap()
+            .current;
+        assert!(
+            i10 / i00 > 2.0,
+            "stack effect across vectors: {}",
+            i10 / i00
+        );
+    }
+
+    #[test]
+    fn conducting_network_reports_large_current() {
+        // Solving the CONDUCTING network is legal (subthreshold equations
+        // extrapolate); its "leakage" is orders of magnitude above an OFF
+        // network. This guards against accidentally solving the wrong side.
+        let t = tech();
+        let g = cells::nand(2, &t);
+        let (down, _) = g.bind_both(&[true, true]).unwrap();
+        assert!(down.is_conducting());
+        let on = solve_network(&t, &down, 300.0).unwrap();
+        let off = solve_network(&t, &g.bound_blocking(&[true, true]).unwrap(), 300.0).unwrap();
+        assert!(on.current > 1e3 * off.current);
+    }
+}

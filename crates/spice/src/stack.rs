@@ -1,0 +1,612 @@
+//! Exact DC solution of a series transistor stack (the paper's Fig. 2).
+//!
+//! Unknowns are the `N−1` internal node voltages `V_1 … V_{N−1}` of an
+//! `N`-device chain whose bottom source sits at the rail (0 V) and whose top
+//! drain sits at `V_DD`. KCL demands the same current through every device.
+//!
+//! Two solvers are provided:
+//!
+//! 1. **Damped Newton** on the tridiagonal KCL system — fast, quadratic
+//!    near the solution (the production path, also what the speed benches
+//!    measure);
+//! 2. **Current ladder** — an outer bisection on the bottom node voltage
+//!    with inner Brent solves propagating the current up the chain. For
+//!    chains of positively-biased devices the mismatch function is monotone,
+//!    making this fallback unconditionally convergent (used when Newton
+//!    stalls, and in tests as an independent cross-check).
+
+use ptherm_device::combined::CombinedModel;
+use ptherm_math::roots::{brent, RootError};
+use ptherm_math::tridiag::solve_tridiagonal;
+use ptherm_tech::{MosParams, Technology};
+use std::fmt;
+
+/// One device of the chain: width and (fixed) gate voltage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StackDevice {
+    /// Drawn width, m.
+    pub width: f64,
+    /// Gate voltage, V (0 = OFF, `V_DD` = ON for n-channel convention).
+    pub gate_voltage: f64,
+}
+
+/// A series chain of devices between the source rail and `V_DD`.
+///
+/// Index 0 is the bottom device (`T1` in the paper), the last index the top
+/// device (`T_N`).
+#[derive(Debug, Clone)]
+pub struct Stack<'a> {
+    params: &'a MosParams,
+    devices: Vec<StackDevice>,
+    vdd: f64,
+    t_ref: f64,
+    body_voltage: f64,
+}
+
+/// Solution of a stack DC operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StackSolution {
+    /// Internal node voltages `V_1 … V_{N−1}` (bottom to top), V.
+    pub node_voltages: Vec<f64>,
+    /// Chain current, A.
+    pub current: f64,
+    /// Newton iterations, when the Newton path succeeded.
+    pub newton_iterations: Option<usize>,
+    /// True when the bisection ladder produced the answer.
+    pub used_fallback: bool,
+}
+
+/// Error returned by [`Stack::solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveStackError {
+    /// The chain has no devices.
+    EmptyStack,
+    /// A device has a non-positive or non-finite width.
+    BadDevice {
+        /// Index of the offending device.
+        index: usize,
+        /// Its width.
+        width: f64,
+    },
+    /// Both Newton and the ladder fallback failed.
+    DidNotConverge {
+        /// Failure detail from the fallback.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SolveStackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveStackError::EmptyStack => write!(f, "stack has no devices"),
+            SolveStackError::BadDevice { index, width } => {
+                write!(f, "device {index} has invalid width {width}")
+            }
+            SolveStackError::DidNotConverge { detail } => {
+                write!(f, "stack solve did not converge: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveStackError {}
+
+impl<'a> Stack<'a> {
+    /// Builds a stack from explicit devices.
+    pub fn new(params: &'a MosParams, vdd: f64, t_ref: f64, devices: Vec<StackDevice>) -> Self {
+        Stack {
+            params,
+            devices,
+            vdd,
+            t_ref,
+            body_voltage: 0.0,
+        }
+    }
+
+    /// All-OFF nMOS stack (every gate grounded) in the given technology —
+    /// the exact configuration of the paper's Figs. 3 and 8.
+    pub fn all_off(tech: &'a Technology, widths: &[f64]) -> Self {
+        Stack::new(
+            &tech.nmos,
+            tech.vdd,
+            tech.t_ref,
+            widths
+                .iter()
+                .map(|&w| StackDevice {
+                    width: w,
+                    gate_voltage: 0.0,
+                })
+                .collect(),
+        )
+    }
+
+    /// Sets the common body voltage (default 0).
+    pub fn with_body_voltage(mut self, vb: f64) -> Self {
+        self.body_voltage = vb;
+        self
+    }
+
+    /// Devices of the chain, bottom to top.
+    pub fn devices(&self) -> &[StackDevice] {
+        &self.devices
+    }
+
+    fn model(&self) -> CombinedModel<'a> {
+        CombinedModel::new(self.params, self.vdd, self.t_ref)
+    }
+
+    fn validate(&self) -> Result<(), SolveStackError> {
+        if self.devices.is_empty() {
+            return Err(SolveStackError::EmptyStack);
+        }
+        for (i, d) in self.devices.iter().enumerate() {
+            if !(d.width > 0.0) || !d.width.is_finite() {
+                return Err(SolveStackError::BadDevice {
+                    index: i,
+                    width: d.width,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Current through device `i` given the full node-voltage profile
+    /// `nodes` (length `N−1`).
+    fn device_current(
+        &self,
+        model: &CombinedModel<'_>,
+        nodes: &[f64],
+        i: usize,
+        temperature_k: f64,
+    ) -> ptherm_device::subthreshold::NodalCurrent {
+        let vs = if i == 0 { 0.0 } else { nodes[i - 1] };
+        let vd = if i == self.devices.len() - 1 {
+            self.vdd
+        } else {
+            nodes[i]
+        };
+        model.current_nodal(
+            self.devices[i].width,
+            vs,
+            vd,
+            self.devices[i].gate_voltage,
+            self.body_voltage,
+            temperature_k,
+        )
+    }
+
+    /// Solves the DC operating point at `temperature_k`.
+    ///
+    /// Newton first; on stall, the monotone current ladder.
+    ///
+    /// # Errors
+    ///
+    /// See [`SolveStackError`].
+    pub fn solve(&self, temperature_k: f64) -> Result<StackSolution, SolveStackError> {
+        self.validate()?;
+        let model = self.model();
+        let n = self.devices.len();
+        if n == 1 {
+            let nc = model.current_nodal(
+                self.devices[0].width,
+                0.0,
+                self.vdd,
+                self.devices[0].gate_voltage,
+                self.body_voltage,
+                temperature_k,
+            );
+            return Ok(StackSolution {
+                node_voltages: Vec::new(),
+                current: nc.i,
+                newton_iterations: Some(0),
+                used_fallback: false,
+            });
+        }
+
+        match self.solve_newton(&model, temperature_k) {
+            Ok(sol) => Ok(sol),
+            Err(_) => self.solve_ladder(&model, temperature_k),
+        }
+    }
+
+    /// Damped Newton with a tridiagonal Jacobian.
+    fn solve_newton(
+        &self,
+        model: &CombinedModel<'_>,
+        temperature_k: f64,
+    ) -> Result<StackSolution, SolveStackError> {
+        let n = self.devices.len();
+        let m = n - 1; // unknowns
+                       // Characteristic current for relative convergence checks: the chain
+                       // current is bounded by the most-limiting device (each at its own
+                       // gate voltage with the full rail across it), so use the minimum.
+        let i_char = self
+            .devices
+            .iter()
+            .map(|d| {
+                model
+                    .current_nodal(
+                        d.width,
+                        0.0,
+                        self.vdd,
+                        d.gate_voltage,
+                        self.body_voltage,
+                        temperature_k,
+                    )
+                    .i
+                    .abs()
+            })
+            .fold(f64::INFINITY, f64::min)
+            .max(1e-30);
+        let tol = 1e-10 * i_char;
+
+        // Initial guess: a shallow ramp (OFF stacks settle within ~100 mV of
+        // the rail; ON-dominated stacks are corrected by damping).
+        let mut nodes: Vec<f64> = (0..m)
+            .map(|i| 0.05 * self.vdd * (i + 1) as f64 / n as f64)
+            .collect();
+
+        let residual = |nodes: &[f64], f: &mut [f64]| {
+            for i in 0..m {
+                // KCL at node i: current through device i+1 (above) minus
+                // device i (below).
+                let above = self.device_current(model, nodes, i + 1, temperature_k);
+                let below = self.device_current(model, nodes, i, temperature_k);
+                f[i] = above.i - below.i;
+            }
+        };
+
+        let mut f = vec![0.0; m];
+        residual(&nodes, &mut f);
+        let norm = |f: &[f64]| f.iter().fold(0.0f64, |a, v| a.max(v.abs()));
+        let mut fnorm = norm(&f);
+
+        for iter in 0..80 {
+            if fnorm <= tol {
+                let current = self.device_current(model, &nodes, 0, temperature_k).i;
+                return Ok(StackSolution {
+                    node_voltages: nodes,
+                    current,
+                    newton_iterations: Some(iter),
+                    used_fallback: false,
+                });
+            }
+            // Assemble tridiagonal Jacobian dF/dnodes.
+            let mut lower = vec![0.0; m - 1.min(m)];
+            let mut diag = vec![0.0; m];
+            let mut upper = vec![0.0; m.saturating_sub(1)];
+            lower.resize(m.saturating_sub(1), 0.0);
+            for i in 0..m {
+                let above = self.device_current(model, &nodes, i + 1, temperature_k);
+                let below = self.device_current(model, &nodes, i, temperature_k);
+                // dF_i/dV_i: above's source is node i, below's drain is node i.
+                diag[i] = above.di_dvs - below.di_dvd;
+                // dF_i/dV_{i-1}: below's source.
+                if i > 0 {
+                    lower[i - 1] = -below.di_dvs;
+                }
+                // dF_i/dV_{i+1}: above's drain.
+                if i + 1 < m {
+                    upper[i] = above.di_dvd;
+                }
+            }
+            let rhs: Vec<f64> = f.iter().map(|v| -v).collect();
+            let Ok(dx) = solve_tridiagonal(&lower, &diag, &upper, &rhs) else {
+                return Err(SolveStackError::DidNotConverge {
+                    detail: "singular tridiagonal jacobian".into(),
+                });
+            };
+
+            // Damped update.
+            let mut lambda = 1.0;
+            let mut accepted = false;
+            for _ in 0..40 {
+                let trial: Vec<f64> = nodes
+                    .iter()
+                    .zip(&dx)
+                    .map(|(x, d)| (x + lambda * d).clamp(0.0, self.vdd))
+                    .collect();
+                let mut ft = vec![0.0; m];
+                residual(&trial, &mut ft);
+                let fn_t = norm(&ft);
+                if fn_t.is_finite() && fn_t < fnorm {
+                    nodes = trial;
+                    f = ft;
+                    fnorm = fn_t;
+                    accepted = true;
+                    break;
+                }
+                lambda *= 0.5;
+            }
+            if !accepted {
+                return Err(SolveStackError::DidNotConverge {
+                    detail: format!("newton stalled with residual {fnorm:.3e}"),
+                });
+            }
+        }
+        Err(SolveStackError::DidNotConverge {
+            detail: format!("newton budget exhausted, residual {fnorm:.3e}"),
+        })
+    }
+
+    /// Monotone bisection ladder (unconditionally convergent for OFF chains).
+    fn solve_ladder(
+        &self,
+        model: &CombinedModel<'_>,
+        temperature_k: f64,
+    ) -> Result<StackSolution, SolveStackError> {
+        let n = self.devices.len();
+        let dev_i = |i: usize, vs: f64, vd: f64| {
+            model
+                .current_nodal(
+                    self.devices[i].width,
+                    vs,
+                    vd,
+                    self.devices[i].gate_voltage,
+                    self.body_voltage,
+                    temperature_k,
+                )
+                .i
+        };
+
+        // Mismatch at the top of the chain given the bottom node voltage.
+        // Returns (mismatch, nodes). Monotone decreasing in v1.
+        let evaluate = |v1: f64| -> (f64, Vec<f64>) {
+            let mut nodes = Vec::with_capacity(n - 1);
+            nodes.push(v1);
+            let target = dev_i(0, 0.0, v1);
+            for i in 1..n - 1 {
+                let vs = nodes[i - 1];
+                // Find vd in [vs, vdd] with I_i(vs, vd) = target.
+                let max_i = dev_i(i, vs, self.vdd);
+                if max_i < target {
+                    // Cannot push that much current even with full headroom:
+                    // v1 is too large.
+                    return (max_i - target, nodes);
+                }
+                let root = brent(|vd| dev_i(i, vs, vd) - target, vs, self.vdd, 1e-15, 200);
+                match root {
+                    Ok(vd) => nodes.push(vd),
+                    Err(RootError::NoBracket { .. }) => {
+                        // Degenerate: target ~ 0; keep the node at vs.
+                        nodes.push(vs);
+                    }
+                    Err(_) => {
+                        return (f64::NAN, nodes);
+                    }
+                }
+            }
+            let top = dev_i(n - 1, nodes[n - 2], self.vdd);
+            (top - target, nodes)
+        };
+
+        let mut lo = 1e-9 * self.vdd;
+        let mut hi = self.vdd * (1.0 - 1e-9);
+        let (g_lo, _) = evaluate(lo);
+        let (g_hi, _) = evaluate(hi);
+        if !g_lo.is_finite() || !g_hi.is_finite() {
+            return Err(SolveStackError::DidNotConverge {
+                detail: "ladder mismatch non-finite at the brackets".into(),
+            });
+        }
+        if g_lo.signum() == g_hi.signum() {
+            // One-sided: the better endpoint is the answer (e.g. all devices
+            // strongly ON pushes every node toward a rail).
+            let v1 = if g_lo.abs() < g_hi.abs() { lo } else { hi };
+            let (_, nodes) = evaluate(v1);
+            let current = dev_i(0, 0.0, nodes[0]);
+            return Ok(StackSolution {
+                node_voltages: nodes,
+                current,
+                newton_iterations: None,
+                used_fallback: true,
+            });
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            let (g, _) = evaluate(mid);
+            if !g.is_finite() {
+                return Err(SolveStackError::DidNotConverge {
+                    detail: "ladder mismatch became non-finite".into(),
+                });
+            }
+            if g.signum() == g_lo.signum() {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if (hi - lo) < 1e-16 * self.vdd.max(1.0) {
+                break;
+            }
+        }
+        let v1 = 0.5 * (lo + hi);
+        let (_, nodes) = evaluate(v1);
+        let current = dev_i(0, 0.0, nodes[0]);
+        Ok(StackSolution {
+            node_voltages: nodes,
+            current,
+            newton_iterations: None,
+            used_fallback: true,
+        })
+    }
+
+    /// Exact OFF current of an all-OFF stack of the given widths — the
+    /// "SPICE" data series of Fig. 8.
+    ///
+    /// # Errors
+    ///
+    /// See [`SolveStackError`].
+    pub fn off_current(
+        tech: &Technology,
+        widths: &[f64],
+        temperature_k: f64,
+    ) -> Result<f64, SolveStackError> {
+        Stack::all_off(tech, widths)
+            .solve(temperature_k)
+            .map(|s| s.current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptherm_tech::Technology;
+
+    fn tech() -> Technology {
+        Technology::cmos_120nm()
+    }
+
+    /// Newton and ladder must agree to high precision.
+    #[test]
+    fn newton_and_ladder_agree() {
+        let t = tech();
+        for widths in [
+            vec![1e-6, 1e-6],
+            vec![1e-6, 2e-6, 4e-6],
+            vec![4e-6, 1e-6, 2e-6, 1e-6],
+        ] {
+            let stack = Stack::all_off(&t, &widths);
+            let model = stack.model();
+            let newton = stack.solve_newton(&model, 300.0).expect("newton converges");
+            let ladder = stack.solve_ladder(&model, 300.0).expect("ladder converges");
+            let rel = (newton.current - ladder.current).abs() / ladder.current;
+            assert!(rel < 1e-8, "widths {widths:?}: rel error {rel:.2e}");
+            for (a, b) in newton.node_voltages.iter().zip(&ladder.node_voltages) {
+                assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn currents_are_equal_through_the_chain() {
+        let t = tech();
+        let stack = Stack::all_off(&t, &[1e-6, 3e-6, 2e-6]);
+        let sol = stack.solve(320.0).unwrap();
+        let model = stack.model();
+        for i in 0..3 {
+            let ic = stack.device_current(&model, &sol.node_voltages, i, 320.0).i;
+            let rel = (ic - sol.current).abs() / sol.current;
+            assert!(rel < 1e-9, "device {i}: {rel:.2e}");
+        }
+    }
+
+    #[test]
+    fn stack_effect_reduces_current_with_depth() {
+        let t = tech();
+        let w = 1e-6;
+        let mut previous = f64::INFINITY;
+        for n in 1..=5 {
+            let i = Stack::off_current(&t, &vec![w; n], 300.0).unwrap();
+            assert!(i > 0.0);
+            assert!(i < previous, "stack {n} must leak less than {}", n - 1);
+            previous = i;
+        }
+        // Two-stack suppression is strong (the classic "stack effect"):
+        let i1 = Stack::off_current(&t, &[w], 300.0).unwrap();
+        let i2 = Stack::off_current(&t, &[w, w], 300.0).unwrap();
+        assert!(i1 / i2 > 5.0, "suppression factor {}", i1 / i2);
+    }
+
+    #[test]
+    fn node_voltages_increase_monotonically() {
+        let t = tech();
+        let sol = Stack::all_off(&t, &[1e-6; 4]).solve(300.0).unwrap();
+        let mut last = 0.0;
+        for v in &sol.node_voltages {
+            assert!(
+                *v > last,
+                "nodes must rise toward the top: {:?}",
+                sol.node_voltages
+            );
+            last = *v;
+        }
+        assert!(last < t.vdd);
+    }
+
+    #[test]
+    fn bottom_node_is_tens_of_millivolts() {
+        // The classic result: the first internal node of an OFF 2-stack sits
+        // a few V_T above ground.
+        let t = tech();
+        let sol = Stack::all_off(&t, &[1e-6, 1e-6]).solve(300.0).unwrap();
+        let v1 = sol.node_voltages[0];
+        assert!(v1 > 0.005 && v1 < 0.2, "V1 = {v1}");
+    }
+
+    #[test]
+    fn on_transistor_above_off_device_is_nearly_transparent() {
+        // Stack of 2 with the TOP device ON: the internal node rises until
+        // the pass transistor loses gate drive (the classic threshold-drop
+        // effect), settling within a threshold of VDD. The chain current is
+        // somewhat below the lone-OFF-device value — mostly via the DIBL
+        // reduction from the smaller V_DS across the bottom device — but far
+        // above the 2-OFF-stack current.
+        let t = tech();
+        let devices = vec![
+            StackDevice {
+                width: 1e-6,
+                gate_voltage: 0.0,
+            }, // bottom OFF
+            StackDevice {
+                width: 1e-6,
+                gate_voltage: t.vdd,
+            }, // top ON
+        ];
+        let stack = Stack::new(&t.nmos, t.vdd, t.t_ref, devices);
+        let sol = stack.solve(300.0).unwrap();
+        let single = Stack::off_current(&t, &[1e-6], 300.0).unwrap();
+        let two_off = Stack::off_current(&t, &[1e-6, 1e-6], 300.0).unwrap();
+        assert!(
+            sol.current > 0.3 * single && sol.current < single,
+            "I = {:.3e} vs single {:.3e}",
+            sol.current,
+            single
+        );
+        assert!(sol.current > 3.0 * two_off, "must beat the 2-OFF stack");
+        let v1 = sol.node_voltages[0];
+        assert!(v1 > 0.6 * t.vdd && v1 < t.vdd, "V1 = {v1}");
+    }
+
+    #[test]
+    fn temperature_raises_stack_leakage() {
+        let t = tech();
+        let cold = Stack::off_current(&t, &[1e-6; 3], 298.15).unwrap();
+        let hot = Stack::off_current(&t, &[1e-6; 3], 398.15).unwrap();
+        assert!(hot / cold > 10.0, "ratio {}", hot / cold);
+    }
+
+    #[test]
+    fn empty_and_invalid_stacks_are_rejected() {
+        let t = tech();
+        assert!(matches!(
+            Stack::all_off(&t, &[]).solve(300.0),
+            Err(SolveStackError::EmptyStack)
+        ));
+        assert!(matches!(
+            Stack::all_off(&t, &[1e-6, -1.0]).solve(300.0),
+            Err(SolveStackError::BadDevice { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn single_device_matches_device_model() {
+        let t = tech();
+        let sol = Stack::all_off(&t, &[2e-6]).solve(300.0).unwrap();
+        let m = CombinedModel::new(&t.nmos, t.vdd, t.t_ref);
+        let direct = m.current_nodal(2e-6, 0.0, t.vdd, 0.0, 0.0, 300.0).i;
+        assert!((sol.current - direct).abs() / direct < 1e-12);
+    }
+
+    #[test]
+    fn wider_top_device_raises_current() {
+        // Making the top device wider increases the chain current (less of
+        // the drop is wasted across it).
+        let t = tech();
+        let narrow = Stack::off_current(&t, &[1e-6, 1e-6], 300.0).unwrap();
+        let wide = Stack::off_current(&t, &[1e-6, 8e-6], 300.0).unwrap();
+        assert!(wide > narrow);
+        // But never more than the single bottom device alone.
+        let single = Stack::off_current(&t, &[1e-6], 300.0).unwrap();
+        assert!(wide < single);
+    }
+}

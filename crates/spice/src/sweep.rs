@@ -1,0 +1,185 @@
+//! Sweep drivers over the exact solvers: current-vs-temperature,
+//! current-vs-supply and node-voltage-vs-width-ratio series.
+//!
+//! These produce the "experimental" curves the figure binaries plot
+//! against the analytical model, packaged so downstream users can run the
+//! same characterizations on their own devices.
+
+use crate::stack::{SolveStackError, Stack, StackDevice};
+use ptherm_tech::{MosParams, Technology};
+
+/// One sweep sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Swept variable (kelvin, volts or a pure ratio, per driver).
+    pub x: f64,
+    /// Resulting current (A) or voltage (V), per driver.
+    pub y: f64,
+}
+
+/// OFF current of an all-OFF stack vs temperature.
+///
+/// # Errors
+///
+/// Propagates the first [`SolveStackError`].
+///
+/// # Panics
+///
+/// Panics if `points < 2` or the range is not increasing.
+pub fn stack_current_vs_temperature(
+    tech: &Technology,
+    widths: &[f64],
+    t_from: f64,
+    t_to: f64,
+    points: usize,
+) -> Result<Vec<SweepPoint>, SolveStackError> {
+    assert!(points >= 2 && t_to > t_from, "bad sweep range");
+    (0..points)
+        .map(|i| {
+            let t = t_from + (t_to - t_from) * i as f64 / (points - 1) as f64;
+            Stack::off_current(tech, widths, t).map(|y| SweepPoint { x: t, y })
+        })
+        .collect()
+}
+
+/// OFF current of an all-OFF stack vs supply voltage (DIBL exposure).
+///
+/// # Errors
+///
+/// Propagates the first [`SolveStackError`].
+///
+/// # Panics
+///
+/// Panics if `points < 2` or the range is not increasing/positive.
+pub fn stack_current_vs_vdd(
+    params: &MosParams,
+    t_ref: f64,
+    widths: &[f64],
+    vdd_from: f64,
+    vdd_to: f64,
+    temperature_k: f64,
+    points: usize,
+) -> Result<Vec<SweepPoint>, SolveStackError> {
+    assert!(
+        points >= 2 && vdd_to > vdd_from && vdd_from > 0.0,
+        "bad sweep range"
+    );
+    (0..points)
+        .map(|i| {
+            let vdd = vdd_from + (vdd_to - vdd_from) * i as f64 / (points - 1) as f64;
+            let stack = Stack::new(
+                params,
+                vdd,
+                t_ref,
+                widths
+                    .iter()
+                    .map(|&w| StackDevice {
+                        width: w,
+                        gate_voltage: 0.0,
+                    })
+                    .collect(),
+            );
+            stack.solve(temperature_k).map(|s| SweepPoint {
+                x: vdd,
+                y: s.current,
+            })
+        })
+        .collect()
+}
+
+/// Bottom node voltage of a 2-stack vs `W_top/W_bot` ratio — the exact
+/// curve of the paper's Fig. 3.
+///
+/// # Errors
+///
+/// Propagates the first [`SolveStackError`].
+///
+/// # Panics
+///
+/// Panics if `points < 2` or ratios are not positive and increasing.
+pub fn node_voltage_vs_width_ratio(
+    tech: &Technology,
+    w_bot: f64,
+    ratio_from: f64,
+    ratio_to: f64,
+    temperature_k: f64,
+    points: usize,
+) -> Result<Vec<SweepPoint>, SolveStackError> {
+    assert!(
+        points >= 2 && ratio_to > ratio_from && ratio_from > 0.0,
+        "bad sweep range"
+    );
+    let log_from = ratio_from.ln();
+    let log_to = ratio_to.ln();
+    (0..points)
+        .map(|i| {
+            let ratio = (log_from + (log_to - log_from) * i as f64 / (points - 1) as f64).exp();
+            Stack::all_off(tech, &[w_bot, w_bot * ratio])
+                .solve(temperature_k)
+                .map(|s| SweepPoint {
+                    x: ratio,
+                    y: s.node_voltages[0],
+                })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::cmos_120nm()
+    }
+
+    #[test]
+    fn temperature_sweep_is_monotone_and_exponential() {
+        let s = stack_current_vs_temperature(&tech(), &[1e-6, 1e-6], 280.0, 400.0, 13)
+            .expect("sweep solves");
+        assert_eq!(s.len(), 13);
+        assert!(s.windows(2).all(|w| w[1].y > w[0].y));
+        // Two decades or more over 120 K.
+        assert!(s.last().expect("nonempty").y / s[0].y > 100.0);
+    }
+
+    #[test]
+    fn vdd_sweep_exposes_the_stack_supply_interaction() {
+        // Eq. (2) references the threshold at V_DS = V_DD, so a full-rail
+        // single device is supply-flat by construction...
+        let t = tech();
+        let single = stack_current_vs_vdd(&t.nmos, t.t_ref, &[1e-6], 0.6, 1.4, 300.0, 9)
+            .expect("sweep solves");
+        let spread = single.last().expect("nonempty").y / single[0].y;
+        assert!((spread - 1.0).abs() < 0.01, "single-device spread {spread}");
+        // ...while a 2-stack leaks LESS at higher supply: the DIBL-driven
+        // internal node drop grows with V_DD, deepening the shielding.
+        let stack = stack_current_vs_vdd(&t.nmos, t.t_ref, &[1e-6, 1e-6], 0.6, 1.4, 300.0, 9)
+            .expect("sweep solves");
+        assert!(stack.windows(2).all(|w| w[1].y < w[0].y));
+        let suppression = stack[0].y / stack.last().expect("nonempty").y;
+        assert!(suppression > 2.0, "supply-driven suppression {suppression}");
+        // With sigma = 0 the interaction disappears (both flat-ish).
+        let mut no_dibl = t.nmos;
+        no_dibl.sigma = 0.0;
+        let flat = stack_current_vs_vdd(&no_dibl, t.t_ref, &[1e-6, 1e-6], 0.6, 1.4, 300.0, 9)
+            .expect("sweep solves");
+        let flat_spread = flat[0].y / flat.last().expect("nonempty").y;
+        assert!(flat_spread < 1.1, "no-DIBL stack spread {flat_spread}");
+    }
+
+    #[test]
+    fn ratio_sweep_is_log_spaced_and_monotone() {
+        let s =
+            node_voltage_vs_width_ratio(&tech(), 1e-6, 0.1, 10.0, 300.0, 11).expect("sweep solves");
+        assert!((s[0].x - 0.1).abs() < 1e-12);
+        assert!((s[10].x - 10.0).abs() < 1e-9);
+        // Node voltage rises with the width ratio (stronger top device).
+        assert!(s.windows(2).all(|w| w[1].y > w[0].y));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad sweep range")]
+    fn ranges_are_validated() {
+        let _ = stack_current_vs_temperature(&tech(), &[1e-6], 400.0, 300.0, 5);
+    }
+}

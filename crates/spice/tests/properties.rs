@@ -1,0 +1,95 @@
+//! Property-based tests for the exact solvers: randomized stacks and
+//! networks against Kirchhoff-level invariants.
+
+use proptest::prelude::*;
+use ptherm_netlist::{BoundNetwork, Network};
+use ptherm_spice::network::solve_network;
+use ptherm_spice::stack::{Stack, StackDevice};
+use ptherm_tech::Technology;
+
+fn width() -> impl Strategy<Value = f64> {
+    (0.2f64.ln()..8.0f64.ln()).prop_map(|l| l.exp() * 1e-6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Random stacks with random gate states: node voltages stay inside
+    /// the rails and the chain current is positive.
+    #[test]
+    fn mixed_gate_stacks_solve_physically(
+        widths in proptest::collection::vec(width(), 2..5),
+        gates in proptest::collection::vec(proptest::bool::ANY, 4),
+        t in 280.0..400.0f64,
+    ) {
+        let tech = Technology::cmos_120nm();
+        let devices: Vec<StackDevice> = widths
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| StackDevice {
+                width: w,
+                // Keep at least the bottom device OFF so the chain blocks.
+                gate_voltage: if i > 0 && gates[i % gates.len()] { tech.vdd } else { 0.0 },
+            })
+            .collect();
+        let stack = Stack::new(&tech.nmos, tech.vdd, tech.t_ref, devices);
+        let sol = stack.solve(t).expect("blocking stack solves");
+        prop_assert!(sol.current > 0.0);
+        for v in &sol.node_voltages {
+            prop_assert!((0.0..=tech.vdd).contains(v), "{:?}", sol.node_voltages);
+        }
+    }
+
+    /// Adding a parallel OFF device can only increase the network current;
+    /// adding a series OFF device can only decrease it.
+    #[test]
+    fn monotonicity_under_composition(w1 in width(), w2 in width(), t in 280.0..400.0f64) {
+        let tech = Technology::cmos_120nm();
+        let single = Network::device(w1, 0);
+        let par = Network::Parallel(vec![Network::device(w1, 0), Network::device(w2, 1)]);
+        let ser = Network::Series(vec![Network::device(w1, 0), Network::device(w2, 1)]);
+        let inputs = [false, false];
+        let i_single = solve_network(&tech, &BoundNetwork::pulldown(&single, &inputs[..1]), t)
+            .expect("solves")
+            .current;
+        let i_par = solve_network(&tech, &BoundNetwork::pulldown(&par, &inputs), t)
+            .expect("solves")
+            .current;
+        let i_ser = solve_network(&tech, &BoundNetwork::pulldown(&ser, &inputs), t)
+            .expect("solves")
+            .current;
+        prop_assert!(i_par > i_single);
+        prop_assert!(i_ser < i_single);
+    }
+
+    /// The network solver agrees with the dedicated stack solver on
+    /// random pure chains (two independent code paths).
+    #[test]
+    fn network_and_stack_solvers_agree(
+        widths in proptest::collection::vec(width(), 1..5),
+        t in 280.0..400.0f64,
+    ) {
+        let tech = Technology::cmos_120nm();
+        let chain = Network::Series(
+            widths.iter().enumerate().map(|(i, &w)| Network::device(w, i)).collect(),
+        );
+        let inputs = vec![false; widths.len()];
+        let via_network = solve_network(&tech, &BoundNetwork::pulldown(&chain, &inputs), t)
+            .expect("solves")
+            .current;
+        let via_stack = Stack::off_current(&tech, &widths, t).expect("solves");
+        let rel = (via_network - via_stack).abs() / via_stack;
+        prop_assert!(rel < 1e-6, "network {via_network:.6e} vs stack {via_stack:.6e}");
+    }
+
+    /// Width scaling: doubling every width doubles the current of an
+    /// all-OFF network (the subthreshold equations are width-linear).
+    #[test]
+    fn current_is_width_linear(widths in proptest::collection::vec(width(), 1..4), t in 280.0..390.0f64) {
+        let tech = Technology::cmos_120nm();
+        let i1 = Stack::off_current(&tech, &widths, t).expect("solves");
+        let doubled: Vec<f64> = widths.iter().map(|w| 2.0 * w).collect();
+        let i2 = Stack::off_current(&tech, &doubled, t).expect("solves");
+        prop_assert!((i2 / i1 - 2.0).abs() < 1e-6, "ratio {}", i2 / i1);
+    }
+}

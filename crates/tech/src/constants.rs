@@ -1,0 +1,85 @@
+//! Physical constants and temperature helpers.
+//!
+//! Everything in the workspace is SI: metres, watts, kelvin, volts, amperes.
+
+/// Boltzmann constant, J/K (exact, 2019 SI).
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Elementary charge, C (exact, 2019 SI).
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+
+/// 0 °C expressed in kelvin.
+pub const ZERO_CELSIUS: f64 = 273.15;
+
+/// Thermal conductivity of bulk silicon at 300 K, W/(m·K).
+///
+/// The paper treats `k_Si` as a constant in Eqs. (16)–(19); we default to the
+/// same 300 K value and expose [`silicon_thermal_conductivity`] for the
+/// temperature-corrected extension.
+pub const SILICON_THERMAL_CONDUCTIVITY_300K: f64 = 148.0;
+
+/// Thermal volumetric heat capacity of silicon, J/(m^3·K).
+pub const SILICON_VOLUMETRIC_HEAT_CAPACITY: f64 = 1.66e6;
+
+/// Thermal voltage `V_T = k T / q` in volts.
+///
+/// # Example
+///
+/// ```
+/// let vt = ptherm_tech::constants::thermal_voltage(300.0);
+/// assert!((vt - 0.02585).abs() < 1e-4);
+/// ```
+pub fn thermal_voltage(temperature_k: f64) -> f64 {
+    BOLTZMANN * temperature_k / ELEMENTARY_CHARGE
+}
+
+/// Temperature-dependent thermal conductivity of silicon, W/(m·K).
+///
+/// Uses the standard `k(T) = k(300 K) · (T / 300)^{-4/3}` power law, valid
+/// between ~200 K and ~600 K. This is an *extension* over the paper (which
+/// keeps k constant); the analytical thermal model accepts either.
+pub fn silicon_thermal_conductivity(temperature_k: f64) -> f64 {
+    SILICON_THERMAL_CONDUCTIVITY_300K * (temperature_k / 300.0).powf(-4.0 / 3.0)
+}
+
+/// Converts degrees Celsius to kelvin.
+pub fn celsius_to_kelvin(celsius: f64) -> f64 {
+    celsius + ZERO_CELSIUS
+}
+
+/// Converts kelvin to degrees Celsius.
+pub fn kelvin_to_celsius(kelvin: f64) -> f64 {
+    kelvin - ZERO_CELSIUS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_voltage_room_temperature() {
+        let vt = thermal_voltage(celsius_to_kelvin(27.0));
+        assert!((vt - 0.025865).abs() < 1e-5, "vt = {vt}");
+    }
+
+    #[test]
+    fn thermal_voltage_scales_linearly() {
+        assert!((thermal_voltage(600.0) / thermal_voltage(300.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conductivity_decreases_with_temperature() {
+        let k300 = silicon_thermal_conductivity(300.0);
+        let k400 = silicon_thermal_conductivity(400.0);
+        assert_eq!(k300, SILICON_THERMAL_CONDUCTIVITY_300K);
+        assert!(k400 < k300);
+        // Roughly 2/3 of the 300 K value at 400 K.
+        assert!((k400 / k300 - (400.0f64 / 300.0).powf(-4.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn celsius_kelvin_roundtrip() {
+        assert_eq!(celsius_to_kelvin(25.0), 298.15);
+        assert_eq!(kelvin_to_celsius(celsius_to_kelvin(-40.0)), -40.0);
+    }
+}

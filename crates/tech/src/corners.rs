@@ -1,0 +1,111 @@
+//! Process corners — fast/typical/slow parameter shifts.
+//!
+//! Leakage sign-off is done at corners, not at typicals: a fast corner has
+//! lower thresholds and stronger subthreshold prefactors (leaky, fast),
+//! the slow corner the reverse. The shifts below are representative
+//! magnitudes (±40 mV on thresholds, ±2x on the prefactor for a sub-130nm
+//! process) applied uniformly to both device flavours.
+
+use crate::params::{MosParams, Technology};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Global process corner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Corner {
+    /// Low thresholds, strong currents: the leakage sign-off corner.
+    Fast,
+    /// Nominal parameters (identity transform).
+    Typical,
+    /// High thresholds, weak currents.
+    Slow,
+}
+
+impl fmt::Display for Corner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Corner::Fast => write!(f, "fast"),
+            Corner::Typical => write!(f, "typical"),
+            Corner::Slow => write!(f, "slow"),
+        }
+    }
+}
+
+fn shift_device(p: &MosParams, dvt: f64, i0_scale: f64, ksat_scale: f64) -> MosParams {
+    MosParams {
+        vt0: (p.vt0 + dvt).max(0.05),
+        i0: p.i0 * i0_scale,
+        k_sat: p.k_sat * ksat_scale,
+        ..*p
+    }
+}
+
+impl Technology {
+    /// Derives the corner variant of this kit.
+    ///
+    /// Fast: thresholds −40 mV, `I0` ×2, `k_sat` ×1.15.
+    /// Slow: thresholds +40 mV, `I0` ×0.5, `k_sat` ×0.85.
+    pub fn at_corner(&self, corner: Corner) -> Technology {
+        let (dvt, i0_scale, ksat_scale) = match corner {
+            Corner::Fast => (-0.040, 2.0, 1.15),
+            Corner::Typical => (0.0, 1.0, 1.0),
+            Corner::Slow => (0.040, 0.5, 0.85),
+        };
+        Technology {
+            name: format!("{}-{corner}", self.name),
+            nmos: shift_device(&self.nmos, dvt, i0_scale, ksat_scale),
+            pmos: shift_device(&self.pmos, dvt, i0_scale, ksat_scale),
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Polarity;
+
+    #[test]
+    fn typical_is_identity_up_to_name() {
+        let t = Technology::cmos_120nm();
+        let c = t.at_corner(Corner::Typical);
+        assert_eq!(c.nmos, t.nmos);
+        assert_eq!(c.pmos, t.pmos);
+        assert!(c.name.ends_with("typical"));
+    }
+
+    #[test]
+    fn corners_order_the_leakage() {
+        let t = Technology::cmos_120nm();
+        let fast = t
+            .at_corner(Corner::Fast)
+            .nominal_off_current(Polarity::Nmos, 1e-6, 300.0);
+        let typ = t.nominal_off_current(Polarity::Nmos, 1e-6, 300.0);
+        let slow = t
+            .at_corner(Corner::Slow)
+            .nominal_off_current(Polarity::Nmos, 1e-6, 300.0);
+        assert!(fast > typ && typ > slow);
+        // The corner spread is decades, dominated by the threshold shift.
+        assert!(fast / slow > 10.0, "spread {}", fast / slow);
+    }
+
+    #[test]
+    fn corner_kits_still_validate() {
+        for corner in [Corner::Fast, Corner::Typical, Corner::Slow] {
+            Technology::cmos_120nm()
+                .at_corner(corner)
+                .validate()
+                .unwrap();
+            Technology::cmos_350nm()
+                .at_corner(corner)
+                .validate()
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Corner::Fast.to_string(), "fast");
+        assert_eq!(Corner::Slow.to_string(), "slow");
+    }
+}

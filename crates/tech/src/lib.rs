@@ -1,0 +1,42 @@
+//! Technology parameter kits for the `ptherm` workspace.
+//!
+//! The DATE'05 paper evaluates its models on a 0.12 µm CMOS process (leakage,
+//! Figs. 3 & 8) and a 0.35 µm process (self-heating measurements, Figs. 9 &
+//! 10), and motivates the work with an ITRS-style scaling study (Fig. 1).
+//! This crate provides:
+//!
+//! * [`constants`] — physical constants and temperature helpers,
+//! * [`units`] — terse unit constructors (`um`, `mw`, …) so geometry and
+//!   power values in examples read like the paper,
+//! * [`params`] — [`MosParams`] / [`Technology`] parameter containers with
+//!   validation,
+//! * [`library`] — the built-in 0.12 µm and 0.35 µm kits,
+//! * [`scaling`] — the embedded scaling table (0.8 µm → 0.025 µm) behind the
+//!   Fig. 1 reproduction.
+//!
+//! All built-in parameter values are *representative textbook values* for
+//! each node (documented per-kit); the reproduction targets the shapes of the
+//! paper's figures, not foundry-exact magnitudes.
+//!
+//! # Example
+//!
+//! ```
+//! use ptherm_tech::Technology;
+//!
+//! let tech = Technology::cmos_120nm();
+//! assert_eq!(tech.vdd, 1.2);
+//! // Subthreshold swing at room temperature is in the familiar range.
+//! let swing = tech.nmos.subthreshold_swing(300.0);
+//! assert!(swing > 0.06 && swing < 0.12);
+//! ```
+
+pub mod constants;
+pub mod corners;
+pub mod library;
+pub mod params;
+pub mod scaling;
+pub mod units;
+
+pub use corners::Corner;
+pub use params::{MosParams, Polarity, Technology, ValidateTechError};
+pub use scaling::{ScalingNode, ScalingTable};

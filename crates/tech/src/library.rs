@@ -1,0 +1,139 @@
+//! Built-in technology kits.
+//!
+//! Two kits mirror the processes used in the paper's evaluation:
+//!
+//! * [`cmos_120nm`] — the 0.12 µm technology behind the leakage results
+//!   (Figs. 3 and 8),
+//! * [`cmos_350nm`] — the 0.35 µm process of the self-heating measurements
+//!   (Figs. 9 and 10).
+//!
+//! Values are representative of published data for each node (supply,
+//! threshold, subthreshold slope, DIBL, leakage magnitude); they are not a
+//! specific foundry's numbers. `I0` is calibrated so the minimum device
+//! leaks ~1 nA/µm at 25 °C in the 120 nm kit and ~10 pA/µm in the 350 nm
+//! kit — the accepted orders of magnitude for those generations.
+
+use crate::params::{MosParams, Technology};
+use crate::units::{ff, nm, um};
+
+/// The 0.12 µm kit used by the leakage experiments (Figs. 3, 8).
+pub fn cmos_120nm() -> Technology {
+    Technology {
+        name: "cmos-120nm".to_owned(),
+        node: nm(120.0),
+        vdd: 1.2,
+        t_ref: 300.0,
+        nmos: MosParams {
+            i0: 5.0e-7,
+            n: 1.40,
+            vt0: 0.30,
+            gamma_b: 0.20,
+            k_t: 8.0e-4,
+            sigma: 0.08,
+            l: nm(120.0),
+            w_min: nm(160.0),
+            alpha_sat: 1.3,
+            k_sat: 3.0e-4,
+            mobility_exponent: 1.5,
+        },
+        pmos: MosParams {
+            i0: 2.0e-7,
+            n: 1.45,
+            vt0: 0.32,
+            gamma_b: 0.22,
+            k_t: 7.0e-4,
+            sigma: 0.07,
+            l: nm(120.0),
+            w_min: nm(320.0),
+            alpha_sat: 1.35,
+            k_sat: 1.2e-4,
+            mobility_exponent: 1.4,
+        },
+        c_gate: ff(2.0),
+    }
+}
+
+/// The 0.35 µm kit used by the self-heating experiments (Figs. 9, 10).
+pub fn cmos_350nm() -> Technology {
+    Technology {
+        name: "cmos-350nm".to_owned(),
+        node: nm(350.0),
+        vdd: 3.3,
+        t_ref: 300.0,
+        nmos: MosParams {
+            i0: 2.0e-7,
+            n: 1.50,
+            vt0: 0.60,
+            gamma_b: 0.30,
+            k_t: 1.0e-3,
+            sigma: 0.02,
+            l: nm(350.0),
+            w_min: um(0.5),
+            alpha_sat: 1.45,
+            k_sat: 1.5e-4,
+            mobility_exponent: 1.5,
+        },
+        pmos: MosParams {
+            i0: 8.0e-8,
+            n: 1.55,
+            vt0: 0.65,
+            gamma_b: 0.32,
+            k_t: 9.0e-4,
+            sigma: 0.02,
+            l: nm(350.0),
+            w_min: um(1.0),
+            alpha_sat: 1.5,
+            k_sat: 6.0e-5,
+            mobility_exponent: 1.4,
+        },
+        c_gate: ff(12.0),
+    }
+}
+
+impl Technology {
+    /// The built-in 0.12 µm kit (see [`cmos_120nm`]).
+    pub fn cmos_120nm() -> Technology {
+        cmos_120nm()
+    }
+
+    /// The built-in 0.35 µm kit (see [`cmos_350nm`]).
+    pub fn cmos_350nm() -> Technology {
+        cmos_350nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Polarity;
+
+    #[test]
+    fn kits_have_expected_supplies() {
+        assert_eq!(cmos_120nm().vdd, 1.2);
+        assert_eq!(cmos_350nm().vdd, 3.3);
+    }
+
+    #[test]
+    fn leakage_magnitudes_are_generation_appropriate() {
+        // 120nm: ~nA/um; 350nm: well below 120nm (high threshold).
+        let new = cmos_120nm();
+        let old = cmos_350nm();
+        let i_new = new.nominal_off_current(Polarity::Nmos, 1e-6, 298.15);
+        let i_old = old.nominal_off_current(Polarity::Nmos, 1e-6, 298.15);
+        assert!(i_new > 50.0 * i_old, "i_new={i_new:.2e} i_old={i_old:.2e}");
+    }
+
+    #[test]
+    fn pmos_leaks_less_than_nmos() {
+        let t = cmos_120nm();
+        let n = t.nominal_off_current(Polarity::Nmos, 1e-6, 300.0);
+        let p = t.nominal_off_current(Polarity::Pmos, 1e-6, 300.0);
+        assert!(p < n);
+    }
+
+    #[test]
+    fn associated_constructors_match_free_functions() {
+        assert_eq!(Technology::cmos_120nm(), cmos_120nm());
+        assert_eq!(Technology::cmos_350nm(), cmos_350nm());
+    }
+}

@@ -1,0 +1,335 @@
+//! Parameter containers for devices and technologies.
+//!
+//! The parameter set mirrors Eqs. (1)–(2) of the paper: the subthreshold
+//! prefactor `I0`, slope factor `n`, zero-bias threshold `V_T0`, linearized
+//! body-effect coefficient `γ'`, threshold temperature sensitivity `K_T` and
+//! DIBL coefficient `σ`, plus the α-power-law ON-current parameters needed by
+//! the self-heating measurement simulation.
+
+use crate::constants::thermal_voltage;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Channel polarity of a MOSFET.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Polarity {
+    /// n-channel device (pull-down networks).
+    Nmos,
+    /// p-channel device (pull-up networks).
+    Pmos,
+}
+
+impl fmt::Display for Polarity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Polarity::Nmos => write!(f, "nmos"),
+            Polarity::Pmos => write!(f, "pmos"),
+        }
+    }
+}
+
+/// Error returned by [`MosParams::validate`] / [`Technology::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidateTechError {
+    /// Name of the offending field.
+    pub field: &'static str,
+    /// Offending value.
+    pub value: f64,
+    /// Constraint that was violated.
+    pub constraint: &'static str,
+}
+
+impl fmt::Display for ValidateTechError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid technology parameter {}: {} (must be {})",
+            self.field, self.value, self.constraint
+        )
+    }
+}
+
+impl std::error::Error for ValidateTechError {}
+
+/// Compact-model parameters of one device flavour.
+///
+/// Voltages are magnitudes: for pMOS devices the surrounding code mirrors the
+/// terminal voltages so the same positive-parameter equations apply.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MosParams {
+    /// Subthreshold current prefactor `I0` of Eq. (1), in amperes (per
+    /// square, i.e. for `W = L` at `T = t_ref`).
+    pub i0: f64,
+    /// Subthreshold slope factor `n` (1.0 ideal, 1.3–1.6 typical).
+    pub n: f64,
+    /// Zero-bias threshold voltage magnitude `V_T0`, V.
+    pub vt0: f64,
+    /// Linearized body-effect coefficient `γ'` (dimensionless): the model
+    /// uses `V_TH ← V_TH + γ'·V_SB`.
+    pub gamma_b: f64,
+    /// Threshold temperature sensitivity `K_T`, V/K; positive values lower
+    /// `V_TH` as temperature rises (Eq. 2).
+    pub k_t: f64,
+    /// DIBL coefficient `σ` (dimensionless): `V_TH ← V_TH − σ·(V_DS − V_DD)`.
+    pub sigma: f64,
+    /// Channel length `L`, m.
+    pub l: f64,
+    /// Minimum drawn width, m (used by the standard-cell generator).
+    pub w_min: f64,
+    /// α-power-law saturation exponent (≈1.2–1.4 for short channels).
+    pub alpha_sat: f64,
+    /// α-power-law transconductance, A·V^(−α) per square at `t_ref`.
+    pub k_sat: f64,
+    /// Mobility temperature exponent `m` in `µ(T) ∝ (T/T_ref)^{−m}`.
+    pub mobility_exponent: f64,
+}
+
+impl MosParams {
+    /// Subthreshold swing `S = ln(10)·n·V_T(T)` in volts/decade.
+    pub fn subthreshold_swing(&self, temperature_k: f64) -> f64 {
+        std::f64::consts::LN_10 * self.n * thermal_voltage(temperature_k)
+    }
+
+    /// Checks physical plausibility of every field.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), ValidateTechError> {
+        let checks: [(&'static str, f64, bool, &'static str); 9] = [
+            ("i0", self.i0, self.i0 > 0.0 && self.i0.is_finite(), "> 0"),
+            ("n", self.n, (1.0..5.0).contains(&self.n), "in [1, 5)"),
+            (
+                "vt0",
+                self.vt0,
+                self.vt0 > 0.0 && self.vt0 < 2.0,
+                "in (0, 2) V",
+            ),
+            (
+                "gamma_b",
+                self.gamma_b,
+                (0.0..2.0).contains(&self.gamma_b),
+                "in [0, 2)",
+            ),
+            (
+                "k_t",
+                self.k_t,
+                (0.0..0.01).contains(&self.k_t),
+                "in [0, 10) mV/K",
+            ),
+            (
+                "sigma",
+                self.sigma,
+                (0.0..1.0).contains(&self.sigma),
+                "in [0, 1)",
+            ),
+            (
+                "l",
+                self.l,
+                self.l > 1e-9 && self.l < 1e-4,
+                "in (1 nm, 100 um)",
+            ),
+            (
+                "alpha_sat",
+                self.alpha_sat,
+                (1.0..=2.0).contains(&self.alpha_sat),
+                "in [1, 2]",
+            ),
+            ("k_sat", self.k_sat, self.k_sat > 0.0, "> 0"),
+        ];
+        for (field, value, ok, constraint) in checks {
+            if !ok {
+                return Err(ValidateTechError {
+                    field,
+                    value,
+                    constraint,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A complete technology kit: supply, reference temperature and both device
+/// flavours.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    /// Human-readable kit name, e.g. `"cmos-120nm"`.
+    pub name: String,
+    /// Feature size (drawn channel length), m.
+    pub node: f64,
+    /// Nominal supply voltage, V.
+    pub vdd: f64,
+    /// Reference temperature `T_ref` of Eq. (1), K.
+    pub t_ref: f64,
+    /// n-channel parameters.
+    pub nmos: MosParams,
+    /// p-channel parameters.
+    pub pmos: MosParams,
+    /// Switched capacitance of a minimum-size inverter, F (dynamic power).
+    pub c_gate: f64,
+}
+
+impl Technology {
+    /// Parameters of the requested polarity.
+    pub fn mos(&self, polarity: Polarity) -> &MosParams {
+        match polarity {
+            Polarity::Nmos => &self.nmos,
+            Polarity::Pmos => &self.pmos,
+        }
+    }
+
+    /// Thermal voltage at `temperature_k` (convenience re-export).
+    pub fn thermal_voltage(&self, temperature_k: f64) -> f64 {
+        thermal_voltage(temperature_k)
+    }
+
+    /// Checks plausibility of supply, reference temperature and both device
+    /// parameter sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), ValidateTechError> {
+        if !(self.vdd > 0.0 && self.vdd < 10.0) {
+            return Err(ValidateTechError {
+                field: "vdd",
+                value: self.vdd,
+                constraint: "in (0, 10) V",
+            });
+        }
+        if !(self.t_ref > 200.0 && self.t_ref < 500.0) {
+            return Err(ValidateTechError {
+                field: "t_ref",
+                value: self.t_ref,
+                constraint: "in (200, 500) K",
+            });
+        }
+        if !(self.node > 1e-9 && self.node < 1e-4) {
+            return Err(ValidateTechError {
+                field: "node",
+                value: self.node,
+                constraint: "in (1 nm, 100 um)",
+            });
+        }
+        if !(self.c_gate > 0.0) {
+            return Err(ValidateTechError {
+                field: "c_gate",
+                value: self.c_gate,
+                constraint: "> 0",
+            });
+        }
+        self.nmos.validate()?;
+        self.pmos.validate()?;
+        // Threshold must stay below the supply or nothing ever turns on.
+        for (field, p) in [("nmos.vt0", &self.nmos), ("pmos.vt0", &self.pmos)] {
+            if p.vt0 >= self.vdd {
+                return Err(ValidateTechError {
+                    field,
+                    value: p.vt0,
+                    constraint: "< vdd",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Nominal OFF current of a single device of width `w` at `V_GS = 0`,
+    /// `V_DS = V_DD`, body at source — handy for sanity checks and the
+    /// scaling study. Full bias dependence lives in `ptherm-device`.
+    pub fn nominal_off_current(&self, polarity: Polarity, w: f64, temperature_k: f64) -> f64 {
+        let p = self.mos(polarity);
+        let vt = thermal_voltage(temperature_k);
+        let vth = p.vt0 - p.k_t * (temperature_k - self.t_ref);
+        (w / p.l)
+            * p.i0
+            * (temperature_k / self.t_ref).powi(2)
+            * (-vth / (p.n * vt)).exp()
+            * (1.0 - (-self.vdd / vt).exp())
+    }
+}
+
+impl fmt::Display for Technology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (L = {:.0} nm, VDD = {:.2} V)",
+            self.name,
+            self.node * 1e9,
+            self.vdd
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    #[test]
+    fn builtin_kits_validate() {
+        Technology::cmos_120nm().validate().unwrap();
+        Technology::cmos_350nm().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        let mut t = Technology::cmos_120nm();
+        t.vdd = -1.0;
+        assert_eq!(t.validate().unwrap_err().field, "vdd");
+
+        let mut t = Technology::cmos_120nm();
+        t.nmos.sigma = 2.0;
+        assert_eq!(t.validate().unwrap_err().field, "sigma");
+
+        let mut t = Technology::cmos_120nm();
+        t.nmos.vt0 = 1.5; // above VDD = 1.2
+        assert_eq!(t.validate().unwrap_err().field, "nmos.vt0");
+    }
+
+    #[test]
+    fn off_current_grows_exponentially_with_temperature() {
+        let t = Technology::cmos_120nm();
+        let w = t.nmos.w_min;
+        let cold = t.nominal_off_current(Polarity::Nmos, w, 298.15);
+        let hot = t.nominal_off_current(Polarity::Nmos, w, 398.15);
+        assert!(cold > 0.0);
+        assert!(hot / cold > 10.0, "ratio = {}", hot / cold);
+    }
+
+    #[test]
+    fn off_current_scales_linearly_with_width() {
+        let t = Technology::cmos_120nm();
+        let i1 = t.nominal_off_current(Polarity::Nmos, 1e-6, 300.0);
+        let i2 = t.nominal_off_current(Polarity::Nmos, 2e-6, 300.0);
+        assert!((i2 / i1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn off_current_magnitude_is_plausible() {
+        // ~nA/um leakage at room temperature for the 120nm kit.
+        let t = Technology::cmos_120nm();
+        let i = t.nominal_off_current(Polarity::Nmos, 1e-6, 298.15);
+        assert!(i > 1e-11 && i < 1e-7, "I_off = {i:.3e} A/um");
+    }
+
+    #[test]
+    fn mos_accessor_matches_fields() {
+        let t = Technology::cmos_120nm();
+        assert_eq!(t.mos(Polarity::Nmos), &t.nmos);
+        assert_eq!(t.mos(Polarity::Pmos), &t.pmos);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = library::cmos_120nm();
+        let json = serde_json_like(&t);
+        assert!(json.contains("cmos-120nm"));
+    }
+
+    /// Minimal serialization smoke test without pulling serde_json: use the
+    /// Debug representation (serde derives compile; Debug exercises fields).
+    fn serde_json_like(t: &Technology) -> String {
+        format!("{t:?}")
+    }
+}

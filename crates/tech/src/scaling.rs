@@ -1,0 +1,251 @@
+//! ITRS-like technology scaling table behind the Fig. 1 reproduction.
+//!
+//! Fig. 1 of the paper (reproduced from Duarte et al., ICCD'02) plots dynamic
+//! power and static power at 25/100/150 °C for a high-performance design
+//! across nodes 0.8 µm → 0.025 µm, showing static power overtaking dynamic
+//! power as technology scales — *the* motivation for a concurrent
+//! power-thermal model.
+//!
+//! We embed a representative scaling table: per node, the supply, threshold,
+//! clock, integration density, switched capacitance and activity follow the
+//! usual constant-field-scaling trends (voltage and threshold shrink,
+//! frequency and gate count grow, per-gate capacitance and activity fall).
+//! The *derived* powers then reproduce the figure's shape:
+//!
+//! * dynamic power rises slowly (power-budget limited),
+//! * static power at 150 °C crosses dynamic near the 70 nm node,
+//! * static at 100 °C crosses near 50 nm, and at 25 °C near 25 nm.
+//!
+//! Exact crossover nodes are recorded by the `fig1` experiment binary in
+//! `EXPERIMENTS.md`.
+
+use crate::params::{MosParams, Polarity, Technology};
+use crate::units::{ff, um};
+use serde::{Deserialize, Serialize};
+
+/// One row of the scaling table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingNode {
+    /// Feature size, m.
+    pub node: f64,
+    /// Supply voltage, V.
+    pub vdd: f64,
+    /// Zero-bias nMOS threshold, V.
+    pub vt0: f64,
+    /// Subthreshold slope factor at this node.
+    pub n_slope: f64,
+    /// DIBL coefficient at this node.
+    pub sigma: f64,
+    /// Clock frequency, Hz.
+    pub f_clk: f64,
+    /// Logic gates on the die.
+    pub n_gates: f64,
+    /// Switched capacitance per gate, F.
+    pub c_gate: f64,
+    /// Average switching activity per gate per cycle.
+    pub activity: f64,
+}
+
+impl ScalingNode {
+    /// Total dynamic power `P = α f C V² N` in watts (transient component of
+    /// §2 of the paper).
+    pub fn dynamic_power(&self) -> f64 {
+        self.activity * self.f_clk * self.c_gate * self.vdd * self.vdd * self.n_gates
+    }
+
+    /// Chip static power in watts at `temperature_k`, using the nominal
+    /// (single-device) OFF-current expression with an effective leakage
+    /// width of `8·node` per gate and network (n + p averaged).
+    ///
+    /// The `fig1` experiment also recomputes this series with the full
+    /// stack-collapsing model from `ptherm-core`; this closed form exists so
+    /// the scaling crate is self-contained and testable.
+    pub fn static_power(&self, temperature_k: f64) -> f64 {
+        let tech = self.technology();
+        let w_leak = 8.0 * self.node;
+        let i_n = tech.nominal_off_current(Polarity::Nmos, w_leak, temperature_k);
+        let i_p = tech.nominal_off_current(Polarity::Pmos, w_leak, temperature_k);
+        0.5 * (i_n + i_p) * self.vdd * self.n_gates
+    }
+
+    /// Expands the row into a full [`Technology`] kit so the complete device
+    /// and leakage models can run on it.
+    pub fn technology(&self) -> Technology {
+        let nmos = MosParams {
+            i0: 5.0e-7,
+            n: self.n_slope,
+            vt0: self.vt0,
+            gamma_b: 0.20,
+            k_t: 1.0e-3,
+            sigma: self.sigma,
+            l: self.node,
+            w_min: 1.5 * self.node,
+            alpha_sat: 1.3,
+            k_sat: 3.0e-4,
+            mobility_exponent: 1.5,
+        };
+        let pmos = MosParams {
+            i0: 2.0e-7,
+            vt0: self.vt0 + 0.02,
+            w_min: 3.0 * self.node,
+            k_sat: 1.2e-4,
+            ..nmos
+        };
+        Technology {
+            name: format!("scaled-{:.0}nm", self.node * 1e9),
+            node: self.node,
+            vdd: self.vdd,
+            t_ref: 300.0,
+            nmos,
+            pmos,
+            c_gate: self.c_gate,
+        }
+    }
+}
+
+/// The embedded scaling series (0.8 µm → 0.025 µm).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingTable {
+    /// Rows ordered from the oldest (largest) to the newest (smallest) node.
+    pub nodes: Vec<ScalingNode>,
+}
+
+impl ScalingTable {
+    /// The built-in table matching the x-axis of the paper's Fig. 1.
+    pub fn itrs_like() -> Self {
+        // node_um, vdd, vt0, n, sigma, f_clk, Mgates, c_gate_fF, activity
+        let rows: [(f64, f64, f64, f64, f64, f64, f64, f64, f64); 10] = [
+            (0.80, 5.0, 0.75, 1.50, 0.010, 66.0e6, 1.0, 30.0, 0.120),
+            (0.35, 3.3, 0.60, 1.48, 0.020, 200.0e6, 4.0, 15.0, 0.100),
+            (0.25, 2.5, 0.52, 1.46, 0.030, 400.0e6, 10.0, 10.0, 0.090),
+            (0.18, 1.8, 0.45, 1.44, 0.045, 800.0e6, 25.0, 6.0, 0.070),
+            (0.13, 1.3, 0.38, 1.42, 0.060, 1.5e9, 60.0, 4.0, 0.050),
+            (0.10, 1.1, 0.32, 1.40, 0.080, 2.5e9, 120.0, 3.0, 0.040),
+            (0.07, 0.9, 0.26, 1.39, 0.095, 4.0e9, 250.0, 2.0, 0.030),
+            (0.05, 0.8, 0.21, 1.38, 0.110, 6.0e9, 500.0, 1.5, 0.022),
+            (0.035, 0.7, 0.17, 1.37, 0.125, 9.0e9, 1000.0, 1.0, 0.016),
+            (0.025, 0.6, 0.14, 1.36, 0.140, 12.0e9, 2000.0, 0.7, 0.012),
+        ];
+        ScalingTable {
+            nodes: rows
+                .iter()
+                .map(|&(node_um, vdd, vt0, n, sigma, f, mg, c, a)| ScalingNode {
+                    node: um(node_um),
+                    vdd,
+                    vt0,
+                    n_slope: n,
+                    sigma,
+                    f_clk: f,
+                    n_gates: mg * 1e6,
+                    c_gate: ff(c),
+                    activity: a,
+                })
+                .collect(),
+        }
+    }
+
+    /// Node whose feature size (in µm) is closest to `node_um`.
+    pub fn closest(&self, node_um: f64) -> Option<&ScalingNode> {
+        self.nodes.iter().min_by(|a, b| {
+            let da = (a.node - um(node_um)).abs();
+            let db = (b.node - um(node_um)).abs();
+            da.partial_cmp(&db).expect("finite nodes")
+        })
+    }
+}
+
+impl Default for ScalingTable {
+    fn default() -> Self {
+        Self::itrs_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_ordered_and_valid() {
+        let table = ScalingTable::itrs_like();
+        assert_eq!(table.nodes.len(), 10);
+        for w in table.nodes.windows(2) {
+            assert!(w[1].node < w[0].node, "nodes must shrink");
+            assert!(w[1].vdd <= w[0].vdd, "supply must not grow");
+            assert!(w[1].vt0 < w[0].vt0, "threshold must shrink");
+            assert!(w[1].f_clk > w[0].f_clk, "frequency must grow");
+            assert!(w[1].n_gates > w[0].n_gates, "density must grow");
+        }
+        for n in &table.nodes {
+            n.technology().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn dynamic_power_rises_with_scaling() {
+        let table = ScalingTable::itrs_like();
+        let dyn_pow: Vec<f64> = table.nodes.iter().map(|n| n.dynamic_power()).collect();
+        // Monotonic within table ordering and in a chip-plausible range.
+        for w in dyn_pow.windows(2) {
+            assert!(
+                w[1] > w[0] * 0.95,
+                "dynamic power should trend up: {dyn_pow:?}"
+            );
+        }
+        assert!(dyn_pow[0] > 1.0 && dyn_pow[0] < 20.0);
+        let last = *dyn_pow.last().unwrap();
+        assert!(
+            last > 40.0 && last < 150.0,
+            "end-of-roadmap dynamic = {last}"
+        );
+    }
+
+    #[test]
+    fn static_power_explodes_with_scaling_and_temperature() {
+        let table = ScalingTable::itrs_like();
+        let first = &table.nodes[0];
+        let last = table.nodes.last().unwrap();
+        // Old node: static negligible even hot.
+        assert!(first.static_power(423.15) < 0.01 * first.dynamic_power());
+        // New node: static at 150 C dominates dynamic.
+        assert!(last.static_power(423.15) > last.dynamic_power());
+        // And temperature matters exponentially.
+        let cold = last.static_power(298.15);
+        let hot = last.static_power(423.15);
+        assert!(hot > 3.0 * cold);
+    }
+
+    #[test]
+    fn fig1_crossover_ordering() {
+        // Hotter curves must cross dynamic power at larger (earlier) nodes.
+        let table = ScalingTable::itrs_like();
+        let cross = |t_k: f64| {
+            table
+                .nodes
+                .iter()
+                .position(|n| n.static_power(t_k) > n.dynamic_power())
+        };
+        let c150 = cross(423.15).expect("150C static must cross");
+        let c100 = cross(373.15).expect("100C static must cross");
+        assert!(c150 <= c100, "{c150} vs {c100}");
+        // 150 C crossover in the sub-100nm region, as the paper argues.
+        let node_150 = table.nodes[c150].node;
+        assert!(
+            node_150 <= um(0.1),
+            "150C crossover at {:.3} um",
+            node_150 / um(1.0)
+        );
+        // Room-temperature static power does not cross in Fig. 1 either, but
+        // it becomes a significant fraction of dynamic by the last node.
+        let last = table.nodes.last().unwrap();
+        let frac = last.static_power(298.15) / last.dynamic_power();
+        assert!(frac > 0.3, "25C static fraction at the last node = {frac}");
+    }
+
+    #[test]
+    fn closest_lookup() {
+        let table = ScalingTable::itrs_like();
+        let n = table.closest(0.12).unwrap();
+        assert!((n.node - um(0.13)).abs() < 1e-9);
+        assert!(table.closest(9.0).unwrap().node == um(0.8));
+    }
+}

@@ -1,0 +1,70 @@
+//! Terse unit constructors.
+//!
+//! The workspace is strictly SI internally; these helpers let call sites use
+//! the paper's natural units (`um(1.0)`, `mw(10.0)`) without sprinkling
+//! powers of ten around.
+
+/// Micrometres to metres.
+pub fn um(value: f64) -> f64 {
+    value * 1e-6
+}
+
+/// Nanometres to metres.
+pub fn nm(value: f64) -> f64 {
+    value * 1e-9
+}
+
+/// Millimetres to metres.
+pub fn mm(value: f64) -> f64 {
+    value * 1e-3
+}
+
+/// Milliwatts to watts.
+pub fn mw(value: f64) -> f64 {
+    value * 1e-3
+}
+
+/// Microwatts to watts.
+pub fn uw(value: f64) -> f64 {
+    value * 1e-6
+}
+
+/// Nanoamperes to amperes.
+pub fn na(value: f64) -> f64 {
+    value * 1e-9
+}
+
+/// Femtofarads to farads.
+pub fn ff(value: f64) -> f64 {
+    value * 1e-15
+}
+
+/// Megahertz to hertz.
+pub fn mhz(value: f64) -> f64 {
+    value * 1e6
+}
+
+/// Gigahertz to hertz.
+pub fn ghz(value: f64) -> f64 {
+    value * 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) {
+        assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0), "{a} vs {b}");
+    }
+
+    #[test]
+    fn conversions_are_consistent() {
+        close(um(1.0), 1e-6);
+        close(nm(1000.0), um(1.0));
+        close(mm(1.0), um(1000.0));
+        close(mw(1.0), uw(1000.0));
+        close(na(2.0), 2e-9);
+        close(ff(1.0), 1e-15);
+        close(ghz(1.0), mhz(1000.0));
+    }
+}

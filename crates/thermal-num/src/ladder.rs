@@ -1,0 +1,240 @@
+//! Multi-node thermal RC ladders — device → die → package → ambient.
+//!
+//! *Extension beyond the paper's single-pole treatment.* Real self-heating
+//! transients show several time constants: the device heats in
+//! microseconds, the die in milliseconds, the package in seconds. A ladder
+//! of `N` RC stages captures this and lets the measurement rig be stressed
+//! with realistic multi-exponential waveforms (the single-pole fit then
+//! reports an *effective* R_th — exactly what a real bench does).
+//!
+//! Stage `i` has capacitance `C_i` to thermal ground and resistance `R_i`
+//! toward stage `i+1` (the last resistance reaches ambient). Power enters
+//! at stage 0:
+//!
+//! ```text
+//! C_i dT_i/dt = (T_{i-1} − T_i)/R_{i-1}·[i>0] + P·[i=0] − (T_i − T_{i+1})/R_i
+//! ```
+
+use ptherm_math::ode::OdeTrajectory;
+use ptherm_math::tridiag::solve_tridiagonal;
+use std::fmt;
+
+/// One RC stage of the ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LadderStage {
+    /// Resistance from this node toward the next (or ambient), K/W.
+    pub rth: f64,
+    /// Capacitance of this node, J/K.
+    pub cth: f64,
+}
+
+/// Error for ladder construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildLadderError {
+    /// Explanation.
+    pub detail: &'static str,
+}
+
+impl fmt::Display for BuildLadderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid thermal ladder: {}", self.detail)
+    }
+}
+
+impl std::error::Error for BuildLadderError {}
+
+/// A series thermal RC ladder with power injected at stage 0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalLadder {
+    stages: Vec<LadderStage>,
+}
+
+impl ThermalLadder {
+    /// Builds a ladder from stages (device-side first).
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty ladders and non-positive R/C values.
+    pub fn new(stages: Vec<LadderStage>) -> Result<Self, BuildLadderError> {
+        if stages.is_empty() {
+            return Err(BuildLadderError {
+                detail: "no stages",
+            });
+        }
+        if stages.iter().any(|s| !(s.rth > 0.0) || !(s.cth > 0.0)) {
+            return Err(BuildLadderError {
+                detail: "non-positive R or C",
+            });
+        }
+        Ok(ThermalLadder { stages })
+    }
+
+    /// Stages, device-side first.
+    pub fn stages(&self) -> &[LadderStage] {
+        &self.stages
+    }
+
+    /// Total steady-state resistance to ambient, K/W.
+    pub fn total_resistance(&self) -> f64 {
+        self.stages.iter().map(|s| s.rth).sum()
+    }
+
+    /// Steady-state rise of stage 0 at constant power, K.
+    pub fn steady_rise(&self, power: f64) -> f64 {
+        power * self.total_resistance()
+    }
+
+    /// Integrates the ladder under power `power(t, rise0)` injected at
+    /// stage 0 (the power may depend on the device-node rise — electro-
+    /// thermal feedback). Returns the trajectory of all node rises.
+    ///
+    /// Ladders are stiff (time constants spanning many decades), so the
+    /// integrator is semi-implicit backward Euler: the linear network is
+    /// solved implicitly (tridiagonal system, unconditionally stable) while
+    /// the power feedback is lagged by one step. Pick `steps` for the
+    /// *accuracy* you need on the slowest time constant, not for stability.
+    pub fn simulate<P>(&self, power: P, duration: f64, steps: usize) -> OdeTrajectory
+    where
+        P: Fn(f64, f64) -> f64,
+    {
+        assert!(steps > 0, "need at least one step");
+        assert!(duration > 0.0, "need a forward time span");
+        let n = self.stages.len();
+        let dt = duration / steps as f64;
+
+        // dT/dt = A·T + b with tridiagonal A; backward Euler solves
+        // (I − dt·A)·T_new = T_old + dt·b. Assemble M = I − dt·A once.
+        let mut lower = vec![0.0; n.saturating_sub(1)];
+        let mut diag = vec![0.0; n];
+        let mut upper = vec![0.0; n.saturating_sub(1)];
+        for i in 0..n {
+            let c = self.stages[i].cth;
+            let mut a_ii = -1.0 / (self.stages[i].rth * c);
+            if i > 0 {
+                a_ii -= 1.0 / (self.stages[i - 1].rth * c);
+                lower[i - 1] = -dt / (self.stages[i - 1].rth * c);
+            }
+            if i + 1 < n {
+                upper[i] = -dt / (self.stages[i].rth * c);
+            }
+            diag[i] = 1.0 - dt * a_ii;
+        }
+
+        let mut t = 0.0;
+        let mut y = vec![0.0; n];
+        let mut out_t = vec![0.0];
+        let mut out_y = vec![y.clone()];
+        let mut rhs = vec![0.0; n];
+        for _ in 0..steps {
+            let p = power(t, y[0]);
+            rhs.copy_from_slice(&y);
+            rhs[0] += dt * p / self.stages[0].cth;
+            y = solve_tridiagonal(&lower, &diag, &upper, &rhs)
+                .expect("backward-Euler ladder matrix is diagonally dominant");
+            t += dt;
+            out_t.push(t);
+            out_y.push(y.clone());
+        }
+        OdeTrajectory { t: out_t, y: out_y }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device_die_package() -> ThermalLadder {
+        ThermalLadder::new(vec![
+            LadderStage {
+                rth: 500.0,
+                cth: 2e-8,
+            }, // device: tau 10 us
+            LadderStage {
+                rth: 300.0,
+                cth: 1e-5,
+            }, // die: tau 3 ms
+            LadderStage {
+                rth: 200.0,
+                cth: 5e-3,
+            }, // package: tau 1 s
+        ])
+        .expect("valid ladder")
+    }
+
+    #[test]
+    fn construction_is_validated() {
+        assert!(ThermalLadder::new(vec![]).is_err());
+        assert!(ThermalLadder::new(vec![LadderStage { rth: 0.0, cth: 1.0 }]).is_err());
+    }
+
+    #[test]
+    fn steady_state_is_the_series_resistance() {
+        let ladder = device_die_package();
+        assert_eq!(ladder.total_resistance(), 1000.0);
+        // Long simulation approaches the steady rise.
+        let p = 10e-3;
+        let traj = ladder.simulate(move |_, _| p, 20.0, 400_000);
+        let end = traj.y.last().expect("nonempty")[0];
+        let expect = ladder.steady_rise(p);
+        assert!((end - expect).abs() / expect < 0.02, "{end} vs {expect}");
+    }
+
+    #[test]
+    fn node_rises_are_ordered_device_hottest() {
+        let ladder = device_die_package();
+        let traj = ladder.simulate(|_, _| 10e-3, 5.0, 100_000);
+        let last = traj.y.last().expect("nonempty");
+        assert!(last[0] > last[1] && last[1] > last[2], "{last:?}");
+    }
+
+    #[test]
+    fn multiple_time_constants_are_visible() {
+        // The device node settles quickly toward the partial steady state,
+        // then creeps as the die and package charge.
+        let ladder = device_die_package();
+        let p = 10e-3;
+        let traj = ladder.simulate(move |_, _| p, 10.0, 400_000);
+        let t_fast = traj.sample(1e-4)[0]; // after ~10 device taus
+        let t_mid = traj.sample(0.05)[0]; // die settled
+        let t_slow = traj.sample(9.0)[0]; // package settled
+        assert!(t_fast > 0.6 * p * 500.0, "device plateau {t_fast}");
+        assert!(t_mid > t_fast * 1.2, "die creep: {t_mid} vs {t_fast}");
+        assert!(t_slow > t_mid * 1.1, "package creep: {t_slow} vs {t_mid}");
+    }
+
+    #[test]
+    fn single_stage_matches_thermal_rc() {
+        use crate::transient::ThermalRc;
+        let rc = ThermalRc {
+            rth: 800.0,
+            cth: 1e-5,
+        };
+        let ladder = ThermalLadder::new(vec![LadderStage {
+            rth: rc.rth,
+            cth: rc.cth,
+        }])
+        .expect("valid ladder");
+        let p = 5e-3;
+        let tau = rc.tau();
+        let traj = ladder.simulate(move |_, _| p, 5.0 * tau, 20_000);
+        for frac in [0.5, 1.0, 3.0] {
+            let t = frac * tau;
+            let a = traj.sample(t)[0];
+            let b = rc.step_response(p, t);
+            assert!(
+                (a - b).abs() < 1e-3 * rc.steady_rise(p),
+                "t = {t}: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn feedback_power_couples_to_device_node() {
+        // Negative feedback on the device rise settles below constant power.
+        let ladder = device_die_package();
+        let p0 = 10e-3;
+        let traj = ladder.simulate(move |_, rise0| p0 * (1.0 - 0.0005 * rise0), 20.0, 400_000);
+        let end = traj.y.last().expect("nonempty")[0];
+        assert!(end < ladder.steady_rise(p0));
+    }
+}

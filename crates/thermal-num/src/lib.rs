@@ -1,0 +1,34 @@
+//! Numerical thermal references for the `ptherm` workspace.
+//!
+//! The paper's thermal contribution (§3) is a set of *closed forms* —
+//! Eqs. (16)–(21) — for the surface temperature of rectangular heat sources
+//! on a silicon die. Closed forms need ground truth to be judged against;
+//! this crate provides three independent sources of it, plus the synthetic
+//! measurement bench that replaces the paper's 0.35 µm test chip:
+//!
+//! * [`rect_integral`] — the **exact** solution of the paper's Eq. (17)
+//!   (surface integral of `1/r` over a rectangle) via the corner-term
+//!   primitive, for any field point including depth offsets, cross-checked
+//!   by adaptive quadrature,
+//! * [`fdm`] — a steady-state 3-D finite-difference conduction solver on
+//!   the real die geometry (adiabatic top/sides, isothermal bottom) — the
+//!   reference for the method-of-images boundary treatment (Figs. 6–7) and
+//!   the "true" thermal resistance behind Fig. 10,
+//! * [`transient`] — lumped thermal-RC transients (the physics behind the
+//!   oscilloscope waveforms of Fig. 9),
+//! * [`measurement`] — the virtual measurement rig: pulsed-gate drive,
+//!   series-resistor current sensing, scope noise, calibration at several
+//!   ambient temperatures and exponential-fit extraction of `R_th`/`C_th`,
+//!   mirroring the paper's §4.2 procedure.
+
+pub mod fdm;
+pub mod ladder;
+pub mod measurement;
+pub mod rect_integral;
+pub mod transient;
+
+pub use fdm::{FdmSolution, FdmSolver, SolveFdmError};
+pub use ladder::{LadderStage, ThermalLadder};
+pub use measurement::{MeasurementOutcome, SelfHeatingRig};
+pub use rect_integral::{rect_surface_temperature, rect_unit_integral};
+pub use transient::ThermalRc;

@@ -1,0 +1,383 @@
+//! The virtual self-heating measurement bench (substitute for the paper's
+//! fabricated 0.35 µm test chip, §4.2 / Figs. 9–10).
+//!
+//! The paper's protocol, reproduced step for step:
+//!
+//! 1. the device is gated ON/OFF with a slow square wave (3 Hz),
+//! 2. the drain current flows through a small series sense resistor whose
+//!    voltage drop is recorded on an oscilloscope,
+//! 3. traces captured at several ambient temperatures (30/35/40 °C)
+//!    calibrate the voltage-to-temperature slope (drain current is linear
+//!    in temperature for small excursions),
+//! 4. the exponential charging of the thermal capacitance is fitted to get
+//!    `ΔT_SH` and `τ`, whence `R_th = ΔT_SH / P` and `C_th = τ / R_th`.
+//!
+//! The rig is generic over the device: any `I_D(T)` law can be measured
+//! (the experiments plug in the α-power model from `ptherm-device`).
+//! Electro-thermal feedback is honoured — the instantaneous power depends
+//! on the junction temperature, which depends on the dissipated power —
+//! and white scope noise with a deterministic seed emulates the
+//! measurement-floor error bars of the paper's Fig. 10.
+
+use crate::transient::ThermalRc;
+use ptherm_math::fit::{fit_exp_saturation, linear_least_squares, FitError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A captured oscilloscope trace of the sense-resistor voltage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScopeTrace {
+    /// Sample times, s (spanning one ON half-period).
+    pub time: Vec<f64>,
+    /// Sense-resistor voltage at each sample, V.
+    pub voltage: Vec<f64>,
+    /// Ambient (chuck) temperature during the capture, K.
+    pub ambient: f64,
+}
+
+/// Voltage-to-temperature calibration extracted from multi-ambient traces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Sense voltage at the reference ambient, V.
+    pub v_ref: f64,
+    /// Reference ambient, K.
+    pub t_ref: f64,
+    /// Sensitivity `dV/dT`, V/K (negative for above-ZTC bias).
+    pub dv_dt: f64,
+}
+
+/// Extracted self-heating measurement result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasurementOutcome {
+    /// Steady self-heating temperature rise `ΔT_SH`, K.
+    pub delta_t: f64,
+    /// Thermal time constant, s.
+    pub tau: f64,
+    /// Dissipated power at the settled operating point, W.
+    pub power: f64,
+    /// Extracted thermal resistance `ΔT_SH / P`, K/W.
+    pub rth: f64,
+    /// Extracted thermal capacitance `τ / R_th`, J/K.
+    pub cth: f64,
+}
+
+/// Error produced by the measurement pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MeasureError {
+    /// The underlying curve fit failed.
+    Fit(FitError),
+    /// The calibration slope is too small to invert (device at ZTC bias).
+    FlatCalibration {
+        /// Fitted slope, V/K.
+        dv_dt: f64,
+    },
+    /// Invalid rig configuration.
+    BadConfig {
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeasureError::Fit(e) => write!(f, "measurement fit failed: {e}"),
+            MeasureError::FlatCalibration { dv_dt } => {
+                write!(f, "calibration slope {dv_dt:.3e} V/K too flat to invert")
+            }
+            MeasureError::BadConfig { detail } => write!(f, "bad rig config: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {}
+
+impl From<FitError> for MeasureError {
+    fn from(e: FitError) -> Self {
+        MeasureError::Fit(e)
+    }
+}
+
+/// The virtual measurement bench.
+///
+/// `dut_current` maps junction temperature (K) to saturated drain current
+/// (A) at the applied gate bias.
+pub struct SelfHeatingRig<F: Fn(f64) -> f64> {
+    /// Device current law `I_D(T_junction)`.
+    pub dut_current: F,
+    /// Drain supply voltage, V.
+    pub supply: f64,
+    /// Series sense resistance, Ω.
+    pub sense_resistance: f64,
+    /// True thermal network of the device + die (what the measurement is
+    /// trying to recover).
+    pub thermal: ThermalRc,
+    /// Gating frequency, Hz (paper: 3 Hz).
+    pub gate_frequency: f64,
+    /// RMS scope noise, V.
+    pub noise_rms: f64,
+    /// Noise seed (deterministic experiments).
+    pub seed: u64,
+}
+
+impl<F: Fn(f64) -> f64> SelfHeatingRig<F> {
+    fn validate(&self) -> Result<(), MeasureError> {
+        if !(self.supply > 0.0)
+            || !(self.sense_resistance > 0.0)
+            || !(self.thermal.rth > 0.0)
+            || !(self.thermal.cth > 0.0)
+            || !(self.gate_frequency > 0.0)
+        {
+            return Err(MeasureError::BadConfig {
+                detail: "supply, sense resistance, thermal RC and frequency must be positive"
+                    .into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Instantaneous dissipated power for a junction rise `d_t` above
+    /// `ambient`: `P = I·V_DS` with `V_DS = supply − I·R_s`.
+    fn device_power(&self, ambient: f64, d_t: f64) -> f64 {
+        let i = (self.dut_current)(ambient + d_t);
+        let vds = (self.supply - i * self.sense_resistance).max(0.0);
+        i * vds
+    }
+
+    /// Captures the sense-voltage trace over the first ON half-period at
+    /// `ambient`, with `samples` points.
+    ///
+    /// # Errors
+    ///
+    /// [`MeasureError::BadConfig`] for invalid configurations.
+    pub fn capture(&self, ambient: f64, samples: usize) -> Result<ScopeTrace, MeasureError> {
+        self.validate()?;
+        if samples < 16 {
+            return Err(MeasureError::BadConfig {
+                detail: format!("need at least 16 samples, got {samples}"),
+            });
+        }
+        let on_time = 0.5 / self.gate_frequency;
+        // Simulate the junction rise over the ON interval (device always ON
+        // within it, so the drive is just the feedback power).
+        let steps = (samples * 8).max(1024);
+        let traj = self
+            .thermal
+            .simulate(|_, d_t| self.device_power(ambient, d_t), on_time, steps);
+
+        let mut rng = StdRng::seed_from_u64(self.seed ^ ambient.to_bits());
+        let mut gauss = move || {
+            // Box-Muller from two uniforms.
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        };
+
+        let mut time = Vec::with_capacity(samples);
+        let mut voltage = Vec::with_capacity(samples);
+        for k in 0..samples {
+            let t = on_time * (k as f64 + 0.5) / samples as f64;
+            let d_t = traj.sample(t)[0];
+            let i = (self.dut_current)(ambient + d_t);
+            let v = i * self.sense_resistance + self.noise_rms * gauss();
+            time.push(t);
+            voltage.push(v);
+        }
+        Ok(ScopeTrace {
+            time,
+            voltage,
+            ambient,
+        })
+    }
+
+    /// Calibrates the voltage-temperature slope from traces at several
+    /// ambients (paper: 30/35/40 °C): the *initial* sample of each trace is
+    /// taken before appreciable self-heating, so its voltage reflects the
+    /// ambient directly.
+    ///
+    /// # Errors
+    ///
+    /// See [`MeasureError`]. Needs at least two ambients.
+    pub fn calibrate(&self, ambients: &[f64], samples: usize) -> Result<Calibration, MeasureError> {
+        if ambients.len() < 2 {
+            return Err(MeasureError::BadConfig {
+                detail: "calibration needs at least two ambient temperatures".into(),
+            });
+        }
+        let mut temps = Vec::with_capacity(ambients.len());
+        let mut volts = Vec::with_capacity(ambients.len());
+        for &ambient in ambients {
+            let trace = self.capture(ambient, samples)?;
+            // Average the first few samples: early enough that self-heating
+            // is negligible, averaged to beat the noise down.
+            let n_head = (samples / 64).clamp(2, 16);
+            let v0 = trace.voltage[..n_head].iter().sum::<f64>() / n_head as f64;
+            temps.push(ambient);
+            volts.push(v0);
+        }
+        let fit = linear_least_squares(&temps, &volts, 2, |t| vec![1.0, t])?;
+        let t_ref = temps[0];
+        Ok(Calibration {
+            v_ref: fit.parameters[0] + fit.parameters[1] * t_ref,
+            t_ref,
+            dv_dt: fit.parameters[1],
+        })
+    }
+
+    /// Runs the full §4.2 pipeline: capture at `ambient`, fit the
+    /// exponential, convert through `calibration`, report `R_th` and `C_th`.
+    ///
+    /// # Errors
+    ///
+    /// See [`MeasureError`].
+    pub fn measure(
+        &self,
+        ambient: f64,
+        calibration: Calibration,
+        samples: usize,
+    ) -> Result<MeasurementOutcome, MeasureError> {
+        if calibration.dv_dt.abs() < 1e-12 {
+            return Err(MeasureError::FlatCalibration {
+                dv_dt: calibration.dv_dt,
+            });
+        }
+        let trace = self.capture(ambient, samples)?;
+        let fit = fit_exp_saturation(&trace.time, &trace.voltage)?;
+        // Voltage excursion -> temperature excursion through the calibration
+        // slope (dy is negative above the ZTC point; ΔT is positive).
+        let delta_t = fit.dy / calibration.dv_dt;
+        // Settled operating point from the fitted asymptote.
+        let v_ss = fit.y0 + fit.dy;
+        let i_ss = v_ss / self.sense_resistance;
+        let power = i_ss * (self.supply - v_ss).max(0.0);
+        let rth = delta_t / power;
+        Ok(MeasurementOutcome {
+            delta_t,
+            tau: fit.tau,
+            power,
+            rth,
+            cth: fit.tau / rth,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A well-behaved DUT: 5 mA nominal with -0.3%/K temperature
+    /// coefficient (negative TC = biased above the ZTC point).
+    fn dut(t_k: f64) -> f64 {
+        5e-3 * (1.0 - 0.003 * (t_k - 300.0))
+    }
+
+    fn rig(noise: f64) -> SelfHeatingRig<fn(f64) -> f64> {
+        SelfHeatingRig {
+            dut_current: dut,
+            supply: 3.3,
+            sense_resistance: 20.0,
+            thermal: ThermalRc {
+                rth: 800.0,
+                cth: 2e-5,
+            },
+            gate_frequency: 3.0,
+            noise_rms: noise,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    #[test]
+    fn trace_shows_exponential_current_sag() {
+        let r = rig(0.0);
+        let trace = r.capture(303.15, 512).unwrap();
+        // Voltage must fall monotonically (apart from noise = 0) and settle.
+        assert!(trace.voltage[0] > *trace.voltage.last().unwrap());
+        let head_drop = trace.voltage[0] - trace.voltage[64];
+        let tail_drop = trace.voltage[256] - trace.voltage[511];
+        assert!(head_drop > 5.0 * tail_drop, "exponential settling");
+    }
+
+    #[test]
+    fn calibration_recovers_device_tc() {
+        let r = rig(0.0);
+        let cal = r
+            .calibrate(&[303.15, 308.15, 313.15], 512)
+            .expect("calibration succeeds");
+        // dV/dT = R_s · dI/dT = 20 · (-0.003 · 5e-3) = -3e-4 V/K.
+        assert!((cal.dv_dt + 3.0e-4).abs() < 2e-5, "dv_dt = {}", cal.dv_dt);
+    }
+
+    #[test]
+    fn noiseless_measurement_recovers_thermal_network() {
+        let r = rig(0.0);
+        let cal = r.calibrate(&[303.15, 308.15, 313.15], 512).unwrap();
+        let m = r.measure(303.15, cal, 1024).unwrap();
+        // True Rth = 800 K/W; self-heating power ~ 16 mW, ΔT ~ 12 K with
+        // feedback. Extraction error should be a few percent.
+        assert!((m.rth - 800.0).abs() / 800.0 < 0.08, "rth = {}", m.rth);
+        assert!((m.cth - 2e-5).abs() / 2e-5 < 0.12, "cth = {}", m.cth);
+        assert!(m.delta_t > 2.0 && m.delta_t < 50.0, "dT = {}", m.delta_t);
+    }
+
+    #[test]
+    fn noisy_measurement_still_close() {
+        let r = rig(2e-4); // ~noise at the mV level on a ~100 mV signal
+        let cal = r.calibrate(&[303.15, 308.15, 313.15], 1024).unwrap();
+        let m = r.measure(303.15, cal, 2048).unwrap();
+        assert!((m.rth - 800.0).abs() / 800.0 < 0.2, "rth = {}", m.rth);
+    }
+
+    #[test]
+    fn measurement_is_repeatable_with_same_seed() {
+        let r = rig(1e-4);
+        let cal = r.calibrate(&[303.15, 313.15], 512).unwrap();
+        let a = r.measure(303.15, cal, 512).unwrap();
+        let b = r.measure(303.15, cal, 512).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ambient_shifts_do_not_break_extraction() {
+        // The paper repeats at three ambients to check linearity: extracted
+        // Rth should be ambient-independent to first order.
+        let r = rig(0.0);
+        let cal = r.calibrate(&[303.15, 308.15, 313.15], 512).unwrap();
+        let m30 = r.measure(303.15, cal, 1024).unwrap();
+        let m40 = r.measure(313.15, cal, 1024).unwrap();
+        assert!((m30.rth - m40.rth).abs() / m30.rth < 0.05);
+    }
+
+    #[test]
+    fn config_errors_are_reported() {
+        let mut r = rig(0.0);
+        r.sense_resistance = 0.0;
+        assert!(matches!(
+            r.capture(300.0, 512),
+            Err(MeasureError::BadConfig { .. })
+        ));
+        let r = rig(0.0);
+        assert!(matches!(
+            r.capture(300.0, 4),
+            Err(MeasureError::BadConfig { .. })
+        ));
+        assert!(matches!(
+            r.calibrate(&[300.0], 512),
+            Err(MeasureError::BadConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn flat_calibration_is_rejected() {
+        let r = rig(0.0);
+        let cal = Calibration {
+            v_ref: 0.1,
+            t_ref: 300.0,
+            dv_dt: 0.0,
+        };
+        assert!(matches!(
+            r.measure(300.0, cal, 512),
+            Err(MeasureError::FlatCalibration { .. })
+        ));
+    }
+}

@@ -1,0 +1,233 @@
+//! Exact evaluation of the paper's Eq. (17): the surface temperature of a
+//! uniformly dissipating rectangle on a semi-infinite substrate.
+//!
+//! The paper states Eq. (17) "cannot be solved analytically" and builds the
+//! Eq. (18)/(19)/(20) approximations instead. In fact the integral has a
+//! classical closed form (the potential of a uniformly charged rectangle):
+//!
+//! ```text
+//! ∬ du dv / √(u² + v² + z²)  =  Σ_corners ± F(u, v)
+//! F(u, v) = u·ln(v + r) + v·ln(u + r) − z·atan(u·v / (z·r)),   r = √(u² + v² + z²)
+//! ```
+//!
+//! so this module provides the *exact* reference the paper's approximations
+//! are measured against in the Fig. 5 reproduction — machine-precision
+//! accurate and fast. The adaptive-quadrature evaluator cross-checks the
+//! corner formula in the tests (two independent routes to Eq. 17).
+//!
+//! Geometry convention: the rectangle is centred at the origin with width
+//! `w` along x and length `l` along y; the field point is `(x, y)` on the
+//! surface, optionally at depth `z` below it (used by the method-of-images
+//! bottom mirror). With the adiabatic-top half-space Green's function
+//! `1/(2πk r)` (twice the full-space value), the temperature rise is
+//! `P/(2πk·w·l)` times the integral.
+
+use ptherm_math::quadrature::{adaptive_simpson_2d, IntegrateError};
+
+/// Corner primitive `F(u, v)` for offset depth `z ≥ 0`.
+fn corner(u: f64, v: f64, z: f64) -> f64 {
+    let r = (u * u + v * v + z * z).sqrt();
+    let term_u = if u == 0.0 {
+        0.0
+    } else {
+        // v + r >= 0 always; it vanishes only when u = z = 0 (handled above).
+        u * (v + r).max(f64::MIN_POSITIVE).ln()
+    };
+    let term_v = if v == 0.0 {
+        0.0
+    } else {
+        v * (u + r).max(f64::MIN_POSITIVE).ln()
+    };
+    let term_z = if z == 0.0 || r == 0.0 {
+        0.0
+    } else {
+        z * (u * v / (z * r)).atan()
+    };
+    term_u + term_v - term_z
+}
+
+/// Exact value of `∬_rect du dv / √((x−u)² + (y−v)² + z²)` for a `w × l`
+/// rectangle centred at the origin. Units: metres.
+///
+/// Valid for every field point, including points inside the rectangle at
+/// `z = 0` (the singularity is integrable and the closed form absorbs it).
+///
+/// # Panics
+///
+/// Panics if `w` or `l` is not strictly positive.
+pub fn rect_unit_integral(w: f64, l: f64, x: f64, y: f64, z: f64) -> f64 {
+    assert!(w > 0.0 && l > 0.0, "rectangle dimensions must be positive");
+    let z = z.abs();
+    // Substituting u' = u - x, v' = v - y maps the integral to the corner
+    // primitive evaluated at the four shifted corners.
+    let u1 = -w / 2.0 - x;
+    let u2 = w / 2.0 - x;
+    let v1 = -l / 2.0 - y;
+    let v2 = l / 2.0 - y;
+    corner(u2, v2, z) - corner(u1, v2, z) - corner(u2, v1, z) + corner(u1, v1, z)
+}
+
+/// Exact surface-temperature rise (kelvin) of the paper's Eq. (17): a
+/// `w × l` rectangle dissipating `power` watts uniformly, observed at
+/// `(x, y)` on the surface of a semi-infinite substrate of conductivity `k`
+/// with an adiabatic top (heat spreads into the half space only).
+///
+/// # Panics
+///
+/// Panics if dimensions, power scale or conductivity are non-positive.
+pub fn rect_surface_temperature(power: f64, k: f64, w: f64, l: f64, x: f64, y: f64) -> f64 {
+    assert!(k > 0.0, "thermal conductivity must be positive");
+    power / (2.0 * std::f64::consts::PI * k * w * l) * rect_unit_integral(w, l, x, y, 0.0)
+}
+
+/// Same quantity as [`rect_surface_temperature`] but evaluated by adaptive
+/// quadrature — the slow, independent route used to validate the corner
+/// formula. Not reliable *on* the source at `z = 0` (integrand singular);
+/// keep the field point outside the rectangle or at `z > 0`.
+///
+/// # Errors
+///
+/// Propagates [`IntegrateError`] from the quadrature.
+pub fn rect_temperature_quadrature(
+    power: f64,
+    k: f64,
+    w: f64,
+    l: f64,
+    x: f64,
+    y: f64,
+    z: f64,
+    tol: f64,
+) -> Result<f64, IntegrateError> {
+    let integral = adaptive_simpson_2d(
+        |u, v| {
+            let dx = x - u;
+            let dy = y - v;
+            1.0 / (dx * dx + dy * dy + z * z).sqrt()
+        },
+        -w / 2.0,
+        w / 2.0,
+        -l / 2.0,
+        l / 2.0,
+        tol,
+        40,
+    )?;
+    Ok(power / (2.0 * std::f64::consts::PI * k * w * l) * integral)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const K_SI: f64 = 148.0;
+
+    #[test]
+    fn corner_formula_matches_quadrature_outside() {
+        let (w, l, p) = (1e-6, 0.1e-6, 10e-3);
+        for (x, y) in [(1e-6, 0.0), (0.0, 0.5e-6), (2e-6, 1.5e-6), (-3e-6, 0.2e-6)] {
+            let exact = rect_surface_temperature(p, K_SI, w, l, x, y);
+            let quad = rect_temperature_quadrature(p, K_SI, w, l, x, y, 0.0, 1e-13).unwrap();
+            let rel = (exact - quad).abs() / exact.abs();
+            assert!(rel < 1e-6, "({x:.1e},{y:.1e}): {exact} vs {quad}");
+        }
+    }
+
+    #[test]
+    fn corner_formula_matches_quadrature_at_depth() {
+        let (w, l, p) = (2e-6, 1e-6, 5e-3);
+        // Depth offsets as used by the bottom-mirror images.
+        for z in [0.5e-6, 2e-6, 10e-6] {
+            let exact = p / (2.0 * std::f64::consts::PI * K_SI * w * l)
+                * rect_unit_integral(w, l, 0.3e-6, -0.2e-6, z);
+            let quad =
+                rect_temperature_quadrature(p, K_SI, w, l, 0.3e-6, -0.2e-6, z, 1e-13).unwrap();
+            assert!(
+                (exact - quad).abs() / exact.abs() < 1e-6,
+                "z = {z}: {exact} vs {quad}"
+            );
+        }
+    }
+
+    #[test]
+    fn center_value_matches_paper_eq18() {
+        // Eq. (18): T(0) = P/(2πk W L)·[L ln((c+W)/(c−W)) + W ln((c+L)/(c−L))],
+        // c = sqrt(W² + L²). The corner formula must reproduce it exactly.
+        let (w, l, p): (f64, f64, f64) = (1e-6, 0.1e-6, 10e-3);
+        let c = (w * w + l * l).sqrt();
+        let eq18 = p / (2.0 * std::f64::consts::PI * K_SI * w * l)
+            * (l * ((c + w) / (c - w)).ln() + w * ((c + l) / (c - l)).ln());
+        let exact = rect_surface_temperature(p, K_SI, w, l, 0.0, 0.0);
+        assert!((exact - eq18).abs() / eq18 < 1e-12, "{exact} vs {eq18}");
+    }
+
+    #[test]
+    fn far_field_approaches_point_source() {
+        // Eq. (16): T = P/(2πk r) far from the source.
+        let (w, l, p) = (1e-6, 0.5e-6, 1e-3);
+        let r = 50e-6;
+        let t = rect_surface_temperature(p, K_SI, w, l, r, 0.0);
+        let point = p / (2.0 * std::f64::consts::PI * K_SI * r);
+        assert!((t - point).abs() / point < 1e-3, "{t} vs {point}");
+    }
+
+    #[test]
+    fn symmetry_of_the_field() {
+        let (w, l, p) = (3e-6, 1e-6, 2e-3);
+        let t = |x: f64, y: f64| rect_surface_temperature(p, K_SI, w, l, x, y);
+        let sym = |a: f64, b: f64| ((a - b) / b).abs() < 1e-12;
+        assert!(sym(t(1e-6, 2e-6), t(-1e-6, 2e-6)));
+        assert!(sym(t(1e-6, 2e-6), t(1e-6, -2e-6)));
+        // 90° rotation with swapped dimensions.
+        let t_rot = rect_surface_temperature(p, K_SI, l, w, 2e-6, 1e-6);
+        assert!((t(1e-6, 2e-6) - t_rot).abs() / t_rot < 1e-12);
+    }
+
+    #[test]
+    fn scaling_homogeneity() {
+        // T(λx; λW, λL) = T(x; W, L)/λ — the 1/r kernel's scale law.
+        let (w, l, p) = (1e-6, 0.4e-6, 1e-3);
+        let lambda = 7.0;
+        let t1 = rect_surface_temperature(p, K_SI, w, l, 2e-6, 1e-6);
+        let t2 = rect_surface_temperature(
+            p,
+            K_SI,
+            lambda * w,
+            lambda * l,
+            lambda * 2e-6,
+            lambda * 1e-6,
+        );
+        assert!((t2 - t1 / lambda).abs() / t2 < 1e-12);
+    }
+
+    #[test]
+    fn interior_values_are_finite_and_peak_at_center() {
+        let (w, l, p) = (1e-6, 0.1e-6, 10e-3);
+        let center = rect_surface_temperature(p, K_SI, w, l, 0.0, 0.0);
+        assert!(center.is_finite() && center > 0.0);
+        for (x, y) in [(0.2e-6, 0.0), (0.45e-6, 0.04e-6), (0.5e-6, 0.05e-6)] {
+            let t = rect_surface_temperature(p, K_SI, w, l, x, y);
+            assert!(t.is_finite());
+            assert!(t < center, "({x:.2e},{y:.2e}) must be below the peak");
+        }
+    }
+
+    #[test]
+    fn paper_example_magnitude() {
+        // Fig. 5's example: W = 1 um, L = 0.1 um transistor dissipating
+        // 10 mW. Peak rise should be tens of kelvin (the figure's scale).
+        let t0 = rect_surface_temperature(10e-3, 148.0, 1e-6, 0.1e-6, 0.0, 0.0);
+        assert!(t0 > 10.0 && t0 < 200.0, "peak rise = {t0:.1} K");
+    }
+
+    #[test]
+    fn linearity_in_power() {
+        let t1 = rect_surface_temperature(1e-3, K_SI, 1e-6, 1e-6, 0.0, 0.0);
+        let t2 = rect_surface_temperature(3e-3, K_SI, 1e-6, 1e-6, 0.0, 0.0);
+        assert!((t2 / t1 - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_degenerate_rectangle() {
+        rect_unit_integral(0.0, 1e-6, 0.0, 0.0, 0.0);
+    }
+}

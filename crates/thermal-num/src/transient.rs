@@ -1,0 +1,167 @@
+//! Lumped thermal-RC transients.
+//!
+//! The paper's Fig. 9 shows "an exponential increment of the device
+//! operating temperature associated to the charging process of the thermal
+//! capacitance of the transistor": a first-order RC. This module provides
+//! that lumped model (plus an optional package node) and the square-wave
+//! drive used by the measurement protocol (3 Hz gating in the paper).
+
+use ptherm_math::ode::{rk4, OdeTrajectory};
+
+/// First-order lumped thermal network: junction-to-sink resistance and
+/// junction capacitance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalRc {
+    /// Thermal resistance, K/W.
+    pub rth: f64,
+    /// Thermal capacitance, J/K.
+    pub cth: f64,
+}
+
+impl ThermalRc {
+    /// Time constant `τ = R_th · C_th`, s.
+    pub fn tau(&self) -> f64 {
+        self.rth * self.cth
+    }
+
+    /// Steady-state temperature rise at constant power, K.
+    pub fn steady_rise(&self, power: f64) -> f64 {
+        self.rth * power
+    }
+
+    /// Analytic step response: rise at time `t` after applying `power` from
+    /// a cold start, K.
+    pub fn step_response(&self, power: f64, t: f64) -> f64 {
+        self.steady_rise(power) * (1.0 - (-t / self.tau()).exp())
+    }
+
+    /// Integrates the junction temperature under a time-varying power
+    /// `power(t, delta_t)` (the power may depend on the current rise —
+    /// that's exactly the electro-thermal feedback of a heating transistor).
+    ///
+    /// Returns the trajectory of the temperature *rise* above ambient.
+    pub fn simulate<P>(&self, power: P, duration: f64, steps: usize) -> OdeTrajectory
+    where
+        P: Fn(f64, f64) -> f64,
+    {
+        let rth = self.rth;
+        let cth = self.cth;
+        rk4(
+            move |t, y| {
+                let dt_rise = y[0];
+                vec![(power(t, dt_rise) - dt_rise / rth) / cth]
+            },
+            0.0,
+            duration,
+            &[0.0],
+            steps,
+        )
+    }
+}
+
+/// Square-wave power drive: `power` during the ON fraction of each period,
+/// zero otherwise (the paper gates its device at 3 Hz).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SquareWaveDrive {
+    /// ON-state power, W.
+    pub power: f64,
+    /// Gating frequency, Hz.
+    pub frequency: f64,
+    /// ON duty cycle in (0, 1].
+    pub duty: f64,
+}
+
+impl SquareWaveDrive {
+    /// Power at time `t`, W.
+    pub fn at(&self, t: f64) -> f64 {
+        let phase = (t * self.frequency).fract();
+        if phase < self.duty {
+            self.power
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rc() -> ThermalRc {
+        // ~1000 K/W and 50 us time constant: a small MOSFET's ballpark.
+        ThermalRc {
+            rth: 1000.0,
+            cth: 5e-8,
+        }
+    }
+
+    #[test]
+    fn tau_and_steady_state() {
+        let r = rc();
+        assert!((r.tau() - 5e-5).abs() < 1e-18);
+        assert_eq!(r.steady_rise(10e-3), 10.0);
+    }
+
+    #[test]
+    fn simulated_step_matches_analytic() {
+        let r = rc();
+        let p = 10e-3;
+        let traj = r.simulate(|_, _| p, 5.0 * r.tau(), 2000);
+        for &frac in &[0.2, 0.5, 1.0] {
+            let t = 5.0 * r.tau() * frac;
+            let sim = traj.sample(t)[0];
+            let exact = r.step_response(p, t);
+            assert!(
+                (sim - exact).abs() < 1e-3 * r.steady_rise(p),
+                "t={t}: {sim} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn square_wave_reaches_quasi_steady_cycling() {
+        let r = rc();
+        let drive = SquareWaveDrive {
+            power: 10e-3,
+            frequency: 3.0,
+            duty: 0.5,
+        };
+        // 3 Hz is far slower than tau = 50 us: each half-period fully
+        // settles, exactly like the paper's scope traces.
+        let traj = r.simulate(move |t, _| drive.at(t), 1.0, 60_000);
+        // Just before the end of the first ON half-period: fully risen.
+        let t_on_end = 0.5 / 3.0 - 1e-4;
+        let rise = traj.sample(t_on_end)[0];
+        assert!((rise - 10.0).abs() < 0.05, "rise = {rise}");
+        // Just before the end of the OFF half-period: fully decayed.
+        let t_off_end = 1.0 / 3.0 - 1e-4;
+        let fall = traj.sample(t_off_end)[0];
+        assert!(fall < 0.05, "fall = {fall}");
+    }
+
+    #[test]
+    fn feedback_power_reduces_final_rise() {
+        // Power that sags with temperature (negative TC device) settles
+        // below the constant-power steady state.
+        let r = rc();
+        let p0 = 10e-3;
+        let traj = r.simulate(move |_, d_t| p0 * (1.0 - 0.01 * d_t), 10.0 * r.tau(), 4000);
+        let end = traj.y.last().unwrap()[0];
+        assert!(end < r.steady_rise(p0));
+        // Analytic fixed point: dT = rth p0 (1 - 0.01 dT).
+        let expect = r.rth * p0 / (1.0 + 0.01 * r.rth * p0);
+        assert!((end - expect).abs() < 0.01 * expect, "{end} vs {expect}");
+    }
+
+    #[test]
+    fn duty_cycle_shapes_the_wave() {
+        let d = SquareWaveDrive {
+            power: 1.0,
+            frequency: 10.0,
+            duty: 0.25,
+        };
+        assert_eq!(d.at(0.01), 1.0);
+        assert_eq!(d.at(0.03), 0.0);
+        assert_eq!(d.at(0.1 + 0.01), 1.0);
+    }
+}

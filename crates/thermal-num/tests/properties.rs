@@ -1,0 +1,95 @@
+//! Property-based tests for the numerical thermal references.
+
+use proptest::prelude::*;
+use ptherm_thermal_num::fdm::{rasterize_rect, FdmSolver};
+use ptherm_thermal_num::rect_integral::{rect_temperature_quadrature, rect_unit_integral};
+use ptherm_thermal_num::transient::ThermalRc;
+
+fn micro() -> impl Strategy<Value = f64> {
+    (0.1f64.ln()..10.0f64.ln()).prop_map(|l| l.exp() * 1e-6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The corner closed form equals adaptive quadrature at random
+    /// exterior field points and depths.
+    #[test]
+    fn corner_formula_equals_quadrature(
+        w in micro(), l in micro(),
+        fx in 1.2..6.0f64, fy in 1.2..6.0f64,
+        z_rel in 0.0..3.0f64,
+    ) {
+        let s = w.max(l);
+        let (x, y, z) = (fx * s, fy * s, z_rel * s);
+        let exact = rect_unit_integral(w, l, x, y, z)
+            / (2.0 * std::f64::consts::PI * 148.0 * w * l);
+        let quad = rect_temperature_quadrature(1.0, 148.0, w, l, x, y, z, 1e-12)
+            .expect("smooth integrand outside the source");
+        let rel = (exact - quad).abs() / exact.abs().max(1e-300);
+        prop_assert!(rel < 1e-5, "({x:.2e},{y:.2e},{z:.2e}): rel {rel:.2e}");
+    }
+
+    /// The unit integral is symmetric under reflections and monotone
+    /// decreasing in depth.
+    #[test]
+    fn unit_integral_symmetries(w in micro(), l in micro(), x in -5.0..5.0f64, y in -5.0..5.0f64) {
+        let (x, y) = (x * 1e-6, y * 1e-6);
+        let base = rect_unit_integral(w, l, x, y, 0.0);
+        prop_assert!(base > 0.0);
+        let mirrored = rect_unit_integral(w, l, -x, y, 0.0);
+        prop_assert!((base - mirrored).abs() / base < 1e-10);
+        let deep = rect_unit_integral(w, l, x, y, 3.0 * w);
+        prop_assert!(deep < base);
+    }
+
+    /// Rasterization conserves power for random blocks (clipped to the
+    /// die where necessary).
+    #[test]
+    fn rasterize_conserves_power(
+        cx in 0.1..0.9f64, cy in 0.1..0.9f64,
+        w in 0.05..0.4f64, l in 0.05..0.4f64,
+        p in 0.01..2.0f64,
+    ) {
+        let die = 1e-3;
+        let map = rasterize_rect(24, 24, die, die, cx * die, cy * die, w * die, l * die, p);
+        let sum: f64 = map.iter().sum();
+        prop_assert!((sum - p).abs() < 1e-12 * p.max(1.0));
+        prop_assert!(map.iter().all(|&v| v >= 0.0));
+    }
+
+    /// FDM linearity: scaling the power map scales the rises.
+    #[test]
+    fn fdm_is_linear_in_power(p in 0.05..2.0f64) {
+        let solver = FdmSolver {
+            die_w: 1e-3, die_l: 1e-3, thickness: 0.3e-3, k: 148.0,
+            sink_temperature: 300.0, nx: 12, ny: 12, nz: 5,
+        };
+        let base = rasterize_rect(12, 12, 1e-3, 1e-3, 0.4e-3, 0.6e-3, 0.2e-3, 0.2e-3, 1.0);
+        let scaled: Vec<f64> = base.iter().map(|v| v * p).collect();
+        let s1 = solver.solve(&base).expect("solves");
+        let s2 = solver.solve(&scaled).expect("solves");
+        for iy in (0..12).step_by(4) {
+            for ix in (0..12).step_by(4) {
+                let r1 = s1.surface_cell(ix, iy) - 300.0;
+                let r2 = s2.surface_cell(ix, iy) - 300.0;
+                prop_assert!((r2 - p * r1).abs() < 1e-6 * (1.0 + p * r1.abs()));
+            }
+        }
+    }
+
+    /// RC step response: simulation matches the analytic exponential for
+    /// random networks.
+    #[test]
+    fn rc_simulation_matches_closed_form(rth in 100.0..5000.0f64, tau_ms in 0.5..50.0f64, p_mw in 1.0..50.0f64) {
+        let rc = ThermalRc { rth, cth: tau_ms * 1e-3 / rth };
+        let p = p_mw * 1e-3;
+        let traj = rc.simulate(|_, _| p, 4.0 * rc.tau(), 4000);
+        for frac in [0.3, 1.0, 2.5] {
+            let t = frac * rc.tau();
+            let sim = traj.sample(t)[0];
+            let exact = rc.step_response(p, t);
+            prop_assert!((sim - exact).abs() < 2e-3 * rc.steady_rise(p), "t {t}: {sim} vs {exact}");
+        }
+    }
+}

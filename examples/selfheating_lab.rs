@@ -1,0 +1,103 @@
+//! The virtual self-heating laboratory (Figs. 9–10): pulse a device,
+//! watch its drain current sag on the synthetic oscilloscope, calibrate
+//! against ambient sweeps and extract the thermal resistance — then
+//! compare with the paper's Eq. 18 prediction.
+//!
+//! Run with `cargo run --release --example selfheating_lab`.
+
+use ptherm::device::on_current::OnCurrentModel;
+use ptherm::model::thermal::resistance::self_heating_resistance;
+use ptherm::tech::constants::celsius_to_kelvin;
+use ptherm::tech::Technology;
+use ptherm::thermal_num::rect_integral::rect_unit_integral;
+use ptherm::thermal_num::transient::ThermalRc;
+use ptherm::thermal_num::SelfHeatingRig;
+
+/// Source-averaged exact thermal resistance (the rig's ground truth).
+fn physical_rth(k: f64, w: f64, l: f64) -> f64 {
+    let n = 15;
+    let mut acc = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            let x = w * ((i as f64 + 0.5) / n as f64 - 0.5);
+            let y = l * ((j as f64 + 0.5) / n as f64 - 0.5);
+            acc += rect_unit_integral(w, l, x, y, 0.0);
+        }
+    }
+    acc / (n * n) as f64 / (2.0 * std::f64::consts::PI * k * w * l)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::cmos_350nm();
+    let w = 12e-6;
+    let l = tech.nmos.l;
+    let k_si = 148.0;
+
+    let rth_true = physical_rth(k_si, w, l);
+    let rig = SelfHeatingRig {
+        dut_current: move |t| {
+            OnCurrentModel::new(&Technology::cmos_350nm().nmos, 300.0).current(w, 3.3, t)
+        },
+        supply: 3.3,
+        sense_resistance: 15.0,
+        thermal: ThermalRc {
+            rth: rth_true,
+            cth: 25e-3 / rth_true,
+        },
+        gate_frequency: 3.0,
+        noise_rms: 0.4e-3,
+        seed: 0xBEEF,
+    };
+
+    // Step 1: capture traces at three chuck temperatures.
+    let ambients = [30.0, 35.0, 40.0].map(celsius_to_kelvin);
+    println!("== scope traces (sense voltage, mV) ==");
+    println!(
+        "{:>8}  {:>9}  {:>9}  {:>9}",
+        "t (ms)", "30 C", "35 C", "40 C"
+    );
+    let traces: Vec<_> = ambients
+        .iter()
+        .map(|&a| rig.capture(a, 512).expect("rig is configured"))
+        .collect();
+    for i in (0..512).step_by(64) {
+        println!(
+            "{:>8.1}  {:>9.3}  {:>9.3}  {:>9.3}",
+            traces[0].time[i] * 1e3,
+            traces[0].voltage[i] * 1e3,
+            traces[1].voltage[i] * 1e3,
+            traces[2].voltage[i] * 1e3
+        );
+    }
+
+    // Step 2: calibrate dV/dT from the trace heads.
+    let cal = rig.calibrate(&ambients, 1024)?;
+    println!(
+        "\ncalibration: dV/dT = {:.3} mV/K at {:.1} C",
+        cal.dv_dt * 1e3,
+        cal.t_ref - 273.15
+    );
+
+    // Step 3: extract the thermal quantities.
+    let m = rig.measure(ambients[0], cal, 2048)?;
+    println!("\n== extraction ==");
+    println!("  power        {:.2} mW", m.power * 1e3);
+    println!("  dT steady    {:.2} K", m.delta_t);
+    println!("  tau          {:.1} ms", m.tau * 1e3);
+    println!(
+        "  Rth measured {:.0} K/W (rig truth {:.0})",
+        m.rth, rth_true
+    );
+    println!("  Cth measured {:.2e} J/K", m.cth);
+
+    // Step 4: the paper's model line.
+    let rth_model = self_heating_resistance(k_si, w, l);
+    println!("\n== model vs measurement ==");
+    println!("  Eq. 18 model Rth  {rth_model:.0} K/W");
+    println!("  measured Rth      {:.0} K/W", m.rth);
+    println!(
+        "  ratio             {:.2} (Eq. 18 is the channel-centre peak; the \n                     measurement averages over the channel)",
+        rth_model / m.rth
+    );
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Stack-leakage study (the Fig. 8 scenario as a library user would run it).
+//!
+//! Sweeps stack depth, width skew and temperature; prints the proposed
+//! model against the exact solver and the reconstructed prior-work
+//! baselines.
+//!
+//! Run with `cargo run --release --example stack_leakage`.
+
+use ptherm::model::leakage::baselines::{chen98_stack_current, naive_stack_current};
+use ptherm::model::leakage::GateLeakageModel;
+use ptherm::spice::stack::Stack;
+use ptherm::tech::constants::celsius_to_kelvin;
+use ptherm::tech::Technology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::cmos_120nm();
+    let model = GateLeakageModel::new(&tech);
+
+    println!("== equal-width stacks, W = 1 um, 25 C ==");
+    println!(
+        "{:>2}  {:>12}  {:>12}  {:>10}  {:>12}  {:>12}",
+        "N", "exact (A)", "model (A)", "err (%)", "chen98 (A)", "naive (A)"
+    );
+    for n in 1..=6 {
+        let widths = vec![1e-6; n];
+        let exact = Stack::off_current(&tech, &widths, 298.15)?;
+        let proposed = model.stack_off_current(&widths, 298.15);
+        let chen = chen98_stack_current(&tech, &widths, 298.15);
+        let naive = naive_stack_current(&tech, &widths, 298.15);
+        println!(
+            "{n:>2}  {exact:>12.3e}  {proposed:>12.3e}  {:>10.2}  {chen:>12.3e}  {naive:>12.3e}",
+            100.0 * (proposed - exact).abs() / exact
+        );
+    }
+
+    println!("\n== width skew: bottom device narrow vs wide (3-stack, 25 C) ==");
+    println!(
+        "{:>18}  {:>12}  {:>12}  {:>8}",
+        "widths (um)", "exact (A)", "model (A)", "err (%)"
+    );
+    for widths in [
+        vec![0.25e-6, 1e-6, 1e-6],
+        vec![1e-6, 1e-6, 1e-6],
+        vec![4e-6, 1e-6, 1e-6],
+        vec![1e-6, 4e-6, 0.25e-6],
+    ] {
+        let exact = Stack::off_current(&tech, &widths, 298.15)?;
+        let proposed = model.stack_off_current(&widths, 298.15);
+        let label = widths
+            .iter()
+            .map(|w| format!("{:.2}", w * 1e6))
+            .collect::<Vec<_>>()
+            .join("/");
+        println!(
+            "{label:>18}  {exact:>12.3e}  {proposed:>12.3e}  {:>8.2}",
+            100.0 * (proposed - exact).abs() / exact
+        );
+    }
+
+    println!("\n== temperature sweep (2-stack, W = 1 um) ==");
+    println!(
+        "{:>6}  {:>12}  {:>12}  {:>8}",
+        "T (C)", "exact (A)", "model (A)", "err (%)"
+    );
+    for c in [0.0, 25.0, 50.0, 85.0, 110.0, 125.0] {
+        let t = celsius_to_kelvin(c);
+        let widths = [1e-6, 1e-6];
+        let exact = Stack::off_current(&tech, &widths, t)?;
+        let proposed = model.stack_off_current(&widths, t);
+        println!(
+            "{c:>6.0}  {exact:>12.3e}  {proposed:>12.3e}  {:>8.2}",
+            100.0 * (proposed - exact).abs() / exact
+        );
+    }
+
+    println!("\nnode voltages of the exact solver (4-stack, bottom -> top):");
+    let sol = Stack::all_off(&tech, &[1e-6; 4]).solve(298.15)?;
+    for (i, v) in sol.node_voltages.iter().enumerate() {
+        println!("  V{} = {:.1} mV", i + 1, v * 1e3);
+    }
+    println!("  I = {:.3e} A", sol.current);
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Standby-vector optimization: the "optimization" half of the paper's
+//! "estimation and optimization" promise.
+//!
+//! For each cell of a logic block, find the input vector that leaves the
+//! deepest OFF stacks, and report the block-level leakage savings of
+//! parking idle logic there — at typical and fast process corners, cold
+//! and hot.
+//!
+//! Run with `cargo run --release --example standby_optimizer`.
+
+use ptherm::model::leakage::standby::{best_standby_vector, standby_report};
+use ptherm::model::leakage::GateLeakageModel;
+use ptherm::netlist::cells;
+use ptherm::netlist::circuit::Circuit;
+use ptherm::tech::constants::celsius_to_kelvin;
+use ptherm::tech::{Corner, Technology};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::cmos_120nm();
+    let model = GateLeakageModel::new(&tech);
+
+    println!("== per-cell standby vectors (25 C, typical corner) ==");
+    println!(
+        "{:>7}  {:>10}  {:>12}  {:>12}  {:>10}",
+        "cell", "vector", "best (W)", "worst (W)", "worst/best"
+    );
+    for cell in cells::standard_library(&tech) {
+        let sv = best_standby_vector(&model, &cell, celsius_to_kelvin(25.0))?;
+        let bits: String = sv
+            .vector
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect();
+        println!(
+            "{:>7}  {bits:>10}  {:>12.3e}  {:>12.3e}  {:>10.1}",
+            cell.name(),
+            sv.best_power,
+            sv.worst_power,
+            sv.worst_to_best_ratio()
+        );
+    }
+
+    // Block-level audit across corners and temperatures.
+    let circuit = Circuit::random("block", 17, 25_000, 1.5e9, &tech);
+    println!("\n== block audit: 25k gates ==");
+    println!(
+        "{:>9}  {:>6}  {:>12}  {:>12}  {:>9}",
+        "corner", "T (C)", "average (W)", "parked (W)", "saved (%)"
+    );
+    for corner in [Corner::Typical, Corner::Fast] {
+        let kit = tech.at_corner(corner);
+        let corner_model = GateLeakageModel::new(&kit);
+        for t_c in [25.0, 110.0] {
+            let report = standby_report(&corner_model, &circuit, celsius_to_kelvin(t_c))?;
+            println!(
+                "{:>9}  {t_c:>6.0}  {:>12.4e}  {:>12.4e}  {:>9.1}",
+                corner.to_string(),
+                report.average_power,
+                report.parked_power,
+                100.0 * report.savings()
+            );
+        }
+    }
+
+    println!(
+        "\nthe fast corner is where vector control pays: leakage is decades higher\n\
+         while the savings fraction stays in the same range."
+    );
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! The Fig. 1 story from the library API: dynamic vs static power across
+//! technology generations at three junction temperatures.
+//!
+//! Run with `cargo run --release --example tech_scaling`.
+
+use ptherm::tech::constants::celsius_to_kelvin;
+use ptherm::tech::ScalingTable;
+
+fn main() {
+    let table = ScalingTable::itrs_like();
+    let temps: Vec<f64> = [25.0, 100.0, 150.0]
+        .iter()
+        .map(|&c| celsius_to_kelvin(c))
+        .collect();
+
+    println!(
+        "{:>8}  {:>6}  {:>9}  {:>12}  {:>12}  {:>12}",
+        "node", "VDD", "P_dyn (W)", "P_st@25 (W)", "P_st@100 (W)", "P_st@150 (W)"
+    );
+    for node in &table.nodes {
+        println!(
+            "{:>6.3}um  {:>6.2}  {:>9.2}  {:>12.4e}  {:>12.4e}  {:>12.4e}",
+            node.node * 1e6,
+            node.vdd,
+            node.dynamic_power(),
+            node.static_power(temps[0]),
+            node.static_power(temps[1]),
+            node.static_power(temps[2]),
+        );
+    }
+
+    for (label, &t) in ["25 C", "100 C", "150 C"].iter().zip(&temps) {
+        let crossing = table
+            .nodes
+            .iter()
+            .find(|n| n.static_power(t) > n.dynamic_power());
+        match crossing {
+            Some(n) => println!(
+                "static power at {label} overtakes dynamic at the {:.3} um node",
+                n.node * 1e6
+            ),
+            None => println!("static power at {label} never overtakes dynamic in this table"),
+        }
+    }
+
+    // The paper's conclusion in one number: how much total power estimation
+    // misses when it ignores the junction temperature at the last node.
+    let last = table.nodes.last().expect("table is non-empty");
+    let cold = last.dynamic_power() + last.static_power(temps[0]);
+    let hot = last.dynamic_power() + last.static_power(temps[2]);
+    println!(
+        "\nat {:.3} um, assuming 25 C instead of 150 C under-reports total power by {:.1}x",
+        last.node * 1e6,
+        hot / cold
+    );
+}

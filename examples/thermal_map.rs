@@ -1,0 +1,91 @@
+//! The paper's 3-block 1 mm² IC (Figs. 6–7) as a library user would run
+//! it: ASCII isotherm map, mid-chip cross-section, and the edge-flux
+//! property of the method of images.
+//!
+//! Run with `cargo run --release --example thermal_map`.
+
+use ptherm::floorplan::Floorplan;
+use ptherm::model::thermal::ThermalModel;
+
+const SHADES: &[u8] = b" .:-=+*#%@";
+
+fn main() {
+    let plan = Floorplan::paper_three_blocks();
+    let model = ThermalModel::new(&plan);
+    let g = *plan.geometry();
+
+    println!(
+        "floorplan: {} blocks, {:.2} W total",
+        plan.blocks().len(),
+        plan.total_power()
+    );
+    for b in plan.blocks() {
+        println!(
+            "  {:6}  centre ({:.2}, {:.2}) mm, {:.2} x {:.2} mm, {:.2} W",
+            b.name,
+            b.cx * 1e3,
+            b.cy * 1e3,
+            b.w * 1e3,
+            b.l * 1e3,
+            b.power
+        );
+    }
+
+    // Isotherm map.
+    let n = 40;
+    let grid = model.surface_grid(n, n);
+    let (lo, hi) = grid
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
+    println!("\nsurface temperature map ({lo:.2} K .. {hi:.2} K):");
+    for iy in (0..n).rev() {
+        let row: String = (0..n)
+            .map(|ix| {
+                let t = (grid[ix + n * iy] - lo) / (hi - lo).max(1e-30);
+                SHADES[((t * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1)]
+                    as char
+            })
+            .collect();
+        println!("  {row}");
+    }
+
+    // Mid-chip cross-section (Fig. 7).
+    println!("\ncross-section T(x) at y = 0.55 mm:");
+    for (x, t) in model.cross_section(0.55e-3, 20) {
+        let bar = "#".repeat(((t - g.sink_temperature) * 12.0) as usize);
+        println!("  x = {:.3} mm  {t:7.3} K  {bar}", x * 1e3);
+    }
+
+    // The paper's boundary-condition claim: zero edge flux.
+    let h = 1e-6;
+    let y = 0.55e-3;
+    let d_left = (model.temperature(h, y) - model.temperature(0.0, y)) / h;
+    let d_right = (model.temperature(g.width, y) - model.temperature(g.width - h, y)) / h;
+    println!("\nedge temperature gradients (should be ~0):");
+    println!("  left  {d_left:9.1} K/m");
+    println!("  right {d_right:9.1} K/m");
+
+    // Where is the hottest spot?
+    let mut best = (0.0, 0.0, f64::MIN);
+    for iy in 0..n {
+        for ix in 0..n {
+            let t = grid[ix + n * iy];
+            if t > best.2 {
+                best = (
+                    (ix as f64 + 0.5) * g.width / n as f64,
+                    (iy as f64 + 0.5) * g.length / n as f64,
+                    t,
+                );
+            }
+        }
+    }
+    println!(
+        "\nhottest spot: ({:.2}, {:.2}) mm at {:.2} K (+{:.2} K above the sink)",
+        best.0 * 1e3,
+        best.1 * 1e3,
+        best.2,
+        best.2 - g.sink_temperature
+    );
+}

@@ -1,0 +1,47 @@
+//! # ptherm — a fast concurrent power-thermal model for sub-100nm digital ICs
+//!
+//! Facade crate for the `ptherm` workspace, a from-scratch Rust reproduction
+//! of Rosselló et al., *"A Fast Concurrent Power-Thermal Model for Sub-100nm
+//! Digital ICs"*, DATE 2005.
+//!
+//! The paper couples two closed-form models — a stack-collapsing subthreshold
+//! leakage model and an analytical thermal-profile model with method of
+//! images — into a fast electro-thermal fixed point. This crate re-exports
+//! every sub-crate under a stable set of module names:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`model`] | `ptherm-core` | the paper: leakage, thermal, co-simulation |
+//! | [`tech`] | `ptherm-tech` | technology kits, constants, scaling table |
+//! | [`device`] | `ptherm-device` | compact MOSFET models |
+//! | [`netlist`] | `ptherm-netlist` | gate topologies, cells, circuits |
+//! | [`floorplan`] | `ptherm-floorplan` | chip geometry and power maps |
+//! | [`spice`] | `ptherm-spice` | exact DC reference solver |
+//! | [`thermal_num`] | `ptherm-thermal-num` | numerical thermal references |
+//! | [`math`] | `ptherm-math` | numerical toolbox |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ptherm::tech::Technology;
+//! use ptherm::netlist::cells;
+//! use ptherm::model::leakage::GateLeakageModel;
+//!
+//! let tech = Technology::cmos_120nm();
+//! let nand3 = cells::nand(3, &tech);
+//! let model = GateLeakageModel::new(&tech);
+//! // Leakage of the all-zero input vector at 25 °C and 125 °C: the paper's
+//! // central point is the strong temperature dependence of this number.
+//! let cold = model.gate_off_current(&nand3, &[false; 3], 298.15).unwrap();
+//! let hot = model.gate_off_current(&nand3, &[false; 3], 398.15).unwrap();
+//! assert!(hot > 10.0 * cold);
+//! ```
+
+pub use ptherm_core as model;
+pub use ptherm_device as device;
+pub use ptherm_floorplan as floorplan;
+pub use ptherm_math as math;
+pub use ptherm_netlist as netlist;
+pub use ptherm_spice as spice;
+pub use ptherm_tech as tech;
+pub use ptherm_thermal_num as thermal_num;

@@ -1,0 +1,158 @@
+//! End-to-end validation of the concurrent electro-thermal solver: the
+//! closed-form fixed point against a numerical loop (FDM thermal +
+//! identical power models), runaway detection, and circuit-backed blocks.
+
+use ptherm::floorplan::{generator, ChipGeometry, Floorplan};
+use ptherm::model::cosim::power_model::CircuitBlockPower;
+use ptherm::model::cosim::{CosimError, ElectroThermalSolver};
+use ptherm::netlist::circuit::Circuit;
+use ptherm::tech::Technology;
+use ptherm::thermal_num::FdmSolver;
+
+fn feedback(_i: usize, t: f64) -> f64 {
+    0.25 + 0.04 * ((t - 300.0) / 25.0).exp2()
+}
+
+/// The analytical fixed point lands near the numerical (FDM-in-the-loop)
+/// fixed point: block temperature rises within 35%, and identical
+/// once both loops use the same thermal operator.
+#[test]
+fn analytic_and_numeric_fixed_points_agree() {
+    let fp = Floorplan::paper_three_blocks();
+    let g = *fp.geometry();
+    let solver = ElectroThermalSolver::new(fp.clone());
+    let analytic = solver.solve(feedback).expect("converges");
+
+    // Numerical loop with the same damping and power model.
+    let fdm = FdmSolver {
+        die_w: g.width,
+        die_l: g.length,
+        thickness: g.thickness,
+        k: g.conductivity,
+        sink_temperature: g.sink_temperature,
+        nx: 24,
+        ny: 24,
+        nz: 12,
+    };
+    let mut plan = fp.clone();
+    let mut temps = vec![g.sink_temperature; plan.blocks().len()];
+    for _ in 0..40 {
+        for i in 0..temps.len() {
+            plan.set_power(i, feedback(i, temps[i]));
+        }
+        let sol = fdm.solve(&plan.power_map(24, 24)).expect("fdm solves");
+        let fresh: Vec<f64> = plan
+            .blocks()
+            .iter()
+            .map(|b| sol.surface_at(b.cx, b.cy))
+            .collect();
+        for i in 0..temps.len() {
+            temps[i] += 0.7 * (fresh[i] - temps[i]);
+        }
+    }
+
+    for (i, (a, n)) in analytic.block_temperatures.iter().zip(&temps).enumerate() {
+        let rise_a = a - g.sink_temperature;
+        let rise_n = n - g.sink_temperature;
+        let rel = (rise_a - rise_n).abs() / rise_n;
+        assert!(
+            rel < 0.35,
+            "block {i}: analytic rise {rise_a:.2} vs numeric {rise_n:.2}"
+        );
+    }
+}
+
+/// Fixed-point property: re-evaluating power at the converged
+/// temperatures and re-solving the thermal model reproduces the same
+/// temperatures (within the solver tolerance).
+#[test]
+fn converged_point_is_self_consistent() {
+    let solver = ElectroThermalSolver::new(Floorplan::paper_three_blocks());
+    let result = solver.solve(feedback).expect("converges");
+    let mut plan = solver.floorplan().clone();
+    for (i, &p) in result.block_powers.iter().enumerate() {
+        plan.set_power(i, p);
+    }
+    let model = ptherm::model::thermal::ThermalModel::with_image_orders(&plan, 2, 9);
+    for (a, b) in result
+        .block_temperatures
+        .iter()
+        .zip(model.block_center_temperatures())
+    {
+        assert!((a - b).abs() < 0.02, "{a} vs {b}");
+    }
+}
+
+/// Runaway boundary: low feedback gain converges, extreme gain is
+/// detected as runaway — and the boundary is monotone in between.
+#[test]
+fn runaway_boundary_is_monotone() {
+    let solver = ElectroThermalSolver::new(Floorplan::paper_three_blocks());
+    let mut last_stable = true;
+    for gain in [1.0, 4.0, 16.0, 64.0, 256.0] {
+        let result = solver.solve(move |_, t| 0.3 * gain * ((t - 300.0) / 15.0).exp2());
+        let stable = result.is_ok();
+        assert!(
+            last_stable || !stable,
+            "stability must not return once lost (gain {gain})"
+        );
+        last_stable = stable;
+    }
+    assert!(!last_stable, "the largest gain must run away");
+}
+
+#[test]
+fn damping_choices_reach_the_same_fixed_point() {
+    let base = ElectroThermalSolver::new(Floorplan::paper_three_blocks());
+    let reference = base.solve(feedback).expect("converges");
+    for damping in [0.3, 0.5, 1.0] {
+        let mut s = ElectroThermalSolver::new(Floorplan::paper_three_blocks());
+        s.damping = damping;
+        let r = s.solve(feedback).expect("converges");
+        for (a, b) in r
+            .block_temperatures
+            .iter()
+            .zip(&reference.block_temperatures)
+        {
+            assert!((a - b).abs() < 0.05, "damping {damping}: {a} vs {b}");
+        }
+    }
+}
+
+/// A 16-block chip backed by real gate-level circuits converges and shows
+/// the expected structure: hotter blocks leak more.
+#[test]
+fn circuit_backed_chip_converges_with_consistent_leakage() {
+    let tech = Technology::cmos_120nm();
+    let plan = generator::tiled(ChipGeometry::paper_1mm(), 4, 4, 0.0, 0.0, 9).expect("tiled");
+    let blocks: Vec<CircuitBlockPower> = (0..16)
+        .map(|i| CircuitBlockPower {
+            circuit: Circuit::random(format!("b{i}"), i as u64, 4_000, 1.5e9, &tech),
+            tech: tech.clone(),
+        })
+        .collect();
+    let solver = ElectroThermalSolver::new(plan);
+    let result = solver.solve(|i, t| blocks[i].power(t)).expect("converges");
+    assert!(result.converged);
+    assert!(result.peak_temperature() > 300.0);
+    // Power at the fixed point must equal the model evaluated there.
+    for (i, (&t, &p)) in result
+        .block_temperatures
+        .iter()
+        .zip(&result.block_powers)
+        .enumerate()
+    {
+        let direct = blocks[i].power(t);
+        assert!((direct - p).abs() / p < 1e-9, "block {i}");
+    }
+}
+
+/// Error reporting: non-finite powers are caught with the block index.
+#[test]
+fn bad_power_model_reports_block() {
+    let solver = ElectroThermalSolver::new(Floorplan::paper_three_blocks());
+    match solver.solve(|i, _| if i == 2 { f64::INFINITY } else { 0.1 }) {
+        Err(CosimError::BadPower { block: 2, .. }) => {}
+        other => panic!("expected BadPower for block 2, got {other:?}"),
+    }
+}

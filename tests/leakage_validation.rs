@@ -1,0 +1,187 @@
+//! Cross-crate validation of the leakage path: the paper's analytical
+//! model (`ptherm-core`) against the exact solvers (`ptherm-spice`) over
+//! the standard-cell library, input vectors, widths and temperatures.
+
+use ptherm::model::leakage::baselines::{chen98_stack_current, naive_stack_current};
+use ptherm::model::leakage::GateLeakageModel;
+use ptherm::netlist::cells;
+use ptherm::netlist::vectors::all_vectors;
+use ptherm::spice::network::solve_network;
+use ptherm::spice::stack::Stack;
+use ptherm::tech::Technology;
+
+fn tech() -> Technology {
+    Technology::cmos_120nm()
+}
+
+/// The headline accuracy claim (Fig. 8): the proposed model tracks the
+/// exact stack current within a few percent for all depths.
+#[test]
+fn stack_model_tracks_exact_solver_within_5_percent() {
+    let tech = tech();
+    let model = GateLeakageModel::new(&tech);
+    for n in 1..=6 {
+        for t in [273.15, 300.0, 358.15, 398.15] {
+            let widths = vec![1e-6; n];
+            let exact = Stack::off_current(&tech, &widths, t).expect("stack solves");
+            let analytic = model.stack_off_current(&widths, t);
+            let rel = (analytic - exact).abs() / exact;
+            assert!(rel < 0.05, "N = {n}, T = {t}: rel error {rel:.4}");
+        }
+    }
+}
+
+#[test]
+fn stack_model_handles_width_skew() {
+    let tech = tech();
+    let model = GateLeakageModel::new(&tech);
+    for widths in [
+        vec![0.16e-6, 4e-6],
+        vec![4e-6, 0.16e-6],
+        vec![1e-6, 8e-6, 0.3e-6],
+        vec![0.3e-6, 0.3e-6, 8e-6, 8e-6],
+    ] {
+        let exact = Stack::off_current(&tech, &widths, 300.0).expect("stack solves");
+        let analytic = model.stack_off_current(&widths, 300.0);
+        let rel = (analytic - exact).abs() / exact;
+        assert!(rel < 0.10, "widths {widths:?}: rel error {rel:.4}");
+    }
+}
+
+/// Every cell in the library, every input vector, against the exact
+/// network solve. Two regimes:
+///
+/// * **all-OFF blocking networks** — the collapsing approximation alone:
+///   must be tight (< 15%),
+/// * **mixed vectors** (ON devices inside the blocking network) — the
+///   paper's "ON devices are transparent" rule ignores the pass-transistor
+///   threshold drop the exact solver reproduces, so the model
+///   *overestimates*; it must stay a bounded, conservative overestimate
+///   (0.9x .. 2.5x of exact). This asymmetry is documented in
+///   EXPERIMENTS.md as a known limitation of the paper's model.
+#[test]
+fn gate_model_tracks_exact_network_across_the_library() {
+    fn has_on_device(node: &ptherm::netlist::BoundNode) -> bool {
+        match node {
+            ptherm::netlist::BoundNode::Device { gate_on, .. } => *gate_on,
+            ptherm::netlist::BoundNode::Series(v) | ptherm::netlist::BoundNode::Parallel(v) => {
+                v.iter().any(has_on_device)
+            }
+        }
+    }
+
+    let tech = tech();
+    let model = GateLeakageModel::new(&tech);
+    let mut checked = 0;
+    for cell in cells::standard_library(&tech) {
+        for v in all_vectors(cell.inputs().len()) {
+            let blocking = cell.bound_blocking(&v).expect("complementary cell");
+            let exact = solve_network(&tech, &blocking, 300.0)
+                .unwrap_or_else(|e| panic!("{} {v:?}: {e}", cell.name()))
+                .current;
+            let analytic = model
+                .gate_off_current(&cell, &v, 300.0)
+                .expect("blocking network exists");
+            let ratio = analytic / exact;
+            if has_on_device(blocking.root()) {
+                assert!(
+                    (0.9..2.5).contains(&ratio),
+                    "{} {v:?} (mixed): ratio {ratio:.3}",
+                    cell.name()
+                );
+            } else {
+                assert!(
+                    (ratio - 1.0).abs() < 0.15,
+                    "{} {v:?} (all-OFF): ratio {ratio:.3}",
+                    cell.name()
+                );
+            }
+            checked += 1;
+        }
+    }
+    assert!(
+        checked > 80,
+        "sweep should cover the whole library ({checked})"
+    );
+}
+
+/// The error ordering of Fig. 8: proposed < Chen'98 << naive.
+#[test]
+fn error_ordering_matches_the_paper() {
+    let tech = tech();
+    let model = GateLeakageModel::new(&tech);
+    for n in 2..=5 {
+        let widths = vec![1e-6; n];
+        let exact = Stack::off_current(&tech, &widths, 300.0).expect("stack solves");
+        let e_model = (model.stack_off_current(&widths, 300.0) - exact).abs() / exact;
+        let e_chen = (chen98_stack_current(&tech, &widths, 300.0) - exact).abs() / exact;
+        let e_naive = (naive_stack_current(&tech, &widths, 300.0) - exact).abs() / exact;
+        assert!(e_model < e_chen, "N = {n}: {e_model:.3} !< {e_chen:.3}");
+        assert!(e_chen < e_naive, "N = {n}: {e_chen:.3} !< {e_naive:.3}");
+    }
+}
+
+/// Leakage ordering across vectors must agree between model and exact
+/// solver (the model is used to pick low-leakage standby vectors).
+#[test]
+fn vector_ranking_is_preserved() {
+    let tech = tech();
+    let model = GateLeakageModel::new(&tech);
+    let nand4 = cells::nand(4, &tech);
+    let mut exact_ranked: Vec<(Vec<bool>, f64)> = all_vectors(4)
+        .map(|v| {
+            let blocking = nand4.bound_blocking(&v).expect("complementary");
+            let i = solve_network(&tech, &blocking, 300.0)
+                .expect("solves")
+                .current;
+            (v, i)
+        })
+        .collect();
+    exact_ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+    // The model must agree on the minimum-leakage vector and keep the
+    // all-OFF vector in the bottom two.
+    let model_of = |v: &[bool]| model.gate_off_current(&nand4, v, 300.0).expect("blocking");
+    let exact_min = &exact_ranked[0].0;
+    let model_min = all_vectors(4)
+        .min_by(|a, b| model_of(a).partial_cmp(&model_of(b)).expect("finite"))
+        .expect("nonempty");
+    assert_eq!(exact_min, &model_min);
+    assert!(exact_ranked[..2].iter().any(|(v, _)| v == &vec![false; 4]));
+}
+
+/// Temperature scaling agreement: the exact and analytical currents grow
+/// by the same large factor from 25 C to 125 C.
+#[test]
+fn temperature_scaling_agrees_with_exact() {
+    let tech = tech();
+    let model = GateLeakageModel::new(&tech);
+    let widths = vec![1e-6; 3];
+    let ratio_exact = Stack::off_current(&tech, &widths, 398.15).expect("solves")
+        / Stack::off_current(&tech, &widths, 298.15).expect("solves");
+    let ratio_model =
+        model.stack_off_current(&widths, 398.15) / model.stack_off_current(&widths, 298.15);
+    assert!(ratio_exact > 20.0, "leakage must explode with temperature");
+    assert!(
+        (ratio_model - ratio_exact).abs() / ratio_exact < 0.10,
+        "model {ratio_model:.1} vs exact {ratio_exact:.1}"
+    );
+}
+
+/// pMOS pull-up networks go through the same machinery mirrored; validate
+/// against the exact solver on NOR stacks.
+#[test]
+fn pmos_pullup_stacks_validate() {
+    let tech = tech();
+    let model = GateLeakageModel::new(&tech);
+    for n in 2..=4 {
+        let nor = cells::nor(n, &tech);
+        let v = vec![true; n]; // output low, pull-up blocks with an n-stack
+        let blocking = nor.bound_blocking(&v).expect("complementary");
+        let exact = solve_network(&tech, &blocking, 300.0)
+            .expect("solves")
+            .current;
+        let analytic = model.gate_off_current(&nor, &v, 300.0).expect("blocking");
+        let rel = (analytic - exact).abs() / exact;
+        assert!(rel < 0.10, "nor{n}: rel {rel:.4}");
+    }
+}

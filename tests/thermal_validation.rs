@@ -1,0 +1,187 @@
+//! Cross-crate validation of the thermal path: closed forms
+//! (`ptherm-core`) against the exact rectangle integral and the 3-D
+//! finite-difference solver (`ptherm-thermal-num`).
+
+use ptherm::floorplan::{generator, Block, ChipGeometry, Floorplan};
+use ptherm::model::thermal::rect::{center_rise, rect_rise};
+use ptherm::model::thermal::ThermalModel;
+use ptherm::thermal_num::{rect_surface_temperature, FdmSolver};
+
+const K_SI: f64 = 148.0;
+
+#[test]
+fn eq18_is_exact_at_the_center() {
+    for (w, l) in [(1e-6, 0.1e-6), (5e-6, 5e-6), (0.4e-3, 0.3e-3)] {
+        let exact = rect_surface_temperature(1e-3, K_SI, w, l, 0.0, 0.0);
+        let model = center_rise(1e-3, K_SI, w, l);
+        assert!(
+            (model - exact).abs() / exact < 1e-12,
+            "({w:.1e}, {l:.1e}): {model} vs {exact}"
+        );
+    }
+}
+
+#[test]
+fn eq20_far_field_accuracy_holds_for_many_shapes() {
+    // The Fig. 5 claim generalized: beyond ~1.5 source lengths the
+    // combined estimate stays within 10% of exact for wide-ranging aspect
+    // ratios.
+    for (w, l) in [
+        (1e-6f64, 1e-6f64),
+        (2e-6, 0.5e-6),
+        (10e-6, 0.35e-6),
+        (1e-6, 4e-6),
+    ] {
+        let s = w.max(l);
+        for factor in [2.0, 4.0, 8.0] {
+            let x = factor * s;
+            let exact = rect_surface_temperature(1e-3, K_SI, w, l, x, 0.4 * s);
+            let model = rect_rise(1e-3, K_SI, w, l, x, 0.4 * s);
+            let rel = (model - exact).abs() / exact;
+            assert!(rel < 0.10, "({w:.1e},{l:.1e}) at {factor}s: rel {rel:.3}");
+        }
+    }
+}
+
+/// Block temperatures from the image-series model vs FDM on the paper's
+/// 3-block floorplan: the extended depth series lands within ~25%.
+#[test]
+fn image_model_matches_fdm_at_block_centers() {
+    let fp = Floorplan::paper_three_blocks();
+    let g = *fp.geometry();
+    let model = ThermalModel::with_image_orders(&fp, 2, 9);
+    let fdm = FdmSolver {
+        die_w: g.width,
+        die_l: g.length,
+        thickness: g.thickness,
+        k: g.conductivity,
+        sink_temperature: g.sink_temperature,
+        nx: 24,
+        ny: 24,
+        nz: 12,
+    };
+    let sol = fdm.solve(&fp.power_map(24, 24)).expect("fdm solves");
+    for b in fp.blocks() {
+        let t_model = model.temperature(b.cx, b.cy) - g.sink_temperature;
+        let t_fdm = sol.surface_at(b.cx, b.cy) - g.sink_temperature;
+        let rel = (t_model - t_fdm).abs() / t_fdm;
+        assert!(
+            rel < 0.30,
+            "{}: model {t_model:.2} vs fdm {t_fdm:.2} ({rel:.3})",
+            b.name
+        );
+    }
+}
+
+/// The paper's single-mirror configuration must at least preserve ranking
+/// (which block is hottest) even where its magnitudes drift.
+#[test]
+fn paper_mode_preserves_block_ranking() {
+    let fp = Floorplan::paper_three_blocks();
+    let g = *fp.geometry();
+    let model = ThermalModel::paper_defaults(&fp);
+    let fdm = FdmSolver {
+        die_w: g.width,
+        die_l: g.length,
+        thickness: g.thickness,
+        k: g.conductivity,
+        sink_temperature: g.sink_temperature,
+        nx: 24,
+        ny: 24,
+        nz: 12,
+    };
+    let sol = fdm.solve(&fp.power_map(24, 24)).expect("fdm solves");
+    let rank = |temps: &[f64]| {
+        let mut idx: Vec<usize> = (0..temps.len()).collect();
+        idx.sort_by(|&a, &b| temps[b].partial_cmp(&temps[a]).expect("finite"));
+        idx
+    };
+    let t_model = model.block_center_temperatures();
+    let t_fdm: Vec<f64> = fp
+        .blocks()
+        .iter()
+        .map(|b| sol.surface_at(b.cx, b.cy))
+        .collect();
+    assert_eq!(
+        rank(&t_model),
+        rank(&t_fdm),
+        "model {t_model:?} vs fdm {t_fdm:?}"
+    );
+}
+
+/// Zero-flux edges: the discrete FDM field and the image model agree that
+/// the outermost gradient is tiny.
+#[test]
+fn both_references_show_adiabatic_edges() {
+    let fp = Floorplan::paper_three_blocks();
+    let model = ThermalModel::with_image_orders(&fp, 3, 9);
+    let h = 1e-6;
+    let y = 0.5e-3;
+    let edge = ((model.temperature(h, y) - model.temperature(0.0, y)) / h).abs();
+    let interior = ((model.temperature(0.6e-3, y) - model.temperature(0.6e-3 - h, y)) / h).abs();
+    assert!(edge < 0.05 * interior, "edge {edge} vs interior {interior}");
+}
+
+/// Superposition: a two-block plan equals the sum of its single-block
+/// fields (the model is linear in power, like the PDE).
+#[test]
+fn image_model_superposes() {
+    let g = ChipGeometry::paper_1mm();
+    let b1 = Block::new("a", 0.3e-3, 0.3e-3, 0.2e-3, 0.2e-3, 0.4);
+    let b2 = Block::new("b", 0.7e-3, 0.7e-3, 0.2e-3, 0.2e-3, 0.6);
+    let both = Floorplan::new(g, vec![b1.clone(), b2.clone()]).expect("valid");
+    let only1 = Floorplan::new(g, vec![b1]).expect("valid");
+    let only2 = Floorplan::new(g, vec![b2]).expect("valid");
+    let at = (0.5e-3, 0.52e-3);
+    let rise_both = ThermalModel::new(&both).temperature_rise(at.0, at.1);
+    let rise_sum = ThermalModel::new(&only1).temperature_rise(at.0, at.1)
+        + ThermalModel::new(&only2).temperature_rise(at.0, at.1);
+    assert!(
+        (rise_both - rise_sum).abs() < 1e-9,
+        "{rise_both} vs {rise_sum}"
+    );
+}
+
+/// Many-block chips stay finite and ordered: a 6x6 tiling with uniform
+/// power has its hottest tiles in the middle.
+#[test]
+fn tiled_chip_center_runs_hottest() {
+    let fp =
+        generator::tiled(ChipGeometry::paper_1mm(), 6, 6, 0.02, 0.02, 0).expect("tiled floorplan");
+    let model = ThermalModel::new(&fp);
+    let temps = model.block_center_temperatures();
+    let center_avg = (temps[14] + temps[15] + temps[20] + temps[21]) / 4.0;
+    let corner_avg = (temps[0] + temps[5] + temps[30] + temps[35]) / 4.0;
+    assert!(
+        center_avg > corner_avg,
+        "center {center_avg} vs corner {corner_avg}"
+    );
+}
+
+/// Thermal resistance consistency chain: Eq. 18 per watt >= the
+/// FDM-extracted resistance of the same source on a thick die (the finite
+/// sink can only lower it), and both within a factor ~2.
+#[test]
+fn resistance_chain_is_consistent() {
+    let w = 50e-6;
+    let l = 50e-6;
+    let eq18 = ptherm::model::thermal::resistance::self_heating_resistance(K_SI, w, l);
+    let fdm = FdmSolver {
+        die_w: 1e-3,
+        die_l: 1e-3,
+        thickness: 0.5e-3,
+        k: K_SI,
+        sink_temperature: 300.0,
+        nx: 40,
+        ny: 40,
+        nz: 14,
+    };
+    let r_fdm = fdm
+        .source_thermal_resistance(w, l, 0.5e-3, 0.5e-3)
+        .expect("fdm solves");
+    assert!(
+        eq18 > r_fdm,
+        "Eq18 {eq18:.0} must exceed finite-die {r_fdm:.0}"
+    );
+    assert!(eq18 < 2.5 * r_fdm, "Eq18 {eq18:.0} vs FDM {r_fdm:.0}");
+}
