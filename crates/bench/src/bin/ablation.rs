@@ -9,7 +9,7 @@
 //! 4. fixed-point damping — iterations to convergence vs feedback gain.
 
 use ptherm_bench::{header, report, ShapeCheck, Table};
-use ptherm_core::cosim::ElectroThermalSolver;
+use ptherm_core::cosim::{ElectroThermalSolver, Workspace};
 use ptherm_core::leakage::{CollapseParams, GateLeakageModel};
 use ptherm_core::thermal::rect::rect_rise;
 use ptherm_core::thermal::ThermalModel;
@@ -170,19 +170,26 @@ fn main() {
     ));
 
     // ---- 4. damping ----------------------------------------------------
+    // One thermal operator serves the whole sweep: damping only changes
+    // the iteration, not the influence matrix.
+    let solver_proto = ElectroThermalSolver::new(Floorplan::paper_three_blocks());
+    let op = solver_proto.operator();
+    let mut ws = Workspace::new();
     let mut damping_table = Table::new(["damping", "iterations", "peak_K"]);
     let mut iters = Vec::new();
     for damping in [0.3, 0.5, 0.7, 1.0] {
         let mut solver = ElectroThermalSolver::new(Floorplan::paper_three_blocks());
         solver.damping = damping;
-        let r = solver
-            .solve(|_, t| 0.25 + 0.05 * ((t - 300.0) / 20.0).exp2())
+        solver
+            .solve_with(&op, &mut ws, |_, t| {
+                0.25 + 0.05 * ((t - 300.0) / 20.0).exp2()
+            })
             .expect("stable case converges");
-        iters.push(r.iterations);
+        iters.push(ws.iterations());
         damping_table.row([
             format!("{damping:.1}"),
-            r.iterations.to_string(),
-            format!("{:.3}", r.peak_temperature()),
+            ws.iterations().to_string(),
+            format!("{:.3}", ws.peak_temperature()),
         ]);
     }
     println!("fixed-point damping:");

@@ -102,7 +102,7 @@ fn main() {
         ShapeCheck::new(
             "hotter junctions cross earlier (150C before 100C before 25C)",
             match (c150, c100) {
-                (Some(a), Some(b)) => a <= b && c25.map_or(true, |c| b <= c),
+                (Some(a), Some(b)) => a <= b && c25.is_none_or(|c| b <= c),
                 _ => false,
             },
             format!("{} / {} / {}", node_um(c150), node_um(c100), node_um(c25)),

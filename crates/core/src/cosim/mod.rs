@@ -17,8 +17,26 @@
 //! with divergence detection — when leakage growth outruns the thermal
 //! path's ability to shed heat, there **is no** fixed point (thermal
 //! runaway), and the solver reports it rather than oscillating forever.
+//!
+//! # Batching structure
+//!
+//! The thermal direction is linear in the block powers, so the per-iteration
+//! closed-form solve factors into a per-floorplan precomputation
+//! ([`ThermalOperator`], the influence matrix of Eq. 21) and an `O(n²)`
+//! matrix-vector product. [`ElectroThermalSolver::solve`] builds the
+//! operator once per call; [`ElectroThermalSolver::solve_with`] accepts a
+//! shared operator and a reusable [`Workspace`] so repeated solves — the
+//! [`SweepEngine`] fanning a scenario grid across
+//! threads — allocate nothing in steady state.
+//!
+//! Equation-to-code map: see `docs/EQUATIONS.md` at the repository root.
 
+pub mod operator;
 pub mod power_model;
+pub mod sweep;
+
+pub use operator::{ThermalOperator, Workspace};
+pub use sweep::{Scenario, ScenarioGrid, SweepEngine, SweepOutcome, SweepReport};
 
 use crate::thermal::ThermalModel;
 use ptherm_floorplan::Floorplan;
@@ -98,9 +116,7 @@ impl CosimResult {
 
     /// Hottest block temperature, K.
     pub fn peak_temperature(&self) -> f64 {
-        self.block_temperatures
-            .iter()
-            .fold(f64::NEG_INFINITY, |m, &t| m.max(t))
+        operator::max_temperature(&self.block_temperatures).unwrap_or(f64::NEG_INFINITY)
     }
 }
 
@@ -144,14 +160,145 @@ impl ElectroThermalSolver {
         &self.floorplan
     }
 
+    /// Precomputes this solver's [`ThermalOperator`] (influence matrix at
+    /// the solver's image orders). Build it once and hand it to
+    /// [`Self::solve_with`] when solving repeatedly on one floorplan.
+    pub fn operator(&self) -> ThermalOperator {
+        ThermalOperator::with_image_orders(&self.floorplan, self.lateral_order, self.z_order)
+    }
+
     /// Solves for the coupled operating point. `block_power(i, T)` returns
     /// the power of block `i` at temperature `T` — typically dynamic power
     /// plus the strongly temperature-dependent leakage.
+    ///
+    /// Builds the thermal operator afresh; for repeated solves use
+    /// [`Self::solve_with`] with a shared operator and workspace (the
+    /// iteration itself is identical, so results match bit for bit).
     ///
     /// # Errors
     ///
     /// See [`CosimError`].
     pub fn solve<F>(&self, block_power: F) -> Result<CosimResult, CosimError>
+    where
+        F: Fn(usize, f64) -> f64,
+    {
+        let op = self.operator();
+        let mut ws = Workspace::new();
+        self.solve_with(&op, &mut ws, block_power)?;
+        Ok(CosimResult {
+            block_temperatures: ws.temperatures.clone(),
+            block_powers: ws.powers.clone(),
+            iterations: ws.iterations,
+            converged: true,
+            history: ws.history.clone(),
+        })
+    }
+
+    /// Zero-allocation solve against a precomputed operator, at the
+    /// floorplan's own sink temperature. See
+    /// [`Self::solve_with_ambient`].
+    ///
+    /// # Errors
+    ///
+    /// See [`CosimError`].
+    pub fn solve_with<F>(
+        &self,
+        op: &ThermalOperator,
+        ws: &mut Workspace,
+        block_power: F,
+    ) -> Result<(), CosimError>
+    where
+        F: Fn(usize, f64) -> f64,
+    {
+        self.solve_with_ambient(op, op.sink_temperature(), ws, block_power)
+    }
+
+    /// The core Picard iteration: solves against a precomputed
+    /// [`ThermalOperator`] with an explicit ambient (sink) temperature,
+    /// reusing `ws`'s buffers so the steady-state loop performs **no heap
+    /// allocation**. On success the operating point is left in `ws`
+    /// ([`Workspace::temperatures`], [`Workspace::powers`],
+    /// [`Workspace::history`]); on error `ws` holds the diverged state.
+    ///
+    /// The ambient override is what lets a sweep vary ambient temperature
+    /// per scenario without rebuilding the operator: the thermal path is
+    /// linear, so ambient enters as a pure offset.
+    ///
+    /// # Errors
+    ///
+    /// See [`CosimError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` was built for a different block count than this
+    /// solver's floorplan.
+    pub fn solve_with_ambient<F>(
+        &self,
+        op: &ThermalOperator,
+        ambient_k: f64,
+        ws: &mut Workspace,
+        block_power: F,
+    ) -> Result<(), CosimError>
+    where
+        F: Fn(usize, f64) -> f64,
+    {
+        let n = self.floorplan.blocks().len();
+        assert_eq!(op.len(), n, "operator/floorplan block-count mismatch");
+        ws.reset(n, ambient_k);
+
+        for iteration in 0..self.max_iterations {
+            // Power at the current temperature estimate.
+            for i in 0..n {
+                let p = block_power(i, ws.temperatures[i]);
+                if !p.is_finite() || p < 0.0 {
+                    return Err(CosimError::BadPower { block: i, power: p });
+                }
+                ws.powers[i] = p;
+            }
+            // Closed-form thermal solve: one matrix-vector product.
+            op.temperatures_with_sink_into(&ws.powers, ambient_k, &mut ws.fresh);
+            // Damped update.
+            let mut delta: f64 = 0.0;
+            for i in 0..n {
+                let next = ws.temperatures[i] + self.damping * (ws.fresh[i] - ws.temperatures[i]);
+                delta = delta.max((next - ws.temperatures[i]).abs());
+                ws.temperatures[i] = next;
+            }
+            ws.history.push(delta);
+            ws.iterations = iteration + 1;
+            let peak = ws.peak_temperature();
+            if peak > self.ceiling_k {
+                return Err(CosimError::ThermalRunaway {
+                    iteration,
+                    temperature: peak,
+                });
+            }
+            if delta < self.tolerance_k {
+                // Refresh powers at the converged temperatures for the
+                // report.
+                for i in 0..n {
+                    ws.powers[i] = block_power(i, ws.temperatures[i]);
+                }
+                return Ok(());
+            }
+        }
+        Err(CosimError::NotConverged {
+            last_delta: ws.history.last().copied().unwrap_or(f64::NAN),
+        })
+    }
+
+    /// The pre-operator reference implementation: rebuilds the full
+    /// [`ThermalModel`] (image expansion included) every iteration.
+    ///
+    /// Numerically this agrees with [`Self::solve`] to rounding error; it
+    /// is kept as the validation oracle for the operator factoring and as
+    /// the honest "cold solve" baseline the `sweep` benchmark measures
+    /// against.
+    ///
+    /// # Errors
+    ///
+    /// See [`CosimError`].
+    pub fn solve_rebuilding<F>(&self, block_power: F) -> Result<CosimResult, CosimError>
     where
         F: Fn(usize, f64) -> f64,
     {
@@ -183,9 +330,7 @@ impl ElectroThermalSolver {
                 temperatures[i] = next;
             }
             history.push(delta);
-            let peak = temperatures
-                .iter()
-                .fold(f64::NEG_INFINITY, |m, &t| m.max(t));
+            let peak = operator::max_temperature(&temperatures).unwrap_or(f64::NEG_INFINITY);
             if peak > self.ceiling_k {
                 return Err(CosimError::ThermalRunaway {
                     iteration,
@@ -289,6 +434,57 @@ mod tests {
         s.tolerance_k = 1e-9;
         let err = s.solve(|_, _| 0.3).unwrap_err();
         assert!(matches!(err, CosimError::NotConverged { .. }));
+    }
+
+    #[test]
+    fn operator_path_matches_the_rebuilding_reference() {
+        let s = solver();
+        let feedback = |_: usize, t: f64| 0.3 + 0.05 * ((t - 300.0) / 20.0).exp2();
+        let fast = s.solve(feedback).unwrap();
+        let reference = s.solve_rebuilding(feedback).unwrap();
+        // Same closed forms, different summation order: rounding only.
+        assert!((fast.iterations as i64 - reference.iterations as i64).abs() <= 1);
+        for (a, b) in fast
+            .block_temperatures
+            .iter()
+            .zip(&reference.block_temperatures)
+        {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+        for (a, b) in fast.block_powers.iter().zip(&reference.block_powers) {
+            assert!((a - b).abs() < 1e-9 * b.max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn solve_with_reuses_operator_and_workspace_bit_identically() {
+        let s = solver();
+        let op = s.operator();
+        let mut ws = Workspace::new();
+        let feedback = |_: usize, t: f64| 0.25 + 0.04 * ((t - 300.0) / 25.0).exp2();
+        // A different first solve leaves stale state; reuse must not leak it.
+        s.solve_with(&op, &mut ws, |_, _| 0.5).unwrap();
+        s.solve_with(&op, &mut ws, feedback).unwrap();
+        let oneshot = s.solve(feedback).unwrap();
+        assert_eq!(ws.temperatures(), oneshot.block_temperatures.as_slice());
+        assert_eq!(ws.powers(), oneshot.block_powers.as_slice());
+        assert_eq!(ws.iterations(), oneshot.iterations);
+        assert_eq!(ws.history(), oneshot.history.as_slice());
+    }
+
+    #[test]
+    fn ambient_override_shifts_the_operating_point() {
+        let s = solver();
+        let op = s.operator();
+        let mut ws = Workspace::new();
+        // Constant power: the fixed point is linear in ambient.
+        s.solve_with_ambient(&op, 320.0, &mut ws, |_, _| 0.3)
+            .unwrap();
+        let hot = ws.peak_temperature();
+        s.solve_with_ambient(&op, 300.0, &mut ws, |_, _| 0.3)
+            .unwrap();
+        let cold = ws.peak_temperature();
+        assert!((hot - cold - 20.0).abs() < 1e-6, "{hot} vs {cold}");
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! The precomputed thermal influence operator and the reusable solve
+//! workspace — the batching structure behind the sweep engine.
+//!
+//! Eq. 21 is **linear in the block powers**: the temperature rise at any
+//! point is a power-weighted sum of per-block kernels (Eq. 20 with the
+//! method of images), and the kernels depend only on floorplan geometry.
+//! So the whole block-centre thermal solve collapses to one `n × n`
+//! matrix — the *thermal influence matrix* `R`, with `R[i][j]` the rise at
+//! block `i`'s centre per watt dissipated in block `j` — computed **once
+//! per floorplan** and reused across every power vector, every Picard
+//! iteration and every scenario of a sweep (the structure Kemper et al.'s
+//! "Ultrafast Temperature Profile Calculation" exploits, applied to the
+//! DATE'05 closed forms):
+//!
+//! ```text
+//! T_i = T_sink + Σ_j R[i][j] · P_j          (Eq. 21, factored)
+//! ```
+//!
+//! Building `R` does the expensive work (image-lattice expansion and
+//! `O(n² · images)` kernel evaluations); afterwards each thermal solve is
+//! a single `O(n²)` matrix-vector product with **zero allocation** via
+//! [`Matrix::mul_vec_into`]. See `docs/EQUATIONS.md` for the
+//! paper-equation map.
+
+use crate::thermal::images::expand_images;
+use crate::thermal::profile::BlockKernel;
+use ptherm_floorplan::Floorplan;
+use ptherm_math::Matrix;
+
+/// Hottest value of a temperature slice; `None` for an empty slice. The
+/// one max-reduction every result type shares.
+pub(crate) fn max_temperature(values: &[f64]) -> Option<f64> {
+    values.iter().copied().reduce(f64::max)
+}
+
+/// Precomputed, immutable block-centre thermal operator of one floorplan.
+///
+/// Shareable across threads (`&ThermalOperator` is `Send + Sync`); the
+/// sweep engine builds one and fans thousands of scenario solves over it.
+///
+/// # Example
+///
+/// ```
+/// use ptherm_core::cosim::ThermalOperator;
+/// use ptherm_floorplan::Floorplan;
+///
+/// let fp = Floorplan::paper_three_blocks();
+/// let op = ThermalOperator::new(&fp);
+/// // Same powers as the floorplan's own assignment -> same temperatures
+/// // as a one-shot ThermalModel solve (within a few ULP).
+/// let t = op.temperatures(&[0.35, 0.30, 0.25]);
+/// assert!(t.iter().all(|&ti| ti > 300.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThermalOperator {
+    /// `n × n` influence matrix, K/W.
+    influence: Matrix,
+    /// Sink (ambient) temperature the floorplan was built with, K.
+    sink_temperature: f64,
+    lateral_order: usize,
+    z_order: usize,
+}
+
+impl ThermalOperator {
+    /// Builds the operator with the workspace accuracy defaults (lateral
+    /// image order 2, depth series order 9) — matching
+    /// [`ThermalModel::new`](crate::thermal::ThermalModel::new).
+    pub fn new(floorplan: &Floorplan) -> Self {
+        Self::with_image_orders(floorplan, 2, 9)
+    }
+
+    /// Builds the operator with an explicit image configuration (see
+    /// [`ThermalModel::with_image_orders`](crate::thermal::ThermalModel::with_image_orders)).
+    ///
+    /// Block powers recorded in `floorplan` are ignored: the operator is
+    /// geometry-only and applies to any power vector.
+    pub fn with_image_orders(floorplan: &Floorplan, lateral_order: usize, z_order: usize) -> Self {
+        let g = floorplan.geometry();
+        let blocks = floorplan.blocks();
+        let n = blocks.len();
+        let mut influence = Matrix::zeros(n, n);
+        for (j, source) in blocks.iter().enumerate() {
+            // Unit-power kernel and image lattice of source block j.
+            let kernel = BlockKernel::for_block(source, g.conductivity, 1.0);
+            let images = expand_images(
+                source.cx,
+                source.cy,
+                g.width,
+                g.length,
+                g.thickness,
+                lateral_order,
+                z_order,
+            );
+            for (i, target) in blocks.iter().enumerate() {
+                let mut rise = 0.0;
+                for img in &images {
+                    rise +=
+                        img.sign * kernel.rise(target.cx - img.cx, target.cy - img.cy, img.depth);
+                }
+                influence[(i, j)] = rise;
+            }
+        }
+        ThermalOperator {
+            influence,
+            sink_temperature: g.sink_temperature,
+            lateral_order,
+            z_order,
+        }
+    }
+
+    /// Number of blocks the operator couples.
+    pub fn len(&self) -> usize {
+        self.influence.rows()
+    }
+
+    /// True for an empty floorplan.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sink temperature the source floorplan declared, K. Individual
+    /// solves may override it (ambient is a sweep axis).
+    pub fn sink_temperature(&self) -> f64 {
+        self.sink_temperature
+    }
+
+    /// Lateral image order the operator was built with.
+    pub fn lateral_order(&self) -> usize {
+        self.lateral_order
+    }
+
+    /// Depth-series order the operator was built with.
+    pub fn z_order(&self) -> usize {
+        self.z_order
+    }
+
+    /// The influence matrix itself, K/W.
+    pub fn influence(&self) -> &Matrix {
+        &self.influence
+    }
+
+    /// Block-centre temperature rises for one power vector, written into
+    /// `out` with zero allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers` or `out` is not of length [`Self::len`].
+    pub fn temperature_rises_into(&self, powers: &[f64], out: &mut [f64]) {
+        self.influence.mul_vec_into(powers, out);
+    }
+
+    /// Absolute block-centre temperatures above `sink_k`, written into
+    /// `out` with zero allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers` or `out` is not of length [`Self::len`].
+    pub fn temperatures_with_sink_into(&self, powers: &[f64], sink_k: f64, out: &mut [f64]) {
+        self.temperature_rises_into(powers, out);
+        for t in out.iter_mut() {
+            *t += sink_k;
+        }
+    }
+
+    /// Convenience allocating form of [`Self::temperatures_with_sink_into`]
+    /// at the floorplan's own sink temperature.
+    pub fn temperatures(&self, powers: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.len()];
+        self.temperatures_with_sink_into(powers, self.sink_temperature, &mut out);
+        out
+    }
+}
+
+/// Reusable per-solve scratch state for the Picard iteration.
+///
+/// One workspace per worker thread makes the steady-state loop allocation
+/// free: every buffer is sized on first use and reused afterwards
+/// (`Vec::clear` keeps capacity). The workspace retains the last solve's
+/// state, which [`CosimResult`](crate::cosim::CosimResult) snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    /// Block temperatures, K (iterate of the fixed point).
+    pub(crate) temperatures: Vec<f64>,
+    /// Block powers at the current temperatures, W.
+    pub(crate) powers: Vec<f64>,
+    /// Fresh thermal solve output (rises, then absolute temperatures), K.
+    pub(crate) fresh: Vec<f64>,
+    /// Max block-temperature change per iteration, K.
+    pub(crate) history: Vec<f64>,
+    /// Iterations the last solve used.
+    pub(crate) iterations: usize,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers size themselves on first solve.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Clears state and sizes every buffer for `n` blocks starting from
+    /// `sink_k`, keeping existing capacity.
+    pub(crate) fn reset(&mut self, n: usize, sink_k: f64) {
+        self.temperatures.clear();
+        self.temperatures.resize(n, sink_k);
+        self.powers.clear();
+        self.powers.resize(n, 0.0);
+        self.fresh.clear();
+        self.fresh.resize(n, 0.0);
+        self.history.clear();
+        self.iterations = 0;
+    }
+
+    /// Block temperatures after the last solve, K.
+    pub fn temperatures(&self) -> &[f64] {
+        &self.temperatures
+    }
+
+    /// Block powers after the last solve, W.
+    pub fn powers(&self) -> &[f64] {
+        &self.powers
+    }
+
+    /// Per-iteration max temperature change of the last solve, K.
+    pub fn history(&self) -> &[f64] {
+        &self.history
+    }
+
+    /// Iterations the last solve used.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Hottest block temperature of the last solve, K.
+    pub fn peak_temperature(&self) -> f64 {
+        max_temperature(&self.temperatures).unwrap_or(f64::NEG_INFINITY)
+    }
+
+    /// Total power of the last solve, W.
+    pub fn total_power(&self) -> f64 {
+        self.powers.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thermal::ThermalModel;
+
+    #[test]
+    fn operator_matches_thermal_model_on_the_paper_floorplan() {
+        let fp = Floorplan::paper_three_blocks();
+        let op = ThermalOperator::new(&fp);
+        let direct = ThermalModel::new(&fp).block_center_temperatures();
+        let powers: Vec<f64> = fp.blocks().iter().map(|b| b.power).collect();
+        let via_op = op.temperatures(&powers);
+        for (a, b) in via_op.iter().zip(&direct) {
+            // Same closed forms, slightly different summation order.
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn operator_is_linear_in_power() {
+        let fp = Floorplan::paper_three_blocks();
+        let op = ThermalOperator::new(&fp);
+        let t1 = op.temperatures(&[0.1, 0.2, 0.3]);
+        let t2 = op.temperatures(&[0.2, 0.4, 0.6]);
+        for (a, b) in t1.iter().zip(&t2) {
+            let (r1, r2) = (a - 300.0, b - 300.0);
+            assert!((r2 - 2.0 * r1).abs() < 1e-12 * r2.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn operator_ignores_recorded_powers() {
+        let fp = Floorplan::paper_three_blocks();
+        let mut scaled = fp.clone();
+        for i in 0..scaled.blocks().len() {
+            scaled.set_power(i, 123.0);
+        }
+        let a = ThermalOperator::new(&fp);
+        let b = ThermalOperator::new(&scaled);
+        assert_eq!(a.influence().as_slice(), b.influence().as_slice());
+    }
+
+    #[test]
+    fn ambient_shifts_are_additive() {
+        let fp = Floorplan::paper_three_blocks();
+        let op = ThermalOperator::new(&fp);
+        let powers = [0.35, 0.30, 0.25];
+        let mut at300 = vec![0.0; 3];
+        let mut at350 = vec![0.0; 3];
+        op.temperatures_with_sink_into(&powers, 300.0, &mut at300);
+        op.temperatures_with_sink_into(&powers, 350.0, &mut at350);
+        for (a, b) in at300.iter().zip(&at350) {
+            assert!((b - a - 50.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn diagonal_dominates_off_diagonal() {
+        // A block heats itself more than it heats its neighbours.
+        let fp = Floorplan::paper_three_blocks();
+        let op = ThermalOperator::new(&fp);
+        let m = op.influence();
+        for i in 0..op.len() {
+            for j in 0..op.len() {
+                if i != j {
+                    assert!(m[(i, i)] > m[(i, j)], "({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_buffers_retain_capacity_across_solves() {
+        let mut ws = Workspace::new();
+        ws.reset(8, 300.0);
+        ws.history.extend([1.0, 0.5, 0.1]);
+        let cap = ws.temperatures.capacity();
+        ws.reset(8, 310.0);
+        assert_eq!(ws.temperatures.capacity(), cap);
+        assert!(ws.history.is_empty());
+        assert!(ws.temperatures.iter().all(|&t| t == 310.0));
+    }
+}

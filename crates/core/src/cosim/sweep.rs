@@ -1,0 +1,732 @@
+//! Batched, parallel electro-thermal sweeps over scenario grids.
+//!
+//! The paper's pitch is that one concurrent estimate costs microseconds;
+//! the production question is throughput over *many* estimates — supply
+//! corners × activity levels × ambient temperatures × technology nodes
+//! for one floorplan. Two structural facts make that cheap:
+//!
+//! 1. the thermal influence operator is fixed per floorplan — the
+//!    [`ThermalOperator`] is computed **once** and shared read-only by
+//!    every scenario (and every thread), and
+//! 2. each scenario solve is independent — a scoped-thread pool fans them
+//!    out, one reusable [`Workspace`] per worker, so the steady-state
+//!    inner loop allocates nothing.
+//!
+//! [`SweepEngine`] packages both. Scenario solves go through exactly the
+//! same [`ElectroThermalSolver::solve_with_ambient`] iteration as one-shot
+//! [`ElectroThermalSolver::solve`] calls, so batched results are
+//! **bit-identical** to one-shot results — asserted by this module's
+//! tests and the `sweep` benchmark.
+//!
+//! # Example: a Vdd × activity grid on the paper floorplan
+//!
+//! ```
+//! use ptherm_core::cosim::sweep::{ScenarioGrid, SweepEngine};
+//! use ptherm_floorplan::Floorplan;
+//! use ptherm_tech::Technology;
+//!
+//! let engine = SweepEngine::new(Floorplan::paper_three_blocks());
+//! let grid = ScenarioGrid::new(vec![Technology::cmos_120nm()])
+//!     .vdd_scales(vec![0.9, 1.0, 1.1])
+//!     .activities(vec![0.5, 1.0])
+//!     .ambients_k(vec![300.0, 350.0]);
+//! let model = engine.uniform_tech_power(0.25, 0.02);
+//! let report = engine.run(&grid, &model);
+//! assert_eq!(report.len(), 12);
+//! assert!(report.converged_count() > 0);
+//! ```
+
+use crate::cosim::{CosimError, ElectroThermalSolver, ThermalOperator, Workspace};
+use ptherm_floorplan::Floorplan;
+use ptherm_tech::{Polarity, Technology};
+use std::fmt;
+
+/// One point of a sweep: the knobs the paper's models expose per run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Supply scale relative to the technology's nominal `V_DD`.
+    pub vdd_scale: f64,
+    /// Switching-activity multiplier on the baseline dynamic power.
+    pub activity: f64,
+    /// Ambient (heat-sink) temperature, K.
+    pub ambient_k: f64,
+    /// Index into the grid's technology list.
+    pub tech_index: usize,
+}
+
+/// Cartesian scenario grid: Vdd scales × activities × ambients × nodes.
+///
+/// Scenarios enumerate in row-major order with the technology axis
+/// outermost and the Vdd axis innermost.
+#[derive(Debug, Clone)]
+pub struct ScenarioGrid {
+    technologies: Vec<Technology>,
+    vdd_scales: Vec<f64>,
+    activities: Vec<f64>,
+    ambients_k: Vec<f64>,
+}
+
+impl ScenarioGrid {
+    /// Grid over `technologies` with every other axis at its neutral
+    /// single point: scale 1, activity 1, and — until
+    /// [`Self::ambients_k`] is called — the ambient the floorplan itself
+    /// declares (its sink temperature), so an engine sweep with no
+    /// ambient axis matches one-shot solves on the same floorplan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `technologies` is empty.
+    pub fn new(technologies: Vec<Technology>) -> Self {
+        assert!(!technologies.is_empty(), "grid needs at least one node");
+        ScenarioGrid {
+            technologies,
+            vdd_scales: vec![1.0],
+            activities: vec![1.0],
+            ambients_k: Vec::new(),
+        }
+    }
+
+    /// Replaces the supply-scale axis.
+    #[must_use]
+    pub fn vdd_scales(mut self, scales: Vec<f64>) -> Self {
+        assert!(!scales.is_empty(), "empty Vdd axis");
+        self.vdd_scales = scales;
+        self
+    }
+
+    /// Replaces the activity axis.
+    #[must_use]
+    pub fn activities(mut self, activities: Vec<f64>) -> Self {
+        assert!(!activities.is_empty(), "empty activity axis");
+        self.activities = activities;
+        self
+    }
+
+    /// Replaces the ambient-temperature axis.
+    #[must_use]
+    pub fn ambients_k(mut self, ambients: Vec<f64>) -> Self {
+        assert!(!ambients.is_empty(), "empty ambient axis");
+        self.ambients_k = ambients;
+        self
+    }
+
+    /// The technology list scenarios index into.
+    pub fn technologies(&self) -> &[Technology] {
+        &self.technologies
+    }
+
+    /// Number of scenarios in the grid.
+    pub fn len(&self) -> usize {
+        self.technologies.len()
+            * self.vdd_scales.len()
+            * self.activities.len()
+            * self.ambients_k.len().max(1)
+    }
+
+    /// True when any axis is empty (cannot happen through the builders).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materializes every scenario in enumeration order.
+    /// `default_ambient_k` fills the ambient axis when none was set —
+    /// [`SweepEngine::run`] passes the floorplan's sink temperature.
+    pub fn scenarios(&self, default_ambient_k: f64) -> Vec<Scenario> {
+        let ambients = if self.ambients_k.is_empty() {
+            vec![default_ambient_k]
+        } else {
+            self.ambients_k.clone()
+        };
+        let mut out = Vec::with_capacity(self.len());
+        for tech_index in 0..self.technologies.len() {
+            for &ambient_k in &ambients {
+                for &activity in &self.activities {
+                    for &vdd_scale in &self.vdd_scales {
+                        out.push(Scenario {
+                            vdd_scale,
+                            activity,
+                            ambient_k,
+                            tech_index,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Per-block power as a function of scenario and temperature — the model
+/// the engine evaluates inside each Picard iteration.
+pub trait ScenarioPowerModel: Sync {
+    /// Power of `block` at junction temperature `temperature_k` under
+    /// `scenario`, W. `tech` is the scenario's resolved technology kit.
+    fn block_power(
+        &self,
+        scenario: &Scenario,
+        tech: &Technology,
+        block: usize,
+        temperature_k: f64,
+    ) -> f64;
+}
+
+impl<F> ScenarioPowerModel for F
+where
+    F: Fn(&Scenario, &Technology, usize, f64) -> f64 + Sync,
+{
+    fn block_power(
+        &self,
+        scenario: &Scenario,
+        tech: &Technology,
+        block: usize,
+        temperature_k: f64,
+    ) -> f64 {
+        self(scenario, tech, block, temperature_k)
+    }
+}
+
+/// The default physical model: per-block dynamic and reference leakage
+/// budgets scaled by the scenario knobs and the technology's own
+/// OFF-current temperature law (the Eq. 13 exponential family).
+///
+/// * dynamic: `activity · vdd_scale² · P_dyn[i]` (the `α f C V²` law),
+/// * static: `vdd_scale · P_leak[i] · I_off(T) / I_off(T_ref)`, where
+///   `I_off` is [`Technology::nominal_off_current`] — carrying the
+///   paper's exponential temperature dependence into the feedback loop.
+#[derive(Debug, Clone)]
+pub struct ScaledTechPower {
+    /// Per-block dynamic power at activity 1 and nominal Vdd, W.
+    pub dynamic_w: Vec<f64>,
+    /// Per-block leakage power at `T_ref` and nominal Vdd, W.
+    pub leakage_ref_w: Vec<f64>,
+    /// Reference OFF currents `I_off(T_ref)` per grid technology (keyed
+    /// by the parameters the computation reads, so a cache prepared for
+    /// one grid cannot be silently misapplied to another), hoisted out
+    /// of the Picard hot loop by [`Self::prepared_for`]; empty =
+    /// compute on the fly.
+    i_ref_per_tech: Vec<(IRefKey, f64)>,
+}
+
+/// The exact inputs [`Technology::nominal_off_current`] reads for the
+/// reference OFF current — a cache entry is valid only for a bitwise
+/// match, whatever the technology is named.
+#[derive(Debug, Clone, PartialEq)]
+struct IRefKey {
+    w_min: f64,
+    l: f64,
+    i0: f64,
+    n: f64,
+    vt0: f64,
+    k_t: f64,
+    t_ref: f64,
+    vdd: f64,
+}
+
+impl IRefKey {
+    fn of(tech: &Technology) -> Self {
+        IRefKey {
+            w_min: tech.nmos.w_min,
+            l: tech.nmos.l,
+            i0: tech.nmos.i0,
+            n: tech.nmos.n,
+            vt0: tech.nmos.vt0,
+            k_t: tech.nmos.k_t,
+            t_ref: tech.t_ref,
+            vdd: tech.vdd,
+        }
+    }
+}
+
+impl ScaledTechPower {
+    /// Budgets proportional to block areas: the floorplan's total dynamic
+    /// and leakage budgets spread by area share — the natural default when
+    /// per-block netlists are not available.
+    pub fn area_weighted(
+        floorplan: &Floorplan,
+        total_dynamic_w: f64,
+        total_leakage_w: f64,
+    ) -> Self {
+        let total_area: f64 = floorplan.blocks().iter().map(|b| b.area()).sum();
+        let share = |area: f64| {
+            if total_area > 0.0 {
+                area / total_area
+            } else {
+                0.0
+            }
+        };
+        ScaledTechPower {
+            dynamic_w: floorplan
+                .blocks()
+                .iter()
+                .map(|b| total_dynamic_w * share(b.area()))
+                .collect(),
+            leakage_ref_w: floorplan
+                .blocks()
+                .iter()
+                .map(|b| total_leakage_w * share(b.area()))
+                .collect(),
+            i_ref_per_tech: Vec::new(),
+        }
+    }
+
+    /// Precomputes the per-technology reference OFF currents for `grid`,
+    /// removing the only scenario-invariant evaluation from the Picard
+    /// hot loop. Unprepared models stay correct — they just recompute
+    /// `I_off(T_ref)` per call — and a cache entry is only used when the
+    /// scenario technology's parameters match the ones it was computed
+    /// from, so running a model prepared for one grid against another
+    /// falls back to the per-call computation instead of scaling by the
+    /// wrong reference.
+    #[must_use]
+    pub fn prepared_for(mut self, grid: &ScenarioGrid) -> Self {
+        self.i_ref_per_tech = grid
+            .technologies()
+            .iter()
+            .map(|t| {
+                (
+                    IRefKey::of(t),
+                    t.nominal_off_current(Polarity::Nmos, t.nmos.w_min, t.t_ref),
+                )
+            })
+            .collect();
+        self
+    }
+}
+
+impl ScenarioPowerModel for ScaledTechPower {
+    fn block_power(
+        &self,
+        scenario: &Scenario,
+        tech: &Technology,
+        block: usize,
+        temperature_k: f64,
+    ) -> f64 {
+        let dynamic =
+            scenario.activity * scenario.vdd_scale * scenario.vdd_scale * self.dynamic_w[block];
+        let i_ref = match self.i_ref_per_tech.get(scenario.tech_index) {
+            Some((key, i_ref)) if *key == IRefKey::of(tech) => *i_ref,
+            _ => tech.nominal_off_current(Polarity::Nmos, tech.nmos.w_min, tech.t_ref),
+        };
+        let i_t = tech.nominal_off_current(Polarity::Nmos, tech.nmos.w_min, temperature_k);
+        let stat = scenario.vdd_scale * self.leakage_ref_w[block] * (i_t / i_ref);
+        dynamic + stat
+    }
+}
+
+/// Outcome of one scenario solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepOutcome {
+    /// The fixed point was found.
+    Converged {
+        /// Block temperatures at the operating point, K.
+        block_temperatures: Vec<f64>,
+        /// Block powers at the operating point, W.
+        block_powers: Vec<f64>,
+        /// Picard iterations used.
+        iterations: usize,
+    },
+    /// No stable operating point exists (thermal runaway).
+    Runaway {
+        /// Iteration at which the ceiling was crossed.
+        iteration: usize,
+        /// Hottest block temperature reached, K.
+        temperature: f64,
+    },
+    /// Iteration budget exhausted.
+    NotConverged {
+        /// Last max block-temperature change, K.
+        last_delta: f64,
+    },
+    /// The power model returned a non-finite or negative value.
+    BadPower {
+        /// Offending block.
+        block: usize,
+        /// Offending value.
+        power: f64,
+    },
+}
+
+impl SweepOutcome {
+    /// True for [`SweepOutcome::Converged`].
+    pub fn is_converged(&self) -> bool {
+        matches!(self, SweepOutcome::Converged { .. })
+    }
+
+    /// Peak block temperature for converged points, K.
+    pub fn peak_temperature(&self) -> Option<f64> {
+        match self {
+            SweepOutcome::Converged {
+                block_temperatures, ..
+            } => crate::cosim::operator::max_temperature(block_temperatures),
+            _ => None,
+        }
+    }
+
+    /// Total power for converged points, W.
+    pub fn total_power(&self) -> Option<f64> {
+        match self {
+            SweepOutcome::Converged { block_powers, .. } => Some(block_powers.iter().sum()),
+            _ => None,
+        }
+    }
+
+    fn from_error(err: CosimError) -> Self {
+        match err {
+            CosimError::ThermalRunaway {
+                iteration,
+                temperature,
+            } => SweepOutcome::Runaway {
+                iteration,
+                temperature,
+            },
+            CosimError::NotConverged { last_delta } => SweepOutcome::NotConverged { last_delta },
+            CosimError::BadPower { block, power } => SweepOutcome::BadPower { block, power },
+        }
+    }
+}
+
+impl fmt::Display for SweepOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Failure arms delegate to CosimError so the wording lives once.
+        match self {
+            SweepOutcome::Converged { iterations, .. } => write!(
+                f,
+                "converged in {iterations} iterations (peak {:.2} K, {:.3} W)",
+                self.peak_temperature().unwrap_or(f64::NAN),
+                self.total_power().unwrap_or(f64::NAN)
+            ),
+            SweepOutcome::Runaway {
+                iteration,
+                temperature,
+            } => CosimError::ThermalRunaway {
+                iteration: *iteration,
+                temperature: *temperature,
+            }
+            .fmt(f),
+            SweepOutcome::NotConverged { last_delta } => CosimError::NotConverged {
+                last_delta: *last_delta,
+            }
+            .fmt(f),
+            SweepOutcome::BadPower { block, power } => CosimError::BadPower {
+                block: *block,
+                power: *power,
+            }
+            .fmt(f),
+        }
+    }
+}
+
+/// Results of one sweep, in scenario enumeration order.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// One outcome per scenario.
+    pub outcomes: Vec<SweepOutcome>,
+}
+
+impl SweepReport {
+    /// Number of scenarios swept.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// True for an empty sweep.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Scenarios that reached a fixed point.
+    pub fn converged_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_converged()).count()
+    }
+
+    /// Scenarios that ran away thermally.
+    pub fn runaway_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, SweepOutcome::Runaway { .. }))
+            .count()
+    }
+
+    /// Total Picard iterations spent on converged scenarios.
+    pub fn total_iterations(&self) -> usize {
+        self.outcomes
+            .iter()
+            .map(|o| match o {
+                SweepOutcome::Converged { iterations, .. } => *iterations,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Hottest converged operating point across the sweep, K.
+    pub fn max_peak_temperature(&self) -> Option<f64> {
+        self.outcomes
+            .iter()
+            .filter_map(SweepOutcome::peak_temperature)
+            .reduce(f64::max)
+    }
+}
+
+impl fmt::Display for SweepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} scenarios: {} converged, {} runaway, {} other",
+            self.len(),
+            self.converged_count(),
+            self.runaway_count(),
+            self.len() - self.converged_count() - self.runaway_count()
+        )
+    }
+}
+
+/// Batched, parallel sweep driver for one floorplan.
+///
+/// Construction precomputes the [`ThermalOperator`]; [`SweepEngine::run`]
+/// then fans scenarios across worker threads, each owning one reusable
+/// [`Workspace`]. See the [module docs](self) for the full picture.
+#[derive(Debug)]
+pub struct SweepEngine {
+    solver: ElectroThermalSolver,
+    operator: ThermalOperator,
+    threads: usize,
+}
+
+impl SweepEngine {
+    /// Engine with the default solver configuration and one worker per
+    /// available CPU.
+    pub fn new(floorplan: Floorplan) -> Self {
+        Self::with_solver(ElectroThermalSolver::new(floorplan))
+    }
+
+    /// Engine around a configured solver (damping, tolerances, image
+    /// orders); the operator is precomputed here, once.
+    pub fn with_solver(solver: ElectroThermalSolver) -> Self {
+        let operator = solver.operator();
+        SweepEngine {
+            solver,
+            operator,
+            threads: ptherm_par::default_threads(),
+        }
+    }
+
+    /// Sets the worker-thread count (1 = run inline, still batched).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Reconfigures the solver, rebuilding the operator afterwards (image
+    /// orders may have changed).
+    #[must_use]
+    pub fn configure(mut self, f: impl FnOnce(&mut ElectroThermalSolver)) -> Self {
+        f(&mut self.solver);
+        self.operator = self.solver.operator();
+        self
+    }
+
+    /// The engine's solver configuration.
+    pub fn solver(&self) -> &ElectroThermalSolver {
+        &self.solver
+    }
+
+    /// The precomputed influence operator.
+    pub fn operator(&self) -> &ThermalOperator {
+        &self.operator
+    }
+
+    /// A ready-made [`ScaledTechPower`] spreading chip-level dynamic and
+    /// leakage budgets over this engine's floorplan by block area.
+    pub fn uniform_tech_power(
+        &self,
+        total_dynamic_w: f64,
+        total_leakage_w: f64,
+    ) -> ScaledTechPower {
+        ScaledTechPower::area_weighted(self.solver.floorplan(), total_dynamic_w, total_leakage_w)
+    }
+
+    /// Sweeps a scenario grid under a power model. A grid without an
+    /// explicit ambient axis inherits this engine's floorplan sink
+    /// temperature, matching one-shot solves.
+    pub fn run<M: ScenarioPowerModel>(&self, grid: &ScenarioGrid, model: &M) -> SweepReport {
+        let scenarios = grid.scenarios(self.operator.sink_temperature());
+        let techs = grid.technologies();
+        self.run_scenarios(
+            &scenarios,
+            |s| s.ambient_k,
+            |s, block, t| model.block_power(s, &techs[s.tech_index], block, t),
+        )
+    }
+
+    /// The generic entry point: sweeps arbitrary scenario values with
+    /// caller-supplied ambient and power functions. Outcomes preserve
+    /// input order.
+    pub fn run_scenarios<S, A, P>(&self, scenarios: &[S], ambient_k: A, power: P) -> SweepReport
+    where
+        S: Sync,
+        A: Fn(&S) -> f64 + Sync,
+        P: Fn(&S, usize, f64) -> f64 + Sync,
+    {
+        let outcomes = ptherm_par::par_map_with(
+            self.threads,
+            scenarios,
+            Workspace::new,
+            |ws, _idx, scenario| {
+                let solve = self.solver.solve_with_ambient(
+                    &self.operator,
+                    ambient_k(scenario),
+                    ws,
+                    |block, t| power(scenario, block, t),
+                );
+                match solve {
+                    Ok(()) => SweepOutcome::Converged {
+                        block_temperatures: ws.temperatures().to_vec(),
+                        block_powers: ws.powers().to_vec(),
+                        iterations: ws.iterations(),
+                    },
+                    Err(err) => SweepOutcome::from_error(err),
+                }
+            },
+        );
+        SweepReport { outcomes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> SweepEngine {
+        SweepEngine::new(Floorplan::paper_three_blocks())
+    }
+
+    fn small_grid() -> ScenarioGrid {
+        ScenarioGrid::new(vec![Technology::cmos_120nm()])
+            .vdd_scales(vec![0.9, 1.0, 1.1])
+            .activities(vec![0.5, 1.0])
+            .ambients_k(vec![300.0, 340.0])
+    }
+
+    #[test]
+    fn grid_enumeration_is_cartesian_and_ordered() {
+        let grid = small_grid();
+        assert_eq!(grid.len(), 12);
+        let scenarios = grid.scenarios(300.0);
+        assert_eq!(scenarios.len(), 12);
+        // Vdd innermost.
+        assert_eq!(scenarios[0].vdd_scale, 0.9);
+        assert_eq!(scenarios[1].vdd_scale, 1.0);
+        assert_eq!(scenarios[0].ambient_k, scenarios[5].ambient_k);
+        assert_ne!(scenarios[0].ambient_k, scenarios[6].ambient_k);
+    }
+
+    #[test]
+    fn batched_results_are_bit_identical_to_one_shot_solves() {
+        let engine = engine().threads(4);
+        let grid = small_grid();
+        let model = engine.uniform_tech_power(0.6, 0.05);
+        let report = engine.run(&grid, &model);
+        assert_eq!(report.len(), grid.len());
+
+        let techs = grid.technologies();
+        for (scenario, outcome) in grid.scenarios(300.0).iter().zip(&report.outcomes) {
+            // One-shot path: fresh operator, fresh workspace, same ambient.
+            let mut solver = ElectroThermalSolver::new(Floorplan::paper_three_blocks());
+            solver.max_iterations = engine.solver().max_iterations;
+            let op = solver.operator();
+            let mut ws = Workspace::new();
+            let one_shot = solver.solve_with_ambient(&op, scenario.ambient_k, &mut ws, |b, t| {
+                model.block_power(scenario, &techs[scenario.tech_index], b, t)
+            });
+            match (one_shot, outcome) {
+                (
+                    Ok(()),
+                    SweepOutcome::Converged {
+                        block_temperatures,
+                        block_powers,
+                        iterations,
+                    },
+                ) => {
+                    // Bit-identical: same code path, same operator values.
+                    assert_eq!(ws.temperatures(), block_temperatures.as_slice());
+                    assert_eq!(ws.powers(), block_powers.as_slice());
+                    assert_eq!(ws.iterations(), *iterations);
+                }
+                (Err(e), o) => assert_eq!(&SweepOutcome::from_error(e), o),
+                (ok, o) => panic!("mismatched outcomes: {ok:?} vs {o:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_model_is_bit_identical_to_unprepared() {
+        let engine = engine();
+        let grid = small_grid();
+        let plain = engine.uniform_tech_power(0.6, 0.05);
+        let prepared = plain.clone().prepared_for(&grid);
+        // Same nominal_off_current call either way: bitwise-equal sweeps.
+        assert_eq!(
+            engine.run(&grid, &plain).outcomes,
+            engine.run(&grid, &prepared).outcomes
+        );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let grid = small_grid();
+        let e1 = engine().threads(1);
+        let model = e1.uniform_tech_power(0.6, 0.05);
+        let serial = e1.run(&grid, &model);
+        let parallel = engine().threads(8).run(&grid, &model);
+        assert_eq!(serial.outcomes, parallel.outcomes);
+    }
+
+    #[test]
+    fn runaway_scenarios_are_reported_not_fatal() {
+        let engine = engine();
+        // Violent feedback for high activity only.
+        let scenarios: Vec<f64> = vec![0.1, 50.0, 0.2];
+        let report = engine.run_scenarios(
+            &scenarios,
+            |_| 300.0,
+            |&gain, _, t| 0.3 + 0.05 * gain * ((t - 300.0) / 10.0).exp2(),
+        );
+        assert!(report.outcomes[0].is_converged());
+        assert!(matches!(report.outcomes[1], SweepOutcome::Runaway { .. }));
+        assert!(report.outcomes[2].is_converged());
+        assert_eq!(report.converged_count(), 2);
+        assert_eq!(report.runaway_count(), 1);
+    }
+
+    #[test]
+    fn hotter_ambient_and_higher_vdd_cost_power() {
+        let engine = engine();
+        let grid = small_grid();
+        let model = engine.uniform_tech_power(0.6, 0.05);
+        let report = engine.run(&grid, &model);
+        let scenarios = grid.scenarios(300.0);
+        // Compare matching scenarios differing only in one knob.
+        let find = |vdd: f64, act: f64, amb: f64| -> &SweepOutcome {
+            let idx = scenarios
+                .iter()
+                .position(|s| s.vdd_scale == vdd && s.activity == act && s.ambient_k == amb)
+                .expect("scenario exists");
+            &report.outcomes[idx]
+        };
+        let base = find(1.0, 1.0, 300.0).total_power().unwrap();
+        let high_vdd = find(1.1, 1.0, 300.0).total_power().unwrap();
+        let hot = find(1.0, 1.0, 340.0).total_power().unwrap();
+        assert!(high_vdd > base);
+        assert!(hot > base, "leakage grows with ambient: {hot} vs {base}");
+    }
+
+    #[test]
+    fn report_display_summarizes() {
+        let engine = engine();
+        let report = engine.run_scenarios(&[1.0f64], |_| 300.0, |_, _, _| 0.1);
+        let s = format!("{report}");
+        assert!(s.contains("1 scenarios"));
+        assert!(s.contains("1 converged"));
+    }
+}

@@ -14,6 +14,21 @@ use ptherm_tech::Technology;
 /// Static power of a whole circuit at `temperature_k`, watts, averaging
 /// each cell's leakage over its input vectors.
 ///
+/// # Example
+///
+/// ```
+/// use ptherm_core::leakage::circuit::circuit_static_power;
+/// use ptherm_netlist::circuit::Circuit;
+/// use ptherm_tech::Technology;
+///
+/// let tech = Technology::cmos_120nm();
+/// let circuit = Circuit::random("blk", 7, 1_000, 1.0e9, &tech);
+/// let cold = circuit_static_power(&tech, &circuit, 300.0).unwrap();
+/// let hot = circuit_static_power(&tech, &circuit, 380.0).unwrap();
+/// // The paper's central fact: static power rises steeply with T.
+/// assert!(hot > 5.0 * cold);
+/// ```
+///
 /// # Errors
 ///
 /// Propagates [`LeakageError`] from any cell (non-complementary cells).

@@ -12,6 +12,27 @@
 //!   thermal-runaway stability margin (extension),
 //! * [`standby`] — minimum-leakage input-vector search, the classic
 //!   optimization the model enables (extension).
+//!
+//! The equation-by-equation map from the paper to this code (with
+//! file-and-line pointers) lives in `docs/EQUATIONS.md` at the repository
+//! root.
+//!
+//! # Example: the stack effect through Eq. 13
+//!
+//! ```
+//! use ptherm_core::leakage::GateLeakageModel;
+//! use ptherm_netlist::cells;
+//! use ptherm_tech::Technology;
+//!
+//! let tech = Technology::cmos_120nm();
+//! let model = GateLeakageModel::new(&tech);
+//! let nand2 = cells::nand(2, &tech);
+//! // Two series-OFF transistors leak far less than one: the stack effect
+//! // the collapsing technique quantifies.
+//! let both_off = model.gate_off_current(&nand2, &[false, false], 300.0).unwrap();
+//! let one_off = model.gate_off_current(&nand2, &[false, true], 300.0).unwrap();
+//! assert!(both_off < 0.5 * one_off);
+//! ```
 
 pub mod baselines;
 pub mod circuit;

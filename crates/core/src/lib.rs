@@ -44,6 +44,9 @@ pub mod cosim;
 pub mod leakage;
 pub mod thermal;
 
-pub use cosim::{CosimError, CosimResult, ElectroThermalSolver};
+pub use cosim::{
+    CosimError, CosimResult, ElectroThermalSolver, Scenario, ScenarioGrid, SweepEngine,
+    SweepOutcome, SweepReport, ThermalOperator, Workspace,
+};
 pub use leakage::GateLeakageModel;
 pub use thermal::ThermalModel;

@@ -90,7 +90,7 @@ pub fn expand_images(
     lateral_order: usize,
     z_order: usize,
 ) -> Vec<ImageSource> {
-    let z_order = if z_order > 0 && z_order % 2 == 0 {
+    let z_order = if z_order > 0 && z_order.is_multiple_of(2) {
         z_order + 1
     } else {
         z_order

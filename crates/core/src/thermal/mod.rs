@@ -10,6 +10,24 @@
 //! * [`resistance`] — self-heating thermal resistance from Eq. 18
 //!   (the model line of Fig. 10),
 //! * [`conductivity`] — self-consistent `k(T)` iteration (extension).
+//!
+//! The batched form of Eq. 21 — the per-floorplan influence matrix reused
+//! across power vectors — lives in
+//! [`cosim::operator`](crate::cosim::operator). The equation-by-equation
+//! map from the paper to this code lives in `docs/EQUATIONS.md` at the
+//! repository root.
+//!
+//! # Example: Eq. 21 surface queries
+//!
+//! ```
+//! use ptherm_core::thermal::ThermalModel;
+//! use ptherm_floorplan::Floorplan;
+//!
+//! let fp = Floorplan::paper_three_blocks();
+//! let model = ThermalModel::paper_defaults(&fp);
+//! // Hottest over the active block, coolest in the far corner.
+//! assert!(model.temperature(0.30e-3, 0.70e-3) > model.temperature(0.95e-3, 0.05e-3));
+//! ```
 
 pub mod conductivity;
 pub mod images;

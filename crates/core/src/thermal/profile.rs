@@ -9,12 +9,16 @@
 
 use crate::thermal::images::{expand_images, ImageSource};
 use crate::thermal::rect::center_rise;
-use ptherm_floorplan::Floorplan;
+use ptherm_floorplan::{Block, Floorplan};
 
 /// Per-block constants hoisted out of the inner image loop: the Eq. 18 cap
 /// and the Eq. 19 line prefactor only depend on block power and geometry.
+///
+/// Shared between the pointwise [`ThermalModel`] and the batched
+/// [`ThermalOperator`](crate::cosim::ThermalOperator) (which evaluates it
+/// at unit power: Eq. 20 is linear in `P`, so per-watt rises compose).
 #[derive(Debug, Clone, Copy)]
-struct BlockKernel {
+pub(crate) struct BlockKernel {
     /// Eq. 18 centre rise (the cap of Eq. 20), K.
     t0: f64,
     /// `P/(2πk·s)` for the line formula, K.
@@ -26,10 +30,27 @@ struct BlockKernel {
 }
 
 impl BlockKernel {
+    /// Kernel of `block` dissipating `power` watts into a substrate of
+    /// conductivity `k` (the block's own power assignment is ignored so
+    /// unit-power kernels can be built for the influence matrix).
+    pub(crate) fn for_block(block: &Block, k: f64, power: f64) -> Self {
+        let s = block.w.max(block.l);
+        BlockKernel {
+            t0: if power > 0.0 {
+                center_rise(power, k, block.w, block.l)
+            } else {
+                0.0
+            },
+            line_prefactor: power / (2.0 * std::f64::consts::PI * k * s),
+            half: s / 2.0,
+            along_y: block.l > block.w,
+        }
+    }
+
     /// Eq. 20 at offset `(dx, dy)` from the block centre, at image depth
     /// `z` — the hot loop of every temperature query.
     #[inline]
-    fn rise(&self, dx: f64, dy: f64, z: f64) -> f64 {
+    pub(crate) fn rise(&self, dx: f64, dy: f64, z: f64) -> f64 {
         let (u, v) = if self.along_y { (dy, dx) } else { (dx, dy) };
         let u = u.abs();
         let w2 = v * v + z * z;
@@ -122,19 +143,7 @@ impl<'a> ThermalModel<'a> {
         let kernels = floorplan
             .blocks()
             .iter()
-            .map(|b| {
-                let s = b.w.max(b.l);
-                BlockKernel {
-                    t0: if b.power > 0.0 {
-                        center_rise(b.power, g.conductivity, b.w, b.l)
-                    } else {
-                        0.0
-                    },
-                    line_prefactor: b.power / (2.0 * std::f64::consts::PI * g.conductivity * s),
-                    half: s / 2.0,
-                    along_y: b.l > b.w,
-                }
-            })
+            .map(|b| BlockKernel::for_block(b, g.conductivity, b.power))
             .collect();
         ThermalModel {
             floorplan,

@@ -11,6 +11,17 @@ use crate::thermal::rect::center_rise;
 /// Model thermal resistance of a `w × l` device on a semi-infinite
 /// substrate of conductivity `k`, K/W (Eq. 18 per watt).
 ///
+/// # Example
+///
+/// ```
+/// use ptherm_core::thermal::resistance::{self_heating_resistance, self_heating_rise};
+///
+/// let rth = self_heating_resistance(148.0, 1e-6, 0.35e-6);
+/// assert!(rth > 1e3 && rth < 1e6); // micrometre devices: 10^3..10^5 K/W
+/// let dt = self_heating_rise(10e-3, 148.0, 1e-6, 0.35e-6);
+/// assert!((dt - 10e-3 * rth).abs() < 1e-12);
+/// ```
+///
 /// # Panics
 ///
 /// Panics if `w`, `l` or `k` is not strictly positive.

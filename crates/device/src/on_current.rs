@@ -20,6 +20,20 @@
 use ptherm_tech::MosParams;
 
 /// α-power-law evaluator bound to one device flavour.
+///
+/// # Example
+///
+/// ```
+/// use ptherm_device::on_current::OnCurrentModel;
+/// use ptherm_tech::Technology;
+///
+/// let tech = Technology::cmos_350nm();
+/// let model = OnCurrentModel::new(&tech.nmos, tech.t_ref);
+/// let cold = model.current(10e-6, tech.vdd, 300.0);
+/// let hot = model.current(10e-6, tech.vdd, 380.0);
+/// // At full gate drive the mobility term wins: negative TC.
+/// assert!(cold > 0.0 && hot < cold);
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct OnCurrentModel<'a> {
     params: &'a MosParams,

@@ -169,7 +169,8 @@ impl Floorplan {
     /// See [`BuildFloorplanError`].
     pub fn new(geometry: ChipGeometry, blocks: Vec<Block>) -> Result<Self, BuildFloorplanError> {
         for b in &blocks {
-            if !(b.w > 0.0 && b.l > 0.0) || !b.power.is_finite() || b.power < 0.0 {
+            let dims_ok = b.w > 0.0 && b.l > 0.0;
+            if !dims_ok || !b.power.is_finite() || b.power < 0.0 {
                 return Err(BuildFloorplanError::BadBlock {
                     block: b.name.clone(),
                     detail: format!("w {}, l {}, power {}", b.w, b.l, b.power),

@@ -144,17 +144,40 @@ impl Matrix {
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "mul_vec dimension mismatch");
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        self.mul_vec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix-vector product `A x` written into a caller-owned buffer —
+    /// the allocation-free entry point hot loops (the electro-thermal
+    /// Picard iteration, repeated sweeps) should use.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ptherm_math::Matrix;
+    ///
+    /// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+    /// let mut y = [0.0; 2];
+    /// a.mul_vec_into(&[1.0, 1.0], &mut y);
+    /// assert_eq!(y, [3.0, 7.0]);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()` or `y.len() != self.rows()`.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "mul_vec dimension mismatch");
+        assert_eq!(y.len(), self.rows, "mul_vec output dimension mismatch");
+        for (i, yi) in y.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
             let mut acc = 0.0;
             for (a, b) in row.iter().zip(x) {
                 acc += a * b;
             }
-            y[i] = acc;
+            *yi = acc;
         }
-        y
     }
 
     /// Matrix-matrix product `A B`.
@@ -337,31 +360,61 @@ impl Lu {
     ///
     /// Returns [`SolveMatrixError::DimensionMismatch`] if `b.len() != n`.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolveMatrixError> {
-        if b.len() != self.n {
+        let mut x = vec![0.0; self.n];
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A x = b` into a caller-owned buffer, reusing the
+    /// factorization and allocating nothing — the entry point for repeated
+    /// solves against the same matrix (time stepping, sweeps).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ptherm_math::Matrix;
+    ///
+    /// let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]).unwrap();
+    /// let lu = a.lu().unwrap();
+    /// let mut x = [0.0; 2];
+    /// for rhs in [[2.0, 4.0], [6.0, 8.0]] {
+    ///     lu.solve_into(&rhs, &mut x).unwrap();
+    /// }
+    /// assert_eq!(x, [3.0, 2.0]);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveMatrixError::DimensionMismatch`] if `b` or `x` is
+    /// not of length `n`.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) -> Result<(), SolveMatrixError> {
+        if b.len() != self.n || x.len() != self.n {
             return Err(SolveMatrixError::DimensionMismatch {
-                expected: format!("rhs length {}", self.n),
-                found: format!("rhs length {}", b.len()),
+                expected: format!("rhs and solution length {}", self.n),
+                found: format!("rhs length {}, solution length {}", b.len(), x.len()),
             });
         }
         let n = self.n;
         // Forward substitution on the permuted rhs.
-        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for (xi, &p) in x.iter_mut().zip(&self.perm) {
+            *xi = b[p];
+        }
         for i in 1..n {
             let mut acc = x[i];
-            for j in 0..i {
-                acc -= self.lu[i * n + j] * x[j];
+            for (l, xj) in self.lu[i * n..i * n + i].iter().zip(&x[..i]) {
+                acc -= l * xj;
             }
             x[i] = acc;
         }
         // Back substitution.
         for i in (0..n).rev() {
             let mut acc = x[i];
-            for j in (i + 1)..n {
-                acc -= self.lu[i * n + j] * x[j];
+            for (l, xj) in self.lu[i * n + i + 1..i * n + n].iter().zip(&x[i + 1..]) {
+                acc -= l * xj;
             }
             x[i] = acc / self.lu[i * n + i];
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Determinant recovered from the factorization.

@@ -123,6 +123,27 @@ fn inf_norm(v: &[f64]) -> f64 {
 /// residual norm decreases (Armijo-like acceptance with zero slope demand,
 /// which is adequate for the well-behaved exponential systems here).
 ///
+/// # Example
+///
+/// ```
+/// use ptherm_math::newton::{solve_newton, NewtonSystem};
+///
+/// // x² + y² = 2 intersected with x = y: root at (1, 1).
+/// struct Circle;
+/// impl NewtonSystem for Circle {
+///     fn dim(&self) -> usize {
+///         2
+///     }
+///     fn residual(&self, x: &[f64], out: &mut [f64]) {
+///         out[0] = x[0] * x[0] + x[1] * x[1] - 2.0;
+///         out[1] = x[0] - x[1];
+///     }
+/// }
+/// let sol = solve_newton(&Circle, &[2.0, 0.5], 1e-12, 50).unwrap();
+/// assert!((sol.x[0] - 1.0).abs() < 1e-10);
+/// assert!((sol.x[1] - 1.0).abs() < 1e-10);
+/// ```
+///
 /// # Errors
 ///
 /// See [`SolveNewtonError`]. On [`SolveNewtonError::Stalled`] and

@@ -84,6 +84,17 @@ impl OdeTrajectory {
 ///
 /// Records every step in the returned trajectory.
 ///
+/// # Example
+///
+/// ```
+/// use ptherm_math::ode::rk4;
+///
+/// // y' = -y from y(0) = 1: y(1) = 1/e.
+/// let trajectory = rk4(|_, y| vec![-y[0]], 0.0, 1.0, &[1.0], 100);
+/// let end = trajectory.y.last().unwrap()[0];
+/// assert!((end - (-1.0f64).exp()).abs() < 1e-8);
+/// ```
+///
 /// # Panics
 ///
 /// Panics if `steps == 0` or `t1 <= t0`.
@@ -164,7 +175,7 @@ pub fn rkf45<F>(
 where
     F: FnMut(f64, &[f64]) -> Vec<f64>,
 {
-    if !(t1 > t0) || !tol.is_finite() || tol <= 0.0 {
+    if t1 <= t0 || t0.is_nan() || t1.is_nan() || !tol.is_finite() || tol <= 0.0 {
         return Err(IntegrateOdeError::BadInput {
             detail: format!("span [{t0}, {t1}], tol {tol}"),
         });

@@ -47,7 +47,7 @@ const GL16_X: [f64; 8] = [
     0.2816035507792589,
     0.4580167776572274,
     0.6178762444026438,
-    0.7554044083550030,
+    0.755404408355003,
     0.8656312023878318,
     0.9445750230732326,
     0.9894009349916499,

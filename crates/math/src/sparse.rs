@@ -178,14 +178,14 @@ impl LinearOperator for CsrMatrix {
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.dim, "apply: x dimension mismatch");
         assert_eq!(y.len(), self.dim, "apply: y dimension mismatch");
-        for r in 0..self.dim {
+        for (r, yr) in y.iter_mut().enumerate() {
             let lo = self.row_ptr[r];
             let hi = self.row_ptr[r + 1];
             let mut acc = 0.0;
             for k in lo..hi {
                 acc += self.values[k] * x[self.col_idx[k]];
             }
-            y[r] = acc;
+            *yr = acc;
         }
     }
 

@@ -1,5 +1,17 @@
 //! Error metrics and small descriptive statistics used by the experiment
 //! harness to compare model predictions against reference solutions.
+//!
+//! # Example
+//!
+//! ```
+//! use ptherm_math::stats::{mean, rms_error, std_dev};
+//!
+//! let model = [1.0, 2.0, 3.0];
+//! let reference = [1.0, 2.0, 3.5];
+//! assert!(rms_error(&model, &reference).unwrap() < 0.3);
+//! assert_eq!(mean(&[1.0, 3.0]), 2.0);
+//! assert_eq!(std_dev(&[2.0, 2.0, 2.0]), 0.0);
+//! ```
 
 use std::fmt;
 
@@ -140,12 +152,7 @@ pub fn crossover_index(a: &[f64], b: &[f64]) -> Option<usize> {
     if a.len() != b.len() {
         return None;
     }
-    for i in 0..a.len() {
-        if a[i] > b[i] && (i == 0 || a[i - 1] <= b[i - 1]) {
-            return Some(i);
-        }
-    }
-    None
+    (0..a.len()).find(|&i| a[i] > b[i] && (i == 0 || a[i - 1] <= b[i - 1]))
 }
 
 #[cfg(test)]

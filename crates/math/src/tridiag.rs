@@ -84,7 +84,7 @@ pub fn solve_tridiagonal(
         });
     }
 
-    let mut c_star = vec![0.0; n - 1.max(1)];
+    let mut c_star = vec![0.0; n - 1];
     let mut d_star = vec![0.0; n];
 
     let mut beta = diag[0];

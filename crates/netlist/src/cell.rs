@@ -239,10 +239,10 @@ mod tests {
     #[test]
     fn nand2_truth_table() {
         let c = nand2();
-        assert_eq!(c.output(&[false, false]).unwrap(), true);
-        assert_eq!(c.output(&[true, false]).unwrap(), true);
-        assert_eq!(c.output(&[false, true]).unwrap(), true);
-        assert_eq!(c.output(&[true, true]).unwrap(), false);
+        assert!(c.output(&[false, false]).unwrap());
+        assert!(c.output(&[true, false]).unwrap());
+        assert!(c.output(&[false, true]).unwrap());
+        assert!(!c.output(&[true, true]).unwrap());
     }
 
     #[test]

@@ -5,11 +5,11 @@
 //! series/parallel compositions of devices between a supply rail and the
 //! gate output. This crate owns that representation:
 //!
-//! * [`topology`] — the series-parallel [`Network`](topology::Network) tree,
+//! * [`topology`] — the series-parallel [`Network`] tree,
 //!   its dual (pull-up from pull-down), and the *bound* form in which every
 //!   transistor knows whether its gate is driven high (after mirroring
 //!   pull-up networks into n-channel convention),
-//! * [`cell`] — a static CMOS [`Cell`](cell::Cell): complementary pull-up /
+//! * [`cell`] — a static CMOS [`Cell`]: complementary pull-up /
 //!   pull-down networks plus input names and load capacitance,
 //! * [`cells`] — the built-in library (INV, NAND2–4, NOR2–4, AOI21/22,
 //!   OAI21/22),
@@ -18,7 +18,7 @@
 //!   block-level experiments,
 //! * [`dynamic_power`] — transient `α f C V²` power and a compact
 //!   short-circuit model in the spirit of the paper's companion reference
-//!   [10] (Rosselló & Segura, TCAD 2002).
+//!   \[10\] (Rosselló & Segura, TCAD 2002).
 //!
 //! # Example
 //!

@@ -1,0 +1,168 @@
+//! Minimal data-parallel runtime for the `ptherm` workspace.
+//!
+//! The sweep engine's workload is embarrassingly parallel: thousands of
+//! independent fixed-point solves over one shared, immutable
+//! [`ThermalOperator`](../ptherm_core/cosim/struct.ThermalOperator.html).
+//! That shape needs exactly one primitive — a parallel indexed map with
+//! per-worker state — which this crate provides on top of
+//! `std::thread::scope`, with dynamic (work-stealing-style) assignment so
+//! uneven items (e.g. runaway scenarios that bail early next to
+//! slow-converging ones) do not leave threads idle.
+//!
+//! In an environment with crates.io access this is the role `rayon` would
+//! play; the API is deliberately small so swapping it out stays easy.
+//!
+//! # Example
+//!
+//! ```
+//! let squares = ptherm_par::par_map_with(
+//!     4,            // worker threads
+//!     &[1u64, 2, 3, 4, 5][..],
+//!     || 0u64,      // per-worker scratch state
+//!     |scratch, _index, &x| {
+//!         *scratch += 1; // e.g. count items this worker handled
+//!         x * x
+//!     },
+//! );
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A sensible worker count: the machine's available parallelism, or 1 if
+/// it cannot be determined.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on `threads` workers, preserving input order in
+/// the output.
+///
+/// Items are claimed one at a time from a shared atomic counter, so
+/// workloads with very uneven per-item cost still balance. With
+/// `threads <= 1` the map runs inline on the calling thread (no spawn
+/// cost, exact same results).
+pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_with(threads, items, || (), |(), i, item| f(i, item))
+}
+
+/// [`par_map`] with per-worker mutable scratch state.
+///
+/// `init` runs once on each worker thread; the state it returns is passed
+/// to every call that worker makes. This is what lets the sweep engine
+/// give each thread one reusable solve workspace instead of allocating
+/// per scenario.
+pub fn par_map_with<T, R, S, F, I>(threads: usize, items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+    I: Fn() -> S + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(&mut state, i, item))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let next = &next;
+            let init = &init;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut state = init();
+                let mut produced: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    produced.push((i, f(&mut state, i, &items[i])));
+                }
+                produced
+            }));
+        }
+        for handle in handles {
+            for (i, r) in handle.join().expect("worker panicked") {
+                results[i] = Some(r);
+            }
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every index claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_across_thread_counts() {
+        let items: Vec<usize> = (0..1000).collect();
+        let expect: Vec<usize> = items.iter().map(|x| x * 3).collect();
+        for threads in [1, 2, 4, 16] {
+            let got = par_map(threads, &items, |_, &x| x * 3);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn uneven_workloads_complete() {
+        let items: Vec<u64> = (0..64).collect();
+        let got = par_map(8, &items, |_, &x| {
+            // Make early items much slower than late ones.
+            let spins = if x < 4 { 200_000 } else { 10 };
+            let mut acc = x;
+            for _ in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            std::hint::black_box(acc);
+            x + 1
+        });
+        assert_eq!(got, (1..=64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn worker_state_is_reused() {
+        let items: Vec<usize> = (0..100).collect();
+        // Each worker counts how many items it handled; totals must cover
+        // every item exactly once.
+        let counts = par_map_with(
+            4,
+            &items,
+            || 0usize,
+            |count, _, _| {
+                *count += 1;
+                *count
+            },
+        );
+        // Per-item values are the worker-local running count: all >= 1.
+        assert!(counts.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn empty_input() {
+        let got: Vec<u32> = par_map(8, &[] as &[u32], |_, &x| x);
+        assert!(got.is_empty());
+    }
+}

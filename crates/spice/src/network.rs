@@ -222,7 +222,7 @@ pub fn solve_network(
         return Err(SolveNetworkError::EmptyNetwork);
     }
     for e in &edges {
-        if !(e.width > 0.0) || !e.width.is_finite() {
+        if !e.width.is_finite() || e.width <= 0.0 {
             return Err(SolveNetworkError::BadDevice { width: e.width });
         }
     }

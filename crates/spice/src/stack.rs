@@ -140,7 +140,7 @@ impl<'a> Stack<'a> {
             return Err(SolveStackError::EmptyStack);
         }
         for (i, d) in self.devices.iter().enumerate() {
-            if !(d.width > 0.0) || !d.width.is_finite() {
+            if !d.width.is_finite() || d.width <= 0.0 {
                 return Err(SolveStackError::BadDevice {
                     index: i,
                     width: d.width,
@@ -247,12 +247,12 @@ impl<'a> Stack<'a> {
             .collect();
 
         let residual = |nodes: &[f64], f: &mut [f64]| {
-            for i in 0..m {
+            for (i, fi) in f.iter_mut().enumerate().take(m) {
                 // KCL at node i: current through device i+1 (above) minus
                 // device i (below).
                 let above = self.device_current(model, nodes, i + 1, temperature_k);
                 let below = self.device_current(model, nodes, i, temperature_k);
-                f[i] = above.i - below.i;
+                *fi = above.i - below.i;
             }
         };
 

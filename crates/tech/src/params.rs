@@ -212,7 +212,7 @@ impl Technology {
                 constraint: "in (1 nm, 100 um)",
             });
         }
-        if !(self.c_gate > 0.0) {
+        if self.c_gate.is_nan() || self.c_gate <= 0.0 {
             return Err(ValidateTechError {
                 field: "c_gate",
                 value: self.c_gate,

@@ -114,6 +114,7 @@ impl ScalingTable {
     /// The built-in table matching the x-axis of the paper's Fig. 1.
     pub fn itrs_like() -> Self {
         // node_um, vdd, vt0, n, sigma, f_clk, Mgates, c_gate_fF, activity
+        #[allow(clippy::type_complexity)]
         let rows: [(f64, f64, f64, f64, f64, f64, f64, f64, f64); 10] = [
             (0.80, 5.0, 0.75, 1.50, 0.010, 66.0e6, 1.0, 30.0, 0.120),
             (0.35, 3.3, 0.60, 1.48, 0.020, 200.0e6, 4.0, 15.0, 0.100),

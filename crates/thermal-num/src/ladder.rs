@@ -61,7 +61,10 @@ impl ThermalLadder {
                 detail: "no stages",
             });
         }
-        if stages.iter().any(|s| !(s.rth > 0.0) || !(s.cth > 0.0)) {
+        if stages
+            .iter()
+            .any(|s| s.rth.is_nan() || s.cth.is_nan() || s.rth <= 0.0 || s.cth <= 0.0)
+        {
             return Err(BuildLadderError {
                 detail: "non-positive R or C",
             });

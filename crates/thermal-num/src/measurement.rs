@@ -123,12 +123,14 @@ pub struct SelfHeatingRig<F: Fn(f64) -> f64> {
 
 impl<F: Fn(f64) -> f64> SelfHeatingRig<F> {
     fn validate(&self) -> Result<(), MeasureError> {
-        if !(self.supply > 0.0)
-            || !(self.sense_resistance > 0.0)
-            || !(self.thermal.rth > 0.0)
-            || !(self.thermal.cth > 0.0)
-            || !(self.gate_frequency > 0.0)
-        {
+        let positives = [
+            self.supply,
+            self.sense_resistance,
+            self.thermal.rth,
+            self.thermal.cth,
+            self.gate_frequency,
+        ];
+        if positives.iter().any(|v| v.is_nan() || *v <= 0.0) {
             return Err(MeasureError::BadConfig {
                 detail: "supply, sense resistance, thermal RC and frequency must be positive"
                     .into(),

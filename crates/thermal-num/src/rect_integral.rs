@@ -88,6 +88,7 @@ pub fn rect_surface_temperature(power: f64, k: f64, w: f64, l: f64, x: f64, y: f
 /// # Errors
 ///
 /// Propagates [`IntegrateError`] from the quadrature.
+#[allow(clippy::too_many_arguments)]
 pub fn rect_temperature_quadrature(
     power: f64,
     k: f64,

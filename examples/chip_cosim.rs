@@ -10,7 +10,7 @@
 
 use ptherm::floorplan::{generator, ChipGeometry};
 use ptherm::model::cosim::power_model::CircuitBlockPower;
-use ptherm::model::cosim::{CosimError, ElectroThermalSolver};
+use ptherm::model::cosim::{ElectroThermalSolver, SweepEngine, SweepOutcome};
 use ptherm::netlist::circuit::Circuit;
 use ptherm::tech::Technology;
 
@@ -62,25 +62,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  iter {k:>2}: {d:.2e}");
     }
 
-    // Runaway corner: crank leakage sensitivity until no fixed point
-    // exists. The solver must detect it rather than oscillate.
-    println!("\n== thermal-runaway corner ==");
+    // Runaway corner, swept through the batched engine: one shared
+    // thermal operator, all gain scenarios fanned out together. The
+    // engine must report runaway corners rather than oscillate or abort
+    // the rest of the sweep.
+    println!("\n== thermal-runaway corner (sweep engine) ==");
     let mut hot = ElectroThermalSolver::new(solver.floorplan().clone());
     hot.ceiling_k = 450.0;
-    for gain in [50.0, 200.0, 1000.0] {
-        let outcome = hot.solve(|_, t| 0.02 + 0.002 * gain * ((t - 300.0) / 12.0).exp2());
+    let engine = SweepEngine::with_solver(hot);
+    let gains = [50.0, 200.0, 1000.0];
+    let sweep = engine.run_scenarios(
+        &gains,
+        |_| 300.0,
+        |&gain, _, t| 0.02 + 0.002 * gain * ((t - 300.0) / 12.0).exp2(),
+    );
+    for (gain, outcome) in gains.iter().zip(&sweep.outcomes) {
         match outcome {
-            Ok(r) => println!(
+            SweepOutcome::Converged { .. } => println!(
                 "  gain {gain:>5}: stable at {:.2} C",
-                r.peak_temperature() - 273.15
+                outcome.peak_temperature().expect("converged") - 273.15
             ),
-            Err(CosimError::ThermalRunaway {
+            SweepOutcome::Runaway {
                 iteration,
                 temperature,
-            }) => println!(
+            } => println!(
                 "  gain {gain:>5}: RUNAWAY detected at iteration {iteration} ({temperature:.0} K)"
             ),
-            Err(e) => println!("  gain {gain:>5}: {e}"),
+            other => println!("  gain {gain:>5}: {other}"),
         }
     }
     Ok(())

@@ -37,8 +37,8 @@ fn analytic_and_numeric_fixed_points_agree() {
     let mut plan = fp.clone();
     let mut temps = vec![g.sink_temperature; plan.blocks().len()];
     for _ in 0..40 {
-        for i in 0..temps.len() {
-            plan.set_power(i, feedback(i, temps[i]));
+        for (i, &t) in temps.iter().enumerate() {
+            plan.set_power(i, feedback(i, t));
         }
         let sol = fdm.solve(&plan.power_map(24, 24)).expect("fdm solves");
         let fresh: Vec<f64> = plan

@@ -125,6 +125,53 @@ fn fig9_10_extraction_pipeline() {
     );
 }
 
+/// Sweep engine in miniature: a Vdd × activity × ambient × node grid on
+/// the paper floorplan — batched results bit-identical to one-shot
+/// solves, runaway corners reported per scenario.
+#[test]
+fn sweep_engine_shape() {
+    use ptherm::model::cosim::sweep::{ScenarioGrid, ScenarioPowerModel, SweepEngine};
+    use ptherm::model::cosim::Workspace;
+    use ptherm::model::ElectroThermalSolver;
+    use ptherm::tech::ScalingTable;
+
+    let table = ScalingTable::itrs_like();
+    let technologies: Vec<_> = table
+        .nodes
+        .iter()
+        .filter(|n| n.node <= 0.18e-6)
+        .take(2)
+        .map(|n| n.technology())
+        .collect();
+    let grid = ScenarioGrid::new(technologies)
+        .vdd_scales(vec![0.9, 1.1])
+        .activities(vec![0.5, 1.0])
+        .ambients_k(vec![300.0, 330.0]);
+    let engine = SweepEngine::new(Floorplan::paper_three_blocks());
+    let model = engine.uniform_tech_power(0.5, 0.05);
+    let report = engine.run(&grid, &model);
+    assert_eq!(report.len(), 16);
+    assert_eq!(report.converged_count(), 16);
+
+    // Spot-check bit-identity against a one-shot operator solve.
+    let scenario = &grid.scenarios(300.0)[5];
+    let tech = &grid.technologies()[scenario.tech_index];
+    let solver = ElectroThermalSolver::new(Floorplan::paper_three_blocks());
+    let op = solver.operator();
+    let mut ws = Workspace::new();
+    solver
+        .solve_with_ambient(&op, scenario.ambient_k, &mut ws, |b, t| {
+            model.block_power(scenario, tech, b, t)
+        })
+        .expect("converges");
+    match &report.outcomes[5] {
+        ptherm::model::SweepOutcome::Converged {
+            block_temperatures, ..
+        } => assert_eq!(ws.temperatures(), block_temperatures.as_slice()),
+        other => panic!("expected convergence, got {other:?}"),
+    }
+}
+
 /// Speed shape (debug build, coarse): the analytical gate evaluation beats
 /// the exact network solve by a comfortable factor.
 #[test]

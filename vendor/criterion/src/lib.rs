@@ -1,0 +1,154 @@
+//! Wall-clock stand-in for `criterion` in offline builds.
+//!
+//! Provides the macro and builder surface the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `sample_size` and `bench_with_input` — timed
+//! with `std::time::Instant`. Reporting is a single mean-ns/iter line per
+//! benchmark; there is no statistics engine, HTML report or comparison
+//! baseline.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Opaque benchmark identifier, mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id from a bare parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// Id from a function name and a parameter value.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Drives one benchmark's timing loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, running enough iterations for a stable mean.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warm up and estimate the per-iteration cost.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().as_secs_f64().max(1e-9);
+        // Aim for ~100 ms of measurement, capped to keep suites quick.
+        let iters = ((0.1 / once) as u64).clamp(1, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed_ns = start.elapsed().as_secs_f64() * 1e9;
+        self.iters = iters;
+    }
+}
+
+fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: 0,
+        elapsed_ns: 0.0,
+    };
+    f(&mut b);
+    if b.iters > 0 {
+        println!(
+            "{label:<40} {:>14.1} ns/iter ({} iters)",
+            b.elapsed_ns / b.iters as f64,
+            b.iters
+        );
+    } else {
+        println!("{label:<40} (no measurement)");
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, |b| f(b));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in sizes its own loops.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), |b| f(b));
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// Re-export of the standard hint, mirroring `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a group function running each listed bench in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

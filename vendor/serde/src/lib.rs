@@ -1,0 +1,15 @@
+//! Marker-trait stand-in for `serde` in offline builds.
+//!
+//! See `vendor/README.md`. The derive macros expand to nothing, so the
+//! traits are blanket-implemented markers: `#[derive(Serialize)]` use
+//! sites compile, and `T: Serialize` bounds are satisfied by every type.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

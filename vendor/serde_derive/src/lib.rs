@@ -1,0 +1,22 @@
+//! No-op derive macros standing in for `serde_derive` in offline builds.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its data types so
+//! downstream users can serialize floorplans and technology kits, but
+//! nothing inside the workspace calls a serializer — so the offline
+//! stand-in can expand to nothing and still compile every use site.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the `serde::Serialize` marker trait has a blanket
+/// implementation instead.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the `serde::Deserialize` marker trait has a blanket
+/// implementation instead.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
