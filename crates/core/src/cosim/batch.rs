@@ -1,0 +1,676 @@
+//! The GEMM-batched Picard hot path: advancing many scenarios per step.
+//!
+//! The per-scenario engine solves one fixed point at a time — each Picard
+//! iteration is one `n × n` mat-vec plus `n` power-model calls. Batched,
+//! `B` scenarios advance together:
+//!
+//! ```text
+//! P[:, 0..B] = power_model(T[:, 0..B])           (elementwise, vectorized)
+//! T[:, 0..B] ← T + λ·(R·P + ambient − T)         (one n×n · n×B GEMM)
+//! ```
+//!
+//! The GEMM amortises every load of the influence matrix across `B`
+//! lanes ([`Matrix::mul_into`](ptherm_math::Matrix::mul_into)), and the
+//! power model evaluates contiguous lanes, which is what lets the Eq. 13
+//! exponentials batch ([`ptherm_math::expv`]). Scenario lifetimes differ
+//! (8 iterations here, runaway detection after 3 there), so lanes are
+//! **masked and refilled**: the moment a lane's scenario converges, runs
+//! away or trips the power guard it is retired — dropping out of the
+//! per-lane bookkeeping — and the lane is immediately reloaded with the
+//! next pending scenario, keeping the batch dense until the sweep runs
+//! dry.
+//!
+//! # Numerical contract
+//!
+//! Per lane, every operation happens in the same order as the
+//! per-scenario oracle ([`ElectroThermalSolver::solve_with_ambient`]):
+//! powers in block order, ascending-`k` accumulation in the thermal
+//! product, the same damped update, the same guard sequence (bad power →
+//! ceiling → tolerance). With a scalar power model and the portable GEMM
+//! tier the results are **bit-identical** to the oracle. On FMA hardware
+//! the dispatched GEMM fuses multiply-adds (≈1 ULP per term), and
+//! batched power models may evaluate their exponentials through
+//! [`ptherm_math::expv`] (≤ 5e-13 relative per call) — the fixed point
+//! is a contraction, so converged temperatures agree with the oracle to
+//! ~1e-9 K and iteration counts match except exactly at a convergence
+//! threshold. `docs/PERFORMANCE.md` quantifies this; the sweep tests and
+//! the `sweep` bench assert it.
+
+use crate::cosim::sweep::SweepOutcome;
+use crate::cosim::{ElectroThermalSolver, ThermalOperator};
+use ptherm_math::MultiVec;
+
+/// Power evaluation over a batch of scenario lanes.
+///
+/// The solver drives the model through three calls: [`Self::begin_lane`]
+/// when a scenario is loaded into a lane, [`Self::fill_powers`] once per
+/// Picard step (full batch width — retired lanes may hold stale state
+/// and their outputs are ignored), and [`Self::lane_power`] to refresh a
+/// converged lane's powers at its final temperatures (this one must match
+/// the per-scenario oracle's power model exactly, since the oracle's
+/// reported powers come from a plain scalar call).
+pub trait BatchPowerModel {
+    /// Loads scenario `id` (the caller's index) into `lane`.
+    fn begin_lane(&mut self, lane: usize, id: usize);
+
+    /// Writes `powers[block][lane]` from `temps[block][lane]` for the
+    /// whole batch. Lanes that never saw [`Self::begin_lane`] may be
+    /// skipped; outputs of retired lanes are ignored.
+    fn fill_powers(&mut self, temps: &MultiVec, powers: &mut MultiVec);
+
+    /// Scalar power of `block` at temperature `t` for the scenario
+    /// currently loaded in `lane`.
+    fn lane_power(&self, lane: usize, block: usize, t: f64) -> f64;
+
+    /// Recomputes every block power of `lane` at the converged
+    /// temperatures `temps`, writing into `powers` — the final refresh
+    /// the oracle performs before reporting. The default loops
+    /// [`Self::lane_power`]; vectorized models may override it with the
+    /// same batched arithmetic they use in [`Self::fill_powers`].
+    fn refresh_lane(&mut self, lane: usize, temps: &[f64], powers: &mut [f64]) {
+        for (block, (&t, p)) in temps.iter().zip(powers.iter_mut()).enumerate() {
+            *p = self.lane_power(lane, block, t);
+        }
+    }
+}
+
+/// [`BatchPowerModel`] for a plain `power(id, block, T)` closure —
+/// bit-identical to calling the closure from the per-scenario loop.
+pub struct FnBatchPower<F> {
+    f: F,
+    lane_id: Vec<Option<usize>>,
+}
+
+impl<F: Fn(usize, usize, f64) -> f64> FnBatchPower<F> {
+    /// Wraps `f(scenario_id, block, temperature_k) -> W`.
+    pub fn new(f: F) -> Self {
+        FnBatchPower {
+            f,
+            lane_id: Vec::new(),
+        }
+    }
+}
+
+impl<F: Fn(usize, usize, f64) -> f64> BatchPowerModel for FnBatchPower<F> {
+    fn begin_lane(&mut self, lane: usize, id: usize) {
+        if self.lane_id.len() <= lane {
+            self.lane_id.resize(lane + 1, None);
+        }
+        self.lane_id[lane] = Some(id);
+    }
+
+    fn fill_powers(&mut self, temps: &MultiVec, powers: &mut MultiVec) {
+        for i in 0..temps.rows() {
+            for (j, id) in self.lane_id.iter().enumerate() {
+                if let Some(id) = id {
+                    let p = (self.f)(*id, i, temps.get(i, j));
+                    powers.set(i, j, p);
+                }
+            }
+        }
+    }
+
+    fn lane_power(&self, lane: usize, block: usize, t: f64) -> f64 {
+        let id = self.lane_id[lane].expect("lane_power on an empty lane");
+        (self.f)(id, block, t)
+    }
+}
+
+/// Reusable per-worker state for [`BatchedSolver`]: the three `n × B`
+/// batch panels plus per-lane bookkeeping. Buffers keep their capacity
+/// across [`BatchedSolver::drive`] calls, so a sweep worker allocates
+/// only the per-outcome result vectors in steady state.
+#[derive(Debug, Clone, Default)]
+pub struct BatchWorkspace {
+    temps: MultiVec,
+    powers: MultiVec,
+    fresh: MultiVec,
+    ambient: Vec<f64>,
+    delta: Vec<f64>,
+    peak: Vec<f64>,
+    /// Per-lane running min of the power panel (negative-power detector).
+    power_min: Vec<f64>,
+    /// Per-lane `Σ p·0` (NaN exactly when some power is non-finite).
+    power_poison: Vec<f64>,
+    lane_id: Vec<usize>,
+    lane_iter: Vec<usize>,
+    alive: Vec<bool>,
+}
+
+impl BatchWorkspace {
+    /// An empty workspace; panels size themselves on first use.
+    pub fn new() -> Self {
+        BatchWorkspace::default()
+    }
+
+    fn reset(&mut self, blocks: usize, lanes: usize) {
+        self.temps.reset(blocks, lanes);
+        self.powers.reset(blocks, lanes);
+        self.fresh.reset(blocks, lanes);
+        self.ambient.clear();
+        self.ambient.resize(lanes, 0.0);
+        self.delta.clear();
+        self.delta.resize(lanes, 0.0);
+        self.peak.clear();
+        self.peak.resize(lanes, f64::NEG_INFINITY);
+        self.power_min.clear();
+        self.power_min.resize(lanes, 0.0);
+        self.power_poison.clear();
+        self.power_poison.resize(lanes, 0.0);
+        self.lane_id.clear();
+        self.lane_id.resize(lanes, usize::MAX);
+        self.lane_iter.clear();
+        self.lane_iter.resize(lanes, 0);
+        self.alive.clear();
+        self.alive.resize(lanes, false);
+    }
+}
+
+/// Batched fixed-point driver over one solver configuration and one
+/// precomputed operator. See the [module docs](self).
+///
+/// # Example
+///
+/// ```
+/// use ptherm_core::cosim::batch::{BatchWorkspace, BatchedSolver, FnBatchPower};
+/// use ptherm_core::cosim::ElectroThermalSolver;
+/// use ptherm_floorplan::Floorplan;
+///
+/// let solver = ElectroThermalSolver::new(Floorplan::paper_three_blocks());
+/// let op = solver.operator();
+/// let batched = BatchedSolver::new(&solver, &op);
+/// // Four scenarios: constant powers scaled by the scenario index.
+/// let mut model = FnBatchPower::new(|id, _block, _t| 0.1 * (id + 1) as f64);
+/// let outcomes = batched.solve(&[300.0; 4], &mut model, &mut BatchWorkspace::new());
+/// assert_eq!(outcomes.len(), 4);
+/// assert!(outcomes.iter().all(|o| o.is_converged()));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BatchedSolver<'a> {
+    solver: &'a ElectroThermalSolver,
+    operator: &'a ThermalOperator,
+}
+
+impl<'a> BatchedSolver<'a> {
+    /// Couples a solver configuration with its precomputed operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `operator` was built for a different block count than
+    /// `solver`'s floorplan.
+    pub fn new(solver: &'a ElectroThermalSolver, operator: &'a ThermalOperator) -> Self {
+        assert_eq!(
+            operator.len(),
+            solver.floorplan().blocks().len(),
+            "operator/floorplan block-count mismatch"
+        );
+        BatchedSolver { solver, operator }
+    }
+
+    /// Solves one fixed batch: scenario `id = i` runs at ambient
+    /// `ambients[i]`, outcomes return in input order. A convenience
+    /// wrapper over [`Self::drive`] with `lanes = ambients.len()`.
+    pub fn solve<M: BatchPowerModel + ?Sized>(
+        &self,
+        ambients: &[f64],
+        model: &mut M,
+        ws: &mut BatchWorkspace,
+    ) -> Vec<SweepOutcome> {
+        let b = ambients.len();
+        let mut out: Vec<Option<SweepOutcome>> = (0..b).map(|_| None).collect();
+        let mut next = 0usize;
+        self.drive(
+            b,
+            model,
+            ws,
+            &mut || {
+                (next < b).then(|| {
+                    let id = next;
+                    next += 1;
+                    (id, ambients[id])
+                })
+            },
+            &mut |id, outcome| out[id] = Some(outcome),
+        );
+        out.into_iter()
+            .map(|o| o.expect("every scenario retired"))
+            .collect()
+    }
+
+    /// The streaming entry point: pulls `(scenario_id, ambient_k)` pairs
+    /// from `source` into `lanes` solver lanes (clamped to at least 1, so
+    /// no scenario can be silently dropped), advances the whole batch one
+    /// Picard step at a time, and hands each retired scenario to `sink`
+    /// as soon as it resolves. Lanes are refilled immediately, so the
+    /// batch stays dense until `source` is exhausted; each worker of a
+    /// parallel sweep runs one `drive` against a shared atomic source.
+    pub fn drive<M: BatchPowerModel + ?Sized>(
+        &self,
+        lanes: usize,
+        model: &mut M,
+        ws: &mut BatchWorkspace,
+        source: &mut dyn FnMut() -> Option<(usize, f64)>,
+        sink: &mut dyn FnMut(usize, SweepOutcome),
+    ) {
+        let lanes = lanes.max(1);
+        let n = self.operator.len();
+        ws.reset(n, lanes);
+        let mut pending = 0usize;
+        let mut open = true;
+        loop {
+            if open {
+                for lane in 0..lanes {
+                    if ws.alive[lane] {
+                        continue;
+                    }
+                    match source() {
+                        Some((id, ambient_k)) => {
+                            ws.lane_id[lane] = id;
+                            ws.lane_iter[lane] = 0;
+                            ws.alive[lane] = true;
+                            ws.ambient[lane] = ambient_k;
+                            ws.temps.fill_lane(lane, ambient_k);
+                            model.begin_lane(lane, id);
+                            pending += 1;
+                        }
+                        None => {
+                            open = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if pending == 0 {
+                return;
+            }
+            self.step(model, ws, sink, &mut pending);
+        }
+    }
+
+    /// One batched Picard iteration: fill powers, one GEMM, damped
+    /// update with per-lane reductions, then classify and retire lanes.
+    fn step<M: BatchPowerModel + ?Sized>(
+        &self,
+        model: &mut M,
+        ws: &mut BatchWorkspace,
+        sink: &mut dyn FnMut(usize, SweepOutcome),
+        pending: &mut usize,
+    ) {
+        let n = self.operator.len();
+        let lanes = ws.ambient.len();
+        let damping = self.solver.damping;
+
+        // Power at the current temperature estimates (all lanes).
+        model.fill_powers(&ws.temps, &mut ws.powers);
+
+        // Vectorized per-lane poison detection: the running min flags
+        // negative powers; `Σ p·0` turns NaN exactly when a lane holds a
+        // non-finite power. Only flagged lanes pay a precise scan.
+        ws.power_min.fill(0.0);
+        ws.power_poison.fill(0.0);
+        {
+            let power_min = &mut ws.power_min[..lanes];
+            let power_poison = &mut ws.power_poison[..lanes];
+            for i in 0..n {
+                let prow = &ws.powers.component(i)[..lanes];
+                for j in 0..lanes {
+                    let p = prow[j];
+                    power_min[j] = power_min[j].min(p);
+                    power_poison[j] += p * 0.0;
+                }
+            }
+        }
+
+        // Closed-form thermal solve: one matrix × batch product.
+        self.operator
+            .influence()
+            .mul_into(&ws.powers, &mut ws.fresh);
+
+        // Damped update with the per-lane max-|ΔT| and peak reductions
+        // fused in. Same per-lane arithmetic order as the scalar path;
+        // `f64::max` is exact, so the fused reductions lose nothing.
+        ws.delta.fill(0.0);
+        ws.peak.fill(f64::NEG_INFINITY);
+        {
+            let delta = &mut ws.delta[..lanes];
+            let peak = &mut ws.peak[..lanes];
+            let ambient = &ws.ambient[..lanes];
+            for i in 0..n {
+                let frow = &ws.fresh.component(i)[..lanes];
+                let trow = &mut ws.temps.component_mut(i)[..lanes];
+                for j in 0..lanes {
+                    let fresh = frow[j] + ambient[j];
+                    let prev = trow[j];
+                    let next = prev + damping * (fresh - prev);
+                    delta[j] = delta[j].max((next - prev).abs());
+                    peak[j] = peak[j].max(next);
+                    trow[j] = next;
+                }
+            }
+        }
+
+        // Classify each live lane with the oracle's guard order: bad
+        // power (checked before the thermal solve there, harmless to
+        // defer here — a poisoned lane touches only its own column),
+        // then the runaway ceiling, then convergence.
+        for lane in 0..lanes {
+            if !ws.alive[lane] {
+                continue;
+            }
+            let iteration = ws.lane_iter[lane];
+            ws.lane_iter[lane] = iteration + 1;
+            let suspect = ws.power_min[lane] < 0.0 || ws.power_poison[lane] != 0.0;
+            let bad = if suspect {
+                first_bad_power(&ws.powers, lane)
+            } else {
+                None
+            };
+            let outcome = if let Some((block, power)) = bad {
+                Some(SweepOutcome::BadPower { block, power })
+            } else if ws.peak[lane] > self.solver.ceiling_k {
+                Some(SweepOutcome::Runaway {
+                    iteration,
+                    temperature: ws.peak[lane],
+                })
+            } else if ws.delta[lane] < self.solver.tolerance_k {
+                // Refresh powers at the converged temperatures — the
+                // oracle's final call before reporting.
+                let mut block_temperatures = vec![0.0; n];
+                ws.temps.copy_lane_into(lane, &mut block_temperatures);
+                let mut block_powers = vec![0.0; n];
+                model.refresh_lane(lane, &block_temperatures, &mut block_powers);
+                Some(SweepOutcome::Converged {
+                    block_temperatures,
+                    block_powers,
+                    iterations: iteration + 1,
+                })
+            } else if iteration + 1 >= self.solver.max_iterations {
+                Some(SweepOutcome::NotConverged {
+                    last_delta: ws.delta[lane],
+                })
+            } else {
+                None
+            };
+            if let Some(outcome) = outcome {
+                ws.alive[lane] = false;
+                *pending -= 1;
+                sink(ws.lane_id[lane], outcome);
+            }
+        }
+    }
+}
+
+/// First block whose power is non-finite or negative in `lane`, with the
+/// offending value — the batched form of the oracle's per-block guard.
+fn first_bad_power(powers: &MultiVec, lane: usize) -> Option<(usize, f64)> {
+    let lanes = powers.lanes();
+    let data = powers.as_slice();
+    for i in 0..powers.rows() {
+        let p = data[i * lanes + lane];
+        if !p.is_finite() || p < 0.0 {
+            return Some((i, p));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cosim::Workspace;
+    use ptherm_floorplan::{ChipGeometry, Floorplan};
+
+    fn solver() -> ElectroThermalSolver {
+        ElectroThermalSolver::new(Floorplan::paper_three_blocks())
+    }
+
+    /// Oracle outcomes via the per-scenario path, same model closure.
+    fn oracle<F: Fn(usize, usize, f64) -> f64>(
+        s: &ElectroThermalSolver,
+        op: &ThermalOperator,
+        ambients: &[f64],
+        f: F,
+    ) -> Vec<SweepOutcome> {
+        let mut ws = Workspace::new();
+        ambients
+            .iter()
+            .enumerate()
+            .map(|(id, &ambient)| {
+                match s.solve_with_ambient(op, ambient, &mut ws, |b, t| f(id, b, t)) {
+                    Ok(()) => SweepOutcome::Converged {
+                        block_temperatures: ws.temperatures().to_vec(),
+                        block_powers: ws.powers().to_vec(),
+                        iterations: ws.iterations(),
+                    },
+                    Err(e) => SweepOutcome::from_error(e),
+                }
+            })
+            .collect()
+    }
+
+    fn assert_outcomes_match(got: &[SweepOutcome], want: &[SweepOutcome]) {
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            match (g, w) {
+                (
+                    SweepOutcome::Converged {
+                        block_temperatures: gt,
+                        block_powers: gp,
+                        iterations: gi,
+                    },
+                    SweepOutcome::Converged {
+                        block_temperatures: wt,
+                        block_powers: wp,
+                        iterations: wi,
+                    },
+                ) => {
+                    assert_eq!(gi, wi, "scenario {i} iterations");
+                    for (a, b) in gt.iter().zip(wt) {
+                        assert!((a - b).abs() < 1e-9, "scenario {i}: {a} vs {b}");
+                    }
+                    for (a, b) in gp.iter().zip(wp) {
+                        assert!((a - b).abs() < 1e-9 * b.abs().max(1.0), "scenario {i}");
+                    }
+                }
+                (
+                    SweepOutcome::Runaway {
+                        iteration: gi,
+                        temperature: gt,
+                    },
+                    SweepOutcome::Runaway {
+                        iteration: wi,
+                        temperature: wt,
+                    },
+                ) => {
+                    // Divergence amplifies the ULP-level gap in absolute
+                    // terms; relative agreement stays at the contract.
+                    assert_eq!(gi, wi, "scenario {i} runaway iteration");
+                    assert!(
+                        (gt - wt).abs() <= 1e-9 * wt.abs(),
+                        "scenario {i}: {gt} vs {wt}"
+                    );
+                }
+                (
+                    SweepOutcome::BadPower {
+                        block: gb,
+                        power: gp,
+                    },
+                    SweepOutcome::BadPower {
+                        block: wb,
+                        power: wp,
+                    },
+                ) => {
+                    // Bitwise power comparison: NaN payloads must match too.
+                    assert_eq!(gb, wb, "scenario {i} bad block");
+                    assert_eq!(gp.to_bits(), wp.to_bits(), "scenario {i} bad power");
+                }
+                (g, w) => assert_eq!(g, w, "scenario {i}"),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_of_one_matches_the_oracle() {
+        let s = solver();
+        let op = s.operator();
+        let f = |_id: usize, _b: usize, t: f64| 0.2 + 0.03 * ((t - 300.0) / 25.0).exp2();
+        let got = BatchedSolver::new(&s, &op).solve(
+            &[310.0],
+            &mut FnBatchPower::new(f),
+            &mut BatchWorkspace::new(),
+        );
+        assert_outcomes_match(&got, &oracle(&s, &op, &[310.0], f));
+    }
+
+    #[test]
+    fn all_runaway_batch_retires_every_lane() {
+        let s = solver();
+        let op = s.operator();
+        let f = |_id: usize, _b: usize, t: f64| 0.5 * ((t - 300.0) / 3.0).exp2();
+        let got = BatchedSolver::new(&s, &op).solve(
+            &[300.0; 5],
+            &mut FnBatchPower::new(f),
+            &mut BatchWorkspace::new(),
+        );
+        assert_eq!(got.len(), 5);
+        assert!(got
+            .iter()
+            .all(|o| matches!(o, SweepOutcome::Runaway { .. })));
+        assert_outcomes_match(&got, &oracle(&s, &op, &[300.0; 5], f));
+    }
+
+    #[test]
+    fn mixed_batch_converges_runs_away_and_reports_bad_power() {
+        let s = solver();
+        let op = s.operator();
+        // id 0 converges, id 1 runs away, id 2 converges after refill
+        // pressure, id 3 returns NaN power on block 1.
+        let f = |id: usize, b: usize, t: f64| match id {
+            1 => 0.5 * ((t - 300.0) / 3.0).exp2(),
+            3 if b == 1 => f64::NAN,
+            _ => 0.15 * (id + 1) as f64,
+        };
+        let ambients = [300.0, 300.0, 320.0, 300.0];
+        let got = BatchedSolver::new(&s, &op).solve(
+            &ambients,
+            &mut FnBatchPower::new(f),
+            &mut BatchWorkspace::new(),
+        );
+        assert!(got[0].is_converged());
+        assert!(matches!(got[1], SweepOutcome::Runaway { .. }));
+        assert!(got[2].is_converged());
+        assert!(matches!(
+            got[3],
+            SweepOutcome::BadPower { block: 1, power: _ }
+        ));
+        assert_outcomes_match(&got, &oracle(&s, &op, &ambients, f));
+    }
+
+    #[test]
+    fn empty_floorplan_converges_immediately() {
+        let fp = Floorplan::new(ChipGeometry::paper_1mm(), Vec::new()).expect("empty plan");
+        let s = ElectroThermalSolver::new(fp);
+        let op = s.operator();
+        assert!(op.is_empty());
+        let got = BatchedSolver::new(&s, &op).solve(
+            &[300.0, 350.0],
+            &mut FnBatchPower::new(|_, _, _| 0.0),
+            &mut BatchWorkspace::new(),
+        );
+        for o in &got {
+            match o {
+                SweepOutcome::Converged {
+                    block_temperatures,
+                    block_powers,
+                    iterations,
+                } => {
+                    assert!(block_temperatures.is_empty());
+                    assert!(block_powers.is_empty());
+                    assert_eq!(*iterations, 1);
+                }
+                other => panic!("expected convergence, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let s = solver();
+        let op = s.operator();
+        let got = BatchedSolver::new(&s, &op).solve(
+            &[],
+            &mut FnBatchPower::new(|_, _, _| 0.1),
+            &mut BatchWorkspace::new(),
+        );
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn lane_refill_drives_more_scenarios_than_lanes() {
+        let s = solver();
+        let op = s.operator();
+        // 11 scenarios through 3 lanes; iteration counts vary with id.
+        let f = |id: usize, _b: usize, t: f64| {
+            0.05 + 0.02 * (id % 4) as f64 + 0.02 * ((t - 300.0) / 30.0).exp2()
+        };
+        let ambients: Vec<f64> = (0..11).map(|i| 295.0 + i as f64).collect();
+        let mut out: Vec<Option<SweepOutcome>> = (0..11).map(|_| None).collect();
+        let mut next = 0usize;
+        let batched = BatchedSolver::new(&s, &op);
+        batched.drive(
+            3,
+            &mut FnBatchPower::new(f),
+            &mut BatchWorkspace::new(),
+            &mut || {
+                (next < 11).then(|| {
+                    let id = next;
+                    next += 1;
+                    (id, ambients[id])
+                })
+            },
+            &mut |id, o| out[id] = Some(o),
+        );
+        let got: Vec<SweepOutcome> = out.into_iter().map(Option::unwrap).collect();
+        assert_outcomes_match(&got, &oracle(&s, &op, &ambients, f));
+    }
+
+    #[test]
+    fn zero_lane_drive_still_resolves_every_scenario() {
+        // `drive` clamps the lane count, so a computed width of 0 cannot
+        // silently drop scenarios.
+        let s = solver();
+        let op = s.operator();
+        let mut resolved = 0usize;
+        let mut next = 0usize;
+        BatchedSolver::new(&s, &op).drive(
+            0,
+            &mut FnBatchPower::new(|_, _, _| 0.2),
+            &mut BatchWorkspace::new(),
+            &mut || {
+                (next < 3).then(|| {
+                    let id = next;
+                    next += 1;
+                    (id, 300.0)
+                })
+            },
+            &mut |_, outcome| {
+                assert!(outcome.is_converged());
+                resolved += 1;
+            },
+        );
+        assert_eq!(resolved, 3);
+    }
+
+    #[test]
+    fn workspace_is_reusable_across_batches() {
+        let s = solver();
+        let op = s.operator();
+        let batched = BatchedSolver::new(&s, &op);
+        let mut ws = BatchWorkspace::new();
+        let f = |_id: usize, _b: usize, _t: f64| 0.3;
+        let first = batched.solve(&[300.0; 4], &mut FnBatchPower::new(f), &mut ws);
+        // Different batch width, stale state must not leak.
+        let second = batched.solve(&[300.0; 2], &mut FnBatchPower::new(f), &mut ws);
+        assert_eq!(&first[..2], &second[..]);
+    }
+}

@@ -22,19 +22,29 @@
 //!
 //! The thermal direction is linear in the block powers, so the per-iteration
 //! closed-form solve factors into a per-floorplan precomputation
-//! ([`ThermalOperator`], the influence matrix of Eq. 21) and an `O(n²)`
+//! ([`ThermalOperator`], the influence matrix of Eq. 21 — itself built
+//! row-parallel over an allocation-free image iterator) and an `O(n²)`
 //! matrix-vector product. [`ElectroThermalSolver::solve`] builds the
 //! operator once per call; [`ElectroThermalSolver::solve_with`] accepts a
-//! shared operator and a reusable [`Workspace`] so repeated solves — the
-//! [`SweepEngine`] fanning a scenario grid across
-//! threads — allocate nothing in steady state.
+//! shared operator and a reusable [`Workspace`] so repeated solves
+//! allocate nothing in steady state.
+//!
+//! Sweeps go one level further: scenario solves are independent *and*
+//! structurally identical, so [`BatchedSolver`] advances a whole batch
+//! of scenarios per Picard step — one `n×n · n×B` GEMM instead of `B`
+//! mat-vecs, batched Eq. 13 exponentials, and lane refill as scenarios
+//! resolve. [`SweepEngine::run`] shards a scenario grid across worker
+//! threads on that hot path; [`SweepEngine::run_per_scenario`] keeps the
+//! one-at-a-time path as the exact oracle. See `docs/PERFORMANCE.md`.
 //!
 //! Equation-to-code map: see `docs/EQUATIONS.md` at the repository root.
 
+pub mod batch;
 pub mod operator;
 pub mod power_model;
 pub mod sweep;
 
+pub use batch::{BatchPowerModel, BatchWorkspace, BatchedSolver};
 pub use operator::{ThermalOperator, Workspace};
 pub use sweep::{Scenario, ScenarioGrid, SweepEngine, SweepOutcome, SweepReport};
 

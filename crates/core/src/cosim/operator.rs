@@ -22,7 +22,7 @@
 //! [`Matrix::mul_vec_into`]. See `docs/EQUATIONS.md` for the
 //! paper-equation map.
 
-use crate::thermal::images::expand_images;
+use crate::thermal::images::expand_images_iter;
 use crate::thermal::profile::BlockKernel;
 use ptherm_floorplan::Floorplan;
 use ptherm_math::Matrix;
@@ -70,36 +70,77 @@ impl ThermalOperator {
     }
 
     /// Builds the operator with an explicit image configuration (see
-    /// [`ThermalModel::with_image_orders`](crate::thermal::ThermalModel::with_image_orders)).
+    /// [`ThermalModel::with_image_orders`](crate::thermal::ThermalModel::with_image_orders))
+    /// on one worker per available CPU.
     ///
     /// Block powers recorded in `floorplan` are ignored: the operator is
     /// geometry-only and applies to any power vector.
     pub fn with_image_orders(floorplan: &Floorplan, lateral_order: usize, z_order: usize) -> Self {
+        Self::with_image_orders_threaded(
+            floorplan,
+            lateral_order,
+            z_order,
+            ptherm_par::default_threads(),
+        )
+    }
+
+    /// [`Self::with_image_orders`] with an explicit worker count.
+    ///
+    /// The build is embarrassingly parallel and allocation-free per
+    /// entry: each worker owns a disjoint run of influence-matrix rows,
+    /// and every `(target, source)` entry streams the source's image
+    /// lattice through [`expand_images_iter`] — no per-block image `Vec`
+    /// exists. Every entry is computed identically regardless of the
+    /// worker count, so the result is bit-identical from 1 to N threads.
+    pub fn with_image_orders_threaded(
+        floorplan: &Floorplan,
+        lateral_order: usize,
+        z_order: usize,
+        threads: usize,
+    ) -> Self {
         let g = floorplan.geometry();
         let blocks = floorplan.blocks();
         let n = blocks.len();
+        // Thread spawn/join costs tens of microseconds; tiny floorplans
+        // (one-shot `ElectroThermalSolver::solve` calls on a handful of
+        // blocks) build faster inline than fanned out.
+        let threads = if n < 8 { 1 } else { threads };
+        // Unit-power kernels, hoisted once: Eq. 20 is linear in P, so the
+        // per-watt kernel of each source serves every target row.
+        let kernels: Vec<BlockKernel> = blocks
+            .iter()
+            .map(|b| BlockKernel::for_block(b, g.conductivity, 1.0))
+            .collect();
         let mut influence = Matrix::zeros(n, n);
-        for (j, source) in blocks.iter().enumerate() {
-            // Unit-power kernel and image lattice of source block j.
-            let kernel = BlockKernel::for_block(source, g.conductivity, 1.0);
-            let images = expand_images(
-                source.cx,
-                source.cy,
-                g.width,
-                g.length,
-                g.thickness,
+        if n == 0 {
+            return ThermalOperator {
+                influence,
+                sink_temperature: g.sink_temperature,
                 lateral_order,
                 z_order,
-            );
-            for (i, target) in blocks.iter().enumerate() {
-                let mut rise = 0.0;
-                for img in &images {
-                    rise +=
-                        img.sign * kernel.rise(target.cx - img.cx, target.cy - img.cy, img.depth);
-                }
-                influence[(i, j)] = rise;
-            }
+            };
         }
+        ptherm_par::par_partition_mut(threads, influence.as_mut_slice(), n, |first_row, rows| {
+            for (di, row) in rows.chunks_mut(n).enumerate() {
+                let target = &blocks[first_row + di];
+                for ((entry, source), kernel) in row.iter_mut().zip(blocks).zip(&kernels) {
+                    let mut rise = 0.0;
+                    for img in expand_images_iter(
+                        source.cx,
+                        source.cy,
+                        g.width,
+                        g.length,
+                        g.thickness,
+                        lateral_order,
+                        z_order,
+                    ) {
+                        rise += img.sign
+                            * kernel.rise(target.cx - img.cx, target.cy - img.cy, img.depth);
+                    }
+                    *entry = rise;
+                }
+            }
+        });
         ThermalOperator {
             influence,
             sink_temperature: g.sink_temperature,
@@ -310,6 +351,39 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn threaded_build_is_bit_identical_to_serial() {
+        let fp = ptherm_floorplan::generator::tiled(
+            ptherm_floorplan::ChipGeometry::paper_1mm(),
+            3,
+            3,
+            0.1,
+            0.4,
+            7,
+        )
+        .expect("valid tiling");
+        let serial = ThermalOperator::with_image_orders_threaded(&fp, 2, 5, 1);
+        for threads in [2, 4, 16] {
+            let parallel = ThermalOperator::with_image_orders_threaded(&fp, 2, 5, threads);
+            assert_eq!(
+                serial.influence().as_slice(),
+                parallel.influence().as_slice(),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_floorplan_builds_an_empty_operator() {
+        let fp = Floorplan::new(ptherm_floorplan::ChipGeometry::paper_1mm(), Vec::new())
+            .expect("empty plan");
+        let op = ThermalOperator::new(&fp);
+        assert!(op.is_empty());
+        assert_eq!(op.len(), 0);
+        let out: Vec<f64> = op.temperatures(&[]);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -7,16 +7,23 @@
 //!
 //! 1. the thermal influence operator is fixed per floorplan — the
 //!    [`ThermalOperator`] is computed **once** and shared read-only by
-//!    every scenario (and every thread), and
-//! 2. each scenario solve is independent — a scoped-thread pool fans them
-//!    out, one reusable [`Workspace`] per worker, so the steady-state
-//!    inner loop allocates nothing.
+//!    every scenario (and every thread),
+//! 2. each scenario solve is independent — worker threads pull scenario
+//!    indices from one shared cursor, and
+//! 3. the per-iteration work is **batchable** — [`SweepEngine::run`]
+//!    advances [`SweepEngine::batch_lanes`] scenarios per Picard step
+//!    through the GEMM-batched [`BatchedSolver`], refilling lanes as
+//!    scenarios resolve, with the power law's exponentials evaluated in
+//!    batch ([`ScaledTechPower`]'s vectorized adapter).
 //!
-//! [`SweepEngine`] packages both. Scenario solves go through exactly the
-//! same [`ElectroThermalSolver::solve_with_ambient`] iteration as one-shot
-//! [`ElectroThermalSolver::solve`] calls, so batched results are
-//! **bit-identical** to one-shot results — asserted by this module's
-//! tests and the `sweep` benchmark.
+//! [`SweepEngine`] packages all three. Batched outcomes match the
+//! per-scenario oracle ([`SweepEngine::run_per_scenario`], the exact
+//! [`ElectroThermalSolver::solve_with_ambient`] path) within the ULP
+//! contract documented in [`crate::cosim::batch`] and
+//! `docs/PERFORMANCE.md` — same outcome kinds, same iteration counts,
+//! temperatures to ~1e-9 K — asserted by this module's tests, the
+//! workspace property suite and the `sweep` benchmark. Results never
+//! depend on the thread count or batch width.
 //!
 //! # Example: a Vdd × activity grid on the paper floorplan
 //!
@@ -36,10 +43,13 @@
 //! assert!(report.converged_count() > 0);
 //! ```
 
+use crate::cosim::batch::{BatchPowerModel, BatchWorkspace, BatchedSolver};
 use crate::cosim::{CosimError, ElectroThermalSolver, ThermalOperator, Workspace};
 use ptherm_floorplan::Floorplan;
+use ptherm_math::{expv, MultiVec};
 use ptherm_tech::{Polarity, Technology};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One point of a sweep: the knobs the paper's models expose per run.
 #[derive(Debug, Clone, PartialEq)]
@@ -128,31 +138,50 @@ impl ScenarioGrid {
         self.len() == 0
     }
 
-    /// Materializes every scenario in enumeration order.
+    /// The scenario at position `index` of the enumeration order —
+    /// random access by mixed-radix decode, no materialization.
     /// `default_ambient_k` fills the ambient axis when none was set —
     /// [`SweepEngine::run`] passes the floorplan's sink temperature.
-    pub fn scenarios(&self, default_ambient_k: f64) -> Vec<Scenario> {
-        let ambients = if self.ambients_k.is_empty() {
-            vec![default_ambient_k]
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn scenario(&self, index: usize, default_ambient_k: f64) -> Scenario {
+        assert!(index < self.len(), "scenario index out of range");
+        let nv = self.vdd_scales.len();
+        let na = self.activities.len();
+        let namb = self.ambients_k.len().max(1);
+        let vdd_scale = self.vdd_scales[index % nv];
+        let rest = index / nv;
+        let activity = self.activities[rest % na];
+        let rest = rest / na;
+        let ambient_k = if self.ambients_k.is_empty() {
+            default_ambient_k
         } else {
-            self.ambients_k.clone()
+            self.ambients_k[rest % namb]
         };
-        let mut out = Vec::with_capacity(self.len());
-        for tech_index in 0..self.technologies.len() {
-            for &ambient_k in &ambients {
-                for &activity in &self.activities {
-                    for &vdd_scale in &self.vdd_scales {
-                        out.push(Scenario {
-                            vdd_scale,
-                            activity,
-                            ambient_k,
-                            tech_index,
-                        });
-                    }
-                }
-            }
+        Scenario {
+            vdd_scale,
+            activity,
+            ambient_k,
+            tech_index: rest / namb,
         }
-        out
+    }
+
+    /// Lazily enumerates every scenario in order — the allocation-free
+    /// form the sweep engine shards from. See [`Self::scenario`] for the
+    /// `default_ambient_k` semantics.
+    pub fn iter_scenarios(
+        &self,
+        default_ambient_k: f64,
+    ) -> impl ExactSizeIterator<Item = Scenario> + '_ {
+        (0..self.len()).map(move |i| self.scenario(i, default_ambient_k))
+    }
+
+    /// Materializes every scenario in enumeration order (a collected
+    /// [`Self::iter_scenarios`]).
+    pub fn scenarios(&self, default_ambient_k: f64) -> Vec<Scenario> {
+        self.iter_scenarios(default_ambient_k).collect()
     }
 }
 
@@ -168,6 +197,73 @@ pub trait ScenarioPowerModel: Sync {
         block: usize,
         temperature_k: f64,
     ) -> f64;
+
+    /// Builds the batched form of this model for one sweep worker:
+    /// scenario ids map into `grid` (see [`ScenarioGrid::scenario`]) and
+    /// `lanes` is the worker's batch width.
+    ///
+    /// The default wraps [`Self::block_power`] scalar calls — correct for
+    /// every model, making the same power evaluations as the
+    /// per-scenario path (the only remaining batched-vs-oracle
+    /// difference is the GEMM tier's fused multiply-adds). Models whose
+    /// hot loop vectorizes (like [`ScaledTechPower`], which batches its
+    /// Eq. 13 exponentials through [`ptherm_math::expv`]) override this;
+    /// such overrides may differ from the scalar calls at the documented
+    /// ULP level.
+    fn batched<'a>(
+        &'a self,
+        grid: &'a ScenarioGrid,
+        default_ambient_k: f64,
+        lanes: usize,
+    ) -> Box<dyn BatchPowerModel + 'a>
+    where
+        Self: Sized,
+    {
+        Box::new(ScalarScenarioBatch {
+            model: self,
+            grid,
+            default_ambient_k,
+            lane_scenarios: vec![None; lanes],
+        })
+    }
+}
+
+/// Default [`BatchPowerModel`] adapter: per-lane scalar
+/// [`ScenarioPowerModel::block_power`] calls, exactly the evaluations
+/// the per-scenario path makes.
+struct ScalarScenarioBatch<'a, M: ?Sized> {
+    model: &'a M,
+    grid: &'a ScenarioGrid,
+    default_ambient_k: f64,
+    lane_scenarios: Vec<Option<Scenario>>,
+}
+
+impl<M: ScenarioPowerModel + ?Sized> BatchPowerModel for ScalarScenarioBatch<'_, M> {
+    fn begin_lane(&mut self, lane: usize, id: usize) {
+        self.lane_scenarios[lane] = Some(self.grid.scenario(id, self.default_ambient_k));
+    }
+
+    fn fill_powers(&mut self, temps: &MultiVec, powers: &mut MultiVec) {
+        let techs = self.grid.technologies();
+        for i in 0..temps.rows() {
+            for (j, s) in self.lane_scenarios.iter().enumerate() {
+                if let Some(s) = s {
+                    let p = self
+                        .model
+                        .block_power(s, &techs[s.tech_index], i, temps.get(i, j));
+                    powers.set(i, j, p);
+                }
+            }
+        }
+    }
+
+    fn lane_power(&self, lane: usize, block: usize, t: f64) -> f64 {
+        let s = self.lane_scenarios[lane]
+            .as_ref()
+            .expect("lane_power on an empty lane");
+        self.model
+            .block_power(s, &self.grid.technologies()[s.tech_index], block, t)
+    }
 }
 
 impl<F> ScenarioPowerModel for F
@@ -291,6 +387,17 @@ impl ScaledTechPower {
             .collect();
         self
     }
+
+    /// `I_off(T_ref)` for `scenario`'s technology: the prepared cache
+    /// entry when its key matches bitwise, the fresh computation
+    /// otherwise. Shared by the scalar and batched evaluation paths, so
+    /// both resolve exactly the same reference current.
+    fn reference_off_current(&self, scenario: &Scenario, tech: &Technology) -> f64 {
+        match self.i_ref_per_tech.get(scenario.tech_index) {
+            Some((key, i_ref)) if *key == IRefKey::of(tech) => *i_ref,
+            _ => tech.nominal_off_current(Polarity::Nmos, tech.nmos.w_min, tech.t_ref),
+        }
+    }
 }
 
 impl ScenarioPowerModel for ScaledTechPower {
@@ -303,13 +410,220 @@ impl ScenarioPowerModel for ScaledTechPower {
     ) -> f64 {
         let dynamic =
             scenario.activity * scenario.vdd_scale * scenario.vdd_scale * self.dynamic_w[block];
-        let i_ref = match self.i_ref_per_tech.get(scenario.tech_index) {
-            Some((key, i_ref)) if *key == IRefKey::of(tech) => *i_ref,
-            _ => tech.nominal_off_current(Polarity::Nmos, tech.nmos.w_min, tech.t_ref),
-        };
+        let i_ref = self.reference_off_current(scenario, tech);
         let i_t = tech.nominal_off_current(Polarity::Nmos, tech.nmos.w_min, temperature_k);
         let stat = scenario.vdd_scale * self.leakage_ref_w[block] * (i_t / i_ref);
         dynamic + stat
+    }
+
+    fn batched<'a>(
+        &'a self,
+        grid: &'a ScenarioGrid,
+        default_ambient_k: f64,
+        lanes: usize,
+    ) -> Box<dyn BatchPowerModel + 'a> {
+        Box::new(ScaledTechBatch::new(self, grid, default_ambient_k, lanes))
+    }
+}
+
+/// Vectorized batch form of [`ScaledTechPower`].
+///
+/// Per lane, everything scenario-dependent but temperature-independent is
+/// folded into constants when the lane is (re)loaded, so one Picard step
+/// evaluates, per element,
+///
+/// ```text
+/// P = s_dyn·P_dyn[i] + s_leak·P_leak[i] · (pre·T²·c_sq·e^{x1}·(1−e^{x2}))·c_ref
+/// x1 = c_1·(V_t0 − k_T·(T − T_ref))·(1/T)        x2 = c_2·(1/T)
+/// ```
+///
+/// with a single division (`1/T`) and both exponentials batched through
+/// [`ptherm_math::expv::exp_into`]. Algebraically this is exactly the
+/// Eq. 13 law [`ScaledTechPower::block_power`] evaluates; numerically it
+/// departs from the scalar path in two documented ways: the constant
+/// folding reassociates a handful of multiplications/divisions (≈2e-16
+/// relative each) and `expv` carries ≤5e-13 relative error — together
+/// ≤ ~1e-12 relative on the leakage term, the contract
+/// `docs/PERFORMANCE.md` and the batch-oracle tests assert.
+struct ScaledTechBatch<'a> {
+    model: &'a ScaledTechPower,
+    grid: &'a ScenarioGrid,
+    default_ambient_k: f64,
+    /// Scenario loaded in each lane (for the scalar refresh calls).
+    lane_scenarios: Vec<Option<Scenario>>,
+    /// `activity·vdd_scale²` per lane.
+    s_dyn: Vec<f64>,
+    /// `vdd_scale` per lane.
+    s_leak: Vec<f64>,
+    /// `(w_min/L)·I0` per lane.
+    pre: Vec<f64>,
+    /// `V_t0`, `k_T`, `T_ref` of the lane's technology.
+    vt0: Vec<f64>,
+    k_t: Vec<f64>,
+    t_ref: Vec<f64>,
+    /// `−q/(n·k_B)` per lane (folds the thermal-voltage and `n` divisions
+    /// out of the exponent).
+    c_1: Vec<f64>,
+    /// `−V_DD·q/k_B` per lane.
+    c_2: Vec<f64>,
+    /// `1/T_ref²` per lane.
+    c_sq: Vec<f64>,
+    /// `1/I_off(T_ref)` per lane.
+    c_ref: Vec<f64>,
+    /// Full `n × lanes` exponent/exponential panels: batching the two
+    /// `exp` sweeps into one [`expv::exp_into`] call each per Picard step
+    /// amortizes the kernel's per-call overhead across the whole batch.
+    x1: MultiVec,
+    x2: MultiVec,
+    ex1: MultiVec,
+    ex2: MultiVec,
+    /// Block-length scratch for the per-lane refresh.
+    refresh_x: Vec<f64>,
+    refresh_e: Vec<f64>,
+}
+
+/// `q/k_B`, the kelvin-per-volt slope the thermal voltage folds to.
+fn charge_over_boltzmann() -> f64 {
+    use ptherm_tech::constants::{BOLTZMANN, ELEMENTARY_CHARGE};
+    ELEMENTARY_CHARGE / BOLTZMANN
+}
+
+impl<'a> ScaledTechBatch<'a> {
+    fn new(
+        model: &'a ScaledTechPower,
+        grid: &'a ScenarioGrid,
+        default_ambient_k: f64,
+        lanes: usize,
+    ) -> Self {
+        let n = model.dynamic_w.len();
+        ScaledTechBatch {
+            model,
+            grid,
+            default_ambient_k,
+            lane_scenarios: vec![None; lanes],
+            s_dyn: vec![0.0; lanes],
+            s_leak: vec![0.0; lanes],
+            pre: vec![0.0; lanes],
+            vt0: vec![0.0; lanes],
+            k_t: vec![0.0; lanes],
+            t_ref: vec![0.0; lanes],
+            c_1: vec![0.0; lanes],
+            c_2: vec![0.0; lanes],
+            c_sq: vec![0.0; lanes],
+            c_ref: vec![0.0; lanes],
+            x1: MultiVec::zeros(n, lanes),
+            x2: MultiVec::zeros(n, lanes),
+            ex1: MultiVec::zeros(n, lanes),
+            ex2: MultiVec::zeros(n, lanes),
+            refresh_x: vec![0.0; n],
+            refresh_e: vec![0.0; n],
+        }
+    }
+}
+
+impl BatchPowerModel for ScaledTechBatch<'_> {
+    fn begin_lane(&mut self, lane: usize, id: usize) {
+        let s = self.grid.scenario(id, self.default_ambient_k);
+        let tech = &self.grid.technologies()[s.tech_index];
+        let p = &tech.nmos;
+        let q_over_k = charge_over_boltzmann();
+        self.s_dyn[lane] = s.activity * s.vdd_scale * s.vdd_scale;
+        self.s_leak[lane] = s.vdd_scale;
+        self.pre[lane] = (p.w_min / p.l) * p.i0;
+        self.vt0[lane] = p.vt0;
+        self.k_t[lane] = p.k_t;
+        self.t_ref[lane] = tech.t_ref;
+        self.c_1[lane] = -(q_over_k / p.n);
+        self.c_2[lane] = -(tech.vdd * q_over_k);
+        self.c_sq[lane] = 1.0 / (tech.t_ref * tech.t_ref);
+        self.c_ref[lane] = 1.0 / self.model.reference_off_current(&s, tech);
+        self.lane_scenarios[lane] = Some(s);
+    }
+
+    fn fill_powers(&mut self, temps: &MultiVec, powers: &mut MultiVec) {
+        let n = temps.rows();
+        let lanes = temps.lanes();
+        debug_assert_eq!(n, self.model.dynamic_w.len());
+        // Fixed-length slice bindings hoist every bounds check out of the
+        // per-element loops so they vectorize cleanly.
+        let vt0 = &self.vt0[..lanes];
+        let k_t = &self.k_t[..lanes];
+        let t_ref = &self.t_ref[..lanes];
+        let c_1 = &self.c_1[..lanes];
+        let c_2 = &self.c_2[..lanes];
+        // Pass 1: the Eq. 13 exponents with the divisions folded to one
+        // `1/T` per element.
+        for i in 0..n {
+            let trow = &temps.component(i)[..lanes];
+            let x1 = &mut self.x1.component_mut(i)[..lanes];
+            let x2 = &mut self.x2.component_mut(i)[..lanes];
+            for j in 0..lanes {
+                let t = trow[j];
+                let inv_t = 1.0 / t;
+                let vth = vt0[j] - k_t[j] * (t - t_ref[j]);
+                x1[j] = c_1[j] * vth * inv_t;
+                x2[j] = c_2[j] * inv_t;
+            }
+        }
+        // Pass 2: both exponential sweeps over the whole panel at once.
+        expv::exp_into(self.x1.as_slice(), self.ex1.as_mut_slice());
+        expv::exp_into(self.x2.as_slice(), self.ex2.as_mut_slice());
+        // Pass 3: assemble dynamic + leakage power.
+        let pre = &self.pre[..lanes];
+        let c_sq = &self.c_sq[..lanes];
+        let c_ref = &self.c_ref[..lanes];
+        let s_dyn = &self.s_dyn[..lanes];
+        let s_leak = &self.s_leak[..lanes];
+        for i in 0..n {
+            let trow = &temps.component(i)[..lanes];
+            let e1 = &self.ex1.component(i)[..lanes];
+            let e2 = &self.ex2.component(i)[..lanes];
+            let dw = self.model.dynamic_w[i];
+            let lw = self.model.leakage_ref_w[i];
+            let prow = &mut powers.component_mut(i)[..lanes];
+            for j in 0..lanes {
+                let t = trow[j];
+                let i_t = pre[j] * ((t * t) * c_sq[j]) * e1[j] * (1.0 - e2[j]);
+                prow[j] = s_dyn[j] * dw + (s_leak[j] * lw) * (i_t * c_ref[j]);
+            }
+        }
+    }
+
+    fn lane_power(&self, lane: usize, block: usize, t: f64) -> f64 {
+        let s = self.lane_scenarios[lane]
+            .as_ref()
+            .expect("lane_power on an empty lane");
+        self.model
+            .block_power(s, &self.grid.technologies()[s.tech_index], block, t)
+    }
+
+    fn refresh_lane(&mut self, lane: usize, temps: &[f64], powers: &mut [f64]) {
+        // Same folded arithmetic as `fill_powers`, vectorized across the
+        // blocks of this one lane; `powers` doubles as the e^{x2} scratch.
+        let n = temps.len();
+        {
+            let x = &mut self.refresh_x[..n];
+            for (x, &t) in x.iter_mut().zip(temps) {
+                let vth = self.vt0[lane] - self.k_t[lane] * (t - self.t_ref[lane]);
+                *x = self.c_1[lane] * vth * (1.0 / t);
+            }
+            expv::exp_into(x, &mut self.refresh_e[..n]);
+        }
+        {
+            let x = &mut self.refresh_x[..n];
+            for (x, &t) in x.iter_mut().zip(temps) {
+                *x = self.c_2[lane] * (1.0 / t);
+            }
+            expv::exp_into(x, powers);
+        }
+        for b in 0..n {
+            let t = temps[b];
+            let e2v = powers[b];
+            let i_t =
+                self.pre[lane] * ((t * t) * self.c_sq[lane]) * self.refresh_e[b] * (1.0 - e2v);
+            powers[b] = self.s_dyn[lane] * self.model.dynamic_w[b]
+                + (self.s_leak[lane] * self.model.leakage_ref_w[b]) * (i_t * self.c_ref[lane]);
+        }
     }
 }
 
@@ -370,7 +684,7 @@ impl SweepOutcome {
         }
     }
 
-    fn from_error(err: CosimError) -> Self {
+    pub(crate) fn from_error(err: CosimError) -> Self {
         match err {
             CosimError::ThermalRunaway {
                 iteration,
@@ -483,14 +797,24 @@ impl fmt::Display for SweepReport {
 /// Batched, parallel sweep driver for one floorplan.
 ///
 /// Construction precomputes the [`ThermalOperator`]; [`SweepEngine::run`]
-/// then fans scenarios across worker threads, each owning one reusable
-/// [`Workspace`]. See the [module docs](self) for the full picture.
+/// then shards the scenario stream across worker threads, each advancing
+/// a [`BatchedSolver`] batch of [`Self::batch_lanes`] scenarios per
+/// Picard step and refilling lanes from a shared cursor as scenarios
+/// resolve. See the [module docs](self) for the full picture and
+/// [`Self::run_per_scenario`] for the one-at-a-time oracle path.
 #[derive(Debug)]
 pub struct SweepEngine {
     solver: ElectroThermalSolver,
     operator: ThermalOperator,
     threads: usize,
+    batch_lanes: usize,
 }
+
+/// Default batch width: wide enough to amortize every influence-matrix
+/// load across several SIMD register tiles, small enough that the batch
+/// panels of a mid-size floorplan stay cache-resident per worker (the
+/// `sweep` bench sweeps this knob; 64 wins on AVX-512 and AVX2 alike).
+const DEFAULT_BATCH_LANES: usize = 64;
 
 impl SweepEngine {
     /// Engine with the default solver configuration and one worker per
@@ -507,6 +831,7 @@ impl SweepEngine {
             solver,
             operator,
             threads: ptherm_par::default_threads(),
+            batch_lanes: DEFAULT_BATCH_LANES,
         }
     }
 
@@ -514,6 +839,16 @@ impl SweepEngine {
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the scenarios-per-batch width of the GEMM-batched hot path
+    /// (1 = scalar-shaped batches, still through the batched solver).
+    /// Results are bitwise identical across widths: every lane runs the
+    /// same per-lane operation sequence whatever its batch neighbours.
+    #[must_use]
+    pub fn batch_lanes(mut self, lanes: usize) -> Self {
+        self.batch_lanes = lanes.max(1);
         self
     }
 
@@ -546,23 +881,109 @@ impl SweepEngine {
         ScaledTechPower::area_weighted(self.solver.floorplan(), total_dynamic_w, total_leakage_w)
     }
 
-    /// Sweeps a scenario grid under a power model. A grid without an
-    /// explicit ambient axis inherits this engine's floorplan sink
-    /// temperature, matching one-shot solves.
+    /// Sweeps a scenario grid under a power model through the
+    /// GEMM-batched hot path. A grid without an explicit ambient axis
+    /// inherits this engine's floorplan sink temperature, matching
+    /// one-shot solves.
+    ///
+    /// Workers pull scenario indices from one shared cursor (dynamic
+    /// sharding), refilling their batch lanes as scenarios resolve, so
+    /// outcomes are independent of the thread count and batch width.
+    /// Results agree with [`Self::run_per_scenario`] to the ULP-level
+    /// contract documented in [`crate::cosim::batch`].
     pub fn run<M: ScenarioPowerModel>(&self, grid: &ScenarioGrid, model: &M) -> SweepReport {
+        let sink_k = self.operator.sink_temperature();
+        let total = grid.len();
+        self.run_batched(
+            total,
+            |id| grid.scenario(id, sink_k).ambient_k,
+            || model.batched(grid, sink_k, self.batch_lanes),
+        )
+    }
+
+    /// The generic batched entry point: sweeps arbitrary scenario values
+    /// with caller-supplied ambient and power functions. Outcomes
+    /// preserve input order.
+    pub fn run_scenarios<S, A, P>(&self, scenarios: &[S], ambient_k: A, power: P) -> SweepReport
+    where
+        S: Sync,
+        A: Fn(&S) -> f64 + Sync,
+        P: Fn(&S, usize, f64) -> f64 + Sync,
+    {
+        self.run_batched(
+            scenarios.len(),
+            |id| ambient_k(&scenarios[id]),
+            || {
+                Box::new(crate::cosim::batch::FnBatchPower::new(
+                    |id: usize, block: usize, t: f64| power(&scenarios[id], block, t),
+                ))
+            },
+        )
+    }
+
+    /// Shared batched driver: `total` scenario ids, an ambient lookup and
+    /// a per-worker batched-model factory.
+    fn run_batched<'m>(
+        &self,
+        total: usize,
+        ambient_of: impl Fn(usize) -> f64 + Sync,
+        make_model: impl Fn() -> Box<dyn BatchPowerModel + 'm> + Sync,
+    ) -> SweepReport {
+        let cursor = AtomicUsize::new(0);
+        let per_worker = ptherm_par::par_workers(self.threads, |_worker| {
+            let mut model = make_model();
+            let mut ws = BatchWorkspace::new();
+            let mut collected: Vec<(usize, SweepOutcome)> = Vec::new();
+            BatchedSolver::new(&self.solver, &self.operator).drive(
+                self.batch_lanes,
+                &mut *model,
+                &mut ws,
+                &mut || {
+                    let id = cursor.fetch_add(1, Ordering::Relaxed);
+                    (id < total).then(|| (id, ambient_of(id)))
+                },
+                &mut |id, outcome| collected.push((id, outcome)),
+            );
+            collected
+        });
+        let mut outcomes: Vec<Option<SweepOutcome>> = (0..total).map(|_| None).collect();
+        for (id, outcome) in per_worker.into_iter().flatten() {
+            outcomes[id] = Some(outcome);
+        }
+        SweepReport {
+            outcomes: outcomes
+                .into_iter()
+                .map(|o| o.expect("every scenario resolved"))
+                .collect(),
+        }
+    }
+
+    /// The pre-batching reference path: each scenario solved one at a
+    /// time through [`ElectroThermalSolver::solve_with_ambient`] on the
+    /// shared operator, fanned over worker threads. Kept as the exact
+    /// oracle the batched engine is validated (and benchmarked) against.
+    pub fn run_per_scenario<M: ScenarioPowerModel>(
+        &self,
+        grid: &ScenarioGrid,
+        model: &M,
+    ) -> SweepReport {
         let scenarios = grid.scenarios(self.operator.sink_temperature());
         let techs = grid.technologies();
-        self.run_scenarios(
+        self.run_scenarios_per_scenario(
             &scenarios,
             |s| s.ambient_k,
             |s, block, t| model.block_power(s, &techs[s.tech_index], block, t),
         )
     }
 
-    /// The generic entry point: sweeps arbitrary scenario values with
-    /// caller-supplied ambient and power functions. Outcomes preserve
-    /// input order.
-    pub fn run_scenarios<S, A, P>(&self, scenarios: &[S], ambient_k: A, power: P) -> SweepReport
+    /// Generic form of [`Self::run_per_scenario`]: the bit-exact
+    /// per-scenario oracle for arbitrary scenario values.
+    pub fn run_scenarios_per_scenario<S, A, P>(
+        &self,
+        scenarios: &[S],
+        ambient_k: A,
+        power: P,
+    ) -> SweepReport
     where
         S: Sync,
         A: Fn(&S) -> f64 + Sync,
@@ -622,7 +1043,11 @@ mod tests {
     }
 
     #[test]
-    fn batched_results_are_bit_identical_to_one_shot_solves() {
+    fn batched_results_match_one_shot_solves_within_the_ulp_contract() {
+        // The GEMM-batched hot path fuses multiply-adds and batches the
+        // Eq. 13 exponentials (crate::cosim::batch docs), so it agrees
+        // with one-shot solves to ~1e-9 K / 1e-9 relative rather than
+        // bit-for-bit; the per-scenario oracle stays exactly comparable.
         let engine = engine().threads(4);
         let grid = small_grid();
         let model = engine.uniform_tech_power(0.6, 0.05);
@@ -648,13 +1073,63 @@ mod tests {
                         iterations,
                     },
                 ) => {
-                    // Bit-identical: same code path, same operator values.
-                    assert_eq!(ws.temperatures(), block_temperatures.as_slice());
-                    assert_eq!(ws.powers(), block_powers.as_slice());
                     assert_eq!(ws.iterations(), *iterations);
+                    for (a, b) in ws.temperatures().iter().zip(block_temperatures) {
+                        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+                    }
+                    for (a, b) in ws.powers().iter().zip(block_powers) {
+                        assert!((a - b).abs() < 1e-9 * b.abs().max(1.0), "{a} vs {b}");
+                    }
                 }
                 (Err(e), o) => assert_eq!(&SweepOutcome::from_error(e), o),
                 (ok, o) => panic!("mismatched outcomes: {ok:?} vs {o:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_width_does_not_change_results() {
+        // Every lane runs the same per-lane operation sequence whatever
+        // its batch neighbours, so the width knob is bitwise-invisible.
+        let grid = small_grid();
+        let e1 = engine().batch_lanes(1);
+        let model = e1.uniform_tech_power(0.6, 0.05);
+        let narrow = e1.run(&grid, &model);
+        let wide = engine().batch_lanes(128).run(&grid, &model);
+        assert_eq!(narrow.outcomes, wide.outcomes);
+    }
+
+    #[test]
+    fn batched_engine_matches_the_per_scenario_oracle() {
+        let engine = engine();
+        let grid = small_grid();
+        let model = engine.uniform_tech_power(0.6, 0.05).prepared_for(&grid);
+        let batched = engine.run(&grid, &model);
+        let oracle = engine.run_per_scenario(&grid, &model);
+        assert_eq!(batched.len(), oracle.len());
+        for (b, o) in batched.outcomes.iter().zip(&oracle.outcomes) {
+            match (b, o) {
+                (
+                    SweepOutcome::Converged {
+                        block_temperatures: bt,
+                        block_powers: bp,
+                        iterations: bi,
+                    },
+                    SweepOutcome::Converged {
+                        block_temperatures: ot,
+                        block_powers: op,
+                        iterations: oi,
+                    },
+                ) => {
+                    assert_eq!(bi, oi);
+                    for (a, b) in bt.iter().zip(ot) {
+                        assert!((a - b).abs() < 1e-9);
+                    }
+                    for (a, b) in bp.iter().zip(op) {
+                        assert!((a - b).abs() < 1e-9 * b.abs().max(1.0));
+                    }
+                }
+                (b, o) => assert_eq!(b, o),
             }
         }
     }

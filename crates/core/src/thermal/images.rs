@@ -14,6 +14,15 @@
 //! `lateral_order` bounds `|m|, |n|`; order 1–2 is already accurate to a
 //! few percent against the finite-difference reference (the `fig6`/`fig7`
 //! experiments sweep it as an ablation).
+//!
+//! The lattice is produced by **allocation-free iterators**
+//! ([`lateral_images_iter`], [`expand_images_iter`]): each axis emits its
+//! reflections in ascending order and drops the duplicates that appear
+//! when a block sits exactly on a mirror plane *as it goes*, so no
+//! per-block `Vec`, sort or dedup pass exists on the operator-assembly
+//! hot path. The [`lateral_images`] / [`expand_images`] wrappers collect
+//! the same sequence (in the same sorted order the old sort-based
+//! implementation produced) for callers that want to cache the lattice.
 
 /// One image source: position of its centre and the sign of its power.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,31 +38,205 @@ pub struct ImageSource {
     pub depth: f64,
 }
 
-/// Expands a block centre into its lateral images (including the original)
-/// for a `die_w × die_l` die.
-///
-/// With `order = k`, each axis contributes reflections `m ∈ [−k, k]` of
-/// both parities, giving `(2·(2k+1))²` images per block — `k = 0` keeps
-/// just the two in-place parities collapsing to the original source.
-pub fn lateral_images(cx: f64, cy: f64, die_w: f64, die_l: f64, order: usize) -> Vec<(f64, f64)> {
-    let k = order as i64;
-    let mut out = Vec::with_capacity(((2 * k as usize + 1) * 2).pow(2));
-    for m in -k..=k {
-        for &px in &[cx, -cx] {
-            let x = 2.0 * m as f64 * die_w + px;
-            for n in -k..=k {
-                for &py in &[cy, -cy] {
-                    let y = 2.0 * n as f64 * die_l + py;
-                    out.push((x, y));
-                }
-            }
+/// Coincidence tolerance for images of a block sitting exactly on a
+/// mirror plane (kept from the original sort-and-dedup implementation;
+/// die coordinates are ~1e-3 m, so this is far below one ULP of any
+/// distinct lattice site).
+const DEDUP_EPS: f64 = 1e-15;
+
+/// Ascending reflections of one coordinate: `2·m·period ± base` for
+/// `m ∈ [−k, k]`, duplicates (base on a mirror plane) skipped on the fly.
+#[derive(Debug, Clone)]
+struct AxisImages {
+    base: f64,
+    period: f64,
+    m: i64,
+    m_end: i64,
+    /// Next parity to emit: `false` = `2mp − base`, `true` = `2mp + base`.
+    plus: bool,
+    last: f64,
+    any: bool,
+}
+
+impl AxisImages {
+    fn new(base: f64, period: f64, order: usize) -> Self {
+        let k = order as i64;
+        AxisImages {
+            base,
+            period,
+            m: -k,
+            m_end: k,
+            plus: false,
+            last: f64::NAN,
+            any: false,
         }
     }
-    // The original (m = n = 0, +x, +y) is included; remove the duplicate
-    // that appears when the block sits exactly on a mirror plane.
-    out.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).expect("finite"));
-    out.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-15 && (a.1 - b.1).abs() < 1e-15);
+}
+
+impl Iterator for AxisImages {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        loop {
+            if self.m > self.m_end {
+                return None;
+            }
+            let center = 2.0 * self.m as f64 * self.period;
+            let value = if self.plus {
+                self.m += 1;
+                self.plus = false;
+                center + self.base
+            } else {
+                self.plus = true;
+                center - self.base
+            };
+            // The sequence is non-decreasing, so comparing against the
+            // last emitted value reproduces the old sorted-dedup exactly.
+            if self.any && (value - self.last).abs() < DEDUP_EPS {
+                continue;
+            }
+            self.last = value;
+            self.any = true;
+            return Some(value);
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining_m = (self.m_end - self.m + 1).max(0) as usize;
+        let upper = 2 * remaining_m - usize::from(self.plus && remaining_m > 0);
+        (0, Some(upper))
+    }
+}
+
+/// Lazy lateral image lattice of a block centre (including the original)
+/// for a `die_w × die_l` die: the cross product of both axis reflection
+/// sequences, emitted in ascending `(x, y)` lexicographic order with
+/// zero allocation. See [`lateral_images`].
+#[derive(Debug, Clone)]
+pub struct LateralImages {
+    xs: AxisImages,
+    ys_template: AxisImages,
+    cur_x: f64,
+    cur_ys: AxisImages,
+}
+
+impl Iterator for LateralImages {
+    type Item = (f64, f64);
+
+    fn next(&mut self) -> Option<(f64, f64)> {
+        loop {
+            if let Some(y) = self.cur_ys.next() {
+                return Some((self.cur_x, y));
+            }
+            self.cur_x = self.xs.next()?;
+            self.cur_ys = self.ys_template.clone();
+        }
+    }
+}
+
+/// Iterator over the lateral images (including the original) of a block
+/// centred at `(cx, cy)` on a `die_w × die_l` die.
+///
+/// With `order = k`, each axis contributes reflections `m ∈ [−k, k]` of
+/// both parities — `2·(2k+1)` values, collapsing to `2k+1` for a block on
+/// a mirror plane — so a generic block expands to `(2·(2k+1))²` images.
+/// `k = 0` keeps just the in-place parities.
+pub fn lateral_images_iter(
+    cx: f64,
+    cy: f64,
+    die_w: f64,
+    die_l: f64,
+    order: usize,
+) -> LateralImages {
+    let ys = AxisImages::new(cy, die_l, order);
+    LateralImages {
+        // Start exhausted in y so the first `next` pulls the first x.
+        xs: AxisImages::new(cx, die_w, order),
+        ys_template: ys.clone(),
+        cur_x: f64::NAN,
+        cur_ys: AxisImages {
+            m: 1,
+            m_end: 0,
+            ..ys
+        },
+    }
+}
+
+/// Collected form of [`lateral_images_iter`], in ascending `(x, y)`
+/// order, allocated to the exact deduplicated size.
+pub fn lateral_images(cx: f64, cy: f64, die_w: f64, die_l: f64, order: usize) -> Vec<(f64, f64)> {
+    let nx = AxisImages::new(cx, die_w, order).count();
+    let ny = AxisImages::new(cy, die_l, order).count();
+    let mut out = Vec::with_capacity(nx * ny);
+    out.extend(lateral_images_iter(cx, cy, die_w, die_l, order));
     out
+}
+
+/// Lazy full image expansion of one block: the lateral lattice crossed
+/// with the alternating depth series, zero allocation. See
+/// [`expand_images`] for the physics of the depth series.
+#[derive(Debug, Clone)]
+pub struct ImageExpansion {
+    lateral: LateralImages,
+    site: Option<(f64, f64)>,
+    k: usize,
+    z_order: usize,
+    thickness: f64,
+}
+
+impl Iterator for ImageExpansion {
+    type Item = ImageSource;
+
+    fn next(&mut self) -> Option<ImageSource> {
+        let (x, y) = match self.site {
+            Some(site) if self.k <= self.z_order => site,
+            _ => {
+                let site = self.lateral.next()?;
+                self.site = Some(site);
+                self.k = 0;
+                site
+            }
+        };
+        let k = self.k;
+        self.k += 1;
+        let magnitude = if k == 0 || k == self.z_order {
+            1.0
+        } else {
+            2.0
+        };
+        Some(ImageSource {
+            cx: x,
+            cy: y,
+            sign: magnitude * if k.is_multiple_of(2) { 1.0 } else { -1.0 },
+            depth: 2.0 * k as f64 * self.thickness,
+        })
+    }
+}
+
+/// Iterator form of [`expand_images`]: lateral sites in ascending order,
+/// each expanded through the depth series before the next site, exactly
+/// the order the collected form returns.
+pub fn expand_images_iter(
+    cx: f64,
+    cy: f64,
+    die_w: f64,
+    die_l: f64,
+    thickness: f64,
+    lateral_order: usize,
+    z_order: usize,
+) -> ImageExpansion {
+    let z_order = if z_order > 0 && z_order.is_multiple_of(2) {
+        z_order + 1
+    } else {
+        z_order
+    };
+    ImageExpansion {
+        lateral: lateral_images_iter(cx, cy, die_w, die_l, lateral_order),
+        site: None,
+        k: 0,
+        z_order,
+        thickness,
+    }
 }
 
 /// Full image expansion of one block: lateral lattice times the depth
@@ -90,30 +273,74 @@ pub fn expand_images(
     lateral_order: usize,
     z_order: usize,
 ) -> Vec<ImageSource> {
-    let z_order = if z_order > 0 && z_order.is_multiple_of(2) {
-        z_order + 1
-    } else {
-        z_order
-    };
-    let lateral = lateral_images(cx, cy, die_w, die_l, lateral_order);
-    let mut out = Vec::with_capacity(lateral.len() * (z_order + 1));
-    for &(x, y) in &lateral {
-        for k in 0..=z_order {
-            let magnitude = if k == 0 || k == z_order { 1.0 } else { 2.0 };
-            out.push(ImageSource {
-                cx: x,
-                cy: y,
-                sign: magnitude * if k % 2 == 0 { 1.0 } else { -1.0 },
-                depth: 2.0 * k as f64 * thickness,
-            });
-        }
-    }
-    out
+    expand_images_iter(cx, cy, die_w, die_l, thickness, lateral_order, z_order).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The pre-iterator reference: enumerate naively, sort, epsilon-dedup.
+    fn lateral_images_reference(
+        cx: f64,
+        cy: f64,
+        die_w: f64,
+        die_l: f64,
+        order: usize,
+    ) -> Vec<(f64, f64)> {
+        let k = order as i64;
+        let mut out = Vec::new();
+        for m in -k..=k {
+            for &px in &[cx, -cx] {
+                let x = 2.0 * m as f64 * die_w + px;
+                for n in -k..=k {
+                    for &py in &[cy, -cy] {
+                        let y = 2.0 * n as f64 * die_l + py;
+                        out.push((x, y));
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).expect("finite"));
+        out.dedup_by(|a, b| (a.0 - b.0).abs() < DEDUP_EPS && (a.1 - b.1).abs() < DEDUP_EPS);
+        out
+    }
+
+    /// Order-insensitive comparison (sorted multisets of exact bits).
+    fn assert_same_images(mut a: Vec<(f64, f64)>, mut b: Vec<(f64, f64)>) {
+        let key = |p: &(f64, f64)| (p.0.to_bits() as i128, p.1.to_bits() as i128);
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn iterator_matches_the_sort_dedup_reference() {
+        for &(cx, cy) in &[
+            (0.3e-3, 0.7e-3),
+            (0.0, 0.4e-3),
+            (1e-3, 1e-3), // both coordinates on the far mirror planes
+            (0.5e-3, 0.0),
+            (0.0, 0.0),
+        ] {
+            for order in 0..=3 {
+                assert_same_images(
+                    lateral_images(cx, cy, 1e-3, 1e-3, order),
+                    lateral_images_reference(cx, cy, 1e-3, 1e-3, order),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn iterator_emits_in_sorted_order_with_exact_capacity() {
+        let imgs = lateral_images(0.3e-3, 0.7e-3, 1e-3, 1e-3, 2);
+        assert!(imgs.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+        assert_eq!(imgs.len(), imgs.capacity());
+        // On-mirror blocks dedup and still allocate exactly.
+        let edge = lateral_images(0.0, 1e-3, 1e-3, 1e-3, 1);
+        assert_eq!(edge.len(), edge.capacity());
+    }
 
     #[test]
     fn order_zero_keeps_parities_only() {
@@ -139,6 +366,14 @@ mod tests {
         // block AT x = 0 does.
         let imgs = lateral_images(0.0, 0.4e-3, 1e-3, 1e-3, 0);
         assert_eq!(imgs.len(), 2);
+    }
+
+    #[test]
+    fn far_edge_block_dedupes_across_cells() {
+        // x = W: the +x image of cell m coincides with the −x image of
+        // cell m+1; the axis collapses to 2k+2 distinct values.
+        let imgs = lateral_images(1e-3, 0.4e-3, 1e-3, 1e-3, 1);
+        assert_eq!(imgs.len(), 4 * 6); // (2·1+2) × (2·(2·1+1))
     }
 
     #[test]
@@ -200,5 +435,14 @@ mod tests {
             let net: f64 = imgs.iter().map(|i| i.sign).sum();
             assert!(net.abs() < 1e-12, "z = {z}: net {net}");
         }
+    }
+
+    #[test]
+    fn expansion_iterator_matches_collected_form() {
+        let collected = expand_images(0.3e-3, 0.7e-3, 1e-3, 1e-3, 0.3e-3, 2, 9);
+        let streamed: Vec<ImageSource> =
+            expand_images_iter(0.3e-3, 0.7e-3, 1e-3, 1e-3, 0.3e-3, 2, 9).collect();
+        assert_eq!(collected, streamed);
+        assert_eq!(collected.len(), 100 * 10);
     }
 }

@@ -7,6 +7,9 @@
 //! provides exactly the machinery those references need and nothing more:
 //!
 //! * [`matrix`] — dense row-major matrices with LU factorization,
+//! * [`multivec`] — vector batches and the tiled matrix × batch product,
+//! * [`expv`] — batched elementwise `exp` for the leakage hot loop,
+//! * [`simd`] — runtime ISA dispatch backing the two modules above,
 //! * [`tridiag`] — Thomas-algorithm tridiagonal solves,
 //! * [`sparse`] — CSR matrices and matrix-free operators,
 //! * [`cg`] — (preconditioned) conjugate gradients,
@@ -32,15 +35,19 @@
 //! ```
 
 pub mod cg;
+pub mod expv;
 pub mod fit;
 pub mod matrix;
+pub mod multivec;
 pub mod newton;
 pub mod ode;
 pub mod quadrature;
 pub mod roots;
+pub mod simd;
 pub mod sparse;
 pub mod stats;
 pub mod tridiag;
 
 pub use matrix::Matrix;
+pub use multivec::MultiVec;
 pub use sparse::CsrMatrix;

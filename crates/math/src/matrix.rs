@@ -64,11 +64,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     ///
-    /// # Panics
-    ///
-    /// Panics if either dimension is zero.
+    /// Zero dimensions are allowed: a `0 × 0` influence matrix is what an
+    /// empty floorplan's thermal operator factors into, and every
+    /// operation on it degenerates gracefully (empty products, an empty
+    /// LU with determinant 1).
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
         Matrix {
             rows,
             cols,
@@ -136,6 +136,13 @@ impl Matrix {
     /// Borrow the underlying row-major storage.
     pub fn as_slice(&self) -> &[f64] {
         &self.data
+    }
+
+    /// Mutable row-major storage — row `i` occupies
+    /// `[i*cols, (i+1)*cols)`. This is what lets the thermal-operator
+    /// build fan disjoint row chunks across threads.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
     }
 
     /// Matrix-vector product `A x`.

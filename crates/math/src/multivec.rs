@@ -1,0 +1,454 @@
+//! Batches of equal-length vectors and the cache-tiled matrix × batch
+//! product — the linear-algebra core of the GEMM-batched Picard sweep.
+//!
+//! A [`MultiVec`] holds `lanes` column vectors of length `rows`
+//! interleaved by component: component `i` of every lane is contiguous
+//! (`data[i·lanes + lane]`). Viewing the batch as a `lanes × rows`
+//! matrix, the storage is column-major; viewing it as `rows` components
+//! each fanned across the batch, every elementwise operation — power
+//! evaluation, damped Picard updates, convergence reductions — runs over
+//! contiguous memory and autovectorizes.
+//!
+//! [`Matrix::mul_into`] computes `Y = A · X` for a batch `X`, blocking
+//! the lane dimension so a register tile of accumulators is reused across
+//! a whole row of `A` (one broadcast load of `A[i][k]` feeds `NR` lanes).
+//! Per lane, components accumulate in ascending-`k` order — exactly the
+//! order of [`Matrix::mul_vec_into`] — so the portable tier is
+//! **bit-identical** to solving each lane with a mat-vec; the FMA tiers
+//! (picked at runtime, see [`crate::simd`]) fuse each multiply-add into a
+//! single rounding and agree to ~1 ULP per accumulation instead.
+
+use crate::matrix::Matrix;
+use crate::simd::{isa, Isa};
+
+/// A batch of `lanes` column vectors of length `rows`, stored
+/// component-major (component `i`, lane `j` at `data[i*lanes + j]`).
+///
+/// # Example
+///
+/// ```
+/// use ptherm_math::{Matrix, MultiVec};
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+/// // Two lanes: (1, 1) and (0, 1).
+/// let mut x = MultiVec::zeros(2, 2);
+/// x.component_mut(0).copy_from_slice(&[1.0, 0.0]);
+/// x.component_mut(1).copy_from_slice(&[1.0, 1.0]);
+/// let mut y = MultiVec::zeros(2, 2);
+/// a.mul_into(&x, &mut y);
+/// assert_eq!(y.component(0), &[3.0, 2.0]);
+/// assert_eq!(y.component(1), &[7.0, 4.0]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MultiVec {
+    rows: usize,
+    lanes: usize,
+    data: Vec<f64>,
+}
+
+impl MultiVec {
+    /// A zero-filled batch of `lanes` vectors of length `rows`. Zero
+    /// dimensions are allowed (empty floorplans, empty batches).
+    pub fn zeros(rows: usize, lanes: usize) -> Self {
+        MultiVec {
+            rows,
+            lanes,
+            data: vec![0.0; rows * lanes],
+        }
+    }
+
+    /// Vector length (number of components).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of vectors in the batch.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Reshapes in place to `rows × lanes`, zero-filling. Keeps the
+    /// allocation when the new size fits (the batched sweep reuses one
+    /// `MultiVec` across batches).
+    pub fn reset(&mut self, rows: usize, lanes: usize) {
+        self.rows = rows;
+        self.lanes = lanes;
+        self.data.clear();
+        self.data.resize(rows * lanes, 0.0);
+    }
+
+    /// Component `i` across every lane (contiguous).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn component(&self, i: usize) -> &[f64] {
+        &self.data[i * self.lanes..(i + 1) * self.lanes]
+    }
+
+    /// Mutable component `i` across every lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn component_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.lanes..(i + 1) * self.lanes]
+    }
+
+    /// Element (component `i`, lane `j`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.rows && j < self.lanes, "multivec index");
+        self.data[i * self.lanes + j]
+    }
+
+    /// Sets element (component `i`, lane `j`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i < self.rows && j < self.lanes, "multivec index");
+        self.data[i * self.lanes + j] = value;
+    }
+
+    /// Copies lane `j` (a strided gather) into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.lanes()` or `out.len() != self.rows()`.
+    pub fn copy_lane_into(&self, j: usize, out: &mut [f64]) {
+        assert!(j < self.lanes, "lane out of range");
+        assert_eq!(out.len(), self.rows, "lane length mismatch");
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.data[i * self.lanes + j];
+        }
+    }
+
+    /// Sets every component of lane `j` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.lanes()`.
+    pub fn fill_lane(&mut self, j: usize, value: f64) {
+        assert!(j < self.lanes, "lane out of range");
+        for i in 0..self.rows {
+            self.data[i * self.lanes + j] = value;
+        }
+    }
+
+    /// The raw component-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw component-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+}
+
+/// One register tile: `MR` output rows × `NR` lanes, accumulated over the
+/// full `k` loop in ascending order per lane. Sharing each `x` row load
+/// across `MR` rows of `A` keeps the kernel FMA-bound instead of
+/// load-bound. `FMA = false` rounds `a*x` and the add separately
+/// (matching [`Matrix::mul_vec_into`] bit for bit); `FMA = true` uses
+/// `f64::mul_add`. Per lane the accumulation order is identical either
+/// way, so results do not depend on the tile shape.
+///
+/// # Safety
+///
+/// Requires `i0 + MR <= rows`, `j0 + NR <= lanes`,
+/// `a.len() >= rows*cols`, `x.len() >= cols*lanes` and
+/// `y.len() >= rows*lanes` — asserted once by [`gemm_generic`].
+#[inline(always)]
+unsafe fn lane_tile<const MR: usize, const NR: usize, const FMA: bool>(
+    a: &[f64],
+    cols: usize,
+    x: &[f64],
+    y: &mut [f64],
+    lanes: usize,
+    i0: usize,
+    j0: usize,
+) {
+    let mut acc = [[0.0f64; NR]; MR];
+    for k in 0..cols {
+        // SAFETY: k < cols and j0 + NR <= lanes, so every index is below
+        // cols*lanes <= x.len(); likewise (i0+ii)*cols + k < rows*cols.
+        let xr = unsafe { x.get_unchecked(k * lanes + j0..k * lanes + j0 + NR) };
+        for (ii, accrow) in acc.iter_mut().enumerate() {
+            let aik = *unsafe { a.get_unchecked((i0 + ii) * cols + k) };
+            for jj in 0..NR {
+                if FMA {
+                    accrow[jj] = aik.mul_add(xr[jj], accrow[jj]);
+                } else {
+                    accrow[jj] += aik * xr[jj];
+                }
+            }
+        }
+    }
+    for (ii, row) in acc.iter().enumerate() {
+        let base = (i0 + ii) * lanes + j0;
+        // SAFETY: i0 + ii < rows and j0 + NR <= lanes.
+        unsafe { y.get_unchecked_mut(base..base + NR) }.copy_from_slice(row);
+    }
+}
+
+#[inline(always)]
+fn gemm_generic<const FMA: bool>(
+    a: &[f64],
+    rows: usize,
+    cols: usize,
+    x: &[f64],
+    y: &mut [f64],
+    lanes: usize,
+) {
+    // One up-front check justifies every unchecked access in the tiles.
+    assert!(a.len() >= rows * cols, "gemm: A storage too short");
+    assert!(x.len() >= cols * lanes, "gemm: X storage too short");
+    assert!(y.len() >= rows * lanes, "gemm: Y storage too short");
+    let mut i0 = 0;
+    while i0 < rows {
+        macro_rules! sweep_lanes {
+            ($mr:expr) => {{
+                let mut j0 = 0;
+                while j0 + 16 <= lanes {
+                    // SAFETY: bounds asserted above; loop conditions keep
+                    // i0 + MR <= rows and j0 + NR <= lanes.
+                    unsafe { lane_tile::<$mr, 16, FMA>(a, cols, x, y, lanes, i0, j0) };
+                    j0 += 16;
+                }
+                while j0 + 4 <= lanes {
+                    // SAFETY: as above.
+                    unsafe { lane_tile::<$mr, 4, FMA>(a, cols, x, y, lanes, i0, j0) };
+                    j0 += 4;
+                }
+                while j0 < lanes {
+                    // SAFETY: as above.
+                    unsafe { lane_tile::<$mr, 1, FMA>(a, cols, x, y, lanes, i0, j0) };
+                    j0 += 1;
+                }
+            }};
+        }
+        if i0 + 4 <= rows {
+            sweep_lanes!(4);
+            i0 += 4;
+        } else {
+            sweep_lanes!(1);
+            i0 += 1;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vl,avx512dq,fma")]
+unsafe fn gemm_avx512(a: &[f64], rows: usize, cols: usize, x: &[f64], y: &mut [f64], lanes: usize) {
+    gemm_generic::<true>(a, rows, cols, x, y, lanes);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn gemm_avx2(a: &[f64], rows: usize, cols: usize, x: &[f64], y: &mut [f64], lanes: usize) {
+    gemm_generic::<true>(a, rows, cols, x, y, lanes);
+}
+
+impl Matrix {
+    /// Batched product `Y = A · X`: every lane of `x` is multiplied by
+    /// `self`, written into the matching lane of `y`.
+    ///
+    /// Per lane this performs exactly the accumulation of
+    /// [`Matrix::mul_vec_into`] (ascending `k`); on machines with FMA the
+    /// runtime-dispatched kernel fuses each multiply-add into a single
+    /// rounding, so lanes agree with the mat-vec to ~1 ULP per term
+    /// rather than bit-for-bit (see [`crate::simd`]). Use
+    /// [`Matrix::mul_into_portable`] when bit-stability across machines
+    /// matters more than speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != self.cols()`, `y.rows() != self.rows()` or
+    /// the lane counts differ.
+    pub fn mul_into(&self, x: &MultiVec, y: &mut MultiVec) {
+        self.check_batch_shapes(x, y);
+        #[cfg(target_arch = "x86_64")]
+        {
+            match isa() {
+                // SAFETY: `isa()` only reports a tier after
+                // `is_x86_feature_detected!` confirmed every feature the
+                // kernel was compiled with.
+                Isa::Avx512 => unsafe {
+                    gemm_avx512(
+                        self.as_slice(),
+                        self.rows(),
+                        self.cols(),
+                        &x.data,
+                        &mut y.data,
+                        x.lanes,
+                    )
+                },
+                // SAFETY: as above — AVX2 and FMA were detected.
+                Isa::Avx2Fma => unsafe {
+                    gemm_avx2(
+                        self.as_slice(),
+                        self.rows(),
+                        self.cols(),
+                        &x.data,
+                        &mut y.data,
+                        x.lanes,
+                    )
+                },
+                Isa::Portable => self.mul_into_portable_inner(x, y),
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        self.mul_into_portable_inner(x, y);
+    }
+
+    /// [`Matrix::mul_into`] restricted to the portable kernel: separate
+    /// multiply and add roundings, bit-identical to running
+    /// [`Matrix::mul_vec_into`] on every lane, on every machine.
+    ///
+    /// # Panics
+    ///
+    /// Same shape requirements as [`Matrix::mul_into`].
+    pub fn mul_into_portable(&self, x: &MultiVec, y: &mut MultiVec) {
+        self.check_batch_shapes(x, y);
+        self.mul_into_portable_inner(x, y);
+    }
+
+    fn mul_into_portable_inner(&self, x: &MultiVec, y: &mut MultiVec) {
+        gemm_generic::<false>(
+            self.as_slice(),
+            self.rows(),
+            self.cols(),
+            &x.data,
+            &mut y.data,
+            x.lanes,
+        );
+    }
+
+    fn check_batch_shapes(&self, x: &MultiVec, y: &MultiVec) {
+        assert_eq!(x.rows(), self.cols(), "mul_into input dimension mismatch");
+        assert_eq!(y.rows(), self.rows(), "mul_into output dimension mismatch");
+        assert_eq!(x.lanes(), y.lanes(), "mul_into lane count mismatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_matrix(n: usize, seed: &mut u64) -> Matrix {
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = rand_f64(seed);
+            }
+        }
+        a
+    }
+
+    fn rand_f64(seed: &mut u64) -> f64 {
+        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((*seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+    }
+
+    #[test]
+    fn component_layout_is_contiguous() {
+        let mut m = MultiVec::zeros(3, 4);
+        m.component_mut(1).copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.get(1, 2), 3.0);
+        assert_eq!(&m.as_slice()[4..8], &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn lane_roundtrip() {
+        let mut m = MultiVec::zeros(3, 2);
+        m.set(0, 1, 10.0);
+        m.set(1, 1, 11.0);
+        m.set(2, 1, 12.0);
+        let mut lane = [0.0; 3];
+        m.copy_lane_into(1, &mut lane);
+        assert_eq!(lane, [10.0, 11.0, 12.0]);
+        m.fill_lane(0, 7.0);
+        m.copy_lane_into(0, &mut lane);
+        assert_eq!(lane, [7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn reset_keeps_capacity_and_zeroes() {
+        let mut m = MultiVec::zeros(8, 8);
+        m.set(3, 3, 5.0);
+        let cap = m.as_slice().len();
+        m.reset(8, 8);
+        assert_eq!(m.as_slice().len(), cap);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        m.reset(2, 3);
+        assert_eq!((m.rows(), m.lanes()), (2, 3));
+    }
+
+    #[test]
+    fn portable_gemm_is_bit_identical_to_per_lane_matvec() {
+        let mut seed = 0xC0FFEE;
+        // Cover the 32-, 8- and scalar-tile paths plus ragged sizes.
+        for (n, lanes) in [(5, 1), (8, 8), (16, 33), (64, 40), (3, 70)] {
+            let a = test_matrix(n, &mut seed);
+            let mut x = MultiVec::zeros(n, lanes);
+            for v in x.as_mut_slice() {
+                *v = rand_f64(&mut seed);
+            }
+            let mut y = MultiVec::zeros(n, lanes);
+            a.mul_into_portable(&x, &mut y);
+            let mut xl = vec![0.0; n];
+            let mut yl = vec![0.0; n];
+            for j in 0..lanes {
+                x.copy_lane_into(j, &mut xl);
+                a.mul_vec_into(&xl, &mut yl);
+                let mut got = vec![0.0; n];
+                y.copy_lane_into(j, &mut got);
+                assert_eq!(got, yl, "lane {j} of {n}x{lanes}");
+            }
+        }
+    }
+
+    #[test]
+    fn dispatched_gemm_matches_portable_to_ulp() {
+        let mut seed = 0xBEEF;
+        let n = 48;
+        let lanes = 37;
+        let a = test_matrix(n, &mut seed);
+        let mut x = MultiVec::zeros(n, lanes);
+        for v in x.as_mut_slice() {
+            *v = rand_f64(&mut seed);
+        }
+        let mut fast = MultiVec::zeros(n, lanes);
+        let mut exact = MultiVec::zeros(n, lanes);
+        a.mul_into(&x, &mut fast);
+        a.mul_into_portable(&x, &mut exact);
+        for (f, e) in fast.as_slice().iter().zip(exact.as_slice()) {
+            // n fused roundings of O(1) terms: agreement well below 1e-12.
+            assert!((f - e).abs() <= 1e-12 * e.abs().max(1.0), "{f} vs {e}");
+        }
+    }
+
+    #[test]
+    fn empty_batches_are_fine() {
+        let a = Matrix::identity(3);
+        let x = MultiVec::zeros(3, 0);
+        let mut y = MultiVec::zeros(3, 0);
+        a.mul_into(&x, &mut y);
+        assert_eq!(y.lanes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane count mismatch")]
+    fn lane_mismatch_panics() {
+        let a = Matrix::identity(2);
+        let x = MultiVec::zeros(2, 3);
+        let mut y = MultiVec::zeros(2, 4);
+        a.mul_into(&x, &mut y);
+    }
+}

@@ -1,0 +1,80 @@
+//! Runtime ISA dispatch for the batched kernels ([`crate::multivec`],
+//! [`crate::expv`]).
+//!
+//! The workspace builds for the baseline `x86-64` target so one binary
+//! runs anywhere; the batched hot loops still want FMA and wide vectors.
+//! The standard trick — the same one BLAS implementations use — is to
+//! compile each kernel several times under `#[target_feature]` and pick
+//! the best variant once at runtime with `is_x86_feature_detected!`.
+//!
+//! Numerical contract: the portable tier evaluates `a*b + c` as a
+//! multiply followed by an add (two roundings, exactly like the scalar
+//! reference loops); the FMA tiers contract it into `f64::mul_add` (one
+//! rounding). Results across tiers therefore agree to ~1 ULP per
+//! operation, not bit-for-bit — callers that need bit-stable output
+//! across machines must call the `*_portable` kernel variants directly.
+
+use std::sync::OnceLock;
+
+/// Instruction-set tier selected for the batched kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Isa {
+    /// Baseline target features only; no FMA contraction.
+    Portable,
+    /// 256-bit vectors with fused multiply-add.
+    Avx2Fma,
+    /// 512-bit vectors with fused multiply-add.
+    Avx512,
+}
+
+impl Isa {
+    /// True when this tier contracts `a*b + c` into a single rounding.
+    pub fn fuses_multiply_add(self) -> bool {
+        self != Isa::Portable
+    }
+}
+
+fn detect() -> Isa {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+            && std::arch::is_x86_feature_detected!("avx512dq")
+            && std::arch::is_x86_feature_detected!("fma")
+        {
+            return Isa::Avx512;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return Isa::Avx2Fma;
+        }
+        Isa::Portable
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        Isa::Portable
+    }
+}
+
+/// The tier the batched kernels run at on this machine (detected once).
+pub fn isa() -> Isa {
+    static ISA: OnceLock<Isa> = OnceLock::new();
+    *ISA.get_or_init(detect)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_is_stable() {
+        assert_eq!(isa(), isa());
+    }
+
+    #[test]
+    fn portable_never_fuses() {
+        assert!(!Isa::Portable.fuses_multiply_add());
+        assert!(Isa::Avx2Fma.fuses_multiply_add());
+        assert!(Isa::Avx512.fuses_multiply_add());
+    }
+}

@@ -1,13 +1,20 @@
 //! Minimal data-parallel runtime for the `ptherm` workspace.
 //!
-//! The sweep engine's workload is embarrassingly parallel: thousands of
+//! The sweep engine's workloads are embarrassingly parallel: thousands of
 //! independent fixed-point solves over one shared, immutable
-//! [`ThermalOperator`](../ptherm_core/cosim/struct.ThermalOperator.html).
-//! That shape needs exactly one primitive — a parallel indexed map with
-//! per-worker state — which this crate provides on top of
-//! `std::thread::scope`, with dynamic (work-stealing-style) assignment so
-//! uneven items (e.g. runaway scenarios that bail early next to
-//! slow-converging ones) do not leave threads idle.
+//! [`ThermalOperator`](../ptherm_core/cosim/struct.ThermalOperator.html),
+//! and the row-wise build of that operator itself. Three primitives on
+//! top of `std::thread::scope` cover them:
+//!
+//! * [`par_map`] / [`par_map_with`] — parallel indexed map with dynamic
+//!   (work-stealing-style) assignment, so uneven items (e.g. runaway
+//!   scenarios that bail early next to slow-converging ones) do not
+//!   leave threads idle, plus optional per-worker state;
+//! * [`par_workers`] — raw scoped workers for self-scheduling loops (the
+//!   batched sweep pulls scenario indices from a shared atomic counter);
+//! * [`par_partition_mut`] — splits one `&mut [T]` into contiguous
+//!   unit-aligned pieces, one per worker, for filling disjoint rows of a
+//!   matrix in place.
 //!
 //! In an environment with crates.io access this is the role `rayon` would
 //! play; the API is deliberately small so swapping it out stays easy.
@@ -112,6 +119,80 @@ where
         .collect()
 }
 
+/// Runs `f(worker_index)` on `threads` scoped workers and returns their
+/// results in worker order.
+///
+/// The raw building block for self-scheduling loops: workers typically
+/// share an `AtomicUsize` cursor and claim work items until it runs dry
+/// (the batched sweep engine refills solver lanes this way). With
+/// `threads <= 1` the single worker runs inline on the calling thread.
+pub fn par_workers<R, F>(threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 {
+        return vec![f(0)];
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..threads).map(|w| scope.spawn(move || f(w))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+}
+
+/// Splits `data` into at most `threads` contiguous pieces aligned to
+/// `unit` elements and runs `f(first_unit_index, piece)` on each piece on
+/// its own scoped worker.
+///
+/// This is the in-place counterpart of [`par_map`] for filling a shared
+/// row-major buffer: each worker owns a disjoint run of whole units
+/// (matrix rows), so no synchronization is needed. The split is static —
+/// appropriate when per-unit cost is roughly uniform, as it is for
+/// influence-matrix rows. With `threads <= 1` (or a single piece) `f`
+/// runs inline.
+///
+/// # Panics
+///
+/// Panics if `unit == 0` or `data.len()` is not a multiple of `unit`.
+pub fn par_partition_mut<T, F>(threads: usize, data: &mut [T], unit: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(unit > 0, "unit must be non-zero");
+    assert!(
+        data.len().is_multiple_of(unit),
+        "data must hold whole units"
+    );
+    let units = data.len() / unit;
+    let threads = threads.max(1).min(units.max(1));
+    if threads <= 1 {
+        f(0, data);
+        return;
+    }
+    // Spread `units` over workers, front-loading the remainder.
+    let base = units / threads;
+    let extra = units % threads;
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = data;
+        let mut first = 0;
+        for w in 0..threads {
+            let take = (base + usize::from(w < extra)) * unit;
+            let (piece, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let start = first;
+            first += take / unit;
+            scope.spawn(move || f(start, piece));
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,5 +245,62 @@ mod tests {
     fn empty_input() {
         let got: Vec<u32> = par_map(8, &[] as &[u32], |_, &x| x);
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn workers_drain_a_shared_counter() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let next = AtomicUsize::new(0);
+        for threads in [1, 4] {
+            next.store(0, Ordering::Relaxed);
+            let claimed = par_workers(threads, |w| {
+                let mut mine = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= 100 {
+                        break;
+                    }
+                    mine.push(i);
+                }
+                (w, mine)
+            });
+            assert_eq!(claimed.len(), threads);
+            let mut all: Vec<usize> = claimed.into_iter().flat_map(|(_, v)| v).collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..100).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn partition_covers_every_unit_once() {
+        // 10 rows of 3 over several worker counts, including more workers
+        // than rows.
+        for threads in [1, 3, 4, 16] {
+            let mut data = vec![0u32; 30];
+            par_partition_mut(threads, &mut data, 3, |first_row, piece| {
+                for (r, row) in piece.chunks_mut(3).enumerate() {
+                    for v in row.iter_mut() {
+                        *v += (first_row + r) as u32 + 1;
+                    }
+                }
+            });
+            let want: Vec<u32> = (0..10).flat_map(|r| [r + 1; 3]).collect();
+            assert_eq!(data, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn partition_handles_empty_data() {
+        let mut data: Vec<u8> = Vec::new();
+        par_partition_mut(4, &mut data, 5, |_, piece| {
+            assert!(piece.is_empty());
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "whole units")]
+    fn partition_rejects_ragged_data() {
+        let mut data = vec![0u8; 7];
+        par_partition_mut(2, &mut data, 3, |_, _| {});
     }
 }

@@ -126,8 +126,9 @@ fn fig9_10_extraction_pipeline() {
 }
 
 /// Sweep engine in miniature: a Vdd × activity × ambient × node grid on
-/// the paper floorplan — batched results bit-identical to one-shot
-/// solves, runaway corners reported per scenario.
+/// the paper floorplan — GEMM-batched results match one-shot solves
+/// within the documented ULP contract (see `ptherm_core::cosim::batch`),
+/// runaway corners reported per scenario.
 #[test]
 fn sweep_engine_shape() {
     use ptherm::model::cosim::sweep::{ScenarioGrid, ScenarioPowerModel, SweepEngine};
@@ -153,7 +154,9 @@ fn sweep_engine_shape() {
     assert_eq!(report.len(), 16);
     assert_eq!(report.converged_count(), 16);
 
-    // Spot-check bit-identity against a one-shot operator solve.
+    // Spot-check against a one-shot operator solve: the batched path
+    // fuses multiply-adds and batches exponentials, so agreement is
+    // ~1e-9 K rather than bitwise.
     let scenario = &grid.scenarios(300.0)[5];
     let tech = &grid.technologies()[scenario.tech_index];
     let solver = ElectroThermalSolver::new(Floorplan::paper_three_blocks());
@@ -167,7 +170,11 @@ fn sweep_engine_shape() {
     match &report.outcomes[5] {
         ptherm::model::SweepOutcome::Converged {
             block_temperatures, ..
-        } => assert_eq!(ws.temperatures(), block_temperatures.as_slice()),
+        } => {
+            for (a, b) in ws.temperatures().iter().zip(block_temperatures) {
+                assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+            }
+        }
         other => panic!("expected convergence, got {other:?}"),
     }
 }

@@ -156,3 +156,77 @@ proptest! {
         prop_assert!(i_gate < naive, "gate {i_gate:.3e} vs bound {naive:.3e}");
     }
 }
+
+// The GEMM-batched sweep path against the per-scenario oracle under
+// randomized floorplans and scenario grids: same outcome kinds and
+// iteration counts, temperatures/powers within the documented ULP
+// contract of `ptherm::model::cosim::batch`.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn batched_sweep_matches_the_per_scenario_oracle(
+        rows in 1usize..4,
+        cols in 1usize..4,
+        seed in 0u64..1000,
+        lanes in 1usize..9,
+        dyn_w in 0.05f64..1.0,
+        leak_w in 0.005f64..0.1,
+    ) {
+        use ptherm::floorplan::{generator, ChipGeometry};
+        use ptherm::model::cosim::sweep::{ScenarioGrid, SweepEngine};
+        use ptherm::model::SweepOutcome;
+        use ptherm::tech::Technology;
+
+        let plan = generator::tiled(ChipGeometry::paper_1mm(), rows, cols, 0.0, 0.0, seed)
+            .expect("valid tiling");
+        let grid = ScenarioGrid::new(vec![Technology::cmos_120nm(), Technology::cmos_350nm()])
+            .vdd_scales(vec![0.9, 1.1])
+            .activities(vec![0.5, 1.5])
+            .ambients_k(vec![300.0, 340.0]);
+        let engine = SweepEngine::new(plan).threads(2).batch_lanes(lanes);
+        let model = engine.uniform_tech_power(dyn_w, leak_w).prepared_for(&grid);
+        let batched = engine.run(&grid, &model);
+        let oracle = engine.run_per_scenario(&grid, &model);
+        prop_assert_eq!(batched.len(), oracle.len());
+        for (b, o) in batched.outcomes.iter().zip(&oracle.outcomes) {
+            match (b, o) {
+                (
+                    SweepOutcome::Converged {
+                        block_temperatures: bt,
+                        block_powers: bp,
+                        iterations: bi,
+                    },
+                    SweepOutcome::Converged {
+                        block_temperatures: ot,
+                        block_powers: op,
+                        iterations: oi,
+                    },
+                ) => {
+                    prop_assert_eq!(bi, oi);
+                    for (x, y) in bt.iter().zip(ot) {
+                        prop_assert!((x - y).abs() < 1e-9, "temps {} vs {}", x, y);
+                    }
+                    for (x, y) in bp.iter().zip(op) {
+                        prop_assert!((x - y).abs() < 1e-9 * y.abs().max(1.0), "powers {} vs {}", x, y);
+                    }
+                }
+                (
+                    SweepOutcome::Runaway {
+                        iteration: bi,
+                        temperature: btemp,
+                    },
+                    SweepOutcome::Runaway {
+                        iteration: oi,
+                        temperature: otemp,
+                    },
+                ) => {
+                    // Divergence amplifies the ULP-level gap in absolute
+                    // terms; relative agreement stays at the contract.
+                    prop_assert_eq!(bi, oi);
+                    prop_assert!((btemp - otemp).abs() < 1e-9 * otemp.abs());
+                }
+                (b, o) => prop_assert_eq!(b, o),
+            }
+        }
+    }
+}
