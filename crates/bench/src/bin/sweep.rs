@@ -23,12 +23,11 @@
 //! full-mode `BENCH_sweep.json` baseline (schema in
 //! `docs/PERFORMANCE.md`; override either path with `BENCH_SWEEP_JSON`).
 
-use ptherm_bench::{header, report, ShapeCheck, Table};
+use ptherm_bench::{header, report, JsonObject, ShapeCheck, Table};
 use ptherm_core::cosim::sweep::{ScenarioGrid, ScenarioPowerModel, SweepEngine, SweepOutcome};
 use ptherm_core::cosim::{ElectroThermalSolver, ThermalOperator};
 use ptherm_floorplan::{generator, ChipGeometry, Floorplan};
 use ptherm_tech::ScalingTable;
-use std::fmt::Write as _;
 use std::time::Instant;
 
 struct Config {
@@ -258,47 +257,26 @@ fn main() {
     }
 
     // --- BENCH_sweep.json -------------------------------------------------
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"bench\": \"sweep\",");
-    let _ = writeln!(
-        json,
-        "  \"mode\": \"{}\",",
-        if quick { "quick" } else { "full" }
-    );
-    let _ = writeln!(json, "  \"blocks\": {blocks},");
-    let _ = writeln!(json, "  \"scenarios\": {scenarios_total},");
-    let _ = writeln!(json, "  \"threads\": {threads},");
-    let _ = writeln!(json, "  \"batch_lanes\": {lanes},");
-    let _ = writeln!(json, "  \"simd\": \"{:?}\",", ptherm_math::simd::isa());
-    let _ = writeln!(json, "  \"operator_build_serial_ns\": {build_serial_ns},");
-    let _ = writeln!(
-        json,
-        "  \"operator_build_threaded_ns\": {build_threaded_ns},"
-    );
-    let _ = writeln!(json, "  \"cold_ns_per_solve\": {cold_ns_per_solve},");
-    let _ = writeln!(
-        json,
-        "  \"per_scenario_ns_per_solve\": {oracle_ns_per_solve},"
-    );
-    let _ = writeln!(json, "  \"batched_ns_per_solve\": {batched_ns_per_solve},");
-    let _ = writeln!(
-        json,
-        "  \"speedup_batched_vs_per_scenario\": {speedup_vs_oracle:.3},"
-    );
-    let _ = writeln!(
-        json,
-        "  \"speedup_batched_vs_rebuilding\": {speedup_vs_cold:.3},"
-    );
-    let _ = writeln!(
-        json,
-        "  \"max_temp_gap_vs_oracle_k\": {max_gap_oracle:.3e},"
-    );
-    let _ = writeln!(
-        json,
-        "  \"max_temp_gap_oracle_vs_rebuilding_k\": {max_gap_cold:.3e}"
-    );
-    let _ = writeln!(json, "}}");
+    // The hardened emitter rejects non-finite values (nulled + reported
+    // through the finiteness shape check) so a sentinel leaking out of a
+    // result type can never produce an unparsable artifact.
+    let mut json = JsonObject::new();
+    json.string("bench", "sweep")
+        .string("mode", if quick { "quick" } else { "full" })
+        .integer("blocks", blocks as u64)
+        .integer("scenarios", scenarios_total as u64)
+        .integer("threads", threads as u64)
+        .integer("batch_lanes", lanes as u64)
+        .string("simd", &format!("{:?}", ptherm_math::simd::isa()))
+        .integer("operator_build_serial_ns", build_serial_ns)
+        .integer("operator_build_threaded_ns", build_threaded_ns)
+        .integer("cold_ns_per_solve", cold_ns_per_solve)
+        .integer("per_scenario_ns_per_solve", oracle_ns_per_solve)
+        .integer("batched_ns_per_solve", batched_ns_per_solve)
+        .number("speedup_batched_vs_per_scenario", speedup_vs_oracle)
+        .number("speedup_batched_vs_rebuilding", speedup_vs_cold)
+        .number("max_temp_gap_vs_oracle_k", max_gap_oracle)
+        .number("max_temp_gap_oracle_vs_rebuilding_k", max_gap_cold);
     // Quick mode defaults to its own file so a smoke run never clobbers
     // the checked-in full-mode baseline.
     let default_path = if quick {
@@ -307,7 +285,7 @@ fn main() {
         "BENCH_sweep.json"
     };
     let json_path = std::env::var("BENCH_SWEEP_JSON").unwrap_or_else(|_| default_path.into());
-    match std::fs::write(&json_path, &json) {
+    match std::fs::write(&json_path, json.render()) {
         Ok(()) => println!("wrote {json_path}"),
         Err(e) => eprintln!("could not write {json_path}: {e}"),
     }
@@ -315,6 +293,7 @@ fn main() {
     // The quick (CI) bar is >= 1x; the full baseline documents >= 5x.
     let speedup_bar = if quick { 1.0 } else { 5.0 };
     let checks = vec![
+        json.finiteness_check(),
         ShapeCheck::new(
             "every scenario resolves (converged or detected runaway)",
             batched_report.outcomes.iter().all(|o| {

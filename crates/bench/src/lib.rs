@@ -136,6 +136,106 @@ pub fn line_chart(series: &[(f64, f64)], width: usize, height: usize) -> String 
     out
 }
 
+/// Minimal insertion-ordered JSON object writer for the `BENCH_*.json`
+/// artifacts, hardened against non-finite numbers.
+///
+/// JSON has no literal for NaN or ±infinity, so a sentinel like
+/// `f64::NEG_INFINITY` leaking out of a result type would make the whole
+/// artifact unparsable. [`JsonObject::number`] therefore **rejects**
+/// non-finite values: the field is emitted as `null` (keeping the file
+/// valid JSON for downstream tooling) and the key is recorded in
+/// [`JsonObject::offenders`], which every bench emitter turns into a
+/// failing [`ShapeCheck`].
+///
+/// # Example
+///
+/// ```
+/// use ptherm_bench::JsonObject;
+///
+/// let mut j = JsonObject::new();
+/// j.string("bench", "demo")
+///     .integer("blocks", 64)
+///     .number("speedup", 5.7)
+///     .number("broken", f64::NAN);
+/// assert_eq!(j.offenders(), ["broken"]);
+/// assert!(j.render().contains("\"broken\": null"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+    offenders: Vec<String>,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    fn push(&mut self, key: &str, rendered: String) -> &mut Self {
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Adds a string field (the value is emitted verbatim between
+    /// quotes; keys and values here are ASCII identifiers, not
+    /// arbitrary text needing escapes).
+    pub fn string(&mut self, key: &str, value: &str) -> &mut Self {
+        self.push(key, format!("\"{value}\""))
+    }
+
+    /// Adds an integer field.
+    pub fn integer(&mut self, key: &str, value: u64) -> &mut Self {
+        self.push(key, value.to_string())
+    }
+
+    /// Adds a floating-point field; non-finite values become `null` and
+    /// are recorded as offenders.
+    pub fn number(&mut self, key: &str, value: f64) -> &mut Self {
+        if value.is_finite() {
+            self.push(key, format!("{value:e}"))
+        } else {
+            self.offenders.push(key.to_string());
+            self.push(key, "null".to_string())
+        }
+    }
+
+    /// Adds a boolean field.
+    pub fn boolean(&mut self, key: &str, value: bool) -> &mut Self {
+        self.push(key, value.to_string())
+    }
+
+    /// Keys whose values were non-finite and had to be nulled.
+    pub fn offenders(&self) -> &[String] {
+        &self.offenders
+    }
+
+    /// Renders the object with one field per line.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            let comma = if i + 1 < self.fields.len() { "," } else { "" };
+            let _ = writeln!(out, "  \"{key}\": {value}{comma}");
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// The standard finiteness shape check for a bench emitter: passes
+    /// when every numeric field was finite.
+    pub fn finiteness_check(&self) -> ShapeCheck {
+        ShapeCheck::new(
+            "all JSON fields are finite (artifact is valid JSON)",
+            self.offenders.is_empty(),
+            if self.offenders.is_empty() {
+                "no non-finite values".to_string()
+            } else {
+                format!("nulled: {}", self.offenders.join(", "))
+            },
+        )
+    }
+}
+
 /// One paper-level claim checked by an experiment binary.
 #[derive(Debug, Clone)]
 pub struct ShapeCheck {
@@ -230,6 +330,26 @@ mod tests {
         ];
         assert_eq!(report(&checks), 1);
         assert_eq!(report(&checks[..1]), 0);
+    }
+
+    #[test]
+    fn json_object_rejects_non_finite_numbers() {
+        let mut j = JsonObject::new();
+        j.string("bench", "t")
+            .integer("n", 3)
+            .number("ok", 1.5)
+            .number("bad", f64::NEG_INFINITY)
+            .number("worse", f64::NAN)
+            .boolean("flag", true);
+        assert_eq!(j.offenders(), ["bad", "worse"]);
+        let s = j.render();
+        assert!(s.contains("\"bad\": null"));
+        assert!(s.contains("\"worse\": null"));
+        assert!(s.contains("\"ok\": 1.5e0"));
+        assert!(!j.finiteness_check().pass);
+        assert!(JsonObject::new().finiteness_check().pass);
+        // No trailing comma on the last field.
+        assert!(s.trim_end().ends_with("true\n}"));
     }
 
     #[test]

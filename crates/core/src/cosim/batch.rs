@@ -59,17 +59,29 @@ pub trait BatchPowerModel {
     fn fill_powers(&mut self, temps: &MultiVec, powers: &mut MultiVec);
 
     /// Scalar power of `block` at temperature `t` for the scenario
-    /// currently loaded in `lane`.
-    fn lane_power(&self, lane: usize, block: usize, t: f64) -> f64;
+    /// currently loaded in `lane`, or `None` when no scenario was ever
+    /// loaded there.
+    ///
+    /// # Invariant
+    ///
+    /// The solvers only query lanes they previously passed to
+    /// [`Self::begin_lane`], so `None` never surfaces on the hot path;
+    /// it exists so an out-of-contract query is a typed, testable
+    /// condition instead of a panic inside a worker thread (which would
+    /// poison the whole sweep).
+    fn lane_power(&self, lane: usize, block: usize, t: f64) -> Option<f64>;
 
     /// Recomputes every block power of `lane` at the converged
     /// temperatures `temps`, writing into `powers` — the final refresh
     /// the oracle performs before reporting. The default loops
     /// [`Self::lane_power`]; vectorized models may override it with the
     /// same batched arithmetic they use in [`Self::fill_powers`].
+    /// Querying an empty lane (see [`Self::lane_power`]) writes NaN,
+    /// which the power guards surface as `BadPower` instead of silently
+    /// reporting a wrong operating point.
     fn refresh_lane(&mut self, lane: usize, temps: &[f64], powers: &mut [f64]) {
         for (block, (&t, p)) in temps.iter().zip(powers.iter_mut()).enumerate() {
-            *p = self.lane_power(lane, block, t);
+            *p = self.lane_power(lane, block, t).unwrap_or(f64::NAN);
         }
     }
 }
@@ -110,9 +122,9 @@ impl<F: Fn(usize, usize, f64) -> f64> BatchPowerModel for FnBatchPower<F> {
         }
     }
 
-    fn lane_power(&self, lane: usize, block: usize, t: f64) -> f64 {
-        let id = self.lane_id[lane].expect("lane_power on an empty lane");
-        (self.f)(id, block, t)
+    fn lane_power(&self, lane: usize, block: usize, t: f64) -> Option<f64> {
+        let id = self.lane_id.get(lane).copied().flatten()?;
+        Some((self.f)(id, block, t))
     }
 }
 
@@ -303,23 +315,9 @@ impl<'a> BatchedSolver<'a> {
         // Power at the current temperature estimates (all lanes).
         model.fill_powers(&ws.temps, &mut ws.powers);
 
-        // Vectorized per-lane poison detection: the running min flags
-        // negative powers; `Σ p·0` turns NaN exactly when a lane holds a
-        // non-finite power. Only flagged lanes pay a precise scan.
-        ws.power_min.fill(0.0);
-        ws.power_poison.fill(0.0);
-        {
-            let power_min = &mut ws.power_min[..lanes];
-            let power_poison = &mut ws.power_poison[..lanes];
-            for i in 0..n {
-                let prow = &ws.powers.component(i)[..lanes];
-                for j in 0..lanes {
-                    let p = prow[j];
-                    power_min[j] = power_min[j].min(p);
-                    power_poison[j] += p * 0.0;
-                }
-            }
-        }
+        // Vectorized per-lane poison detection; only flagged lanes pay a
+        // precise scan.
+        scan_power_poison(&ws.powers, lanes, &mut ws.power_min, &mut ws.power_poison);
 
         // Closed-form thermal solve: one matrix × batch product.
         self.operator
@@ -400,9 +398,34 @@ impl<'a> BatchedSolver<'a> {
     }
 }
 
+/// Vectorized per-lane bad-power pre-screen shared by the Picard and
+/// transient batch solvers: `power_min` tracks the running min over the
+/// lane's powers (flags negatives) and `power_poison` accumulates
+/// `Σ p·0`, which is NaN exactly when the lane holds a non-finite power.
+/// A lane is suspect iff `power_min < 0` or `power_poison != 0`.
+pub(crate) fn scan_power_poison(
+    powers: &MultiVec,
+    lanes: usize,
+    power_min: &mut [f64],
+    power_poison: &mut [f64],
+) {
+    let power_min = &mut power_min[..lanes];
+    let power_poison = &mut power_poison[..lanes];
+    power_min.fill(0.0);
+    power_poison.fill(0.0);
+    for i in 0..powers.rows() {
+        let prow = &powers.component(i)[..lanes];
+        for j in 0..lanes {
+            let p = prow[j];
+            power_min[j] = power_min[j].min(p);
+            power_poison[j] += p * 0.0;
+        }
+    }
+}
+
 /// First block whose power is non-finite or negative in `lane`, with the
 /// offending value — the batched form of the oracle's per-block guard.
-fn first_bad_power(powers: &MultiVec, lane: usize) -> Option<(usize, f64)> {
+pub(crate) fn first_bad_power(powers: &MultiVec, lane: usize) -> Option<(usize, f64)> {
     let lanes = powers.lanes();
     let data = powers.as_slice();
     for i in 0..powers.rows() {
@@ -659,6 +682,27 @@ mod tests {
             },
         );
         assert_eq!(resolved, 3);
+    }
+
+    #[test]
+    fn lane_power_on_an_empty_lane_is_none_not_a_panic() {
+        // Regression: this used to `expect` and take down the worker
+        // thread (and with it the whole sweep). The contract is now a
+        // typed None for lanes never loaded, including out-of-range
+        // lane indices.
+        let f = |id: usize, _b: usize, _t: f64| 0.1 * (id + 1) as f64;
+        let mut model = FnBatchPower::new(f);
+        assert_eq!(model.lane_power(0, 0, 300.0), None);
+        model.begin_lane(2, 7);
+        assert_eq!(model.lane_power(0, 0, 300.0), None);
+        assert_eq!(model.lane_power(1, 0, 300.0), None);
+        assert_eq!(model.lane_power(2, 0, 300.0), Some(0.8));
+        assert_eq!(model.lane_power(99, 0, 300.0), None);
+        // The default refresh on an empty lane poisons with NaN rather
+        // than fabricating powers.
+        let mut powers = [0.0; 2];
+        model.refresh_lane(0, &[300.0, 300.0], &mut powers);
+        assert!(powers.iter().all(|p| p.is_nan()));
     }
 
     #[test]

@@ -43,10 +43,16 @@ pub mod batch;
 pub mod operator;
 pub mod power_model;
 pub mod sweep;
+pub mod transient;
 
 pub use batch::{BatchPowerModel, BatchWorkspace, BatchedSolver};
 pub use operator::{ThermalOperator, Workspace};
 pub use sweep::{Scenario, ScenarioGrid, SweepEngine, SweepOutcome, SweepReport};
+pub use transient::{
+    DriveWaveform, TransientBatchedSolver, TransientConfig, TransientError, TransientLane,
+    TransientOperator, TransientOutcome, TransientReport, TransientRk4Reference, TransientSample,
+    TransientWorkspace,
+};
 
 use crate::thermal::ThermalModel;
 use ptherm_floorplan::Floorplan;
@@ -124,9 +130,11 @@ impl CosimResult {
         self.block_powers.iter().sum()
     }
 
-    /// Hottest block temperature, K.
-    pub fn peak_temperature(&self) -> f64 {
-        operator::max_temperature(&self.block_temperatures).unwrap_or(f64::NEG_INFINITY)
+    /// Hottest block temperature, K — `None` for an empty floorplan (the
+    /// previous `f64::NEG_INFINITY` sentinel leaked into reports and
+    /// would emit invalid JSON through the bench emitters).
+    pub fn peak_temperature(&self) -> Option<f64> {
+        operator::max_temperature(&self.block_temperatures)
     }
 }
 
@@ -401,7 +409,7 @@ mod tests {
         let coupled = s
             .solve(|_, t| 0.3 + 0.05 * ((t - 300.0) / 20.0).exp2())
             .unwrap();
-        assert!(coupled.peak_temperature() > flat.peak_temperature());
+        assert!(coupled.peak_temperature().unwrap() > flat.peak_temperature().unwrap());
         assert!(coupled.total_power() > flat.total_power());
     }
 

@@ -44,7 +44,12 @@
 //! ```
 
 use crate::cosim::batch::{BatchPowerModel, BatchWorkspace, BatchedSolver};
+use crate::cosim::transient::{
+    TransientBatchedSolver, TransientConfig, TransientError, TransientLane, TransientOperator,
+    TransientOutcome, TransientReport, TransientRk4Reference, TransientWorkspace,
+};
 use crate::cosim::{CosimError, ElectroThermalSolver, ThermalOperator, Workspace};
+use crate::thermal::capacitance::silicon_block_capacitances;
 use ptherm_floorplan::Floorplan;
 use ptherm_math::{expv, MultiVec};
 use ptherm_tech::{Polarity, Technology};
@@ -68,12 +73,20 @@ pub struct Scenario {
 ///
 /// Scenarios enumerate in row-major order with the technology axis
 /// outermost and the Vdd axis innermost.
+///
+/// Degenerate axes are legal: a builder handed an **empty** axis yields
+/// an empty grid — zero scenarios, an empty iterator and a clean empty
+/// [`SweepReport`] — never a mixed-radix decode panic. (An *unset*
+/// ambient axis is different: it means "one point at the engine's
+/// default ambient", see [`Self::ambients_k`].)
 #[derive(Debug, Clone)]
 pub struct ScenarioGrid {
     technologies: Vec<Technology>,
     vdd_scales: Vec<f64>,
     activities: Vec<f64>,
-    ambients_k: Vec<f64>,
+    /// `None` = axis not set (single point at the default ambient);
+    /// `Some(vec![])` = explicitly empty axis (empty grid).
+    ambients_k: Option<Vec<f64>>,
 }
 
 impl ScenarioGrid {
@@ -83,40 +96,36 @@ impl ScenarioGrid {
     /// declares (its sink temperature), so an engine sweep with no
     /// ambient axis matches one-shot solves on the same floorplan.
     ///
-    /// # Panics
-    ///
-    /// Panics if `technologies` is empty.
+    /// An empty technology list is allowed and produces an empty grid.
     pub fn new(technologies: Vec<Technology>) -> Self {
-        assert!(!technologies.is_empty(), "grid needs at least one node");
         ScenarioGrid {
             technologies,
             vdd_scales: vec![1.0],
             activities: vec![1.0],
-            ambients_k: Vec::new(),
+            ambients_k: None,
         }
     }
 
-    /// Replaces the supply-scale axis.
+    /// Replaces the supply-scale axis (empty ⇒ empty grid).
     #[must_use]
     pub fn vdd_scales(mut self, scales: Vec<f64>) -> Self {
-        assert!(!scales.is_empty(), "empty Vdd axis");
         self.vdd_scales = scales;
         self
     }
 
-    /// Replaces the activity axis.
+    /// Replaces the activity axis (empty ⇒ empty grid).
     #[must_use]
     pub fn activities(mut self, activities: Vec<f64>) -> Self {
-        assert!(!activities.is_empty(), "empty activity axis");
         self.activities = activities;
         self
     }
 
-    /// Replaces the ambient-temperature axis.
+    /// Replaces the ambient-temperature axis. Setting an explicitly
+    /// empty axis empties the grid; *not* calling this leaves a single
+    /// implicit point at the sweep's default ambient.
     #[must_use]
     pub fn ambients_k(mut self, ambients: Vec<f64>) -> Self {
-        assert!(!ambients.is_empty(), "empty ambient axis");
-        self.ambients_k = ambients;
+        self.ambients_k = Some(ambients);
         self
     }
 
@@ -125,15 +134,20 @@ impl ScenarioGrid {
         &self.technologies
     }
 
+    /// Width of the ambient axis as enumerated (1 for the unset axis).
+    fn ambient_axis_len(&self) -> usize {
+        self.ambients_k.as_ref().map_or(1, Vec::len)
+    }
+
     /// Number of scenarios in the grid.
     pub fn len(&self) -> usize {
         self.technologies.len()
             * self.vdd_scales.len()
             * self.activities.len()
-            * self.ambients_k.len().max(1)
+            * self.ambient_axis_len()
     }
 
-    /// True when any axis is empty (cannot happen through the builders).
+    /// True when any axis is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -145,20 +159,20 @@ impl ScenarioGrid {
     ///
     /// # Panics
     ///
-    /// Panics if `index >= self.len()`.
+    /// Panics if `index >= self.len()` — in particular for **any** index
+    /// into a grid with an empty axis, before any radix arithmetic runs.
     pub fn scenario(&self, index: usize, default_ambient_k: f64) -> Scenario {
         assert!(index < self.len(), "scenario index out of range");
         let nv = self.vdd_scales.len();
         let na = self.activities.len();
-        let namb = self.ambients_k.len().max(1);
+        let namb = self.ambient_axis_len();
         let vdd_scale = self.vdd_scales[index % nv];
         let rest = index / nv;
         let activity = self.activities[rest % na];
         let rest = rest / na;
-        let ambient_k = if self.ambients_k.is_empty() {
-            default_ambient_k
-        } else {
-            self.ambients_k[rest % namb]
+        let ambient_k = match &self.ambients_k {
+            Some(ambients) => ambients[rest % namb],
+            None => default_ambient_k,
         };
         Scenario {
             vdd_scale,
@@ -257,12 +271,12 @@ impl<M: ScenarioPowerModel + ?Sized> BatchPowerModel for ScalarScenarioBatch<'_,
         }
     }
 
-    fn lane_power(&self, lane: usize, block: usize, t: f64) -> f64 {
-        let s = self.lane_scenarios[lane]
-            .as_ref()
-            .expect("lane_power on an empty lane");
-        self.model
-            .block_power(s, &self.grid.technologies()[s.tech_index], block, t)
+    fn lane_power(&self, lane: usize, block: usize, t: f64) -> Option<f64> {
+        let s = self.lane_scenarios.get(lane)?.as_ref()?;
+        Some(
+            self.model
+                .block_power(s, &self.grid.technologies()[s.tech_index], block, t),
+        )
     }
 }
 
@@ -589,12 +603,12 @@ impl BatchPowerModel for ScaledTechBatch<'_> {
         }
     }
 
-    fn lane_power(&self, lane: usize, block: usize, t: f64) -> f64 {
-        let s = self.lane_scenarios[lane]
-            .as_ref()
-            .expect("lane_power on an empty lane");
-        self.model
-            .block_power(s, &self.grid.technologies()[s.tech_index], block, t)
+    fn lane_power(&self, lane: usize, block: usize, t: f64) -> Option<f64> {
+        let s = self.lane_scenarios.get(lane)?.as_ref()?;
+        Some(
+            self.model
+                .block_power(s, &self.grid.technologies()[s.tech_index], block, t),
+        )
     }
 
     fn refresh_lane(&mut self, lane: usize, temps: &[f64], powers: &mut [f64]) {
@@ -958,6 +972,170 @@ impl SweepEngine {
         }
     }
 
+    /// Per-block thermal capacitances for a transient run: the config's
+    /// own, or silicon column capacitances derived from the floorplan.
+    fn transient_capacitances(&self, cfg: &TransientConfig) -> Vec<f64> {
+        cfg.capacitances
+            .clone()
+            .unwrap_or_else(|| silicon_block_capacitances(self.solver.floorplan()))
+    }
+
+    /// Sweeps a scenario × drive-waveform grid through the batched
+    /// implicit **transient** engine
+    /// ([`crate::cosim::transient`]): every scenario of `grid` runs
+    /// under every waveform of `cfg`, `Self::batch_lanes` transients
+    /// advancing per time step through the `Φ`/`Q` GEMM recurrence,
+    /// chunks sharded over `Self::threads` workers. Outcomes land
+    /// scenario-major ([`TransientReport::outcome`]); results are
+    /// independent of thread count and batch width (the
+    /// [`crate::cosim::batch`] per-lane contract).
+    ///
+    /// # Errors
+    ///
+    /// See [`TransientError`] (bad capacitances or time step).
+    pub fn run_transient<M: ScenarioPowerModel>(
+        &self,
+        grid: &ScenarioGrid,
+        model: &M,
+        cfg: &TransientConfig,
+    ) -> Result<TransientReport, TransientError> {
+        let caps = self.transient_capacitances(cfg);
+        let top = TransientOperator::new(&self.operator, &caps, cfg.dt, cfg.scheme)?;
+        let waveforms = cfg.effective_waveforms()?;
+        let w = waveforms.len();
+        let sink_k = self.operator.sink_temperature();
+        let total = grid.len() * w;
+        let width = self.batch_lanes.max(1);
+        let chunks = total.div_ceil(width);
+        let cursor = AtomicUsize::new(0);
+        let solver = TransientBatchedSolver::new(&top, self.solver.ceiling_k);
+        let per_worker = ptherm_par::par_workers(self.threads, |_worker| {
+            let mut model = model.batched(grid, sink_k, width);
+            let mut ws = TransientWorkspace::new();
+            let mut collected: Vec<(usize, Vec<TransientOutcome>)> = Vec::new();
+            loop {
+                let chunk = cursor.fetch_add(1, Ordering::Relaxed);
+                if chunk >= chunks {
+                    break;
+                }
+                let start = chunk * width;
+                let end = (start + width).min(total);
+                let lanes: Vec<TransientLane<'_>> = (start..end)
+                    .map(|id| TransientLane {
+                        ambient_k: grid.scenario(id / w, sink_k).ambient_k,
+                        waveform: &waveforms[id % w],
+                    })
+                    .collect();
+                for (lane, id) in (start..end).enumerate() {
+                    model.begin_lane(lane, id / w);
+                }
+                let outcomes = solver.solve_chunk(
+                    width,
+                    &lanes,
+                    &mut *model,
+                    &mut ws,
+                    cfg.steps,
+                    cfg.record_stride,
+                );
+                collected.push((start, outcomes));
+            }
+            collected
+        });
+        let mut outcomes: Vec<Option<TransientOutcome>> = (0..total).map(|_| None).collect();
+        for (start, chunk) in per_worker.into_iter().flatten() {
+            for (offset, outcome) in chunk.into_iter().enumerate() {
+                outcomes[start + offset] = Some(outcome);
+            }
+        }
+        Ok(TransientReport {
+            outcomes: outcomes
+                .into_iter()
+                .map(|o| o.expect("every transient resolved"))
+                .collect(),
+            waveform_count: w,
+        })
+    }
+
+    /// The one-lane-at-a-time transient oracle: identical per-step
+    /// arithmetic through the same implicit operator, each
+    /// scenario×waveform integrated on its own
+    /// ([`TransientBatchedSolver::solve_single`]), fanned over worker
+    /// threads. Validation baseline for [`Self::run_transient`].
+    ///
+    /// # Errors
+    ///
+    /// See [`TransientError`].
+    pub fn run_transient_per_scenario<M: ScenarioPowerModel>(
+        &self,
+        grid: &ScenarioGrid,
+        model: &M,
+        cfg: &TransientConfig,
+    ) -> Result<TransientReport, TransientError> {
+        let caps = self.transient_capacitances(cfg);
+        let top = TransientOperator::new(&self.operator, &caps, cfg.dt, cfg.scheme)?;
+        let waveforms = cfg.effective_waveforms()?;
+        let w = waveforms.len();
+        let sink_k = self.operator.sink_temperature();
+        let ids: Vec<usize> = (0..grid.len() * w).collect();
+        let solver = TransientBatchedSolver::new(&top, self.solver.ceiling_k);
+        let techs = grid.technologies();
+        let outcomes = ptherm_par::par_map(self.threads, &ids, |_, &id| {
+            let s = grid.scenario(id / w, sink_k);
+            solver.solve_single(
+                s.ambient_k,
+                &waveforms[id % w],
+                |b, t| model.block_power(&s, &techs[s.tech_index], b, t),
+                cfg.steps,
+                cfg.record_stride,
+            )
+        });
+        Ok(TransientReport {
+            outcomes,
+            waveform_count: w,
+        })
+    }
+
+    /// The explicit reference: every scenario×waveform integrated with
+    /// fixed-step RK4 ([`TransientRk4Reference`]) at a
+    /// stability-constrained step (at least `cfg.steps`), fanned over
+    /// worker threads. This is the path the implicit engine's speedup is
+    /// measured against in the `transient` bench; agreement tolerances
+    /// are documented in `docs/PERFORMANCE.md`.
+    ///
+    /// # Errors
+    ///
+    /// See [`TransientError`].
+    pub fn run_transient_rk4<M: ScenarioPowerModel>(
+        &self,
+        grid: &ScenarioGrid,
+        model: &M,
+        cfg: &TransientConfig,
+    ) -> Result<TransientReport, TransientError> {
+        let caps = self.transient_capacitances(cfg);
+        let reference = TransientRk4Reference::new(&self.operator, &caps)?;
+        let waveforms = cfg.effective_waveforms()?;
+        let w = waveforms.len();
+        let sink_k = self.operator.sink_temperature();
+        let duration = cfg.duration();
+        let steps = reference.stable_steps(duration).max(cfg.steps);
+        let ids: Vec<usize> = (0..grid.len() * w).collect();
+        let techs = grid.technologies();
+        let outcomes = ptherm_par::par_map(self.threads, &ids, |_, &id| {
+            let s = grid.scenario(id / w, sink_k);
+            reference.solve(
+                s.ambient_k,
+                &waveforms[id % w],
+                |b, t| model.block_power(&s, &techs[s.tech_index], b, t),
+                duration,
+                steps,
+            )
+        });
+        Ok(TransientReport {
+            outcomes,
+            waveform_count: w,
+        })
+    }
+
     /// The pre-batching reference path: each scenario solved one at a
     /// time through [`ElectroThermalSolver::solve_with_ambient`] on the
     /// shared operator, fanned over worker threads. Kept as the exact
@@ -1017,6 +1195,7 @@ impl SweepEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cosim::transient::DriveWaveform;
 
     fn engine() -> SweepEngine {
         SweepEngine::new(Floorplan::paper_three_blocks())
@@ -1194,6 +1373,186 @@ mod tests {
         let hot = find(1.0, 1.0, 340.0).total_power().unwrap();
         assert!(high_vdd > base);
         assert!(hot > base, "leakage grows with ambient: {hot} vs {base}");
+    }
+
+    #[test]
+    fn empty_axes_yield_an_empty_grid_not_a_decode_panic() {
+        // Regression: an explicitly empty axis used to be rejected by a
+        // builder assert; sweeping a grid someone constructed with zero
+        // points must simply do nothing.
+        let empty_vdd = ScenarioGrid::new(vec![Technology::cmos_120nm()]).vdd_scales(Vec::new());
+        assert_eq!(empty_vdd.len(), 0);
+        assert!(empty_vdd.is_empty());
+        assert_eq!(empty_vdd.iter_scenarios(300.0).count(), 0);
+        assert!(empty_vdd.scenarios(300.0).is_empty());
+
+        let empty_activity =
+            ScenarioGrid::new(vec![Technology::cmos_120nm()]).activities(Vec::new());
+        assert!(empty_activity.is_empty());
+        // Explicitly empty ambient axis kills the grid; an unset one is
+        // a single implicit point.
+        let empty_ambient =
+            ScenarioGrid::new(vec![Technology::cmos_120nm()]).ambients_k(Vec::new());
+        assert!(empty_ambient.is_empty());
+        let unset_ambient = ScenarioGrid::new(vec![Technology::cmos_120nm()]);
+        assert_eq!(unset_ambient.len(), 1);
+        let empty_tech = ScenarioGrid::new(Vec::new());
+        assert!(empty_tech.is_empty());
+
+        // Both engine paths produce a clean empty report.
+        let engine = engine();
+        let model = engine.uniform_tech_power(0.6, 0.05);
+        for grid in [&empty_vdd, &empty_activity, &empty_ambient, &empty_tech] {
+            let batched = engine.run(grid, &model);
+            assert!(batched.is_empty(), "{}", batched);
+            let oracle = engine.run_per_scenario(grid, &model);
+            assert!(oracle.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scenario index out of range")]
+    fn empty_grid_random_access_panics_cleanly() {
+        let grid = ScenarioGrid::new(vec![Technology::cmos_120nm()]).vdd_scales(Vec::new());
+        let _ = grid.scenario(0, 300.0);
+    }
+
+    fn transient_config(engine: &SweepEngine) -> TransientConfig {
+        let caps = silicon_block_capacitances(engine.solver().floorplan());
+        let tmin = (0..caps.len())
+            .map(|i| engine.operator().influence()[(i, i)] * caps[i])
+            .fold(f64::INFINITY, f64::min);
+        TransientConfig::new(tmin / 10.0, 300).record_stride(50)
+    }
+
+    #[test]
+    fn transient_sweep_matches_the_per_scenario_oracle() {
+        let engine = engine().threads(4);
+        let grid = small_grid();
+        let model = engine.uniform_tech_power(0.6, 0.05).prepared_for(&grid);
+        let cfg = transient_config(&engine).waveforms(vec![
+            DriveWaveform::Step,
+            DriveWaveform::SquareWave {
+                frequency: 3.0,
+                duty: 0.5,
+            },
+        ]);
+        let batched = engine.run_transient(&grid, &model, &cfg).expect("valid");
+        let oracle = engine
+            .run_transient_per_scenario(&grid, &model, &cfg)
+            .expect("valid");
+        assert_eq!(batched.len(), grid.len() * 2);
+        assert_eq!(batched.len(), oracle.len());
+        assert_eq!(batched.finished_count(), batched.len());
+        for (b, o) in batched.outcomes.iter().zip(&oracle.outcomes) {
+            let (bt, ot) = (
+                b.final_temperatures().expect("finished"),
+                o.final_temperatures().expect("finished"),
+            );
+            for (x, y) in bt.iter().zip(ot) {
+                assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+            }
+            assert!((b.peak_temperature().unwrap() - o.peak_temperature().unwrap()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transient_results_do_not_depend_on_threads_or_batch_width() {
+        let grid = small_grid();
+        let e1 = engine().threads(1).batch_lanes(1);
+        let model = e1.uniform_tech_power(0.6, 0.05);
+        let cfg = transient_config(&e1);
+        let narrow = e1.run_transient(&grid, &model, &cfg).expect("valid");
+        let wide = engine()
+            .threads(8)
+            .batch_lanes(64)
+            .run_transient(&grid, &model, &cfg)
+            .expect("valid");
+        assert_eq!(narrow.outcomes, wide.outcomes);
+    }
+
+    #[test]
+    fn transient_sweep_matches_the_rk4_reference_within_tolerance() {
+        // Two discretizations of the same ODE; with dt = tau_min/10 the
+        // trapezoidal O(dt^2) term dominates the gap (documented in
+        // docs/PERFORMANCE.md as <= 1e-3 of the temperature rise).
+        let engine = engine();
+        let grid = ScenarioGrid::new(vec![Technology::cmos_120nm()]).vdd_scales(vec![0.9, 1.1]);
+        let model = engine.uniform_tech_power(0.6, 0.05);
+        let cfg = transient_config(&engine);
+        let implicit = engine.run_transient(&grid, &model, &cfg).expect("valid");
+        let explicit = engine
+            .run_transient_rk4(&grid, &model, &cfg)
+            .expect("valid");
+        for (i, (a, b)) in implicit.outcomes.iter().zip(&explicit.outcomes).enumerate() {
+            let (at, bt) = (
+                a.final_temperatures().expect("finished"),
+                b.final_temperatures().expect("finished"),
+            );
+            for (x, y) in at.iter().zip(bt) {
+                let rise = (y - 300.0).abs().max(1e-3);
+                assert!((x - y).abs() <= 1e-3 * rise, "transient {i}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn transient_square_wave_peaks_below_the_step_drive() {
+        let engine = engine();
+        let grid = ScenarioGrid::new(vec![Technology::cmos_120nm()]);
+        let model = engine.uniform_tech_power(0.6, 0.05);
+        let cfg = transient_config(&engine).waveforms(vec![
+            DriveWaveform::Step,
+            DriveWaveform::Trace {
+                times: vec![0.0, 1.0],
+                scales: vec![0.3, 0.3],
+            },
+        ]);
+        let report = engine.run_transient(&grid, &model, &cfg).expect("valid");
+        let step_peak = report.outcome(0, 0).peak_temperature().expect("finished");
+        let derated_peak = report.outcome(0, 1).peak_temperature().expect("finished");
+        assert!(step_peak > derated_peak, "{step_peak} vs {derated_peak}");
+    }
+
+    #[test]
+    fn transient_on_an_empty_grid_is_a_clean_no_op() {
+        let engine = engine();
+        let grid = ScenarioGrid::new(vec![Technology::cmos_120nm()]).vdd_scales(Vec::new());
+        let model = engine.uniform_tech_power(0.6, 0.05);
+        let cfg = transient_config(&engine);
+        let report = engine.run_transient(&grid, &model, &cfg).expect("valid");
+        assert!(report.is_empty());
+        assert_eq!(report.max_peak_temperature(), None);
+    }
+
+    #[test]
+    fn transient_config_errors_are_typed() {
+        let engine = engine();
+        let grid = ScenarioGrid::new(vec![Technology::cmos_120nm()]);
+        let model = engine.uniform_tech_power(0.6, 0.05);
+        let cfg = TransientConfig::new(0.0, 10);
+        assert!(matches!(
+            engine.run_transient(&grid, &model, &cfg),
+            Err(TransientError::BadStep { .. })
+        ));
+        let cfg = TransientConfig::new(1e-6, 10).capacitances(vec![1.0]);
+        assert!(matches!(
+            engine.run_transient(&grid, &model, &cfg),
+            Err(TransientError::DimensionMismatch { .. })
+        ));
+        // A malformed trace is a typed error at the API boundary, never
+        // a panic inside a sweep worker.
+        let cfg = TransientConfig::new(1e-6, 10).waveforms(vec![
+            DriveWaveform::Step,
+            DriveWaveform::Trace {
+                times: vec![0.0, 1.0],
+                scales: vec![0.5],
+            },
+        ]);
+        assert!(matches!(
+            engine.run_transient(&grid, &model, &cfg),
+            Err(TransientError::BadWaveform { index: 1, .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Per-block thermal capacitances — the `C` of the chip-scale transient
+//! `C dT/dt = P(T) − G·(T − T_amb)`.
+//!
+//! The paper's steady-state closed forms (Eqs. 16–21) carry no time
+//! dependence; its Fig. 9 transient models one transistor as a lumped RC.
+//! Scaling that picture up to the floorplan gives each block the thermal
+//! capacitance of the silicon column it heats:
+//!
+//! ```text
+//! C_i = c_v · w_i · l_i · t_sub          [J/K]
+//! ```
+//!
+//! with `c_v` the volumetric heat capacity (silicon: ≈1.66 MJ/(m³·K),
+//! [`ptherm_tech::constants::SILICON_VOLUMETRIC_HEAT_CAPACITY`]) and
+//! `t_sub` the substrate thickness. Together with the steady-state
+//! influence matrix `R` (so `G = R⁻¹`) this closes the transient system
+//! integrated by [`crate::cosim::transient`]; the per-block time constant
+//! is `τ_i ≈ R_ii · C_i`, the chip-scale analogue of the Fig. 9 `τ`.
+//!
+//! The column model deliberately mirrors the lumped-RC abstraction rather
+//! than resolving vertical heat spreading — the same fidelity trade the
+//! paper makes for `R` itself.
+
+use ptherm_floorplan::Floorplan;
+use ptherm_tech::constants::SILICON_VOLUMETRIC_HEAT_CAPACITY;
+
+/// Per-block thermal capacitances for `floorplan` at an explicit
+/// volumetric heat capacity `c_v` (J/(m³·K)): block footprint × substrate
+/// thickness × `c_v`.
+///
+/// # Example
+///
+/// ```
+/// use ptherm_core::thermal::capacitance::block_capacitances;
+/// use ptherm_floorplan::Floorplan;
+///
+/// let fp = Floorplan::paper_three_blocks();
+/// let c = block_capacitances(&fp, 1.66e6);
+/// assert_eq!(c.len(), fp.blocks().len());
+/// assert!(c.iter().all(|&ci| ci > 0.0));
+/// ```
+pub fn block_capacitances(floorplan: &Floorplan, volumetric_heat_capacity: f64) -> Vec<f64> {
+    let thickness = floorplan.geometry().thickness;
+    floorplan
+        .blocks()
+        .iter()
+        .map(|b| volumetric_heat_capacity * b.area() * thickness)
+        .collect()
+}
+
+/// [`block_capacitances`] at silicon's volumetric heat capacity — the
+/// default the transient engine derives when none is supplied.
+pub fn silicon_block_capacitances(floorplan: &Floorplan) -> Vec<f64> {
+    block_capacitances(floorplan, SILICON_VOLUMETRIC_HEAT_CAPACITY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptherm_floorplan::{generator, ChipGeometry, Floorplan};
+
+    #[test]
+    fn capacitance_scales_with_area_and_thickness() {
+        let fp = Floorplan::paper_three_blocks();
+        let c = silicon_block_capacitances(&fp);
+        assert_eq!(c.len(), 3);
+        for (ci, b) in c.iter().zip(fp.blocks()) {
+            let expect = SILICON_VOLUMETRIC_HEAT_CAPACITY * b.area() * fp.geometry().thickness;
+            assert_eq!(*ci, expect);
+        }
+        // Linear in c_v.
+        let doubled = block_capacitances(&fp, 2.0 * SILICON_VOLUMETRIC_HEAT_CAPACITY);
+        for (a, b) in c.iter().zip(&doubled) {
+            assert!((b - 2.0 * a).abs() < 1e-18 * b.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn uniform_tiling_gives_uniform_capacitances() {
+        let fp = generator::tiled(ChipGeometry::paper_1mm(), 4, 4, 0.0, 0.0, 3).expect("tiling");
+        let c = silicon_block_capacitances(&fp);
+        assert_eq!(c.len(), 16);
+        for ci in &c {
+            assert!((ci - c[0]).abs() < 1e-18, "{ci} vs {}", c[0]);
+        }
+    }
+
+    #[test]
+    fn block_time_constants_are_physically_plausible() {
+        // 1 mm die, 300 um substrate: block taus land in the
+        // microsecond-to-millisecond range real dies show.
+        let fp = Floorplan::paper_three_blocks();
+        let op = crate::cosim::ThermalOperator::new(&fp);
+        let c = silicon_block_capacitances(&fp);
+        for (i, ci) in c.iter().enumerate() {
+            let tau = op.influence()[(i, i)] * ci;
+            assert!(tau > 1e-7 && tau < 1e-1, "tau[{i}] = {tau}");
+        }
+    }
+
+    #[test]
+    fn empty_floorplan_yields_no_capacitances() {
+        let fp = Floorplan::new(ChipGeometry::paper_1mm(), Vec::new()).expect("empty plan");
+        assert!(silicon_block_capacitances(&fp).is_empty());
+    }
+}

@@ -9,7 +9,10 @@
 //!   (Eq. 21) with images, surface maps and cross-sections,
 //! * [`resistance`] — self-heating thermal resistance from Eq. 18
 //!   (the model line of Fig. 10),
-//! * [`conductivity`] — self-consistent `k(T)` iteration (extension).
+//! * [`conductivity`] — self-consistent `k(T)` iteration (extension),
+//! * [`capacitance`] — per-block thermal capacitances closing the
+//!   chip-scale transient system (Fig. 9 scaled to the floorplan; the
+//!   solver lives in [`cosim::transient`](crate::cosim::transient)).
 //!
 //! The batched form of Eq. 21 — the per-floorplan influence matrix reused
 //! across power vectors — lives in
@@ -29,6 +32,7 @@
 //! assert!(model.temperature(0.30e-3, 0.70e-3) > model.temperature(0.95e-3, 0.05e-3));
 //! ```
 
+pub mod capacitance;
 pub mod conductivity;
 pub mod images;
 pub mod profile;

@@ -232,6 +232,25 @@ mod tests {
     }
 
     #[test]
+    fn stiff_ladder_stays_stable_at_huge_steps() {
+        // Time constants span 10 us .. 1 s; a 0.5 s step is 50000x the
+        // fastest stage. Backward Euler must stay bounded and land on the
+        // series-resistance steady state regardless (regression guard:
+        // this simulate must never be switched to a fixed-step explicit
+        // integrator).
+        let ladder = device_die_package();
+        let p = 10e-3;
+        let traj = ladder.simulate(move |_, _| p, 20.0, 40);
+        assert!(traj
+            .y
+            .iter()
+            .all(|nodes| nodes.iter().all(|t| t.is_finite())));
+        let end = traj.y.last().expect("nonempty")[0];
+        let expect = ladder.steady_rise(p);
+        assert!((end - expect).abs() / expect < 0.05, "{end} vs {expect}");
+    }
+
+    #[test]
     fn feedback_power_couples_to_device_node() {
         // Negative feedback on the device rise settles below constant power.
         let ladder = device_die_package();

@@ -19,7 +19,9 @@ pub struct ThermalRc {
 }
 
 impl ThermalRc {
-    /// Time constant `τ = R_th · C_th`, s.
+    /// Time constant `τ = R_th · C_th`, s. Zero when either element is
+    /// zero — the network settles instantaneously (see
+    /// [`Self::step_response`]).
     pub fn tau(&self) -> f64 {
         self.rth * self.cth
     }
@@ -31,8 +33,17 @@ impl ThermalRc {
 
     /// Analytic step response: rise at time `t` after applying `power` from
     /// a cold start, K.
+    ///
+    /// A degenerate network (`cth == 0` or `rth == 0`, so `τ == 0`)
+    /// settles instantaneously: the response is the steady-state limit
+    /// `R_th · P` for every `t > 0` (and its `t → 0⁺` limit at `t = 0`)
+    /// rather than the `0/0` NaN the exponential form would produce.
     pub fn step_response(&self, power: f64, t: f64) -> f64 {
-        self.steady_rise(power) * (1.0 - (-t / self.tau()).exp())
+        let tau = self.tau();
+        if tau <= 0.0 {
+            return self.steady_rise(power);
+        }
+        self.steady_rise(power) * (1.0 - (-t / tau).exp())
     }
 
     /// Integrates the junction temperature under a time-varying power
@@ -40,12 +51,45 @@ impl ThermalRc {
     /// that's exactly the electro-thermal feedback of a heating transistor).
     ///
     /// Returns the trajectory of the temperature *rise* above ambient.
+    ///
+    /// # Stability
+    ///
+    /// The integrator sub-steps internally so the RK4 step never exceeds
+    /// `τ/2` — far inside the explicit stability bound of `~2.78·τ` — so a
+    /// caller-friendly coarse `steps` (sized for output resolution) can no
+    /// longer make a stiff network diverge silently. The returned
+    /// trajectory records every internal step; when no sub-stepping is
+    /// needed the result is bit-identical to the previous behaviour.
+    ///
+    /// Sub-stepping is capped at [`Self::MAX_SUBSTEPS`] per output step:
+    /// past that the network settles thousands of times faster than the
+    /// caller can observe (`h > 64·τ`, residual transients `< e⁻¹²⁸`),
+    /// so the integration switches to the quasi-static fixed point
+    /// `ΔT = R_th · P(t, ΔT)` — the same limit a degenerate network
+    /// (`τ == 0`, zero capacitance or resistance) uses, matching the
+    /// steady-state limit of [`Self::step_response`]. The cap also
+    /// bounds the recorded trajectory to `steps · MAX_SUBSTEPS` points,
+    /// so a pathologically stiff RC cannot exhaust memory.
     pub fn simulate<P>(&self, power: P, duration: f64, steps: usize) -> OdeTrajectory
     where
         P: Fn(f64, f64) -> f64,
     {
+        assert!(steps > 0, "need at least one step");
+        assert!(duration > 0.0, "need a forward time span");
         let rth = self.rth;
         let cth = self.cth;
+        let tau = self.tau();
+        // Sub-step so h <= tau/2: RK4's linear stability limit is
+        // ~2.78*tau and its accuracy degrades well before that.
+        let h = duration / steps as f64;
+        // NaN/inf ratios (degenerate or denormal tau) fail this guard
+        // and take the quasi-static path too.
+        let ratio = h / (0.5 * tau);
+        let resolvable = tau > 0.0 && ratio.is_finite() && ratio <= Self::MAX_SUBSTEPS as f64;
+        if !resolvable {
+            return self.simulate_quasi_static(power, duration, steps);
+        }
+        let substeps = (ratio.ceil() as usize).max(1);
         rk4(
             move |t, y| {
                 let dt_rise = y[0];
@@ -54,8 +98,45 @@ impl ThermalRc {
             0.0,
             duration,
             &[0.0],
-            steps,
+            steps * substeps,
         )
+    }
+
+    /// Largest internal sub-step factor [`Self::simulate`] resolves a
+    /// stiff transient with before switching to quasi-static tracking.
+    pub const MAX_SUBSTEPS: usize = 128;
+
+    /// The fast-settling limit of [`Self::simulate`] (`τ == 0`, or
+    /// `τ ≪` the output step): the rise tracks the instantaneous fixed
+    /// point `ΔT = R_th · P(t, ΔT)`, found by damped iteration from the
+    /// previous sample (feedback powers are smooth in ΔT on physical
+    /// devices, so a handful of iterations suffice).
+    fn simulate_quasi_static<P>(&self, power: P, duration: f64, steps: usize) -> OdeTrajectory
+    where
+        P: Fn(f64, f64) -> f64,
+    {
+        let h = duration / steps as f64;
+        let mut rise = 0.0;
+        let mut out_t = Vec::with_capacity(steps + 1);
+        let mut out_y = Vec::with_capacity(steps + 1);
+        for k in 0..=steps {
+            let t = h * k as f64;
+            if self.rth == 0.0 {
+                rise = 0.0;
+            } else {
+                for _ in 0..64 {
+                    let next = self.rth * power(t, rise);
+                    let moved = 0.5 * (next - rise);
+                    rise += moved;
+                    if moved.abs() <= 1e-12 * rise.abs().max(1e-300) {
+                        break;
+                    }
+                }
+            }
+            out_t.push(t);
+            out_y.push(vec![rise]);
+        }
+        OdeTrajectory { t: out_t, y: out_y }
     }
 }
 
@@ -116,6 +197,122 @@ mod tests {
                 "t={t}: {sim} vs {exact}"
             );
         }
+    }
+
+    #[test]
+    fn stiff_step_no_longer_diverges() {
+        // Regression: duration = 1 s over 100 caller steps on a 50 us
+        // network hands rk4 h = 10 ms = 200*tau, far past the ~2.78*tau
+        // stability bound — the old fixed-step integration overflowed to
+        // +/-inf. Internal sub-stepping must keep it on the analytic
+        // curve instead.
+        let r = rc();
+        let p = 10e-3;
+        let traj = r.simulate(|_, _| p, 1.0, 100);
+        assert!(traj.y.iter().all(|y| y[0].is_finite()));
+        let end = traj.y.last().unwrap()[0];
+        let exact = r.step_response(p, 1.0);
+        assert!(
+            (end - exact).abs() < 1e-3 * r.steady_rise(p),
+            "{end} vs {exact}"
+        );
+        // Every recorded point stays physical (no overshoot blow-up).
+        assert!(traj
+            .y
+            .iter()
+            .all(|y| y[0] >= -1e-9 && y[0] <= 1.01 * r.steady_rise(p)));
+    }
+
+    #[test]
+    fn non_stiff_simulation_is_unchanged_by_substepping() {
+        // h <= tau/2 already: the sub-step factor is 1 and the trajectory
+        // is bit-identical to a direct rk4 call.
+        let r = rc();
+        let p = 10e-3;
+        let steps = 2000;
+        let duration = 5.0 * r.tau(); // h = tau/400
+        let traj = r.simulate(|_, _| p, duration, steps);
+        assert_eq!(traj.t.len(), steps + 1);
+        let direct = rk4(
+            |_, y| vec![(p - y[0] / r.rth) / r.cth],
+            0.0,
+            duration,
+            &[0.0],
+            steps,
+        );
+        assert_eq!(traj, direct);
+    }
+
+    #[test]
+    fn pathologically_stiff_rc_stays_bounded_in_time_and_memory() {
+        // tau = 1 ns over a 1 s span: resolving it explicitly would need
+        // ~2e9 sub-steps (previously an OOM/hang). The sub-step cap
+        // switches to quasi-static tracking: trajectory length stays at
+        // the caller's resolution and every sample sits on the steady
+        // value.
+        let r = ThermalRc {
+            rth: 1e3,
+            cth: 1e-12,
+        };
+        let p = 10e-3;
+        let traj = r.simulate(|_, _| p, 1.0, 100);
+        assert_eq!(traj.t.len(), 101);
+        for y in &traj.y {
+            assert!((y[0] - r.steady_rise(p)).abs() < 1e-9 * r.steady_rise(p));
+        }
+        // Denormal tau must not overflow the sub-step arithmetic either.
+        let denormal = ThermalRc {
+            rth: 1e-300,
+            cth: 1e-300,
+        };
+        let traj = denormal.simulate(|_, _| 1.0, 1.0, 4);
+        assert_eq!(traj.t.len(), 5);
+        assert!(traj.y.iter().all(|y| y[0].is_finite()));
+    }
+
+    #[test]
+    fn zero_capacitance_settles_instantaneously() {
+        let r = ThermalRc {
+            rth: 1000.0,
+            cth: 0.0,
+        };
+        assert_eq!(r.tau(), 0.0);
+        let p = 10e-3;
+        // Analytic: steady limit everywhere, including t = 0, never NaN.
+        for t in [0.0, 1e-9, 1.0] {
+            let resp = r.step_response(p, t);
+            assert!(resp.is_finite());
+            assert!((resp - r.steady_rise(p)).abs() < 1e-12, "t={t}: {resp}");
+        }
+        // Simulation: quasi-static tracking of the fixed point, honouring
+        // feedback (P sags 1%/K -> rise solves dT = rth p0 (1-0.01 dT)).
+        let p0 = 10e-3;
+        let traj = r.simulate(move |_, d_t| p0 * (1.0 - 0.01 * d_t), 1.0, 10);
+        let expect = r.rth * p0 / (1.0 + 0.01 * r.rth * p0);
+        for y in &traj.y {
+            assert!(y[0].is_finite());
+            assert!(
+                (y[0] - expect).abs() < 1e-9 * expect,
+                "{} vs {expect}",
+                y[0]
+            );
+        }
+    }
+
+    #[test]
+    fn zero_resistance_pins_the_rise_at_zero() {
+        let r = ThermalRc {
+            rth: 0.0,
+            cth: 5e-8,
+        };
+        assert_eq!(r.tau(), 0.0);
+        for t in [0.0, 1.0] {
+            let resp = r.step_response(1.0, t);
+            assert!(resp.is_finite());
+            assert_eq!(resp, 0.0);
+        }
+        let traj = r.simulate(|_, _| 1.0, 1.0, 10);
+        assert!(traj.y.iter().all(|y| y[0] == 0.0));
     }
 
     #[test]

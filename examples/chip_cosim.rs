@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\ntotal {:.3} W, peak {:.2} C",
         result.total_power(),
-        result.peak_temperature() - 273.15
+        result.peak_temperature().expect("non-empty floorplan") - 273.15
     );
 
     // Convergence trace: the damped Picard iteration is geometric.

@@ -3,6 +3,7 @@
 //! honour everywhere — not just at the hand-picked test points.
 
 use proptest::prelude::*;
+use ptherm::model::cosim::ScenarioGrid;
 use ptherm::model::leakage::{CollapseParams, GateLeakageModel};
 use ptherm::model::thermal::rect::{center_rise, rect_rise};
 use ptherm::spice::stack::Stack;
@@ -227,6 +228,45 @@ proptest! {
                 }
                 (b, o) => prop_assert_eq!(b, o),
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The lazy mixed-radix `ScenarioGrid::scenario(i)` decode must agree
+    /// with materialized iteration for every axis-size combination —
+    /// including degenerate empty axes, which must yield zero scenarios
+    /// rather than a decode panic.
+    #[test]
+    fn scenario_grid_random_access_matches_iteration_order(
+        nv in 0usize..4,
+        na in 0usize..3,
+        namb in 0usize..3,
+        set_ambient in proptest::bool::ANY,
+        ntech in 1usize..3,
+    ) {
+        let techs = vec![ptherm::tech::Technology::cmos_120nm(); ntech];
+        let mut grid = ScenarioGrid::new(techs)
+            .vdd_scales((0..nv).map(|i| 0.8 + 0.1 * i as f64).collect())
+            .activities((0..na).map(|i| 0.5 + 0.25 * i as f64).collect());
+        if set_ambient {
+            grid = grid.ambients_k((0..namb).map(|i| 290.0 + 10.0 * i as f64).collect());
+        }
+        let expected = ntech * nv * na * if set_ambient { namb } else { 1 };
+        prop_assert_eq!(grid.len(), expected);
+        let materialized = grid.scenarios(303.0);
+        prop_assert_eq!(materialized.len(), grid.len());
+        let lazy: Vec<_> = grid.iter_scenarios(303.0).collect();
+        prop_assert_eq!(&lazy, &materialized);
+        for (i, s) in materialized.iter().enumerate() {
+            let decoded = grid.scenario(i, 303.0);
+            prop_assert_eq!(&decoded, s, "index {}", i);
+        }
+        if !set_ambient {
+            // The unset ambient axis resolves to the supplied default.
+            prop_assert!(materialized.iter().all(|s| s.ambient_k == 303.0));
         }
     }
 }
