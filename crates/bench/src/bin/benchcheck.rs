@@ -1,0 +1,47 @@
+//! CI regression gate over `BENCH_*.json` artifacts.
+//!
+//! ```text
+//! benchcheck <bounds.json> [...more bounds files]
+//! ```
+//!
+//! Each bounds file (format: `ptherm_bench::check`) lists artifacts and
+//! the min/max tolerance bounds their fields must respect. Exit status
+//! is non-zero when any bound fails — wiring this after the quick
+//! benches in the `bench-smoke` CI job turns a perf or accuracy
+//! regression into a red build instead of a quietly drifting artifact.
+
+use ptherm_bench::check::{check_artifact, parse_bounds};
+use ptherm_bench::{header, report, ShapeCheck};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: benchcheck <bounds.json> [...more bounds files]");
+        std::process::exit(2);
+    }
+    header("Benchcheck", "BENCH_*.json artifacts vs tolerance bounds");
+    let mut checks: Vec<ShapeCheck> = Vec::new();
+    for path in &args {
+        let specs = match std::fs::read_to_string(path).map_err(|e| e.to_string()) {
+            Ok(text) => match parse_bounds(&text) {
+                Ok(specs) => specs,
+                Err(e) => {
+                    // A broken bounds file is itself a failing check, so
+                    // the gate can never pass vacuously.
+                    checks.push(ShapeCheck::new(format!("{path} parses"), false, e));
+                    continue;
+                }
+            },
+            Err(e) => {
+                checks.push(ShapeCheck::new(format!("{path} is readable"), false, e));
+                continue;
+            }
+        };
+        println!("{path}: {} artifact spec(s)", specs.len());
+        for spec in &specs {
+            let content = std::fs::read_to_string(&spec.file).ok();
+            checks.extend(check_artifact(spec, content.as_deref()));
+        }
+    }
+    std::process::exit(report(&checks));
+}

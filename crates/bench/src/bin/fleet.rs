@@ -1,0 +1,433 @@
+//! Fleet front end: serve line-delimited JSON job requests, or measure
+//! cache-amortized fleet throughput and emit `BENCH_fleet.json`.
+//!
+//! Two modes:
+//!
+//! * **serve** — `fleet --jobs <path|->`: parse a JSONL request
+//!   (`ptherm_fleet::jobs` schema, documented in
+//!   `docs/ARCHITECTURE.md`), run it on the work-stealing fleet engine
+//!   and print one JSON result line per job to stdout (stdout carries
+//!   *only* result lines; diagnostics go to stderr). Flags: `--threads
+//!   N`, `--cache-capacity N`, `--no-cache`.
+//! * **bench** (default; `--quick` for the CI smoke shape) — a
+//!   synthetic fleet of distinct floorplans each served many small
+//!   mixed jobs, run twice: factor-per-job (the cold baseline, every
+//!   job pays assembly + factorization) and cache-amortized (the
+//!   production path). Audits: the two runs must agree bitwise on
+//!   every temperature (a cache hit may never change a result), and
+//!   the amortized run must clear the documented throughput bar
+//!   (`docs/PERFORMANCE.md`; ≥10× on the full 16-floorplan workload).
+
+use ptherm_bench::{header, report, JsonObject, ShapeCheck, Table};
+use ptherm_fleet::{
+    parse_jsonl, FleetConfig, FleetEngine, FleetReport, JobReport, JobSpec, SteadyJob, TransientJob,
+};
+use ptherm_floorplan::{generator, ChipGeometry, Floorplan};
+use std::time::Instant;
+
+struct BenchConfig {
+    floorplans: usize,
+    tile_rows: usize,
+    tile_cols: usize,
+    jobs_per_floorplan: usize,
+    speedup_bar: f64,
+    label: &'static str,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--jobs") {
+        std::process::exit(serve(&args));
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    std::process::exit(bench(quick));
+}
+
+/// Value of `--flag <value>` in `args`, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+// ---------------------------------------------------------------------
+// Serve mode
+// ---------------------------------------------------------------------
+
+fn serve(args: &[String]) -> i32 {
+    let path = flag_value(args, "--jobs").unwrap_or("-");
+    let text = if path == "-" {
+        let mut buf = String::new();
+        if let Err(e) = std::io::Read::read_to_string(&mut std::io::stdin(), &mut buf) {
+            eprintln!("fleet: could not read stdin: {e}");
+            return 2;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("fleet: could not read {path}: {e}");
+                return 2;
+            }
+        }
+    };
+    let request = match parse_jsonl(&text) {
+        Ok(request) => request,
+        Err(e) => {
+            eprintln!("fleet: invalid request: {e}");
+            return 2;
+        }
+    };
+    let mut config = FleetConfig::default();
+    // A malformed flag value must refuse to run, not silently fall back
+    // to a default the operator did not ask for.
+    for (flag, slot) in [
+        ("--threads", &mut config.threads),
+        ("--cache-capacity", &mut config.cache_capacity),
+    ] {
+        if let Some(raw) = flag_value(args, flag) {
+            match raw.parse::<usize>() {
+                Ok(value) if value > 0 => *slot = value,
+                _ => {
+                    eprintln!("fleet: {flag} needs a positive integer, got {raw:?}");
+                    return 2;
+                }
+            }
+        }
+    }
+    if args.iter().any(|a| a == "--no-cache") {
+        config.amortize = false;
+    }
+    let engine = FleetEngine::from_request(config, &request);
+    let fleet_report = engine.run(&request.jobs);
+    for record in &fleet_report.jobs {
+        println!("{}", record.to_json(&request.jobs[record.index]).render());
+    }
+    let steady = fleet_report.steady_cache;
+    let transient = fleet_report.transient_cache;
+    eprintln!(
+        "fleet: {} jobs, {} ok; steady cache {}h/{}m/{}e, transient cache {}h/{}m/{}e, {} steals",
+        fleet_report.jobs.len(),
+        fleet_report.ok_count(),
+        steady.hits,
+        steady.misses,
+        steady.evictions,
+        transient.hits,
+        transient.misses,
+        transient.evictions,
+        fleet_report.steals,
+    );
+    i32::from(fleet_report.ok_count() != fleet_report.jobs.len())
+}
+
+// ---------------------------------------------------------------------
+// Bench mode
+// ---------------------------------------------------------------------
+
+/// The synthetic fleet: `floorplans` genuinely distinct floorplans and
+/// an interleaved mixed job queue over them. Each plan gets its own die
+/// width: tilings that differ only by power seed share a geometry
+/// fingerprint (the operator is power-blind), which would let one cache
+/// entry serve the whole "fleet" and overstate the win.
+fn synthetic_fleet(cfg: &BenchConfig) -> (Vec<(String, Floorplan)>, Vec<JobSpec>) {
+    let mut floorplans = Vec::with_capacity(cfg.floorplans);
+    for i in 0..cfg.floorplans {
+        // Distinct die widths make every floorplan a genuinely distinct
+        // geometry (distinct operator fingerprint and cache entry).
+        let geometry = ChipGeometry {
+            width: 1e-3 * (1.0 + 0.02 * i as f64),
+            ..ChipGeometry::paper_1mm()
+        };
+        let plan = generator::tiled(
+            geometry,
+            cfg.tile_rows,
+            cfg.tile_cols,
+            0.005,
+            0.02,
+            i as u64 + 1,
+        )
+        .expect("valid tiling");
+        floorplans.push((format!("fp{i}"), plan));
+    }
+    let mut jobs = Vec::with_capacity(cfg.floorplans * cfg.jobs_per_floorplan);
+    for round in 0..cfg.jobs_per_floorplan {
+        for (name, _) in &floorplans {
+            let base = SteadyJob {
+                floorplan: name.clone(),
+                dynamic_w: 0.3,
+                leakage_w: 0.03,
+                vdd_scales: vec![0.95, 1.0, 1.05],
+                activities: vec![0.5, 1.0],
+                ambients_k: None,
+            };
+            // Alternate job kinds per round so every worker's local run
+            // of the queue mixes sweeps and transients.
+            if round % 2 == 0 {
+                jobs.push(JobSpec::Steady(base));
+            } else {
+                jobs.push(JobSpec::Transient(TransientJob {
+                    base: SteadyJob {
+                        vdd_scales: vec![1.0],
+                        activities: vec![1.0],
+                        ..base
+                    },
+                    dt_s: 2e-4,
+                    steps: 40,
+                    scheme: ptherm_math::ode::ImplicitScheme::Trapezoidal,
+                    waveforms: Vec::new(),
+                }));
+            }
+        }
+    }
+    (floorplans, jobs)
+}
+
+fn build_engine(floorplans: &[(String, Floorplan)], amortize: bool, threads: usize) -> FleetEngine {
+    let mut engine = FleetEngine::new(FleetConfig {
+        threads,
+        amortize,
+        ..FleetConfig::default()
+    });
+    for (name, plan) in floorplans {
+        engine.register(name.clone(), plan.clone());
+    }
+    engine
+}
+
+/// Max absolute block-temperature gap between two runs of the same job
+/// queue (steady operating points and transient final states).
+fn max_temperature_gap(a: &FleetReport, b: &FleetReport) -> f64 {
+    use ptherm_core::cosim::SweepOutcome;
+    let mut gap: f64 = 0.0;
+    let mut pairwise = |xs: &[f64], ys: &[f64]| {
+        for (x, y) in xs.iter().zip(ys) {
+            gap = gap.max((x - y).abs());
+        }
+    };
+    for (ra, rb) in a.jobs.iter().zip(&b.jobs) {
+        match (&ra.outcome, &rb.outcome) {
+            (Ok(JobReport::Steady(p)), Ok(JobReport::Steady(q))) => {
+                for (oa, ob) in p.outcomes.iter().zip(&q.outcomes) {
+                    match (oa, ob) {
+                        (
+                            SweepOutcome::Converged {
+                                block_temperatures: ta,
+                                ..
+                            },
+                            SweepOutcome::Converged {
+                                block_temperatures: tb,
+                                ..
+                            },
+                        ) => pairwise(ta, tb),
+                        // Non-converged pairs must at least agree on the
+                        // outcome — a cache flipping one scenario from
+                        // converged to runaway must poison the audit,
+                        // not be skipped.
+                        (oa, ob) if oa == ob => {}
+                        _ => return f64::INFINITY,
+                    }
+                }
+            }
+            (Ok(JobReport::Transient(p)), Ok(JobReport::Transient(q))) => {
+                for (oa, ob) in p.outcomes.iter().zip(&q.outcomes) {
+                    match (oa.final_temperatures(), ob.final_temperatures()) {
+                        (Some(ta), Some(tb)) => pairwise(ta, tb),
+                        _ if oa == ob => {}
+                        _ => return f64::INFINITY,
+                    }
+                }
+            }
+            _ => return f64::INFINITY, // outcome kinds diverged: report loudly
+        }
+    }
+    gap
+}
+
+fn bench(quick: bool) -> i32 {
+    let cfg = if quick {
+        BenchConfig {
+            floorplans: 4,
+            tile_rows: 3,
+            tile_cols: 3,
+            jobs_per_floorplan: 6,
+            speedup_bar: 1.2,
+            label: "quick (CI smoke): 4 floorplans x 9 blocks, 24 mixed jobs",
+        }
+    } else {
+        BenchConfig {
+            floorplans: 16,
+            tile_rows: 6,
+            tile_cols: 6,
+            jobs_per_floorplan: 24,
+            speedup_bar: 10.0,
+            label: "16 floorplans x 36 blocks, 384 mixed jobs",
+        }
+    };
+    header(
+        "Fleet",
+        &format!(
+            "cache-amortized fleet vs factor-per-job, {} ({} threads)",
+            cfg.label,
+            ptherm_par::default_threads()
+        ),
+    );
+
+    let threads = ptherm_par::default_threads();
+    let (floorplans, jobs) = synthetic_fleet(&cfg);
+    let steady_jobs = jobs
+        .iter()
+        .filter(|j| matches!(j, JobSpec::Steady(_)))
+        .count();
+    let transient_jobs = jobs.len() - steady_jobs;
+
+    // --- factor-per-job baseline (cold path oracle) ----------------------
+    let cold_engine = build_engine(&floorplans, false, threads);
+    let t0 = Instant::now();
+    let cold = cold_engine.run(&jobs);
+    let cold_s = t0.elapsed().as_secs_f64();
+
+    // --- cache-amortized fleet -------------------------------------------
+    // A fresh engine each run: the timed run pays its own compulsory
+    // misses (one build per distinct floorplan), which is the honest
+    // serving cost — not a pre-warmed cache.
+    let amortized_engine = build_engine(&floorplans, true, threads);
+    let t0 = Instant::now();
+    let amortized = amortized_engine.run(&jobs);
+    let amortized_s = t0.elapsed().as_secs_f64();
+
+    let cold_jobs_per_s = jobs.len() as f64 / cold_s;
+    let amortized_jobs_per_s = jobs.len() as f64 / amortized_s;
+    let speedup = amortized_jobs_per_s / cold_jobs_per_s;
+    let gap = max_temperature_gap(&amortized, &cold);
+    let steady_stats = amortized.steady_cache;
+    let transient_stats = amortized.transient_cache;
+
+    let mut out = Table::new(["configuration", "jobs", "wall_s", "jobs_per_s", "speedup"]);
+    out.row([
+        "factor-per-job (cold)".into(),
+        jobs.len().to_string(),
+        format!("{cold_s:.3}"),
+        format!("{cold_jobs_per_s:.1}"),
+        "1.0".into(),
+    ]);
+    out.row([
+        format!(
+            "cache-amortized, {} entries",
+            amortized_engine.config().cache_capacity
+        ),
+        jobs.len().to_string(),
+        format!("{amortized_s:.3}"),
+        format!("{amortized_jobs_per_s:.1}"),
+        format!("{speedup:.1}"),
+    ]);
+    println!("{}", out.render());
+    println!(
+        "steady cache: {} hits / {} misses / {} evictions; transient cache: {} / {} / {}; {} steals",
+        steady_stats.hits,
+        steady_stats.misses,
+        steady_stats.evictions,
+        transient_stats.hits,
+        transient_stats.misses,
+        transient_stats.evictions,
+        amortized.steals,
+    );
+
+    // --- BENCH_fleet.json -------------------------------------------------
+    let mut json = JsonObject::new();
+    json.string("bench", "fleet")
+        .string("mode", if quick { "quick" } else { "full" })
+        .integer("floorplans", cfg.floorplans as u64)
+        .integer(
+            "blocks_per_floorplan",
+            (cfg.tile_rows * cfg.tile_cols) as u64,
+        )
+        .integer("jobs", jobs.len() as u64)
+        .integer("steady_jobs", steady_jobs as u64)
+        .integer("transient_jobs", transient_jobs as u64)
+        .integer("threads", threads as u64)
+        .integer(
+            "cache_capacity",
+            amortized_engine.config().cache_capacity as u64,
+        )
+        .number("cold_wall_s", cold_s)
+        .number("amortized_wall_s", amortized_s)
+        .number("cold_jobs_per_s", cold_jobs_per_s)
+        .number("amortized_jobs_per_s", amortized_jobs_per_s)
+        .number("speedup_amortized_vs_factor_per_job", speedup)
+        .integer("steady_cache_hits", steady_stats.hits)
+        .integer("steady_cache_misses", steady_stats.misses)
+        .integer("steady_cache_evictions", steady_stats.evictions)
+        .integer("transient_cache_hits", transient_stats.hits)
+        .integer("transient_cache_misses", transient_stats.misses)
+        .integer("transient_cache_evictions", transient_stats.evictions)
+        .integer("steals", amortized.steals)
+        .number("max_temp_gap_vs_cold_k", gap);
+    let default_path = if quick {
+        "BENCH_fleet.quick.json"
+    } else {
+        "BENCH_fleet.json"
+    };
+    let json_path = std::env::var("BENCH_FLEET_JSON").unwrap_or_else(|_| default_path.into());
+    match std::fs::write(&json_path, json.render()) {
+        Ok(()) => println!("wrote {json_path}"),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
+    }
+
+    let checks = vec![
+        json.finiteness_check(),
+        ShapeCheck::new(
+            "every job resolves in both runs",
+            cold.ok_count() == jobs.len() && amortized.ok_count() == jobs.len(),
+            format!(
+                "{}/{} cold, {}/{} amortized",
+                cold.ok_count(),
+                jobs.len(),
+                amortized.ok_count(),
+                jobs.len()
+            ),
+        ),
+        ShapeCheck::new(
+            format!(
+                "cache-amortized fleet >= {}x factor-per-job throughput",
+                cfg.speedup_bar
+            ),
+            speedup >= cfg.speedup_bar,
+            format!("{amortized_jobs_per_s:.1} vs {cold_jobs_per_s:.1} jobs/s ({speedup:.2}x)"),
+        ),
+        ShapeCheck::new(
+            "cache hits never change results (max gap vs cold oracle <= 1e-9 K)",
+            gap <= 1e-9,
+            format!("max block-temperature gap {gap:.2e} K"),
+        ),
+        ShapeCheck::new(
+            "steady cache amortizes: one miss per distinct floorplan",
+            steady_stats.misses == cfg.floorplans as u64
+                && steady_stats.hits + steady_stats.misses == jobs.len() as u64,
+            format!(
+                "{} misses for {} floorplans, {} hits",
+                steady_stats.misses, cfg.floorplans, steady_stats.hits
+            ),
+        ),
+        ShapeCheck::new(
+            "transient cache amortizes: one factorization per distinct propagator",
+            transient_stats.misses == cfg.floorplans as u64
+                && transient_stats.hits + transient_stats.misses == transient_jobs as u64,
+            format!(
+                "{} misses for {} floorplans, {} hits",
+                transient_stats.misses, cfg.floorplans, transient_stats.hits
+            ),
+        ),
+        ShapeCheck::new(
+            "the cold run never touches the cache",
+            cold.steady_cache == ptherm_fleet::CacheStats::default()
+                && cold.transient_cache == ptherm_fleet::CacheStats::default(),
+            format!(
+                "cold steady counters {:?}",
+                (cold.steady_cache.hits, cold.steady_cache.misses)
+            ),
+        ),
+    ];
+    report(&checks)
+}

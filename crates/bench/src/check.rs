@@ -1,0 +1,206 @@
+//! The bench regression gate: compare `BENCH_*.json` artifacts against
+//! checked-in tolerance bounds, so a perf or accuracy regression fails
+//! CI instead of silently riding along as an uploaded artifact.
+//!
+//! A bounds file is a JSON array of per-artifact specs:
+//!
+//! ```json
+//! [
+//!   {"file": "BENCH_sweep.quick.json",
+//!    "min": {"speedup_batched_vs_per_scenario": 1.0},
+//!    "max": {"max_temp_gap_vs_oracle_k": 1e-9}}
+//! ]
+//! ```
+//!
+//! `min` fields must be `>=` the bound, `max` fields `<=`. A missing or
+//! non-numeric field (including one the hardened emitters nulled for
+//! being non-finite) **fails** its bound — an artifact that stopped
+//! reporting a number is a regression of the gate itself. The
+//! `benchcheck` binary wraps this module; the CI `bench-smoke` job runs
+//! it against `ci/bench_bounds.quick.json` after the quick benches, and
+//! `ci/bench_bounds.full.json` documents the bars the checked-in
+//! full-mode baselines clear.
+
+use crate::ShapeCheck;
+use ptherm_fleet::Json;
+
+/// Which side of the bound a field must fall on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundKind {
+    /// Field must be `>=` the bound (throughput, speedups).
+    Min,
+    /// Field must be `<=` the bound (error gaps, wall budgets).
+    Max,
+}
+
+/// One field bound inside a spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bound {
+    /// Artifact field name.
+    pub key: String,
+    /// Direction.
+    pub kind: BoundKind,
+    /// Tolerance value.
+    pub value: f64,
+}
+
+/// All bounds declared for one artifact file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundSpec {
+    /// Artifact path (relative to the checker's working directory).
+    pub file: String,
+    /// Field bounds.
+    pub bounds: Vec<Bound>,
+}
+
+/// Parses a bounds file (see the [module docs](self)).
+///
+/// # Errors
+///
+/// A human-readable description of the first problem.
+pub fn parse_bounds(text: &str) -> Result<Vec<BoundSpec>, String> {
+    let root = Json::parse(text).map_err(|e| format!("bounds file is not valid JSON: {e}"))?;
+    let entries = root
+        .as_array()
+        .ok_or("bounds file must be a JSON array of specs")?;
+    let mut specs = Vec::with_capacity(entries.len());
+    for (i, entry) in entries.iter().enumerate() {
+        let file = entry
+            .get("file")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("spec {i} needs a string \"file\""))?
+            .to_string();
+        let mut bounds = Vec::new();
+        for (kind, key) in [(BoundKind::Min, "min"), (BoundKind::Max, "max")] {
+            let Some(section) = entry.get(key) else {
+                continue;
+            };
+            let Json::Object(fields) = section else {
+                return Err(format!("spec {i} \"{key}\" must be an object"));
+            };
+            for (field, bound) in fields {
+                let value = bound
+                    .as_f64()
+                    .ok_or_else(|| format!("spec {i} bound \"{field}\" must be a number"))?;
+                bounds.push(Bound {
+                    key: field.clone(),
+                    kind,
+                    value,
+                });
+            }
+        }
+        if bounds.is_empty() {
+            return Err(format!("spec {i} ({file}) declares no bounds"));
+        }
+        specs.push(BoundSpec { file, bounds });
+    }
+    Ok(specs)
+}
+
+/// Evaluates one spec against the artifact's content (`None` = the file
+/// could not be read, which fails every bound it declares). Returns one
+/// [`ShapeCheck`] per bound, ready for [`crate::report`].
+pub fn check_artifact(spec: &BoundSpec, content: Option<&str>) -> Vec<ShapeCheck> {
+    let parsed = content.map(Json::parse);
+    spec.bounds
+        .iter()
+        .map(|bound| {
+            let (op, word) = match bound.kind {
+                BoundKind::Min => (">=", "min"),
+                BoundKind::Max => ("<=", "max"),
+            };
+            let claim = format!(
+                "{}: {} {} {:e} ({word} bound)",
+                spec.file, bound.key, op, bound.value
+            );
+            match &parsed {
+                None => ShapeCheck::new(claim, false, "artifact missing or unreadable"),
+                Some(Err(e)) => ShapeCheck::new(claim, false, format!("invalid JSON: {e}")),
+                Some(Ok(json)) => match json.get(&bound.key).and_then(Json::as_f64) {
+                    None => ShapeCheck::new(
+                        claim,
+                        false,
+                        "field missing, non-numeric or nulled (non-finite at emit time)",
+                    ),
+                    Some(actual) => {
+                        let pass = match bound.kind {
+                            BoundKind::Min => actual >= bound.value,
+                            BoundKind::Max => actual <= bound.value,
+                        };
+                        ShapeCheck::new(claim, pass, format!("measured {actual:e}"))
+                    }
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BOUNDS: &str = r#"[
+      {"file": "BENCH_demo.json",
+       "min": {"speedup": 2.0},
+       "max": {"gap_k": 1e-9}}
+    ]"#;
+
+    fn demo_artifact(speedup: f64, gap: f64) -> String {
+        format!("{{\"bench\": \"demo\", \"speedup\": {speedup}, \"gap_k\": {gap:e}}}")
+    }
+
+    #[test]
+    fn bounds_parse() {
+        let specs = parse_bounds(BOUNDS).unwrap();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].file, "BENCH_demo.json");
+        assert_eq!(specs[0].bounds.len(), 2);
+        assert_eq!(specs[0].bounds[0].kind, BoundKind::Min);
+        assert_eq!(specs[0].bounds[1].kind, BoundKind::Max);
+    }
+
+    #[test]
+    fn bad_bounds_are_rejected() {
+        assert!(parse_bounds("{}").is_err());
+        assert!(parse_bounds(r#"[{"file": "x"}]"#).is_err());
+        assert!(parse_bounds(r#"[{"min": {"a": 1}}]"#).is_err());
+        assert!(parse_bounds(r#"[{"file": "x", "min": {"a": "fast"}}]"#).is_err());
+    }
+
+    #[test]
+    fn healthy_artifact_passes_both_bounds() {
+        let specs = parse_bounds(BOUNDS).unwrap();
+        let checks = check_artifact(&specs[0], Some(&demo_artifact(5.0, 1e-11)));
+        assert_eq!(checks.len(), 2);
+        assert!(checks.iter().all(|c| c.pass));
+    }
+
+    #[test]
+    fn regressions_fail_their_bound() {
+        let specs = parse_bounds(BOUNDS).unwrap();
+        // Throughput regression: speedup below the min bound.
+        let checks = check_artifact(&specs[0], Some(&demo_artifact(1.5, 1e-11)));
+        assert!(!checks[0].pass, "speedup bound must fail");
+        assert!(checks[1].pass);
+        // Accuracy regression: gap above the max bound.
+        let checks = check_artifact(&specs[0], Some(&demo_artifact(5.0, 1e-3)));
+        assert!(checks[0].pass);
+        assert!(!checks[1].pass, "gap bound must fail");
+    }
+
+    #[test]
+    fn missing_artifact_fields_and_files_fail() {
+        let specs = parse_bounds(BOUNDS).unwrap();
+        // Missing file.
+        assert!(check_artifact(&specs[0], None).iter().all(|c| !c.pass));
+        // Unparsable artifact.
+        assert!(check_artifact(&specs[0], Some("not json"))
+            .iter()
+            .all(|c| !c.pass));
+        // A nulled (non-finite at emit time) field fails its bound.
+        let artifact = r#"{"speedup": null, "gap_k": 1e-12}"#;
+        let checks = check_artifact(&specs[0], Some(artifact));
+        assert!(!checks[0].pass);
+        assert!(checks[1].pass);
+    }
+}

@@ -9,6 +9,8 @@
 //! when a shape check fails, so the whole experiment suite doubles as an
 //! integration test.
 
+pub mod check;
+
 use std::fmt::Write as _;
 
 /// A printable data table.

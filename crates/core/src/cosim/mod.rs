@@ -46,12 +46,12 @@ pub mod sweep;
 pub mod transient;
 
 pub use batch::{BatchPowerModel, BatchWorkspace, BatchedSolver};
-pub use operator::{ThermalOperator, Workspace};
+pub use operator::{operator_fingerprint, ThermalOperator, Workspace};
 pub use sweep::{Scenario, ScenarioGrid, SweepEngine, SweepOutcome, SweepReport};
 pub use transient::{
-    DriveWaveform, TransientBatchedSolver, TransientConfig, TransientError, TransientLane,
-    TransientOperator, TransientOutcome, TransientReport, TransientRk4Reference, TransientSample,
-    TransientWorkspace,
+    propagator_fingerprint, DriveWaveform, TransientBatchedSolver, TransientConfig, TransientError,
+    TransientLane, TransientOperator, TransientOutcome, TransientReport, TransientRk4Reference,
+    TransientSample, TransientWorkspace,
 };
 
 use crate::thermal::ThermalModel;

@@ -59,6 +59,20 @@ pub struct ThermalOperator {
     sink_temperature: f64,
     lateral_order: usize,
     z_order: usize,
+    /// Content fingerprint: floorplan geometry × image orders.
+    fingerprint: u64,
+}
+
+/// Fingerprint of the operator a build would produce: the floorplan's
+/// geometry fingerprint mixed with the image orders — everything the
+/// deterministic build reads. Computable **without** building, which is
+/// what lets a cache decide hit/miss before paying for assembly.
+pub fn operator_fingerprint(floorplan: &Floorplan, lateral_order: usize, z_order: usize) -> u64 {
+    let mut f = ptherm_floorplan::fingerprint::Fingerprinter::new("ptherm.operator.v1");
+    f.write_u64(floorplan.geometry_fingerprint());
+    f.write_u64(lateral_order as u64);
+    f.write_u64(z_order as u64);
+    f.finish()
 }
 
 impl ThermalOperator {
@@ -111,6 +125,7 @@ impl ThermalOperator {
             .iter()
             .map(|b| BlockKernel::for_block(b, g.conductivity, 1.0))
             .collect();
+        let fingerprint = operator_fingerprint(floorplan, lateral_order, z_order);
         let mut influence = Matrix::zeros(n, n);
         if n == 0 {
             return ThermalOperator {
@@ -118,6 +133,7 @@ impl ThermalOperator {
                 sink_temperature: g.sink_temperature,
                 lateral_order,
                 z_order,
+                fingerprint,
             };
         }
         ptherm_par::par_partition_mut(threads, influence.as_mut_slice(), n, |first_row, rows| {
@@ -146,7 +162,15 @@ impl ThermalOperator {
             sink_temperature: g.sink_temperature,
             lateral_order,
             z_order,
+            fingerprint,
         }
+    }
+
+    /// Stable content fingerprint of this operator (see
+    /// [`operator_fingerprint`]): equal fingerprints imply bit-identical
+    /// influence matrices, the contract the fleet cache relies on.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Number of blocks the operator couples.
@@ -322,6 +346,28 @@ mod tests {
         let a = ThermalOperator::new(&fp);
         let b = ThermalOperator::new(&scaled);
         assert_eq!(a.influence().as_slice(), b.influence().as_slice());
+    }
+
+    #[test]
+    fn fingerprint_keys_geometry_and_orders_not_powers() {
+        let fp = Floorplan::paper_three_blocks();
+        let mut repowered = fp.clone();
+        repowered.set_power(0, 42.0);
+        // Powers are invisible to the operator and to its fingerprint.
+        assert_eq!(
+            ThermalOperator::new(&fp).fingerprint(),
+            ThermalOperator::new(&repowered).fingerprint()
+        );
+        // Image orders are part of the key.
+        assert_ne!(
+            ThermalOperator::with_image_orders(&fp, 2, 9).fingerprint(),
+            ThermalOperator::with_image_orders(&fp, 2, 5).fingerprint()
+        );
+        // The standalone predictor matches the built operator.
+        assert_eq!(
+            operator_fingerprint(&fp, 2, 9),
+            ThermalOperator::with_image_orders(&fp, 2, 9).fingerprint()
+        );
     }
 
     #[test]

@@ -55,6 +55,7 @@ use ptherm_math::{expv, MultiVec};
 use ptherm_tech::{Polarity, Technology};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// One point of a sweep: the knobs the paper's models expose per run.
 #[derive(Debug, Clone, PartialEq)]
@@ -819,7 +820,9 @@ impl fmt::Display for SweepReport {
 #[derive(Debug)]
 pub struct SweepEngine {
     solver: ElectroThermalSolver,
-    operator: ThermalOperator,
+    /// Shared so a fleet-level cache can hand one factored operator to
+    /// many engines (and many worker threads) without copying it.
+    operator: Arc<ThermalOperator>,
     threads: usize,
     batch_lanes: usize,
 }
@@ -840,7 +843,35 @@ impl SweepEngine {
     /// Engine around a configured solver (damping, tolerances, image
     /// orders); the operator is precomputed here, once.
     pub fn with_solver(solver: ElectroThermalSolver) -> Self {
-        let operator = solver.operator();
+        let operator = Arc::new(solver.operator());
+        Self::with_operator(solver, operator)
+    }
+
+    /// Engine around a configured solver and an **already built**
+    /// operator — the cache-amortized construction path: a fleet-level
+    /// [`ThermalOperator`] cache builds (or recalls) the operator once
+    /// per floorplan fingerprint and hands it to every job's engine,
+    /// skipping the dominant cold cost of [`Self::with_solver`].
+    ///
+    /// The operator must have been built at the solver's floorplan and
+    /// image orders; results are then bit-identical to an engine that
+    /// built its own (the build is deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operator's block count or fingerprint does not
+    /// match what the solver would build, so a cache bug surfaces here
+    /// rather than as silently wrong temperatures.
+    pub fn with_operator(solver: ElectroThermalSolver, operator: Arc<ThermalOperator>) -> Self {
+        assert_eq!(
+            operator.fingerprint(),
+            crate::cosim::operator_fingerprint(
+                solver.floorplan(),
+                solver.lateral_order,
+                solver.z_order
+            ),
+            "operator/solver fingerprint mismatch"
+        );
         SweepEngine {
             solver,
             operator,
@@ -871,7 +902,7 @@ impl SweepEngine {
     #[must_use]
     pub fn configure(mut self, f: impl FnOnce(&mut ElectroThermalSolver)) -> Self {
         f(&mut self.solver);
-        self.operator = self.solver.operator();
+        self.operator = Arc::new(self.solver.operator());
         self
     }
 
@@ -883,6 +914,11 @@ impl SweepEngine {
     /// The precomputed influence operator.
     pub fn operator(&self) -> &ThermalOperator {
         &self.operator
+    }
+
+    /// The operator as a shareable handle (what a fleet cache stores).
+    pub fn shared_operator(&self) -> Arc<ThermalOperator> {
+        Arc::clone(&self.operator)
     }
 
     /// A ready-made [`ScaledTechPower`] spreading chip-level dynamic and
@@ -980,6 +1016,23 @@ impl SweepEngine {
             .unwrap_or_else(|| silicon_block_capacitances(self.solver.floorplan()))
     }
 
+    /// Builds the implicit transient operator `cfg` implies for this
+    /// engine's floorplan — the factorization [`Self::run_transient`]
+    /// would perform internally, exposed so a fleet-level cache can
+    /// build it once per `(floorplan, capacitances, dt, scheme)`
+    /// fingerprint and replay it through [`Self::run_transient_with`].
+    ///
+    /// # Errors
+    ///
+    /// See [`TransientError`].
+    pub fn transient_operator(
+        &self,
+        cfg: &TransientConfig,
+    ) -> Result<TransientOperator, TransientError> {
+        let caps = self.transient_capacitances(cfg);
+        TransientOperator::new(&self.operator, &caps, cfg.dt, cfg.scheme)
+    }
+
     /// Sweeps a scenario × drive-waveform grid through the batched
     /// implicit **transient** engine
     /// ([`crate::cosim::transient`]): every scenario of `grid` runs
@@ -999,8 +1052,40 @@ impl SweepEngine {
         model: &M,
         cfg: &TransientConfig,
     ) -> Result<TransientReport, TransientError> {
+        let top = self.transient_operator(cfg)?;
+        self.run_transient_with(grid, model, cfg, &top)
+    }
+
+    /// [`Self::run_transient`] against an **already factored**
+    /// propagator (see [`Self::transient_operator`]) — the
+    /// cache-amortized transient path. The stepping reads `top`'s
+    /// `Φ`/`Q`, dt and scheme; `cfg` supplies the step count, waveform
+    /// axis and recording policy. Results are bit-identical to the
+    /// self-factoring path for a propagator built from the same inputs.
+    ///
+    /// # Errors
+    ///
+    /// See [`TransientError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `top` was factored for a different floorplan,
+    /// capacitance vector, time step or scheme than `cfg` implies for
+    /// this engine (fingerprint mismatch) — a cache-keying bug, caught
+    /// here rather than integrating the wrong chip.
+    pub fn run_transient_with<M: ScenarioPowerModel>(
+        &self,
+        grid: &ScenarioGrid,
+        model: &M,
+        cfg: &TransientConfig,
+        top: &TransientOperator,
+    ) -> Result<TransientReport, TransientError> {
         let caps = self.transient_capacitances(cfg);
-        let top = TransientOperator::new(&self.operator, &caps, cfg.dt, cfg.scheme)?;
+        assert_eq!(
+            top.fingerprint(),
+            crate::cosim::propagator_fingerprint(&self.operator, &caps, cfg.dt, cfg.scheme),
+            "propagator/config fingerprint mismatch"
+        );
         let waveforms = cfg.effective_waveforms()?;
         let w = waveforms.len();
         let sink_k = self.operator.sink_temperature();
@@ -1008,7 +1093,7 @@ impl SweepEngine {
         let width = self.batch_lanes.max(1);
         let chunks = total.div_ceil(width);
         let cursor = AtomicUsize::new(0);
-        let solver = TransientBatchedSolver::new(&top, self.solver.ceiling_k);
+        let solver = TransientBatchedSolver::new(top, self.solver.ceiling_k);
         let per_worker = ptherm_par::par_workers(self.threads, |_worker| {
             let mut model = model.batched(grid, sink_k, width);
             let mut ws = TransientWorkspace::new();
@@ -1071,8 +1156,7 @@ impl SweepEngine {
         model: &M,
         cfg: &TransientConfig,
     ) -> Result<TransientReport, TransientError> {
-        let caps = self.transient_capacitances(cfg);
-        let top = TransientOperator::new(&self.operator, &caps, cfg.dt, cfg.scheme)?;
+        let top = self.transient_operator(cfg)?;
         let waveforms = cfg.effective_waveforms()?;
         let w = waveforms.len();
         let sink_k = self.operator.sink_temperature();
@@ -1553,6 +1637,71 @@ mod tests {
             engine.run_transient(&grid, &model, &cfg),
             Err(TransientError::BadWaveform { index: 1, .. })
         ));
+    }
+
+    #[test]
+    fn shared_operator_engine_is_bit_identical_to_self_building() {
+        let fresh = engine();
+        let grid = small_grid();
+        let model = fresh.uniform_tech_power(0.6, 0.05);
+        let baseline = fresh.run(&grid, &model);
+
+        // Hand the prebuilt operator to a second engine (the fleet-cache
+        // construction path): bitwise the same sweep.
+        let shared = SweepEngine::with_operator(
+            ElectroThermalSolver::new(Floorplan::paper_three_blocks()),
+            fresh.shared_operator(),
+        );
+        assert_eq!(baseline.outcomes, shared.run(&grid, &model).outcomes);
+    }
+
+    #[test]
+    #[should_panic(expected = "operator/solver fingerprint mismatch")]
+    fn mismatched_shared_operator_is_rejected() {
+        let donor = SweepEngine::new(
+            ptherm_floorplan::generator::tiled(
+                ptherm_floorplan::ChipGeometry::paper_1mm(),
+                2,
+                2,
+                0.05,
+                0.05,
+                1,
+            )
+            .expect("valid tiling"),
+        );
+        let _ = SweepEngine::with_operator(
+            ElectroThermalSolver::new(Floorplan::paper_three_blocks()),
+            donor.shared_operator(),
+        );
+    }
+
+    #[test]
+    fn cached_propagator_transient_is_bit_identical_to_self_factoring() {
+        let engine = engine();
+        let grid = small_grid();
+        let model = engine.uniform_tech_power(0.6, 0.05);
+        let cfg = transient_config(&engine)
+            .waveforms(vec![DriveWaveform::Step, DriveWaveform::paper_gating()]);
+        let top = engine.transient_operator(&cfg).expect("valid");
+        let cached = engine
+            .run_transient_with(&grid, &model, &cfg, &top)
+            .expect("valid");
+        let fresh = engine.run_transient(&grid, &model, &cfg).expect("valid");
+        assert_eq!(cached.outcomes, fresh.outcomes);
+    }
+
+    #[test]
+    #[should_panic(expected = "propagator/config fingerprint mismatch")]
+    fn mismatched_propagator_is_rejected() {
+        let engine = engine();
+        let grid = small_grid();
+        let model = engine.uniform_tech_power(0.6, 0.05);
+        let cfg = transient_config(&engine);
+        let top = engine.transient_operator(&cfg).expect("valid");
+        // Same floorplan, different dt: the factored propagator no
+        // longer matches the config.
+        let other = TransientConfig::new(cfg.dt * 2.0, cfg.steps);
+        let _ = engine.run_transient_with(&grid, &model, &other, &top);
     }
 
     #[test]

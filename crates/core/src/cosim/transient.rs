@@ -240,6 +240,29 @@ pub struct TransientOperator {
     sink_temperature: f64,
     /// Smallest diagonal block time constant `R_ii·C_i`, s.
     min_tau: Option<f64>,
+    /// Content fingerprint: source operator × capacitances × dt × scheme.
+    fingerprint: u64,
+}
+
+/// Fingerprint of the propagator [`TransientOperator::new`] would build:
+/// the source operator's fingerprint mixed with the capacitance vector,
+/// the time step and the scheme — every input of the factorization.
+/// Computable without factoring, so a cache can decide hit/miss first.
+pub fn propagator_fingerprint(
+    op: &ThermalOperator,
+    capacitances: &[f64],
+    dt: f64,
+    scheme: ImplicitScheme,
+) -> u64 {
+    let mut f = ptherm_floorplan::fingerprint::Fingerprinter::new("ptherm.propagator.v1");
+    f.write_u64(op.fingerprint());
+    f.write_f64_slice(capacitances);
+    f.write_f64(dt);
+    f.write_u64(match scheme {
+        ImplicitScheme::BackwardEuler => 0,
+        ImplicitScheme::Trapezoidal => 1,
+    });
+    f.finish()
 }
 
 impl TransientOperator {
@@ -325,7 +348,15 @@ impl TransientOperator {
             scheme,
             sink_temperature: op.sink_temperature(),
             min_tau,
+            fingerprint: propagator_fingerprint(op, capacitances, dt, scheme),
         })
+    }
+
+    /// Stable content fingerprint of this propagator (see
+    /// [`propagator_fingerprint`]): equal fingerprints imply
+    /// bit-identical `Φ`/`Q` factorizations.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Number of blocks.

@@ -1,0 +1,343 @@
+//! Fingerprint-keyed, bounded, single-flight LRU caches for expensive
+//! precomputations.
+//!
+//! A fleet serving heterogeneous jobs pays one dominant cold cost per
+//! job: assembling the floorplan's thermal influence operator
+//! (`O(n²·images)` kernel evaluations, ~tens of milliseconds at 64
+//! blocks) and, for transients, LU-factoring the implicit propagator.
+//! Both are **pure functions of a small key** — the content fingerprints
+//! of `ptherm_floorplan::fingerprint` — so a cache turns a fleet of `J`
+//! jobs over `F` distinct floorplans from `J` factorizations into `F`.
+//!
+//! Design points of [`Lru`]:
+//!
+//! * **bounded** — at most `capacity` ready entries; the least recently
+//!   *used* (not inserted) is evicted, and evictions are counted,
+//! * **single-flight** — when several workers miss the same key at
+//!   once, exactly one builds while the rest block on a condvar and
+//!   share the result; a fleet ramping 16 workers onto 16 floorplans
+//!   never builds an operator twice,
+//! * **value-immutable** — values live behind `Arc`, shared read-only,
+//!   which is safe precisely because fingerprint equality implies the
+//!   build output is bit-identical (a cache hit can never change any
+//!   temperature; the test suite asserts this bitwise).
+
+use ptherm_core::cosim::{
+    operator_fingerprint, propagator_fingerprint, ThermalOperator, TransientError,
+    TransientOperator,
+};
+use ptherm_floorplan::Floorplan;
+use ptherm_math::ode::ImplicitScheme;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Monotonic counters of one cache's traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from a ready entry.
+    pub hits: u64,
+    /// Lookups that ran a build — exactly the cold work performed.
+    /// A caller that blocked on another worker's in-flight build counts
+    /// as a *hit* once the entry lands: no build ran on its behalf.
+    pub misses: u64,
+    /// Ready entries discarded to respect the capacity bound.
+    pub evictions: u64,
+}
+
+/// One slot: a ready value, or a reservation for an in-flight build.
+#[derive(Debug)]
+struct Entry<V> {
+    /// `None` while the owning worker is still building.
+    value: Option<Arc<V>>,
+    /// Tick of the last hit (or the insertion), for LRU ordering.
+    last_used: u64,
+}
+
+#[derive(Debug)]
+struct Inner<K, V> {
+    map: HashMap<K, Entry<V>>,
+    tick: u64,
+}
+
+/// Bounded single-flight LRU cache (see the [module docs](self)).
+#[derive(Debug)]
+pub struct Lru<K, V> {
+    inner: Mutex<Inner<K, V>>,
+    ready: Condvar,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V> Lru<K, V> {
+    /// An empty cache holding at most `capacity` ready entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a cache that can hold nothing
+    /// would still advertise hits).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Lru {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            ready: Condvar::new(),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Capacity bound (ready entries).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Ready entries currently cached.
+    pub fn len(&self) -> usize {
+        self.lock()
+            .map
+            .values()
+            .filter(|e| e.value.is_some())
+            .count()
+    }
+
+    /// True when no ready entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<K, V>> {
+        // A builder that panics leaves its reservation behind; recovery
+        // below removes it, so the poisoned-lock state itself is benign.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// The value under `key`, building it with `build` on a miss.
+    ///
+    /// Exactly one caller runs `build` per missing key at a time; every
+    /// concurrent caller for the same key blocks until the build lands
+    /// and shares the same `Arc`. `build` runs **outside** the cache
+    /// lock, so builds for different keys proceed in parallel. A failed
+    /// build caches nothing: the error is returned to the builder, one
+    /// blocked waiter retries the build, and later lookups miss again.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `build` returns.
+    pub fn get_or_build<E>(
+        &self,
+        key: K,
+        build: impl FnOnce() -> Result<V, E>,
+    ) -> Result<Arc<V>, E> {
+        let mut inner = self.lock();
+        loop {
+            match inner.map.get(&key).map(|e| e.value.is_some()) {
+                Some(true) => {
+                    inner.tick += 1;
+                    let tick = inner.tick;
+                    let entry = inner.map.get_mut(&key).expect("checked above");
+                    entry.last_used = tick;
+                    let value = Arc::clone(entry.value.as_ref().expect("checked above"));
+                    drop(inner);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(value);
+                }
+                // Another worker is building this key: wait for the
+                // slot to resolve (ready, or removed on failure), then
+                // re-examine it.
+                Some(false) => {
+                    inner = self
+                        .ready
+                        .wait(inner)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                }
+                None => break,
+            }
+        }
+        // Reserve the key and build outside the lock.
+        inner.tick += 1;
+        let reserved_at = inner.tick;
+        inner.map.insert(
+            key.clone(),
+            Entry {
+                value: None,
+                last_used: reserved_at,
+            },
+        );
+        drop(inner);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = BuildGuard::run(self, &key, build)?;
+
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.map.get_mut(&key) {
+            entry.value = Some(Arc::clone(&built));
+            entry.last_used = tick;
+        }
+        self.evict_over_capacity(&mut inner);
+        drop(inner);
+        self.ready.notify_all();
+        Ok(built)
+    }
+
+    /// Evicts least-recently-used ready entries until the ready count
+    /// respects the capacity. In-flight reservations are never evicted
+    /// (their builders are about to insert) and do not count against
+    /// the bound.
+    fn evict_over_capacity(&self, inner: &mut Inner<K, V>) {
+        loop {
+            let ready = inner.map.values().filter(|e| e.value.is_some()).count();
+            if ready <= self.capacity {
+                return;
+            }
+            if let Some(oldest) = inner
+                .map
+                .iter()
+                .filter(|(_, e)| e.value.is_some())
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            } else {
+                return;
+            }
+        }
+    }
+}
+
+/// Removes a reservation if its build unwinds or errors, so waiters are
+/// released instead of deadlocking on a slot nobody will fill.
+struct BuildGuard<'a, K: Eq + Hash + Clone, V> {
+    cache: &'a Lru<K, V>,
+    key: &'a K,
+    armed: bool,
+}
+
+impl<'a, K: Eq + Hash + Clone, V> BuildGuard<'a, K, V> {
+    fn run<E>(
+        cache: &'a Lru<K, V>,
+        key: &'a K,
+        build: impl FnOnce() -> Result<V, E>,
+    ) -> Result<Arc<V>, E> {
+        let mut guard = BuildGuard {
+            cache,
+            key,
+            armed: true,
+        };
+        let value = build();
+        match value {
+            Ok(v) => {
+                guard.armed = false;
+                Ok(Arc::new(v))
+            }
+            Err(e) => Err(e), // guard drops armed: reservation removed, waiters woken
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Drop for BuildGuard<'_, K, V> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut inner = self.cache.lock();
+            // Only remove our own reservation, never a ready entry a
+            // retrying waiter may have installed since.
+            if inner.map.get(self.key).is_some_and(|e| e.value.is_none()) {
+                inner.map.remove(self.key);
+            }
+            drop(inner);
+            self.cache.ready.notify_all();
+        }
+    }
+}
+
+/// The fleet's two operator caches, keyed by content fingerprint.
+#[derive(Debug)]
+pub struct OperatorCache {
+    steady: Lru<u64, ThermalOperator>,
+    transient: Lru<u64, TransientOperator>,
+}
+
+impl OperatorCache {
+    /// Caches holding at most `capacity` entries **each** (steady
+    /// operators and transient propagators age independently).
+    pub fn new(capacity: usize) -> Self {
+        OperatorCache {
+            steady: Lru::new(capacity),
+            transient: Lru::new(capacity),
+        }
+    }
+
+    /// The influence operator of `floorplan` at the given image orders:
+    /// cached under [`operator_fingerprint`], built serially
+    /// (`threads = 1`) on a miss — fleet workers are the parallelism,
+    /// so a job's build must not oversubscribe its siblings.
+    pub fn steady_operator(
+        &self,
+        floorplan: &Floorplan,
+        lateral_order: usize,
+        z_order: usize,
+    ) -> Arc<ThermalOperator> {
+        let key = operator_fingerprint(floorplan, lateral_order, z_order);
+        let built: Result<_, std::convert::Infallible> = self.steady.get_or_build(key, || {
+            Ok(ThermalOperator::with_image_orders_threaded(
+                floorplan,
+                lateral_order,
+                z_order,
+                1,
+            ))
+        });
+        match built {
+            Ok(op) => op,
+            Err(never) => match never {},
+        }
+    }
+
+    /// The implicit transient propagator for `(op, capacitances, dt,
+    /// scheme)`: cached under [`propagator_fingerprint`].
+    ///
+    /// # Errors
+    ///
+    /// See [`TransientError`] — a failed factorization caches nothing.
+    pub fn transient_operator(
+        &self,
+        op: &ThermalOperator,
+        capacitances: &[f64],
+        dt: f64,
+        scheme: ImplicitScheme,
+    ) -> Result<Arc<TransientOperator>, TransientError> {
+        let key = propagator_fingerprint(op, capacitances, dt, scheme);
+        self.transient
+            .get_or_build(key, || TransientOperator::new(op, capacitances, dt, scheme))
+    }
+
+    /// Counter snapshot for the steady-operator cache.
+    pub fn steady_stats(&self) -> CacheStats {
+        self.steady.stats()
+    }
+
+    /// Counter snapshot for the transient-propagator cache.
+    pub fn transient_stats(&self) -> CacheStats {
+        self.transient.stats()
+    }
+}

@@ -1,0 +1,384 @@
+//! The fleet engine: a work-stealing scheduler serving heterogeneous
+//! jobs across many floorplans off one shared operator cache.
+//!
+//! Every job is independent, but jobs against the *same* floorplan
+//! share their dominant cold cost — operator assembly and propagator
+//! factorization — through the fingerprint-keyed [`OperatorCache`]:
+//! the first job on a floorplan builds (single-flight), every later
+//! job starts solving immediately. Jobs are claimed through
+//! [`ptherm_par::steal::StealQueues`], so a worker that drew a pile of
+//! cheap transients steals a sweep from a loaded sibling instead of
+//! going idle.
+//!
+//! Determinism contract: each job runs single-threaded inside its
+//! worker with a fixed batch width, every cache hit hands back a
+//! bit-identical operator (build is deterministic, fingerprint equality
+//! ⇒ identical entries), and results are collected by submission
+//! index — so a fleet report is **bitwise independent of the worker
+//! count, the steal pattern and the cache state**. The tests assert
+//! all three.
+//!
+//! # Example
+//!
+//! ```
+//! use ptherm_fleet::{parse_jsonl, FleetConfig, FleetEngine};
+//!
+//! let request = parse_jsonl(r#"
+//! {"type": "floorplan", "name": "fp", "tiles": {"rows": 2, "cols": 2, "p_min": 0.02, "p_max": 0.06, "seed": 3}}
+//! {"type": "steady", "floorplan": "fp", "dynamic_w": 0.3, "leakage_w": 0.03, "vdd_scales": [0.9, 1.0, 1.1]}
+//! "#).expect("valid request");
+//! let engine = FleetEngine::from_request(FleetConfig::default(), &request);
+//! let report = engine.run(&request.jobs);
+//! assert_eq!(report.jobs.len(), 1);
+//! assert!(report.jobs[0].outcome.is_ok());
+//! ```
+
+use crate::cache::{CacheStats, OperatorCache};
+use crate::jobs::{JobSpec, SteadyJob, TransientJob};
+use crate::json::Json;
+use ptherm_core::cosim::sweep::ScaledTechPower;
+use ptherm_core::cosim::{
+    ScenarioGrid, SweepEngine, SweepReport, ThermalOperator, TransientConfig, TransientError,
+    TransientReport,
+};
+use ptherm_core::thermal::capacitance::silicon_block_capacitances;
+use ptherm_core::ElectroThermalSolver;
+use ptherm_floorplan::Floorplan;
+use ptherm_par::steal::StealQueues;
+use ptherm_tech::Technology;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Fleet-wide configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker threads claiming jobs (jobs themselves run
+    /// single-threaded: the fleet is the parallelism).
+    pub threads: usize,
+    /// Capacity of each operator cache (steady and transient count
+    /// separately).
+    pub cache_capacity: usize,
+    /// Batch width of each job's Picard/transient hot path.
+    pub batch_lanes: usize,
+    /// `true` (production): amortize factorizations through the cache.
+    /// `false`: factor per job — the honest cold baseline the `fleet`
+    /// bench measures the cache against; results are bit-identical.
+    pub amortize: bool,
+    /// Lateral image order of every operator build.
+    pub lateral_order: usize,
+    /// Depth-series order of every operator build.
+    pub z_order: usize,
+    /// Technology kits scenario grids index into.
+    pub technologies: Vec<Technology>,
+}
+
+impl Default for FleetConfig {
+    /// One worker per CPU (honouring `PTHERM_THREADS`), 32-entry
+    /// caches, the workspace image orders and the 120 nm kit.
+    fn default() -> Self {
+        FleetConfig {
+            threads: ptherm_par::default_threads(),
+            cache_capacity: 32,
+            batch_lanes: 64,
+            amortize: true,
+            lateral_order: 2,
+            z_order: 9,
+            technologies: vec![Technology::cmos_120nm()],
+        }
+    }
+}
+
+/// Why a job could not produce a report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobError {
+    /// The job referenced a floorplan this engine has not registered.
+    UnknownFloorplan(String),
+    /// The transient configuration was rejected.
+    Transient(TransientError),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::UnknownFloorplan(name) => write!(f, "unknown floorplan {name:?}"),
+            JobError::Transient(e) => write!(f, "transient setup failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// A completed job's payload.
+#[derive(Debug, Clone)]
+pub enum JobReport {
+    /// Steady-state sweep outcomes.
+    Steady(SweepReport),
+    /// Transient outcomes.
+    Transient(TransientReport),
+}
+
+impl JobReport {
+    /// Scenario/transient count.
+    pub fn len(&self) -> usize {
+        match self {
+            JobReport::Steady(r) => r.len(),
+            JobReport::Transient(r) => r.len(),
+        }
+    }
+
+    /// True for an empty report.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Scenarios that resolved successfully (converged / finished).
+    pub fn resolved_count(&self) -> usize {
+        match self {
+            JobReport::Steady(r) => r.converged_count(),
+            JobReport::Transient(r) => r.finished_count(),
+        }
+    }
+
+    /// Hottest successful operating point / excursion, K.
+    pub fn max_peak_temperature(&self) -> Option<f64> {
+        match self {
+            JobReport::Steady(r) => r.max_peak_temperature(),
+            JobReport::Transient(r) => r.max_peak_temperature(),
+        }
+    }
+}
+
+/// One job's record in a fleet report.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Submission index into the job list.
+    pub index: usize,
+    /// Report or typed failure.
+    pub outcome: Result<JobReport, JobError>,
+    /// Wall time this job spent on its worker, ns.
+    pub wall_ns: u64,
+}
+
+impl JobRecord {
+    /// Renders the per-job JSONL result line the `fleet` binary emits
+    /// (schema in `docs/ARCHITECTURE.md`).
+    pub fn to_json(&self, spec: &JobSpec) -> Json {
+        let mut fields = vec![
+            ("job".into(), Json::Number(self.index as f64)),
+            ("kind".into(), Json::String(spec.kind().into())),
+            (
+                "floorplan".into(),
+                Json::String(spec.floorplan().to_string()),
+            ),
+        ];
+        match &self.outcome {
+            Ok(report) => {
+                fields.push(("ok".into(), Json::Bool(true)));
+                fields.push(("runs".into(), Json::Number(report.len() as f64)));
+                fields.push((
+                    "resolved".into(),
+                    Json::Number(report.resolved_count() as f64),
+                ));
+                fields.push((
+                    "max_peak_k".into(),
+                    report
+                        .max_peak_temperature()
+                        .map_or(Json::Null, Json::Number),
+                ));
+            }
+            Err(error) => {
+                fields.push(("ok".into(), Json::Bool(false)));
+                fields.push(("error".into(), Json::String(error.to_string())));
+            }
+        }
+        fields.push(("wall_ns".into(), Json::Number(self.wall_ns as f64)));
+        Json::Object(fields)
+    }
+}
+
+/// A whole fleet run: per-job records plus scheduler/cache telemetry.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// One record per submitted job, in submission order.
+    pub jobs: Vec<JobRecord>,
+    /// Cross-worker job steals.
+    pub steals: u64,
+    /// Steady-operator cache counters.
+    pub steady_cache: CacheStats,
+    /// Transient-propagator cache counters.
+    pub transient_cache: CacheStats,
+}
+
+impl FleetReport {
+    /// Jobs that produced a report.
+    pub fn ok_count(&self) -> usize {
+        self.jobs.iter().filter(|j| j.outcome.is_ok()).count()
+    }
+}
+
+/// The fleet scheduler (see the [module docs](self)).
+#[derive(Debug)]
+pub struct FleetEngine {
+    floorplans: HashMap<String, Arc<Floorplan>>,
+    cache: OperatorCache,
+    config: FleetConfig,
+}
+
+impl FleetEngine {
+    /// An engine with no floorplans registered yet.
+    pub fn new(config: FleetConfig) -> Self {
+        let cache = OperatorCache::new(config.cache_capacity);
+        FleetEngine {
+            floorplans: HashMap::new(),
+            cache,
+            config,
+        }
+    }
+
+    /// An engine pre-loaded with a parsed request's floorplans.
+    pub fn from_request(config: FleetConfig, request: &crate::jobs::FleetRequest) -> Self {
+        let mut engine = Self::new(config);
+        for (name, plan) in &request.floorplans {
+            engine.register(name.clone(), plan.clone());
+        }
+        engine
+    }
+
+    /// Registers (or replaces) a named floorplan.
+    pub fn register(&mut self, name: impl Into<String>, floorplan: Floorplan) {
+        self.floorplans.insert(name.into(), Arc::new(floorplan));
+    }
+
+    /// Registered floorplan count.
+    pub fn floorplan_count(&self) -> usize {
+        self.floorplans.len()
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Runs a mixed job queue to completion and reports every job in
+    /// submission order. Never panics on a malformed job — failures are
+    /// per-job [`JobError`]s.
+    pub fn run(&self, jobs: &[JobSpec]) -> FleetReport {
+        let workers = self.config.threads.clamp(1, jobs.len().max(1));
+        let queues = StealQueues::split(workers, jobs.len());
+        let per_worker = ptherm_par::par_workers(workers, |w| {
+            let mut mine = Vec::new();
+            while let Some(index) = queues.pop(w) {
+                let started = Instant::now();
+                let outcome = self.run_job(&jobs[index]);
+                mine.push(JobRecord {
+                    index,
+                    outcome,
+                    wall_ns: started.elapsed().as_nanos() as u64,
+                });
+            }
+            mine
+        });
+        let mut slots: Vec<Option<JobRecord>> = (0..jobs.len()).map(|_| None).collect();
+        for record in per_worker.into_iter().flatten() {
+            let index = record.index;
+            slots[index] = Some(record);
+        }
+        FleetReport {
+            jobs: slots
+                .into_iter()
+                .map(|r| r.expect("every job claimed exactly once"))
+                .collect(),
+            steals: queues.steals(),
+            steady_cache: self.cache.steady_stats(),
+            transient_cache: self.cache.transient_stats(),
+        }
+    }
+
+    /// Cache counters (live; [`Self::run`] snapshots them per report).
+    pub fn cache(&self) -> &OperatorCache {
+        &self.cache
+    }
+
+    fn run_job(&self, spec: &JobSpec) -> Result<JobReport, JobError> {
+        match spec {
+            JobSpec::Steady(job) => self.run_steady(job).map(JobReport::Steady),
+            JobSpec::Transient(job) => self.run_transient(job).map(JobReport::Transient),
+        }
+    }
+
+    /// The per-job [`SweepEngine`]: configured solver + the floorplan's
+    /// operator, cached or cold per [`FleetConfig::amortize`].
+    fn sweep_engine(&self, floorplan: &Arc<Floorplan>) -> SweepEngine {
+        let mut solver = ElectroThermalSolver::new(floorplan.as_ref().clone());
+        solver.lateral_order = self.config.lateral_order;
+        solver.z_order = self.config.z_order;
+        let operator = if self.config.amortize {
+            self.cache
+                .steady_operator(floorplan, self.config.lateral_order, self.config.z_order)
+        } else {
+            Arc::new(ThermalOperator::with_image_orders_threaded(
+                floorplan,
+                self.config.lateral_order,
+                self.config.z_order,
+                1,
+            ))
+        };
+        SweepEngine::with_operator(solver, operator)
+            .threads(1)
+            .batch_lanes(self.config.batch_lanes)
+    }
+
+    fn floorplan(&self, name: &str) -> Result<&Arc<Floorplan>, JobError> {
+        self.floorplans
+            .get(name)
+            .ok_or_else(|| JobError::UnknownFloorplan(name.to_string()))
+    }
+
+    fn grid(&self, job: &SteadyJob) -> ScenarioGrid {
+        let grid = ScenarioGrid::new(self.config.technologies.clone())
+            .vdd_scales(job.vdd_scales.clone())
+            .activities(job.activities.clone());
+        match &job.ambients_k {
+            Some(ambients) => grid.ambients_k(ambients.clone()),
+            None => grid,
+        }
+    }
+
+    fn run_steady(&self, job: &SteadyJob) -> Result<SweepReport, JobError> {
+        let floorplan = self.floorplan(&job.floorplan)?;
+        let engine = self.sweep_engine(floorplan);
+        let grid = self.grid(job);
+        let model = ScaledTechPower::area_weighted(floorplan, job.dynamic_w, job.leakage_w)
+            .prepared_for(&grid);
+        Ok(engine.run(&grid, &model))
+    }
+
+    fn run_transient(&self, job: &TransientJob) -> Result<TransientReport, JobError> {
+        let floorplan = self.floorplan(&job.base.floorplan)?;
+        let engine = self.sweep_engine(floorplan);
+        let grid = self.grid(&job.base);
+        let model =
+            ScaledTechPower::area_weighted(floorplan, job.base.dynamic_w, job.base.leakage_w)
+                .prepared_for(&grid);
+        let cfg = TransientConfig::new(job.dt_s, job.steps)
+            .scheme(job.scheme)
+            .waveforms(job.waveforms.clone());
+        let propagator = if self.config.amortize {
+            let caps = silicon_block_capacitances(floorplan);
+            self.cache
+                .transient_operator(engine.operator(), &caps, job.dt_s, job.scheme)
+                .map_err(JobError::Transient)?
+        } else {
+            Arc::new(
+                engine
+                    .transient_operator(&cfg)
+                    .map_err(JobError::Transient)?,
+            )
+        };
+        engine
+            .run_transient_with(&grid, &model, &cfg, &propagator)
+            .map_err(JobError::Transient)
+    }
+}

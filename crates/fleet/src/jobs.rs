@@ -1,0 +1,545 @@
+//! The fleet's line-delimited JSON job protocol.
+//!
+//! One request is a stream of JSONL records, one JSON object per line
+//! (blank lines and `#`-prefixed comment lines are skipped). Records
+//! are discriminated by their `"type"` field:
+//!
+//! * `floorplan` — registers a named floorplan, either generated
+//!   (`"tiles": {"rows", "cols", "p_min", "p_max", "seed"}`) or
+//!   explicit (`"blocks": [{"name", "cx", "cy", "w", "l", "power"}]`),
+//!   with an optional `"geometry"` object (`width`, `length`,
+//!   `thickness`, `conductivity`, `sink_k`; defaults: the paper's 1 mm
+//!   die). Floorplans must be defined before any job references them.
+//! * `steady` — a steady-state sweep job: `"floorplan"` (name),
+//!   `"dynamic_w"`/`"leakage_w"` chip budgets, and optional axes
+//!   `"vdd_scales"`, `"activities"`, `"ambients_k"`.
+//! * `transient` — a transient job: the steady fields plus `"dt_s"`,
+//!   `"steps"`, optional `"scheme"` (`"trapezoidal"` default, or
+//!   `"backward_euler"`) and `"waveforms"` (list of `"step"`,
+//!   `{"square": {"frequency", "duty"}}` or
+//!   `{"trace": {"times": [...], "scales": [...]}}`).
+//!
+//! The full schema with examples is documented in
+//! `docs/ARCHITECTURE.md`. Everything parses into typed specs here;
+//! malformed input is a [`RequestError`] naming the offending line —
+//! never a panic inside a fleet worker.
+
+use crate::json::{Json, JsonError};
+use ptherm_core::cosim::DriveWaveform;
+use ptherm_floorplan::{generator, Block, BuildFloorplanError, ChipGeometry, Floorplan};
+use ptherm_math::ode::ImplicitScheme;
+use std::fmt;
+
+/// A parse/validation failure, pinned to a 1-based request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestError {
+    /// The line is not valid JSON.
+    Json {
+        /// 1-based line number.
+        line: usize,
+        /// Parser diagnosis.
+        error: JsonError,
+    },
+    /// The line is valid JSON but not a valid record.
+    Schema {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        detail: String,
+    },
+    /// A floorplan record failed geometric validation.
+    Floorplan {
+        /// 1-based line number.
+        line: usize,
+        /// The underlying validation error.
+        error: BuildFloorplanError,
+    },
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::Json { line, error } => write!(f, "line {line}: {error}"),
+            RequestError::Schema { line, detail } => write!(f, "line {line}: {detail}"),
+            RequestError::Floorplan { line, error } => {
+                write!(f, "line {line}: invalid floorplan: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// A steady-state sweep job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SteadyJob {
+    /// Name of a previously defined floorplan.
+    pub floorplan: String,
+    /// Chip dynamic-power budget at activity 1 / nominal Vdd, W.
+    pub dynamic_w: f64,
+    /// Chip leakage budget at `T_ref` / nominal Vdd, W.
+    pub leakage_w: f64,
+    /// Supply-scale axis (default `[1.0]`).
+    pub vdd_scales: Vec<f64>,
+    /// Activity axis (default `[1.0]`).
+    pub activities: Vec<f64>,
+    /// Ambient axis, K; `None` = the floorplan's sink temperature.
+    pub ambients_k: Option<Vec<f64>>,
+}
+
+/// A transient (time-stepped) job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientJob {
+    /// The steady-state fields (floorplan, budgets, scenario axes).
+    pub base: SteadyJob,
+    /// Time step, s.
+    pub dt_s: f64,
+    /// Step count.
+    pub steps: usize,
+    /// Implicit scheme.
+    pub scheme: ImplicitScheme,
+    /// Drive waveforms (empty = single step drive).
+    pub waveforms: Vec<DriveWaveform>,
+}
+
+/// One job of a fleet request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSpec {
+    /// Steady-state sweep.
+    Steady(SteadyJob),
+    /// Implicit transient.
+    Transient(TransientJob),
+}
+
+impl JobSpec {
+    /// The referenced floorplan name.
+    pub fn floorplan(&self) -> &str {
+        match self {
+            JobSpec::Steady(j) => &j.floorplan,
+            JobSpec::Transient(j) => &j.base.floorplan,
+        }
+    }
+
+    /// Short kind tag for reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobSpec::Steady(_) => "steady",
+            JobSpec::Transient(_) => "transient",
+        }
+    }
+}
+
+/// A parsed request: named floorplans (in definition order) and jobs
+/// (in submission order).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FleetRequest {
+    /// Defined floorplans.
+    pub floorplans: Vec<(String, Floorplan)>,
+    /// Submitted jobs.
+    pub jobs: Vec<JobSpec>,
+}
+
+/// Parses a whole JSONL request (see the [module docs](self)).
+///
+/// # Errors
+///
+/// The first offending line as a [`RequestError`].
+pub fn parse_jsonl(text: &str) -> Result<FleetRequest, RequestError> {
+    let mut request = FleetRequest::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let record = Json::parse(trimmed).map_err(|error| RequestError::Json { line, error })?;
+        let schema = |detail: String| RequestError::Schema { line, detail };
+        let kind = record
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| schema("record needs a string \"type\" field".into()))?;
+        match kind {
+            "floorplan" => {
+                let (name, plan) = parse_floorplan(&record, line)?;
+                if request.floorplans.iter().any(|(n, _)| *n == name) {
+                    return Err(schema(format!("floorplan {name:?} defined twice")));
+                }
+                request.floorplans.push((name, plan));
+            }
+            "steady" => request
+                .jobs
+                .push(JobSpec::Steady(parse_steady(&record, line, &request)?)),
+            "transient" => request.jobs.push(JobSpec::Transient(parse_transient(
+                &record, line, &request,
+            )?)),
+            other => return Err(schema(format!("unknown record type {other:?}"))),
+        }
+    }
+    Ok(request)
+}
+
+fn field_f64(record: &Json, key: &str, line: usize) -> Result<f64, RequestError> {
+    record
+        .get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| RequestError::Schema {
+            line,
+            detail: format!("missing or non-numeric \"{key}\""),
+        })
+}
+
+fn optional_f64(record: &Json, key: &str, default: f64, line: usize) -> Result<f64, RequestError> {
+    match record.get(key) {
+        None => Ok(default),
+        Some(v) => v.as_f64().ok_or_else(|| RequestError::Schema {
+            line,
+            detail: format!("\"{key}\" must be a number"),
+        }),
+    }
+}
+
+fn optional_f64_list(
+    record: &Json,
+    key: &str,
+    line: usize,
+) -> Result<Option<Vec<f64>>, RequestError> {
+    let bad = || RequestError::Schema {
+        line,
+        detail: format!("\"{key}\" must be an array of numbers"),
+    };
+    match record.get(key) {
+        None => Ok(None),
+        Some(v) => {
+            let items = v.as_array().ok_or_else(bad)?;
+            items
+                .iter()
+                .map(|x| x.as_f64().ok_or_else(bad))
+                .collect::<Result<Vec<f64>, _>>()
+                .map(Some)
+        }
+    }
+}
+
+fn parse_geometry(record: &Json, line: usize) -> Result<ChipGeometry, RequestError> {
+    let defaults = ChipGeometry::paper_1mm();
+    let Some(g) = record.get("geometry") else {
+        return Ok(defaults);
+    };
+    // A non-object "geometry" must be an error: Json::get on it would
+    // return None for every field and silently serve the default die.
+    if !matches!(g, Json::Object(_)) {
+        return Err(RequestError::Schema {
+            line,
+            detail: "\"geometry\" must be an object".into(),
+        });
+    }
+    Ok(ChipGeometry {
+        width: optional_f64(g, "width", defaults.width, line)?,
+        length: optional_f64(g, "length", defaults.length, line)?,
+        thickness: optional_f64(g, "thickness", defaults.thickness, line)?,
+        conductivity: optional_f64(g, "conductivity", defaults.conductivity, line)?,
+        sink_temperature: optional_f64(g, "sink_k", defaults.sink_temperature, line)?,
+    })
+}
+
+fn parse_floorplan(record: &Json, line: usize) -> Result<(String, Floorplan), RequestError> {
+    let schema = |detail: String| RequestError::Schema { line, detail };
+    let name = record
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| schema("floorplan record needs a string \"name\"".into()))?
+        .to_string();
+    let geometry = parse_geometry(record, line)?;
+    let plan = match (record.get("tiles"), record.get("blocks")) {
+        (Some(tiles), None) => {
+            let dim = |key: &str| -> Result<usize, RequestError> {
+                tiles
+                    .get(key)
+                    .and_then(Json::as_usize)
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| RequestError::Schema {
+                        line,
+                        detail: format!("\"tiles\" needs a positive integer \"{key}\""),
+                    })
+            };
+            let rows = dim("rows")?;
+            let cols = dim("cols")?;
+            let p_min = optional_f64(tiles, "p_min", 0.0, line)?;
+            let p_max = optional_f64(tiles, "p_max", p_min, line)?;
+            let seed = tiles
+                .get("seed")
+                .map(|s| {
+                    s.as_usize().ok_or_else(|| RequestError::Schema {
+                        line,
+                        detail: "\"seed\" must be a non-negative integer".into(),
+                    })
+                })
+                .transpose()?
+                .unwrap_or(0) as u64;
+            if !(0.0..=f64::INFINITY).contains(&p_min) || p_max < p_min {
+                return Err(schema(
+                    "\"tiles\" power range must satisfy 0 <= p_min <= p_max".into(),
+                ));
+            }
+            generator::tiled(geometry, rows, cols, p_min, p_max, seed)
+                .map_err(|error| RequestError::Floorplan { line, error })?
+        }
+        (None, Some(blocks)) => {
+            let items = blocks
+                .as_array()
+                .ok_or_else(|| schema("\"blocks\" must be an array".into()))?;
+            let parsed: Result<Vec<Block>, RequestError> = items
+                .iter()
+                .enumerate()
+                .map(|(i, b)| {
+                    let name = b
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .unwrap_or_else(|| format!("blk-{i}"));
+                    Ok(Block::new(
+                        name,
+                        field_f64(b, "cx", line)?,
+                        field_f64(b, "cy", line)?,
+                        field_f64(b, "w", line)?,
+                        field_f64(b, "l", line)?,
+                        optional_f64(b, "power", 0.0, line)?,
+                    ))
+                })
+                .collect();
+            Floorplan::new(geometry, parsed?)
+                .map_err(|error| RequestError::Floorplan { line, error })?
+        }
+        _ => {
+            return Err(schema(
+                "floorplan record needs exactly one of \"tiles\" or \"blocks\"".into(),
+            ))
+        }
+    };
+    Ok((name, plan))
+}
+
+fn parse_steady(
+    record: &Json,
+    line: usize,
+    request: &FleetRequest,
+) -> Result<SteadyJob, RequestError> {
+    let schema = |detail: String| RequestError::Schema { line, detail };
+    let floorplan = record
+        .get("floorplan")
+        .and_then(Json::as_str)
+        .ok_or_else(|| schema("job needs a string \"floorplan\" reference".into()))?
+        .to_string();
+    if !request.floorplans.iter().any(|(n, _)| *n == floorplan) {
+        return Err(schema(format!(
+            "job references undefined floorplan {floorplan:?} (define it on an earlier line)"
+        )));
+    }
+    Ok(SteadyJob {
+        floorplan,
+        dynamic_w: field_f64(record, "dynamic_w", line)?,
+        leakage_w: field_f64(record, "leakage_w", line)?,
+        vdd_scales: optional_f64_list(record, "vdd_scales", line)?.unwrap_or_else(|| vec![1.0]),
+        activities: optional_f64_list(record, "activities", line)?.unwrap_or_else(|| vec![1.0]),
+        ambients_k: optional_f64_list(record, "ambients_k", line)?,
+    })
+}
+
+fn parse_waveform(value: &Json, line: usize) -> Result<DriveWaveform, RequestError> {
+    let schema = |detail: String| RequestError::Schema { line, detail };
+    if value.as_str() == Some("step") {
+        return Ok(DriveWaveform::Step);
+    }
+    if let Some(square) = value.get("square") {
+        return Ok(DriveWaveform::SquareWave {
+            frequency: field_f64(square, "frequency", line)?,
+            duty: field_f64(square, "duty", line)?,
+        });
+    }
+    if let Some(trace) = value.get("trace") {
+        let times = optional_f64_list(trace, "times", line)?
+            .ok_or_else(|| schema("\"trace\" needs a \"times\" array".into()))?;
+        let scales = optional_f64_list(trace, "scales", line)?
+            .ok_or_else(|| schema("\"trace\" needs a \"scales\" array".into()))?;
+        return Ok(DriveWaveform::Trace { times, scales });
+    }
+    Err(schema(
+        "waveform must be \"step\", {\"square\": ...} or {\"trace\": ...}".into(),
+    ))
+}
+
+fn parse_transient(
+    record: &Json,
+    line: usize,
+    request: &FleetRequest,
+) -> Result<TransientJob, RequestError> {
+    let schema = |detail: String| RequestError::Schema { line, detail };
+    let base = parse_steady(record, line, request)?;
+    let dt_s = field_f64(record, "dt_s", line)?;
+    let steps = record
+        .get("steps")
+        .and_then(Json::as_usize)
+        .filter(|&n| n > 0)
+        .ok_or_else(|| schema("transient job needs a positive integer \"steps\"".into()))?;
+    let scheme = match record.get("scheme").map(|s| s.as_str()) {
+        None => ImplicitScheme::Trapezoidal,
+        Some(Some("trapezoidal")) => ImplicitScheme::Trapezoidal,
+        Some(Some("backward_euler")) => ImplicitScheme::BackwardEuler,
+        Some(other) => {
+            return Err(schema(format!(
+                "unknown scheme {other:?} (use \"trapezoidal\" or \"backward_euler\")"
+            )))
+        }
+    };
+    let waveforms = match record.get("waveforms") {
+        None => Vec::new(),
+        Some(list) => list
+            .as_array()
+            .ok_or_else(|| schema("\"waveforms\" must be an array".into()))?
+            .iter()
+            .map(|w| parse_waveform(w, line))
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    // Waveform invariants are checked here so a bad record is refused at
+    // parse time with its line number, not deep inside a worker.
+    for w in &waveforms {
+        w.validate()
+            .map_err(|detail| schema(format!("invalid waveform: {detail}")))?;
+    }
+    Ok(TransientJob {
+        base,
+        dt_s,
+        steps,
+        scheme,
+        waveforms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REQUEST: &str = r#"
+# a fleet request
+{"type": "floorplan", "name": "tiny", "tiles": {"rows": 2, "cols": 2, "p_min": 0.02, "p_max": 0.05, "seed": 7}}
+{"type": "floorplan", "name": "custom", "blocks": [{"name": "a", "cx": 0.5e-3, "cy": 0.5e-3, "w": 0.2e-3, "l": 0.2e-3, "power": 0.1}]}
+
+{"type": "steady", "floorplan": "tiny", "dynamic_w": 0.3, "leakage_w": 0.03, "vdd_scales": [0.9, 1.0], "ambients_k": [300, 340]}
+{"type": "transient", "floorplan": "custom", "dynamic_w": 0.2, "leakage_w": 0.02, "dt_s": 1e-4, "steps": 50, "scheme": "backward_euler", "waveforms": ["step", {"square": {"frequency": 3, "duty": 0.5}}]}
+"#;
+
+    #[test]
+    fn parses_a_full_request() {
+        let req = parse_jsonl(REQUEST).unwrap();
+        assert_eq!(req.floorplans.len(), 2);
+        assert_eq!(req.floorplans[0].1.blocks().len(), 4);
+        assert_eq!(req.jobs.len(), 2);
+        let JobSpec::Steady(s) = &req.jobs[0] else {
+            panic!("steady")
+        };
+        assert_eq!(s.vdd_scales, vec![0.9, 1.0]);
+        assert_eq!(s.ambients_k, Some(vec![300.0, 340.0]));
+        assert_eq!(s.activities, vec![1.0]); // default
+        let JobSpec::Transient(t) = &req.jobs[1] else {
+            panic!("transient")
+        };
+        assert_eq!(t.scheme, ImplicitScheme::BackwardEuler);
+        assert_eq!(t.waveforms.len(), 2);
+        assert_eq!(t.base.floorplan, "custom");
+    }
+
+    #[test]
+    fn tiled_floorplans_are_reproducible() {
+        let req = parse_jsonl(REQUEST).unwrap();
+        let again = parse_jsonl(REQUEST).unwrap();
+        assert_eq!(
+            req.floorplans[0].1.fingerprint(),
+            again.floorplans[0].1.fingerprint()
+        );
+    }
+
+    #[test]
+    fn undefined_floorplan_is_a_schema_error_with_line() {
+        let err = parse_jsonl(
+            r#"{"type": "steady", "floorplan": "ghost", "dynamic_w": 1, "leakage_w": 0.1}"#,
+        )
+        .unwrap_err();
+        let RequestError::Schema { line, detail } = err else {
+            panic!("schema error")
+        };
+        assert_eq!(line, 1);
+        assert!(detail.contains("ghost"));
+    }
+
+    #[test]
+    fn malformed_json_reports_the_line() {
+        let err = parse_jsonl("\n\n{not json}").unwrap_err();
+        assert!(matches!(err, RequestError::Json { line: 3, .. }));
+    }
+
+    #[test]
+    fn duplicate_and_overlapping_floorplans_are_rejected() {
+        let dup = r#"
+{"type": "floorplan", "name": "x", "tiles": {"rows": 1, "cols": 1}}
+{"type": "floorplan", "name": "x", "tiles": {"rows": 2, "cols": 2}}
+"#;
+        assert!(matches!(
+            parse_jsonl(dup),
+            Err(RequestError::Schema { line: 3, .. })
+        ));
+        let overlap = r#"{"type": "floorplan", "name": "bad", "blocks": [
+{"cx": 0.5e-3, "cy": 0.5e-3, "w": 0.4e-3, "l": 0.4e-3}, {"cx": 0.5e-3, "cy": 0.5e-3, "w": 0.4e-3, "l": 0.4e-3}]}"#;
+        // (single line in practice; keep it one line for the test)
+        let overlap = overlap.replace('\n', " ");
+        assert!(matches!(
+            parse_jsonl(&overlap),
+            Err(RequestError::Floorplan { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_waveforms_fail_at_parse_time() {
+        let bad = r#"
+{"type": "floorplan", "name": "f", "tiles": {"rows": 1, "cols": 1}}
+{"type": "transient", "floorplan": "f", "dynamic_w": 0.1, "leakage_w": 0.01, "dt_s": 1e-4, "steps": 5, "waveforms": [{"square": {"frequency": -1, "duty": 0.5}}]}
+"#;
+        let err = parse_jsonl(bad).unwrap_err();
+        let RequestError::Schema { line: 3, detail } = err else {
+            panic!("schema error, got {err:?}")
+        };
+        assert!(detail.contains("frequency"));
+    }
+
+    #[test]
+    fn non_object_geometry_is_rejected_not_defaulted() {
+        // Regression: a mistyped "geometry" used to be silently replaced
+        // by the default 1 mm die.
+        let err = parse_jsonl(
+            r#"{"type": "floorplan", "name": "x", "geometry": "2mm", "tiles": {"rows": 1, "cols": 1}}"#,
+        )
+        .unwrap_err();
+        let RequestError::Schema { line: 1, detail } = err else {
+            panic!("schema error, got {err:?}")
+        };
+        assert!(detail.contains("geometry"));
+    }
+
+    #[test]
+    fn zero_steps_transient_is_rejected() {
+        let bad = r#"
+{"type": "floorplan", "name": "f", "tiles": {"rows": 1, "cols": 1}}
+{"type": "transient", "floorplan": "f", "dynamic_w": 0.1, "leakage_w": 0.01, "dt_s": 1e-4, "steps": 0}
+"#;
+        let err = parse_jsonl(bad).unwrap_err();
+        let RequestError::Schema { line: 3, detail } = err else {
+            panic!("schema error, got {err:?}")
+        };
+        assert!(detail.contains("steps"));
+    }
+
+    #[test]
+    fn unknown_record_type_is_rejected() {
+        let err = parse_jsonl(r#"{"type": "mystery"}"#).unwrap_err();
+        assert!(matches!(err, RequestError::Schema { line: 1, .. }));
+    }
+}

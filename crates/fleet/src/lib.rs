@@ -1,0 +1,36 @@
+//! Multi-floorplan fleet serving for the `ptherm` workspace.
+//!
+//! PRs 1–3 made *one* floorplan fast: a precomputed influence operator,
+//! GEMM-batched Picard sweeps and factored implicit transients. This
+//! crate makes *many* floorplans fast **together** — the production
+//! setting where a service evaluates a heterogeneous stream of jobs
+//! (steady-state sweeps, transients, different chips, different
+//! configurations) continuously:
+//!
+//! * [`cache`] — fingerprint-keyed, bounded, single-flight LRU caches
+//!   for thermal operators and transient propagators, so the dominant
+//!   per-job cold cost (assembly + factorization) is paid once per
+//!   distinct floorplan, not once per job;
+//! * [`engine`] — [`FleetEngine`]: a work-stealing scheduler
+//!   ([`ptherm_par::steal`]) running a mixed job queue over the shared
+//!   cache, with results bitwise independent of worker count, steal
+//!   pattern and cache state;
+//! * [`jobs`] — the typed JSONL job protocol the `fleet` binary
+//!   streams ([`parse_jsonl`]);
+//! * [`json`] — the dependency-free JSON tree backing the protocol and
+//!   the bench regression checker.
+//!
+//! The `fleet` binary (`cargo run --release -p ptherm-bench --bin
+//! fleet`) serves requests from a JSONL file or benchmarks a synthetic
+//! fleet; `docs/ARCHITECTURE.md` documents the layer and the schema,
+//! `docs/PERFORMANCE.md` the `BENCH_fleet.json` baseline.
+
+pub mod cache;
+pub mod engine;
+pub mod jobs;
+pub mod json;
+
+pub use cache::{CacheStats, Lru, OperatorCache};
+pub use engine::{FleetConfig, FleetEngine, FleetReport, JobError, JobRecord, JobReport};
+pub use jobs::{parse_jsonl, FleetRequest, JobSpec, RequestError, SteadyJob, TransientJob};
+pub use json::{Json, JsonError};

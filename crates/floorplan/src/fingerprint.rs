@@ -1,0 +1,160 @@
+//! Stable content fingerprints for floorplans and derived operators.
+//!
+//! The fleet layer (`ptherm-fleet`) amortizes expensive precomputations —
+//! thermal influence operators and implicit transient propagators —
+//! across jobs by keying a bounded cache on **what the computation
+//! actually reads**. That key must be
+//!
+//! * **content-based** (two floorplans with identical geometry hash
+//!   identically, wherever they were built),
+//! * **bitwise-exact** (fingerprint equality must imply the derived
+//!   operator is bit-identical, so a cache hit can never change a
+//!   result — the property the fleet test suite asserts), and
+//! * **cheap and dependency-free** (hashing must be nanoseconds next to
+//!   the ~tens-of-milliseconds factorizations it deduplicates).
+//!
+//! [`Fingerprinter`] is a 64-bit FNV-1a accumulator over *tagged*
+//! primitives: every write mixes a domain tag byte before the payload,
+//! so `["ab", "c"]` and `["a", "bc"]` (and an `f64` run vs a `u64` run)
+//! cannot collide by concatenation. Floats are hashed by their IEEE bit
+//! pattern — semantically equal but bitwise distinct values (`0.0` vs
+//! `-0.0`) fingerprint differently, which costs at worst a spurious
+//! cache miss, never a wrong hit.
+
+/// Incremental 64-bit content hasher (FNV-1a core, tagged writes).
+///
+/// # Example
+///
+/// ```
+/// use ptherm_floorplan::fingerprint::Fingerprinter;
+///
+/// let mut a = Fingerprinter::new("demo");
+/// a.write_f64(1.5);
+/// let mut b = Fingerprinter::new("demo");
+/// b.write_f64(1.5);
+/// assert_eq!(a.finish(), b.finish());
+/// let mut c = Fingerprinter::new("demo");
+/// c.write_f64(-1.5);
+/// assert_ne!(a.finish(), c.finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fingerprinter {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fingerprinter {
+    /// A fresh accumulator, domain-separated by `domain` so fingerprints
+    /// of different object kinds never collide structurally.
+    pub fn new(domain: &str) -> Self {
+        let mut f = Fingerprinter { state: FNV_OFFSET };
+        f.write_str(domain);
+        f
+    }
+
+    fn write_byte(&mut self, byte: u8) {
+        self.state ^= u64::from(byte);
+        self.state = self.state.wrapping_mul(FNV_PRIME);
+    }
+
+    fn write_tagged(&mut self, tag: u8, bytes: &[u8]) {
+        self.write_byte(tag);
+        for &b in bytes {
+            self.write_byte(b);
+        }
+    }
+
+    /// Mixes in an unsigned integer.
+    pub fn write_u64(&mut self, value: u64) {
+        self.write_tagged(b'u', &value.to_le_bytes());
+    }
+
+    /// Mixes in a float by IEEE-754 bit pattern.
+    pub fn write_f64(&mut self, value: f64) {
+        self.write_tagged(b'f', &value.to_bits().to_le_bytes());
+    }
+
+    /// Mixes in a string (length-prefixed via the tag scheme).
+    pub fn write_str(&mut self, value: &str) {
+        self.write_u64(value.len() as u64);
+        self.write_tagged(b's', value.as_bytes());
+    }
+
+    /// Mixes in a whole float slice, length-prefixed.
+    pub fn write_f64_slice(&mut self, values: &[f64]) {
+        self.write_u64(values.len() as u64);
+        for &v in values {
+            self.write_f64(v);
+        }
+    }
+
+    /// The accumulated 64-bit fingerprint.
+    pub fn finish(&self) -> u64 {
+        // One final avalanche round (splitmix64) so low-entropy inputs
+        // still spread across the whole word.
+        let mut z = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_order_sensitive() {
+        let mut a = Fingerprinter::new("t");
+        a.write_f64(1.0);
+        a.write_f64(2.0);
+        let mut b = Fingerprinter::new("t");
+        b.write_f64(2.0);
+        b.write_f64(1.0);
+        assert_ne!(a.finish(), b.finish());
+        let mut c = Fingerprinter::new("t");
+        c.write_f64(1.0);
+        c.write_f64(2.0);
+        assert_eq!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn domains_separate() {
+        let a = Fingerprinter::new("one").finish();
+        let b = Fingerprinter::new("two").finish();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn string_concatenation_does_not_collide() {
+        let mut a = Fingerprinter::new("t");
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fingerprinter::new("t");
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn slice_boundaries_do_not_collide() {
+        let mut a = Fingerprinter::new("t");
+        a.write_f64_slice(&[1.0, 2.0]);
+        a.write_f64_slice(&[3.0]);
+        let mut b = Fingerprinter::new("t");
+        b.write_f64_slice(&[1.0]);
+        b.write_f64_slice(&[2.0, 3.0]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn negative_zero_is_distinct() {
+        let mut a = Fingerprinter::new("t");
+        a.write_f64(0.0);
+        let mut b = Fingerprinter::new("t");
+        b.write_f64(-0.0);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

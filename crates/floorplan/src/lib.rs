@@ -15,8 +15,10 @@
 //! their **centres** (matching the paper's "rectangles located at (x_i,
 //! y_i)" in Eq. 21).
 
+pub mod fingerprint;
 pub mod generator;
 
+use fingerprint::Fingerprinter;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -240,6 +242,51 @@ impl Floorplan {
         map
     }
 
+    /// Stable content fingerprint of the **full** floorplan: die
+    /// geometry, every block rectangle, every block name and every
+    /// recorded power. Any edit — including [`Self::set_power`] —
+    /// changes it. Use this to key anything that reads power
+    /// assignments; thermal-operator caching wants the narrower
+    /// [`Self::geometry_fingerprint`].
+    pub fn fingerprint(&self) -> u64 {
+        let mut f = Fingerprinter::new("ptherm.floorplan.v1");
+        self.write_geometry(&mut f);
+        for b in &self.blocks {
+            f.write_str(&b.name);
+            f.write_f64(b.power);
+        }
+        f.finish()
+    }
+
+    /// Stable fingerprint of exactly what the thermal influence
+    /// operator reads: die geometry (dimensions, thickness,
+    /// conductivity, sink temperature) and every block rectangle —
+    /// **not** block names or powers (the operator is per-watt and
+    /// name-blind, see `ThermalOperator`). Two floorplans with equal
+    /// geometry fingerprints yield bit-identical operators at equal
+    /// image orders, which is what makes it a safe cache key.
+    pub fn geometry_fingerprint(&self) -> u64 {
+        let mut f = Fingerprinter::new("ptherm.floorplan.geometry.v1");
+        self.write_geometry(&mut f);
+        f.finish()
+    }
+
+    /// Shared geometry payload of both fingerprints.
+    fn write_geometry(&self, f: &mut Fingerprinter) {
+        f.write_f64(self.geometry.width);
+        f.write_f64(self.geometry.length);
+        f.write_f64(self.geometry.thickness);
+        f.write_f64(self.geometry.conductivity);
+        f.write_f64(self.geometry.sink_temperature);
+        f.write_u64(self.blocks.len() as u64);
+        for b in &self.blocks {
+            f.write_f64(b.cx);
+            f.write_f64(b.cy);
+            f.write_f64(b.w);
+            f.write_f64(b.l);
+        }
+    }
+
     /// The paper's Fig. 6 scenario: three logic blocks inside a 1 mm die.
     /// Powers follow the figure's relative sizes (one large warm block, two
     /// small hot blocks).
@@ -382,6 +429,55 @@ mod tests {
     fn set_power_rejects_nan() {
         let mut fp = Floorplan::paper_three_blocks();
         fp.set_power(0, f64::NAN);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_and_geometry_fingerprint_ignores_power() {
+        let fp = Floorplan::paper_three_blocks();
+        let same = Floorplan::paper_three_blocks();
+        assert_eq!(fp.fingerprint(), same.fingerprint());
+        assert_eq!(fp.geometry_fingerprint(), same.geometry_fingerprint());
+
+        // set_power changes the full fingerprint but not the geometry one.
+        let mut powered = fp.clone();
+        powered.set_power(1, 0.9);
+        assert_ne!(fp.fingerprint(), powered.fingerprint());
+        assert_eq!(fp.geometry_fingerprint(), powered.geometry_fingerprint());
+
+        // A geometry edit changes both.
+        let mut blocks = fp.blocks().to_vec();
+        blocks[0].cx += 1e-5;
+        let moved = Floorplan::new(*fp.geometry(), blocks).unwrap();
+        assert_ne!(fp.fingerprint(), moved.fingerprint());
+        assert_ne!(fp.geometry_fingerprint(), moved.geometry_fingerprint());
+
+        // So does a die-geometry edit (sink temperature is operator input).
+        let hot_sink = Floorplan::new(
+            ChipGeometry {
+                sink_temperature: 320.0,
+                ..*fp.geometry()
+            },
+            fp.blocks().to_vec(),
+        )
+        .unwrap();
+        assert_ne!(fp.geometry_fingerprint(), hot_sink.geometry_fingerprint());
+    }
+
+    #[test]
+    fn block_names_affect_only_the_full_fingerprint() {
+        let g = ChipGeometry::paper_1mm();
+        let a = Floorplan::new(
+            g,
+            vec![Block::new("a", 0.5e-3, 0.5e-3, 0.2e-3, 0.2e-3, 0.1)],
+        )
+        .unwrap();
+        let b = Floorplan::new(
+            g,
+            vec![Block::new("b", 0.5e-3, 0.5e-3, 0.2e-3, 0.2e-3, 0.1)],
+        )
+        .unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.geometry_fingerprint(), b.geometry_fingerprint());
     }
 
     #[test]

@@ -34,11 +34,29 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
 //! ```
 
+pub mod steal;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// A sensible worker count: the machine's available parallelism, or 1 if
-/// it cannot be determined.
+/// Environment variable overriding [`default_threads`]: set
+/// `PTHERM_THREADS=n` to pin every default-threaded code path in the
+/// workspace to `n` workers. This is how containerized deployments cap
+/// worker counts below the host's CPU count, and how the CI
+/// thread-invariance matrix runs the whole test suite at 1, 2 and 8
+/// workers without code changes.
+pub const THREADS_ENV: &str = "PTHERM_THREADS";
+
+/// A sensible worker count: the [`THREADS_ENV`] override when set to a
+/// positive integer, otherwise the machine's available parallelism, or
+/// 1 if neither can be determined.
 pub fn default_threads() -> usize {
+    if let Some(n) = std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -239,6 +257,24 @@ mod tests {
         );
         // Per-item values are the worker-local running count: all >= 1.
         assert!(counts.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn env_override_pins_default_threads() {
+        // The only test in this process touching the variable; restore
+        // whatever the harness (e.g. the CI thread matrix) set.
+        let previous = std::env::var(THREADS_ENV).ok();
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(default_threads(), 3);
+        std::env::set_var(THREADS_ENV, "not a number");
+        assert!(default_threads() >= 1);
+        std::env::set_var(THREADS_ENV, "0");
+        assert!(default_threads() >= 1);
+        match previous {
+            Some(value) => std::env::set_var(THREADS_ENV, value),
+            None => std::env::remove_var(THREADS_ENV),
+        }
+        assert!(default_threads() >= 1);
     }
 
     #[test]

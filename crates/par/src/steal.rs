@@ -1,0 +1,180 @@
+//! Work-stealing job queues for heterogeneous workloads.
+//!
+//! The sweep engine's shared-cursor scheduling is ideal when work items
+//! are similar-sized scenario solves. A *fleet* queue is different: its
+//! items are whole jobs — a 4-scenario transient next to a 500-scenario
+//! steady-state sweep on a bigger floorplan — so per-item cost varies by
+//! orders of magnitude and a single global cursor serializes every claim
+//! through one cache line. [`StealQueues`] gives each worker its own
+//! deque: workers pop locally (front) until empty, then steal from the
+//! *back* of a sibling's deque — the classic split that keeps owner and
+//! thief on opposite ends. Implemented with per-queue mutexes (no
+//! `unsafe`): lock traffic is one uncontended lock per pop in the common
+//! case, which is noise next to jobs that run for microseconds or more.
+//!
+//! Claims are exactly-once whatever the interleaving, and the steal
+//! counter ([`StealQueues::steals`]) makes imbalance observable in fleet
+//! reports.
+//!
+//! # Example
+//!
+//! ```
+//! use ptherm_par::steal::StealQueues;
+//!
+//! let queues = StealQueues::split(2, 5); // items 0..5 over 2 workers
+//! let mut claimed: Vec<usize> = std::iter::from_fn(|| queues.pop(0)).collect();
+//! claimed.sort_unstable();
+//! assert_eq!(claimed, vec![0, 1, 2, 3, 4]); // worker 0 drained + stole all
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Per-worker job deques with steal-from-the-back rebalancing.
+#[derive(Debug)]
+pub struct StealQueues {
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    steals: AtomicU64,
+}
+
+impl StealQueues {
+    /// Distributes items `0..total` over `workers` deques in contiguous
+    /// runs (worker 0 gets the first run, and so on), front-loading the
+    /// remainder. Contiguous runs preserve submission locality — a
+    /// worker tends to run neighbouring jobs, which for a fleet means
+    /// neighbouring floorplans and warmer caches — while stealing
+    /// repairs whatever imbalance the run lengths hide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn split(workers: usize, total: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        let base = total / workers;
+        let extra = total % workers;
+        let mut queues = Vec::with_capacity(workers);
+        let mut next = 0;
+        for w in 0..workers {
+            let take = base + usize::from(w < extra);
+            queues.push(Mutex::new((next..next + take).collect()));
+            next += take;
+        }
+        StealQueues {
+            queues,
+            steals: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of worker deques.
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Claims the next job for `worker`: its own deque's front, else the
+    /// back of the first non-empty sibling (scanning from `worker + 1`
+    /// round-robin, so thieves spread instead of mobbing worker 0).
+    /// Returns `None` only when every deque is empty at the moment of
+    /// the scan — and since no items are ever re-queued, `None` is
+    /// stable: the queues have run dry for good.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker >= self.workers()`.
+    pub fn pop(&self, worker: usize) -> Option<usize> {
+        assert!(worker < self.queues.len(), "worker index out of range");
+        if let Some(job) = self.lock(worker).pop_front() {
+            return Some(job);
+        }
+        for offset in 1..self.queues.len() {
+            let victim = (worker + offset) % self.queues.len();
+            if let Some(job) = self.lock(victim).pop_back() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Number of cross-worker steals so far.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    fn lock(&self, idx: usize) -> std::sync::MutexGuard<'_, VecDeque<usize>> {
+        // Job indices carry no state; a panicked worker cannot poison
+        // anything another worker must not see.
+        match self.queues[idx].lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_every_item_exactly_once() {
+        for (workers, total) in [(1, 7), (3, 10), (4, 4), (5, 3), (8, 0)] {
+            let q = StealQueues::split(workers, total);
+            let mut all = Vec::new();
+            for w in 0..workers {
+                while let Some(job) = q.pop(w) {
+                    all.push(job);
+                }
+            }
+            all.sort_unstable();
+            assert_eq!(all, (0..total).collect::<Vec<_>>(), "{workers}x{total}");
+        }
+    }
+
+    #[test]
+    fn idle_workers_steal() {
+        let q = StealQueues::split(2, 6);
+        // Worker 1 drains everything: its own 3 plus 3 steals.
+        let mut got = Vec::new();
+        while let Some(job) = q.pop(1) {
+            got.push(job);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(q.steals(), 3);
+        assert_eq!(q.pop(0), None);
+    }
+
+    #[test]
+    fn steals_come_from_the_back() {
+        let q = StealQueues::split(2, 4); // worker 0 holds [0, 1]
+        assert_eq!(q.pop(1), Some(2)); // own front
+        assert_eq!(q.pop(1), Some(3));
+        assert_eq!(q.pop(1), Some(1)); // steal takes the victim's back
+        assert_eq!(q.pop(0), Some(0)); // owner still pops its front
+    }
+
+    #[test]
+    fn concurrent_claims_are_exactly_once() {
+        let total = 10_000;
+        for workers in [2, 4, 8] {
+            let q = StealQueues::split(workers, total);
+            let claimed = crate::par_workers(workers, |w| {
+                let mut mine = Vec::new();
+                while let Some(job) = q.pop(w) {
+                    mine.push(job);
+                }
+                mine
+            });
+            let mut all: Vec<usize> = claimed.into_iter().flatten().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..total).collect::<Vec<_>>(), "workers = {workers}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker index out of range")]
+    fn out_of_range_worker_is_rejected() {
+        let q = StealQueues::split(2, 2);
+        let _ = q.pop(2);
+    }
+}

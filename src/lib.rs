@@ -12,6 +12,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`model`] | `ptherm-core` | the paper: leakage, thermal, co-simulation |
+//! | [`fleet`] | `ptherm-fleet` | multi-floorplan serving: operator cache, job scheduler |
 //! | [`tech`] | `ptherm-tech` | technology kits, constants, scaling table |
 //! | [`device`] | `ptherm-device` | compact MOSFET models |
 //! | [`netlist`] | `ptherm-netlist` | gate topologies, cells, circuits |
@@ -39,6 +40,7 @@
 
 pub use ptherm_core as model;
 pub use ptherm_device as device;
+pub use ptherm_fleet as fleet;
 pub use ptherm_floorplan as floorplan;
 pub use ptherm_math as math;
 pub use ptherm_netlist as netlist;
