@@ -107,8 +107,10 @@ fn serve(args: &[String]) -> i32 {
     }
     let steady = fleet_report.steady_cache;
     let transient = fleet_report.transient_cache;
+    let map = fleet_report.map_cache;
     eprintln!(
-        "fleet: {} jobs, {} ok; steady cache {}h/{}m/{}e, transient cache {}h/{}m/{}e, {} steals",
+        "fleet: {} jobs, {} ok; steady cache {}h/{}m/{}e, transient cache {}h/{}m/{}e, \
+         map cache {}h/{}m/{}e, {} steals",
         fleet_report.jobs.len(),
         fleet_report.ok_count(),
         steady.hits,
@@ -117,6 +119,9 @@ fn serve(args: &[String]) -> i32 {
         transient.hits,
         transient.misses,
         transient.evictions,
+        map.hits,
+        map.misses,
+        map.evictions,
         fleet_report.steals,
     );
     i32::from(fleet_report.ok_count() != fleet_report.jobs.len())

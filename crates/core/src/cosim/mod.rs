@@ -47,7 +47,9 @@ pub mod transient;
 
 pub use batch::{BatchPowerModel, BatchWorkspace, BatchedSolver};
 pub use operator::{operator_fingerprint, ThermalOperator, Workspace};
-pub use sweep::{Scenario, ScenarioGrid, SweepEngine, SweepOutcome, SweepReport};
+pub use sweep::{
+    MapOutcome, MapReport, Scenario, ScenarioGrid, SweepEngine, SweepOutcome, SweepReport,
+};
 pub use transient::{
     propagator_fingerprint, DriveWaveform, TransientBatchedSolver, TransientConfig, TransientError,
     TransientLane, TransientOperator, TransientOutcome, TransientReport, TransientRk4Reference,

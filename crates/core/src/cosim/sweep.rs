@@ -50,6 +50,7 @@ use crate::cosim::transient::{
 };
 use crate::cosim::{CosimError, ElectroThermalSolver, ThermalOperator, Workspace};
 use crate::thermal::capacitance::silicon_block_capacitances;
+use crate::thermal::map::{map_operator_fingerprint, MapOperator, MapWorkspace};
 use ptherm_floorplan::Floorplan;
 use ptherm_math::{expv, MultiVec};
 use ptherm_tech::{Polarity, Technology};
@@ -809,6 +810,80 @@ impl fmt::Display for SweepReport {
     }
 }
 
+/// One scenario of a spatial map sweep: the block-level Picard outcome
+/// plus, for converged scenarios, the rendered high-resolution map.
+#[derive(Debug, Clone)]
+pub struct MapOutcome {
+    /// Block-level fixed-point outcome (identical to what
+    /// [`SweepEngine::run`] would report for this scenario).
+    pub outcome: SweepOutcome,
+    /// Absolute tile temperatures (row-major `nx × ny`, K); present
+    /// exactly when the scenario converged.
+    pub map_k: Option<Vec<f64>>,
+}
+
+/// Results of one spatial map sweep, in scenario enumeration order.
+#[derive(Debug, Clone)]
+pub struct MapReport {
+    /// Map grid width in tiles.
+    pub nx: usize,
+    /// Map grid height in tiles.
+    pub ny: usize,
+    /// One outcome per scenario.
+    pub outcomes: Vec<MapOutcome>,
+}
+
+impl MapReport {
+    /// Number of scenarios swept.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// True for an empty sweep.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Scenarios that reached a fixed point (and therefore have a map).
+    pub fn converged_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.outcome.is_converged())
+            .count()
+    }
+
+    /// The map of scenario `index`, if it converged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn map(&self, index: usize) -> Option<&[f64]> {
+        self.outcomes[index].map_k.as_deref()
+    }
+
+    /// Hottest tile across every converged scenario's map, K.
+    pub fn max_map_temperature(&self) -> Option<f64> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.map_k.as_deref())
+            .filter_map(crate::cosim::operator::max_temperature)
+            .reduce(f64::max)
+    }
+}
+
+impl fmt::Display for MapReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} scenarios on a {}x{} map grid: {} converged",
+            self.len(),
+            self.nx,
+            self.ny,
+            self.converged_count()
+        )
+    }
+}
+
 /// Batched, parallel sweep driver for one floorplan.
 ///
 /// Construction precomputes the [`ThermalOperator`]; [`SweepEngine::run`]
@@ -969,6 +1044,106 @@ impl SweepEngine {
                 ))
             },
         )
+    }
+
+    /// Builds the spatial [`MapOperator`] this engine's floorplan and
+    /// image orders imply for an `nx × ny` tile grid — the kernel
+    /// assembly [`Self::run_map`] would perform internally, exposed so
+    /// a fleet-level cache can build it once per
+    /// [`map_operator_fingerprint`] and replay it through
+    /// [`Self::run_map_with`].
+    pub fn map_operator(&self, nx: usize, ny: usize) -> MapOperator {
+        MapOperator::with_image_orders_threaded(
+            self.solver.floorplan(),
+            nx,
+            ny,
+            self.solver.lateral_order,
+            self.solver.z_order,
+            self.threads,
+        )
+    }
+
+    /// Sweeps a scenario grid and renders a high-resolution `nx × ny`
+    /// temperature map per converged scenario.
+    ///
+    /// Leakage feedback is closed through the **existing** batched
+    /// Picard loop ([`Self::run`]: `Self::batch_lanes` scenarios per
+    /// GEMM step on the `MultiVec` path); the converged block power
+    /// vectors are then rasterized and convolved through the FFT map
+    /// operator, one render per scenario, sharded over
+    /// `Self::threads` workers with a reusable [`MapWorkspace`] each.
+    /// Results are bitwise independent of thread count and batch width
+    /// (the Picard contract plus a deterministic serial render per
+    /// scenario).
+    pub fn run_map<M: ScenarioPowerModel>(
+        &self,
+        grid: &ScenarioGrid,
+        model: &M,
+        nx: usize,
+        ny: usize,
+    ) -> MapReport {
+        self.run_map_with(grid, model, &self.map_operator(nx, ny))
+    }
+
+    /// [`Self::run_map`] against an **already built** map operator (see
+    /// [`Self::map_operator`]) — the cache-amortized map path. Results
+    /// are bit-identical to the self-building path for an operator
+    /// built from the same inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map_op` was built for a different floorplan geometry,
+    /// grid or image orders than this engine would build (fingerprint
+    /// mismatch) — a cache-keying bug, caught here rather than
+    /// rendering the wrong chip.
+    pub fn run_map_with<M: ScenarioPowerModel>(
+        &self,
+        grid: &ScenarioGrid,
+        model: &M,
+        map_op: &MapOperator,
+    ) -> MapReport {
+        assert_eq!(
+            map_op.fingerprint(),
+            map_operator_fingerprint(
+                self.solver.floorplan(),
+                self.solver.lateral_order,
+                self.solver.z_order,
+                map_op.nx(),
+                map_op.ny(),
+            ),
+            "map operator/solver fingerprint mismatch"
+        );
+        let sweep = self.run(grid, model);
+        let sink_k = self.operator.sink_temperature();
+        let outcomes = ptherm_par::par_map_with(
+            self.threads,
+            &sweep.outcomes,
+            MapWorkspace::new,
+            |ws, id, outcome| {
+                let map_k = match outcome {
+                    SweepOutcome::Converged { block_powers, .. } => {
+                        let mut map = vec![0.0; map_op.tiles()];
+                        map_op.temperature_map_into(
+                            block_powers,
+                            grid.scenario(id, sink_k).ambient_k,
+                            ws,
+                            &mut map,
+                        );
+                        Some(map)
+                    }
+                    _ => None,
+                };
+                MapOutcome {
+                    outcome: outcome.clone(),
+                    map_k,
+                }
+            },
+        );
+        MapReport {
+            nx: map_op.nx(),
+            ny: map_op.ny(),
+            outcomes,
+        }
     }
 
     /// Shared batched driver: `total` scenario ids, an ambient lookup and
@@ -1711,5 +1886,116 @@ mod tests {
         let s = format!("{report}");
         assert!(s.contains("1 scenarios"));
         assert!(s.contains("1 converged"));
+    }
+
+    #[test]
+    fn map_sweep_rides_the_batched_picard_and_renders_per_scenario_maps() {
+        let engine = engine();
+        let grid = small_grid();
+        let model = engine.uniform_tech_power(0.6, 0.05);
+        let report = engine.run_map(&grid, &model, 16, 16);
+        assert_eq!(report.len(), grid.len());
+        assert_eq!((report.nx, report.ny), (16, 16));
+        // Block-level outcomes are exactly the plain sweep's outcomes.
+        let sweep = engine.run(&grid, &model);
+        for (m, s) in report.outcomes.iter().zip(&sweep.outcomes) {
+            assert_eq!(&m.outcome, s);
+            assert_eq!(m.map_k.is_some(), s.is_converged());
+        }
+        // Each converged map is consistent with its scenario: sits above
+        // its ambient and peaks at least at the hottest block centre's
+        // tile value.
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            let Some(map) = outcome.map_k.as_deref() else {
+                continue;
+            };
+            let ambient = grid.scenario(i, 300.0).ambient_k;
+            assert!(map.iter().all(|&t| t > ambient));
+        }
+        assert!(report.max_map_temperature().unwrap() > 300.0);
+        assert_eq!(report.converged_count(), sweep.converged_count());
+    }
+
+    #[test]
+    fn map_sweep_is_bitwise_invariant_to_threads_and_batch_width() {
+        let grid = small_grid();
+        let e1 = engine().threads(1).batch_lanes(1);
+        let model = e1.uniform_tech_power(0.6, 0.05);
+        let narrow = e1.run_map(&grid, &model, 12, 12);
+        for (threads, lanes) in [(2, 64), (8, 128)] {
+            let wide = engine()
+                .threads(threads)
+                .batch_lanes(lanes)
+                .run_map(&grid, &model, 12, 12);
+            for (a, b) in narrow.outcomes.iter().zip(&wide.outcomes) {
+                assert_eq!(a.outcome, b.outcome, "threads {threads} lanes {lanes}");
+                assert_eq!(a.map_k, b.map_k, "threads {threads} lanes {lanes}");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_map_operator_is_bit_identical_to_self_building() {
+        let engine = engine();
+        let grid = small_grid();
+        let model = engine.uniform_tech_power(0.6, 0.05);
+        let map_op = engine.map_operator(10, 8);
+        let cached = engine.run_map_with(&grid, &model, &map_op);
+        let fresh = engine.run_map(&grid, &model, 10, 8);
+        for (a, b) in cached.outcomes.iter().zip(&fresh.outcomes) {
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.map_k, b.map_k);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "map operator/solver fingerprint mismatch")]
+    fn mismatched_map_operator_is_rejected() {
+        let donor = SweepEngine::new(
+            ptherm_floorplan::generator::tiled(
+                ptherm_floorplan::ChipGeometry::paper_1mm(),
+                2,
+                2,
+                0.05,
+                0.05,
+                1,
+            )
+            .expect("valid tiling"),
+        );
+        let map_op = donor.map_operator(8, 8);
+        let engine = engine();
+        let model = engine.uniform_tech_power(0.6, 0.05);
+        let _ = engine.run_map_with(&small_grid(), &model, &map_op);
+    }
+
+    #[test]
+    fn map_sweep_on_an_empty_grid_is_a_clean_no_op() {
+        let engine = engine();
+        let grid = ScenarioGrid::new(vec![Technology::cmos_120nm()]).vdd_scales(Vec::new());
+        let model = engine.uniform_tech_power(0.6, 0.05);
+        let report = engine.run_map(&grid, &model, 8, 8);
+        assert!(report.is_empty());
+        assert_eq!(report.max_map_temperature(), None);
+        assert!(format!("{report}").contains("0 scenarios"));
+    }
+
+    #[test]
+    fn runaway_scenarios_carry_no_map() {
+        // A violent feedback has no fixed point: the map sweep reports
+        // the runaway outcome with no rendered map, others still render.
+        let engine = engine();
+        let grid = ScenarioGrid::new(vec![Technology::cmos_120nm()]).activities(vec![1.0, 400.0]);
+        let model = engine.uniform_tech_power(0.6, 0.4);
+        let report = engine.run_map(&grid, &model, 8, 8);
+        assert_eq!(report.len(), 2);
+        assert!(report.outcomes[0].map_k.is_some());
+        assert!(matches!(
+            report.outcomes[1].outcome,
+            SweepOutcome::Runaway { .. }
+        ));
+        assert!(report.outcomes[1].map_k.is_none());
+        assert_eq!(report.converged_count(), 1);
+        assert!(report.map(0).is_some());
+        assert!(report.map(1).is_none());
     }
 }

@@ -45,8 +45,8 @@ pub mod leakage;
 pub mod thermal;
 
 pub use cosim::{
-    CosimError, CosimResult, ElectroThermalSolver, Scenario, ScenarioGrid, SweepEngine,
-    SweepOutcome, SweepReport, ThermalOperator, Workspace,
+    CosimError, CosimResult, ElectroThermalSolver, MapOutcome, MapReport, Scenario, ScenarioGrid,
+    SweepEngine, SweepOutcome, SweepReport, ThermalOperator, Workspace,
 };
 pub use leakage::GateLeakageModel;
-pub use thermal::ThermalModel;
+pub use thermal::{MapOperator, MapWorkspace, ThermalModel};

@@ -239,6 +239,28 @@ pub fn expand_images_iter(
     }
 }
 
+/// The signed bottom-mirror depth column every lateral site carries:
+/// `(weight, depth)` pairs such that a unit source contributes
+/// `Σ_k w_k · K(r, depth_k)` (see [`expand_images`] for the derivation
+/// and the trapezoid-weighted truncation). Even non-zero orders round
+/// up to odd exactly as in the full expansion, and `z_order = 0` is the
+/// bare half-space single term. The spatial map engine folds this
+/// column into its Green's-function tables; [`expand_images_iter`]
+/// interleaves the same weights per lateral site — a unit test pins the
+/// two against each other.
+pub fn depth_series(thickness: f64, z_order: usize) -> impl Iterator<Item = (f64, f64)> {
+    let z_order = if z_order > 0 && z_order.is_multiple_of(2) {
+        z_order + 1
+    } else {
+        z_order
+    };
+    (0..=z_order).map(move |k| {
+        let magnitude = if k == 0 || k == z_order { 1.0 } else { 2.0 };
+        let sign = if k.is_multiple_of(2) { 1.0 } else { -1.0 };
+        (magnitude * sign, 2.0 * k as f64 * thickness)
+    })
+}
+
 /// Full image expansion of one block: lateral lattice times the depth
 /// series.
 ///
@@ -434,6 +456,23 @@ mod tests {
             // so the total must vanish.
             let net: f64 = imgs.iter().map(|i| i.sign).sum();
             assert!(net.abs() < 1e-12, "z = {z}: net {net}");
+        }
+    }
+
+    #[test]
+    fn depth_series_matches_the_expansion_column() {
+        // The standalone depth column must be exactly the per-site column
+        // expand_images interleaves (lateral order 0 at an off-axis point
+        // gives four identical columns).
+        for z in [0usize, 1, 3, 4, 9] {
+            let column: Vec<(f64, f64)> = depth_series(0.3e-3, z).collect();
+            let imgs = expand_images(0.2e-3, 0.3e-3, 1e-3, 1e-3, 0.3e-3, 0, z);
+            assert_eq!(imgs.len(), 4 * column.len(), "z = {z}");
+            for (i, img) in imgs.iter().enumerate() {
+                let (w, d) = column[i % column.len()];
+                assert_eq!(img.sign, w, "z = {z}, term {i}");
+                assert_eq!(img.depth, d, "z = {z}, term {i}");
+            }
         }
     }
 

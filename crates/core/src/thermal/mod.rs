@@ -7,6 +7,9 @@
 //!   the isothermal bottom (Figs. 6–7),
 //! * [`profile`] — [`ThermalModel`]: superposition over a floorplan
 //!   (Eq. 21) with images, surface maps and cross-sections,
+//! * [`map`] — FFT-accelerated high-resolution temperature maps: the
+//!   Eq. 20/21 image sum reorganized as a tile-grid convolution
+//!   (power blurring) for hotspot localization at thousands of tiles,
 //! * [`resistance`] — self-heating thermal resistance from Eq. 18
 //!   (the model line of Fig. 10),
 //! * [`conductivity`] — self-consistent `k(T)` iteration (extension),
@@ -35,8 +38,10 @@
 pub mod capacitance;
 pub mod conductivity;
 pub mod images;
+pub mod map;
 pub mod profile;
 pub mod rect;
 pub mod resistance;
 
+pub use map::{map_operator_fingerprint, MapOperator, MapWorkspace};
 pub use profile::ThermalModel;

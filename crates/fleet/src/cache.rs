@@ -26,6 +26,7 @@ use ptherm_core::cosim::{
     operator_fingerprint, propagator_fingerprint, ThermalOperator, TransientError,
     TransientOperator,
 };
+use ptherm_core::thermal::map::{map_operator_fingerprint, MapOperator};
 use ptherm_floorplan::Floorplan;
 use ptherm_math::ode::ImplicitScheme;
 use std::collections::HashMap;
@@ -271,20 +272,23 @@ impl<K: Eq + Hash + Clone, V> Drop for BuildGuard<'_, K, V> {
     }
 }
 
-/// The fleet's two operator caches, keyed by content fingerprint.
+/// The fleet's operator caches, keyed by content fingerprint.
 #[derive(Debug)]
 pub struct OperatorCache {
     steady: Lru<u64, ThermalOperator>,
     transient: Lru<u64, TransientOperator>,
+    map: Lru<u64, MapOperator>,
 }
 
 impl OperatorCache {
     /// Caches holding at most `capacity` entries **each** (steady
-    /// operators and transient propagators age independently).
+    /// operators, transient propagators and map kernels age
+    /// independently).
     pub fn new(capacity: usize) -> Self {
         OperatorCache {
             steady: Lru::new(capacity),
             transient: Lru::new(capacity),
+            map: Lru::new(capacity),
         }
     }
 
@@ -331,6 +335,35 @@ impl OperatorCache {
             .get_or_build(key, || TransientOperator::new(op, capacitances, dt, scheme))
     }
 
+    /// The spatial map operator of `floorplan` on an `nx × ny` tile
+    /// grid at the given image orders: cached under
+    /// [`map_operator_fingerprint`], built serially on a miss (fleet
+    /// workers are the parallelism, like [`Self::steady_operator`]).
+    pub fn map_operator(
+        &self,
+        floorplan: &Floorplan,
+        lateral_order: usize,
+        z_order: usize,
+        nx: usize,
+        ny: usize,
+    ) -> Arc<MapOperator> {
+        let key = map_operator_fingerprint(floorplan, lateral_order, z_order, nx, ny);
+        let built: Result<_, std::convert::Infallible> = self.map.get_or_build(key, || {
+            Ok(MapOperator::with_image_orders_threaded(
+                floorplan,
+                nx,
+                ny,
+                lateral_order,
+                z_order,
+                1,
+            ))
+        });
+        match built {
+            Ok(op) => op,
+            Err(never) => match never {},
+        }
+    }
+
     /// Counter snapshot for the steady-operator cache.
     pub fn steady_stats(&self) -> CacheStats {
         self.steady.stats()
@@ -339,5 +372,10 @@ impl OperatorCache {
     /// Counter snapshot for the transient-propagator cache.
     pub fn transient_stats(&self) -> CacheStats {
         self.transient.stats()
+    }
+
+    /// Counter snapshot for the map-operator cache.
+    pub fn map_stats(&self) -> CacheStats {
+        self.map.stats()
     }
 }

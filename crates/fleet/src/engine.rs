@@ -34,12 +34,12 @@
 //! ```
 
 use crate::cache::{CacheStats, OperatorCache};
-use crate::jobs::{JobSpec, SteadyJob, TransientJob};
+use crate::jobs::{JobSpec, MapJob, SteadyJob, TransientJob};
 use crate::json::Json;
 use ptherm_core::cosim::sweep::ScaledTechPower;
 use ptherm_core::cosim::{
-    ScenarioGrid, SweepEngine, SweepReport, ThermalOperator, TransientConfig, TransientError,
-    TransientReport,
+    MapReport, ScenarioGrid, SweepEngine, SweepReport, ThermalOperator, TransientConfig,
+    TransientError, TransientReport,
 };
 use ptherm_core::thermal::capacitance::silicon_block_capacitances;
 use ptherm_core::ElectroThermalSolver;
@@ -117,6 +117,8 @@ pub enum JobReport {
     Steady(SweepReport),
     /// Transient outcomes.
     Transient(TransientReport),
+    /// Spatial map outcomes.
+    Map(MapReport),
 }
 
 impl JobReport {
@@ -125,6 +127,7 @@ impl JobReport {
         match self {
             JobReport::Steady(r) => r.len(),
             JobReport::Transient(r) => r.len(),
+            JobReport::Map(r) => r.len(),
         }
     }
 
@@ -138,14 +141,18 @@ impl JobReport {
         match self {
             JobReport::Steady(r) => r.converged_count(),
             JobReport::Transient(r) => r.finished_count(),
+            JobReport::Map(r) => r.converged_count(),
         }
     }
 
-    /// Hottest successful operating point / excursion, K.
+    /// Hottest successful operating point / excursion, K. Map jobs
+    /// report the hottest **tile** across their rendered maps — the
+    /// spatial answer a block-level peak cannot give.
     pub fn max_peak_temperature(&self) -> Option<f64> {
         match self {
             JobReport::Steady(r) => r.max_peak_temperature(),
             JobReport::Transient(r) => r.max_peak_temperature(),
+            JobReport::Map(r) => r.max_map_temperature(),
         }
     }
 }
@@ -173,6 +180,12 @@ impl JobRecord {
                 Json::String(spec.floorplan().to_string()),
             ),
         ];
+        if let JobSpec::Map(m) = spec {
+            fields.push((
+                "grid".into(),
+                Json::Array(vec![Json::Number(m.nx as f64), Json::Number(m.ny as f64)]),
+            ));
+        }
         match &self.outcome {
             Ok(report) => {
                 fields.push(("ok".into(), Json::Bool(true)));
@@ -209,6 +222,8 @@ pub struct FleetReport {
     pub steady_cache: CacheStats,
     /// Transient-propagator cache counters.
     pub transient_cache: CacheStats,
+    /// Map-operator cache counters.
+    pub map_cache: CacheStats,
 }
 
 impl FleetReport {
@@ -293,6 +308,7 @@ impl FleetEngine {
             steals: queues.steals(),
             steady_cache: self.cache.steady_stats(),
             transient_cache: self.cache.transient_stats(),
+            map_cache: self.cache.map_stats(),
         }
     }
 
@@ -305,6 +321,7 @@ impl FleetEngine {
         match spec {
             JobSpec::Steady(job) => self.run_steady(job).map(JobReport::Steady),
             JobSpec::Transient(job) => self.run_transient(job).map(JobReport::Transient),
+            JobSpec::Map(job) => self.run_map(job).map(JobReport::Map),
         }
     }
 
@@ -353,6 +370,27 @@ impl FleetEngine {
         let model = ScaledTechPower::area_weighted(floorplan, job.dynamic_w, job.leakage_w)
             .prepared_for(&grid);
         Ok(engine.run(&grid, &model))
+    }
+
+    fn run_map(&self, job: &MapJob) -> Result<MapReport, JobError> {
+        let floorplan = self.floorplan(&job.base.floorplan)?;
+        let engine = self.sweep_engine(floorplan);
+        let grid = self.grid(&job.base);
+        let model =
+            ScaledTechPower::area_weighted(floorplan, job.base.dynamic_w, job.base.leakage_w)
+                .prepared_for(&grid);
+        let map_op = if self.config.amortize {
+            self.cache.map_operator(
+                floorplan,
+                self.config.lateral_order,
+                self.config.z_order,
+                job.nx,
+                job.ny,
+            )
+        } else {
+            Arc::new(engine.map_operator(job.nx, job.ny))
+        };
+        Ok(engine.run_map_with(&grid, &model, &map_op))
     }
 
     fn run_transient(&self, job: &TransientJob) -> Result<TransientReport, JobError> {

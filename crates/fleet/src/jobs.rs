@@ -18,6 +18,10 @@
 //!   `"backward_euler"`) and `"waveforms"` (list of `"step"`,
 //!   `{"square": {"frequency", "duty"}}` or
 //!   `{"trace": {"times": [...], "scales": [...]}}`).
+//! * `map` — a high-resolution spatial map job: the steady fields plus
+//!   `"grid": {"nx", "ny"}` (positive tile counts, product bounded so a
+//!   hostile request cannot allocate unbounded kernels). Each converged
+//!   scenario renders an `nx × ny` FFT temperature map.
 //!
 //! The full schema with examples is documented in
 //! `docs/ARCHITECTURE.md`. Everything parses into typed specs here;
@@ -102,6 +106,17 @@ pub struct TransientJob {
     pub waveforms: Vec<DriveWaveform>,
 }
 
+/// A high-resolution spatial map job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapJob {
+    /// The steady-state fields (floorplan, budgets, scenario axes).
+    pub base: SteadyJob,
+    /// Map grid width in tiles.
+    pub nx: usize,
+    /// Map grid height in tiles.
+    pub ny: usize,
+}
+
 /// One job of a fleet request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobSpec {
@@ -109,6 +124,8 @@ pub enum JobSpec {
     Steady(SteadyJob),
     /// Implicit transient.
     Transient(TransientJob),
+    /// High-resolution spatial map sweep.
+    Map(MapJob),
 }
 
 impl JobSpec {
@@ -117,6 +134,7 @@ impl JobSpec {
         match self {
             JobSpec::Steady(j) => &j.floorplan,
             JobSpec::Transient(j) => &j.base.floorplan,
+            JobSpec::Map(j) => &j.base.floorplan,
         }
     }
 
@@ -125,6 +143,7 @@ impl JobSpec {
         match self {
             JobSpec::Steady(_) => "steady",
             JobSpec::Transient(_) => "transient",
+            JobSpec::Map(_) => "map",
         }
     }
 }
@@ -172,6 +191,9 @@ pub fn parse_jsonl(text: &str) -> Result<FleetRequest, RequestError> {
             "transient" => request.jobs.push(JobSpec::Transient(parse_transient(
                 &record, line, &request,
             )?)),
+            "map" => request
+                .jobs
+                .push(JobSpec::Map(parse_map(&record, line, &request)?)),
             other => return Err(schema(format!("unknown record type {other:?}"))),
         }
     }
@@ -415,6 +437,43 @@ fn parse_transient(
     })
 }
 
+/// Upper bound on `nx · ny` of one map job. The operator's resident
+/// cost is 8 spectrum planes of `mx·my` f64 (≤ 16·nx·ny elements each
+/// when torus padding doubles both axes), plus a transient extended
+/// kernel table of `(2k+2)²·nx·ny` entries during assembly — ~1.8 kB
+/// per tile worst case. 2¹⁸ tiles (a 512×512 map) therefore caps a
+/// hostile request line at under half a GB peak while leaving every
+/// realistic hotspot-localization grid comfortably legal.
+const MAX_MAP_TILES: usize = 1 << 18;
+
+fn parse_map(record: &Json, line: usize, request: &FleetRequest) -> Result<MapJob, RequestError> {
+    let schema = |detail: String| RequestError::Schema { line, detail };
+    let base = parse_steady(record, line, request)?;
+    let grid = record
+        .get("grid")
+        .ok_or_else(|| schema("map job needs a \"grid\" object".into()))?;
+    if !matches!(grid, Json::Object(_)) {
+        return Err(schema("\"grid\" must be an object".into()));
+    }
+    let dim = |key: &str| -> Result<usize, RequestError> {
+        grid.get(key)
+            .and_then(Json::as_usize)
+            .filter(|&n| n > 0)
+            .ok_or_else(|| RequestError::Schema {
+                line,
+                detail: format!("\"grid\" needs a positive integer \"{key}\""),
+            })
+    };
+    let nx = dim("nx")?;
+    let ny = dim("ny")?;
+    if nx.saturating_mul(ny) > MAX_MAP_TILES {
+        return Err(schema(format!(
+            "map grid {nx}x{ny} exceeds the {MAX_MAP_TILES}-tile bound"
+        )));
+    }
+    Ok(MapJob { base, nx, ny })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -426,6 +485,7 @@ mod tests {
 
 {"type": "steady", "floorplan": "tiny", "dynamic_w": 0.3, "leakage_w": 0.03, "vdd_scales": [0.9, 1.0], "ambients_k": [300, 340]}
 {"type": "transient", "floorplan": "custom", "dynamic_w": 0.2, "leakage_w": 0.02, "dt_s": 1e-4, "steps": 50, "scheme": "backward_euler", "waveforms": ["step", {"square": {"frequency": 3, "duty": 0.5}}]}
+{"type": "map", "floorplan": "tiny", "dynamic_w": 0.3, "leakage_w": 0.03, "grid": {"nx": 32, "ny": 24}}
 "#;
 
     #[test]
@@ -433,7 +493,7 @@ mod tests {
         let req = parse_jsonl(REQUEST).unwrap();
         assert_eq!(req.floorplans.len(), 2);
         assert_eq!(req.floorplans[0].1.blocks().len(), 4);
-        assert_eq!(req.jobs.len(), 2);
+        assert_eq!(req.jobs.len(), 3);
         let JobSpec::Steady(s) = &req.jobs[0] else {
             panic!("steady")
         };
@@ -446,6 +506,12 @@ mod tests {
         assert_eq!(t.scheme, ImplicitScheme::BackwardEuler);
         assert_eq!(t.waveforms.len(), 2);
         assert_eq!(t.base.floorplan, "custom");
+        let JobSpec::Map(m) = &req.jobs[2] else {
+            panic!("map")
+        };
+        assert_eq!((m.nx, m.ny), (32, 24));
+        assert_eq!(m.base.floorplan, "tiny");
+        assert_eq!(req.jobs[2].kind(), "map");
     }
 
     #[test]
@@ -541,5 +607,40 @@ mod tests {
     fn unknown_record_type_is_rejected() {
         let err = parse_jsonl(r#"{"type": "mystery"}"#).unwrap_err();
         assert!(matches!(err, RequestError::Schema { line: 1, .. }));
+    }
+
+    #[test]
+    fn map_jobs_validate_their_grid() {
+        let prefix = r#"{"type": "floorplan", "name": "f", "tiles": {"rows": 1, "cols": 1}}"#;
+        let detail_of = |suffix: &str| -> String {
+            let err = parse_jsonl(&format!("{prefix}\n{suffix}")).unwrap_err();
+            let RequestError::Schema { line: 2, detail } = err else {
+                panic!("schema error on line 2, got {err:?}")
+            };
+            detail
+        };
+        // Missing, mistyped and non-positive grids all fail with their
+        // own diagnostic.
+        assert!(detail_of(
+            r#"{"type": "map", "floorplan": "f", "dynamic_w": 1, "leakage_w": 0.1}"#
+        )
+        .contains("grid"));
+        assert!(detail_of(
+            r#"{"type": "map", "floorplan": "f", "dynamic_w": 1, "leakage_w": 0.1, "grid": "big"}"#
+        )
+        .contains("must be an object"));
+        assert!(detail_of(
+            r#"{"type": "map", "floorplan": "f", "dynamic_w": 1, "leakage_w": 0.1, "grid": {"nx": 0, "ny": 4}}"#
+        )
+        .contains("nx"));
+        assert!(detail_of(
+            r#"{"type": "map", "floorplan": "f", "dynamic_w": 1, "leakage_w": 0.1, "grid": {"nx": 8}}"#
+        )
+        .contains("ny"));
+        // The tile bound refuses hostile allocations at parse time.
+        assert!(detail_of(
+            r#"{"type": "map", "floorplan": "f", "dynamic_w": 1, "leakage_w": 0.1, "grid": {"nx": 100000, "ny": 100000}}"#
+        )
+        .contains("bound"));
     }
 }

@@ -32,5 +32,5 @@ pub mod json;
 
 pub use cache::{CacheStats, Lru, OperatorCache};
 pub use engine::{FleetConfig, FleetEngine, FleetReport, JobError, JobRecord, JobReport};
-pub use jobs::{parse_jsonl, FleetRequest, JobSpec, RequestError, SteadyJob, TransientJob};
+pub use jobs::{parse_jsonl, FleetRequest, JobSpec, MapJob, RequestError, SteadyJob, TransientJob};
 pub use json::{Json, JsonError};

@@ -234,6 +234,13 @@ fn assert_reports_bit_identical(a: &ptherm_fleet::FleetReport, b: &ptherm_fleet:
             (Ok(JobReport::Transient(p)), Ok(JobReport::Transient(q))) => {
                 assert_eq!(p.outcomes, q.outcomes, "job {}", x.index);
             }
+            (Ok(JobReport::Map(p)), Ok(JobReport::Map(q))) => {
+                assert_eq!((p.nx, p.ny), (q.nx, q.ny), "job {}", x.index);
+                for (mo, qo) in p.outcomes.iter().zip(&q.outcomes) {
+                    assert_eq!(mo.outcome, qo.outcome, "job {}", x.index);
+                    assert_eq!(mo.map_k, qo.map_k, "job {}", x.index);
+                }
+            }
             (p, q) => panic!("job {} outcome kinds diverged: {p:?} vs {q:?}", x.index),
         }
     }
@@ -300,6 +307,110 @@ fn result_lines_render_valid_json() {
         assert_eq!(parsed.get("ok").and_then(|j| j.as_bool()), Some(true));
         assert!(parsed.get("max_peak_k").and_then(|j| j.as_f64()).unwrap() > 300.0);
     }
+}
+
+const MAP_REQUEST: &str = r#"
+{"type": "floorplan", "name": "a", "tiles": {"rows": 2, "cols": 2, "p_min": 0.01, "p_max": 0.05, "seed": 1}}
+{"type": "floorplan", "name": "b", "blocks": [{"name": "hot", "cx": 0.5e-3, "cy": 0.5e-3, "w": 0.3e-3, "l": 0.3e-3, "power": 0.2}]}
+{"type": "map", "floorplan": "a", "dynamic_w": 0.3, "leakage_w": 0.03, "grid": {"nx": 16, "ny": 16}, "vdd_scales": [0.9, 1.1]}
+{"type": "map", "floorplan": "a", "dynamic_w": 0.25, "leakage_w": 0.02, "grid": {"nx": 16, "ny": 16}}
+{"type": "map", "floorplan": "b", "dynamic_w": 0.2, "leakage_w": 0.02, "grid": {"nx": 12, "ny": 10}}
+{"type": "steady", "floorplan": "a", "dynamic_w": 0.3, "leakage_w": 0.03}
+"#;
+
+fn run_map_fleet(threads: usize, amortize: bool) -> ptherm_fleet::FleetReport {
+    let request = parse_jsonl(MAP_REQUEST).expect("valid request");
+    let config = FleetConfig {
+        threads,
+        amortize,
+        ..FleetConfig::default()
+    };
+    let engine = FleetEngine::from_request(config, &request);
+    engine.run(&request.jobs)
+}
+
+#[test]
+fn map_jobs_run_end_to_end_and_amortize_the_kernel_cache() {
+    let amortized = run_map_fleet(4, true);
+    assert_eq!(amortized.ok_count(), 4);
+    // Two map jobs share floorplan "a" at the same 16x16 grid: one
+    // kernel build, one hit; floorplan "b" at 12x10 is its own build.
+    let stats = amortized.map_cache;
+    assert_eq!(stats.misses, 2);
+    assert_eq!(stats.hits, 1);
+    // Every map job's result carries rendered maps for its converged
+    // scenarios, at the requested resolution.
+    let request = parse_jsonl(MAP_REQUEST).unwrap();
+    for record in &amortized.jobs {
+        let Ok(JobReport::Map(report)) = &record.outcome else {
+            continue;
+        };
+        let ptherm_fleet::JobSpec::Map(spec) = &request.jobs[record.index] else {
+            panic!("kind mismatch")
+        };
+        assert_eq!((report.nx, report.ny), (spec.nx, spec.ny));
+        assert_eq!(report.converged_count(), report.len());
+        for outcome in &report.outcomes {
+            let map = outcome.map_k.as_deref().expect("converged scenario maps");
+            assert_eq!(map.len(), spec.nx * spec.ny);
+            assert!(map.iter().all(|&t| t > 300.0));
+        }
+    }
+    // Amortization is bitwise invisible in the results themselves.
+    let cold = run_map_fleet(4, false);
+    assert_reports_bit_identical(&amortized, &cold);
+    assert_eq!(cold.map_cache, CacheStats::default());
+}
+
+#[test]
+fn map_fleet_results_are_independent_of_thread_count() {
+    let serial = run_map_fleet(1, true);
+    for threads in [2, 8] {
+        assert_reports_bit_identical(&serial, &run_map_fleet(threads, true));
+    }
+}
+
+#[test]
+fn map_result_lines_carry_the_grid() {
+    let report = run_map_fleet(2, true);
+    let request = parse_jsonl(MAP_REQUEST).unwrap();
+    for record in &report.jobs {
+        let line = record.to_json(&request.jobs[record.index]).render();
+        let parsed = ptherm_fleet::Json::parse(&line).expect("valid JSON");
+        let kind = parsed.get("kind").and_then(|j| j.as_str()).unwrap();
+        let grid = parsed.get("grid").and_then(|j| j.as_array());
+        if kind == "map" {
+            let dims: Vec<usize> = grid
+                .unwrap()
+                .iter()
+                .map(|d| d.as_usize().unwrap())
+                .collect();
+            assert!(dims == [16, 16] || dims == [12, 10]);
+            assert!(parsed.get("max_peak_k").and_then(|j| j.as_f64()).unwrap() > 300.0);
+        } else {
+            assert!(grid.is_none(), "non-map jobs carry no grid field");
+        }
+    }
+}
+
+#[test]
+fn map_cache_keys_on_geometry_grid_and_orders() {
+    let plan = tiled(2, 2, 3);
+    let cache = OperatorCache::new(8);
+    let a = cache.map_operator(&plan, 2, 9, 8, 8);
+    // Power edits still hit (the kernel is power-blind).
+    let mut repowered = plan.clone();
+    repowered.set_power(0, 7.0);
+    let b = cache.map_operator(&repowered, 2, 9, 8, 8);
+    assert!(Arc::ptr_eq(&a, &b));
+    // Grid dims and image orders are part of the key.
+    for (lat, z, nx, ny) in [(2, 9, 8, 16), (2, 9, 16, 8), (1, 9, 8, 8), (2, 5, 8, 8)] {
+        let other = cache.map_operator(&plan, lat, z, nx, ny);
+        assert!(!Arc::ptr_eq(&a, &other), "({lat},{z},{nx},{ny})");
+    }
+    let stats = cache.map_stats();
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.misses, 5);
 }
 
 proptest! {

@@ -1,0 +1,118 @@
+//! Golden-file tests for the fleet's JSONL protocol: checked-in
+//! request/response fixture pairs under `tests/golden/`, exercised
+//! end-to-end (parse → engine → result-line render, including error
+//! lines) and compared **bitwise** against the expected files.
+//!
+//! Two kinds of fixtures:
+//!
+//! * `NAME.request.jsonl` + `NAME.expected.jsonl` — a request that
+//!   parses; the expected file holds the exact result lines the `fleet`
+//!   binary would print (with `wall_ns` normalized to 0, the one
+//!   timing-dependent field).
+//! * `NAME.request.jsonl` + `NAME.expected.txt` — a request that is
+//!   refused at parse time; the expected file holds the exact
+//!   [`RequestError`] rendering the binary puts on stderr.
+//!
+//! Fixture workloads are built from exact-arithmetic cases (zero power
+//! ⇒ every temperature is bitwise the 300 K ambient on any ISA, since
+//! the GEMM tiers multiply by exact zeros), so the goldens are stable
+//! across machines; numerical accuracy has its own suites. Regenerate
+//! after an intentional protocol change with
+//! `GOLDEN_UPDATE=1 cargo test -p ptherm-fleet --test golden`.
+
+use ptherm_fleet::{parse_jsonl, FleetConfig, FleetEngine};
+use std::path::{Path, PathBuf};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// The serve path of the `fleet` binary, with `wall_ns` pinned to 0:
+/// `Ok(result lines)` or `Err(the parse-refusal line)`.
+fn serve_normalized(request_text: &str) -> Result<String, String> {
+    let request = parse_jsonl(request_text).map_err(|e| format!("invalid request: {e}\n"))?;
+    let config = FleetConfig {
+        threads: 2,
+        ..FleetConfig::default()
+    };
+    let engine = FleetEngine::from_request(config, &request);
+    let report = engine.run(&request.jobs);
+    let mut out = String::new();
+    for record in &report.jobs {
+        let mut normalized = record.clone();
+        normalized.wall_ns = 0;
+        out.push_str(&normalized.to_json(&request.jobs[record.index]).render());
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn check_fixture(name: &str) {
+    let dir = golden_dir();
+    let request =
+        std::fs::read_to_string(dir.join(format!("{name}.request.jsonl"))).expect("request file");
+    let (expected_path, actual) = match serve_normalized(&request) {
+        Ok(lines) => (dir.join(format!("{name}.expected.jsonl")), lines),
+        Err(error) => (dir.join(format!("{name}.expected.txt")), error),
+    };
+    if std::env::var("GOLDEN_UPDATE").is_ok() {
+        std::fs::write(&expected_path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&expected_path)
+        .unwrap_or_else(|e| panic!("missing golden {expected_path:?}: {e}"));
+    assert_eq!(
+        actual, expected,
+        "{name}: output diverged from the checked-in golden \
+         (GOLDEN_UPDATE=1 regenerates after intentional changes)"
+    );
+}
+
+/// A mixed request over every job kind — steady, transient, map — plus
+/// a job that fails at run time (negative dt), so the golden covers
+/// ok:true lines of each shape and an ok:false error line.
+#[test]
+fn mixed_request_matches_the_golden_line_for_line() {
+    check_fixture("mixed");
+}
+
+/// A request refused by the JSON layer: the expected text pins the
+/// line number and byte offset of the diagnostic.
+#[test]
+fn malformed_json_matches_the_golden_refusal() {
+    check_fixture("bad_json");
+}
+
+/// A request refused by the schema layer (undefined floorplan
+/// reference): line-pinned schema diagnostic.
+#[test]
+fn schema_refusal_matches_the_golden() {
+    check_fixture("bad_schema");
+}
+
+/// A request refused by floorplan validation (overlapping blocks).
+#[test]
+fn floorplan_refusal_matches_the_golden() {
+    check_fixture("bad_floorplan");
+}
+
+/// Every `*.request.jsonl` fixture has its expected pair — no orphaned
+/// fixtures that silently test nothing.
+#[test]
+fn every_fixture_is_paired() {
+    let dir = golden_dir();
+    let mut requests = 0;
+    for entry in std::fs::read_dir(&dir).expect("golden dir") {
+        let name = entry.expect("entry").file_name().into_string().unwrap();
+        if let Some(stem) = name.strip_suffix(".request.jsonl") {
+            requests += 1;
+            let jsonl = dir.join(format!("{stem}.expected.jsonl"));
+            let txt = dir.join(format!("{stem}.expected.txt"));
+            assert!(
+                jsonl.exists() ^ txt.exists(),
+                "{stem} needs exactly one expected file"
+            );
+        }
+    }
+    assert_eq!(requests, 4, "fixture inventory drifted");
+}

@@ -1,0 +1,200 @@
+//! Byte-level hardening suite for the hand-rolled JSON parser
+//! (`ptherm_fleet::json`): a malformed-input corpus asserting **typed
+//! errors with exact byte offsets** (truncated escapes, lone
+//! surrogates, pathological numbers, the depth bound, raw NUL bytes),
+//! plus a render→parse roundtrip property over generated values.
+//!
+//! The parser fronts the fleet's JSONL job protocol, so every
+//! diagnostic here is one an operator may actually see — the corpus
+//! pins both the wording and the offset, making any accidental
+//! behavior change in the parser a loud test failure.
+
+use proptest::prelude::*;
+use ptherm_fleet::{Json, JsonError};
+
+/// Asserts one malformed input fails with exactly this diagnostic at
+/// exactly this byte offset.
+fn assert_fails(input: &str, detail: &str, offset: usize) {
+    match Json::parse(input) {
+        Err(JsonError {
+            detail: got_detail,
+            offset: got_offset,
+        }) => {
+            assert_eq!(got_detail, detail, "detail for {input:?}");
+            assert_eq!(got_offset, offset, "offset for {input:?}");
+        }
+        Ok(v) => panic!("{input:?} unexpectedly parsed to {v:?}"),
+    }
+}
+
+#[test]
+fn truncated_escapes_fail_at_the_escape() {
+    // \u with fewer than four hex digits left, at end of input.
+    assert_fails(r#""\u00"#, "truncated \\u escape", 3);
+    assert_fails(r#""\u"#, "truncated \\u escape", 3);
+    // Four characters present but not hex.
+    assert_fails(r#""\uzzzz""#, "invalid \\u escape", 3);
+    // Backslash at end of input.
+    assert_fails("\"\\", "invalid escape", 2);
+    // Unknown escape letter.
+    assert_fails(r#""\q""#, "invalid escape", 2);
+    // Unterminated string reports the end of input.
+    assert_fails("\"abc", "unterminated string", 4);
+}
+
+#[test]
+fn lone_and_malformed_surrogates_are_rejected() {
+    // High surrogate followed by a plain character: the parser demands
+    // a \uXXXX low surrogate immediately after.
+    assert_fails(r#""\ud800""#, "unpaired high surrogate", 7);
+    assert_fails(r#""\ud800A""#, "unpaired high surrogate", 7);
+    // High surrogate followed by a \u escape outside the low range.
+    assert_fails(r#""\ud800\u0041""#, "invalid low surrogate", 13);
+    // Two high surrogates in a row.
+    assert_fails(r#""\ud800\ud800""#, "invalid low surrogate", 13);
+    // A low surrogate with no preceding high one.
+    assert_fails(r#""\ude00""#, "unpaired low surrogate", 7);
+    // A valid pair round-trips to the astral character.
+    assert_eq!(Json::parse(r#""😀""#).unwrap(), Json::String("😀".into()));
+}
+
+#[test]
+fn pathological_numbers_fail_with_offsets_or_pin_their_value() {
+    // A bare sign, and an exponent with no digits, are invalid numbers
+    // reported at the number's start.
+    assert_fails("-", "invalid number", 0);
+    assert_fails("1e+", "invalid number", 0);
+    assert_fails("[1, -]", "invalid number", 4);
+    // Overlong digit strings do not error: they saturate to infinity
+    // (Rust's f64 parser), which the renderer then nulls — pinned here
+    // so a change in either half is visible.
+    let overlong = format!("1{}", "0".repeat(400));
+    let v = Json::parse(&overlong).unwrap();
+    assert_eq!(v, Json::Number(f64::INFINITY));
+    assert_eq!(v.render(), "null");
+    // Huge negative exponents underflow to zero quietly.
+    assert_eq!(Json::parse("1e-999").unwrap(), Json::Number(0.0));
+    // Leading zeros are accepted leniently (the digit scanner takes the
+    // whole run; strict JSON would reject "01") — pinned, not endorsed.
+    assert_eq!(Json::parse("01").unwrap(), Json::Number(1.0));
+    // A second decimal point ends the number; the tail is rejected.
+    assert_fails("1.2.3", "trailing characters after JSON value", 3);
+}
+
+#[test]
+fn nesting_depth_is_bounded_on_both_sides() {
+    // 65 levels (root at depth 0, innermost empty array at depth 64)
+    // still parse...
+    let deep_ok = format!("{}{}", "[".repeat(65), "]".repeat(65));
+    assert!(Json::parse(&deep_ok).is_ok());
+    // ...one more level trips the bound, reported at the offending
+    // opening bracket.
+    let too_deep = format!("{}{}", "[".repeat(66), "]".repeat(66));
+    assert_fails(&too_deep, "nesting too deep", 65);
+    // Objects count against the same bound.
+    let nested_obj = "{\"k\":".repeat(66) + "null" + &"}".repeat(66);
+    match Json::parse(&nested_obj) {
+        Err(e) => assert_eq!(e.detail, "nesting too deep"),
+        Ok(_) => panic!("66-deep object should exceed the bound"),
+    }
+}
+
+#[test]
+fn nul_and_control_bytes_are_escape_only() {
+    // A raw NUL byte inside a string is rejected where it sits.
+    assert_fails("\"a\u{0}b\"", "unescaped control character", 2);
+    // A raw newline likewise.
+    assert_fails("\"a\nb\"", "unescaped control character", 2);
+    // The escaped forms are fine and render back escaped.
+    let v = Json::parse(r#""a\u0000b""#).unwrap();
+    assert_eq!(v, Json::String("a\u{0}b".into()));
+    assert_eq!(v.render(), r#""a\u0000b""#);
+    // A NUL outside any string is not a value.
+    assert_fails("\u{0}", "expected a JSON value", 0);
+}
+
+#[test]
+fn offsets_are_byte_offsets_not_character_offsets() {
+    // 'é' is two bytes: the error after it must land at byte 7, not
+    // character 6 — the offsets operators see must match what their
+    // editors show for raw bytes.
+    assert_fails("[\"é\", ]", "expected a JSON value", 7);
+}
+
+#[test]
+fn structural_errors_carry_exact_offsets() {
+    assert_fails("", "expected a JSON value", 0);
+    assert_fails("   ", "expected a JSON value", 3);
+    assert_fails("nul", "invalid literal", 0);
+    assert_fails("truE", "invalid literal", 0);
+    assert_fails("[1 2]", "expected ',' or ']' in array", 3);
+    assert_fails(r#"{"a" 1}"#, "expected ':' after object key", 5);
+    assert_fails(r#"{"a": 1 "b": 2}"#, "expected ',' or '}' in object", 8);
+    assert_fails(r#"{"a": 1,}"#, "expected '\"'", 8);
+    assert_fails("12 34", "trailing characters after JSON value", 3);
+}
+
+/// Character palette for generated strings: ASCII, escapes, control
+/// characters (including NUL), multibyte and astral code points.
+const PALETTE: [char; 12] = [
+    'a', 'Z', '0', ' ', '"', '\\', '\n', '\t', '\u{1}', '\u{0}', 'é', '😀',
+];
+
+fn string_strategy() -> BoxedStrategy<String> {
+    proptest::collection::vec(0usize..PALETTE.len(), 0..8)
+        .prop_map(|idxs| idxs.into_iter().map(|i| PALETTE[i]).collect())
+        .boxed()
+}
+
+fn json_strategy() -> BoxedStrategy<Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        proptest::bool::ANY.prop_map(Json::Bool),
+        (-1.0e9..1.0e9).prop_map(Json::Number),
+        (0u64..1_000_000).prop_map(|n| Json::Number(n as f64)),
+        string_strategy().prop_map(Json::String),
+    ]
+    .boxed();
+    leaf.prop_recursive(3, 32, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Json::Array),
+            proptest::collection::vec((string_strategy(), inner), 0..4).prop_map(Json::Object),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Render → parse is the identity on generated values: every escape
+    /// class, every finite number (shortest-roundtrip Display), every
+    /// nesting shape, duplicate object keys included.
+    #[test]
+    fn render_parse_round_trips(value in json_strategy()) {
+        let rendered = value.render();
+        let reparsed = Json::parse(&rendered);
+        prop_assert!(reparsed.is_ok(), "rendered {rendered:?} failed to reparse");
+        prop_assert_eq!(reparsed.unwrap(), value);
+    }
+
+    /// The parser never panics on arbitrary byte soup built from JSON
+    /// fragments — it either parses or returns an offset inside the
+    /// input (or one past it, for end-of-input diagnoses).
+    #[test]
+    fn parser_total_on_fragment_soup(idxs in proptest::collection::vec(0usize..16, 0..24)) {
+        const FRAGMENTS: [&str; 16] = [
+            "{", "}", "[", "]", ",", ":", "\"", "\\u", "\\", "null",
+            "1e", "-", "tru", "\u{0}", "é", "\"a\"",
+        ];
+        let soup: String = idxs.into_iter().map(|i| FRAGMENTS[i]).collect();
+        match Json::parse(&soup) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(
+                e.offset <= soup.len(),
+                "offset {} beyond input length {}",
+                e.offset,
+                soup.len()
+            ),
+        }
+    }
+}

@@ -52,6 +52,51 @@ pub fn tiled(
     Floorplan::new(geometry, blocks)
 }
 
+/// A floorplan whose blocks are exactly the tiles of an `nx × ny` grid
+/// over the die, with per-tile powers from `power(tile_index)` — the
+/// configuration on which the FFT map engine must reproduce the dense
+/// influence operator exactly (blocks coincide with map tiles), used by
+/// its cross-validation tests and the `map` bench.
+///
+/// Blocks are sized a hair (1e-9 relative) under the tile pitch so
+/// floating-point rounding of touching bounds can never trip the
+/// overlap check; the shrink keeps every block strictly inside its own
+/// tile (single-cell rasterization stencils) and moves the Eq. 20
+/// kernel by ~1e-9 relative — far below any cross-validation bar.
+///
+/// # Errors
+///
+/// Propagates [`BuildFloorplanError`] (cannot occur for sane inputs).
+///
+/// # Panics
+///
+/// Panics if `nx`/`ny` are zero.
+pub fn tile_aligned(
+    geometry: ChipGeometry,
+    nx: usize,
+    ny: usize,
+    power: impl Fn(usize) -> f64,
+) -> Result<Floorplan, BuildFloorplanError> {
+    assert!(nx > 0 && ny > 0, "need at least one tile");
+    let pitch_x = geometry.width / nx as f64;
+    let pitch_y = geometry.length / ny as f64;
+    let shrink = 1.0 - 1e-9;
+    let blocks = (0..nx * ny)
+        .map(|i| {
+            let (ix, iy) = (i % nx, i / nx);
+            Block::new(
+                format!("t{ix}-{iy}"),
+                (ix as f64 + 0.5) * pitch_x,
+                (iy as f64 + 0.5) * pitch_y,
+                pitch_x * shrink,
+                pitch_y * shrink,
+                power(i),
+            )
+        })
+        .collect();
+    Floorplan::new(geometry, blocks)
+}
+
 /// A single centred hotspot block covering `fraction` of the die area and
 /// dissipating `power` — the minimal thermal scenario.
 ///
@@ -100,6 +145,24 @@ mod tests {
         let fp = tiled(g, 2, 3, 0.05, 0.05, 0).unwrap();
         for b in fp.blocks() {
             assert_eq!(b.power, 0.05);
+        }
+    }
+
+    #[test]
+    fn tile_aligned_blocks_sit_on_tile_centers_inside_their_tiles() {
+        let g = ChipGeometry::paper_1mm();
+        let fp = tile_aligned(g, 5, 3, |i| 0.001 * i as f64).unwrap();
+        assert_eq!(fp.blocks().len(), 15);
+        let (px, py) = (g.width / 5.0, g.length / 3.0);
+        for (i, b) in fp.blocks().iter().enumerate() {
+            let (ix, iy) = (i % 5, i / 5);
+            assert_eq!(b.cx, (ix as f64 + 0.5) * px);
+            assert_eq!(b.cy, (iy as f64 + 0.5) * py);
+            // Strictly inside its own tile.
+            let (x0, y0, x1, y1) = b.bounds();
+            assert!(x0 > ix as f64 * px && x1 < (ix + 1) as f64 * px);
+            assert!(y0 > iy as f64 * py && y1 < (iy + 1) as f64 * py);
+            assert_eq!(b.power, 0.001 * i as f64);
         }
     }
 

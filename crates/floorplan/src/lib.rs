@@ -234,9 +234,10 @@ impl Floorplan {
     pub fn power_map(&self, nx: usize, ny: usize) -> Vec<f64> {
         let mut map = vec![0.0; nx * ny];
         for b in &self.blocks {
-            let single = rasterize(nx, ny, self.geometry.width, self.geometry.length, b);
-            for (m, s) in map.iter_mut().zip(single) {
-                *m += s;
+            for &(cell, fraction) in
+                &rasterize_stencil(nx, ny, self.geometry.width, self.geometry.length, b)
+            {
+                map[cell] += b.power * fraction;
             }
         }
         map
@@ -271,6 +272,20 @@ impl Floorplan {
         f.finish()
     }
 
+    /// [`Self::geometry_fingerprint`] extended with an `nx × ny` tile
+    /// grid — the key of grid-resolved precomputations (the spatial map
+    /// operator's Green's-function kernels and rasterization stencils
+    /// read exactly the geometry plus the grid dimensions). Like the
+    /// geometry fingerprint it is power- and name-blind, so a fleet
+    /// cache entry survives `set_power` edits.
+    pub fn grid_fingerprint(&self, nx: usize, ny: usize) -> u64 {
+        let mut f = Fingerprinter::new("ptherm.floorplan.grid.v1");
+        self.write_geometry(&mut f);
+        f.write_u64(nx as u64);
+        f.write_u64(ny as u64);
+        f.finish()
+    }
+
     /// Shared geometry payload of both fingerprints.
     fn write_geometry(&self, f: &mut Fingerprinter) {
         f.write_f64(self.geometry.width);
@@ -301,11 +316,25 @@ impl Floorplan {
     }
 }
 
-fn rasterize(nx: usize, ny: usize, die_w: f64, die_l: f64, b: &Block) -> Vec<f64> {
+/// Area-overlap rasterization stencil of one block on an `nx × ny`
+/// tile grid over a `die_w × die_l` die: the covered cells (row-major,
+/// `ix + nx·iy`) and the fraction of the block's power each receives.
+/// Fractions are normalized over the covered area, so they sum to 1 and
+/// rasterization conserves power exactly whatever the block/grid
+/// alignment. [`Floorplan::power_map`] applies a stencil per block with
+/// its recorded power; the spatial map engine caches stencils so
+/// per-scenario power vectors rasterize with no geometry work.
+pub fn rasterize_stencil(
+    nx: usize,
+    ny: usize,
+    die_w: f64,
+    die_l: f64,
+    b: &Block,
+) -> Vec<(usize, f64)> {
     let dx = die_w / nx as f64;
     let dy = die_l / ny as f64;
     let (x0, y0, x1, y1) = b.bounds();
-    let mut map = vec![0.0; nx * ny];
+    let mut cells = Vec::new();
     let mut covered = 0.0;
     for iy in 0..ny {
         let cy0 = iy as f64 * dy;
@@ -322,16 +351,16 @@ fn rasterize(nx: usize, ny: usize, die_w: f64, die_l: f64, b: &Block) -> Vec<f64
                 continue;
             }
             let a = ox * oy;
-            map[ix + nx * iy] = a;
+            cells.push((ix + nx * iy, a));
             covered += a;
         }
     }
     if covered > 0.0 {
-        for v in &mut map {
-            *v *= b.power / covered;
+        for (_, f) in &mut cells {
+            *f /= covered;
         }
     }
-    map
+    cells
 }
 
 #[cfg(test)]

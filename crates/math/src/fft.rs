@@ -1,0 +1,537 @@
+//! Radix-2 FFTs with precomputed plans — the transform core of the
+//! high-resolution thermal map engine.
+//!
+//! The spatial map path (`ptherm-core`'s `thermal::map`) computes
+//! steady-state temperature fields as cyclic convolutions of rasterized
+//! power with a method-of-images Green's-function kernel, the structure
+//! Kemper et al.'s "power blurring" exploits: an `N log N` transform
+//! replaces the `O(N²)` direct sum. This module supplies exactly the
+//! transforms that path needs and nothing more:
+//!
+//! * [`FftPlan`] — an iterative, in-place radix-2 complex FFT over
+//!   **split** storage (separate `re`/`im` slices, the layout every
+//!   elementwise pass in this workspace vectorizes over), with the
+//!   bit-reversal permutation and twiddle factors precomputed once;
+//! * [`Fft2`] — row-column 2-D transforms built from two plans, with all
+//!   column gather/scatter scratch in an external [`Fft2Scratch`] so the
+//!   per-solve hot path performs **zero allocation** (the same
+//!   plan/workspace split as `MultiVec`'s batch buffers).
+//!
+//! Real input rides the complex transform with a zeroed imaginary part
+//! ([`Fft2::forward_real`]): the map kernels need the full spectrum for
+//! their mirrored-index products, so the usual half-spectrum packing of
+//! real-only FFTs would be unpacked again immediately — clarity wins
+//! over the factor-two. Transforms are deterministic: identical inputs
+//! produce bit-identical outputs on every call (no runtime dispatch, no
+//! threading), which is what lets the map engine promise bitwise
+//! thread-count invariance.
+
+use std::f64::consts::PI;
+
+/// Precomputed plan for an in-place radix-2 complex FFT of one length.
+///
+/// # Example
+///
+/// ```
+/// use ptherm_math::fft::FftPlan;
+///
+/// let plan = FftPlan::new(8);
+/// let mut re = [1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+/// let mut im = [0.0; 8];
+/// plan.forward(&mut re, &mut im);
+/// // An impulse transforms to a flat spectrum.
+/// assert!(re.iter().all(|&x| (x - 1.0).abs() < 1e-15));
+/// plan.inverse(&mut re, &mut im);
+/// assert!((re[0] - 1.0).abs() < 1e-15 && re[1].abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// Bit-reversal permutation of `0..n`.
+    rev: Vec<u32>,
+    /// Forward twiddles `e^{-2πi j/n}` for `j < n/2`.
+    tw_re: Vec<f64>,
+    tw_im: Vec<f64>,
+}
+
+impl FftPlan {
+    /// Plans a transform of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a power of two (the map engine sizes its
+    /// torus with `next_power_of_two`, so callers never see this).
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "FFT length must be a power of two");
+        let bits = n.trailing_zeros();
+        let rev = (0..n as u32)
+            .map(|i| {
+                if bits == 0 {
+                    0
+                } else {
+                    i.reverse_bits() >> (32 - bits)
+                }
+            })
+            .collect();
+        let half = n / 2;
+        let mut tw_re = Vec::with_capacity(half);
+        let mut tw_im = Vec::with_capacity(half);
+        for j in 0..half {
+            let angle = -2.0 * PI * j as f64 / n as f64;
+            tw_re.push(angle.cos());
+            tw_im.push(angle.sin());
+        }
+        FftPlan {
+            n,
+            rev,
+            tw_re,
+            tw_im,
+        }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the degenerate length-0 plan (never constructible: 0 is
+    /// not a power of two), kept for the `len`/`is_empty` pairing lint.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward DFT: `X[k] = Σ_j x[j]·e^{-2πi jk/n}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `re` or `im` is not of length [`Self::len`].
+    pub fn forward(&self, re: &mut [f64], im: &mut [f64]) {
+        self.transform::<false>(re, im);
+    }
+
+    /// In-place inverse DFT (including the `1/n` scale), the exact
+    /// adjoint loop of [`Self::forward`] with conjugated twiddles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `re` or `im` is not of length [`Self::len`].
+    pub fn inverse(&self, re: &mut [f64], im: &mut [f64]) {
+        self.transform::<true>(re, im);
+        let scale = 1.0 / self.n as f64;
+        for v in re.iter_mut() {
+            *v *= scale;
+        }
+        for v in im.iter_mut() {
+            *v *= scale;
+        }
+    }
+
+    /// Iterative decimation-in-time butterflies after a bit-reversal
+    /// permutation. `INVERSE` flips the twiddle sign (conjugation),
+    /// resolved at compile time so the hot loop carries no branch.
+    fn transform<const INVERSE: bool>(&self, re: &mut [f64], im: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(re.len(), n, "re length mismatch");
+        assert_eq!(im.len(), n, "im length mismatch");
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                re.swap(i, j);
+                im.swap(i, j);
+            }
+        }
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let stride = n / len;
+            let mut start = 0;
+            while start < n {
+                for j in 0..half {
+                    let wr = self.tw_re[j * stride];
+                    let wi = if INVERSE {
+                        -self.tw_im[j * stride]
+                    } else {
+                        self.tw_im[j * stride]
+                    };
+                    let a = start + j;
+                    let b = a + half;
+                    let tr = re[b] * wr - im[b] * wi;
+                    let ti = re[b] * wi + im[b] * wr;
+                    re[b] = re[a] - tr;
+                    im[b] = im[a] - ti;
+                    re[a] += tr;
+                    im[a] += ti;
+                }
+                start += len;
+            }
+            len *= 2;
+        }
+    }
+}
+
+/// Column gather/scatter scratch for [`Fft2`], owned by the caller so
+/// one immutable plan serves many workers with zero per-call
+/// allocation (buffers size themselves on first use and are reused).
+#[derive(Debug, Clone, Default)]
+pub struct Fft2Scratch {
+    col_re: Vec<f64>,
+    col_im: Vec<f64>,
+}
+
+impl Fft2Scratch {
+    /// An empty scratch; buffers size themselves on first transform.
+    pub fn new() -> Self {
+        Fft2Scratch::default()
+    }
+}
+
+/// Row-column 2-D FFT plan over row-major `nx × ny` split-complex
+/// grids (`x` fastest: element `(ix, iy)` at `ix + nx·iy`).
+///
+/// # Example
+///
+/// ```
+/// use ptherm_math::fft::{Fft2, Fft2Scratch};
+///
+/// let plan = Fft2::new(4, 2);
+/// let mut scratch = Fft2Scratch::new();
+/// let mut re = vec![0.0; 8];
+/// let mut im = vec![0.0; 8];
+/// re[0] = 1.0; // impulse at the origin
+/// plan.forward(&mut re, &mut im, &mut scratch);
+/// assert!(re.iter().all(|&x| (x - 1.0).abs() < 1e-15));
+/// plan.inverse(&mut re, &mut im, &mut scratch);
+/// assert!((re[0] - 1.0).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fft2 {
+    nx: usize,
+    ny: usize,
+    px: FftPlan,
+    py: FftPlan,
+}
+
+impl Fft2 {
+    /// Plans an `nx × ny` transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both dimensions are powers of two.
+    pub fn new(nx: usize, ny: usize) -> Self {
+        Fft2 {
+            nx,
+            ny,
+            px: FftPlan::new(nx),
+            py: FftPlan::new(ny),
+        }
+    }
+
+    /// Grid width (fastest-varying axis).
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid height.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// True for a degenerate empty grid (not constructible; see
+    /// [`FftPlan::is_empty`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// In-place forward 2-D DFT: rows (contiguous), then columns
+    /// (gathered through `scratch`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `re` or `im` is not of length [`Self::len`].
+    pub fn forward(&self, re: &mut [f64], im: &mut [f64], scratch: &mut Fft2Scratch) {
+        self.transform(re, im, scratch, false);
+    }
+
+    /// In-place inverse 2-D DFT (including the `1/(nx·ny)` scale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `re` or `im` is not of length [`Self::len`].
+    pub fn inverse(&self, re: &mut [f64], im: &mut [f64], scratch: &mut Fft2Scratch) {
+        self.transform(re, im, scratch, true);
+    }
+
+    /// Forward transform of a **real** grid: copies `input` into `re`,
+    /// zeroes `im` and runs [`Self::forward`]. The output is the full
+    /// complex spectrum (with its conjugate symmetry
+    /// `F[-kx, -ky] = conj F[kx, ky]` intact for downstream mirrored
+    /// products).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice is not of length [`Self::len`].
+    pub fn forward_real(
+        &self,
+        input: &[f64],
+        re: &mut [f64],
+        im: &mut [f64],
+        scratch: &mut Fft2Scratch,
+    ) {
+        assert_eq!(input.len(), self.len(), "input length mismatch");
+        re.copy_from_slice(input);
+        im.fill(0.0);
+        self.forward(re, im, scratch);
+    }
+
+    fn transform(&self, re: &mut [f64], im: &mut [f64], scratch: &mut Fft2Scratch, inverse: bool) {
+        let (nx, ny) = (self.nx, self.ny);
+        assert_eq!(re.len(), nx * ny, "re length mismatch");
+        assert_eq!(im.len(), nx * ny, "im length mismatch");
+        for iy in 0..ny {
+            let row = iy * nx..(iy + 1) * nx;
+            if inverse {
+                self.px.inverse(&mut re[row.clone()], &mut im[row]);
+            } else {
+                self.px.forward(&mut re[row.clone()], &mut im[row]);
+            }
+        }
+        scratch.col_re.clear();
+        scratch.col_re.resize(ny, 0.0);
+        scratch.col_im.clear();
+        scratch.col_im.resize(ny, 0.0);
+        for ix in 0..nx {
+            for iy in 0..ny {
+                scratch.col_re[iy] = re[ix + nx * iy];
+                scratch.col_im[iy] = im[ix + nx * iy];
+            }
+            if inverse {
+                self.py.inverse(&mut scratch.col_re, &mut scratch.col_im);
+            } else {
+                self.py.forward(&mut scratch.col_re, &mut scratch.col_im);
+            }
+            for iy in 0..ny {
+                re[ix + nx * iy] = scratch.col_re[iy];
+                im[ix + nx * iy] = scratch.col_im[iy];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Quadratic-cost reference DFT.
+    fn naive_dft(re: &[f64], im: &[f64], inverse: bool) -> (Vec<f64>, Vec<f64>) {
+        let n = re.len();
+        let sign = if inverse { 2.0 } else { -2.0 };
+        let mut out_re = vec![0.0; n];
+        let mut out_im = vec![0.0; n];
+        for (k, (or, oi)) in out_re.iter_mut().zip(&mut out_im).enumerate() {
+            for j in 0..n {
+                let angle = sign * PI * (j * k) as f64 / n as f64;
+                let (s, c) = angle.sin_cos();
+                *or += re[j] * c - im[j] * s;
+                *oi += re[j] * s + im[j] * c;
+            }
+            if inverse {
+                *or /= n as f64;
+                *oi /= n as f64;
+            }
+        }
+        (out_re, out_im)
+    }
+
+    fn random_signal(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (
+            (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+    }
+
+    #[test]
+    fn matches_the_naive_dft_at_every_length() {
+        for &n in &[1usize, 2, 4, 8, 16, 64] {
+            let (re0, im0) = random_signal(n, n as u64);
+            let (want_re, want_im) = naive_dft(&re0, &im0, false);
+            let plan = FftPlan::new(n);
+            let (mut re, mut im) = (re0.clone(), im0.clone());
+            plan.forward(&mut re, &mut im);
+            for i in 0..n {
+                assert!((re[i] - want_re[i]).abs() < 1e-10, "n={n} re[{i}]");
+                assert!((im[i] - want_im[i]).abs() < 1e-10, "n={n} im[{i}]");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_matches_the_naive_inverse() {
+        let n = 32;
+        let (re0, im0) = random_signal(n, 7);
+        let (want_re, want_im) = naive_dft(&re0, &im0, true);
+        let plan = FftPlan::new(n);
+        let (mut re, mut im) = (re0, im0);
+        plan.inverse(&mut re, &mut im);
+        for i in 0..n {
+            assert!((re[i] - want_re[i]).abs() < 1e-12);
+            assert!((im[i] - want_im[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn forward_then_inverse_round_trips() {
+        let n = 128;
+        let (re0, im0) = random_signal(n, 42);
+        let plan = FftPlan::new(n);
+        let (mut re, mut im) = (re0.clone(), im0.clone());
+        plan.forward(&mut re, &mut im);
+        plan.inverse(&mut re, &mut im);
+        for i in 0..n {
+            assert!((re[i] - re0[i]).abs() < 1e-12);
+            assert!((im[i] - im0[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transforms_are_deterministic_bitwise() {
+        let n = 64;
+        let (re0, im0) = random_signal(n, 3);
+        let plan = FftPlan::new(n);
+        let (mut re_a, mut im_a) = (re0.clone(), im0.clone());
+        plan.forward(&mut re_a, &mut im_a);
+        let plan_b = FftPlan::new(n);
+        let (mut re_b, mut im_b) = (re0, im0);
+        plan_b.forward(&mut re_b, &mut im_b);
+        assert_eq!(re_a, re_b);
+        assert_eq!(im_a, im_b);
+    }
+
+    #[test]
+    fn real_input_has_conjugate_symmetry() {
+        let n = 16;
+        let (re0, _) = random_signal(n, 11);
+        let plan = FftPlan::new(n);
+        let mut re = re0;
+        let mut im = vec![0.0; n];
+        plan.forward(&mut re, &mut im);
+        for k in 1..n {
+            assert!((re[k] - re[n - k]).abs() < 1e-12);
+            assert!((im[k] + im[n - k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cyclic_convolution_theorem_holds() {
+        let n = 32;
+        let (a, _) = random_signal(n, 5);
+        let (b, _) = random_signal(n, 6);
+        // Direct cyclic convolution.
+        let mut want = vec![0.0; n];
+        for (i, w) in want.iter_mut().enumerate() {
+            for j in 0..n {
+                *w += a[j] * b[(i + n - j) % n];
+            }
+        }
+        // FFT path: multiply spectra, invert.
+        let plan = FftPlan::new(n);
+        let (mut ar, mut ai) = (a, vec![0.0; n]);
+        let (mut br, mut bi) = (b, vec![0.0; n]);
+        plan.forward(&mut ar, &mut ai);
+        plan.forward(&mut br, &mut bi);
+        for i in 0..n {
+            let (re, im) = (ar[i] * br[i] - ai[i] * bi[i], ar[i] * bi[i] + ai[i] * br[i]);
+            ar[i] = re;
+            ai[i] = im;
+        }
+        plan.inverse(&mut ar, &mut ai);
+        for i in 0..n {
+            assert!((ar[i] - want[i]).abs() < 1e-11, "{i}");
+            assert!(ai[i].abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_lengths() {
+        let _ = FftPlan::new(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_zero_length() {
+        let _ = FftPlan::new(0);
+    }
+
+    #[test]
+    fn length_one_is_the_identity() {
+        let plan = FftPlan::new(1);
+        let mut re = [3.5];
+        let mut im = [-1.25];
+        plan.forward(&mut re, &mut im);
+        assert_eq!((re[0], im[0]), (3.5, -1.25));
+        plan.inverse(&mut re, &mut im);
+        assert_eq!((re[0], im[0]), (3.5, -1.25));
+    }
+
+    #[test]
+    fn two_d_matches_the_naive_double_dft() {
+        let (nx, ny) = (4, 8);
+        let (grid, _) = random_signal(nx * ny, 9);
+        // Naive: transform rows then columns with the 1-D reference.
+        let mut rows_re = Vec::new();
+        let mut rows_im = Vec::new();
+        for iy in 0..ny {
+            let (r, i) = naive_dft(&grid[iy * nx..(iy + 1) * nx], &vec![0.0; nx], false);
+            rows_re.extend(r);
+            rows_im.extend(i);
+        }
+        let mut want_re = vec![0.0; nx * ny];
+        let mut want_im = vec![0.0; nx * ny];
+        for ix in 0..nx {
+            let col_re: Vec<f64> = (0..ny).map(|iy| rows_re[ix + nx * iy]).collect();
+            let col_im: Vec<f64> = (0..ny).map(|iy| rows_im[ix + nx * iy]).collect();
+            let (r, i) = naive_dft(&col_re, &col_im, false);
+            for iy in 0..ny {
+                want_re[ix + nx * iy] = r[iy];
+                want_im[ix + nx * iy] = i[iy];
+            }
+        }
+        let plan = Fft2::new(nx, ny);
+        let mut scratch = Fft2Scratch::new();
+        let mut re = vec![0.0; nx * ny];
+        let mut im = vec![0.0; nx * ny];
+        plan.forward_real(&grid, &mut re, &mut im, &mut scratch);
+        for i in 0..nx * ny {
+            assert!((re[i] - want_re[i]).abs() < 1e-11, "{i}");
+            assert!((im[i] - want_im[i]).abs() < 1e-11, "{i}");
+        }
+    }
+
+    #[test]
+    fn two_d_round_trips_and_reuses_scratch() {
+        let (nx, ny) = (8, 4);
+        let (grid, _) = random_signal(nx * ny, 13);
+        let plan = Fft2::new(nx, ny);
+        let mut scratch = Fft2Scratch::new();
+        let mut re = vec![0.0; nx * ny];
+        let mut im = vec![0.0; nx * ny];
+        plan.forward_real(&grid, &mut re, &mut im, &mut scratch);
+        plan.inverse(&mut re, &mut im, &mut scratch);
+        for i in 0..nx * ny {
+            assert!((re[i] - grid[i]).abs() < 1e-12);
+            assert!(im[i].abs() < 1e-12);
+        }
+        // Second transform reuses the sized scratch without reallocating.
+        let cap = scratch.col_re.capacity();
+        plan.forward_real(&grid, &mut re, &mut im, &mut scratch);
+        assert_eq!(scratch.col_re.capacity(), cap);
+    }
+}

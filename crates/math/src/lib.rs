@@ -9,6 +9,8 @@
 //! * [`matrix`] — dense row-major matrices with LU factorization,
 //! * [`multivec`] — vector batches and the tiled matrix × batch product,
 //! * [`expv`] — batched elementwise `exp` for the leakage hot loop,
+//! * [`fft`] — planned radix-2 complex and 2-D FFTs for the thermal map
+//!   convolution engine,
 //! * [`simd`] — runtime ISA dispatch backing the two modules above,
 //! * [`tridiag`] — Thomas-algorithm tridiagonal solves,
 //! * [`sparse`] — CSR matrices and matrix-free operators,
@@ -36,6 +38,7 @@
 
 pub mod cg;
 pub mod expv;
+pub mod fft;
 pub mod fit;
 pub mod matrix;
 pub mod multivec;
