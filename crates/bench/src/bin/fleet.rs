@@ -166,6 +166,7 @@ fn synthetic_fleet(cfg: &BenchConfig) -> (Vec<(String, Floorplan)>, Vec<JobSpec>
                 vdd_scales: vec![0.95, 1.0, 1.05],
                 activities: vec![0.5, 1.0],
                 ambients_k: None,
+                backend: ptherm_core::cosim::SweepBackend::Auto,
             };
             // Alternate job kinds per round so every worker's local run
             // of the queue mixes sweeps and transients.

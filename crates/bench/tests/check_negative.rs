@@ -45,6 +45,48 @@ fn perturbed_min_and_max_bounds_fail_with_measured_values() {
         .all(|c| c.pass));
 }
 
+/// The spectral gate's scaling-exponent ceiling is a max bound like any
+/// other: a ladder whose fitted slope drifts to quadratic must fail the
+/// `scaling_exponent <= 1.5` spec with the measured slope in the
+/// diagnostic, and a sub-quadratic slope must pass.
+#[test]
+fn a_quadratic_scaling_exponent_fails_the_spectral_bound() {
+    let bounds = r#"[
+      {"file": "BENCH_spectral.json",
+       "min": {"speedup_vs_dense_at_largest": 10.0},
+       "max": {"scaling_exponent": 1.5,
+               "max_gap_vs_dense_k": 1e-6}}
+    ]"#;
+    let specs = parse_bounds(bounds).unwrap();
+    let artifact = |exponent: &str| {
+        format!(
+            r#"{{"bench": "spectral", "speedup_vs_dense_at_largest": 2.7e3,
+                 "scaling_exponent": {exponent}, "max_gap_vs_dense_k": 7.4e-11}}"#
+        )
+    };
+    // A healthy near-linear fit clears every bound.
+    assert!(check_artifact(&specs[0], Some(&artifact("0.97")))
+        .iter()
+        .all(|c| c.pass));
+    // A regression back to dense-like quadratic scaling fails exactly
+    // the exponent ceiling, naming the measurement.
+    let failed: Vec<_> = check_artifact(&specs[0], Some(&artifact("1.98")))
+        .into_iter()
+        .filter(|c| !c.pass)
+        .collect();
+    assert_eq!(failed.len(), 1, "only the exponent bound should fail");
+    assert!(
+        failed[0].claim.contains("scaling_exponent"),
+        "{}",
+        failed[0].claim
+    );
+    assert!(
+        failed[0].detail.contains("measured 1.98"),
+        "{}",
+        failed[0].detail
+    );
+}
+
 #[test]
 fn missing_nulled_and_mistyped_fields_have_a_distinct_diagnostic() {
     let field_diag = "field missing, non-numeric or nulled (non-finite at emit time)";

@@ -264,136 +264,169 @@ impl<'a> BatchedSolver<'a> {
         source: &mut dyn FnMut() -> Option<(usize, f64)>,
         sink: &mut dyn FnMut(usize, SweepOutcome),
     ) {
-        let lanes = lanes.max(1);
-        let n = self.operator.len();
-        ws.reset(n, lanes);
-        let mut pending = 0usize;
-        let mut open = true;
-        loop {
-            if open {
-                for lane in 0..lanes {
-                    if ws.alive[lane] {
-                        continue;
+        let operator = self.operator;
+        drive_picard(
+            self.solver,
+            operator.len(),
+            lanes,
+            model,
+            ws,
+            source,
+            sink,
+            // Closed-form thermal solve: one matrix × batch product. The
+            // GEMM computes every column, live or not — cheaper than
+            // masking, and dead-lane columns never mix into live lanes.
+            &mut |powers, fresh, _alive| operator.influence().mul_into(powers, fresh),
+        );
+    }
+}
+
+/// The batched Picard skeleton shared by the dense and spectral
+/// backends: lane refill, power evaluation, the damped update and the
+/// oracle's guard sequence are all here, so the two backends cannot
+/// drift apart in anything but the thermal apply itself. `apply` writes
+/// the temperature **rises** `R·P` of (at least) every lane flagged in
+/// `alive` into `fresh`; the dense backend passes one GEMM, the
+/// spectral backend a per-lane rasterize → FFT → sample pipeline.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn drive_picard<M: BatchPowerModel + ?Sized>(
+    solver: &ElectroThermalSolver,
+    blocks: usize,
+    lanes: usize,
+    model: &mut M,
+    ws: &mut BatchWorkspace,
+    source: &mut dyn FnMut() -> Option<(usize, f64)>,
+    sink: &mut dyn FnMut(usize, SweepOutcome),
+    apply: &mut dyn FnMut(&MultiVec, &mut MultiVec, &[bool]),
+) {
+    let lanes = lanes.max(1);
+    ws.reset(blocks, lanes);
+    let mut pending = 0usize;
+    let mut open = true;
+    loop {
+        if open {
+            for lane in 0..lanes {
+                if ws.alive[lane] {
+                    continue;
+                }
+                match source() {
+                    Some((id, ambient_k)) => {
+                        ws.lane_id[lane] = id;
+                        ws.lane_iter[lane] = 0;
+                        ws.alive[lane] = true;
+                        ws.ambient[lane] = ambient_k;
+                        ws.temps.fill_lane(lane, ambient_k);
+                        model.begin_lane(lane, id);
+                        pending += 1;
                     }
-                    match source() {
-                        Some((id, ambient_k)) => {
-                            ws.lane_id[lane] = id;
-                            ws.lane_iter[lane] = 0;
-                            ws.alive[lane] = true;
-                            ws.ambient[lane] = ambient_k;
-                            ws.temps.fill_lane(lane, ambient_k);
-                            model.begin_lane(lane, id);
-                            pending += 1;
-                        }
-                        None => {
-                            open = false;
-                            break;
-                        }
+                    None => {
+                        open = false;
+                        break;
                     }
                 }
             }
-            if pending == 0 {
-                return;
+        }
+        if pending == 0 {
+            return;
+        }
+        step_picard(solver, blocks, model, ws, sink, &mut pending, apply);
+    }
+}
+
+/// One batched Picard iteration: fill powers, one thermal apply, damped
+/// update with per-lane reductions, then classify and retire lanes.
+fn step_picard<M: BatchPowerModel + ?Sized>(
+    solver: &ElectroThermalSolver,
+    blocks: usize,
+    model: &mut M,
+    ws: &mut BatchWorkspace,
+    sink: &mut dyn FnMut(usize, SweepOutcome),
+    pending: &mut usize,
+    apply: &mut dyn FnMut(&MultiVec, &mut MultiVec, &[bool]),
+) {
+    let n = blocks;
+    let lanes = ws.ambient.len();
+    let damping = solver.damping;
+
+    // Power at the current temperature estimates (all lanes).
+    model.fill_powers(&ws.temps, &mut ws.powers);
+
+    // Vectorized per-lane poison detection; only flagged lanes pay a
+    // precise scan.
+    scan_power_poison(&ws.powers, lanes, &mut ws.power_min, &mut ws.power_poison);
+
+    // Backend-specific thermal apply: fresh ← R·powers.
+    apply(&ws.powers, &mut ws.fresh, &ws.alive);
+
+    // Damped update with the per-lane max-|ΔT| and peak reductions
+    // fused in. Same per-lane arithmetic order as the scalar path;
+    // `f64::max` is exact, so the fused reductions lose nothing.
+    ws.delta.fill(0.0);
+    ws.peak.fill(f64::NEG_INFINITY);
+    {
+        let delta = &mut ws.delta[..lanes];
+        let peak = &mut ws.peak[..lanes];
+        let ambient = &ws.ambient[..lanes];
+        for i in 0..n {
+            let frow = &ws.fresh.component(i)[..lanes];
+            let trow = &mut ws.temps.component_mut(i)[..lanes];
+            for j in 0..lanes {
+                let fresh = frow[j] + ambient[j];
+                let prev = trow[j];
+                let next = prev + damping * (fresh - prev);
+                delta[j] = delta[j].max((next - prev).abs());
+                peak[j] = peak[j].max(next);
+                trow[j] = next;
             }
-            self.step(model, ws, sink, &mut pending);
         }
     }
 
-    /// One batched Picard iteration: fill powers, one GEMM, damped
-    /// update with per-lane reductions, then classify and retire lanes.
-    fn step<M: BatchPowerModel + ?Sized>(
-        &self,
-        model: &mut M,
-        ws: &mut BatchWorkspace,
-        sink: &mut dyn FnMut(usize, SweepOutcome),
-        pending: &mut usize,
-    ) {
-        let n = self.operator.len();
-        let lanes = ws.ambient.len();
-        let damping = self.solver.damping;
-
-        // Power at the current temperature estimates (all lanes).
-        model.fill_powers(&ws.temps, &mut ws.powers);
-
-        // Vectorized per-lane poison detection; only flagged lanes pay a
-        // precise scan.
-        scan_power_poison(&ws.powers, lanes, &mut ws.power_min, &mut ws.power_poison);
-
-        // Closed-form thermal solve: one matrix × batch product.
-        self.operator
-            .influence()
-            .mul_into(&ws.powers, &mut ws.fresh);
-
-        // Damped update with the per-lane max-|ΔT| and peak reductions
-        // fused in. Same per-lane arithmetic order as the scalar path;
-        // `f64::max` is exact, so the fused reductions lose nothing.
-        ws.delta.fill(0.0);
-        ws.peak.fill(f64::NEG_INFINITY);
-        {
-            let delta = &mut ws.delta[..lanes];
-            let peak = &mut ws.peak[..lanes];
-            let ambient = &ws.ambient[..lanes];
-            for i in 0..n {
-                let frow = &ws.fresh.component(i)[..lanes];
-                let trow = &mut ws.temps.component_mut(i)[..lanes];
-                for j in 0..lanes {
-                    let fresh = frow[j] + ambient[j];
-                    let prev = trow[j];
-                    let next = prev + damping * (fresh - prev);
-                    delta[j] = delta[j].max((next - prev).abs());
-                    peak[j] = peak[j].max(next);
-                    trow[j] = next;
-                }
-            }
+    // Classify each live lane with the oracle's guard order: bad
+    // power (checked before the thermal solve there, harmless to
+    // defer here — a poisoned lane touches only its own column),
+    // then the runaway ceiling, then convergence.
+    for lane in 0..lanes {
+        if !ws.alive[lane] {
+            continue;
         }
-
-        // Classify each live lane with the oracle's guard order: bad
-        // power (checked before the thermal solve there, harmless to
-        // defer here — a poisoned lane touches only its own column),
-        // then the runaway ceiling, then convergence.
-        for lane in 0..lanes {
-            if !ws.alive[lane] {
-                continue;
-            }
-            let iteration = ws.lane_iter[lane];
-            ws.lane_iter[lane] = iteration + 1;
-            let suspect = ws.power_min[lane] < 0.0 || ws.power_poison[lane] != 0.0;
-            let bad = if suspect {
-                first_bad_power(&ws.powers, lane)
-            } else {
-                None
-            };
-            let outcome = if let Some((block, power)) = bad {
-                Some(SweepOutcome::BadPower { block, power })
-            } else if ws.peak[lane] > self.solver.ceiling_k {
-                Some(SweepOutcome::Runaway {
-                    iteration,
-                    temperature: ws.peak[lane],
-                })
-            } else if ws.delta[lane] < self.solver.tolerance_k {
-                // Refresh powers at the converged temperatures — the
-                // oracle's final call before reporting.
-                let mut block_temperatures = vec![0.0; n];
-                ws.temps.copy_lane_into(lane, &mut block_temperatures);
-                let mut block_powers = vec![0.0; n];
-                model.refresh_lane(lane, &block_temperatures, &mut block_powers);
-                Some(SweepOutcome::Converged {
-                    block_temperatures,
-                    block_powers,
-                    iterations: iteration + 1,
-                })
-            } else if iteration + 1 >= self.solver.max_iterations {
-                Some(SweepOutcome::NotConverged {
-                    last_delta: ws.delta[lane],
-                })
-            } else {
-                None
-            };
-            if let Some(outcome) = outcome {
-                ws.alive[lane] = false;
-                *pending -= 1;
-                sink(ws.lane_id[lane], outcome);
-            }
+        let iteration = ws.lane_iter[lane];
+        ws.lane_iter[lane] = iteration + 1;
+        let suspect = ws.power_min[lane] < 0.0 || ws.power_poison[lane] != 0.0;
+        let bad = if suspect {
+            first_bad_power(&ws.powers, lane)
+        } else {
+            None
+        };
+        let outcome = if let Some((block, power)) = bad {
+            Some(SweepOutcome::BadPower { block, power })
+        } else if ws.peak[lane] > solver.ceiling_k {
+            Some(SweepOutcome::Runaway {
+                iteration,
+                temperature: ws.peak[lane],
+            })
+        } else if ws.delta[lane] < solver.tolerance_k {
+            // Refresh powers at the converged temperatures — the
+            // oracle's final call before reporting.
+            let mut block_temperatures = vec![0.0; n];
+            ws.temps.copy_lane_into(lane, &mut block_temperatures);
+            let mut block_powers = vec![0.0; n];
+            model.refresh_lane(lane, &block_temperatures, &mut block_powers);
+            Some(SweepOutcome::Converged {
+                block_temperatures,
+                block_powers,
+                iterations: iteration + 1,
+            })
+        } else if iteration + 1 >= solver.max_iterations {
+            Some(SweepOutcome::NotConverged {
+                last_delta: ws.delta[lane],
+            })
+        } else {
+            None
+        };
+        if let Some(outcome) = outcome {
+            ws.alive[lane] = false;
+            *pending -= 1;
+            sink(ws.lane_id[lane], outcome);
         }
     }
 }

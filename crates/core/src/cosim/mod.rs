@@ -42,13 +42,19 @@
 pub mod batch;
 pub mod operator;
 pub mod power_model;
+pub mod spectral;
 pub mod sweep;
 pub mod transient;
 
 pub use batch::{BatchPowerModel, BatchWorkspace, BatchedSolver};
 pub use operator::{operator_fingerprint, ThermalOperator, Workspace};
+pub use spectral::{
+    infer_grid, spectral_operator_fingerprint, SpectralBatchedSolver, SpectralGridError,
+    SpectralOperator, SpectralScratch,
+};
 pub use sweep::{
-    MapOutcome, MapReport, Scenario, ScenarioGrid, SweepEngine, SweepOutcome, SweepReport,
+    MapOutcome, MapReport, Scenario, ScenarioGrid, SweepBackend, SweepEngine, SweepOutcome,
+    SweepReport, SPECTRAL_AUTO_THRESHOLD,
 };
 pub use transient::{
     propagator_fingerprint, DriveWaveform, TransientBatchedSolver, TransientConfig, TransientError,

@@ -1,0 +1,1000 @@
+//! The spectral Picard backend: advancing batched Eq. 21 fixed points
+//! in `O(N log N)` per lane, without materializing the `n × n`
+//! influence matrix.
+//!
+//! The dense [`ThermalOperator`](crate::cosim::ThermalOperator) caps
+//! the co-simulation at a few hundred blocks: the build is
+//! `O(n²·images)` and every Picard step pays an `O(n²)` GEMM column.
+//! But the map engine (`crate::thermal::map`) already proved that on a
+//! **uniform tile grid** the same truncated image sum is four cyclic
+//! convolutions — so the influence operator can be *applied* spectrally
+//! inside the Picard loop instead of merely rendering maps after it:
+//!
+//! ```text
+//! scatter   block powers → tile grid        (equivalent-source stencils)
+//! convolve  one FFT, 4 mirrored products, one IFFT   (the map kernels)
+//! sample    tile rise field → block sites   (centre-tile gather)
+//! ```
+//!
+//! # Exactness and the CG fallback
+//!
+//! Sampling is exact: every block centre sits on a tile centre (that is
+//! what [`infer_grid`] establishes), and the spectral field at a tile
+//! centre is the *same truncated image sum* the dense operator
+//! evaluates there — term for term, same truncation window. All error
+//! is therefore source-side: a block that coincides with one grid tile
+//! scatters to exactly that tile and reproduces its dense operator
+//! column to floating-point rounding (≤ 1e-6 K at the fixed point,
+//! asserted by `tests/spectral_validation.rs`), while a block that is
+//! wider/narrower than a tile or straddles several is only
+//! *approximated* by its area-overlap stencil. For those blocks the
+//! build measures the near-field rasterization error against the exact
+//! per-watt image sum and, where it exceeds the configured tolerance,
+//! solves a small conjugate-gradient least-squares problem
+//! ([`ptherm_math::cg::solve_cg`] on the normal equations, with a
+//! power-conservation row) for an **equivalent source** on the tiles
+//! around the block — the refined stencil reproduces the block's exact
+//! near field at the surrounding tile centres far better than raw
+//! area overlap, and conserves total power for the far field. A CG
+//! breakdown falls back to the area-overlap stencil (never an error).
+//!
+//! Floorplans whose block centres sit on *no* uniform grid (up to
+//! [`MAX_GRID_AXIS`] tiles per axis) are rejected with the typed
+//! [`SpectralGridError`]; the sweep engine's `Auto` backend falls back
+//! to the dense path and the fleet reports the typed error only when
+//! spectral was requested explicitly.
+//!
+//! # Determinism
+//!
+//! The build is bit-identical across thread counts (the kernel assembly
+//! is row-partitioned with identical per-entry arithmetic, the CG
+//! refinement is a pure per-block function mapped in input order), and
+//! the solve is per-lane: each lane's scatter → FFT → sample touches
+//! only that lane's powers, so outcomes are bitwise invariant across
+//! batch widths, worker counts and cache state — the same contract the
+//! dense batched path holds, asserted by the invariance tests.
+
+use crate::cosim::batch::{drive_picard, BatchPowerModel, BatchWorkspace};
+use crate::cosim::sweep::SweepOutcome;
+use crate::cosim::ElectroThermalSolver;
+use crate::thermal::images::expand_images_iter;
+use crate::thermal::map::{map_operator_fingerprint, MapOperator, MapWorkspace};
+use crate::thermal::profile::BlockKernel;
+use ptherm_floorplan::{Block, Floorplan};
+use ptherm_math::cg::solve_cg;
+use ptherm_math::{CsrMatrix, MultiVec};
+use std::fmt;
+
+/// Largest uniform grid (tiles per axis) [`infer_grid`] will consider.
+/// Beyond this the FFT planes stop paying for themselves and the
+/// alignment test would accept nearly anything.
+pub const MAX_GRID_AXIS: usize = 512;
+
+/// How far (in tile units) a block centre may sit from the nearest tile
+/// centre and still count as on-grid.
+const GRID_ALIGN_TOLERANCE: f64 = 1e-6;
+
+/// Default near-field rasterization tolerance, K per W: stencils whose
+/// predicted per-watt rise at the surrounding tile centres deviates
+/// from the exact image sum by more than this are CG-refined.
+pub const DEFAULT_REFINEMENT_TOLERANCE: f64 = 1e-6;
+
+/// Refinement support cap: blocks whose support patch would exceed this
+/// many unknowns keep their area-overlap stencil (the normal-equations
+/// assembly is `O(probes · support²)`).
+const MAX_REFINEMENT_SUPPORT: usize = 256;
+
+/// Why a floorplan cannot be served by the spectral backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpectralGridError {
+    /// No uniform tile grid up to [`MAX_GRID_AXIS`] tiles per axis puts
+    /// every block centre on a tile centre, so the centre-tile sampling
+    /// step has no exact anchor.
+    NoCoincidentGrid {
+        /// The per-axis grid cap that was searched.
+        max_axis: usize,
+    },
+}
+
+impl fmt::Display for SpectralGridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpectralGridError::NoCoincidentGrid { max_axis } => write!(
+                f,
+                "no uniform tile grid up to {max_axis} tiles per axis aligns every block centre"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpectralGridError {}
+
+/// Smallest uniform `nx × ny` tile grid whose tile centres contain
+/// every block centre, or the typed error if none exists up to
+/// [`MAX_GRID_AXIS`] per axis. An empty floorplan is served by a `1 × 1`
+/// grid. This is the spectral backend's compatibility test — cheap
+/// enough that the `Auto` backend runs it per sweep.
+pub fn infer_grid(floorplan: &Floorplan) -> Result<(usize, usize), SpectralGridError> {
+    let g = floorplan.geometry();
+    let nx = infer_axis(floorplan.blocks(), |b| b.cx, g.width)?;
+    let ny = infer_axis(floorplan.blocks(), |b| b.cy, g.length)?;
+    Ok((nx, ny))
+}
+
+fn infer_axis(
+    blocks: &[Block],
+    center: impl Fn(&Block) -> f64,
+    extent: f64,
+) -> Result<usize, SpectralGridError> {
+    if blocks.is_empty() {
+        return Ok(1);
+    }
+    'grid: for n in 1..=MAX_GRID_AXIS {
+        for b in blocks {
+            // On an n-tile axis, tile centres sit at (k + ½)·extent/n.
+            let u = center(b) * n as f64 / extent - 0.5;
+            if (u - u.round()).abs() > GRID_ALIGN_TOLERANCE {
+                continue 'grid;
+            }
+        }
+        return Ok(n);
+    }
+    Err(SpectralGridError::NoCoincidentGrid {
+        max_axis: MAX_GRID_AXIS,
+    })
+}
+
+/// Fingerprint of the spectral operator a build would produce: the map
+/// operator's fingerprint (geometry × grid × image orders) mixed with
+/// the refinement tolerance — everything the deterministic build reads.
+/// Computable without building, which is what lets the fleet cache
+/// decide hit/miss before paying for kernel assembly and refinement.
+pub fn spectral_operator_fingerprint(
+    floorplan: &Floorplan,
+    lateral_order: usize,
+    z_order: usize,
+    nx: usize,
+    ny: usize,
+    tolerance: f64,
+) -> u64 {
+    let mut f = ptherm_floorplan::fingerprint::Fingerprinter::new("ptherm.spectral.v1");
+    f.write_u64(map_operator_fingerprint(
+        floorplan,
+        lateral_order,
+        z_order,
+        nx,
+        ny,
+    ));
+    f.write_u64(tolerance.to_bits());
+    f.finish()
+}
+
+/// Precomputed spectral influence operator of one floorplan: the map
+/// engine's parity-kernel spectra, per-block equivalent-source stencils
+/// (area-overlap, CG-refined where the near-field error warrants it)
+/// and the centre-tile sampling sites. Shareable across threads; each
+/// worker brings its own [`SpectralScratch`].
+///
+/// # Example
+///
+/// ```
+/// use ptherm_core::cosim::spectral::{SpectralOperator, SpectralScratch};
+/// use ptherm_floorplan::{generator, ChipGeometry};
+///
+/// let fp = generator::tile_aligned(ChipGeometry::paper_1mm(), 8, 8, |_| 0.01).unwrap();
+/// let op = SpectralOperator::build(&fp).expect("tile-aligned plans are grid-coincident");
+/// assert_eq!((op.nx(), op.ny()), (8, 8));
+/// let mut rises = vec![0.0; op.blocks()];
+/// op.rises_into(&vec![0.01; 64], &mut SpectralScratch::new(), &mut rises);
+/// assert!(rises.iter().all(|&r| r > 0.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpectralOperator {
+    map: MapOperator,
+    /// Per-block equivalent-source stencils (tile index, W fraction).
+    stencils: Vec<Vec<(u32, f64)>>,
+    /// Tile each block's temperature is sampled at (its centre tile).
+    sample_tiles: Vec<u32>,
+    /// Blocks whose stencil was CG-refined.
+    refined: usize,
+    tolerance: f64,
+    fingerprint: u64,
+}
+
+impl SpectralOperator {
+    /// Builds the operator with the workspace accuracy defaults (lateral
+    /// image order 2, depth series order 9), the default refinement
+    /// tolerance and one worker per available CPU.
+    ///
+    /// # Errors
+    ///
+    /// [`SpectralGridError`] when the floorplan's block centres sit on
+    /// no uniform grid (see [`infer_grid`]).
+    pub fn build(floorplan: &Floorplan) -> Result<Self, SpectralGridError> {
+        Self::with_image_orders_threaded(
+            floorplan,
+            2,
+            9,
+            DEFAULT_REFINEMENT_TOLERANCE,
+            ptherm_par::default_threads(),
+        )
+    }
+
+    /// [`Self::build`] with explicit image orders, refinement tolerance
+    /// (K per W of near-field stencil error before CG refinement kicks
+    /// in) and worker count. The build is bit-identical from 1 to N
+    /// threads. Block powers recorded in `floorplan` are ignored: the
+    /// operator is per-watt and applies to any power vector.
+    ///
+    /// # Errors
+    ///
+    /// [`SpectralGridError`] when the floorplan's block centres sit on
+    /// no uniform grid (see [`infer_grid`]).
+    pub fn with_image_orders_threaded(
+        floorplan: &Floorplan,
+        lateral_order: usize,
+        z_order: usize,
+        tolerance: f64,
+        threads: usize,
+    ) -> Result<Self, SpectralGridError> {
+        let (nx, ny) = infer_grid(floorplan)?;
+        let map = MapOperator::with_image_orders_threaded(
+            floorplan,
+            nx,
+            ny,
+            lateral_order,
+            z_order,
+            threads,
+        );
+        let fingerprint =
+            spectral_operator_fingerprint(floorplan, lateral_order, z_order, nx, ny, tolerance);
+
+        let sample_tiles: Vec<u32> = floorplan
+            .blocks()
+            .iter()
+            .map(|b| map.tile_of(b.cx, b.cy) as u32)
+            .collect();
+        let mut stencils: Vec<Vec<(u32, f64)>> = (0..floorplan.blocks().len())
+            .map(|i| map.stencil_of(i).to_vec())
+            .collect();
+
+        // Blocks that coincide with one tile scatter exactly and skip
+        // the (comparatively expensive) near-field check entirely — on a
+        // tile-aligned floorplan the whole refinement stage is free.
+        let (tile_w, tile_l) = map.tile_pitch();
+        let suspects: Vec<usize> = floorplan
+            .blocks()
+            .iter()
+            .enumerate()
+            .filter(|(i, b)| {
+                stencils[*i].len() > 1
+                    || (b.w - tile_w).abs() > 1e-9 * tile_w
+                    || (b.l - tile_l).abs() > 1e-9 * tile_l
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let mut refined = 0;
+        if !suspects.is_empty() {
+            let kernels = map.spatial_kernels(threads);
+            let refiner = StencilRefiner {
+                map: &map,
+                kernels: &kernels,
+                floorplan,
+                tolerance,
+            };
+            // Pure per-block function mapped in input order: the result
+            // is independent of the worker count.
+            let refinements = ptherm_par::par_map(threads, &suspects, |_, &block| {
+                refiner.refine(block, &stencils[block])
+            });
+            for (&block, refinement) in suspects.iter().zip(refinements) {
+                if let Some(stencil) = refinement {
+                    stencils[block] = stencil;
+                    refined += 1;
+                }
+            }
+        }
+
+        Ok(SpectralOperator {
+            map,
+            stencils,
+            sample_tiles,
+            refined,
+            tolerance,
+            fingerprint,
+        })
+    }
+
+    /// Stable content fingerprint (see [`spectral_operator_fingerprint`]):
+    /// equal fingerprints imply bit-identical kernels, stencils and
+    /// sampling sites — the contract the fleet cache relies on.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Inferred grid width in tiles.
+    pub fn nx(&self) -> usize {
+        self.map.nx()
+    }
+
+    /// Inferred grid height in tiles.
+    pub fn ny(&self) -> usize {
+        self.map.ny()
+    }
+
+    /// Number of floorplan blocks the operator serves.
+    pub fn blocks(&self) -> usize {
+        self.stencils.len()
+    }
+
+    /// Sink temperature the source floorplan declared, K.
+    pub fn sink_temperature(&self) -> f64 {
+        self.map.sink_temperature()
+    }
+
+    /// Lateral image order the kernels were built with.
+    pub fn lateral_order(&self) -> usize {
+        self.map.lateral_order()
+    }
+
+    /// Depth-series order the kernels were built with.
+    pub fn z_order(&self) -> usize {
+        self.map.z_order()
+    }
+
+    /// Near-field tolerance (K per W) the build refined against.
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    /// How many blocks carry a CG-refined equivalent-source stencil.
+    pub fn refined_blocks(&self) -> usize {
+        self.refined
+    }
+
+    /// Per-watt temperature rises at every block site for one power
+    /// vector: scatter through the equivalent-source stencils, one FFT
+    /// apply on the tile torus, gather at the centre tiles. Zero
+    /// allocation once `scratch` is warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_powers` or `out` is not of length
+    /// [`Self::blocks`].
+    pub fn rises_into(&self, block_powers: &[f64], scratch: &mut SpectralScratch, out: &mut [f64]) {
+        assert_eq!(block_powers.len(), self.blocks(), "power length mismatch");
+        assert_eq!(out.len(), self.blocks(), "rise length mismatch");
+        let tiles = self.map.tiles();
+        scratch.tile_powers.clear();
+        scratch.tile_powers.resize(tiles, 0.0);
+        for (stencil, &p) in self.stencils.iter().zip(block_powers) {
+            for &(cell, fraction) in stencil {
+                scratch.tile_powers[cell as usize] += p * fraction;
+            }
+        }
+        scratch.field.clear();
+        scratch.field.resize(tiles, 0.0);
+        self.map.rise_from_tiles_into(
+            &scratch.tile_powers,
+            &mut scratch.map_ws,
+            &mut scratch.field,
+        );
+        for (r, &tile) in out.iter_mut().zip(&self.sample_tiles) {
+            *r = scratch.field[tile as usize];
+        }
+    }
+}
+
+/// The per-block CG refinement stage: measures a stencil's near-field
+/// error against the exact per-watt image sum and, where it exceeds the
+/// tolerance, fits an equivalent source over the surrounding tiles.
+struct StencilRefiner<'a> {
+    map: &'a MapOperator,
+    /// Spatial parity kernels, [`MapOperator::rise_map_direct`] indexing.
+    kernels: &'a [Vec<f64>; 4],
+    floorplan: &'a Floorplan,
+    tolerance: f64,
+}
+
+impl StencilRefiner<'_> {
+    /// Tile-to-tile per-watt rise `G(target, source)` through the four
+    /// parity kernels — exactly the entry the FFT apply realizes.
+    fn g(&self, ix: usize, iy: usize, jx: usize, jy: usize) -> f64 {
+        let (mx, my) = self.map.torus();
+        let [dd, sd, ds, ss] = self.kernels;
+        let ddx = (ix + mx - jx) % mx;
+        let sdx = ix + jx;
+        let ddy = (iy + my - jy) % my;
+        let sdy = iy + jy;
+        dd[ddx + mx * ddy] + sd[sdx + mx * ddy] + ds[ddx + mx * sdy] + ss[sdx + mx * sdy]
+    }
+
+    /// Exact per-watt rise of `block` at the centre of tile `(tx, ty)`:
+    /// the dense operator's truncated image sum, evaluated directly.
+    fn exact_rise(&self, block: &Block, tx: usize, ty: usize) -> f64 {
+        let g = self.floorplan.geometry();
+        let kernel = BlockKernel::for_block(block, g.conductivity, 1.0);
+        let (cx, cy) = self.map.tile_center(tx, ty);
+        let mut rise = 0.0;
+        for img in expand_images_iter(
+            block.cx,
+            block.cy,
+            g.width,
+            g.length,
+            g.thickness,
+            self.map.lateral_order(),
+            self.map.z_order(),
+        ) {
+            rise += img.sign * kernel.rise(cx - img.cx, cy - img.cy, img.depth);
+        }
+        rise
+    }
+
+    /// Refined stencil for `block`, or `None` when the default already
+    /// meets the tolerance, the patch is too large, or CG fails to beat
+    /// the default (the area-overlap stencil is always a safe fallback).
+    fn refine(&self, block: usize, default: &[(u32, f64)]) -> Option<Vec<(u32, f64)>> {
+        let (nx, ny) = (self.map.nx(), self.map.ny());
+        let b = &self.floorplan.blocks()[block];
+
+        // Tile bounding box of the default stencil, grown by one ring
+        // for the support (unknowns) and three for the probes.
+        let mut x0 = usize::MAX;
+        let mut x1 = 0usize;
+        let mut y0 = usize::MAX;
+        let mut y1 = 0usize;
+        for &(cell, _) in default {
+            let (cx, cy) = (cell as usize % nx, cell as usize / nx);
+            x0 = x0.min(cx);
+            x1 = x1.max(cx);
+            y0 = y0.min(cy);
+            y1 = y1.max(cy);
+        }
+        let clip_box = |x0: usize, x1: usize, y0: usize, y1: usize, ring: usize| {
+            (
+                x0.saturating_sub(ring),
+                (x1 + ring).min(nx - 1),
+                y0.saturating_sub(ring),
+                (y1 + ring).min(ny - 1),
+            )
+        };
+        let (sx0, sx1, sy0, sy1) = clip_box(x0, x1, y0, y1, 1);
+        let (px0, px1, py0, py1) = clip_box(x0, x1, y0, y1, 3);
+        let support: Vec<(usize, usize)> = (sy0..=sy1)
+            .flat_map(|y| (sx0..=sx1).map(move |x| (x, y)))
+            .collect();
+        let probes: Vec<(usize, usize)> = (py0..=py1)
+            .flat_map(|y| (px0..=px1).map(move |x| (x, y)))
+            .collect();
+        let m = support.len();
+        if m > MAX_REFINEMENT_SUPPORT {
+            return None;
+        }
+
+        // Exact per-watt near field and the default stencil's error.
+        let exact: Vec<f64> = probes
+            .iter()
+            .map(|&(x, y)| self.exact_rise(b, x, y))
+            .collect();
+        let predicted = |stencil: &[(u32, f64)]| -> Vec<f64> {
+            probes
+                .iter()
+                .map(|&(ix, iy)| {
+                    stencil
+                        .iter()
+                        .map(|&(cell, q)| {
+                            q * self.g(ix, iy, cell as usize % nx, cell as usize / nx)
+                        })
+                        .sum()
+                })
+                .collect()
+        };
+        let error = |pred: &[f64]| -> f64 {
+            pred.iter()
+                .zip(&exact)
+                .map(|(p, e)| (p - e).abs())
+                .fold(0.0f64, f64::max)
+        };
+        let default_error = error(&predicted(default));
+        if default_error <= self.tolerance {
+            return None;
+        }
+
+        // Least-squares equivalent source: minimize ‖A q − exact‖ over
+        // the support, with a weighted Σq = 1 conservation row so the
+        // far field (beyond the probes) keeps the right total power.
+        // Solved through the normal equations AᵀA q = Aᵀb, SPD by
+        // construction, with the map's own G columns as the basis.
+        let a: Vec<f64> = probes
+            .iter()
+            .flat_map(|&(ix, iy)| {
+                support
+                    .iter()
+                    .map(move |&(jx, jy)| self.g(ix, iy, jx, jy))
+                    .collect::<Vec<f64>>()
+            })
+            .collect();
+        let mut gram = vec![0.0; m * m];
+        let mut rhs = vec![0.0; m];
+        for p in 0..probes.len() {
+            let row = &a[p * m..(p + 1) * m];
+            for i in 0..m {
+                rhs[i] += row[i] * exact[p];
+                for j in 0..m {
+                    gram[i * m + j] += row[i] * row[j];
+                }
+            }
+        }
+        let trace: f64 = (0..m).map(|i| gram[i * m + i]).sum();
+        let weight = trace / m as f64;
+        for i in 0..m {
+            rhs[i] += weight;
+            for j in 0..m {
+                gram[i * m + j] += weight;
+            }
+        }
+        let mut triplets = Vec::with_capacity(m * m);
+        for i in 0..m {
+            for j in 0..m {
+                triplets.push((i, j, gram[i * m + j]));
+            }
+        }
+        let matrix = CsrMatrix::from_triplets(m, &triplets).ok()?;
+        let solution = solve_cg(&matrix, &rhs, 1e-12, 100 * m + 200).ok()?;
+
+        let candidate: Vec<(u32, f64)> = support
+            .iter()
+            .zip(&solution.x)
+            .filter(|(_, &q)| q != 0.0)
+            .map(|(&(x, y), &q)| ((x + nx * y) as u32, q))
+            .collect();
+        (error(&predicted(&candidate)) < default_error).then_some(candidate)
+    }
+}
+
+/// Reusable per-worker scratch for the spectral apply: the scattered
+/// tile power grid, the rise field and the map engine's FFT panels.
+/// Buffers size themselves on first use.
+#[derive(Debug, Clone, Default)]
+pub struct SpectralScratch {
+    tile_powers: Vec<f64>,
+    field: Vec<f64>,
+    map_ws: MapWorkspace,
+}
+
+impl SpectralScratch {
+    /// An empty scratch; buffers size themselves on first apply.
+    pub fn new() -> Self {
+        SpectralScratch::default()
+    }
+}
+
+/// Batched fixed-point driver over one solver configuration and one
+/// [`SpectralOperator`] — the spectral twin of
+/// [`BatchedSolver`](crate::cosim::BatchedSolver), sharing the *same*
+/// Picard skeleton (`drive_picard`): lane refill, damped update and
+/// guard order are one piece of code, only the thermal apply differs.
+///
+/// # Example
+///
+/// ```
+/// use ptherm_core::cosim::batch::{BatchWorkspace, FnBatchPower};
+/// use ptherm_core::cosim::spectral::{SpectralBatchedSolver, SpectralOperator, SpectralScratch};
+/// use ptherm_core::cosim::ElectroThermalSolver;
+/// use ptherm_floorplan::{generator, ChipGeometry};
+///
+/// let fp = generator::tile_aligned(ChipGeometry::paper_1mm(), 6, 6, |_| 0.005).unwrap();
+/// let solver = ElectroThermalSolver::new(fp.clone());
+/// let op = SpectralOperator::build(&fp).unwrap();
+/// let batched = SpectralBatchedSolver::new(&solver, &op);
+/// let mut model = FnBatchPower::new(|id, _block, _t| 0.002 * (id + 1) as f64);
+/// let outcomes = batched.solve(
+///     &[300.0; 3],
+///     &mut model,
+///     &mut BatchWorkspace::new(),
+///     &mut SpectralScratch::new(),
+/// );
+/// assert!(outcomes.iter().all(|o| o.is_converged()));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SpectralBatchedSolver<'a> {
+    solver: &'a ElectroThermalSolver,
+    operator: &'a SpectralOperator,
+}
+
+impl<'a> SpectralBatchedSolver<'a> {
+    /// Couples a solver configuration with its spectral operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `operator` was built for a different block count than
+    /// `solver`'s floorplan.
+    pub fn new(solver: &'a ElectroThermalSolver, operator: &'a SpectralOperator) -> Self {
+        assert_eq!(
+            operator.blocks(),
+            solver.floorplan().blocks().len(),
+            "operator/floorplan block-count mismatch"
+        );
+        SpectralBatchedSolver { solver, operator }
+    }
+
+    /// Solves one fixed batch: scenario `id = i` runs at ambient
+    /// `ambients[i]`, outcomes return in input order.
+    pub fn solve<M: BatchPowerModel + ?Sized>(
+        &self,
+        ambients: &[f64],
+        model: &mut M,
+        ws: &mut BatchWorkspace,
+        scratch: &mut SpectralScratch,
+    ) -> Vec<SweepOutcome> {
+        let b = ambients.len();
+        let mut out: Vec<Option<SweepOutcome>> = (0..b).map(|_| None).collect();
+        let mut next = 0usize;
+        self.drive(
+            b,
+            model,
+            ws,
+            scratch,
+            &mut || {
+                (next < b).then(|| {
+                    let id = next;
+                    next += 1;
+                    (id, ambients[id])
+                })
+            },
+            &mut |id, outcome| out[id] = Some(outcome),
+        );
+        out.into_iter()
+            .map(|o| o.expect("every scenario retired"))
+            .collect()
+    }
+
+    /// The streaming entry point, mirroring
+    /// [`BatchedSolver::drive`](crate::cosim::BatchedSolver::drive):
+    /// same lane-refill semantics, same guard order (shared skeleton),
+    /// but each live lane's rises come from one scatter → FFT → sample
+    /// pass instead of a GEMM column.
+    pub fn drive<M: BatchPowerModel + ?Sized>(
+        &self,
+        lanes: usize,
+        model: &mut M,
+        ws: &mut BatchWorkspace,
+        scratch: &mut SpectralScratch,
+        source: &mut dyn FnMut() -> Option<(usize, f64)>,
+        sink: &mut dyn FnMut(usize, SweepOutcome),
+    ) {
+        let operator = self.operator;
+        let n = operator.blocks();
+        let mut lane_powers = vec![0.0; n];
+        let mut lane_rises = vec![0.0; n];
+        drive_picard(
+            self.solver,
+            n,
+            lanes,
+            model,
+            ws,
+            source,
+            sink,
+            &mut |powers: &MultiVec, fresh: &mut MultiVec, alive: &[bool]| {
+                for (lane, &live) in alive.iter().enumerate() {
+                    if !live {
+                        continue;
+                    }
+                    powers.copy_lane_into(lane, &mut lane_powers);
+                    operator.rises_into(&lane_powers, scratch, &mut lane_rises);
+                    for (i, &r) in lane_rises.iter().enumerate() {
+                        fresh.set(i, lane, r);
+                    }
+                }
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cosim::batch::{BatchedSolver, FnBatchPower};
+    use crate::cosim::ThermalOperator;
+    use ptherm_floorplan::{generator, ChipGeometry};
+
+    fn tile_aligned(nx: usize, ny: usize) -> Floorplan {
+        generator::tile_aligned(ChipGeometry::paper_1mm(), nx, ny, |i| {
+            0.002 + 0.001 * ((i * 7) % 13) as f64
+        })
+        .expect("aligned tiling is valid")
+    }
+
+    #[test]
+    fn grid_inference_recovers_generator_grids() {
+        assert_eq!(infer_grid(&tile_aligned(8, 8)), Ok((8, 8)));
+        assert_eq!(infer_grid(&tile_aligned(6, 10)), Ok((6, 10)));
+        let tiled = generator::tiled(ChipGeometry::paper_1mm(), 5, 7, 0.01, 0.02, 3)
+            .expect("tiled plan is valid");
+        assert_eq!(infer_grid(&tiled), Ok((7, 5)));
+    }
+
+    #[test]
+    fn empty_floorplan_gets_the_degenerate_grid() {
+        let fp = Floorplan::new(ChipGeometry::paper_1mm(), Vec::new()).unwrap();
+        assert_eq!(infer_grid(&fp), Ok((1, 1)));
+        let op = SpectralOperator::build(&fp).unwrap();
+        assert_eq!(op.blocks(), 0);
+    }
+
+    #[test]
+    fn paper_floorplan_has_no_coincident_grid() {
+        // Centres at 0.30/0.75 mm on a 1 mm die: 0.3n − ½ and 0.75n − ½
+        // are never simultaneously integers, so the typed error fires.
+        let err = infer_grid(&Floorplan::paper_three_blocks()).unwrap_err();
+        assert_eq!(
+            err,
+            SpectralGridError::NoCoincidentGrid {
+                max_axis: MAX_GRID_AXIS
+            }
+        );
+        assert!(err.to_string().contains("no uniform tile grid"));
+        assert!(SpectralOperator::build(&Floorplan::paper_three_blocks()).is_err());
+    }
+
+    #[test]
+    fn aligned_rises_match_the_dense_operator() {
+        // Tile-coincident blocks scatter exactly: the spectral apply is
+        // the dense operator's image sum term for term.
+        let fp = tile_aligned(6, 5);
+        let spectral = SpectralOperator::build(&fp).unwrap();
+        assert_eq!(
+            spectral.refined_blocks(),
+            0,
+            "aligned blocks skip refinement"
+        );
+        let dense = ThermalOperator::with_image_orders(&fp, 2, 9);
+        let powers: Vec<f64> = fp.blocks().iter().map(|b| b.power).collect();
+        let mut got = vec![0.0; powers.len()];
+        spectral.rises_into(&powers, &mut SpectralScratch::new(), &mut got);
+        let mut want = vec![0.0; powers.len()];
+        dense.temperature_rises_into(&powers, &mut want);
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert!((g - w).abs() <= 1e-9, "block {i}: {g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn refinement_beats_area_overlap_on_off_grid_blocks() {
+        // Gutter-style blocks (0.9 of a tile pitch) scatter inexactly;
+        // the CG equivalent source must land closer to the dense
+        // operator than raw area overlap does.
+        let fp = generator::tiled(ChipGeometry::paper_1mm(), 6, 6, 0.008, 0.02, 11)
+            .expect("tiled plan is valid");
+        let refined = SpectralOperator::with_image_orders_threaded(
+            &fp,
+            2,
+            9,
+            DEFAULT_REFINEMENT_TOLERANCE,
+            1,
+        )
+        .unwrap();
+        assert!(refined.refined_blocks() > 0, "gutter blocks must refine");
+        let unrefined =
+            SpectralOperator::with_image_orders_threaded(&fp, 2, 9, f64::INFINITY, 1).unwrap();
+        assert_eq!(unrefined.refined_blocks(), 0);
+        let dense = ThermalOperator::with_image_orders(&fp, 2, 9);
+        let powers: Vec<f64> = fp.blocks().iter().map(|b| b.power).collect();
+        let mut want = vec![0.0; powers.len()];
+        dense.temperature_rises_into(&powers, &mut want);
+        let gap = |op: &SpectralOperator| -> f64 {
+            let mut got = vec![0.0; powers.len()];
+            op.rises_into(&powers, &mut SpectralScratch::new(), &mut got);
+            got.iter()
+                .zip(&want)
+                .map(|(g, w)| (g - w).abs())
+                .fold(0.0f64, f64::max)
+        };
+        let (refined_gap, unrefined_gap) = (gap(&refined), gap(&unrefined));
+        assert!(
+            refined_gap < unrefined_gap,
+            "refined {refined_gap:e} K vs unrefined {unrefined_gap:e} K"
+        );
+    }
+
+    #[test]
+    fn solve_matches_the_dense_batched_solver_on_aligned_plans() {
+        let fp = tile_aligned(5, 5);
+        let solver = ElectroThermalSolver::new(fp.clone());
+        let dense_op = solver.operator();
+        let spectral_op = SpectralOperator::build(&fp).unwrap();
+        let f = |id: usize, _b: usize, t: f64| {
+            0.003 + 0.001 * (id % 3) as f64 + 0.001 * ((t - 300.0) / 40.0).exp2()
+        };
+        let ambients = [300.0, 310.0, 320.0, 330.0];
+        let dense = BatchedSolver::new(&solver, &dense_op).solve(
+            &ambients,
+            &mut FnBatchPower::new(f),
+            &mut BatchWorkspace::new(),
+        );
+        let spectral = SpectralBatchedSolver::new(&solver, &spectral_op).solve(
+            &ambients,
+            &mut FnBatchPower::new(f),
+            &mut BatchWorkspace::new(),
+            &mut SpectralScratch::new(),
+        );
+        for (i, (s, d)) in spectral.iter().zip(&dense).enumerate() {
+            match (s, d) {
+                (
+                    SweepOutcome::Converged {
+                        block_temperatures: st,
+                        iterations: si,
+                        ..
+                    },
+                    SweepOutcome::Converged {
+                        block_temperatures: dt,
+                        iterations: di,
+                        ..
+                    },
+                ) => {
+                    assert_eq!(si, di, "scenario {i} iterations");
+                    for (a, b) in st.iter().zip(dt) {
+                        assert!((a - b).abs() <= 1e-6, "scenario {i}: {a} vs {b}");
+                    }
+                }
+                other => panic!("scenario {i}: expected converged pair, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn outcome_kinds_match_the_dense_backend_across_the_guard_order() {
+        // Converged, runaway and bad-power lanes must classify
+        // identically — the shared skeleton makes this structural, the
+        // test pins it.
+        let fp = tile_aligned(4, 4);
+        let solver = ElectroThermalSolver::new(fp.clone());
+        let dense_op = solver.operator();
+        let spectral_op = SpectralOperator::build(&fp).unwrap();
+        let f = |id: usize, b: usize, t: f64| match id {
+            1 => 0.5 * ((t - 300.0) / 3.0).exp2(),
+            3 if b == 5 => f64::NAN,
+            _ => 0.004 * (id + 1) as f64,
+        };
+        let ambients = [300.0, 300.0, 315.0, 300.0];
+        let dense = BatchedSolver::new(&solver, &dense_op).solve(
+            &ambients,
+            &mut FnBatchPower::new(f),
+            &mut BatchWorkspace::new(),
+        );
+        let spectral = SpectralBatchedSolver::new(&solver, &spectral_op).solve(
+            &ambients,
+            &mut FnBatchPower::new(f),
+            &mut BatchWorkspace::new(),
+            &mut SpectralScratch::new(),
+        );
+        for (i, (s, d)) in spectral.iter().zip(&dense).enumerate() {
+            assert_eq!(
+                std::mem::discriminant(s),
+                std::mem::discriminant(d),
+                "scenario {i}: {s:?} vs {d:?}"
+            );
+        }
+        assert!(matches!(
+            spectral[3],
+            SweepOutcome::BadPower { block: 5, power: _ }
+        ));
+    }
+
+    #[test]
+    fn lane_results_are_bitwise_invariant_across_batch_widths() {
+        // Per-lane scatter → FFT → sample touches only that lane's
+        // powers, so outcomes cannot depend on the batch width.
+        let fp = tile_aligned(6, 6);
+        let solver = ElectroThermalSolver::new(fp.clone());
+        let op = SpectralOperator::build(&fp).unwrap();
+        let batched = SpectralBatchedSolver::new(&solver, &op);
+        let f = |id: usize, _b: usize, t: f64| {
+            0.002 + 0.001 * (id % 5) as f64 + 0.0005 * ((t - 300.0) / 25.0).exp2()
+        };
+        let ambients: Vec<f64> = (0..9).map(|i| 298.0 + 3.0 * i as f64).collect();
+        let solve_with_lanes = |lanes: usize| -> Vec<SweepOutcome> {
+            let mut out: Vec<Option<SweepOutcome>> = (0..ambients.len()).map(|_| None).collect();
+            let mut next = 0usize;
+            batched.drive(
+                lanes,
+                &mut FnBatchPower::new(f),
+                &mut BatchWorkspace::new(),
+                &mut SpectralScratch::new(),
+                &mut || {
+                    (next < ambients.len()).then(|| {
+                        let id = next;
+                        next += 1;
+                        (id, ambients[id])
+                    })
+                },
+                &mut |id, o| out[id] = Some(o),
+            );
+            out.into_iter().map(Option::unwrap).collect()
+        };
+        let reference = solve_with_lanes(9);
+        for lanes in [1, 2, 4, 64] {
+            let got = solve_with_lanes(lanes);
+            for (i, (g, w)) in got.iter().zip(&reference).enumerate() {
+                match (g, w) {
+                    (
+                        SweepOutcome::Converged {
+                            block_temperatures: gt,
+                            block_powers: gp,
+                            iterations: gi,
+                        },
+                        SweepOutcome::Converged {
+                            block_temperatures: wt,
+                            block_powers: wp,
+                            iterations: wi,
+                        },
+                    ) => {
+                        assert_eq!(gi, wi, "lanes {lanes} scenario {i}");
+                        assert_eq!(gt, wt, "lanes {lanes} scenario {i} temps");
+                        assert_eq!(gp, wp, "lanes {lanes} scenario {i} powers");
+                    }
+                    (g, w) => assert_eq!(g, w, "lanes {lanes} scenario {i}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn build_is_bit_identical_across_thread_counts() {
+        let fp = generator::tiled(ChipGeometry::paper_1mm(), 5, 5, 0.005, 0.015, 9)
+            .expect("tiled plan is valid");
+        let serial = SpectralOperator::with_image_orders_threaded(
+            &fp,
+            2,
+            5,
+            DEFAULT_REFINEMENT_TOLERANCE,
+            1,
+        )
+        .unwrap();
+        for threads in [2, 8] {
+            let parallel = SpectralOperator::with_image_orders_threaded(
+                &fp,
+                2,
+                5,
+                DEFAULT_REFINEMENT_TOLERANCE,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(serial.stencils, parallel.stencils, "threads = {threads}");
+            assert_eq!(serial.sample_tiles, parallel.sample_tiles);
+            assert_eq!(serial.fingerprint(), parallel.fingerprint());
+        }
+    }
+
+    #[test]
+    fn fingerprint_keys_grid_orders_and_tolerance_not_powers() {
+        let fp = tile_aligned(4, 4);
+        let mut repowered = fp.clone();
+        repowered.set_power(0, 42.0);
+        assert_eq!(
+            SpectralOperator::build(&fp).unwrap().fingerprint(),
+            SpectralOperator::build(&repowered).unwrap().fingerprint()
+        );
+        assert_ne!(
+            spectral_operator_fingerprint(&fp, 2, 9, 4, 4, 1e-6),
+            spectral_operator_fingerprint(&fp, 2, 9, 4, 4, 1e-3)
+        );
+        assert_ne!(
+            spectral_operator_fingerprint(&fp, 2, 9, 4, 4, 1e-6),
+            spectral_operator_fingerprint(&fp, 1, 9, 4, 4, 1e-6)
+        );
+    }
+
+    #[test]
+    fn zero_power_rises_are_exactly_zero() {
+        let fp = tile_aligned(5, 4);
+        let op = SpectralOperator::build(&fp).unwrap();
+        let mut rises = vec![1.0; op.blocks()];
+        op.rises_into(
+            &vec![0.0; op.blocks()],
+            &mut SpectralScratch::new(),
+            &mut rises,
+        );
+        assert!(rises.iter().all(|&r| r == 0.0));
+    }
+}

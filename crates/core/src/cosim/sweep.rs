@@ -44,6 +44,10 @@
 //! ```
 
 use crate::cosim::batch::{BatchPowerModel, BatchWorkspace, BatchedSolver};
+use crate::cosim::spectral::{
+    infer_grid, spectral_operator_fingerprint, SpectralBatchedSolver, SpectralGridError,
+    SpectralOperator, SpectralScratch, DEFAULT_REFINEMENT_TOLERANCE,
+};
 use crate::cosim::transient::{
     TransientBatchedSolver, TransientConfig, TransientError, TransientLane, TransientOperator,
     TransientOutcome, TransientReport, TransientRk4Reference, TransientWorkspace,
@@ -56,7 +60,7 @@ use ptherm_math::{expv, MultiVec};
 use ptherm_tech::{Polarity, Technology};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// One point of a sweep: the knobs the paper's models expose per run.
 #[derive(Debug, Clone, PartialEq)]
@@ -895,9 +899,16 @@ impl fmt::Display for MapReport {
 #[derive(Debug)]
 pub struct SweepEngine {
     solver: ElectroThermalSolver,
-    /// Shared so a fleet-level cache can hand one factored operator to
-    /// many engines (and many worker threads) without copying it.
-    operator: Arc<ThermalOperator>,
+    /// Lazily built, shared so a fleet-level cache can hand one factored
+    /// operator to many engines (and many worker threads) without
+    /// copying it. Lazy because a spectral-backend sweep never reads it
+    /// — an engine serving a 4096-block floorplan spectrally must not
+    /// pay the `O(n²·images)` dense assembly.
+    operator: OnceLock<Arc<ThermalOperator>>,
+    /// Lazily built spectral twin (see [`SpectralOperator`]).
+    spectral: OnceLock<Arc<SpectralOperator>>,
+    backend: SweepBackend,
+    spectral_tolerance: f64,
     threads: usize,
     batch_lanes: usize,
 }
@@ -908,6 +919,52 @@ pub struct SweepEngine {
 /// `sweep` bench sweeps this knob; 64 wins on AVX-512 and AVX2 alike).
 const DEFAULT_BATCH_LANES: usize = 64;
 
+/// Block count at which [`SweepBackend::Auto`] switches from the dense
+/// GEMM path to the spectral apply (provided the floorplan is
+/// grid-coincident, see [`infer_grid`]). Below this the dense operator
+/// is cheap to build and its per-step GEMM beats the FFT's constant
+/// factor; above it the `O(n²·images)` build alone dominates whole
+/// sweeps (the `spectral` bench quantifies the crossover).
+pub const SPECTRAL_AUTO_THRESHOLD: usize = 512;
+
+/// Which influence-operator backend a [`SweepEngine`] advances its
+/// batched Picard iterations through. Both backends share one Picard
+/// skeleton (`crate::cosim::batch::drive_picard`), so guard order and
+/// outcome classification are identical by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepBackend {
+    /// Pick per floorplan: spectral for grid-coincident floorplans of at
+    /// least [`SPECTRAL_AUTO_THRESHOLD`] blocks, dense otherwise. The
+    /// default.
+    Auto,
+    /// The `n × n` influence-matrix GEMM path — the small-`n` default
+    /// and the correctness oracle.
+    Dense,
+    /// The `O(N log N)` scatter → FFT → sample path. Requires a
+    /// grid-coincident floorplan; [`SweepEngine::run`] panics otherwise
+    /// (the fleet layer pre-validates and reports the typed
+    /// [`SpectralGridError`] instead).
+    Spectral,
+}
+
+impl SweepBackend {
+    /// Stable lower-case name (`"auto"` / `"dense"` / `"spectral"`) —
+    /// what fleet result lines report and job specs parse.
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepBackend::Auto => "auto",
+            SweepBackend::Dense => "dense",
+            SweepBackend::Spectral => "spectral",
+        }
+    }
+}
+
+impl fmt::Display for SweepBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 impl SweepEngine {
     /// Engine with the default solver configuration and one worker per
     /// available CPU.
@@ -916,10 +973,18 @@ impl SweepEngine {
     }
 
     /// Engine around a configured solver (damping, tolerances, image
-    /// orders); the operator is precomputed here, once.
+    /// orders); operators are built lazily on first use, so a
+    /// spectral-only engine never assembles the dense matrix.
     pub fn with_solver(solver: ElectroThermalSolver) -> Self {
-        let operator = Arc::new(solver.operator());
-        Self::with_operator(solver, operator)
+        SweepEngine {
+            solver,
+            operator: OnceLock::new(),
+            spectral: OnceLock::new(),
+            backend: SweepBackend::Auto,
+            spectral_tolerance: DEFAULT_REFINEMENT_TOLERANCE,
+            threads: ptherm_par::default_threads(),
+            batch_lanes: DEFAULT_BATCH_LANES,
+        }
     }
 
     /// Engine around a configured solver and an **already built**
@@ -947,18 +1012,70 @@ impl SweepEngine {
             ),
             "operator/solver fingerprint mismatch"
         );
-        SweepEngine {
-            solver,
-            operator,
-            threads: ptherm_par::default_threads(),
-            batch_lanes: DEFAULT_BATCH_LANES,
-        }
+        let engine = Self::with_solver(solver);
+        let _ = engine.operator.set(operator);
+        engine
+    }
+
+    /// Engine around a configured solver and an **already built**
+    /// spectral operator — the cache-amortized spectral construction
+    /// path, mirroring [`Self::with_operator`]. The backend is pinned to
+    /// [`SweepBackend::Spectral`] and the engine adopts the operator's
+    /// refinement tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operator's fingerprint does not match what the
+    /// solver would build at the operator's grid and tolerance, so a
+    /// cache bug surfaces here rather than as silently wrong
+    /// temperatures.
+    pub fn with_spectral_operator(
+        solver: ElectroThermalSolver,
+        operator: Arc<SpectralOperator>,
+    ) -> Self {
+        assert_eq!(
+            operator.fingerprint(),
+            spectral_operator_fingerprint(
+                solver.floorplan(),
+                solver.lateral_order,
+                solver.z_order,
+                operator.nx(),
+                operator.ny(),
+                operator.tolerance(),
+            ),
+            "spectral operator/solver fingerprint mismatch"
+        );
+        let mut engine = Self::with_solver(solver);
+        engine.backend = SweepBackend::Spectral;
+        engine.spectral_tolerance = operator.tolerance();
+        let _ = engine.spectral.set(operator);
+        engine
     }
 
     /// Sets the worker-thread count (1 = run inline, still batched).
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Selects the influence-operator backend (default
+    /// [`SweepBackend::Auto`]). On coincident-grid floorplans the
+    /// backends agree to ≤ 1e-6 K with identical outcome kinds
+    /// (`tests/spectral_validation.rs` pins this), so `Auto` is a pure
+    /// performance decision.
+    #[must_use]
+    pub fn backend(mut self, backend: SweepBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the spectral backend's near-field rasterization tolerance
+    /// (K per W; see [`SpectralOperator`]). Takes effect on the next
+    /// spectral-operator build — a no-op once one is built or injected.
+    #[must_use]
+    pub fn spectral_tolerance(mut self, tolerance: f64) -> Self {
+        self.spectral_tolerance = tolerance;
         self
     }
 
@@ -972,12 +1089,13 @@ impl SweepEngine {
         self
     }
 
-    /// Reconfigures the solver, rebuilding the operator afterwards (image
-    /// orders may have changed).
+    /// Reconfigures the solver, discarding any built operators (image
+    /// orders may have changed; they rebuild lazily on next use).
     #[must_use]
     pub fn configure(mut self, f: impl FnOnce(&mut ElectroThermalSolver)) -> Self {
         f(&mut self.solver);
-        self.operator = Arc::new(self.solver.operator());
+        self.operator = OnceLock::new();
+        self.spectral = OnceLock::new();
         self
     }
 
@@ -986,14 +1104,63 @@ impl SweepEngine {
         &self.solver
     }
 
-    /// The precomputed influence operator.
+    /// The dense influence operator, building it on first call.
     pub fn operator(&self) -> &ThermalOperator {
-        &self.operator
+        self.dense_operator()
     }
 
-    /// The operator as a shareable handle (what a fleet cache stores).
+    /// The dense operator as a shareable handle (what a fleet cache
+    /// stores), building it on first call.
     pub fn shared_operator(&self) -> Arc<ThermalOperator> {
-        Arc::clone(&self.operator)
+        Arc::clone(self.dense_operator())
+    }
+
+    fn dense_operator(&self) -> &Arc<ThermalOperator> {
+        self.operator
+            .get_or_init(|| Arc::new(self.solver.operator()))
+    }
+
+    /// The spectral influence operator, building it on first call.
+    ///
+    /// # Errors
+    ///
+    /// [`SpectralGridError`] when the floorplan's block centres sit on
+    /// no uniform tile grid (see [`infer_grid`]).
+    pub fn spectral_operator(&self) -> Result<&Arc<SpectralOperator>, SpectralGridError> {
+        if let Some(op) = self.spectral.get() {
+            return Ok(op);
+        }
+        let built = Arc::new(SpectralOperator::with_image_orders_threaded(
+            self.solver.floorplan(),
+            self.solver.lateral_order,
+            self.solver.z_order,
+            self.spectral_tolerance,
+            self.threads,
+        )?);
+        // A concurrent initializer winning the race is fine: same
+        // inputs, bit-identical build.
+        let _ = self.spectral.set(built);
+        Ok(self.spectral.get().expect("spectral operator just set"))
+    }
+
+    /// The backend [`Self::run`] will actually use: `Auto` resolves to
+    /// spectral for grid-coincident floorplans of at least
+    /// [`SPECTRAL_AUTO_THRESHOLD`] blocks, dense otherwise; explicit
+    /// choices pass through.
+    pub fn resolved_backend(&self) -> SweepBackend {
+        match self.backend {
+            SweepBackend::Auto => {
+                let plan = self.solver.floorplan();
+                if plan.blocks().len() >= SPECTRAL_AUTO_THRESHOLD
+                    && (self.spectral.get().is_some() || infer_grid(plan).is_ok())
+                {
+                    SweepBackend::Spectral
+                } else {
+                    SweepBackend::Dense
+                }
+            }
+            explicit => explicit,
+        }
     }
 
     /// A ready-made [`ScaledTechPower`] spreading chip-level dynamic and
@@ -1017,7 +1184,10 @@ impl SweepEngine {
     /// Results agree with [`Self::run_per_scenario`] to the ULP-level
     /// contract documented in [`crate::cosim::batch`].
     pub fn run<M: ScenarioPowerModel>(&self, grid: &ScenarioGrid, model: &M) -> SweepReport {
-        let sink_k = self.operator.sink_temperature();
+        // The floorplan's sink, not the operator's (same value by the
+        // fingerprint contract): reading it must not force a dense
+        // build under the spectral backend.
+        let sink_k = self.solver.floorplan().geometry().sink_temperature;
         let total = grid.len();
         self.run_batched(
             total,
@@ -1114,7 +1284,7 @@ impl SweepEngine {
             "map operator/solver fingerprint mismatch"
         );
         let sweep = self.run(grid, model);
-        let sink_k = self.operator.sink_temperature();
+        let sink_k = self.solver.floorplan().geometry().sink_temperature;
         let outcomes = ptherm_par::par_map_with(
             self.threads,
             &sweep.outcomes,
@@ -1147,28 +1317,59 @@ impl SweepEngine {
     }
 
     /// Shared batched driver: `total` scenario ids, an ambient lookup and
-    /// a per-worker batched-model factory.
+    /// a per-worker batched-model factory. Dispatches to the resolved
+    /// backend; both paths run the same Picard skeleton.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the backend is explicitly [`SweepBackend::Spectral`]
+    /// and the floorplan is not grid-coincident. Callers that need a
+    /// typed failure (the fleet) pre-validate with [`infer_grid`].
     fn run_batched<'m>(
         &self,
         total: usize,
         ambient_of: impl Fn(usize) -> f64 + Sync,
         make_model: impl Fn() -> Box<dyn BatchPowerModel + 'm> + Sync,
     ) -> SweepReport {
+        let spectral = match self.resolved_backend() {
+            SweepBackend::Spectral => Some(match self.spectral_operator() {
+                Ok(op) => Arc::clone(op),
+                Err(e) => panic!("spectral backend requested on an incompatible floorplan: {e}"),
+            }),
+            _ => None,
+        };
+        let dense = match &spectral {
+            None => Some(Arc::clone(self.dense_operator())),
+            Some(_) => None,
+        };
         let cursor = AtomicUsize::new(0);
         let per_worker = ptherm_par::par_workers(self.threads, |_worker| {
             let mut model = make_model();
             let mut ws = BatchWorkspace::new();
             let mut collected: Vec<(usize, SweepOutcome)> = Vec::new();
-            BatchedSolver::new(&self.solver, &self.operator).drive(
-                self.batch_lanes,
-                &mut *model,
-                &mut ws,
-                &mut || {
-                    let id = cursor.fetch_add(1, Ordering::Relaxed);
-                    (id < total).then(|| (id, ambient_of(id)))
-                },
-                &mut |id, outcome| collected.push((id, outcome)),
-            );
+            let mut source = || {
+                let id = cursor.fetch_add(1, Ordering::Relaxed);
+                (id < total).then(|| (id, ambient_of(id)))
+            };
+            let mut sink = |id: usize, outcome: SweepOutcome| collected.push((id, outcome));
+            match (&spectral, &dense) {
+                (Some(op), _) => SpectralBatchedSolver::new(&self.solver, op).drive(
+                    self.batch_lanes,
+                    &mut *model,
+                    &mut ws,
+                    &mut SpectralScratch::new(),
+                    &mut source,
+                    &mut sink,
+                ),
+                (None, Some(op)) => BatchedSolver::new(&self.solver, op).drive(
+                    self.batch_lanes,
+                    &mut *model,
+                    &mut ws,
+                    &mut source,
+                    &mut sink,
+                ),
+                (None, None) => unreachable!("one backend operator is always resolved"),
+            }
             collected
         });
         let mut outcomes: Vec<Option<SweepOutcome>> = (0..total).map(|_| None).collect();
@@ -1205,7 +1406,7 @@ impl SweepEngine {
         cfg: &TransientConfig,
     ) -> Result<TransientOperator, TransientError> {
         let caps = self.transient_capacitances(cfg);
-        TransientOperator::new(&self.operator, &caps, cfg.dt, cfg.scheme)
+        TransientOperator::new(self.dense_operator(), &caps, cfg.dt, cfg.scheme)
     }
 
     /// Sweeps a scenario × drive-waveform grid through the batched
@@ -1258,12 +1459,12 @@ impl SweepEngine {
         let caps = self.transient_capacitances(cfg);
         assert_eq!(
             top.fingerprint(),
-            crate::cosim::propagator_fingerprint(&self.operator, &caps, cfg.dt, cfg.scheme),
+            crate::cosim::propagator_fingerprint(self.dense_operator(), &caps, cfg.dt, cfg.scheme),
             "propagator/config fingerprint mismatch"
         );
         let waveforms = cfg.effective_waveforms()?;
         let w = waveforms.len();
-        let sink_k = self.operator.sink_temperature();
+        let sink_k = self.solver.floorplan().geometry().sink_temperature;
         let total = grid.len() * w;
         let width = self.batch_lanes.max(1);
         let chunks = total.div_ceil(width);
@@ -1334,7 +1535,7 @@ impl SweepEngine {
         let top = self.transient_operator(cfg)?;
         let waveforms = cfg.effective_waveforms()?;
         let w = waveforms.len();
-        let sink_k = self.operator.sink_temperature();
+        let sink_k = self.solver.floorplan().geometry().sink_temperature;
         let ids: Vec<usize> = (0..grid.len() * w).collect();
         let solver = TransientBatchedSolver::new(&top, self.solver.ceiling_k);
         let techs = grid.technologies();
@@ -1371,10 +1572,10 @@ impl SweepEngine {
         cfg: &TransientConfig,
     ) -> Result<TransientReport, TransientError> {
         let caps = self.transient_capacitances(cfg);
-        let reference = TransientRk4Reference::new(&self.operator, &caps)?;
+        let reference = TransientRk4Reference::new(self.dense_operator(), &caps)?;
         let waveforms = cfg.effective_waveforms()?;
         let w = waveforms.len();
-        let sink_k = self.operator.sink_temperature();
+        let sink_k = self.solver.floorplan().geometry().sink_temperature;
         let duration = cfg.duration();
         let steps = reference.stable_steps(duration).max(cfg.steps);
         let ids: Vec<usize> = (0..grid.len() * w).collect();
@@ -1404,7 +1605,7 @@ impl SweepEngine {
         grid: &ScenarioGrid,
         model: &M,
     ) -> SweepReport {
-        let scenarios = grid.scenarios(self.operator.sink_temperature());
+        let scenarios = grid.scenarios(self.solver.floorplan().geometry().sink_temperature);
         let techs = grid.technologies();
         self.run_scenarios_per_scenario(
             &scenarios,
@@ -1426,13 +1627,14 @@ impl SweepEngine {
         A: Fn(&S) -> f64 + Sync,
         P: Fn(&S, usize, f64) -> f64 + Sync,
     {
+        let operator = self.dense_operator();
         let outcomes = ptherm_par::par_map_with(
             self.threads,
             scenarios,
             Workspace::new,
             |ws, _idx, scenario| {
                 let solve = self.solver.solve_with_ambient(
-                    &self.operator,
+                    operator,
                     ambient_k(scenario),
                     ws,
                     |block, t| power(scenario, block, t),
@@ -1997,5 +2199,149 @@ mod tests {
         assert_eq!(report.converged_count(), 1);
         assert!(report.map(0).is_some());
         assert!(report.map(1).is_none());
+    }
+
+    fn aligned_plan(nx: usize, ny: usize) -> Floorplan {
+        ptherm_floorplan::generator::tile_aligned(
+            ptherm_floorplan::ChipGeometry::paper_1mm(),
+            nx,
+            ny,
+            |i| 0.003 + 0.0002 * (i % 5) as f64,
+        )
+        .expect("valid plan")
+    }
+
+    /// At least [`SPECTRAL_AUTO_THRESHOLD`] blocks, but one centre is
+    /// off every uniform grid up to the spectral inference cap.
+    fn incompatible_big_plan() -> Floorplan {
+        let geometry = ptherm_floorplan::ChipGeometry::paper_1mm();
+        let (nx, ny) = (32usize, 16usize);
+        let (px, py) = (geometry.width / nx as f64, geometry.length / ny as f64);
+        let mut blocks = Vec::with_capacity(nx * ny);
+        for j in 0..ny {
+            for i in 0..nx {
+                let skew = if (i, j) == (0, 0) { 0.123_456_7 } else { 0.0 };
+                blocks.push(ptherm_floorplan::Block::new(
+                    format!("b{i}_{j}"),
+                    (i as f64 + 0.5 + skew) * px,
+                    (j as f64 + 0.5) * py,
+                    px * 0.5,
+                    py * 0.5,
+                    0.001,
+                ));
+            }
+        }
+        Floorplan::new(geometry, blocks).expect("valid plan")
+    }
+
+    #[test]
+    fn auto_backend_resolves_by_block_count_and_grid_compatibility() {
+        // Below the threshold: dense, even on a spectral-friendly plan.
+        assert_eq!(engine().resolved_backend(), SweepBackend::Dense);
+        assert_eq!(
+            SweepEngine::new(aligned_plan(8, 8)).resolved_backend(),
+            SweepBackend::Dense
+        );
+        // At the threshold on a coincident grid: spectral.
+        let big = SweepEngine::new(aligned_plan(32, 16));
+        assert_eq!(
+            big.solver().floorplan().blocks().len(),
+            SPECTRAL_AUTO_THRESHOLD
+        );
+        assert_eq!(big.resolved_backend(), SweepBackend::Spectral);
+        // A big plan with no coincident grid falls back to dense.
+        let off_grid = SweepEngine::new(incompatible_big_plan());
+        assert_eq!(off_grid.resolved_backend(), SweepBackend::Dense);
+        // Explicit overrides pass through untouched.
+        assert_eq!(
+            big.backend(SweepBackend::Dense).resolved_backend(),
+            SweepBackend::Dense
+        );
+        assert_eq!(
+            engine().backend(SweepBackend::Spectral).resolved_backend(),
+            SweepBackend::Spectral
+        );
+        assert_eq!(SweepBackend::Auto.name(), "auto");
+        assert_eq!(format!("{}", SweepBackend::Spectral), "spectral");
+    }
+
+    #[test]
+    fn spectral_and_dense_engine_sweeps_agree() {
+        let grid = small_grid();
+        let dense = SweepEngine::new(aligned_plan(8, 8)).backend(SweepBackend::Dense);
+        let spectral = SweepEngine::new(aligned_plan(8, 8)).backend(SweepBackend::Spectral);
+        let model = dense.uniform_tech_power(0.6, 0.002);
+        let d = dense.run(&grid, &model);
+        let s = spectral.run(&grid, &model);
+        assert_eq!(d.len(), s.len());
+        for (a, b) in d.outcomes.iter().zip(&s.outcomes) {
+            match (a, b) {
+                (
+                    SweepOutcome::Converged {
+                        block_temperatures: dt,
+                        block_powers: dp,
+                        iterations: di,
+                    },
+                    SweepOutcome::Converged {
+                        block_temperatures: st,
+                        block_powers: sp,
+                        iterations: si,
+                    },
+                ) => {
+                    assert_eq!(di, si);
+                    for (x, y) in dt.iter().zip(st) {
+                        assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+                    }
+                    for (x, y) in dp.iter().zip(sp) {
+                        assert!((x - y).abs() < 1e-6 * y.abs().max(1.0), "{x} vs {y}");
+                    }
+                }
+                (a, b) => assert_eq!(
+                    std::mem::discriminant(a),
+                    std::mem::discriminant(b),
+                    "{a:?} vs {b:?}"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "spectral backend requested on an incompatible floorplan")]
+    fn explicit_spectral_on_an_incompatible_floorplan_panics() {
+        let engine = engine().backend(SweepBackend::Spectral);
+        let model = engine.uniform_tech_power(0.6, 0.05);
+        let _ = engine.run(&small_grid(), &model);
+    }
+
+    #[test]
+    fn a_shared_spectral_operator_is_adopted_and_pins_the_backend() {
+        let operator = Arc::new(SpectralOperator::build(&aligned_plan(8, 8)).expect("compatible"));
+        let engine = SweepEngine::with_spectral_operator(
+            ElectroThermalSolver::new(aligned_plan(8, 8)),
+            Arc::clone(&operator),
+        );
+        assert_eq!(engine.resolved_backend(), SweepBackend::Spectral);
+        assert!(Arc::ptr_eq(
+            engine.spectral_operator().expect("adopted"),
+            &operator
+        ));
+        // The adopted operator is bit-identical to a self-built one.
+        let grid = small_grid();
+        let model = engine.uniform_tech_power(0.6, 0.002);
+        let adopted = engine.run(&grid, &model);
+        let fresh = SweepEngine::new(aligned_plan(8, 8))
+            .backend(SweepBackend::Spectral)
+            .run(&grid, &model);
+        assert_eq!(adopted.outcomes, fresh.outcomes);
+    }
+
+    #[test]
+    #[should_panic(expected = "spectral operator/solver fingerprint mismatch")]
+    fn mismatched_spectral_operator_is_rejected() {
+        let operator = SpectralOperator::build(&aligned_plan(8, 8)).expect("compatible");
+        let _ = SweepEngine::with_spectral_operator(
+            ElectroThermalSolver::new(aligned_plan(6, 6)),
+            Arc::new(operator),
+        );
     }
 }

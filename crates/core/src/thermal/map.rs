@@ -399,6 +399,34 @@ impl MapOperator {
         ix + self.shape.nx * iy
     }
 
+    /// The precomputed area-overlap stencil of block `i` as
+    /// `(tile index, power fraction)` pairs — the starting point the
+    /// spectral engine's CG refinement improves on.
+    pub(crate) fn stencil_of(&self, block: usize) -> &[(u32, f64)] {
+        &self.stencils[block]
+    }
+
+    /// Torus dimensions `(mx, my)` the parity kernels live on — the
+    /// indexing contract of [`Self::spatial_kernels`] (see
+    /// [`Self::rise_map_direct`] for the four-term lookup).
+    pub(crate) fn torus(&self) -> (usize, usize) {
+        (self.shape.mx, self.shape.my)
+    }
+
+    /// Tile pitch `(tile_w, tile_l)` in metres.
+    pub(crate) fn tile_pitch(&self) -> (f64, f64) {
+        (self.shape.tile_w, self.shape.tile_l)
+    }
+
+    /// Rebuilds the four spatial parity kernels — (diff,diff),
+    /// (sum,diff), (diff,sum), (sum,sum) — bit-identically to the
+    /// construction-time assembly (the operator itself retains only
+    /// their spectra). Used by the direct oracle and by the spectral
+    /// engine's stencil-refinement stage.
+    pub(crate) fn spatial_kernels(&self, threads: usize) -> [Vec<f64>; 4] {
+        self.shape.spatial_kernels(threads)
+    }
+
     /// Rasterizes a per-block power vector onto the tile grid (W per
     /// tile, power-conserving) through the precomputed stencils.
     ///
@@ -427,11 +455,34 @@ impl MapOperator {
     /// Panics if `block_powers` is not of length [`Self::blocks`] or
     /// `out` is not of length [`Self::tiles`].
     pub fn rise_map_into(&self, block_powers: &[f64], ws: &mut MapWorkspace, out: &mut [f64]) {
+        let (nx, ny) = (self.shape.nx, self.shape.ny);
+        let mut tile_powers = std::mem::take(&mut ws.tile_powers);
+        tile_powers.clear();
+        tile_powers.resize(nx * ny, 0.0);
+        self.rasterize_into(block_powers, &mut tile_powers);
+        self.rise_from_tiles_into(&tile_powers, ws, out);
+        ws.tile_powers = tile_powers;
+    }
+
+    /// The FFT apply from an already-rasterized tile power grid (W per
+    /// tile, row-major `nx × ny`): transform, four mirrored spectral
+    /// products, transform back. [`Self::rise_map_into`] is this plus
+    /// the stencil scatter; the spectral Picard engine
+    /// ([`crate::cosim::SpectralOperator`]) scatters through its own
+    /// (possibly CG-refined) stencils and enters here.
+    pub(crate) fn rise_from_tiles_into(
+        &self,
+        tile_powers: &[f64],
+        ws: &mut MapWorkspace,
+        out: &mut [f64],
+    ) {
         assert_eq!(out.len(), self.tiles(), "map length mismatch");
+        assert_eq!(
+            tile_powers.len(),
+            self.tiles(),
+            "tile power length mismatch"
+        );
         let (nx, ny, mx, my) = (self.shape.nx, self.shape.ny, self.shape.mx, self.shape.my);
-        ws.tile_powers.clear();
-        ws.tile_powers.resize(nx * ny, 0.0);
-        self.rasterize_into(block_powers, &mut ws.tile_powers);
 
         // Zero-padded power grid on the torus.
         let plane = mx * my;
@@ -440,7 +491,7 @@ impl MapOperator {
         ws.im.clear();
         ws.im.resize(plane, 0.0);
         for iy in 0..ny {
-            ws.re[iy * mx..iy * mx + nx].copy_from_slice(&ws.tile_powers[iy * nx..(iy + 1) * nx]);
+            ws.re[iy * mx..iy * mx + nx].copy_from_slice(&tile_powers[iy * nx..(iy + 1) * nx]);
         }
         self.fft.forward(&mut ws.re, &mut ws.im, &mut ws.scratch);
 

@@ -23,8 +23,8 @@
 //!   temperature; the test suite asserts this bitwise).
 
 use ptherm_core::cosim::{
-    operator_fingerprint, propagator_fingerprint, ThermalOperator, TransientError,
-    TransientOperator,
+    operator_fingerprint, propagator_fingerprint, spectral_operator_fingerprint, SpectralGridError,
+    SpectralOperator, ThermalOperator, TransientError, TransientOperator,
 };
 use ptherm_core::thermal::map::{map_operator_fingerprint, MapOperator};
 use ptherm_floorplan::Floorplan;
@@ -278,17 +278,19 @@ pub struct OperatorCache {
     steady: Lru<u64, ThermalOperator>,
     transient: Lru<u64, TransientOperator>,
     map: Lru<u64, MapOperator>,
+    spectral: Lru<u64, SpectralOperator>,
 }
 
 impl OperatorCache {
     /// Caches holding at most `capacity` entries **each** (steady
-    /// operators, transient propagators and map kernels age
-    /// independently).
+    /// operators, transient propagators, map kernels and spectral
+    /// operators age independently).
     pub fn new(capacity: usize) -> Self {
         OperatorCache {
             steady: Lru::new(capacity),
             transient: Lru::new(capacity),
             map: Lru::new(capacity),
+            spectral: Lru::new(capacity),
         }
     }
 
@@ -364,6 +366,38 @@ impl OperatorCache {
         }
     }
 
+    /// The spectral (FFT) steady operator of `floorplan` at the given
+    /// image orders and refinement tolerance: cached under
+    /// [`spectral_operator_fingerprint`] with the inferred coincident
+    /// grid, built serially on a miss (fleet workers are the
+    /// parallelism, like [`Self::steady_operator`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SpectralGridError`] when no uniform tile grid aligns every
+    /// block centre — nothing is cached, so the caller can fall back to
+    /// the dense path (or report a typed job error).
+    pub fn spectral_operator(
+        &self,
+        floorplan: &Floorplan,
+        lateral_order: usize,
+        z_order: usize,
+        tolerance: f64,
+    ) -> Result<Arc<SpectralOperator>, SpectralGridError> {
+        let (nx, ny) = ptherm_core::cosim::infer_grid(floorplan)?;
+        let key =
+            spectral_operator_fingerprint(floorplan, lateral_order, z_order, nx, ny, tolerance);
+        self.spectral.get_or_build(key, || {
+            SpectralOperator::with_image_orders_threaded(
+                floorplan,
+                lateral_order,
+                z_order,
+                tolerance,
+                1,
+            )
+        })
+    }
+
     /// Counter snapshot for the steady-operator cache.
     pub fn steady_stats(&self) -> CacheStats {
         self.steady.stats()
@@ -377,5 +411,10 @@ impl OperatorCache {
     /// Counter snapshot for the map-operator cache.
     pub fn map_stats(&self) -> CacheStats {
         self.map.stats()
+    }
+
+    /// Counter snapshot for the spectral-operator cache.
+    pub fn spectral_stats(&self) -> CacheStats {
+        self.spectral.stats()
     }
 }

@@ -36,10 +36,12 @@
 use crate::cache::{CacheStats, OperatorCache};
 use crate::jobs::{JobSpec, MapJob, SteadyJob, TransientJob};
 use crate::json::Json;
+use ptherm_core::cosim::spectral::DEFAULT_REFINEMENT_TOLERANCE;
 use ptherm_core::cosim::sweep::ScaledTechPower;
 use ptherm_core::cosim::{
-    MapReport, ScenarioGrid, SweepEngine, SweepReport, ThermalOperator, TransientConfig,
-    TransientError, TransientReport,
+    infer_grid, MapReport, ScenarioGrid, SpectralGridError, SpectralOperator, SweepBackend,
+    SweepEngine, SweepReport, ThermalOperator, TransientConfig, TransientError, TransientReport,
+    SPECTRAL_AUTO_THRESHOLD,
 };
 use ptherm_core::thermal::capacitance::silicon_block_capacitances;
 use ptherm_core::ElectroThermalSolver;
@@ -97,6 +99,9 @@ pub enum JobError {
     UnknownFloorplan(String),
     /// The transient configuration was rejected.
     Transient(TransientError),
+    /// The job requested the spectral backend on a floorplan with no
+    /// coincident tile grid.
+    Backend(SpectralGridError),
 }
 
 impl fmt::Display for JobError {
@@ -104,6 +109,7 @@ impl fmt::Display for JobError {
         match self {
             JobError::UnknownFloorplan(name) => write!(f, "unknown floorplan {name:?}"),
             JobError::Transient(e) => write!(f, "transient setup failed: {e}"),
+            JobError::Backend(e) => write!(f, "spectral backend unavailable: {e}"),
         }
     }
 }
@@ -164,6 +170,10 @@ pub struct JobRecord {
     pub index: usize,
     /// Report or typed failure.
     pub outcome: Result<JobReport, JobError>,
+    /// Backend that actually ran the job (`None` for failed jobs).
+    /// Map and transient jobs always run dense; steady jobs resolve
+    /// their requested backend against the floorplan.
+    pub backend: Option<SweepBackend>,
     /// Wall time this job spent on its worker, ns.
     pub wall_ns: u64,
 }
@@ -189,6 +199,9 @@ impl JobRecord {
         match &self.outcome {
             Ok(report) => {
                 fields.push(("ok".into(), Json::Bool(true)));
+                if let Some(backend) = self.backend {
+                    fields.push(("backend".into(), Json::String(backend.name().into())));
+                }
                 fields.push(("runs".into(), Json::Number(report.len() as f64)));
                 fields.push((
                     "resolved".into(),
@@ -224,6 +237,8 @@ pub struct FleetReport {
     pub transient_cache: CacheStats,
     /// Map-operator cache counters.
     pub map_cache: CacheStats,
+    /// Spectral-operator cache counters.
+    pub spectral_cache: CacheStats,
 }
 
 impl FleetReport {
@@ -286,10 +301,14 @@ impl FleetEngine {
             let mut mine = Vec::new();
             while let Some(index) = queues.pop(w) {
                 let started = Instant::now();
-                let outcome = self.run_job(&jobs[index]);
+                let (outcome, backend) = match self.run_job(&jobs[index]) {
+                    Ok((report, backend)) => (Ok(report), Some(backend)),
+                    Err(e) => (Err(e), None),
+                };
                 mine.push(JobRecord {
                     index,
                     outcome,
+                    backend,
                     wall_ns: started.elapsed().as_nanos() as u64,
                 });
             }
@@ -309,6 +328,7 @@ impl FleetEngine {
             steady_cache: self.cache.steady_stats(),
             transient_cache: self.cache.transient_stats(),
             map_cache: self.cache.map_stats(),
+            spectral_cache: self.cache.spectral_stats(),
         }
     }
 
@@ -317,20 +337,31 @@ impl FleetEngine {
         &self.cache
     }
 
-    fn run_job(&self, spec: &JobSpec) -> Result<JobReport, JobError> {
+    fn run_job(&self, spec: &JobSpec) -> Result<(JobReport, SweepBackend), JobError> {
         match spec {
-            JobSpec::Steady(job) => self.run_steady(job).map(JobReport::Steady),
-            JobSpec::Transient(job) => self.run_transient(job).map(JobReport::Transient),
-            JobSpec::Map(job) => self.run_map(job).map(JobReport::Map),
+            JobSpec::Steady(job) => self
+                .run_steady(job)
+                .map(|(r, backend)| (JobReport::Steady(r), backend)),
+            JobSpec::Transient(job) => self
+                .run_transient(job)
+                .map(|r| (JobReport::Transient(r), SweepBackend::Dense)),
+            JobSpec::Map(job) => self
+                .run_map(job)
+                .map(|r| (JobReport::Map(r), SweepBackend::Dense)),
         }
     }
 
-    /// The per-job [`SweepEngine`]: configured solver + the floorplan's
-    /// operator, cached or cold per [`FleetConfig::amortize`].
-    fn sweep_engine(&self, floorplan: &Arc<Floorplan>) -> SweepEngine {
+    /// The per-job solver, carrying the fleet's image orders.
+    fn solver(&self, floorplan: &Arc<Floorplan>) -> ElectroThermalSolver {
         let mut solver = ElectroThermalSolver::new(floorplan.as_ref().clone());
         solver.lateral_order = self.config.lateral_order;
         solver.z_order = self.config.z_order;
+        solver
+    }
+
+    /// The per-job [`SweepEngine`]: configured solver + the floorplan's
+    /// dense operator, cached or cold per [`FleetConfig::amortize`].
+    fn sweep_engine(&self, floorplan: &Arc<Floorplan>) -> SweepEngine {
         let operator = if self.config.amortize {
             self.cache
                 .steady_operator(floorplan, self.config.lateral_order, self.config.z_order)
@@ -342,9 +373,43 @@ impl FleetEngine {
                 1,
             ))
         };
-        SweepEngine::with_operator(solver, operator)
+        SweepEngine::with_operator(self.solver(floorplan), operator)
             .threads(1)
             .batch_lanes(self.config.batch_lanes)
+    }
+
+    /// The spectral counterpart of [`Self::sweep_engine`]: configured
+    /// solver + the floorplan's [`SpectralOperator`], cached or cold per
+    /// [`FleetConfig::amortize`]. Never touches the dense cache.
+    ///
+    /// # Errors
+    ///
+    /// [`SpectralGridError`] when no coincident tile grid exists.
+    fn spectral_engine(
+        &self,
+        floorplan: &Arc<Floorplan>,
+    ) -> Result<SweepEngine, SpectralGridError> {
+        let operator = if self.config.amortize {
+            self.cache.spectral_operator(
+                floorplan,
+                self.config.lateral_order,
+                self.config.z_order,
+                DEFAULT_REFINEMENT_TOLERANCE,
+            )?
+        } else {
+            Arc::new(SpectralOperator::with_image_orders_threaded(
+                floorplan,
+                self.config.lateral_order,
+                self.config.z_order,
+                DEFAULT_REFINEMENT_TOLERANCE,
+                1,
+            )?)
+        };
+        Ok(
+            SweepEngine::with_spectral_operator(self.solver(floorplan), operator)
+                .threads(1)
+                .batch_lanes(self.config.batch_lanes),
+        )
     }
 
     fn floorplan(&self, name: &str) -> Result<&Arc<Floorplan>, JobError> {
@@ -363,13 +428,33 @@ impl FleetEngine {
         }
     }
 
-    fn run_steady(&self, job: &SteadyJob) -> Result<SweepReport, JobError> {
+    fn run_steady(&self, job: &SteadyJob) -> Result<(SweepReport, SweepBackend), JobError> {
         let floorplan = self.floorplan(&job.floorplan)?;
-        let engine = self.sweep_engine(floorplan);
+        // Resolve the backend before building any operator: a spectral
+        // job must not pay the dense O(n²) build, and an explicit
+        // "spectral" on an off-grid floorplan is a typed job error, not
+        // a worker panic. Auto mirrors `SweepEngine::resolved_backend`.
+        let spectral = match job.backend {
+            SweepBackend::Spectral => true,
+            SweepBackend::Dense => false,
+            SweepBackend::Auto => {
+                floorplan.blocks().len() >= SPECTRAL_AUTO_THRESHOLD && infer_grid(floorplan).is_ok()
+            }
+        };
+        let engine = if spectral {
+            self.spectral_engine(floorplan).map_err(JobError::Backend)?
+        } else {
+            self.sweep_engine(floorplan)
+        };
         let grid = self.grid(job);
         let model = ScaledTechPower::area_weighted(floorplan, job.dynamic_w, job.leakage_w)
             .prepared_for(&grid);
-        Ok(engine.run(&grid, &model))
+        let backend = if spectral {
+            SweepBackend::Spectral
+        } else {
+            SweepBackend::Dense
+        };
+        Ok((engine.run(&grid, &model), backend))
     }
 
     fn run_map(&self, job: &MapJob) -> Result<MapReport, JobError> {

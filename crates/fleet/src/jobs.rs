@@ -29,7 +29,7 @@
 //! never a panic inside a fleet worker.
 
 use crate::json::{Json, JsonError};
-use ptherm_core::cosim::DriveWaveform;
+use ptherm_core::cosim::{DriveWaveform, SweepBackend};
 use ptherm_floorplan::{generator, Block, BuildFloorplanError, ChipGeometry, Floorplan};
 use ptherm_math::ode::ImplicitScheme;
 use std::fmt;
@@ -89,6 +89,10 @@ pub struct SteadyJob {
     pub activities: Vec<f64>,
     /// Ambient axis, K; `None` = the floorplan's sink temperature.
     pub ambients_k: Option<Vec<f64>>,
+    /// Requested sweep backend (`"auto"` unless the record says
+    /// otherwise). Only steady jobs honour it — map and transient jobs
+    /// always run the dense operator.
+    pub backend: SweepBackend,
 }
 
 /// A transient (time-stepped) job.
@@ -357,6 +361,17 @@ fn parse_steady(
             "job references undefined floorplan {floorplan:?} (define it on an earlier line)"
         )));
     }
+    let backend = match record.get("backend").map(|b| b.as_str()) {
+        None => SweepBackend::Auto,
+        Some(Some("auto")) => SweepBackend::Auto,
+        Some(Some("dense")) => SweepBackend::Dense,
+        Some(Some("spectral")) => SweepBackend::Spectral,
+        Some(other) => {
+            return Err(schema(format!(
+                "unknown backend {other:?} (use \"auto\", \"dense\" or \"spectral\")"
+            )))
+        }
+    };
     Ok(SteadyJob {
         floorplan,
         dynamic_w: field_f64(record, "dynamic_w", line)?,
@@ -364,6 +379,7 @@ fn parse_steady(
         vdd_scales: optional_f64_list(record, "vdd_scales", line)?.unwrap_or_else(|| vec![1.0]),
         activities: optional_f64_list(record, "activities", line)?.unwrap_or_else(|| vec![1.0]),
         ambients_k: optional_f64_list(record, "ambients_k", line)?,
+        backend,
     })
 }
 

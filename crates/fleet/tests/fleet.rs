@@ -413,6 +413,89 @@ fn map_cache_keys_on_geometry_grid_and_orders() {
     assert_eq!(stats.misses, 5);
 }
 
+const SPECTRAL_REQUEST: &str = r#"
+{"type": "floorplan", "name": "g", "tiles": {"rows": 4, "cols": 4, "p_min": 0.01, "p_max": 0.05, "seed": 2}}
+{"type": "steady", "floorplan": "g", "dynamic_w": 0.3, "leakage_w": 0.03, "backend": "spectral", "vdd_scales": [0.9, 1.0, 1.1]}
+{"type": "steady", "floorplan": "g", "dynamic_w": 0.3, "leakage_w": 0.03, "backend": "spectral", "vdd_scales": [0.9, 1.0, 1.1]}
+{"type": "steady", "floorplan": "g", "dynamic_w": 0.3, "leakage_w": 0.03, "backend": "dense", "vdd_scales": [0.9, 1.0, 1.1]}
+"#;
+
+fn run_spectral_fleet(threads: usize, amortize: bool) -> ptherm_fleet::FleetReport {
+    let request = parse_jsonl(SPECTRAL_REQUEST).expect("valid request");
+    let config = FleetConfig {
+        threads,
+        amortize,
+        ..FleetConfig::default()
+    };
+    let engine = FleetEngine::from_request(config, &request);
+    engine.run(&request.jobs)
+}
+
+#[test]
+fn spectral_jobs_are_bitwise_invariant_across_cache_state_and_threads() {
+    use ptherm_core::cosim::SweepBackend;
+    let cached = run_spectral_fleet(1, true);
+    assert_eq!(cached.ok_count(), 3);
+    // The two identical spectral jobs share one cached build; the dense
+    // job never touches the spectral cache.
+    assert_eq!(cached.spectral_cache.misses, 1);
+    assert_eq!(cached.spectral_cache.hits, 1);
+    assert_eq!(cached.jobs[0].backend, Some(SweepBackend::Spectral));
+    assert_eq!(cached.jobs[1].backend, Some(SweepBackend::Spectral));
+    assert_eq!(cached.jobs[2].backend, Some(SweepBackend::Dense));
+    // Identical spectral jobs are bitwise equal to each other...
+    let (Ok(JobReport::Steady(a)), Ok(JobReport::Steady(b))) =
+        (&cached.jobs[0].outcome, &cached.jobs[1].outcome)
+    else {
+        panic!("steady spectral jobs")
+    };
+    assert_eq!(a.outcomes, b.outcomes);
+    // ...and cold (per-job build) and threaded runs are bitwise equal
+    // to the cached serial run.
+    for report in [
+        run_spectral_fleet(1, false),
+        run_spectral_fleet(4, true),
+        run_spectral_fleet(4, false),
+    ] {
+        assert_reports_bit_identical(&cached, &report);
+    }
+    assert_eq!(run_spectral_fleet(1, false).spectral_cache.misses, 0);
+    // Result lines carry the backend that actually ran.
+    let request = parse_jsonl(SPECTRAL_REQUEST).unwrap();
+    let line = cached.jobs[0].to_json(&request.jobs[0]).render();
+    assert!(line.contains("\"backend\":\"spectral\""), "{line}");
+    let line = cached.jobs[2].to_json(&request.jobs[2]).render();
+    assert!(line.contains("\"backend\":\"dense\""), "{line}");
+}
+
+#[test]
+fn spectral_cache_keys_on_grid_orders_and_tolerance() {
+    let plan = tiled(4, 4, 2);
+    let cache = OperatorCache::new(8);
+    let a = cache.spectral_operator(&plan, 2, 9, 1e-6).expect("on grid");
+    // Power edits still hit (rasterization and refinement are per-watt).
+    let mut repowered = plan.clone();
+    repowered.set_power(0, 7.0);
+    let b = cache
+        .spectral_operator(&repowered, 2, 9, 1e-6)
+        .expect("on grid");
+    assert!(Arc::ptr_eq(&a, &b));
+    // Image orders and the refinement tolerance are part of the key.
+    for (lat, z, tol) in [(1, 9, 1e-6), (2, 5, 1e-6), (2, 9, 1e-3)] {
+        let other = cache
+            .spectral_operator(&plan, lat, z, tol)
+            .expect("on grid");
+        assert!(!Arc::ptr_eq(&a, &other), "({lat},{z},{tol})");
+    }
+    let stats = cache.spectral_stats();
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.misses, 4);
+    // An off-grid floorplan is a typed error and caches nothing.
+    let offgrid = Floorplan::paper_three_blocks();
+    assert!(cache.spectral_operator(&offgrid, 2, 9, 1e-6).is_err());
+    assert_eq!(cache.spectral_stats().misses, 4);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 

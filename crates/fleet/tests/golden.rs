@@ -76,6 +76,15 @@ fn mixed_request_matches_the_golden_line_for_line() {
     check_fixture("mixed");
 }
 
+/// Backend selection over the wire: explicit spectral and dense jobs on
+/// a uniform-grid floorplan pin the `"backend"` result field, an
+/// implicit job pins the auto resolution, and a spectral request on an
+/// off-grid floorplan pins the typed `ok:false` refusal line.
+#[test]
+fn backend_selection_matches_the_golden_line_for_line() {
+    check_fixture("spectral");
+}
+
 /// A request refused by the JSON layer: the expected text pins the
 /// line number and byte offset of the diagnostic.
 #[test]
@@ -114,5 +123,5 @@ fn every_fixture_is_paired() {
             );
         }
     }
-    assert_eq!(requests, 4, "fixture inventory drifted");
+    assert_eq!(requests, 5, "fixture inventory drifted");
 }

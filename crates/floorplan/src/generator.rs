@@ -4,6 +4,55 @@ use crate::{Block, BuildFloorplanError, ChipGeometry, Floorplan};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Clips `block` to the die, rejecting blocks that lie entirely
+/// outside it.
+///
+/// Blocks already inside the die (the only thing the generators below
+/// produce for sane inputs) are returned **bit-identical** — clipping
+/// never perturbs a valid layout, so operator fingerprints and rows are
+/// unchanged. A block protruding past an edge is clamped to the die
+/// boundary (centre and extent recomputed from the clipped bounds,
+/// power preserved); one with no area left inside is rejected as
+/// [`BuildFloorplanError::OutOfBounds`]. Every generator in this module
+/// routes its blocks through this function, so a rounding- or
+/// caller-induced protrusion can never reach the thermal operator as an
+/// out-of-range image source.
+///
+/// # Errors
+///
+/// [`BuildFloorplanError::OutOfBounds`] if the block does not intersect
+/// the die interior.
+pub fn clip_to_die(geometry: &ChipGeometry, block: Block) -> Result<Block, BuildFloorplanError> {
+    let (x0, y0, x1, y1) = block.bounds();
+    if x0 >= 0.0 && y0 >= 0.0 && x1 <= geometry.width && y1 <= geometry.length {
+        return Ok(block);
+    }
+    let (cx0, cy0) = (x0.max(0.0), y0.max(0.0));
+    let (cx1, cy1) = (x1.min(geometry.width), y1.min(geometry.length));
+    if cx1 <= cx0 || cy1 <= cy0 {
+        return Err(BuildFloorplanError::OutOfBounds { block: block.name });
+    }
+    Ok(Block::new(
+        block.name,
+        (cx0 + cx1) / 2.0,
+        (cy0 + cy1) / 2.0,
+        cx1 - cx0,
+        cy1 - cy0,
+        block.power,
+    ))
+}
+
+fn clipped_floorplan(
+    geometry: ChipGeometry,
+    blocks: Vec<Block>,
+) -> Result<Floorplan, BuildFloorplanError> {
+    let blocks = blocks
+        .into_iter()
+        .map(|b| clip_to_die(&geometry, b))
+        .collect::<Result<Vec<_>, _>>()?;
+    Floorplan::new(geometry, blocks)
+}
+
 /// Regular `rows × cols` tiling of the die with uniform gutter spacing;
 /// per-tile powers are drawn from `[p_min, p_max)` with a seeded RNG.
 ///
@@ -49,7 +98,7 @@ pub fn tiled(
             ));
         }
     }
-    Floorplan::new(geometry, blocks)
+    clipped_floorplan(geometry, blocks)
 }
 
 /// A floorplan whose blocks are exactly the tiles of an `nx × ny` grid
@@ -94,7 +143,7 @@ pub fn tile_aligned(
             )
         })
         .collect();
-    Floorplan::new(geometry, blocks)
+    clipped_floorplan(geometry, blocks)
 }
 
 /// A single centred hotspot block covering `fraction` of the die area and
@@ -122,7 +171,7 @@ pub fn hotspot(
         geometry.length * scale,
         power,
     );
-    Floorplan::new(geometry, vec![block])
+    clipped_floorplan(geometry, vec![block])
 }
 
 #[cfg(test)]
@@ -179,5 +228,73 @@ mod tests {
     #[should_panic(expected = "fraction in (0, 1]")]
     fn hotspot_fraction_validated() {
         let _ = hotspot(ChipGeometry::paper_1mm(), 1.5, 1.0);
+    }
+
+    #[test]
+    fn clipping_is_bitwise_identity_for_in_die_blocks() {
+        // The corrected generators clip every block, so a block that is
+        // already inside the die must survive untouched — operator rows
+        // and fingerprints built from generator plans cannot move.
+        let g = ChipGeometry::paper_1mm();
+        let block = Block::new("b", 2.3e-4, 7.1e-4, 1.3e-4, 0.9e-4, 0.025);
+        let clipped = clip_to_die(&g, block.clone()).unwrap();
+        assert_eq!(block, clipped);
+        // A boundary-touching block is in-die and equally untouched.
+        let flush = Block::new("f", g.width / 2.0, g.length / 2.0, g.width, g.length, 1.0);
+        assert_eq!(flush, clip_to_die(&g, flush.clone()).unwrap());
+    }
+
+    #[test]
+    fn protruding_blocks_are_clamped_to_the_die() {
+        let g = ChipGeometry::paper_1mm();
+        // Sticks 0.2 mm past the right edge: keep the in-die half.
+        let block = Block::new("edge", g.width, 5e-4, 4e-4, 2e-4, 0.5);
+        let clipped = clip_to_die(&g, block).unwrap();
+        let (x0, y0, x1, y1) = clipped.bounds();
+        assert_eq!(x1, g.width);
+        assert!((x0 - (g.width - 2e-4)).abs() < 1e-18);
+        assert!((y0 - 4e-4).abs() < 1e-18 && (y1 - 6e-4).abs() < 1e-18);
+        assert_eq!(clipped.power, 0.5, "power is preserved, not rescaled");
+    }
+
+    #[test]
+    fn fully_outside_blocks_are_rejected_not_silently_kept() {
+        let g = ChipGeometry::paper_1mm();
+        let gone = Block::new("gone", 2.0 * g.width, 5e-4, 1e-4, 1e-4, 0.1);
+        assert_eq!(
+            clip_to_die(&g, gone),
+            Err(BuildFloorplanError::OutOfBounds {
+                block: "gone".into()
+            })
+        );
+    }
+
+    #[test]
+    fn generators_are_unchanged_by_the_clipping_guard() {
+        // Regression pin: sane-input generator plans are bit-identical
+        // to the direct Floorplan::new construction — the guard only
+        // ever fires on blocks that actually protrude.
+        let g = ChipGeometry::paper_1mm();
+        let fp = tile_aligned(g, 5, 3, |i| 0.001 * i as f64).unwrap();
+        let (px, py) = (g.width / 5.0, g.length / 3.0);
+        let shrink = 1.0 - 1e-9;
+        let direct: Vec<Block> = (0..15)
+            .map(|i| {
+                let (ix, iy) = (i % 5, i / 5);
+                Block::new(
+                    format!("t{ix}-{iy}"),
+                    (ix as f64 + 0.5) * px,
+                    (iy as f64 + 0.5) * py,
+                    px * shrink,
+                    py * shrink,
+                    0.001 * i as f64,
+                )
+            })
+            .collect();
+        assert_eq!(fp, Floorplan::new(g, direct).unwrap());
+        assert_eq!(
+            hotspot(g, 1.0, 2.0).unwrap().blocks()[0].bounds(),
+            (0.0, 0.0, g.width, g.length)
+        );
     }
 }
