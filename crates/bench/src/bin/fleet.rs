@@ -124,6 +124,32 @@ fn serve(args: &[String]) -> i32 {
         map.evictions,
         fleet_report.steals,
     );
+    // Final stderr line is machine-readable: one JSON object an
+    // operator's supervisor can parse without touching stdout (which
+    // carries only result lines).
+    let summary = ptherm_fleet::Json::Object(vec![
+        (
+            "jobs".into(),
+            ptherm_fleet::Json::Number(fleet_report.jobs.len() as f64),
+        ),
+        (
+            "ok".into(),
+            ptherm_fleet::Json::Number(fleet_report.ok_count() as f64),
+        ),
+        (
+            "errors".into(),
+            ptherm_fleet::Json::Number(fleet_report.error_count() as f64),
+        ),
+        (
+            "retries".into(),
+            ptherm_fleet::Json::Number(fleet_report.retry_count() as f64),
+        ),
+        (
+            "panics".into(),
+            ptherm_fleet::Json::Number(fleet_report.panic_count() as f64),
+        ),
+    ]);
+    eprintln!("{}", summary.render());
     i32::from(fleet_report.ok_count() != fleet_report.jobs.len())
 }
 
@@ -167,6 +193,7 @@ fn synthetic_fleet(cfg: &BenchConfig) -> (Vec<(String, Floorplan)>, Vec<JobSpec>
                 activities: vec![0.5, 1.0],
                 ambients_k: None,
                 backend: ptherm_core::cosim::SweepBackend::Auto,
+                deadline_ms: None,
             };
             // Alternate job kinds per round so every worker's local run
             // of the queue mixes sweeps and transients.

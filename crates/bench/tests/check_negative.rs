@@ -87,6 +87,61 @@ fn a_quadratic_scaling_exponent_fails_the_spectral_bound() {
     );
 }
 
+/// The fault-tolerance gate is max-bounds only: a chaos run whose
+/// recovery overhead creeps past the ceiling — or that perturbs even a
+/// single unaffected result line — must fail with the measurement, and
+/// a healthy run clears every bound.
+#[test]
+fn a_slow_or_leaky_chaos_run_fails_the_faults_bounds() {
+    let bounds = r#"[
+      {"file": "BENCH_faults.json",
+       "max": {"recovery_overhead_ratio": 1.05,
+               "unfaulted_line_mismatches": 0,
+               "drained_line_mismatches": 0}}
+    ]"#;
+    let specs = parse_bounds(bounds).unwrap();
+    let artifact = |ratio: &str, mismatches: &str| {
+        format!(
+            r#"{{"bench": "faults", "recovery_overhead_ratio": {ratio},
+                 "unfaulted_line_mismatches": {mismatches},
+                 "drained_line_mismatches": 0}}"#
+        )
+    };
+    // A healthy chaos run clears every bound.
+    assert!(check_artifact(&specs[0], Some(&artifact("1.02", "0")))
+        .iter()
+        .all(|c| c.pass));
+    // Recovery overhead above the 5% ceiling fails exactly that bound,
+    // naming the measured ratio.
+    let failed: Vec<_> = check_artifact(&specs[0], Some(&artifact("1.31", "0")))
+        .into_iter()
+        .filter(|c| !c.pass)
+        .collect();
+    assert_eq!(failed.len(), 1, "only the overhead bound should fail");
+    assert!(
+        failed[0].claim.contains("recovery_overhead_ratio"),
+        "{}",
+        failed[0].claim
+    );
+    assert!(
+        failed[0].detail.contains("measured 1.31"),
+        "{}",
+        failed[0].detail
+    );
+    // A single perturbed unaffected line breaks isolation: the
+    // zero-mismatch ceiling fails.
+    let failed: Vec<_> = check_artifact(&specs[0], Some(&artifact("1.02", "1")))
+        .into_iter()
+        .filter(|c| !c.pass)
+        .collect();
+    assert_eq!(failed.len(), 1, "only the mismatch bound should fail");
+    assert!(
+        failed[0].claim.contains("unfaulted_line_mismatches"),
+        "{}",
+        failed[0].claim
+    );
+}
+
 #[test]
 fn missing_nulled_and_mistyped_fields_have_a_distinct_diagnostic() {
     let field_diag = "field missing, non-numeric or nulled (non-finite at emit time)";

@@ -39,6 +39,7 @@
 use crate::cosim::sweep::SweepOutcome;
 use crate::cosim::{ElectroThermalSolver, ThermalOperator};
 use ptherm_math::MultiVec;
+use ptherm_par::CancelToken;
 
 /// Power evaluation over a batch of scenario lanes.
 ///
@@ -235,6 +236,7 @@ impl<'a> BatchedSolver<'a> {
             b,
             model,
             ws,
+            None,
             &mut || {
                 (next < b).then(|| {
                     let id = next;
@@ -261,6 +263,7 @@ impl<'a> BatchedSolver<'a> {
         lanes: usize,
         model: &mut M,
         ws: &mut BatchWorkspace,
+        cancel: Option<&CancelToken>,
         source: &mut dyn FnMut() -> Option<(usize, f64)>,
         sink: &mut dyn FnMut(usize, SweepOutcome),
     ) {
@@ -271,6 +274,7 @@ impl<'a> BatchedSolver<'a> {
             lanes,
             model,
             ws,
+            cancel,
             source,
             sink,
             // Closed-form thermal solve: one matrix × batch product. The
@@ -295,6 +299,7 @@ pub(crate) fn drive_picard<M: BatchPowerModel + ?Sized>(
     lanes: usize,
     model: &mut M,
     ws: &mut BatchWorkspace,
+    cancel: Option<&CancelToken>,
     source: &mut dyn FnMut() -> Option<(usize, f64)>,
     sink: &mut dyn FnMut(usize, SweepOutcome),
     apply: &mut dyn FnMut(&MultiVec, &mut MultiVec, &[bool]),
@@ -304,6 +309,26 @@ pub(crate) fn drive_picard<M: BatchPowerModel + ?Sized>(
     let mut pending = 0usize;
     let mut open = true;
     loop {
+        // Cooperative-cancellation checkpoint: exactly one poll per
+        // Picard iteration (shared by the dense and spectral backends).
+        // Live lanes retire as Cancelled carrying their iteration
+        // count; scenarios still in `source` are the caller's to
+        // account for. A token that never fires costs one relaxed
+        // atomic load here and changes no arithmetic.
+        if cancel.is_some_and(|token| token.is_cancelled()) {
+            for lane in 0..lanes {
+                if ws.alive[lane] {
+                    ws.alive[lane] = false;
+                    sink(
+                        ws.lane_id[lane],
+                        SweepOutcome::Cancelled {
+                            iterations: ws.lane_iter[lane],
+                        },
+                    );
+                }
+            }
+            return;
+        }
         if open {
             for lane in 0..lanes {
                 if ws.alive[lane] {
@@ -677,6 +702,7 @@ mod tests {
             3,
             &mut FnBatchPower::new(f),
             &mut BatchWorkspace::new(),
+            None,
             &mut || {
                 (next < 11).then(|| {
                     let id = next;
@@ -702,6 +728,7 @@ mod tests {
             0,
             &mut FnBatchPower::new(|_, _, _| 0.2),
             &mut BatchWorkspace::new(),
+            None,
             &mut || {
                 (next < 3).then(|| {
                     let id = next;

@@ -63,6 +63,7 @@ use crate::thermal::profile::BlockKernel;
 use ptherm_floorplan::{Block, Floorplan};
 use ptherm_math::cg::solve_cg;
 use ptherm_math::{CsrMatrix, MultiVec};
+use ptherm_par::CancelToken;
 use std::fmt;
 
 /// Largest uniform grid (tiles per axis) [`infer_grid`] will consider.
@@ -635,6 +636,7 @@ impl<'a> SpectralBatchedSolver<'a> {
             model,
             ws,
             scratch,
+            None,
             &mut || {
                 (next < b).then(|| {
                     let id = next;
@@ -654,12 +656,14 @@ impl<'a> SpectralBatchedSolver<'a> {
     /// same lane-refill semantics, same guard order (shared skeleton),
     /// but each live lane's rises come from one scatter → FFT → sample
     /// pass instead of a GEMM column.
+    #[allow(clippy::too_many_arguments)]
     pub fn drive<M: BatchPowerModel + ?Sized>(
         &self,
         lanes: usize,
         model: &mut M,
         ws: &mut BatchWorkspace,
         scratch: &mut SpectralScratch,
+        cancel: Option<&CancelToken>,
         source: &mut dyn FnMut() -> Option<(usize, f64)>,
         sink: &mut dyn FnMut(usize, SweepOutcome),
     ) {
@@ -673,6 +677,7 @@ impl<'a> SpectralBatchedSolver<'a> {
             lanes,
             model,
             ws,
+            cancel,
             source,
             sink,
             &mut |powers: &MultiVec, fresh: &mut MultiVec, alive: &[bool]| {
@@ -901,6 +906,7 @@ mod tests {
                 &mut FnBatchPower::new(f),
                 &mut BatchWorkspace::new(),
                 &mut SpectralScratch::new(),
+                None,
                 &mut || {
                     (next < ambients.len()).then(|| {
                         let id = next;

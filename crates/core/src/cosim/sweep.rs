@@ -57,6 +57,7 @@ use crate::thermal::capacitance::silicon_block_capacitances;
 use crate::thermal::map::{map_operator_fingerprint, MapOperator, MapWorkspace};
 use ptherm_floorplan::Floorplan;
 use ptherm_math::{expv, MultiVec};
+use ptherm_par::CancelToken;
 use ptherm_tech::{Polarity, Technology};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -678,6 +679,14 @@ pub enum SweepOutcome {
         /// Offending value.
         power: f64,
     },
+    /// The solve was cancelled cooperatively (deadline or explicit
+    /// [`CancelToken`]) before this scenario
+    /// resolved.
+    Cancelled {
+        /// Picard iterations completed before cancellation (0 for
+        /// scenarios never started).
+        iterations: usize,
+    },
 }
 
 impl SweepOutcome {
@@ -746,6 +755,9 @@ impl fmt::Display for SweepOutcome {
                 power: *power,
             }
             .fmt(f),
+            SweepOutcome::Cancelled { iterations } => {
+                write!(f, "cancelled after {iterations} iterations")
+            }
         }
     }
 }
@@ -1184,6 +1196,22 @@ impl SweepEngine {
     /// Results agree with [`Self::run_per_scenario`] to the ULP-level
     /// contract documented in [`crate::cosim::batch`].
     pub fn run<M: ScenarioPowerModel>(&self, grid: &ScenarioGrid, model: &M) -> SweepReport {
+        self.run_with_cancel(grid, model, None)
+    }
+
+    /// [`Self::run`] with a cooperative [`CancelToken`] checkpointed
+    /// once per Picard iteration. When the token fires, in-flight
+    /// scenarios retire as [`SweepOutcome::Cancelled`] with their
+    /// iteration counts and never-started scenarios as `Cancelled`
+    /// with zero iterations; the engine, its cached operators and all
+    /// workspaces stay fully reusable. A token that never fires leaves
+    /// results bitwise identical to [`Self::run`].
+    pub fn run_with_cancel<M: ScenarioPowerModel>(
+        &self,
+        grid: &ScenarioGrid,
+        model: &M,
+        cancel: Option<&CancelToken>,
+    ) -> SweepReport {
         // The floorplan's sink, not the operator's (same value by the
         // fingerprint contract): reading it must not force a dense
         // build under the spectral backend.
@@ -1193,6 +1221,7 @@ impl SweepEngine {
             total,
             |id| grid.scenario(id, sink_k).ambient_k,
             || model.batched(grid, sink_k, self.batch_lanes),
+            cancel,
         )
     }
 
@@ -1213,6 +1242,7 @@ impl SweepEngine {
                     |id: usize, block: usize, t: f64| power(&scenarios[id], block, t),
                 ))
             },
+            None,
         )
     }
 
@@ -1272,6 +1302,23 @@ impl SweepEngine {
         model: &M,
         map_op: &MapOperator,
     ) -> MapReport {
+        self.run_map_with_cancel(grid, model, map_op, None)
+    }
+
+    /// [`Self::run_map_with`] with a cooperative [`CancelToken`]
+    /// checkpointed once per Picard iteration during the sweep and once
+    /// per scenario during the FFT render pass. Scenarios cancelled
+    /// mid-sweep carry [`SweepOutcome::Cancelled`]; converged scenarios
+    /// whose render was skipped by a late cancellation keep their sweep
+    /// outcome with `map_k: None`. A token that never fires leaves
+    /// results bitwise identical to [`Self::run_map_with`].
+    pub fn run_map_with_cancel<M: ScenarioPowerModel>(
+        &self,
+        grid: &ScenarioGrid,
+        model: &M,
+        map_op: &MapOperator,
+        cancel: Option<&CancelToken>,
+    ) -> MapReport {
         assert_eq!(
             map_op.fingerprint(),
             map_operator_fingerprint(
@@ -1283,13 +1330,22 @@ impl SweepEngine {
             ),
             "map operator/solver fingerprint mismatch"
         );
-        let sweep = self.run(grid, model);
+        let sweep = self.run_with_cancel(grid, model, cancel);
         let sink_k = self.solver.floorplan().geometry().sink_temperature;
         let outcomes = ptherm_par::par_map_with(
             self.threads,
             &sweep.outcomes,
             MapWorkspace::new,
             |ws, id, outcome| {
+                // Render-pass checkpoint: one poll per scenario. A late
+                // cancellation skips the remaining renders but keeps
+                // each scenario's sweep outcome.
+                if cancel.is_some_and(|token| token.is_cancelled()) {
+                    return MapOutcome {
+                        outcome: outcome.clone(),
+                        map_k: None,
+                    };
+                }
                 let map_k = match outcome {
                     SweepOutcome::Converged { block_powers, .. } => {
                         let mut map = vec![0.0; map_op.tiles()];
@@ -1330,6 +1386,7 @@ impl SweepEngine {
         total: usize,
         ambient_of: impl Fn(usize) -> f64 + Sync,
         make_model: impl Fn() -> Box<dyn BatchPowerModel + 'm> + Sync,
+        cancel: Option<&CancelToken>,
     ) -> SweepReport {
         let spectral = match self.resolved_backend() {
             SweepBackend::Spectral => Some(match self.spectral_operator() {
@@ -1358,6 +1415,7 @@ impl SweepEngine {
                     &mut *model,
                     &mut ws,
                     &mut SpectralScratch::new(),
+                    cancel,
                     &mut source,
                     &mut sink,
                 ),
@@ -1365,6 +1423,7 @@ impl SweepEngine {
                     self.batch_lanes,
                     &mut *model,
                     &mut ws,
+                    cancel,
                     &mut source,
                     &mut sink,
                 ),
@@ -1372,6 +1431,11 @@ impl SweepEngine {
             }
             collected
         });
+        // Scenarios still in the shared cursor when a token fires were
+        // never pulled into a lane: they retire as Cancelled with zero
+        // iterations. Without a fired token every slot must be filled —
+        // the original exhaustiveness contract.
+        let cancelled = cancel.is_some_and(|token| token.fired());
         let mut outcomes: Vec<Option<SweepOutcome>> = (0..total).map(|_| None).collect();
         for (id, outcome) in per_worker.into_iter().flatten() {
             outcomes[id] = Some(outcome);
@@ -1379,7 +1443,13 @@ impl SweepEngine {
         SweepReport {
             outcomes: outcomes
                 .into_iter()
-                .map(|o| o.expect("every scenario resolved"))
+                .map(|o| match o {
+                    Some(outcome) => outcome,
+                    None => {
+                        assert!(cancelled, "every scenario resolved");
+                        SweepOutcome::Cancelled { iterations: 0 }
+                    }
+                })
                 .collect(),
         }
     }
@@ -1456,6 +1526,31 @@ impl SweepEngine {
         cfg: &TransientConfig,
         top: &TransientOperator,
     ) -> Result<TransientReport, TransientError> {
+        self.run_transient_with_cancel(grid, model, cfg, top, None)
+    }
+
+    /// [`Self::run_transient_with`] with a cooperative [`CancelToken`]
+    /// checkpointed once per time step. Lanes in flight when the token
+    /// fires retire as [`TransientOutcome::Cancelled`] at the step they
+    /// reached; chunks claimed after it fires retire immediately at
+    /// step 0. A token that never fires leaves results bitwise
+    /// identical to [`Self::run_transient_with`].
+    ///
+    /// # Errors
+    ///
+    /// See [`TransientError`].
+    ///
+    /// # Panics
+    ///
+    /// Same fingerprint contract as [`Self::run_transient_with`].
+    pub fn run_transient_with_cancel<M: ScenarioPowerModel>(
+        &self,
+        grid: &ScenarioGrid,
+        model: &M,
+        cfg: &TransientConfig,
+        top: &TransientOperator,
+        cancel: Option<&CancelToken>,
+    ) -> Result<TransientReport, TransientError> {
         let caps = self.transient_capacitances(cfg);
         assert_eq!(
             top.fingerprint(),
@@ -1497,6 +1592,7 @@ impl SweepEngine {
                     &mut ws,
                     cfg.steps,
                     cfg.record_stride,
+                    cancel,
                 );
                 collected.push((start, outcomes));
             }

@@ -52,6 +52,7 @@ use crate::cosim::batch::{first_bad_power, scan_power_poison, BatchPowerModel};
 use crate::cosim::ThermalOperator;
 use ptherm_math::ode::{rk4, ImplicitScheme};
 use ptherm_math::{Matrix, MultiVec};
+use ptherm_par::CancelToken;
 use std::fmt;
 
 /// Error building or driving a transient solve.
@@ -472,6 +473,14 @@ pub enum TransientOutcome {
         /// Peak temperature reached, K.
         temperature: f64,
     },
+    /// The solve was cancelled cooperatively (deadline or explicit
+    /// [`CancelToken`]) before this lane
+    /// finished.
+    Cancelled {
+        /// Steps completed before cancellation (0 for lanes never
+        /// started).
+        step: usize,
+    },
 }
 
 impl TransientOutcome {
@@ -747,6 +756,7 @@ impl<'a> TransientBatchedSolver<'a> {
     /// # Panics
     ///
     /// Panics if `width < lanes.len()`.
+    #[allow(clippy::too_many_arguments)]
     pub fn solve_chunk<M: BatchPowerModel + ?Sized>(
         &self,
         width: usize,
@@ -755,6 +765,7 @@ impl<'a> TransientBatchedSolver<'a> {
         ws: &mut TransientWorkspace,
         steps: usize,
         record_stride: usize,
+        cancel: Option<&CancelToken>,
     ) -> Vec<TransientOutcome> {
         assert!(width >= lanes.len(), "chunk wider than the batch panels");
         let n = self.op.len();
@@ -770,6 +781,18 @@ impl<'a> TransientBatchedSolver<'a> {
         }
 
         for step in 0..steps {
+            // Cooperative-cancellation checkpoint: one poll per
+            // transient step; still-running lanes retire as Cancelled
+            // at the step they reached.
+            if cancel.is_some_and(|token| token.is_cancelled()) {
+                for j in 0..width {
+                    if ws.alive[j] {
+                        ws.alive[j] = false;
+                        ws.outcomes[j] = Some(TransientOutcome::Cancelled { step });
+                    }
+                }
+                break;
+            }
             let t = dt * step as f64;
             // Power panel at the step-start temperatures, scaled by each
             // lane's drive at the scheme's evaluation time.
@@ -1235,7 +1258,7 @@ mod tests {
             model.begin_lane(lane, lane);
         }
         let mut ws = TransientWorkspace::new();
-        let batched = solver.solve_chunk(lanes.len(), &lanes, &mut model, &mut ws, 400, 40);
+        let batched = solver.solve_chunk(lanes.len(), &lanes, &mut model, &mut ws, 400, 40, None);
         for (id, lane) in lanes.iter().enumerate() {
             let single =
                 solver.solve_single(lane.ambient_k, lane.waveform, |b, t| f(id, b, t), 400, 40);
@@ -1424,7 +1447,7 @@ mod tests {
             model.begin_lane(lane, lane);
         }
         let mut ws = TransientWorkspace::new();
-        let out = solver.solve_chunk(lanes.len(), &lanes, &mut model, &mut ws, 100, 0);
+        let out = solver.solve_chunk(lanes.len(), &lanes, &mut model, &mut ws, 100, 0, None);
         assert!(out[0].is_finished());
         assert!(matches!(
             out[1],

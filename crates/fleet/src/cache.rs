@@ -201,6 +201,31 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
         Ok(built)
     }
 
+    /// Discards every **ready** entry, counting each as an eviction,
+    /// and returns how many were dropped. In-flight reservations are
+    /// left alone — their builders are about to insert, and removing a
+    /// reservation out from under its `BuildGuard` would break the
+    /// single-flight protocol. The fault-injection harness uses this
+    /// ([`Fault::EvictCaches`](crate::Fault::EvictCaches)) to force
+    /// rebuild-under-traffic; correctness is unaffected because
+    /// fingerprint-keyed builds are deterministic.
+    pub fn clear(&self) -> u64 {
+        let mut inner = self.lock();
+        let ready: Vec<K> = inner
+            .map
+            .iter()
+            .filter(|(_, e)| e.value.is_some())
+            .map(|(k, _)| k.clone())
+            .collect();
+        let dropped = ready.len() as u64;
+        for key in ready {
+            inner.map.remove(&key);
+        }
+        drop(inner);
+        self.evictions.fetch_add(dropped, Ordering::Relaxed);
+        dropped
+    }
+
     /// Evicts least-recently-used ready entries until the ready count
     /// respects the capacity. In-flight reservations are never evicted
     /// (their builders are about to insert) and do not count against
@@ -304,8 +329,25 @@ impl OperatorCache {
         lateral_order: usize,
         z_order: usize,
     ) -> Arc<ThermalOperator> {
+        self.steady_operator_hooked(floorplan, lateral_order, z_order, || {})
+    }
+
+    /// [`Self::steady_operator`] with a `hook` run at the start of a
+    /// cold build, **inside** the single-flight reservation. This is
+    /// the fault-injection seam: a hook that panics exercises exactly
+    /// the builder-panic path a real build failure would take — the
+    /// reservation is released by the build guard, waiters wake, and
+    /// one of them retries the build. Hits never run the hook.
+    pub fn steady_operator_hooked(
+        &self,
+        floorplan: &Floorplan,
+        lateral_order: usize,
+        z_order: usize,
+        hook: impl FnOnce(),
+    ) -> Arc<ThermalOperator> {
         let key = operator_fingerprint(floorplan, lateral_order, z_order);
         let built: Result<_, std::convert::Infallible> = self.steady.get_or_build(key, || {
+            hook();
             Ok(ThermalOperator::with_image_orders_threaded(
                 floorplan,
                 lateral_order,
@@ -384,10 +426,29 @@ impl OperatorCache {
         z_order: usize,
         tolerance: f64,
     ) -> Result<Arc<SpectralOperator>, SpectralGridError> {
+        self.spectral_operator_hooked(floorplan, lateral_order, z_order, tolerance, || {})
+    }
+
+    /// [`Self::spectral_operator`] with a `hook` run at the start of a
+    /// cold build, inside the single-flight reservation — the same
+    /// fault-injection seam as [`Self::steady_operator_hooked`].
+    ///
+    /// # Errors
+    ///
+    /// [`SpectralGridError`] when no coincident tile grid exists.
+    pub fn spectral_operator_hooked(
+        &self,
+        floorplan: &Floorplan,
+        lateral_order: usize,
+        z_order: usize,
+        tolerance: f64,
+        hook: impl FnOnce(),
+    ) -> Result<Arc<SpectralOperator>, SpectralGridError> {
         let (nx, ny) = ptherm_core::cosim::infer_grid(floorplan)?;
         let key =
             spectral_operator_fingerprint(floorplan, lateral_order, z_order, nx, ny, tolerance);
         self.spectral.get_or_build(key, || {
+            hook();
             SpectralOperator::with_image_orders_threaded(
                 floorplan,
                 lateral_order,
@@ -396,6 +457,14 @@ impl OperatorCache {
                 1,
             )
         })
+    }
+
+    /// Flushes every ready entry from all four caches (steady,
+    /// transient, map, spectral), counting each as an eviction, and
+    /// returns the total dropped. In-flight builds are untouched; see
+    /// [`Lru::clear`].
+    pub fn evict_all(&self) -> u64 {
+        self.steady.clear() + self.transient.clear() + self.map.clear() + self.spectral.clear()
     }
 
     /// Counter snapshot for the steady-operator cache.

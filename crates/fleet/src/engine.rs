@@ -34,24 +34,28 @@
 //! ```
 
 use crate::cache::{CacheStats, OperatorCache};
+use crate::faults::{xorshift64, Fault, FaultPlan};
 use crate::jobs::{JobSpec, MapJob, SteadyJob, TransientJob};
 use crate::json::Json;
 use ptherm_core::cosim::spectral::DEFAULT_REFINEMENT_TOLERANCE;
-use ptherm_core::cosim::sweep::ScaledTechPower;
+use ptherm_core::cosim::sweep::{ScaledTechPower, Scenario, ScenarioPowerModel};
 use ptherm_core::cosim::{
-    infer_grid, MapReport, ScenarioGrid, SpectralGridError, SpectralOperator, SweepBackend,
-    SweepEngine, SweepReport, ThermalOperator, TransientConfig, TransientError, TransientReport,
-    SPECTRAL_AUTO_THRESHOLD,
+    infer_grid, BatchPowerModel, MapReport, ScenarioGrid, SpectralGridError, SpectralOperator,
+    SweepBackend, SweepEngine, SweepReport, ThermalOperator, TransientConfig, TransientError,
+    TransientReport, SPECTRAL_AUTO_THRESHOLD,
 };
 use ptherm_core::thermal::capacitance::silicon_block_capacitances;
 use ptherm_core::ElectroThermalSolver;
 use ptherm_floorplan::Floorplan;
+use ptherm_math::MultiVec;
 use ptherm_par::steal::StealQueues;
+use ptherm_par::CancelToken;
 use ptherm_tech::Technology;
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Fleet-wide configuration.
 #[derive(Debug, Clone)]
@@ -74,6 +78,10 @@ pub struct FleetConfig {
     pub z_order: usize,
     /// Technology kits scenario grids index into.
     pub technologies: Vec<Technology>,
+    /// Retry budget and backoff schedule for transient-classified job
+    /// failures. Permanent errors (schema, unknown floorplan, bad
+    /// waveform, panics, deadlines) never retry.
+    pub retry: RetryPolicy,
 }
 
 impl Default for FleetConfig {
@@ -88,7 +96,60 @@ impl Default for FleetConfig {
             lateral_order: 2,
             z_order: 9,
             technologies: vec![Technology::cmos_120nm()],
+            retry: RetryPolicy::default(),
         }
+    }
+}
+
+/// Bounded exponential backoff for transient-classified job failures.
+///
+/// The schedule is **deterministic**: the delay before retrying
+/// `(job, attempt)` is a pure function of this policy and those two
+/// indices — the jitter comes from a seeded xorshift, not the clock —
+/// so a retried fleet run is reproducible and the chaos suite can
+/// assert exact attempt counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per job, including the first (1 = never retry).
+    pub max_attempts: usize,
+    /// Backoff before retry `k` starts from `base_delay_ms · 2^(k-1)`.
+    pub base_delay_ms: u64,
+    /// Hard cap on any single backoff delay, ms.
+    pub max_delay_ms: u64,
+    /// Seed of the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 1 ms base doubling to a 50 ms cap.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay_ms: 1,
+            max_delay_ms: 50,
+            jitter_seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff delay before retrying `job` after its (1-based)
+    /// `attempt`-th failure: exponential in the attempt, capped at
+    /// [`Self::max_delay_ms`], plus up to 50% deterministic jitter
+    /// seeded by `(jitter_seed, job, attempt)`.
+    pub fn backoff_delay_ms(&self, job: usize, attempt: usize) -> u64 {
+        let doublings = attempt.saturating_sub(1).min(16) as u32;
+        let base = self
+            .base_delay_ms
+            .saturating_mul(1u64 << doublings)
+            .min(self.max_delay_ms);
+        if base == 0 {
+            return 0;
+        }
+        let mut state = self.jitter_seed ^ ((job as u64) << 32) ^ attempt as u64;
+        state = xorshift64(state | 1);
+        let jitter = state % (base / 2 + 1);
+        (base + jitter).min(self.max_delay_ms)
     }
 }
 
@@ -102,6 +163,39 @@ pub enum JobError {
     /// The job requested the spectral backend on a floorplan with no
     /// coincident tile grid.
     Backend(SpectralGridError),
+    /// The job's worker panicked; the panic was caught at the job
+    /// boundary and every other job completed unaffected.
+    WorkerPanic {
+        /// The panic payload's message (or a placeholder for
+        /// non-string payloads).
+        payload: String,
+    },
+    /// The job's `deadline_ms` budget ran out; the solve retired
+    /// cooperatively at its next checkpoint.
+    DeadlineExceeded {
+        /// Wall time the job had spent when it retired, ms.
+        elapsed_ms: u64,
+        /// Scenarios/transients that fully resolved before the
+        /// deadline — the job's partial progress.
+        resolved: usize,
+        /// Scenarios/transients the job asked for.
+        total: usize,
+    },
+    /// A fault-injection plan failed this attempt with a retryable
+    /// (transient-classified) error.
+    Injected {
+        /// 1-based attempt the fault fired on.
+        attempt: usize,
+    },
+}
+
+impl JobError {
+    /// True for transient-classified failures the retry machinery may
+    /// re-attempt. Schema-level errors, panics and blown deadlines are
+    /// permanent: retrying them re-runs a failure, not a race.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, JobError::Injected { .. })
+    }
 }
 
 impl fmt::Display for JobError {
@@ -110,6 +204,18 @@ impl fmt::Display for JobError {
             JobError::UnknownFloorplan(name) => write!(f, "unknown floorplan {name:?}"),
             JobError::Transient(e) => write!(f, "transient setup failed: {e}"),
             JobError::Backend(e) => write!(f, "spectral backend unavailable: {e}"),
+            JobError::WorkerPanic { payload } => write!(f, "worker panic: {payload}"),
+            JobError::DeadlineExceeded {
+                elapsed_ms,
+                resolved,
+                total,
+            } => write!(
+                f,
+                "deadline exceeded after {elapsed_ms} ms ({resolved}/{total} runs resolved)"
+            ),
+            JobError::Injected { attempt } => {
+                write!(f, "injected transient fault (attempt {attempt})")
+            }
         }
     }
 }
@@ -174,7 +280,9 @@ pub struct JobRecord {
     /// Map and transient jobs always run dense; steady jobs resolve
     /// their requested backend against the floorplan.
     pub backend: Option<SweepBackend>,
-    /// Wall time this job spent on its worker, ns.
+    /// Attempts the job consumed, including the first (1 = no retry).
+    pub attempts: usize,
+    /// Wall time this job spent on its worker, ns (retries included).
     pub wall_ns: u64,
 }
 
@@ -219,6 +327,11 @@ impl JobRecord {
                 fields.push(("error".into(), Json::String(error.to_string())));
             }
         }
+        // Emitted only when a retry actually happened, so the common
+        // fault-free line (and the pinned golden fixtures) stay stable.
+        if self.attempts > 1 {
+            fields.push(("attempts".into(), Json::Number(self.attempts as f64)));
+        }
         fields.push(("wall_ns".into(), Json::Number(self.wall_ns as f64)));
         Json::Object(fields)
     }
@@ -246,6 +359,25 @@ impl FleetReport {
     pub fn ok_count(&self) -> usize {
         self.jobs.iter().filter(|j| j.outcome.is_ok()).count()
     }
+
+    /// Jobs that ended in a typed failure.
+    pub fn error_count(&self) -> usize {
+        self.jobs.iter().filter(|j| j.outcome.is_err()).count()
+    }
+
+    /// Retries spent across the fleet (attempts beyond each job's
+    /// first, whether or not the retry ultimately succeeded).
+    pub fn retry_count(&self) -> usize {
+        self.jobs.iter().map(|j| j.attempts.saturating_sub(1)).sum()
+    }
+
+    /// Jobs that ended in a caught worker panic.
+    pub fn panic_count(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| matches!(j.outcome, Err(JobError::WorkerPanic { .. })))
+            .count()
+    }
 }
 
 /// The fleet scheduler (see the [module docs](self)).
@@ -254,6 +386,7 @@ pub struct FleetEngine {
     floorplans: HashMap<String, Arc<Floorplan>>,
     cache: OperatorCache,
     config: FleetConfig,
+    faults: Option<FaultPlan>,
 }
 
 impl FleetEngine {
@@ -264,7 +397,23 @@ impl FleetEngine {
             floorplans: HashMap::new(),
             cache,
             config,
+            faults: None,
         }
+    }
+
+    /// Installs a deterministic fault-injection plan: scheduled faults
+    /// fire by `(job index, attempt)` during [`Self::run`]. Chaos
+    /// testing only — a production engine carries no plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Replaces (or clears) the fault plan between runs — how the chaos
+    /// suite checks a faulted engine serves a subsequent fault-free
+    /// queue with zero residual cache poisoning.
+    pub fn set_faults(&mut self, plan: Option<FaultPlan>) {
+        self.faults = plan;
     }
 
     /// An engine pre-loaded with a parsed request's floorplans.
@@ -293,7 +442,11 @@ impl FleetEngine {
 
     /// Runs a mixed job queue to completion and reports every job in
     /// submission order. Never panics on a malformed job — failures are
-    /// per-job [`JobError`]s.
+    /// per-job [`JobError`]s. A job whose worker panics mid-solve is
+    /// caught at the job boundary ([`JobError::WorkerPanic`]); every
+    /// other job completes bit-identically to a fault-free run.
+    /// Transient-classified failures retry under
+    /// [`FleetConfig::retry`]'s budget with deterministic backoff.
     pub fn run(&self, jobs: &[JobSpec]) -> FleetReport {
         let workers = self.config.threads.clamp(1, jobs.len().max(1));
         let queues = StealQueues::split(workers, jobs.len());
@@ -301,7 +454,20 @@ impl FleetEngine {
             let mut mine = Vec::new();
             while let Some(index) = queues.pop(w) {
                 let started = Instant::now();
-                let (outcome, backend) = match self.run_job(&jobs[index]) {
+                let spec = &jobs[index];
+                let mut attempts = 1;
+                let mut result = self.attempt_job(spec, index, attempts);
+                while matches!(&result, Err(e) if e.is_transient())
+                    && attempts < self.config.retry.max_attempts
+                {
+                    let delay = self.config.retry.backoff_delay_ms(index, attempts);
+                    if delay > 0 {
+                        std::thread::sleep(Duration::from_millis(delay));
+                    }
+                    attempts += 1;
+                    result = self.attempt_job(spec, index, attempts);
+                }
+                let (outcome, backend) = match result {
                     Ok((report, backend)) => (Ok(report), Some(backend)),
                     Err(e) => (Err(e), None),
                 };
@@ -309,6 +475,7 @@ impl FleetEngine {
                     index,
                     outcome,
                     backend,
+                    attempts,
                     wall_ns: started.elapsed().as_nanos() as u64,
                 });
             }
@@ -337,18 +504,79 @@ impl FleetEngine {
         &self.cache
     }
 
-    fn run_job(&self, spec: &JobSpec) -> Result<(JobReport, SweepBackend), JobError> {
-        match spec {
-            JobSpec::Steady(job) => self
-                .run_steady(job)
-                .map(|(r, backend)| (JobReport::Steady(r), backend)),
-            JobSpec::Transient(job) => self
-                .run_transient(job)
-                .map(|r| (JobReport::Transient(r), SweepBackend::Dense)),
-            JobSpec::Map(job) => self
-                .run_map(job)
-                .map(|r| (JobReport::Map(r), SweepBackend::Dense)),
+    /// One attempt at one job, with the panic boundary. `catch_unwind`
+    /// is sound here because a panicking attempt leaks no broken state
+    /// into the engine: the operator caches recover their single-flight
+    /// reservations via `BuildGuard`'s unwind path, and everything else
+    /// an attempt touches is owned by the attempt.
+    fn attempt_job(
+        &self,
+        spec: &JobSpec,
+        index: usize,
+        attempt: usize,
+    ) -> Result<(JobReport, SweepBackend), JobError> {
+        catch_unwind(AssertUnwindSafe(|| self.run_job(spec, index, attempt))).unwrap_or_else(
+            |payload| {
+                let payload = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                Err(JobError::WorkerPanic { payload })
+            },
+        )
+    }
+
+    fn run_job(
+        &self,
+        spec: &JobSpec,
+        index: usize,
+        attempt: usize,
+    ) -> Result<(JobReport, SweepBackend), JobError> {
+        let fault = self
+            .faults
+            .as_ref()
+            .and_then(|plan| plan.fault_for(index, attempt));
+        match fault {
+            Some(Fault::TransientFault) => return Err(JobError::Injected { attempt }),
+            Some(Fault::EvictCaches) => {
+                self.cache.evict_all();
+            }
+            // Delay fires below (inside the deadline window);
+            // BuilderPanic / SolverPanic fire inside the solve.
+            _ => {}
         }
+        let cancel = spec
+            .deadline_ms()
+            .map(|ms| CancelToken::with_deadline(Duration::from_millis(ms)));
+        // The stall counts against the job's deadline — a Delay longer
+        // than `deadline_ms` deterministically blows it.
+        if let Some(Fault::Delay { ms }) = fault {
+            std::thread::sleep(Duration::from_millis(*ms));
+        }
+        let (report, backend) = match spec {
+            JobSpec::Steady(job) => self
+                .run_steady(job, cancel.as_ref(), fault)
+                .map(|(r, backend)| (JobReport::Steady(r), backend))?,
+            JobSpec::Transient(job) => self
+                .run_transient(job, cancel.as_ref(), fault)
+                .map(|r| (JobReport::Transient(r), SweepBackend::Dense))?,
+            JobSpec::Map(job) => self
+                .run_map(job, cancel.as_ref(), fault)
+                .map(|r| (JobReport::Map(r), SweepBackend::Dense))?,
+        };
+        if let Some(token) = &cancel {
+            if token.fired() {
+                return Err(JobError::DeadlineExceeded {
+                    elapsed_ms: token.elapsed().as_millis() as u64,
+                    resolved: report.resolved_count(),
+                    total: report.len(),
+                });
+            }
+        }
+        Ok((report, backend))
     }
 
     /// The per-job solver, carrying the fleet's image orders.
@@ -361,11 +589,32 @@ impl FleetEngine {
 
     /// The per-job [`SweepEngine`]: configured solver + the floorplan's
     /// dense operator, cached or cold per [`FleetConfig::amortize`].
-    fn sweep_engine(&self, floorplan: &Arc<Floorplan>) -> SweepEngine {
+    /// `builder_panic` injects [`Fault::BuilderPanic`] inside the build
+    /// closure — under the cache's single-flight reservation when
+    /// amortizing, so the chaos suite exercises the same recovery path
+    /// a real build failure takes.
+    fn sweep_engine(&self, floorplan: &Arc<Floorplan>, builder_panic: bool) -> SweepEngine {
         let operator = if self.config.amortize {
-            self.cache
-                .steady_operator(floorplan, self.config.lateral_order, self.config.z_order)
+            let operator = self.cache.steady_operator_hooked(
+                floorplan,
+                self.config.lateral_order,
+                self.config.z_order,
+                || {
+                    if builder_panic {
+                        panic!("injected fault: builder panic");
+                    }
+                },
+            );
+            // A cache hit skips the build closure; the scheduled fault
+            // must fire deterministically regardless of cache state.
+            if builder_panic {
+                panic!("injected fault: builder panic");
+            }
+            operator
         } else {
+            if builder_panic {
+                panic!("injected fault: builder panic");
+            }
             Arc::new(ThermalOperator::with_image_orders_threaded(
                 floorplan,
                 self.config.lateral_order,
@@ -388,15 +637,30 @@ impl FleetEngine {
     fn spectral_engine(
         &self,
         floorplan: &Arc<Floorplan>,
+        builder_panic: bool,
     ) -> Result<SweepEngine, SpectralGridError> {
         let operator = if self.config.amortize {
-            self.cache.spectral_operator(
+            let operator = self.cache.spectral_operator_hooked(
                 floorplan,
                 self.config.lateral_order,
                 self.config.z_order,
                 DEFAULT_REFINEMENT_TOLERANCE,
-            )?
+                || {
+                    if builder_panic {
+                        panic!("injected fault: builder panic");
+                    }
+                },
+            )?;
+            // A cache hit skips the build closure; the scheduled fault
+            // must fire deterministically regardless of cache state.
+            if builder_panic {
+                panic!("injected fault: builder panic");
+            }
+            operator
         } else {
+            if builder_panic {
+                panic!("injected fault: builder panic");
+            }
             Arc::new(SpectralOperator::with_image_orders_threaded(
                 floorplan,
                 self.config.lateral_order,
@@ -428,7 +692,12 @@ impl FleetEngine {
         }
     }
 
-    fn run_steady(&self, job: &SteadyJob) -> Result<(SweepReport, SweepBackend), JobError> {
+    fn run_steady(
+        &self,
+        job: &SteadyJob,
+        cancel: Option<&CancelToken>,
+        fault: Option<&Fault>,
+    ) -> Result<(SweepReport, SweepBackend), JobError> {
         let floorplan = self.floorplan(&job.floorplan)?;
         // Resolve the backend before building any operator: a spectral
         // job must not pay the dense O(n²) build, and an explicit
@@ -441,29 +710,38 @@ impl FleetEngine {
                 floorplan.blocks().len() >= SPECTRAL_AUTO_THRESHOLD && infer_grid(floorplan).is_ok()
             }
         };
+        let builder_panic = matches!(fault, Some(Fault::BuilderPanic));
         let engine = if spectral {
-            self.spectral_engine(floorplan).map_err(JobError::Backend)?
+            self.spectral_engine(floorplan, builder_panic)
+                .map_err(JobError::Backend)?
         } else {
-            self.sweep_engine(floorplan)
+            self.sweep_engine(floorplan, builder_panic)
         };
         let grid = self.grid(job);
         let model = ScaledTechPower::area_weighted(floorplan, job.dynamic_w, job.leakage_w)
             .prepared_for(&grid);
+        let model = FaultableModel::new(&model, fault);
         let backend = if spectral {
             SweepBackend::Spectral
         } else {
             SweepBackend::Dense
         };
-        Ok((engine.run(&grid, &model), backend))
+        Ok((engine.run_with_cancel(&grid, &model, cancel), backend))
     }
 
-    fn run_map(&self, job: &MapJob) -> Result<MapReport, JobError> {
+    fn run_map(
+        &self,
+        job: &MapJob,
+        cancel: Option<&CancelToken>,
+        fault: Option<&Fault>,
+    ) -> Result<MapReport, JobError> {
         let floorplan = self.floorplan(&job.base.floorplan)?;
-        let engine = self.sweep_engine(floorplan);
+        let engine = self.sweep_engine(floorplan, matches!(fault, Some(Fault::BuilderPanic)));
         let grid = self.grid(&job.base);
         let model =
             ScaledTechPower::area_weighted(floorplan, job.base.dynamic_w, job.base.leakage_w)
                 .prepared_for(&grid);
+        let model = FaultableModel::new(&model, fault);
         let map_op = if self.config.amortize {
             self.cache.map_operator(
                 floorplan,
@@ -475,16 +753,22 @@ impl FleetEngine {
         } else {
             Arc::new(engine.map_operator(job.nx, job.ny))
         };
-        Ok(engine.run_map_with(&grid, &model, &map_op))
+        Ok(engine.run_map_with_cancel(&grid, &model, &map_op, cancel))
     }
 
-    fn run_transient(&self, job: &TransientJob) -> Result<TransientReport, JobError> {
+    fn run_transient(
+        &self,
+        job: &TransientJob,
+        cancel: Option<&CancelToken>,
+        fault: Option<&Fault>,
+    ) -> Result<TransientReport, JobError> {
         let floorplan = self.floorplan(&job.base.floorplan)?;
-        let engine = self.sweep_engine(floorplan);
+        let engine = self.sweep_engine(floorplan, matches!(fault, Some(Fault::BuilderPanic)));
         let grid = self.grid(&job.base);
         let model =
             ScaledTechPower::area_weighted(floorplan, job.base.dynamic_w, job.base.leakage_w)
                 .prepared_for(&grid);
+        let model = FaultableModel::new(&model, fault);
         let cfg = TransientConfig::new(job.dt_s, job.steps)
             .scheme(job.scheme)
             .waveforms(job.waveforms.clone());
@@ -501,7 +785,87 @@ impl FleetEngine {
             )
         };
         engine
-            .run_transient_with(&grid, &model, &cfg, &propagator)
+            .run_transient_with_cancel(&grid, &model, &cfg, &propagator, cancel)
             .map_err(JobError::Transient)
+    }
+}
+
+/// Wraps a job's power model so a scheduled [`Fault::SolverPanic`]
+/// fires in the model's `iteration`-th batched power fill — mid-Picard
+/// (steady/map) or mid-step (transient), on the job's worker thread.
+/// With no scheduled panic it is a zero-cost pass-through: `batched`
+/// hands back the inner model's batch unchanged, so fault-free jobs
+/// run the exact code path (and bit pattern) of an unwrapped model.
+struct FaultableModel<'m, M: ScenarioPowerModel> {
+    inner: &'m M,
+    panic_at: Option<usize>,
+}
+
+impl<'m, M: ScenarioPowerModel> FaultableModel<'m, M> {
+    fn new(inner: &'m M, fault: Option<&Fault>) -> Self {
+        let panic_at = match fault {
+            Some(Fault::SolverPanic { iteration }) => Some(*iteration),
+            _ => None,
+        };
+        FaultableModel { inner, panic_at }
+    }
+}
+
+impl<M: ScenarioPowerModel> ScenarioPowerModel for FaultableModel<'_, M> {
+    fn block_power(
+        &self,
+        scenario: &Scenario,
+        tech: &Technology,
+        block: usize,
+        temperature_k: f64,
+    ) -> f64 {
+        self.inner.block_power(scenario, tech, block, temperature_k)
+    }
+
+    fn batched<'a>(
+        &'a self,
+        grid: &'a ScenarioGrid,
+        default_ambient_k: f64,
+        lanes: usize,
+    ) -> Box<dyn BatchPowerModel + 'a> {
+        let inner = self.inner.batched(grid, default_ambient_k, lanes);
+        match self.panic_at {
+            Some(iteration) => Box::new(PanicAfterFills {
+                inner,
+                remaining: iteration,
+            }),
+            None => inner,
+        }
+    }
+}
+
+/// [`BatchPowerModel`] decorator that panics on its `remaining`-th
+/// `fill_powers` call. Deterministic because each fleet job solves
+/// single-threaded: one worker, one batch model, one fill per
+/// Picard iteration / transient step.
+struct PanicAfterFills<'m> {
+    inner: Box<dyn BatchPowerModel + 'm>,
+    remaining: usize,
+}
+
+impl BatchPowerModel for PanicAfterFills<'_> {
+    fn begin_lane(&mut self, lane: usize, id: usize) {
+        self.inner.begin_lane(lane, id);
+    }
+
+    fn fill_powers(&mut self, temps: &MultiVec, powers: &mut MultiVec) {
+        if self.remaining == 0 {
+            panic!("injected fault: solver panic at scheduled iteration");
+        }
+        self.remaining -= 1;
+        self.inner.fill_powers(temps, powers);
+    }
+
+    fn lane_power(&self, lane: usize, block: usize, t: f64) -> Option<f64> {
+        self.inner.lane_power(lane, block, t)
+    }
+
+    fn refresh_lane(&mut self, lane: usize, temps: &[f64], powers: &mut [f64]) {
+        self.inner.refresh_lane(lane, temps, powers);
     }
 }

@@ -93,6 +93,11 @@ pub struct SteadyJob {
     /// otherwise). Only steady jobs honour it — map and transient jobs
     /// always run the dense operator.
     pub backend: SweepBackend,
+    /// Optional per-job wall-clock budget, ms. When the budget runs
+    /// out mid-solve the job retires cooperatively with a typed
+    /// deadline-exceeded error carrying its partial-progress stats —
+    /// no thread is ever killed. `None` = unbounded.
+    pub deadline_ms: Option<u64>,
 }
 
 /// A transient (time-stepped) job.
@@ -148,6 +153,15 @@ impl JobSpec {
             JobSpec::Steady(_) => "steady",
             JobSpec::Transient(_) => "transient",
             JobSpec::Map(_) => "map",
+        }
+    }
+
+    /// The job's wall-clock budget, ms, if one was requested.
+    pub fn deadline_ms(&self) -> Option<u64> {
+        match self {
+            JobSpec::Steady(j) => j.deadline_ms,
+            JobSpec::Transient(j) => j.base.deadline_ms,
+            JobSpec::Map(j) => j.base.deadline_ms,
         }
     }
 }
@@ -372,6 +386,17 @@ fn parse_steady(
             )))
         }
     };
+    let deadline_ms = match record.get("deadline_ms") {
+        None => None,
+        Some(v) => Some(
+            v.as_usize()
+                .filter(|&ms| ms > 0)
+                .map(|ms| ms as u64)
+                .ok_or_else(|| {
+                    schema("\"deadline_ms\" must be a positive integer of milliseconds".into())
+                })?,
+        ),
+    };
     Ok(SteadyJob {
         floorplan,
         dynamic_w: field_f64(record, "dynamic_w", line)?,
@@ -380,6 +405,7 @@ fn parse_steady(
         activities: optional_f64_list(record, "activities", line)?.unwrap_or_else(|| vec![1.0]),
         ambients_k: optional_f64_list(record, "ambients_k", line)?,
         backend,
+        deadline_ms,
     })
 }
 

@@ -15,6 +15,9 @@
 //!   ([`ptherm_par::steal`]) running a mixed job queue over the shared
 //!   cache, with results bitwise independent of worker count, steal
 //!   pattern and cache state;
+//! * [`faults`] — deterministic fault injection ([`FaultPlan`]) for
+//!   chaos-testing the engine's panic isolation, retry budgets and
+//!   cache-poisoning recovery;
 //! * [`jobs`] — the typed JSONL job protocol the `fleet` binary
 //!   streams ([`parse_jsonl`]);
 //! * [`json`] — the dependency-free JSON tree backing the protocol and
@@ -27,10 +30,14 @@
 
 pub mod cache;
 pub mod engine;
+pub mod faults;
 pub mod jobs;
 pub mod json;
 
 pub use cache::{CacheStats, Lru, OperatorCache};
-pub use engine::{FleetConfig, FleetEngine, FleetReport, JobError, JobRecord, JobReport};
+pub use engine::{
+    FleetConfig, FleetEngine, FleetReport, JobError, JobRecord, JobReport, RetryPolicy,
+};
+pub use faults::{Fault, FaultPlan};
 pub use jobs::{parse_jsonl, FleetRequest, JobSpec, MapJob, RequestError, SteadyJob, TransientJob};
 pub use json::{Json, JsonError};

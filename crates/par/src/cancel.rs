@@ -1,0 +1,258 @@
+//! Cooperative cancellation for long-running solves.
+//!
+//! A [`CancelToken`] is a cheaply-cloneable shared flag that solver hot
+//! loops poll at natural checkpoints — once per Picard iteration, once
+//! per transient step, once per rendered map — and stop early when it
+//! fires. Cancellation is always *cooperative*: nothing kills a thread,
+//! the solve simply retires its remaining work as cancelled at the next
+//! checkpoint, leaving every workspace and cache in a reusable state.
+//!
+//! Three trigger modes compose into one token:
+//!
+//! * **explicit** — [`CancelToken::cancel`] fires the token from any
+//!   thread (a shutdown path, a client disconnect);
+//! * **deadline** — [`CancelToken::with_deadline`] arms a wall-clock
+//!   budget; the first poll at or past the deadline latches the token
+//!   (the fleet's per-job `deadline_ms` protocol field uses this);
+//! * **check budget** — [`CancelToken::after_checks`] fires after a
+//!   fixed number of [`is_cancelled`](CancelToken::is_cancelled) polls.
+//!   Polls happen once per solver checkpoint, so "cancel at Picard
+//!   iteration *k*" is expressible deterministically — this is what the
+//!   cancellation-checkpoint proptests and the fault-injection harness
+//!   use to land a cancellation on an exact iteration regardless of
+//!   wall-clock speed.
+//!
+//! Once fired a token stays fired (it latches); polling is one relaxed
+//! atomic load on the fast path, so checkpoints are effectively free
+//! next to a GEMM-backed Picard step.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Poll budget sentinel meaning "no check budget armed".
+const NO_BUDGET: u64 = u64::MAX;
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    /// Remaining `is_cancelled` polls before the token auto-fires, or
+    /// [`NO_BUDGET`]. Decremented with a saturating CAS loop so the
+    /// counter never wraps under concurrent polling.
+    polls_left: AtomicU64,
+    /// Wall-clock instant past which any poll latches the token.
+    deadline: Option<Instant>,
+    /// When the token was created — the reference point for
+    /// [`CancelToken::elapsed`], reported on deadline-exceeded errors.
+    started: Instant,
+}
+
+/// A shared, latching cancellation flag. See the [module docs](self).
+///
+/// Clones share one flag: cancelling any clone cancels them all. The
+/// token is `Send + Sync`; hand `&CancelToken` (or a clone) to each
+/// worker.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token that only fires via [`cancel`](Self::cancel).
+    pub fn new() -> Self {
+        Self::build(None, NO_BUDGET)
+    }
+
+    /// A token that fires at the first poll on or after `budget` from
+    /// now (or earlier, via [`cancel`](Self::cancel)).
+    pub fn with_deadline(budget: Duration) -> Self {
+        Self::build(Some(Instant::now() + budget), NO_BUDGET)
+    }
+
+    /// A token that fires on the `n+1`-th [`is_cancelled`](Self::is_cancelled)
+    /// poll: the first `n` polls return `false`, every later poll
+    /// `true`. `after_checks(0)` is cancelled from the first poll.
+    ///
+    /// Deterministic by construction — solver checkpoints poll exactly
+    /// once per iteration/step, so this lands a cancellation on an
+    /// exact iteration independent of machine speed.
+    pub fn after_checks(n: u64) -> Self {
+        Self::build(None, n)
+    }
+
+    fn build(deadline: Option<Instant>, polls_left: u64) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                polls_left: AtomicU64::new(polls_left),
+                deadline,
+                started: Instant::now(),
+            }),
+        }
+    }
+
+    /// Fires the token. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Polls the token: `true` once it has fired. This is the solver
+    /// checkpoint call — it also *advances* the poll budget of
+    /// [`after_checks`](Self::after_checks) tokens and latches an
+    /// expired [`with_deadline`](Self::with_deadline) token, so hot
+    /// loops should poll exactly once per checkpoint.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        if self.consume_poll() || self.past_deadline() {
+            self.cancel();
+            return true;
+        }
+        false
+    }
+
+    /// Reads the flag without consuming a poll or checking the
+    /// deadline — for observers (e.g. the fleet deciding *after* a
+    /// solve whether a short report means "cancelled" or "done").
+    pub fn fired(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Time since the token was created. The fleet reports this as
+    /// `elapsed_ms` on deadline-exceeded result lines.
+    pub fn elapsed(&self) -> Duration {
+        self.inner.started.elapsed()
+    }
+
+    /// True when a check budget was armed and this poll exhausted it.
+    fn consume_poll(&self) -> bool {
+        let polls = &self.inner.polls_left;
+        let mut left = polls.load(Ordering::Relaxed);
+        loop {
+            if left == NO_BUDGET {
+                return false;
+            }
+            if left == 0 {
+                return true;
+            }
+            match polls.compare_exchange_weak(left, left - 1, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return false,
+                Err(seen) => left = seen,
+            }
+        }
+    }
+
+    fn past_deadline(&self) -> bool {
+        self.inner
+            .deadline
+            .is_some_and(|deadline| Instant::now() >= deadline)
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        assert!(!token.fired());
+    }
+
+    #[test]
+    fn cancel_latches_across_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        clone.cancel();
+        assert!(token.is_cancelled());
+        assert!(token.fired());
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn check_budget_fires_on_the_exact_poll() {
+        let token = CancelToken::after_checks(3);
+        assert!(!token.is_cancelled());
+        assert!(!token.is_cancelled());
+        assert!(!token.is_cancelled());
+        assert!(token.is_cancelled(), "4th poll fires");
+        assert!(token.is_cancelled(), "and it latches");
+    }
+
+    #[test]
+    fn zero_check_budget_is_cancelled_immediately() {
+        let token = CancelToken::after_checks(0);
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn fired_does_not_consume_the_poll_budget() {
+        let token = CancelToken::after_checks(1);
+        for _ in 0..10 {
+            assert!(!token.fired());
+        }
+        assert!(!token.is_cancelled(), "first real poll still within budget");
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn expired_deadline_latches_on_poll() {
+        let token = CancelToken::with_deadline(Duration::from_millis(0));
+        // The deadline is already past; the first poll must latch it.
+        assert!(token.is_cancelled());
+        assert!(token.fired());
+    }
+
+    #[test]
+    fn generous_deadline_does_not_fire() {
+        let token = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!token.is_cancelled());
+        assert!(!token.fired());
+    }
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let token = CancelToken::new();
+        let a = token.elapsed();
+        let b = token.elapsed();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn concurrent_polls_consume_budget_exactly() {
+        // 4 threads polling a 100-poll budget: exactly 100 polls return
+        // false before the token latches for everyone.
+        let token = CancelToken::after_checks(100);
+        let live: usize = ptherm_par_test_helper(&token);
+        assert_eq!(live, 100);
+        assert!(token.fired());
+    }
+
+    fn ptherm_par_test_helper(token: &CancelToken) -> usize {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut live = 0usize;
+                        loop {
+                            if token.is_cancelled() {
+                                return live;
+                            }
+                            live += 1;
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+    }
+}

@@ -34,7 +34,10 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
 //! ```
 
+pub mod cancel;
 pub mod steal;
+
+pub use cancel::CancelToken;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
