@@ -247,6 +247,7 @@ impl<'a> BatchedSolver<'a> {
             &mut |id, outcome| out[id] = Some(outcome),
         );
         out.into_iter()
+            // lint:allow(panic-freedom) — the closure source yields each id in 0..b exactly once and the sink stores every retired lane
             .map(|o| o.expect("every scenario retired"))
             .collect()
     }
@@ -416,6 +417,7 @@ fn step_picard<M: BatchPowerModel + ?Sized>(
         }
         let iteration = ws.lane_iter[lane];
         ws.lane_iter[lane] = iteration + 1;
+        // lint:allow(float-compare) — exact sentinel: poison stays literal 0.0 until a non-finite write lands (NaN also compares unequal)
         let suspect = ws.power_min[lane] < 0.0 || ws.power_poison[lane] != 0.0;
         let bad = if suspect {
             first_bad_power(&ws.powers, lane)

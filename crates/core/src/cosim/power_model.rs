@@ -30,6 +30,7 @@ impl CircuitBlockPower {
     pub fn power(&self, temperature_k: f64) -> f64 {
         let dynamic = self.circuit.dynamic_power(&self.tech, temperature_k);
         let stat = circuit_static_power(&self.tech, &self.circuit, temperature_k)
+            // lint:allow(panic-freedom) — documented `# Panics` contract: library cells are complementary by construction
             .expect("library cells are complementary");
         dynamic + stat
     }
@@ -37,6 +38,7 @@ impl CircuitBlockPower {
     /// The static share of the block power at `temperature_k` ∈ [0, 1].
     pub fn static_fraction(&self, temperature_k: f64) -> f64 {
         let stat = circuit_static_power(&self.tech, &self.circuit, temperature_k)
+            // lint:allow(panic-freedom) — documented `# Panics` contract: library cells are complementary by construction
             .expect("library cells are complementary");
         stat / self.power(temperature_k)
     }

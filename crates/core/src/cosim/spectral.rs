@@ -546,6 +546,7 @@ impl StencilRefiner<'_> {
         let candidate: Vec<(u32, f64)> = support
             .iter()
             .zip(&solution.x)
+            // lint:allow(float-compare) — exact-zero sparsity filter: CG leaves untouched entries at literal 0.0
             .filter(|(_, &q)| q != 0.0)
             .map(|(&(x, y), &q)| ((x + nx * y) as u32, q))
             .collect();
@@ -647,6 +648,7 @@ impl<'a> SpectralBatchedSolver<'a> {
             &mut |id, outcome| out[id] = Some(outcome),
         );
         out.into_iter()
+            // lint:allow(panic-freedom) — the closure source yields each id in 0..b exactly once and the sink stores every retired lane
             .map(|o| o.expect("every scenario retired"))
             .collect()
     }

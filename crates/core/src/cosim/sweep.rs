@@ -1150,9 +1150,8 @@ impl SweepEngine {
             self.threads,
         )?);
         // A concurrent initializer winning the race is fine: same
-        // inputs, bit-identical build.
-        let _ = self.spectral.set(built);
-        Ok(self.spectral.get().expect("spectral operator just set"))
+        // inputs, bit-identical build — ours is simply dropped.
+        Ok(self.spectral.get_or_init(|| built))
     }
 
     /// The backend [`Self::run`] will actually use: `Auto` resolves to
@@ -1391,6 +1390,7 @@ impl SweepEngine {
         let spectral = match self.resolved_backend() {
             SweepBackend::Spectral => Some(match self.spectral_operator() {
                 Ok(op) => Arc::clone(op),
+                // lint:allow(panic-freedom) — documented `# Panics` contract; callers needing a typed failure (the fleet) pre-validate with `infer_grid`
                 Err(e) => panic!("spectral backend requested on an incompatible floorplan: {e}"),
             }),
             _ => None,
@@ -1427,6 +1427,7 @@ impl SweepEngine {
                     &mut source,
                     &mut sink,
                 ),
+                // lint:allow(panic-freedom) — `dense` is Some exactly when `spectral` is None (constructed two matches above)
                 (None, None) => unreachable!("one backend operator is always resolved"),
             }
             collected
@@ -1607,6 +1608,7 @@ impl SweepEngine {
         Ok(TransientReport {
             outcomes: outcomes
                 .into_iter()
+                // lint:allow(panic-freedom) — worker chunks partition 0..total: every slot was filled exactly once above
                 .map(|o| o.expect("every transient resolved"))
                 .collect(),
             waveform_count: w,

@@ -151,13 +151,24 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
     ) -> Result<Arc<V>, E> {
         let mut inner = self.lock();
         loop {
-            match inner.map.get(&key).map(|e| e.value.is_some()) {
-                Some(true) => {
-                    inner.tick += 1;
-                    let tick = inner.tick;
-                    let entry = inner.map.get_mut(&key).expect("checked above");
-                    entry.last_used = tick;
-                    let value = Arc::clone(entry.value.as_ref().expect("checked above"));
+            // One probe, no re-lookup: splitting the guard lets the LRU
+            // clock advance while the entry stays mutably borrowed.
+            let probe = {
+                let inner = &mut *inner;
+                match inner.map.get_mut(&key) {
+                    Some(entry) => match entry.value.as_ref().map(Arc::clone) {
+                        Some(value) => {
+                            inner.tick += 1;
+                            entry.last_used = inner.tick;
+                            Some(Some(value))
+                        }
+                        None => Some(None),
+                    },
+                    None => None,
+                }
+            };
+            match probe {
+                Some(Some(value)) => {
                     drop(inner);
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     return Ok(value);
@@ -165,7 +176,7 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
                 // Another worker is building this key: wait for the
                 // slot to resolve (ready, or removed on failure), then
                 // re-examine it.
-                Some(false) => {
+                Some(None) => {
                     inner = self
                         .ready
                         .wait(inner)

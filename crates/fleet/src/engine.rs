@@ -489,6 +489,7 @@ impl FleetEngine {
         FleetReport {
             jobs: slots
                 .into_iter()
+                // lint:allow(panic-freedom) — StealQueues::pop yields each index in 0..jobs.len() exactly once, so every slot was filled
                 .map(|r| r.expect("every job claimed exactly once"))
                 .collect(),
             steals: queues.steals(),
@@ -601,6 +602,7 @@ impl FleetEngine {
                 self.config.z_order,
                 || {
                     if builder_panic {
+                        // lint:allow(panic-freedom) — deliberate FaultPlan injection; isolated by attempt_job's catch_unwind
                         panic!("injected fault: builder panic");
                     }
                 },
@@ -608,11 +610,13 @@ impl FleetEngine {
             // A cache hit skips the build closure; the scheduled fault
             // must fire deterministically regardless of cache state.
             if builder_panic {
+                // lint:allow(panic-freedom) — deliberate FaultPlan injection; isolated by attempt_job's catch_unwind
                 panic!("injected fault: builder panic");
             }
             operator
         } else {
             if builder_panic {
+                // lint:allow(panic-freedom) — deliberate FaultPlan injection; isolated by attempt_job's catch_unwind
                 panic!("injected fault: builder panic");
             }
             Arc::new(ThermalOperator::with_image_orders_threaded(
@@ -647,6 +651,7 @@ impl FleetEngine {
                 DEFAULT_REFINEMENT_TOLERANCE,
                 || {
                     if builder_panic {
+                        // lint:allow(panic-freedom) — deliberate FaultPlan injection; isolated by attempt_job's catch_unwind
                         panic!("injected fault: builder panic");
                     }
                 },
@@ -654,11 +659,13 @@ impl FleetEngine {
             // A cache hit skips the build closure; the scheduled fault
             // must fire deterministically regardless of cache state.
             if builder_panic {
+                // lint:allow(panic-freedom) — deliberate FaultPlan injection; isolated by attempt_job's catch_unwind
                 panic!("injected fault: builder panic");
             }
             operator
         } else {
             if builder_panic {
+                // lint:allow(panic-freedom) — deliberate FaultPlan injection; isolated by attempt_job's catch_unwind
                 panic!("injected fault: builder panic");
             }
             Arc::new(SpectralOperator::with_image_orders_threaded(
@@ -855,6 +862,7 @@ impl BatchPowerModel for PanicAfterFills<'_> {
 
     fn fill_powers(&mut self, temps: &MultiVec, powers: &mut MultiVec) {
         if self.remaining == 0 {
+            // lint:allow(panic-freedom) — deliberate FaultPlan injection; isolated by attempt_job's catch_unwind
             panic!("injected fault: solver panic at scheduled iteration");
         }
         self.remaining -= 1;

@@ -90,6 +90,7 @@ impl Json {
     /// The number as a non-negative integer, if it is one exactly.
     pub fn as_usize(&self) -> Option<usize> {
         let n = self.as_f64()?;
+        // lint:allow(float-compare) — exactness is the point: only a mathematically integral f64 may become a usize
         (n >= 0.0 && n.fract() == 0.0 && n <= u32::MAX as f64).then_some(n as usize)
     }
 

@@ -1,0 +1,495 @@
+//! A string/char/comment/raw-string aware Rust lexer.
+//!
+//! `syn` is not in the offline vendor set, so the analyzer works at the
+//! token level: this module turns a `.rs` source into a stream of
+//! [`Token`]s (identifiers, literals, punctuation) plus a parallel list
+//! of [`Comment`]s. Everything the rule engine must *never* misread —
+//! `"calls .unwrap()"` inside a string, `unwrap` inside a nested block
+//! comment, `r#"..."#` raw strings, `'a'` char literals vs `'a`
+//! lifetimes — is resolved here, once, so the rules in
+//! [`crate::rules`] can reason about real code tokens only.
+//!
+//! Positions are 1-based `(line, col)` in characters, matching the
+//! `file:line:col` diagnostic format.
+
+/// What a [`Token`] is. Multi-character operators that the rules need
+/// to tell apart from their prefixes (`==` vs `=`, `::` vs `:`, `..`
+/// vs `.`) are lexed as single [`TokenKind::Op`] tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `unsafe`, `fn`, ...).
+    Ident,
+    /// Integer literal (`0`, `0xff`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `2e-3`, `1.`, `3.0f64`).
+    Float,
+    /// String, raw string, byte string or C string literal.
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A multi-character operator: `==` `!=` `::` `..` `..=` `->` `=>`
+    /// `&&` `||` `<<` `>>` `<=` `>=` `+=` `-=` `*=` `/=` `%=` `^=`
+    /// `&=` `|=` `<<=` `>>=`.
+    Op,
+    /// Any other single punctuation character.
+    Punct,
+}
+
+/// One lexed token with its text and 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: usize,
+    pub col: usize,
+}
+
+/// One comment (line `//`/`///`/`//!` or block `/* */`, doc or not),
+/// with the full raw text including delimiters.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: usize,
+    pub col: usize,
+    /// Last line the comment touches (equals `line` for line comments).
+    pub end_line: usize,
+    /// True when nothing but whitespace precedes the comment on its
+    /// starting line — such comments annotate the *next* code line.
+    pub owns_line: bool,
+}
+
+/// Lexer output: code tokens and comments, in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    col: usize,
+    /// True until a non-whitespace char is consumed on the current line.
+    at_line_start: bool,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            chars: src.chars().peekable(),
+            line: 1,
+            col: 1,
+            at_line_start: true,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+            self.at_line_start = true;
+        } else {
+            self.col += 1;
+            if !c.is_whitespace() {
+                self.at_line_start = false;
+            }
+        }
+        Some(c)
+    }
+}
+
+/// Lexes `src` into tokens and comments. Unterminated literals and
+/// comments are tolerated (the remainder of the file is swallowed into
+/// the open literal): the lint must keep scanning a broken tree rather
+/// than crash on it.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek() {
+        let line = cur.line;
+        let col = cur.col;
+        let owns_line = cur.at_line_start;
+
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' {
+            let mut look = cur.chars.clone();
+            look.next();
+            match look.peek() {
+                Some('/') => {
+                    let mut text = String::new();
+                    while let Some(&n) = cur.chars.peek() {
+                        if n == '\n' {
+                            break;
+                        }
+                        text.push(n);
+                        cur.bump();
+                    }
+                    out.comments.push(Comment {
+                        text,
+                        line,
+                        col,
+                        end_line: line,
+                        owns_line,
+                    });
+                    continue;
+                }
+                Some('*') => {
+                    let mut text = String::new();
+                    text.push(cur.bump().unwrap_or('/')); // '/'
+                    text.push(cur.bump().unwrap_or('*')); // '*'
+                    let mut depth = 1usize;
+                    while depth > 0 {
+                        match cur.bump() {
+                            Some('*') if cur.peek() == Some('/') => {
+                                text.push('*');
+                                text.push(cur.bump().unwrap_or('/'));
+                                depth -= 1;
+                            }
+                            Some('/') if cur.peek() == Some('*') => {
+                                text.push('/');
+                                text.push(cur.bump().unwrap_or('*'));
+                                depth += 1;
+                            }
+                            Some(ch) => text.push(ch),
+                            None => break,
+                        }
+                    }
+                    out.comments.push(Comment {
+                        text,
+                        line,
+                        col,
+                        end_line: cur.line,
+                        owns_line,
+                    });
+                    continue;
+                }
+                _ => {}
+            }
+        }
+
+        // Identifiers, keywords, and literal prefixes (r"", b"", br#""#,
+        // c"", cr#""#).
+        if c.is_alphabetic() || c == '_' {
+            let mut ident = String::new();
+            while let Some(n) = cur.peek() {
+                if n.is_alphanumeric() || n == '_' {
+                    ident.push(n);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            let is_literal_prefix = matches!(ident.as_str(), "r" | "b" | "br" | "c" | "cr");
+            if is_literal_prefix && matches!(cur.peek(), Some('"') | Some('#')) {
+                let raw = ident.contains('r');
+                if let Some(text) = scan_string(&mut cur, &ident, raw) {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Str,
+                        text,
+                        line,
+                        col,
+                    });
+                    continue;
+                }
+                // `#` after a plain ident that wasn't a raw string
+                // opener (e.g. `r#foo` raw identifiers): fall through,
+                // the ident token stands and `#` lexes as punctuation.
+            }
+            if ident == "b" && cur.peek() == Some('\'') {
+                cur.bump();
+                let text = scan_char_body(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text: format!("b'{text}"),
+                    line,
+                    col,
+                });
+                continue;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: ident,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() {
+            let (text, kind) = scan_number(&mut cur);
+            out.tokens.push(Token {
+                kind,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Plain strings.
+        if c == '"' {
+            if let Some(text) = scan_string(&mut cur, "", false) {
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            cur.bump();
+            let mut look = cur.chars.clone();
+            let first = look.next();
+            let second = look.next();
+            let is_lifetime =
+                matches!(first, Some(f) if f.is_alphabetic() || f == '_') && second != Some('\'');
+            if is_lifetime {
+                let mut name = String::from("'");
+                while let Some(n) = cur.peek() {
+                    if n.is_alphanumeric() || n == '_' {
+                        name.push(n);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text: name,
+                    line,
+                    col,
+                });
+            } else {
+                let text = scan_char_body(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text: format!("'{text}"),
+                    line,
+                    col,
+                });
+            }
+            continue;
+        }
+
+        // Operators and punctuation.
+        cur.bump();
+        let two = cur.peek().map(|n| (c, n));
+        let op = match two {
+            Some(('=', '=')) | Some(('!', '=')) | Some((':', ':')) | Some(('-', '>'))
+            | Some(('=', '>')) | Some(('&', '&')) | Some(('|', '|')) | Some(('<', '='))
+            | Some(('>', '=')) | Some(('+', '=')) | Some(('-', '=')) | Some(('*', '='))
+            | Some(('/', '=')) | Some(('%', '=')) | Some(('^', '=')) | Some(('&', '='))
+            | Some(('|', '=')) | Some(('<', '<')) | Some(('>', '>')) | Some(('.', '.')) => {
+                let second = cur.bump().unwrap_or(' ');
+                let mut text = String::new();
+                text.push(c);
+                text.push(second);
+                // `..=`, `<<=`, `>>=`.
+                if (text == ".." || text == "<<" || text == ">>") && cur.peek() == Some('=') {
+                    text.push(cur.bump().unwrap_or('='));
+                }
+                Some(text)
+            }
+            _ => None,
+        };
+        match op {
+            Some(text) => out.tokens.push(Token {
+                kind: TokenKind::Op,
+                text,
+                line,
+                col,
+            }),
+            None => out.tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: c.to_string(),
+                line,
+                col,
+            }),
+        }
+    }
+
+    out
+}
+
+/// Scans a string literal whose prefix (`r`, `b`, `br`, ...) was
+/// already consumed. `raw` strings count `#` guards and ignore
+/// escapes; cooked strings honour `\"` and `\\`. Returns `None` if the
+/// cursor is not actually at a string opener.
+fn scan_string(cur: &mut Cursor, prefix: &str, raw: bool) -> Option<String> {
+    let mut text = String::from(prefix);
+    let mut hashes = 0usize;
+    if raw {
+        while cur.peek() == Some('#') {
+            hashes += 1;
+            text.push('#');
+            cur.bump();
+        }
+    }
+    if cur.peek() != Some('"') {
+        return None;
+    }
+    text.push(cur.bump()?); // opening quote
+    loop {
+        match cur.bump() {
+            None => break,
+            Some('\\') if !raw => {
+                text.push('\\');
+                if let Some(e) = cur.bump() {
+                    text.push(e);
+                }
+            }
+            Some('"') => {
+                text.push('"');
+                if raw {
+                    let mut seen = 0usize;
+                    while seen < hashes && cur.peek() == Some('#') {
+                        text.push(cur.bump().unwrap_or('#'));
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                } else {
+                    break;
+                }
+            }
+            Some(ch) => text.push(ch),
+        }
+    }
+    Some(text)
+}
+
+/// Scans a char/byte literal body after the opening `'`.
+fn scan_char_body(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    loop {
+        match cur.bump() {
+            None => break,
+            Some('\\') => {
+                text.push('\\');
+                if let Some(e) = cur.bump() {
+                    text.push(e);
+                }
+            }
+            Some('\'') => {
+                text.push('\'');
+                break;
+            }
+            Some(ch) => text.push(ch),
+        }
+    }
+    text
+}
+
+/// Scans a numeric literal, deciding int vs float. A `.` continues the
+/// number only when it is not the start of `..` and not a method call
+/// (`1.max(2)`), matching rustc's rules closely enough for linting.
+fn scan_number(cur: &mut Cursor) -> (String, TokenKind) {
+    let mut text = String::new();
+    let mut kind = TokenKind::Int;
+    // Radix prefix.
+    if cur.peek() == Some('0') {
+        text.push(cur.bump().unwrap_or('0'));
+        if let Some(r) = cur.peek() {
+            if matches!(r, 'x' | 'X' | 'o' | 'O' | 'b' | 'B') {
+                text.push(cur.bump().unwrap_or(r));
+                while let Some(n) = cur.peek() {
+                    if n.is_ascii_alphanumeric() || n == '_' {
+                        text.push(n);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                return (text, TokenKind::Int);
+            }
+        }
+    }
+    while let Some(n) = cur.peek() {
+        if n.is_ascii_digit() || n == '_' {
+            text.push(n);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    // Fractional part.
+    if cur.peek() == Some('.') {
+        let mut look = cur.chars.clone();
+        look.next();
+        match look.peek() {
+            // `..` range, or `1.method()` / `1._field`: the dot is not ours.
+            Some('.') => {}
+            Some(n) if n.is_alphabetic() || *n == '_' => {}
+            // `1.0` or trailing `1.`.
+            _ => {
+                kind = TokenKind::Float;
+                text.push(cur.bump().unwrap_or('.'));
+                while let Some(n) = cur.peek() {
+                    if n.is_ascii_digit() || n == '_' {
+                        text.push(n);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    // Exponent.
+    if matches!(cur.peek(), Some('e') | Some('E')) {
+        let mut look = cur.chars.clone();
+        look.next();
+        let next = look.peek().copied();
+        let digit_after_sign = matches!(next, Some('+') | Some('-'))
+            && matches!(look.clone().nth(1), Some(d) if d.is_ascii_digit());
+        if matches!(next, Some(d) if d.is_ascii_digit()) || digit_after_sign {
+            kind = TokenKind::Float;
+            text.push(cur.bump().unwrap_or('e'));
+            if matches!(cur.peek(), Some('+') | Some('-')) {
+                text.push(cur.bump().unwrap_or('+'));
+            }
+            while let Some(n) = cur.peek() {
+                if n.is_ascii_digit() || n == '_' {
+                    text.push(n);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    // Suffix (`u64`, `f64`, ...). An `f32`/`f64` suffix makes it a float.
+    let mut suffix = String::new();
+    while let Some(n) = cur.peek() {
+        if n.is_ascii_alphanumeric() || n == '_' {
+            suffix.push(n);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    if suffix == "f32" || suffix == "f64" {
+        kind = TokenKind::Float;
+    }
+    text.push_str(&suffix);
+    (text, kind)
+}

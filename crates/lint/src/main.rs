@@ -1,0 +1,160 @@
+//! `ptherm-lint` CLI. Exit codes: 0 clean, 1 violations, 2 bad
+//! invocation or I/O failure.
+//!
+//! ```text
+//! ptherm-lint [--root <dir>] [--json] [--rule <id>[,<id>...]]
+//!             [--baseline <file>] [--write-baseline <file>]
+//!             [--write-inventory]
+//! ```
+
+use ptherm_lint::{
+    find_workspace_root, lint_workspace, load_baseline, render_baseline, render_human,
+    render_inventory, render_json, Violation, RULES, UNSAFE_INVENTORY,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: ptherm-lint [--root <dir>] [--json] [--rule <id>[,<id>...]] \
+[--baseline <file>] [--write-baseline <file>] [--write-inventory]";
+
+struct Options {
+    root: Option<PathBuf>,
+    json: bool,
+    rules: Option<Vec<String>>,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    write_inventory: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        json: false,
+        rules: None,
+        baseline: None,
+        write_baseline: None,
+        write_inventory: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--write-inventory" => opts.write_inventory = true,
+            "--root" => {
+                let v = it.next().ok_or("--root needs a directory")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--rule" => {
+                let v = it.next().ok_or("--rule needs a rule id")?;
+                let list: Vec<String> = v.split(',').map(|s| s.trim().to_string()).collect();
+                for rule in &list {
+                    if !RULES.contains(&rule.as_str()) {
+                        return Err(format!(
+                            "unknown rule `{rule}` (known: {})",
+                            RULES.join(", ")
+                        ));
+                    }
+                }
+                opts.rules = Some(list);
+            }
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline needs a file")?;
+                opts.baseline = Some(PathBuf::from(v));
+            }
+            "--write-baseline" => {
+                let v = it.next().ok_or("--write-baseline needs a file")?;
+                opts.write_baseline = Some(PathBuf::from(v));
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("ptherm-lint: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let root = match opts.root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| find_workspace_root(&cwd))
+    }) {
+        Some(root) => root,
+        None => {
+            eprintln!("ptherm-lint: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match lint_workspace(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("ptherm-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut shown: Vec<Violation> = report.violations.clone();
+    if let Some(rules) = &opts.rules {
+        shown.retain(|v| rules.iter().any(|r| r == v.rule));
+    }
+    if let Some(path) = &opts.baseline {
+        let baseline = match load_baseline(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("ptherm-lint: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        shown.retain(|v| {
+            !baseline
+                .iter()
+                .any(|(f, l, r)| f == &v.file && *l == v.line && r == v.rule)
+        });
+    }
+
+    if let Some(path) = &opts.write_baseline {
+        if let Err(e) = std::fs::write(path, render_baseline(&shown)) {
+            eprintln!("ptherm-lint: cannot write baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if opts.write_inventory {
+        let path = root.join(UNSAFE_INVENTORY);
+        if let Err(e) = std::fs::write(&path, render_inventory(&report.unsafe_inventory)) {
+            eprintln!("ptherm-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "ptherm-lint: wrote {} ({} file(s), {} site(s))",
+            path.display(),
+            report.unsafe_inventory.len(),
+            report.unsafe_inventory.values().sum::<usize>()
+        );
+    }
+
+    if opts.json {
+        print!("{}", render_json(&report, &shown));
+    } else {
+        print!("{}", render_human(&shown));
+        eprintln!(
+            "ptherm-lint: {} file(s), {} violation(s){}",
+            report.files_scanned,
+            shown.len(),
+            if shown.is_empty() { " — clean" } else { "" }
+        );
+    }
+
+    if shown.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

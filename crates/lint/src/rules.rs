@@ -1,0 +1,552 @@
+//! The rule engine: project invariants as machine-checkable passes
+//! over the token stream produced by [`crate::lexer`].
+//!
+//! | id | rule | scope |
+//! |----|------|-------|
+//! | `panic-freedom` (R1) | no `.unwrap()` / `.expect(...)` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` / literal-subscript indexing | hot-path modules, non-test code |
+//! | `determinism` (R2) | no `HashMap` / `HashSet` / `Instant` / `SystemTime` / `thread::current` | fingerprint-, protocol- and result-rendering modules, non-test code |
+//! | `unsafe-hygiene` (R3) | every `unsafe` needs an adjacent `// SAFETY:` (or `# Safety` doc) comment, and per-file counts must match `ci/unsafe_inventory.json` | whole workspace |
+//! | `float-compare` (R4) | no bare `==` / `!=` against a float literal | hot-path + determinism modules, non-test code |
+//! | `allow-syntax` | `// lint:allow(<rule>) — <reason>` must name a known rule and give a non-empty reason | wherever an allow appears |
+//!
+//! Test code (`#[cfg(test)]` modules, `#[test]` functions) is exempt
+//! from R1/R2/R4: the bitwise-identity suites *should* compare floats
+//! exactly and may unwrap freely. R3 applies everywhere — unsafe in a
+//! test is still unsafe.
+//!
+//! The escape hatch is `// lint:allow(<rule>) — <reason>` on the same
+//! line as the violation or on its own line immediately above. An
+//! empty reason is itself a violation and suppresses nothing.
+
+use crate::lexer::{lex, Comment, Token, TokenKind};
+use std::collections::BTreeMap;
+
+/// Every rule the engine knows, in severity-stable report order.
+pub const RULES: [&str; 5] = [
+    "panic-freedom",
+    "determinism",
+    "unsafe-hygiene",
+    "float-compare",
+    "allow-syntax",
+];
+
+/// One diagnostic: `file:line:col rule message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub file: String,
+    pub line: usize,
+    pub col: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+/// Which rules apply to a file (R3 `unsafe-hygiene` always applies and
+/// has no flag here; the inventory half is checked workspace-wide by
+/// the caller).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RuleSet {
+    pub panic_freedom: bool,
+    pub determinism: bool,
+    pub float_compare: bool,
+}
+
+/// Token-level facts about one analyzed file, shared by the rules and
+/// by the workspace-level unsafe inventory.
+pub struct FileAnalysis {
+    pub violations: Vec<Violation>,
+    /// Number of `unsafe` keyword tokens (strings/comments excluded),
+    /// test code included — the inventory pins *all* unsafe.
+    pub unsafe_count: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LineClass {
+    Blank,
+    CommentOnly,
+    AttrOnly,
+    Code,
+}
+
+struct Allow {
+    rule: String,
+    target_line: usize,
+    has_reason: bool,
+    line: usize,
+    col: usize,
+}
+
+/// Runs every applicable rule over `src`. `file` is the path reported
+/// in diagnostics (workspace-relative, forward slashes).
+pub fn analyze_source(file: &str, src: &str, rules: RuleSet) -> FileAnalysis {
+    let lexed = lex(src);
+    let tokens = &lexed.tokens;
+    let in_test = classify_test_regions(tokens);
+    let attr_token = attribute_tokens(tokens);
+    let line_class = classify_lines(src, tokens, &lexed.comments, &attr_token);
+    let allows = parse_allows(&lexed.comments, tokens);
+
+    let mut raw: Vec<Violation> = Vec::new();
+    let mut unsafe_count = 0usize;
+
+    for (i, t) in tokens.iter().enumerate() {
+        let prev = i.checked_sub(1).and_then(|j| tokens.get(j));
+        let next = tokens.get(i + 1);
+        let next2 = tokens.get(i + 2);
+
+        if t.kind == TokenKind::Ident && t.text == "unsafe" {
+            unsafe_count += 1;
+            if !has_safety_comment(t, &lexed.comments, &line_class) {
+                raw.push(Violation {
+                    file: file.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    rule: "unsafe-hygiene",
+                    message: "`unsafe` without an adjacent `// SAFETY:` comment \
+                              documenting the invariant that makes it sound"
+                        .to_string(),
+                });
+            }
+        }
+
+        if in_test[i] {
+            continue;
+        }
+
+        if rules.panic_freedom {
+            if t.kind == TokenKind::Ident
+                && (t.text == "unwrap" || t.text == "expect")
+                && prev.is_some_and(|p| p.text == ".")
+                && next.is_some_and(|n| n.text == "(")
+            {
+                raw.push(Violation {
+                    file: file.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    rule: "panic-freedom",
+                    message: format!(
+                        "`.{}()` on the hot path can panic a worker; return a typed \
+                         error or justify with `// lint:allow(panic-freedom) — <reason>`",
+                        t.text
+                    ),
+                });
+            }
+            if t.kind == TokenKind::Ident
+                && matches!(
+                    t.text.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                )
+                && next.is_some_and(|n| n.text == "!")
+                && prev.is_none_or(|p| p.text != "::")
+            {
+                raw.push(Violation {
+                    file: file.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    rule: "panic-freedom",
+                    message: format!(
+                        "`{}!` on the hot path kills a worker; return a typed error \
+                         or justify with `// lint:allow(panic-freedom) — <reason>`",
+                        t.text
+                    ),
+                });
+            }
+            // Literal-subscript indexing is a statically visible
+            // panic-unless-guarded site (`xs[0]` with no emptiness
+            // guard). Dynamic subscripts are too noisy to flag at
+            // token level and are left to review.
+            if t.text == "["
+                && t.kind == TokenKind::Punct
+                && prev
+                    .is_some_and(|p| p.kind == TokenKind::Ident || p.text == ")" || p.text == "]")
+                && next.is_some_and(|n| n.kind == TokenKind::Int)
+                && next2.is_some_and(|n| n.text == "]")
+            {
+                raw.push(Violation {
+                    file: file.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    rule: "panic-freedom",
+                    message: "literal-subscript index panics when out of bounds; use \
+                              `.get(..)`, `.first()`/`.last()` or guard the length"
+                        .to_string(),
+                });
+            }
+        }
+
+        if rules.determinism && t.kind == TokenKind::Ident {
+            let what = match t.text.as_str() {
+                "HashMap" | "HashSet" => {
+                    Some("iteration order is seed-dependent; use BTreeMap/BTreeSet or a Vec")
+                }
+                "Instant" | "SystemTime" => {
+                    Some("wall-clock reads make output depend on when a run happened")
+                }
+                "thread"
+                    if next.is_some_and(|n| n.text == "::")
+                        && next2.is_some_and(|n| n.text == "current") =>
+                {
+                    Some("thread identity varies run to run")
+                }
+                _ => None,
+            };
+            if let Some(why) = what {
+                raw.push(Violation {
+                    file: file.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    rule: "determinism",
+                    message: format!("`{}` in a determinism-critical module: {}", t.text, why),
+                });
+            }
+        }
+
+        if rules.float_compare
+            && t.kind == TokenKind::Op
+            && (t.text == "==" || t.text == "!=")
+            && (prev.is_some_and(|p| p.kind == TokenKind::Float)
+                || next.is_some_and(|n| n.kind == TokenKind::Float))
+        {
+            raw.push(Violation {
+                file: file.to_string(),
+                line: t.line,
+                col: t.col,
+                rule: "float-compare",
+                message: format!(
+                    "bare `{}` against a float literal; compare `.to_bits()` for \
+                     identity or use an explicit tolerance",
+                    t.text
+                ),
+            });
+        }
+    }
+
+    // Apply allows: a well-formed allow suppresses its rule on the
+    // target line; a malformed one is a violation in its own right.
+    let mut allowed: BTreeMap<(usize, &str), bool> = BTreeMap::new();
+    let mut violations: Vec<Violation> = Vec::new();
+    for a in &allows {
+        let known = RULES.contains(&a.rule.as_str());
+        if !known {
+            violations.push(Violation {
+                file: file.to_string(),
+                line: a.line,
+                col: a.col,
+                rule: "allow-syntax",
+                message: format!(
+                    "`lint:allow({})` names an unknown rule (known: {})",
+                    a.rule,
+                    RULES.join(", ")
+                ),
+            });
+            continue;
+        }
+        if !a.has_reason {
+            violations.push(Violation {
+                file: file.to_string(),
+                line: a.line,
+                col: a.col,
+                rule: "allow-syntax",
+                message: format!(
+                    "`lint:allow({})` requires a non-empty reason: \
+                     `// lint:allow({}) — <why this is sound>`",
+                    a.rule, a.rule
+                ),
+            });
+            continue;
+        }
+        for rule in RULES {
+            if rule == a.rule {
+                allowed.insert((a.target_line, rule), true);
+            }
+        }
+    }
+    violations.extend(
+        raw.into_iter()
+            .filter(|v| !allowed.contains_key(&(v.line, v.rule))),
+    );
+    violations.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+
+    FileAnalysis {
+        violations,
+        unsafe_count,
+    }
+}
+
+/// Marks every token inside a `#[cfg(test)]`/`#[test]` item body. The
+/// pass tracks brace nesting; an attribute whose identifiers include
+/// `test` (and not `not`, so `#[cfg(not(test))]` stays non-test) arms
+/// the next `{` at item level — intervening signature tokens count as
+/// test too, a top-level `;` (outside parens/brackets) disarms.
+fn classify_test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut stack: Vec<bool> = Vec::new();
+    let mut pending = false;
+    let mut group_depth = 0usize; // ( and [ nesting inside a signature
+    let mut i = 0;
+    while i < tokens.len() {
+        let current = *stack.last().unwrap_or(&false);
+        // Attribute: `#` or `#!` then a bracketed group.
+        if tokens[i].text == "#"
+            && (tokens.get(i + 1).is_some_and(|t| t.text == "[")
+                || (tokens.get(i + 1).is_some_and(|t| t.text == "!")
+                    && tokens.get(i + 2).is_some_and(|t| t.text == "[")))
+        {
+            let open = if tokens[i + 1].text == "[" {
+                i + 1
+            } else {
+                i + 2
+            };
+            let mut depth = 0usize;
+            let mut j = open;
+            let mut has_test = false;
+            let mut has_not = false;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "test" if tokens[j].kind == TokenKind::Ident => has_test = true,
+                    "not" if tokens[j].kind == TokenKind::Ident => has_not = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if has_test && !has_not {
+                pending = true;
+            }
+            let end = j.min(tokens.len() - 1);
+            in_test[i..=end].fill(current || pending);
+            i = j + 1;
+            continue;
+        }
+        match tokens[i].text.as_str() {
+            "{" => {
+                stack.push(current || pending);
+                pending = false;
+            }
+            "}" => {
+                stack.pop();
+            }
+            "(" | "[" => group_depth += 1,
+            ")" | "]" => group_depth = group_depth.saturating_sub(1),
+            ";" if group_depth == 0 => pending = false,
+            _ => {}
+        }
+        in_test[i] = *stack.last().unwrap_or(&false) || pending;
+        i += 1;
+    }
+    in_test
+}
+
+/// Marks tokens that belong to attribute groups (`#[...]` / `#![...]`),
+/// so attribute-only lines don't interrupt a SAFETY-comment walk-back.
+fn attribute_tokens(tokens: &[Token]) -> Vec<bool> {
+    let mut is_attr = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].text == "#"
+            && (tokens.get(i + 1).is_some_and(|t| t.text == "[")
+                || (tokens.get(i + 1).is_some_and(|t| t.text == "!")
+                    && tokens.get(i + 2).is_some_and(|t| t.text == "[")))
+        {
+            let open = if tokens[i + 1].text == "[" {
+                i + 1
+            } else {
+                i + 2
+            };
+            let mut depth = 0usize;
+            let mut j = open;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let end = j.min(tokens.len() - 1);
+            for flag in is_attr.iter_mut().take(end + 1).skip(i) {
+                *flag = true;
+            }
+            i = end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    is_attr
+}
+
+/// Per-line classification used by the SAFETY walk-back.
+fn classify_lines(
+    src: &str,
+    tokens: &[Token],
+    comments: &[Comment],
+    attr_token: &[bool],
+) -> Vec<LineClass> {
+    let line_count = src.lines().count().max(1);
+    let mut class = vec![LineClass::Blank; line_count + 2];
+    for c in comments {
+        class[c.line..=c.end_line.min(line_count)].fill(LineClass::CommentOnly);
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        let l = t.line.min(line_count);
+        if attr_token[i] {
+            if class[l] != LineClass::Code {
+                class[l] = LineClass::AttrOnly;
+            }
+        } else {
+            class[l] = LineClass::Code;
+        }
+    }
+    class
+}
+
+/// True when an `unsafe` token has a SAFETY comment on its own line or
+/// on the contiguous run of comment/attribute lines directly above it
+/// (a blank line or intervening code breaks the run).
+fn has_safety_comment(t: &Token, comments: &[Comment], line_class: &[LineClass]) -> bool {
+    let marker = |c: &Comment| c.text.contains("SAFETY:") || c.text.contains("# Safety");
+    if comments
+        .iter()
+        .any(|c| c.line <= t.line && t.line <= c.end_line && marker(c))
+    {
+        return true;
+    }
+    let mut l = t.line;
+    while l > 1 {
+        l -= 1;
+        match line_class.get(l) {
+            Some(LineClass::CommentOnly) | Some(LineClass::AttrOnly) => {
+                if comments
+                    .iter()
+                    .any(|c| c.line <= l && l <= c.end_line && marker(c))
+                {
+                    return true;
+                }
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Extracts every `lint:allow(<rule>)` escape hatch from the comments.
+fn parse_allows(comments: &[Comment], tokens: &[Token]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for c in comments {
+        let mut rest = c.text.as_str();
+        while let Some(pos) = rest.find("lint:allow(") {
+            let after = &rest[pos + "lint:allow(".len()..];
+            let Some(close) = after.find(')') else { break };
+            let rule = after[..close].trim().to_string();
+            let tail = &after[close + 1..];
+            // `lint:allow(<rule>)` with an angle-bracket placeholder is
+            // documentation quoting the syntax, not an allow.
+            if rule.starts_with('<') {
+                rest = tail;
+                continue;
+            }
+            // Reason: whatever follows the `)` once separators (spaces,
+            // dashes, em-dashes, colons) are stripped. For block
+            // comments the closing `*/` alone is not a reason.
+            let reason = tail
+                .trim_end_matches("*/")
+                .trim_matches(|ch: char| {
+                    ch.is_whitespace() || ch == '-' || ch == '—' || ch == ':' || ch == '–'
+                })
+                .to_string();
+            let target_line = if c.owns_line {
+                tokens
+                    .iter()
+                    .find(|t| t.line > c.end_line || (t.line == c.line && t.col > c.col))
+                    .map(|t| t.line)
+                    .unwrap_or(c.line)
+            } else {
+                c.line
+            };
+            allows.push(Allow {
+                rule,
+                target_line,
+                has_reason: !reason.is_empty(),
+                line: c.line,
+                col: c.col,
+            });
+            rest = tail;
+        }
+    }
+    allows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str, rules: RuleSet) -> Vec<Violation> {
+        analyze_source("mem.rs", src, rules).violations
+    }
+
+    const R1: RuleSet = RuleSet {
+        panic_freedom: true,
+        determinism: false,
+        float_compare: false,
+    };
+
+    #[test]
+    fn unwrap_in_code_flagged_in_string_not() {
+        let v = run(
+            "fn f() { x.unwrap(); let s = \"calls .unwrap() here\"; }",
+            R1,
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "panic-freedom");
+        assert_eq!((v[0].line, v[0].col), (1, 12));
+    }
+
+    #[test]
+    fn cfg_test_module_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); }\n}\n";
+        assert!(run(src, R1).is_empty());
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_without_reason_rejected() {
+        let ok = "// lint:allow(panic-freedom) — cursor yields each id once\nx.unwrap();\n";
+        assert!(run(ok, R1).is_empty());
+        let bad = "// lint:allow(panic-freedom)\nx.unwrap();\n";
+        let v = run(bad, R1);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert_eq!(v[0].rule, "allow-syntax");
+        assert_eq!(v[1].rule, "panic-freedom");
+    }
+
+    #[test]
+    fn unsafe_needs_safety_comment() {
+        let bad = "fn f() { unsafe { g() } }";
+        let v = run(bad, RuleSet::default());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "unsafe-hygiene");
+        let good = "fn f() {\n    // SAFETY: g has no preconditions.\n    unsafe { g() }\n}";
+        assert!(run(good, RuleSet::default()).is_empty());
+    }
+
+    #[test]
+    fn float_compare_flagged() {
+        let rules = RuleSet {
+            float_compare: true,
+            ..RuleSet::default()
+        };
+        let v = run("fn f(x: f64) -> bool { x == 0.0 }", rules);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "float-compare");
+        assert!(run("fn f(x: usize) -> bool { x == 0 }", rules).is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Binary-level contract: exit codes 0/1/2, `--json` machine output,
+//! `--rule` filtering and `--baseline` suppression, driven against a
+//! throwaway mini-workspace with a seeded hot-path violation.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_ptherm-lint")
+}
+
+/// Builds a disposable workspace whose `crates/core/src/cosim/` scope
+/// contains one seeded R1 violation and one clean file.
+fn seeded_workspace(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("ptherm-lint-cli-{tag}-{}", std::process::id()));
+    let cosim = root.join("crates/core/src/cosim");
+    std::fs::create_dir_all(&cosim).expect("mkdir");
+    std::fs::create_dir_all(root.join("ci")).expect("mkdir ci");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\nmembers = []\n").expect("manifest");
+    std::fs::write(
+        cosim.join("bad.rs"),
+        "pub fn f() -> u32 {\n    None::<u32>.unwrap()\n}\n",
+    )
+    .expect("bad.rs");
+    std::fs::write(
+        cosim.join("good.rs"),
+        "pub fn g() -> Option<u32> {\n    None\n}\n",
+    )
+    .expect("good.rs");
+    std::fs::write(
+        root.join("ci/unsafe_inventory.json"),
+        "{\n  \"files\": {\n  },\n  \"total\": 0\n}\n",
+    )
+    .expect("inventory");
+    root
+}
+
+fn run(root: &Path, args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(bin())
+        .arg("--root")
+        .arg(root)
+        .args(args)
+        .output()
+        .expect("spawn ptherm-lint");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn seeded_violation_exits_1_with_rule_id_in_json() {
+    let root = seeded_workspace("seeded");
+    let (code, stdout, _) = run(&root, &["--json"]);
+    assert_eq!(code, 1);
+    assert!(
+        stdout.contains("\"rule\": \"panic-freedom\""),
+        "JSON must carry the rule id, got:\n{stdout}"
+    );
+    assert!(stdout.contains("crates/core/src/cosim/bad.rs"));
+    assert!(stdout.contains("\"line\": 2"));
+    assert!(stdout.contains("\"count\": 1"));
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn rule_filter_and_baseline_suppress_to_exit_0() {
+    let root = seeded_workspace("filter");
+    // Filtering to an unrelated rule hides the violation.
+    let (code, stdout, _) = run(&root, &["--rule", "determinism", "--json"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("\"count\": 0"));
+    // A baseline carrying the exact (file, line, rule) hides it too.
+    let baseline = root.join("baseline.txt");
+    let (code, _, _) = run(
+        &root,
+        &["--write-baseline", baseline.to_str().expect("utf8")],
+    );
+    assert_eq!(code, 1, "writing a baseline still reports this run");
+    let (code, stdout, _) = run(&root, &["--baseline", baseline.to_str().expect("utf8")]);
+    assert_eq!(code, 0, "baselined violation must be suppressed:\n{stdout}");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn bad_invocation_exits_2() {
+    let root = seeded_workspace("badflag");
+    let (code, _, stderr) = run(&root, &["--no-such-flag"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("usage:"), "stderr was: {stderr}");
+    let (code, _, stderr) = run(&root, &["--rule", "no-such-rule"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("unknown rule"), "stderr was: {stderr}");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn clean_tree_exits_0() {
+    let root = seeded_workspace("clean");
+    std::fs::write(
+        root.join("crates/core/src/cosim/bad.rs"),
+        "pub fn f() -> Option<u32> {\n    None\n}\n",
+    )
+    .expect("fix bad.rs");
+    let (code, stdout, _) = run(&root, &["--json"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("\"count\": 0"));
+    std::fs::remove_dir_all(&root).ok();
+}

@@ -1,0 +1,126 @@
+//! The fixture corpus: every rule's diagnostics pinned to exact
+//! `line:col` on known-bad (and known-good) snippets. The fixtures
+//! live under `tests/fixtures/` — outside the workspace scan (the
+//! walker skips `fixtures` directories) and outside cargo's test
+//! discovery, so they are read as data, never compiled.
+
+use ptherm_lint::{analyze_source, RuleSet};
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// `(line, col, rule)` triples, in report order.
+fn diags(name: &str, rules: RuleSet) -> Vec<(usize, usize, &'static str)> {
+    analyze_source(name, &fixture(name), rules)
+        .violations
+        .iter()
+        .map(|v| (v.line, v.col, v.rule))
+        .collect()
+}
+
+const R1: RuleSet = RuleSet {
+    panic_freedom: true,
+    determinism: false,
+    float_compare: false,
+};
+
+#[test]
+fn strings_raw_strings_and_nested_comments_do_not_fire() {
+    // Only the real `xs.unwrap()` on line 16 fires; the copies inside
+    // cooked strings, raw strings, escaped strings, and a nested block
+    // comment are invisible to the rules.
+    assert_eq!(
+        diags("strings_and_comments.rs", R1),
+        vec![(16, 8, "panic-freedom")]
+    );
+}
+
+#[test]
+fn cfg_test_modules_and_test_fns_are_exempt() {
+    assert_eq!(
+        diags("cfg_test_module.rs", R1),
+        vec![(5, 8, "panic-freedom")]
+    );
+}
+
+#[test]
+fn allow_requires_nonempty_reason_and_known_rule() {
+    assert_eq!(
+        diags("allow_reasons.rs", R1),
+        vec![
+            (6, 5, "allow-syntax"),   // empty reason is a violation...
+            (7, 17, "panic-freedom"), // ...and suppresses nothing
+            (9, 5, "allow-syntax"),   // unknown rule id
+            (10, 17, "panic-freedom"),
+        ]
+    );
+}
+
+#[test]
+fn unsafe_without_safety_comment_fires_documented_sites_pass() {
+    let analysis = analyze_source("unsafe_sites.rs", &fixture("unsafe_sites.rs"), R1);
+    let triples: Vec<_> = analysis
+        .violations
+        .iter()
+        .map(|v| (v.line, v.col, v.rule))
+        .collect();
+    assert_eq!(triples, vec![(5, 13, "unsafe-hygiene")]);
+    // The inventory counts every site, documented or not: `bad`,
+    // `good`, the `unsafe fn` and its inner block.
+    assert_eq!(analysis.unsafe_count, 4);
+}
+
+#[test]
+fn determinism_rule_flags_hashmap_clocks_and_thread_identity() {
+    let rules = RuleSet {
+        panic_freedom: false,
+        determinism: true,
+        float_compare: false,
+    };
+    assert_eq!(
+        diags("determinism.rs", rules),
+        vec![
+            (3, 23, "determinism"), // use ...::HashMap
+            (4, 16, "determinism"), // use ...::Instant
+            (7, 12, "determinism"), // HashMap type annotation
+            (7, 32, "determinism"), // HashMap::new()
+            (8, 13, "determinism"), // Instant::now()
+            (9, 19, "determinism"), // thread::current()
+        ]
+    );
+}
+
+#[test]
+fn float_compare_flags_literal_equality_not_to_bits() {
+    let rules = RuleSet {
+        panic_freedom: false,
+        determinism: false,
+        float_compare: true,
+    };
+    assert_eq!(
+        diags("float_compare.rs", rules),
+        vec![(4, 7, "float-compare"), (8, 12, "float-compare")]
+    );
+}
+
+#[test]
+fn literal_subscripts_fire_ranges_and_dynamic_indexes_do_not() {
+    assert_eq!(diags("literal_index.rs", R1), vec![(4, 7, "panic-freedom")]);
+}
+
+#[test]
+fn panic_family_macros_fire_and_cfg_not_test_is_in_scope() {
+    assert_eq!(
+        diags("panic_macros.rs", R1),
+        vec![
+            (5, 14, "panic-freedom"),
+            (6, 14, "panic-freedom"),
+            (7, 14, "panic-freedom"),
+            (14, 5, "panic-freedom"),
+        ]
+    );
+}

@@ -1,0 +1,11 @@
+// Fixture: the escape hatch needs a reason; empty reasons are
+// themselves violations and suppress nothing.
+fn a() {
+    // lint:allow(panic-freedom) — upstream len check makes this infallible
+    None::<u32>.unwrap();
+    // lint:allow(panic-freedom)
+    None::<u32>.unwrap();
+    None::<u32>.unwrap(); // lint:allow(panic-freedom) — trailing form, justified
+    // lint:allow(no-such-rule) — the rule id must exist
+    None::<u32>.unwrap();
+}

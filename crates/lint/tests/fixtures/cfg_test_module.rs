@@ -1,0 +1,20 @@
+// Fixture: `#[cfg(test)]` modules and `#[test]` fns are exempt from
+// panic-freedom; shipping code is not.
+pub fn shipping() {
+    let xs: Option<u32> = None;
+    xs.expect("boom");
+}
+
+#[cfg(test)]
+mod tests {
+    fn helper() {
+        let xs: Option<u32> = None;
+        xs.unwrap();
+        xs.expect("fine in tests");
+    }
+}
+
+#[test]
+fn a_test() {
+    None::<u32>.unwrap();
+}

@@ -1,0 +1,12 @@
+// Fixture: fingerprint/protocol modules must not read wall clocks,
+// thread identity, or seed-dependent iteration order.
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn fingerprint_inputs() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let t = Instant::now();
+    let id = std::thread::current().id();
+    let _ = (t, id);
+    m.len()
+}

@@ -1,0 +1,17 @@
+// Fixture: bare float equality in shipping code; bitwise identity
+// goes through to_bits(), tolerances through an epsilon.
+pub fn bad(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn also_bad(x: f64) -> bool {
+    1.5e-3 != x
+}
+
+pub fn fine(x: f64, y: f64) -> bool {
+    x.to_bits() == y.to_bits() && (x - y).abs() < 1e-12
+}
+
+pub fn ints(a: usize) -> bool {
+    a == 0
+}

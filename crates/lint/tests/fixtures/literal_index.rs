@@ -1,0 +1,12 @@
+// Fixture: literal subscripts are statically-visible panic sites;
+// ranges, dynamic subscripts and array literals are not flagged.
+pub fn bad(xs: &[u32]) -> u32 {
+    xs[0]
+}
+
+pub fn fine(xs: &[u32], i: usize) -> u32 {
+    let head = xs.first().copied().unwrap_or(0);
+    let arr = [1u32, 2, 3];
+    let tail = &xs[1..];
+    head + arr[i % 3] + tail.len() as u32 + xs.get(2).copied().unwrap_or(0)
+}

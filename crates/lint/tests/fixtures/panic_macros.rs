@@ -1,0 +1,15 @@
+// Fixture: panic-family macros kill workers; `#[cfg(not(test))]` is
+// NOT test code and stays in scope.
+pub fn boom(kind: u8) -> u8 {
+    match kind {
+        0 => panic!("no"),
+        1 => unreachable!(),
+        2 => todo!(),
+        _ => kind,
+    }
+}
+
+#[cfg(not(test))]
+pub fn not_test_gated() {
+    unimplemented!()
+}

@@ -1,0 +1,17 @@
+// Fixture: unwrap-looking text inside strings and comments must not
+// fire; the one real call at the end must.
+fn strings() {
+    let a = "calls .unwrap() in a string";
+    let b = r#"raw string .expect("x") with "quotes" inside"#;
+    let c = "escaped \" quote then .unwrap()";
+    /* block comment .unwrap()
+       /* nested block comment .expect() */
+       still comment .unwrap() */
+    let d = 'x';
+    let _ = (a, b, c, d);
+}
+
+fn real() -> u32 {
+    let xs: Option<u32> = None;
+    xs.unwrap()
+}

@@ -1,0 +1,22 @@
+// Fixture: every unsafe needs an adjacent SAFETY comment; doc
+// `# Safety` sections on the item count too.
+pub fn bad() {
+    let xs = [1u8, 2];
+    let _ = unsafe { *xs.as_ptr() };
+}
+
+pub fn good() {
+    let xs = [1u8, 2];
+    // SAFETY: the array is non-empty, so the pointer is valid.
+    let _ = unsafe { *xs.as_ptr() };
+}
+
+/// Reads the byte behind `p`.
+///
+/// # Safety
+///
+/// `p` must be valid for reads.
+pub unsafe fn documented(p: *const u8) -> u8 {
+    // SAFETY: caller contract (see `# Safety`).
+    unsafe { *p }
+}

@@ -1,0 +1,51 @@
+//! The lint runs green on its own workspace: zero unjustified
+//! violations, and the unsafe inventory manifest matches the tree.
+//! This is the same invariant CI's `lint` job gates on, pinned as a
+//! plain test so `cargo test` alone catches drift.
+
+use ptherm_lint::{find_workspace_root, lint_workspace, load_inventory, UNSAFE_INVENTORY};
+use std::path::Path;
+
+fn root() -> std::path::PathBuf {
+    find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("crates/lint lives inside the workspace")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = lint_workspace(&root()).expect("workspace scan");
+    assert!(
+        report.violations.is_empty(),
+        "the workspace must lint clean, found:\n{}",
+        report
+            .violations
+            .iter()
+            .map(|v| format!("{}:{}:{} {} {}", v.file, v.line, v.col, v.rule, v.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // The walk really covered the tree (all crates + root src/tests).
+    assert!(
+        report.files_scanned > 100,
+        "only {} files scanned — walker lost the tree?",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn unsafe_inventory_manifest_matches_tree() {
+    let report = lint_workspace(&root()).expect("workspace scan");
+    let manifest = load_inventory(&root().join(UNSAFE_INVENTORY))
+        .expect("ci/unsafe_inventory.json is checked in");
+    assert_eq!(
+        report.unsafe_inventory, manifest,
+        "unsafe inventory drift — regenerate with `ptherm-lint --write-inventory`"
+    );
+    // The audited unsafe surface is exactly the SIMD kernels.
+    for file in manifest.keys() {
+        assert!(
+            file.starts_with("crates/math/src/"),
+            "unexpected unsafe outside the math kernels: {file}"
+        );
+    }
+}

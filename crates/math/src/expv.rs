@@ -120,12 +120,18 @@ fn exp_generic<const FMA: bool>(x: &[f64], out: &mut [f64]) {
     }
 }
 
+// SAFETY: `unsafe` purely because of `target_feature` — the body is the
+// safe `exp_generic`. Callers must have verified AVX-512F/VL/DQ + FMA
+// support (done once by `crate::simd::isa`), or the enabled codegen is
+// undefined on this CPU.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f,avx512vl,avx512dq,fma")]
 unsafe fn exp_avx512(x: &[f64], out: &mut [f64]) {
     exp_generic::<true>(x, out);
 }
 
+// SAFETY: as above — callers must have verified AVX2 + FMA support
+// (done once by `crate::simd::isa`); the body itself is safe code.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn exp_avx2(x: &[f64], out: &mut [f64]) {

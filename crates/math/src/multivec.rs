@@ -180,6 +180,8 @@ unsafe fn lane_tile<const MR: usize, const NR: usize, const FMA: bool>(
         // cols*lanes <= x.len(); likewise (i0+ii)*cols + k < rows*cols.
         let xr = unsafe { x.get_unchecked(k * lanes + j0..k * lanes + j0 + NR) };
         for (ii, accrow) in acc.iter_mut().enumerate() {
+            // SAFETY: ii < MR and i0 + MR <= rows, so the flat index is
+            // below rows*cols <= a.len() (asserted by `gemm_generic`).
             let aik = *unsafe { a.get_unchecked((i0 + ii) * cols + k) };
             for jj in 0..NR {
                 if FMA {
@@ -243,12 +245,18 @@ fn gemm_generic<const FMA: bool>(
     }
 }
 
+// SAFETY: `unsafe` purely because of `target_feature` — the body is the
+// safe, internally-asserted `gemm_generic`. Callers must have verified
+// AVX-512F/VL/DQ + FMA support (done once by `crate::simd::isa`), or
+// the enabled codegen is undefined on this CPU.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f,avx512vl,avx512dq,fma")]
 unsafe fn gemm_avx512(a: &[f64], rows: usize, cols: usize, x: &[f64], y: &mut [f64], lanes: usize) {
     gemm_generic::<true>(a, rows, cols, x, y, lanes);
 }
 
+// SAFETY: as above — callers must have verified AVX2 + FMA support
+// (done once by `crate::simd::isa`); the body itself is safe code.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn gemm_avx2(a: &[f64], rows: usize, cols: usize, x: &[f64], y: &mut [f64], lanes: usize) {

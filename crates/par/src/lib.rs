@@ -128,7 +128,13 @@ where
             }));
         }
         for handle in handles {
-            for (i, r) in handle.join().expect("worker panicked") {
+            // A worker that unwound re-raises with its original payload so
+            // callers' `catch_unwind` (the fleet's panic isolation) still
+            // sees the real panic, not a synthetic join message.
+            let produced = handle
+                .join()
+                .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+            for (i, r) in produced {
                 results[i] = Some(r);
             }
         }
@@ -136,6 +142,8 @@ where
 
     results
         .into_iter()
+        // lint:allow(panic-freedom) — the shared cursor hands out every
+        // index in 0..len exactly once, so every slot is filled.
         .map(|r| r.expect("every index claimed exactly once"))
         .collect()
 }
@@ -161,7 +169,11 @@ where
         let handles: Vec<_> = (0..threads).map(|w| scope.spawn(move || f(w))).collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
+            // Re-raise a worker's own panic payload; see par_map_with.
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
             .collect()
     })
 }
