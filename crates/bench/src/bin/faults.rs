@@ -25,7 +25,7 @@
 
 use ptherm_bench::{header, report, JsonObject, ShapeCheck, Table};
 use ptherm_fleet::{
-    Fault, FaultPlan, FleetConfig, FleetEngine, FleetReport, JobError, JobSpec, SteadyJob,
+    Fault, FaultPlan, FleetEngine, FleetEngineBuilder, FleetReport, JobError, JobSpec, SteadyJob,
     TransientJob,
 };
 use ptherm_floorplan::{generator, ChipGeometry, Floorplan};
@@ -78,6 +78,7 @@ fn synthetic_fleet(cfg: &BenchConfig) -> (Vec<(String, Floorplan)>, Vec<JobSpec>
                 ambients_k: None,
                 backend: ptherm_core::cosim::SweepBackend::Auto,
                 deadline_ms: None,
+                v: None,
             };
             if round % 2 == 0 {
                 jobs.push(JobSpec::Steady(base));
@@ -117,14 +118,11 @@ fn fault_plan(jobs: usize) -> FaultPlan {
 }
 
 fn build_engine(floorplans: &[(String, Floorplan)], threads: usize) -> FleetEngine {
-    let mut engine = FleetEngine::new(FleetConfig {
-        threads,
-        ..FleetConfig::default()
-    });
+    let mut builder = FleetEngineBuilder::new().threads(threads);
     for (name, plan) in floorplans {
-        engine.register(name.clone(), plan.clone());
+        builder = builder.floorplan(name.clone(), plan.clone());
     }
-    engine
+    builder.build().expect("valid bench configuration")
 }
 
 /// Result lines with `wall_ns` normalized to 0 — the bitwise-identity
@@ -230,7 +228,8 @@ fn bench(quick: bool) -> i32 {
     let mut chaos: Option<FleetReport> = None;
     let mut drained: Option<FleetReport> = None;
     for _ in 0..cfg.repeats {
-        let mut engine = build_engine(&floorplans, threads).with_faults(plan.clone());
+        let mut engine = build_engine(&floorplans, threads);
+        engine.set_faults(Some(plan.clone()));
         let t0 = Instant::now();
         let report = engine.run(&jobs);
         chaos_wall_s = chaos_wall_s.min(t0.elapsed().as_secs_f64());

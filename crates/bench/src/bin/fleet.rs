@@ -20,7 +20,8 @@
 
 use ptherm_bench::{header, report, JsonObject, ShapeCheck, Table};
 use ptherm_fleet::{
-    parse_jsonl, FleetConfig, FleetEngine, FleetReport, JobReport, JobSpec, SteadyJob, TransientJob,
+    parse_jsonl, FleetConfig, FleetEngine, FleetEngineBuilder, FleetReport, JobReport, JobSpec,
+    SteadyJob, TransientJob,
 };
 use ptherm_floorplan::{generator, ChipGeometry, Floorplan};
 use std::time::Instant;
@@ -36,6 +37,11 @@ struct BenchConfig {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => std::process::exit(serve_mode(&args[1..])),
+        Some("client") => std::process::exit(client_mode(&args[1..])),
+        _ => {}
+    }
     if args.iter().any(|a| a == "--jobs") {
         std::process::exit(serve(&args));
     }
@@ -100,7 +106,17 @@ fn serve(args: &[String]) -> i32 {
     if args.iter().any(|a| a == "--no-cache") {
         config.amortize = false;
     }
-    let engine = FleetEngine::from_request(config, &request);
+    let engine = match FleetEngineBuilder::new()
+        .config(config)
+        .request(&request)
+        .build()
+    {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!("invalid fleet configuration: {e}");
+            return 2;
+        }
+    };
     let fleet_report = engine.run(&request.jobs);
     for record in &fleet_report.jobs {
         println!("{}", record.to_json(&request.jobs[record.index]).render());
@@ -154,6 +170,281 @@ fn serve(args: &[String]) -> i32 {
 }
 
 // ---------------------------------------------------------------------
+// Persistent service (`fleet serve`) and its line client
+// ---------------------------------------------------------------------
+
+/// Raised by the SIGTERM/SIGINT handler; a watchdog thread forwards it
+/// to the server's shutdown handle (signal handlers must not touch
+/// anything but this atomic).
+static SIGNALED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SIGNALED.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+// `signal(2)` — std exposes no signal API and the workspace builds
+// offline (no `libc` crate), so the binding is declared directly.
+// Handlers are `usize`-sized function pointers on every supported
+// target.
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+fn install_signal_handlers() {
+    // SAFETY: `on_signal` is async-signal-safe (it performs a single
+    // relaxed-compatible atomic store and touches no locks, no
+    // allocator and no stdio), and SIGINT/SIGTERM are valid signal
+    // numbers on every platform this builds for. The previous handler
+    // (the default) is intentionally discarded.
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+/// `fleet serve`: the persistent socket service over one long-lived
+/// engine. Flags: `--listen <addr>` (TCP, default `127.0.0.1:0`),
+/// `--unix <path>` (additional Unix-domain listener), `--threads N`,
+/// `--cache-capacity N`, `--queue-capacity N`, `--manifest <path>`
+/// (cache warm/persist across restarts), `--stdin-shutdown` (drain
+/// when stdin closes — for supervisors that manage children through
+/// pipes). Prints one `{"type": "ready", ...}` line to stdout once
+/// every listener is bound, then serves until SIGTERM/SIGINT, a
+/// `{"type": "shutdown"}` control record, or stdin close (opt-in);
+/// the final stats line goes to stdout on exit.
+fn serve_mode(args: &[String]) -> i32 {
+    let mut config = FleetConfig::default();
+    let mut queue_capacity = ptherm_fleet::ServeConfig::default().queue_capacity;
+    for (flag, slot) in [
+        ("--threads", &mut config.threads),
+        ("--cache-capacity", &mut config.cache_capacity),
+        ("--queue-capacity", &mut queue_capacity),
+    ] {
+        if let Some(raw) = flag_value(args, flag) {
+            match raw.parse::<usize>() {
+                Ok(value) if value > 0 => *slot = value,
+                _ => {
+                    eprintln!("fleet serve: {flag} needs a positive integer, got {raw:?}");
+                    return 2;
+                }
+            }
+        }
+    }
+    let engine = match FleetEngineBuilder::new().config(config).build() {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!("fleet serve: invalid configuration: {e}");
+            return 2;
+        }
+    };
+    let serve_config = ptherm_fleet::ServeConfig {
+        queue_capacity,
+        manifest_path: flag_value(args, "--manifest").map(std::path::PathBuf::from),
+    };
+
+    let mut listeners = Vec::new();
+    let mut ready = vec![(
+        "type".to_string(),
+        ptherm_fleet::Json::String("ready".into()),
+    )];
+    let addr = flag_value(args, "--listen").unwrap_or("127.0.0.1:0");
+    match std::net::TcpListener::bind(addr) {
+        Ok(listener) => {
+            let bound = listener
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| addr.to_string());
+            ready.push(("tcp".into(), ptherm_fleet::Json::String(bound)));
+            listeners.push(ptherm_fleet::ServeListener::Tcp(listener));
+        }
+        Err(e) => {
+            eprintln!("fleet serve: could not bind {addr}: {e}");
+            return 2;
+        }
+    }
+    let unix_path = flag_value(args, "--unix").map(std::path::PathBuf::from);
+    if let Some(path) = &unix_path {
+        // A previous unclean exit leaves the socket file behind;
+        // rebinding requires removing it first.
+        let _ = std::fs::remove_file(path);
+        match std::os::unix::net::UnixListener::bind(path) {
+            Ok(listener) => {
+                ready.push((
+                    "unix".into(),
+                    ptherm_fleet::Json::String(path.display().to_string()),
+                ));
+                listeners.push(ptherm_fleet::ServeListener::Unix(listener));
+            }
+            Err(e) => {
+                eprintln!("fleet serve: could not bind {}: {e}", path.display());
+                return 2;
+            }
+        }
+    }
+
+    let server = ptherm_fleet::FleetServer::new(engine, serve_config);
+    let shutdown = server.shutdown_handle();
+    install_signal_handlers();
+    {
+        let shutdown = std::sync::Arc::clone(&shutdown);
+        std::thread::spawn(move || loop {
+            if SIGNALED.load(std::sync::atomic::Ordering::SeqCst) {
+                shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        });
+    }
+    if args.iter().any(|a| a == "--stdin-shutdown") {
+        let shutdown = std::sync::Arc::clone(&shutdown);
+        std::thread::spawn(move || {
+            // Block until the supervisor closes our stdin, then drain.
+            let mut sink = String::new();
+            let _ = std::io::Read::read_to_string(&mut std::io::stdin(), &mut sink);
+            shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+        });
+    }
+
+    println!("{}", ptherm_fleet::Json::Object(ready).render());
+    let summary = match server.serve(listeners) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("fleet serve: {e}");
+            return 1;
+        }
+    };
+    if let Some(path) = &unix_path {
+        let _ = std::fs::remove_file(path);
+    }
+    if let Some(warm) = summary.warm {
+        eprintln!(
+            "fleet serve: warmed {} cache entr{} ({} stale skipped)",
+            warm.rebuilt,
+            if warm.rebuilt == 1 { "y" } else { "ies" },
+            warm.skipped
+        );
+    }
+    if summary.manifest_saved {
+        eprintln!("fleet serve: cache manifest saved");
+    }
+    println!("{}", summary.stats.render());
+    0
+}
+
+/// `fleet client`: stream a JSONL request to a serving `fleet serve`
+/// process and print every response line. Flags: `--connect <addr>`
+/// (TCP) or `--unix <path>`, `--jobs <path|->` (default stdin),
+/// `--shutdown` (append a shutdown control record, draining the
+/// server). Exits 0 once the server closes the connection.
+fn client_mode(args: &[String]) -> i32 {
+    let path = flag_value(args, "--jobs").unwrap_or("-");
+    let mut text = if path == "-" {
+        let mut buf = String::new();
+        if let Err(e) = std::io::Read::read_to_string(&mut std::io::stdin(), &mut buf) {
+            eprintln!("fleet client: could not read stdin: {e}");
+            return 2;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("fleet client: could not read {path}: {e}");
+                return 2;
+            }
+        }
+    };
+    if !text.ends_with('\n') {
+        text.push('\n');
+    }
+    if args.iter().any(|a| a == "--shutdown") {
+        text.push_str("{\"type\": \"shutdown\"}\n");
+    }
+
+    let stream: Box<dyn ReadWrite> = if let Some(path) = flag_value(args, "--unix") {
+        match std::os::unix::net::UnixStream::connect(path) {
+            Ok(stream) => Box::new(stream),
+            Err(e) => {
+                eprintln!("fleet client: could not connect to {path}: {e}");
+                return 2;
+            }
+        }
+    } else {
+        let addr = flag_value(args, "--connect").unwrap_or("127.0.0.1:7411");
+        match std::net::TcpStream::connect(addr) {
+            Ok(stream) => Box::new(stream),
+            Err(e) => {
+                eprintln!("fleet client: could not connect to {addr}: {e}");
+                return 2;
+            }
+        }
+    };
+    let mut write_half = match stream.try_clone_box() {
+        Ok(clone) => clone,
+        Err(e) => {
+            eprintln!("fleet client: {e}");
+            return 2;
+        }
+    };
+    let sender = std::thread::spawn(move || {
+        let _ = write_half.write_all(text.as_bytes());
+        let _ = write_half.flush();
+        let _ = write_half.shutdown_write();
+    });
+    let reader = std::io::BufReader::new(stream);
+    for line in std::io::BufRead::lines(reader) {
+        match line {
+            Ok(line) => println!("{line}"),
+            Err(_) => break,
+        }
+    }
+    let _ = sender.join();
+    0
+}
+
+/// Object-safe read+write+clone over TCP and Unix streams, so the
+/// client treats both transports uniformly.
+trait ReadWrite: std::io::Read + Send {
+    fn try_clone_box(&self) -> std::io::Result<Box<dyn ReadWrite>>;
+    fn shutdown_write(&self) -> std::io::Result<()>;
+    fn write_all(&mut self, buf: &[u8]) -> std::io::Result<()>;
+    fn flush(&mut self) -> std::io::Result<()>;
+}
+
+impl ReadWrite for std::net::TcpStream {
+    fn try_clone_box(&self) -> std::io::Result<Box<dyn ReadWrite>> {
+        self.try_clone().map(|s| Box::new(s) as Box<dyn ReadWrite>)
+    }
+    fn shutdown_write(&self) -> std::io::Result<()> {
+        self.shutdown(std::net::Shutdown::Write)
+    }
+    fn write_all(&mut self, buf: &[u8]) -> std::io::Result<()> {
+        std::io::Write::write_all(self, buf)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        std::io::Write::flush(self)
+    }
+}
+
+impl ReadWrite for std::os::unix::net::UnixStream {
+    fn try_clone_box(&self) -> std::io::Result<Box<dyn ReadWrite>> {
+        self.try_clone().map(|s| Box::new(s) as Box<dyn ReadWrite>)
+    }
+    fn shutdown_write(&self) -> std::io::Result<()> {
+        self.shutdown(std::net::Shutdown::Write)
+    }
+    fn write_all(&mut self, buf: &[u8]) -> std::io::Result<()> {
+        std::io::Write::write_all(self, buf)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        std::io::Write::flush(self)
+    }
+}
+
+// ---------------------------------------------------------------------
 // Bench mode
 // ---------------------------------------------------------------------
 
@@ -194,6 +485,7 @@ fn synthetic_fleet(cfg: &BenchConfig) -> (Vec<(String, Floorplan)>, Vec<JobSpec>
                 ambients_k: None,
                 backend: ptherm_core::cosim::SweepBackend::Auto,
                 deadline_ms: None,
+                v: None,
             };
             // Alternate job kinds per round so every worker's local run
             // of the queue mixes sweeps and transients.
@@ -218,15 +510,13 @@ fn synthetic_fleet(cfg: &BenchConfig) -> (Vec<(String, Floorplan)>, Vec<JobSpec>
 }
 
 fn build_engine(floorplans: &[(String, Floorplan)], amortize: bool, threads: usize) -> FleetEngine {
-    let mut engine = FleetEngine::new(FleetConfig {
-        threads,
-        amortize,
-        ..FleetConfig::default()
-    });
+    let mut builder = FleetEngineBuilder::new()
+        .threads(threads)
+        .amortize(amortize);
     for (name, plan) in floorplans {
-        engine.register(name.clone(), plan.clone());
+        builder = builder.floorplan(name.clone(), plan.clone());
     }
-    engine
+    builder.build().expect("valid bench configuration")
 }
 
 /// Max absolute block-temperature gap between two runs of the same job

@@ -53,8 +53,8 @@ pub use spectral::{
     SpectralOperator, SpectralScratch,
 };
 pub use sweep::{
-    MapOutcome, MapReport, Scenario, ScenarioGrid, SweepBackend, SweepEngine, SweepOutcome,
-    SweepReport, SPECTRAL_AUTO_THRESHOLD,
+    MapOutcome, MapReport, RunOptions, Scenario, ScenarioGrid, SweepBackend, SweepEngine,
+    SweepOutcome, SweepReport, SPECTRAL_AUTO_THRESHOLD,
 };
 pub use transient::{
     propagator_fingerprint, DriveWaveform, TransientBatchedSolver, TransientConfig, TransientError,

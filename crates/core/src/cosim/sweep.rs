@@ -977,6 +977,118 @@ impl fmt::Display for SweepBackend {
     }
 }
 
+/// Per-call options for the unified [`SweepEngine`] entry points
+/// ([`SweepEngine::sweep`], [`SweepEngine::transient`],
+/// [`SweepEngine::map`]).
+///
+/// Historically every workload grew its own method ladder (`run` /
+/// `run_with` / `run_with_cancel` × steady/transient/map) and each new
+/// orthogonal knob doubled it. `RunOptions` collapses the ladder: one
+/// entry point per workload, with cancellation, an already-built
+/// operator (the cache-amortized path) and a backend override all
+/// optional and composable. The legacy names survive as one-line
+/// wrappers over these entry points.
+///
+/// `Op` is the workload's operator type: [`Arc<ThermalOperator>`] for
+/// steady sweeps, [`TransientOperator`] for transients,
+/// [`MapOperator`] for map renders.
+///
+/// # Example
+///
+/// ```no_run
+/// # use ptherm_core::cosim::{RunOptions, SweepBackend, SweepEngine, ScenarioGrid};
+/// # use ptherm_par::CancelToken;
+/// # fn demo(engine: &SweepEngine, grid: &ScenarioGrid) {
+/// let power = engine.uniform_tech_power(40.0, 8.0);
+/// let token = CancelToken::new();
+/// let report = engine.sweep(
+///     grid,
+///     &power,
+///     RunOptions::new()
+///         .cancel(&token)
+///         .backend(SweepBackend::Dense),
+/// );
+/// # let _ = report;
+/// # }
+/// ```
+pub struct RunOptions<'a, Op> {
+    /// Cooperative cancellation token, checkpointed at the workload's
+    /// natural granularity (per Picard iteration / time step / render).
+    /// `None` runs to completion.
+    pub cancel: Option<&'a CancelToken>,
+    /// An **already built** operator to replay instead of building one
+    /// — the cache-amortized path. Must match what this engine would
+    /// build (fingerprint-checked; a mismatch panics as a cache-keying
+    /// bug). `None` builds (or reuses the engine's lazily built)
+    /// operator.
+    pub operator: Option<&'a Op>,
+    /// Backend override for this call only (steady sweeps and the
+    /// Picard phase of map renders; transients always step through the
+    /// dense-factored propagator). `None` uses the engine's configured
+    /// backend.
+    pub backend: Option<SweepBackend>,
+}
+
+impl<Op> Default for RunOptions<'_, Op> {
+    fn default() -> Self {
+        RunOptions {
+            cancel: None,
+            operator: None,
+            backend: None,
+        }
+    }
+}
+
+// Manual impls: a derive would demand `Op: Clone/Copy`, but the struct
+// only holds references to `Op`.
+impl<Op> Clone for RunOptions<'_, Op> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<Op> Copy for RunOptions<'_, Op> {}
+
+impl<Op> fmt::Debug for RunOptions<'_, Op> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunOptions")
+            .field("cancel", &self.cancel.is_some())
+            .field("operator", &self.operator.is_some())
+            .field("backend", &self.backend)
+            .finish()
+    }
+}
+
+impl<'a, Op> RunOptions<'a, Op> {
+    /// All-defaults options: no cancellation, self-built operator,
+    /// engine-configured backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a cooperative [`CancelToken`].
+    #[must_use]
+    pub fn cancel(mut self, token: &'a CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Replays an already-built operator (see [`RunOptions::operator`]).
+    #[must_use]
+    pub fn operator(mut self, op: &'a Op) -> Self {
+        self.operator = Some(op);
+        self
+    }
+
+    /// Overrides the backend for this call (see
+    /// [`RunOptions::backend`]).
+    #[must_use]
+    pub fn backend(mut self, backend: SweepBackend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+}
+
 impl SweepEngine {
     /// Engine with the default solver configuration and one worker per
     /// available CPU.
@@ -1159,7 +1271,13 @@ impl SweepEngine {
     /// [`SPECTRAL_AUTO_THRESHOLD`] blocks, dense otherwise; explicit
     /// choices pass through.
     pub fn resolved_backend(&self) -> SweepBackend {
-        match self.backend {
+        self.resolve_backend(self.backend)
+    }
+
+    /// [`Self::resolved_backend`] for an arbitrary request — what a
+    /// per-call [`RunOptions::backend`] override resolves to.
+    fn resolve_backend(&self, requested: SweepBackend) -> SweepBackend {
+        match requested {
             SweepBackend::Auto => {
                 let plan = self.solver.floorplan();
                 if plan.blocks().len() >= SPECTRAL_AUTO_THRESHOLD
@@ -1185,32 +1303,55 @@ impl SweepEngine {
     }
 
     /// Sweeps a scenario grid under a power model through the
-    /// GEMM-batched hot path. A grid without an explicit ambient axis
-    /// inherits this engine's floorplan sink temperature, matching
-    /// one-shot solves.
+    /// GEMM-batched hot path — the unified steady entry point.
     ///
-    /// Workers pull scenario indices from one shared cursor (dynamic
-    /// sharding), refilling their batch lanes as scenarios resolve, so
-    /// outcomes are independent of the thread count and batch width.
-    /// Results agree with [`Self::run_per_scenario`] to the ULP-level
-    /// contract documented in [`crate::cosim::batch`].
-    pub fn run<M: ScenarioPowerModel>(&self, grid: &ScenarioGrid, model: &M) -> SweepReport {
-        self.run_with_cancel(grid, model, None)
-    }
-
-    /// [`Self::run`] with a cooperative [`CancelToken`] checkpointed
-    /// once per Picard iteration. When the token fires, in-flight
-    /// scenarios retire as [`SweepOutcome::Cancelled`] with their
-    /// iteration counts and never-started scenarios as `Cancelled`
-    /// with zero iterations; the engine, its cached operators and all
-    /// workspaces stay fully reusable. A token that never fires leaves
-    /// results bitwise identical to [`Self::run`].
-    pub fn run_with_cancel<M: ScenarioPowerModel>(
+    /// A grid without an explicit ambient axis inherits this engine's
+    /// floorplan sink temperature, matching one-shot solves. Workers
+    /// pull scenario indices from one shared cursor (dynamic sharding),
+    /// refilling their batch lanes as scenarios resolve, so outcomes
+    /// are independent of the thread count and batch width. Results
+    /// agree with [`Self::run_per_scenario`] to the ULP-level contract
+    /// documented in [`crate::cosim::batch`].
+    ///
+    /// [`RunOptions`] composes the per-call knobs:
+    ///
+    /// * `cancel` — cooperative token checkpointed once per Picard
+    ///   iteration. When it fires, in-flight scenarios retire as
+    ///   [`SweepOutcome::Cancelled`] with their iteration counts and
+    ///   never-started scenarios as `Cancelled` with zero iterations;
+    ///   the engine, its cached operators and all workspaces stay
+    ///   fully reusable. A token that never fires leaves results
+    ///   bitwise identical to an uncancelled run.
+    /// * `operator` — an already-built dense [`ThermalOperator`]
+    ///   handle to replay (the cache-amortized path; fingerprint
+    ///   checked). Ignored when the resolved backend is spectral.
+    /// * `backend` — per-call override of the engine's configured
+    ///   backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an operator fingerprint mismatch, or when the
+    /// (possibly overridden) backend is explicitly
+    /// [`SweepBackend::Spectral`] on a non-grid-coincident floorplan.
+    /// Callers that need a typed failure (the fleet) pre-validate with
+    /// [`infer_grid`].
+    pub fn sweep<M: ScenarioPowerModel>(
         &self,
         grid: &ScenarioGrid,
         model: &M,
-        cancel: Option<&CancelToken>,
+        opts: RunOptions<'_, Arc<ThermalOperator>>,
     ) -> SweepReport {
+        if let Some(op) = opts.operator {
+            assert_eq!(
+                op.fingerprint(),
+                crate::cosim::operator_fingerprint(
+                    self.solver.floorplan(),
+                    self.solver.lateral_order,
+                    self.solver.z_order
+                ),
+                "operator/solver fingerprint mismatch"
+            );
+        }
         // The floorplan's sink, not the operator's (same value by the
         // fingerprint contract): reading it must not force a dense
         // build under the spectral backend.
@@ -1220,7 +1361,33 @@ impl SweepEngine {
             total,
             |id| grid.scenario(id, sink_k).ambient_k,
             || model.batched(grid, sink_k, self.batch_lanes),
-            cancel,
+            opts.cancel,
+            opts.operator,
+            opts.backend,
+        )
+    }
+
+    /// [`Self::sweep`] with default [`RunOptions`] — the legacy name,
+    /// kept as a thin wrapper.
+    pub fn run<M: ScenarioPowerModel>(&self, grid: &ScenarioGrid, model: &M) -> SweepReport {
+        self.sweep(grid, model, RunOptions::new())
+    }
+
+    /// [`Self::sweep`] with only a cancellation token — the legacy
+    /// name, kept as a thin wrapper.
+    pub fn run_with_cancel<M: ScenarioPowerModel>(
+        &self,
+        grid: &ScenarioGrid,
+        model: &M,
+        cancel: Option<&CancelToken>,
+    ) -> SweepReport {
+        self.sweep(
+            grid,
+            model,
+            RunOptions {
+                cancel,
+                ..RunOptions::new()
+            },
         )
     }
 
@@ -1241,6 +1408,8 @@ impl SweepEngine {
                     |id: usize, block: usize, t: f64| power(&scenarios[id], block, t),
                 ))
             },
+            None,
+            None,
             None,
         )
     }
@@ -1263,10 +1432,11 @@ impl SweepEngine {
     }
 
     /// Sweeps a scenario grid and renders a high-resolution `nx × ny`
-    /// temperature map per converged scenario.
+    /// temperature map per converged scenario — the unified map entry
+    /// point.
     ///
     /// Leakage feedback is closed through the **existing** batched
-    /// Picard loop ([`Self::run`]: `Self::batch_lanes` scenarios per
+    /// Picard loop ([`Self::sweep`]: `Self::batch_lanes` scenarios per
     /// GEMM step on the `MultiVec` path); the converged block power
     /// vectors are then rasterized and convolved through the FFT map
     /// operator, one render per scenario, sharded over
@@ -1274,6 +1444,58 @@ impl SweepEngine {
     /// Results are bitwise independent of thread count and batch width
     /// (the Picard contract plus a deterministic serial render per
     /// scenario).
+    ///
+    /// [`RunOptions`] composes the per-call knobs:
+    ///
+    /// * `cancel` — checkpointed once per Picard iteration during the
+    ///   sweep and once per scenario during the FFT render pass.
+    ///   Scenarios cancelled mid-sweep carry
+    ///   [`SweepOutcome::Cancelled`]; converged scenarios whose render
+    ///   was skipped by a late cancellation keep their sweep outcome
+    ///   with `map_k: None`. A token that never fires leaves results
+    ///   bitwise identical to an uncancelled run.
+    /// * `operator` — an already-built [`MapOperator`] to replay (see
+    ///   [`Self::map_operator`]); its grid must be `nx × ny`. Results
+    ///   are bit-identical to the self-building path for an operator
+    ///   built from the same inputs.
+    /// * `backend` — per-call override for the Picard sweep phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the supplied operator's grid is not `nx × ny`, or if
+    /// it was built for a different floorplan geometry or image orders
+    /// than this engine would build (fingerprint mismatch) — a
+    /// cache-keying bug, caught here rather than rendering the wrong
+    /// chip.
+    pub fn map<M: ScenarioPowerModel>(
+        &self,
+        grid: &ScenarioGrid,
+        model: &M,
+        nx: usize,
+        ny: usize,
+        opts: RunOptions<'_, MapOperator>,
+    ) -> MapReport {
+        match opts.operator {
+            Some(map_op) => {
+                assert_eq!(
+                    (map_op.nx(), map_op.ny()),
+                    (nx, ny),
+                    "map operator grid mismatch"
+                );
+                self.map_inner(grid, model, map_op, opts.cancel, opts.backend)
+            }
+            None => self.map_inner(
+                grid,
+                model,
+                &self.map_operator(nx, ny),
+                opts.cancel,
+                opts.backend,
+            ),
+        }
+    }
+
+    /// [`Self::map`] with default [`RunOptions`] — the legacy name,
+    /// kept as a thin wrapper.
     pub fn run_map<M: ScenarioPowerModel>(
         &self,
         grid: &ScenarioGrid,
@@ -1281,42 +1503,59 @@ impl SweepEngine {
         nx: usize,
         ny: usize,
     ) -> MapReport {
-        self.run_map_with(grid, model, &self.map_operator(nx, ny))
+        self.map(grid, model, nx, ny, RunOptions::new())
     }
 
-    /// [`Self::run_map`] against an **already built** map operator (see
-    /// [`Self::map_operator`]) — the cache-amortized map path. Results
-    /// are bit-identical to the self-building path for an operator
-    /// built from the same inputs.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `map_op` was built for a different floorplan geometry,
-    /// grid or image orders than this engine would build (fingerprint
-    /// mismatch) — a cache-keying bug, caught here rather than
-    /// rendering the wrong chip.
+    /// [`Self::map`] against an already-built operator — the legacy
+    /// name, kept as a thin wrapper over
+    /// `RunOptions::new().operator(map_op)`.
     pub fn run_map_with<M: ScenarioPowerModel>(
         &self,
         grid: &ScenarioGrid,
         model: &M,
         map_op: &MapOperator,
     ) -> MapReport {
-        self.run_map_with_cancel(grid, model, map_op, None)
+        self.map(
+            grid,
+            model,
+            map_op.nx(),
+            map_op.ny(),
+            RunOptions::new().operator(map_op),
+        )
     }
 
-    /// [`Self::run_map_with`] with a cooperative [`CancelToken`]
-    /// checkpointed once per Picard iteration during the sweep and once
-    /// per scenario during the FFT render pass. Scenarios cancelled
-    /// mid-sweep carry [`SweepOutcome::Cancelled`]; converged scenarios
-    /// whose render was skipped by a late cancellation keep their sweep
-    /// outcome with `map_k: None`. A token that never fires leaves
-    /// results bitwise identical to [`Self::run_map_with`].
+    /// [`Self::map`] with an operator and a cancellation token — the
+    /// legacy name, kept as a thin wrapper.
     pub fn run_map_with_cancel<M: ScenarioPowerModel>(
         &self,
         grid: &ScenarioGrid,
         model: &M,
         map_op: &MapOperator,
         cancel: Option<&CancelToken>,
+    ) -> MapReport {
+        self.map(
+            grid,
+            model,
+            map_op.nx(),
+            map_op.ny(),
+            RunOptions {
+                cancel,
+                operator: Some(map_op),
+                backend: None,
+            },
+        )
+    }
+
+    /// Shared map driver behind [`Self::map`]: fingerprint-checks the
+    /// operator, runs the Picard sweep, then renders converged
+    /// scenarios through the FFT operator.
+    fn map_inner<M: ScenarioPowerModel>(
+        &self,
+        grid: &ScenarioGrid,
+        model: &M,
+        map_op: &MapOperator,
+        cancel: Option<&CancelToken>,
+        backend: Option<SweepBackend>,
     ) -> MapReport {
         assert_eq!(
             map_op.fingerprint(),
@@ -1329,7 +1568,15 @@ impl SweepEngine {
             ),
             "map operator/solver fingerprint mismatch"
         );
-        let sweep = self.run_with_cancel(grid, model, cancel);
+        let sweep = self.sweep(
+            grid,
+            model,
+            RunOptions {
+                cancel,
+                operator: None,
+                backend,
+            },
+        );
         let sink_k = self.solver.floorplan().geometry().sink_temperature;
         let outcomes = ptherm_par::par_map_with(
             self.threads,
@@ -1373,7 +1620,9 @@ impl SweepEngine {
 
     /// Shared batched driver: `total` scenario ids, an ambient lookup and
     /// a per-worker batched-model factory. Dispatches to the resolved
-    /// backend; both paths run the same Picard skeleton.
+    /// backend (honouring a per-call override and a pre-built dense
+    /// operator from [`RunOptions`]); both paths run the same Picard
+    /// skeleton.
     ///
     /// # Panics
     ///
@@ -1386,8 +1635,11 @@ impl SweepEngine {
         ambient_of: impl Fn(usize) -> f64 + Sync,
         make_model: impl Fn() -> Box<dyn BatchPowerModel + 'm> + Sync,
         cancel: Option<&CancelToken>,
+        dense_override: Option<&Arc<ThermalOperator>>,
+        backend_override: Option<SweepBackend>,
     ) -> SweepReport {
-        let spectral = match self.resolved_backend() {
+        let requested = backend_override.unwrap_or(self.backend);
+        let spectral = match self.resolve_backend(requested) {
             SweepBackend::Spectral => Some(match self.spectral_operator() {
                 Ok(op) => Arc::clone(op),
                 // lint:allow(panic-freedom) — documented `# Panics` contract; callers needing a typed failure (the fleet) pre-validate with `infer_grid`
@@ -1396,7 +1648,9 @@ impl SweepEngine {
             _ => None,
         };
         let dense = match &spectral {
-            None => Some(Arc::clone(self.dense_operator())),
+            None => Some(Arc::clone(
+                dense_override.unwrap_or_else(|| self.dense_operator()),
+            )),
             Some(_) => None,
         };
         let cursor = AtomicUsize::new(0);
@@ -1481,45 +1735,82 @@ impl SweepEngine {
     }
 
     /// Sweeps a scenario × drive-waveform grid through the batched
-    /// implicit **transient** engine
-    /// ([`crate::cosim::transient`]): every scenario of `grid` runs
-    /// under every waveform of `cfg`, `Self::batch_lanes` transients
-    /// advancing per time step through the `Φ`/`Q` GEMM recurrence,
-    /// chunks sharded over `Self::threads` workers. Outcomes land
-    /// scenario-major ([`TransientReport::outcome`]); results are
-    /// independent of thread count and batch width (the
-    /// [`crate::cosim::batch`] per-lane contract).
+    /// implicit **transient** engine ([`crate::cosim::transient`]) —
+    /// the unified transient entry point.
+    ///
+    /// Every scenario of `grid` runs under every waveform of `cfg`,
+    /// `Self::batch_lanes` transients advancing per time step through
+    /// the `Φ`/`Q` GEMM recurrence, chunks sharded over
+    /// `Self::threads` workers. Outcomes land scenario-major
+    /// ([`TransientReport::outcome`]); results are independent of
+    /// thread count and batch width (the [`crate::cosim::batch`]
+    /// per-lane contract).
+    ///
+    /// [`RunOptions`] composes the per-call knobs:
+    ///
+    /// * `cancel` — checkpointed once per time step. Lanes in flight
+    ///   when the token fires retire as
+    ///   [`TransientOutcome::Cancelled`] at the step they reached;
+    ///   chunks claimed after it fires retire immediately at step 0. A
+    ///   token that never fires leaves results bitwise identical to an
+    ///   uncancelled run.
+    /// * `operator` — an **already factored** propagator to replay
+    ///   (see [`Self::transient_operator`]); the stepping reads its
+    ///   `Φ`/`Q`, dt and scheme, while `cfg` supplies the step count,
+    ///   waveform axis and recording policy. Results are bit-identical
+    ///   to the self-factoring path for a propagator built from the
+    ///   same inputs.
+    /// * `backend` — ignored: transients always step through the
+    ///   propagator factored from the dense operator.
     ///
     /// # Errors
     ///
     /// See [`TransientError`] (bad capacitances or time step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the supplied propagator was factored for a different
+    /// floorplan, capacitance vector, time step or scheme than `cfg`
+    /// implies for this engine (fingerprint mismatch) — a cache-keying
+    /// bug, caught here rather than integrating the wrong chip.
+    pub fn transient<M: ScenarioPowerModel>(
+        &self,
+        grid: &ScenarioGrid,
+        model: &M,
+        cfg: &TransientConfig,
+        opts: RunOptions<'_, TransientOperator>,
+    ) -> Result<TransientReport, TransientError> {
+        match opts.operator {
+            Some(top) => self.transient_inner(grid, model, cfg, top, opts.cancel),
+            None => {
+                let top = self.transient_operator(cfg)?;
+                self.transient_inner(grid, model, cfg, &top, opts.cancel)
+            }
+        }
+    }
+
+    /// [`Self::transient`] with default [`RunOptions`] — the legacy
+    /// name, kept as a thin wrapper.
+    ///
+    /// # Errors
+    ///
+    /// See [`TransientError`].
     pub fn run_transient<M: ScenarioPowerModel>(
         &self,
         grid: &ScenarioGrid,
         model: &M,
         cfg: &TransientConfig,
     ) -> Result<TransientReport, TransientError> {
-        let top = self.transient_operator(cfg)?;
-        self.run_transient_with(grid, model, cfg, &top)
+        self.transient(grid, model, cfg, RunOptions::new())
     }
 
-    /// [`Self::run_transient`] against an **already factored**
-    /// propagator (see [`Self::transient_operator`]) — the
-    /// cache-amortized transient path. The stepping reads `top`'s
-    /// `Φ`/`Q`, dt and scheme; `cfg` supplies the step count, waveform
-    /// axis and recording policy. Results are bit-identical to the
-    /// self-factoring path for a propagator built from the same inputs.
+    /// [`Self::transient`] against an already-factored propagator —
+    /// the legacy name, kept as a thin wrapper over
+    /// `RunOptions::new().operator(top)`.
     ///
     /// # Errors
     ///
     /// See [`TransientError`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `top` was factored for a different floorplan,
-    /// capacitance vector, time step or scheme than `cfg` implies for
-    /// this engine (fingerprint mismatch) — a cache-keying bug, caught
-    /// here rather than integrating the wrong chip.
     pub fn run_transient_with<M: ScenarioPowerModel>(
         &self,
         grid: &ScenarioGrid,
@@ -1527,24 +1818,39 @@ impl SweepEngine {
         cfg: &TransientConfig,
         top: &TransientOperator,
     ) -> Result<TransientReport, TransientError> {
-        self.run_transient_with_cancel(grid, model, cfg, top, None)
+        self.transient(grid, model, cfg, RunOptions::new().operator(top))
     }
 
-    /// [`Self::run_transient_with`] with a cooperative [`CancelToken`]
-    /// checkpointed once per time step. Lanes in flight when the token
-    /// fires retire as [`TransientOutcome::Cancelled`] at the step they
-    /// reached; chunks claimed after it fires retire immediately at
-    /// step 0. A token that never fires leaves results bitwise
-    /// identical to [`Self::run_transient_with`].
+    /// [`Self::transient`] with a propagator and a cancellation token —
+    /// the legacy name, kept as a thin wrapper.
     ///
     /// # Errors
     ///
     /// See [`TransientError`].
-    ///
-    /// # Panics
-    ///
-    /// Same fingerprint contract as [`Self::run_transient_with`].
     pub fn run_transient_with_cancel<M: ScenarioPowerModel>(
+        &self,
+        grid: &ScenarioGrid,
+        model: &M,
+        cfg: &TransientConfig,
+        top: &TransientOperator,
+        cancel: Option<&CancelToken>,
+    ) -> Result<TransientReport, TransientError> {
+        self.transient(
+            grid,
+            model,
+            cfg,
+            RunOptions {
+                cancel,
+                operator: Some(top),
+                backend: None,
+            },
+        )
+    }
+
+    /// Shared transient driver behind [`Self::transient`]:
+    /// fingerprint-checks the propagator, then steps every
+    /// scenario × waveform chunk through the GEMM recurrence.
+    fn transient_inner<M: ScenarioPowerModel>(
         &self,
         grid: &ScenarioGrid,
         model: &M,
@@ -2441,5 +2747,104 @@ mod tests {
             ElectroThermalSolver::new(aligned_plan(6, 6)),
             Arc::new(operator),
         );
+    }
+
+    #[test]
+    fn unified_sweep_matches_legacy_wrappers_bitwise() {
+        let engine = engine().threads(2);
+        let grid = small_grid();
+        let model = engine.uniform_tech_power(0.6, 0.05);
+        let legacy = engine.run(&grid, &model);
+        // Defaults, explicit operator replay, and an explicit backend
+        // pin must all produce the same bits on this dense engine.
+        let unified = engine.sweep(&grid, &model, RunOptions::new());
+        assert_eq!(legacy.outcomes, unified.outcomes);
+        let shared = engine.shared_operator();
+        let replayed = engine.sweep(&grid, &model, RunOptions::new().operator(&shared));
+        assert_eq!(legacy.outcomes, replayed.outcomes);
+        let pinned = engine.sweep(
+            &grid,
+            &model,
+            RunOptions::new().backend(SweepBackend::Dense),
+        );
+        assert_eq!(legacy.outcomes, pinned.outcomes);
+    }
+
+    #[test]
+    fn per_call_backend_override_resolves_without_reconfiguring() {
+        // An Auto engine on a large aligned plan resolves spectral; the
+        // per-call Dense override must force the dense path for that
+        // call only, leaving the engine's own resolution untouched.
+        let engine = SweepEngine::new(aligned_plan(32, 16));
+        assert_eq!(engine.resolved_backend(), SweepBackend::Spectral);
+        let grid = small_grid();
+        let model = engine.uniform_tech_power(0.6, 0.002);
+        let dense = engine.sweep(
+            &grid,
+            &model,
+            RunOptions::new().backend(SweepBackend::Dense),
+        );
+        let dense_engine = SweepEngine::new(aligned_plan(32, 16)).backend(SweepBackend::Dense);
+        let oracle = dense_engine.run(&grid, &model);
+        assert_eq!(dense.outcomes, oracle.outcomes);
+        assert_eq!(engine.resolved_backend(), SweepBackend::Spectral);
+    }
+
+    #[test]
+    fn unified_map_matches_legacy_wrappers_bitwise() {
+        let engine = engine().threads(2);
+        let grid = small_grid();
+        let model = engine.uniform_tech_power(0.6, 0.05);
+        let map_op = engine.map_operator(8, 6);
+        let legacy = engine.run_map_with(&grid, &model, &map_op);
+        let unified = engine.map(&grid, &model, 8, 6, RunOptions::new().operator(&map_op));
+        let self_built = engine.map(&grid, &model, 8, 6, RunOptions::new());
+        for (a, b) in legacy.outcomes.iter().zip(&unified.outcomes) {
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.map_k, b.map_k);
+        }
+        for (a, b) in legacy.outcomes.iter().zip(&self_built.outcomes) {
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.map_k, b.map_k);
+        }
+    }
+
+    #[test]
+    fn unified_transient_matches_legacy_wrappers_bitwise() {
+        let engine = engine().threads(2);
+        let grid = small_grid();
+        let model = engine.uniform_tech_power(0.6, 0.05);
+        let cfg = TransientConfig::new(1e-4, 32)
+            .waveforms(vec![DriveWaveform::Step, DriveWaveform::paper_gating()]);
+        let legacy = engine.run_transient(&grid, &model, &cfg).expect("legacy");
+        let unified = engine
+            .transient(&grid, &model, &cfg, RunOptions::new())
+            .expect("unified");
+        assert_eq!(legacy.outcomes, unified.outcomes);
+        let top = engine.transient_operator(&cfg).expect("operator");
+        let replayed = engine
+            .transient(&grid, &model, &cfg, RunOptions::new().operator(&top))
+            .expect("replayed");
+        assert_eq!(legacy.outcomes, replayed.outcomes);
+    }
+
+    #[test]
+    #[should_panic(expected = "operator/solver fingerprint mismatch")]
+    fn unified_sweep_rejects_mismatched_operator() {
+        let foreign = SweepEngine::new(aligned_plan(8, 8)).shared_operator();
+        let engine = engine();
+        let grid = small_grid();
+        let model = engine.uniform_tech_power(0.6, 0.05);
+        let _ = engine.sweep(&grid, &model, RunOptions::new().operator(&foreign));
+    }
+
+    #[test]
+    #[should_panic(expected = "map operator grid mismatch")]
+    fn unified_map_rejects_mismatched_grid_dims() {
+        let engine = engine();
+        let grid = small_grid();
+        let model = engine.uniform_tech_power(0.6, 0.05);
+        let map_op = engine.map_operator(8, 6);
+        let _ = engine.map(&grid, &model, 6, 8, RunOptions::new().operator(&map_op));
     }
 }

@@ -21,13 +21,16 @@
 //! # Example
 //!
 //! ```
-//! use ptherm_fleet::{parse_jsonl, FleetConfig, FleetEngine};
+//! use ptherm_fleet::{parse_jsonl, FleetEngineBuilder};
 //!
 //! let request = parse_jsonl(r#"
 //! {"type": "floorplan", "name": "fp", "tiles": {"rows": 2, "cols": 2, "p_min": 0.02, "p_max": 0.06, "seed": 3}}
 //! {"type": "steady", "floorplan": "fp", "dynamic_w": 0.3, "leakage_w": 0.03, "vdd_scales": [0.9, 1.0, 1.1]}
 //! "#).expect("valid request");
-//! let engine = FleetEngine::from_request(FleetConfig::default(), &request);
+//! let engine = FleetEngineBuilder::new()
+//!     .request(&request)
+//!     .build()
+//!     .expect("valid configuration");
 //! let report = engine.run(&request.jobs);
 //! assert_eq!(report.jobs.len(), 1);
 //! assert!(report.jobs[0].outcome.is_ok());
@@ -37,6 +40,7 @@ use crate::cache::{CacheStats, OperatorCache};
 use crate::faults::{xorshift64, Fault, FaultPlan};
 use crate::jobs::{JobSpec, MapJob, SteadyJob, TransientJob};
 use crate::json::Json;
+use crate::persist::{CacheRecipe, RecipeKind};
 use ptherm_core::cosim::spectral::DEFAULT_REFINEMENT_TOLERANCE;
 use ptherm_core::cosim::sweep::{ScaledTechPower, Scenario, ScenarioPowerModel};
 use ptherm_core::cosim::{
@@ -44,17 +48,21 @@ use ptherm_core::cosim::{
     SweepBackend, SweepEngine, SweepReport, ThermalOperator, TransientConfig, TransientError,
     TransientReport, SPECTRAL_AUTO_THRESHOLD,
 };
+use ptherm_core::cosim::{
+    operator_fingerprint, propagator_fingerprint, spectral_operator_fingerprint,
+};
 use ptherm_core::thermal::capacitance::silicon_block_capacitances;
+use ptherm_core::thermal::map::map_operator_fingerprint;
 use ptherm_core::ElectroThermalSolver;
 use ptherm_floorplan::Floorplan;
 use ptherm_math::MultiVec;
 use ptherm_par::steal::StealQueues;
 use ptherm_par::CancelToken;
 use ptherm_tech::Technology;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Fleet-wide configuration.
@@ -129,6 +137,191 @@ impl Default for RetryPolicy {
             max_delay_ms: 50,
             jitter_seed: 0x9E37_79B9_7F4A_7C15,
         }
+    }
+}
+
+/// Why a [`FleetEngineBuilder`] refused to construct an engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetConfigError {
+    /// `threads` was zero.
+    ZeroThreads,
+    /// `cache_capacity` was zero (a cache that can hold nothing would
+    /// rebuild every operator per job; use `amortize(false)` to opt
+    /// out of caching explicitly instead).
+    ZeroCacheCapacity,
+    /// `batch_lanes` was zero.
+    ZeroBatchLanes,
+    /// `retry.max_attempts` was zero (1 means "never retry").
+    ZeroRetryAttempts,
+    /// No technology kits were configured: scenario grids would have
+    /// nothing to index into.
+    NoTechnologies,
+}
+
+impl fmt::Display for FleetConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetConfigError::ZeroThreads => write!(f, "threads must be at least 1"),
+            FleetConfigError::ZeroCacheCapacity => write!(
+                f,
+                "cache_capacity must be at least 1 (disable caching with amortize(false))"
+            ),
+            FleetConfigError::ZeroBatchLanes => write!(f, "batch_lanes must be at least 1"),
+            FleetConfigError::ZeroRetryAttempts => {
+                write!(f, "retry.max_attempts must be at least 1 (1 = never retry)")
+            }
+            FleetConfigError::NoTechnologies => {
+                write!(f, "at least one technology kit is required")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetConfigError {}
+
+/// The one validated construction path for [`FleetEngine`]s.
+///
+/// Batch mode, serve mode, the benches and the chaos suite all build
+/// their engines here, so configuration invariants are checked in
+/// exactly one place — the legacy constructors
+/// ([`FleetEngine::new`] / [`FleetEngine::from_request`] /
+/// [`FleetEngine::with_faults`]) survive as deprecated shims over
+/// this builder.
+///
+/// # Example
+///
+/// ```
+/// use ptherm_fleet::FleetEngineBuilder;
+///
+/// let engine = FleetEngineBuilder::new()
+///     .threads(2)
+///     .cache_capacity(16)
+///     .build()
+///     .expect("valid configuration");
+/// assert_eq!(engine.config().threads, 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FleetEngineBuilder {
+    config: FleetConfig,
+    faults: Option<FaultPlan>,
+    floorplans: Vec<(String, Floorplan)>,
+}
+
+impl FleetEngineBuilder {
+    /// A builder seeded with [`FleetConfig::default`], no fault plan
+    /// and no floorplans.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the whole configuration (validated at [`Self::build`]).
+    #[must_use]
+    pub fn config(mut self, config: FleetConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the worker-thread count.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Sets the per-kind operator cache capacity.
+    #[must_use]
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the batch width of each job's hot path.
+    #[must_use]
+    pub fn batch_lanes(mut self, lanes: usize) -> Self {
+        self.config.batch_lanes = lanes;
+        self
+    }
+
+    /// Enables (default) or disables cache amortization.
+    #[must_use]
+    pub fn amortize(mut self, amortize: bool) -> Self {
+        self.config.amortize = amortize;
+        self
+    }
+
+    /// Sets the lateral and depth-series image orders of every
+    /// operator build.
+    #[must_use]
+    pub fn image_orders(mut self, lateral: usize, z: usize) -> Self {
+        self.config.lateral_order = lateral;
+        self.config.z_order = z;
+        self
+    }
+
+    /// Replaces the technology kits scenario grids index into.
+    #[must_use]
+    pub fn technologies(mut self, technologies: Vec<Technology>) -> Self {
+        self.config.technologies = technologies;
+        self
+    }
+
+    /// Sets the retry budget and backoff schedule.
+    #[must_use]
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.config.retry = retry;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan (chaos testing
+    /// only — a production engine carries no plan).
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Registers a named floorplan.
+    #[must_use]
+    pub fn floorplan(mut self, name: impl Into<String>, plan: Floorplan) -> Self {
+        self.floorplans.push((name.into(), plan));
+        self
+    }
+
+    /// Registers every floorplan of a parsed request.
+    #[must_use]
+    pub fn request(mut self, request: &crate::jobs::FleetRequest) -> Self {
+        for (name, plan) in &request.floorplans {
+            self.floorplans.push((name.clone(), plan.clone()));
+        }
+        self
+    }
+
+    /// Validates the configuration and constructs the engine.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant as a [`FleetConfigError`].
+    pub fn build(self) -> Result<FleetEngine, FleetConfigError> {
+        if self.config.threads == 0 {
+            return Err(FleetConfigError::ZeroThreads);
+        }
+        if self.config.cache_capacity == 0 {
+            return Err(FleetConfigError::ZeroCacheCapacity);
+        }
+        if self.config.batch_lanes == 0 {
+            return Err(FleetConfigError::ZeroBatchLanes);
+        }
+        if self.config.retry.max_attempts == 0 {
+            return Err(FleetConfigError::ZeroRetryAttempts);
+        }
+        if self.config.technologies.is_empty() {
+            return Err(FleetConfigError::NoTechnologies);
+        }
+        let mut engine = FleetEngine::from_parts(self.config, self.faults);
+        for (name, plan) in self.floorplans {
+            engine.register(name, plan);
+        }
+        Ok(engine)
     }
 }
 
@@ -290,14 +483,18 @@ impl JobRecord {
     /// Renders the per-job JSONL result line the `fleet` binary emits
     /// (schema in `docs/ARCHITECTURE.md`).
     pub fn to_json(&self, spec: &JobSpec) -> Json {
-        let mut fields = vec![
-            ("job".into(), Json::Number(self.index as f64)),
-            ("kind".into(), Json::String(spec.kind().into())),
-            (
-                "floorplan".into(),
-                Json::String(spec.floorplan().to_string()),
-            ),
-        ];
+        let mut fields = vec![("job".into(), Json::Number(self.index as f64))];
+        // Echo the protocol version only when the request line pinned
+        // it explicitly: version-silent clients (and the pre-versioning
+        // golden fixtures) keep byte-stable lines.
+        if let Some(v) = spec.version() {
+            fields.push(("v".into(), Json::Number(v as f64)));
+        }
+        fields.push(("kind".into(), Json::String(spec.kind().into())));
+        fields.push((
+            "floorplan".into(),
+            Json::String(spec.floorplan().to_string()),
+        ));
         if let JobSpec::Map(m) = spec {
             fields.push((
                 "grid".into(),
@@ -387,23 +584,40 @@ pub struct FleetEngine {
     cache: OperatorCache,
     config: FleetConfig,
     faults: Option<FaultPlan>,
+    /// Rebuild recipes of every operator the amortized paths have
+    /// cached, keyed by the operator's cache fingerprint — what
+    /// [`crate::persist`] serializes so a restarted service can warm
+    /// its caches before the first job arrives.
+    recipes: Mutex<BTreeMap<u64, CacheRecipe>>,
 }
 
 impl FleetEngine {
-    /// An engine with no floorplans registered yet.
-    pub fn new(config: FleetConfig) -> Self {
+    /// The one real constructor; everything public funnels through
+    /// [`FleetEngineBuilder::build`].
+    fn from_parts(config: FleetConfig, faults: Option<FaultPlan>) -> Self {
         let cache = OperatorCache::new(config.cache_capacity);
         FleetEngine {
             floorplans: HashMap::new(),
             cache,
             config,
-            faults: None,
+            faults,
+            recipes: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// An engine with no floorplans registered yet.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `FleetEngineBuilder` (validated construction)"
+    )]
+    pub fn new(config: FleetConfig) -> Self {
+        Self::from_parts(config, None)
     }
 
     /// Installs a deterministic fault-injection plan: scheduled faults
     /// fire by `(job index, attempt)` during [`Self::run`]. Chaos
     /// testing only — a production engine carries no plan.
+    #[deprecated(since = "0.1.0", note = "use `FleetEngineBuilder::faults`")]
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
         self
@@ -417,8 +631,9 @@ impl FleetEngine {
     }
 
     /// An engine pre-loaded with a parsed request's floorplans.
+    #[deprecated(since = "0.1.0", note = "use `FleetEngineBuilder::request`")]
     pub fn from_request(config: FleetConfig, request: &crate::jobs::FleetRequest) -> Self {
-        let mut engine = Self::new(config);
+        let mut engine = Self::from_parts(config, None);
         for (name, plan) in &request.floorplans {
             engine.register(name.clone(), plan.clone());
         }
@@ -453,31 +668,7 @@ impl FleetEngine {
         let per_worker = ptherm_par::par_workers(workers, |w| {
             let mut mine = Vec::new();
             while let Some(index) = queues.pop(w) {
-                let started = Instant::now();
-                let spec = &jobs[index];
-                let mut attempts = 1;
-                let mut result = self.attempt_job(spec, index, attempts);
-                while matches!(&result, Err(e) if e.is_transient())
-                    && attempts < self.config.retry.max_attempts
-                {
-                    let delay = self.config.retry.backoff_delay_ms(index, attempts);
-                    if delay > 0 {
-                        std::thread::sleep(Duration::from_millis(delay));
-                    }
-                    attempts += 1;
-                    result = self.attempt_job(spec, index, attempts);
-                }
-                let (outcome, backend) = match result {
-                    Ok((report, backend)) => (Ok(report), Some(backend)),
-                    Err(e) => (Err(e), None),
-                };
-                mine.push(JobRecord {
-                    index,
-                    outcome,
-                    backend,
-                    attempts,
-                    wall_ns: started.elapsed().as_nanos() as u64,
-                });
+                mine.push(self.run_one(&jobs[index], index));
             }
             mine
         });
@@ -505,6 +696,53 @@ impl FleetEngine {
         &self.cache
     }
 
+    /// Runs one job to completion — panic boundary, retry budget,
+    /// deterministic backoff, wall-clock timing — resolving its
+    /// floorplan from the engine's registry. This is the per-job unit
+    /// [`Self::run`]'s workers execute; the serve front-end calls
+    /// [`Self::run_resolved`] instead with an admission-time plan.
+    pub fn run_one(&self, spec: &JobSpec, index: usize) -> JobRecord {
+        self.run_inner(spec, None, index)
+    }
+
+    /// [`Self::run_one`] with the floorplan already resolved — how
+    /// serve-mode connections run jobs against *connection-local*
+    /// floorplan registries: the plan was bound to the job at admission
+    /// ([`crate::jobs::RequestParser`]), so the engine's own registry
+    /// is never consulted and two connections' same-named floorplans
+    /// cannot collide. Identical solve path (and bit pattern) to a
+    /// batch run of the same job.
+    pub fn run_resolved(&self, spec: &JobSpec, plan: &Arc<Floorplan>, index: usize) -> JobRecord {
+        self.run_inner(spec, Some(plan), index)
+    }
+
+    fn run_inner(&self, spec: &JobSpec, plan: Option<&Arc<Floorplan>>, index: usize) -> JobRecord {
+        let started = Instant::now();
+        let mut attempts = 1;
+        let mut result = self.attempt_job(spec, plan, index, attempts);
+        while matches!(&result, Err(e) if e.is_transient())
+            && attempts < self.config.retry.max_attempts
+        {
+            let delay = self.config.retry.backoff_delay_ms(index, attempts);
+            if delay > 0 {
+                std::thread::sleep(Duration::from_millis(delay));
+            }
+            attempts += 1;
+            result = self.attempt_job(spec, plan, index, attempts);
+        }
+        let (outcome, backend) = match result {
+            Ok((report, backend)) => (Ok(report), Some(backend)),
+            Err(e) => (Err(e), None),
+        };
+        JobRecord {
+            index,
+            outcome,
+            backend,
+            attempts,
+            wall_ns: started.elapsed().as_nanos() as u64,
+        }
+    }
+
     /// One attempt at one job, with the panic boundary. `catch_unwind`
     /// is sound here because a panicking attempt leaks no broken state
     /// into the engine: the operator caches recover their single-flight
@@ -513,33 +751,36 @@ impl FleetEngine {
     fn attempt_job(
         &self,
         spec: &JobSpec,
+        plan: Option<&Arc<Floorplan>>,
         index: usize,
         attempt: usize,
     ) -> Result<(JobReport, SweepBackend), JobError> {
-        catch_unwind(AssertUnwindSafe(|| self.run_job(spec, index, attempt))).unwrap_or_else(
-            |payload| {
-                let payload = if let Some(s) = payload.downcast_ref::<&str>() {
-                    (*s).to_string()
-                } else if let Some(s) = payload.downcast_ref::<String>() {
-                    s.clone()
-                } else {
-                    "non-string panic payload".to_string()
-                };
-                Err(JobError::WorkerPanic { payload })
-            },
-        )
+        catch_unwind(AssertUnwindSafe(|| {
+            self.run_job(spec, plan, index, attempt)
+        }))
+        .unwrap_or_else(|payload| {
+            let payload = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            Err(JobError::WorkerPanic { payload })
+        })
     }
 
     fn run_job(
         &self,
         spec: &JobSpec,
+        plan: Option<&Arc<Floorplan>>,
         index: usize,
         attempt: usize,
     ) -> Result<(JobReport, SweepBackend), JobError> {
         let fault = self
             .faults
             .as_ref()
-            .and_then(|plan| plan.fault_for(index, attempt));
+            .and_then(|faults| faults.fault_for(index, attempt));
         match fault {
             Some(Fault::TransientFault) => return Err(JobError::Injected { attempt }),
             Some(Fault::EvictCaches) => {
@@ -557,15 +798,19 @@ impl FleetEngine {
         if let Some(Fault::Delay { ms }) = fault {
             std::thread::sleep(Duration::from_millis(*ms));
         }
+        let floorplan = match plan {
+            Some(resolved) => resolved,
+            None => self.floorplan(spec.floorplan())?,
+        };
         let (report, backend) = match spec {
             JobSpec::Steady(job) => self
-                .run_steady(job, cancel.as_ref(), fault)
+                .run_steady(job, floorplan, cancel.as_ref(), fault)
                 .map(|(r, backend)| (JobReport::Steady(r), backend))?,
             JobSpec::Transient(job) => self
-                .run_transient(job, cancel.as_ref(), fault)
+                .run_transient(job, floorplan, cancel.as_ref(), fault)
                 .map(|r| (JobReport::Transient(r), SweepBackend::Dense))?,
             JobSpec::Map(job) => self
-                .run_map(job, cancel.as_ref(), fault)
+                .run_map(job, floorplan, cancel.as_ref(), fault)
                 .map(|r| (JobReport::Map(r), SweepBackend::Dense))?,
         };
         if let Some(token) = &cancel {
@@ -613,6 +858,9 @@ impl FleetEngine {
                 // lint:allow(panic-freedom) — deliberate FaultPlan injection; isolated by attempt_job's catch_unwind
                 panic!("injected fault: builder panic");
             }
+            let key =
+                operator_fingerprint(floorplan, self.config.lateral_order, self.config.z_order);
+            self.record_recipe(key, floorplan, RecipeKind::Steady);
             operator
         } else {
             if builder_panic {
@@ -662,6 +910,23 @@ impl FleetEngine {
                 // lint:allow(panic-freedom) — deliberate FaultPlan injection; isolated by attempt_job's catch_unwind
                 panic!("injected fault: builder panic");
             }
+            if let Ok((nx, ny)) = infer_grid(floorplan) {
+                let key = spectral_operator_fingerprint(
+                    floorplan,
+                    self.config.lateral_order,
+                    self.config.z_order,
+                    nx,
+                    ny,
+                    DEFAULT_REFINEMENT_TOLERANCE,
+                );
+                self.record_recipe(
+                    key,
+                    floorplan,
+                    RecipeKind::Spectral {
+                        tolerance: DEFAULT_REFINEMENT_TOLERANCE,
+                    },
+                );
+            }
             operator
         } else {
             if builder_panic {
@@ -689,6 +954,37 @@ impl FleetEngine {
             .ok_or_else(|| JobError::UnknownFloorplan(name.to_string()))
     }
 
+    /// Remembers how to rebuild a cached operator (first recording per
+    /// fingerprint wins; later jobs with the same key are cache hits of
+    /// the same bit-identical build). Only the amortized paths record —
+    /// a cold engine has no cache worth persisting.
+    pub(crate) fn record_recipe(&self, key: u64, floorplan: &Arc<Floorplan>, kind: RecipeKind) {
+        let mut recipes = match self.recipes.lock() {
+            Ok(guard) => guard,
+            // A panicking worker is caught at the job boundary; the map
+            // itself is only ever mutated by this entry API, so the
+            // poisoned state is intact.
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        recipes.entry(key).or_insert_with(|| CacheRecipe {
+            floorplan: Arc::clone(floorplan),
+            kind,
+        });
+    }
+
+    /// Snapshot of every recorded rebuild recipe, fingerprint-keyed and
+    /// deterministically ordered (for [`crate::persist::manifest`]).
+    pub(crate) fn recipes_snapshot(&self) -> Vec<(u64, CacheRecipe)> {
+        let recipes = match self.recipes.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        recipes
+            .iter()
+            .map(|(key, recipe)| (*key, recipe.clone()))
+            .collect()
+    }
+
     fn grid(&self, job: &SteadyJob) -> ScenarioGrid {
         let grid = ScenarioGrid::new(self.config.technologies.clone())
             .vdd_scales(job.vdd_scales.clone())
@@ -702,10 +998,10 @@ impl FleetEngine {
     fn run_steady(
         &self,
         job: &SteadyJob,
+        floorplan: &Arc<Floorplan>,
         cancel: Option<&CancelToken>,
         fault: Option<&Fault>,
     ) -> Result<(SweepReport, SweepBackend), JobError> {
-        let floorplan = self.floorplan(&job.floorplan)?;
         // Resolve the backend before building any operator: a spectral
         // job must not pay the dense O(n²) build, and an explicit
         // "spectral" on an off-grid floorplan is a typed job error, not
@@ -739,10 +1035,10 @@ impl FleetEngine {
     fn run_map(
         &self,
         job: &MapJob,
+        floorplan: &Arc<Floorplan>,
         cancel: Option<&CancelToken>,
         fault: Option<&Fault>,
     ) -> Result<MapReport, JobError> {
-        let floorplan = self.floorplan(&job.base.floorplan)?;
         let engine = self.sweep_engine(floorplan, matches!(fault, Some(Fault::BuilderPanic)));
         let grid = self.grid(&job.base);
         let model =
@@ -750,6 +1046,21 @@ impl FleetEngine {
                 .prepared_for(&grid);
         let model = FaultableModel::new(&model, fault);
         let map_op = if self.config.amortize {
+            let key = map_operator_fingerprint(
+                floorplan,
+                self.config.lateral_order,
+                self.config.z_order,
+                job.nx,
+                job.ny,
+            );
+            self.record_recipe(
+                key,
+                floorplan,
+                RecipeKind::Map {
+                    nx: job.nx,
+                    ny: job.ny,
+                },
+            );
             self.cache.map_operator(
                 floorplan,
                 self.config.lateral_order,
@@ -766,10 +1077,10 @@ impl FleetEngine {
     fn run_transient(
         &self,
         job: &TransientJob,
+        floorplan: &Arc<Floorplan>,
         cancel: Option<&CancelToken>,
         fault: Option<&Fault>,
     ) -> Result<TransientReport, JobError> {
-        let floorplan = self.floorplan(&job.base.floorplan)?;
         let engine = self.sweep_engine(floorplan, matches!(fault, Some(Fault::BuilderPanic)));
         let grid = self.grid(&job.base);
         let model =
@@ -781,6 +1092,15 @@ impl FleetEngine {
             .waveforms(job.waveforms.clone());
         let propagator = if self.config.amortize {
             let caps = silicon_block_capacitances(floorplan);
+            let key = propagator_fingerprint(engine.operator(), &caps, job.dt_s, job.scheme);
+            self.record_recipe(
+                key,
+                floorplan,
+                RecipeKind::Transient {
+                    dt_s: job.dt_s,
+                    scheme: job.scheme,
+                },
+            );
             self.cache
                 .transient_operator(engine.operator(), &caps, job.dt_s, job.scheme)
                 .map_err(JobError::Transient)?

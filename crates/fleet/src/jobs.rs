@@ -23,6 +23,17 @@
 //!   hostile request cannot allocate unbounded kernels). Each converged
 //!   scenario renders an `nx × ny` FFT temperature map.
 //!
+//! Every record may carry an optional `"v"` protocol-version field
+//! (default [`PROTOCOL_VERSION`]). Lines requesting an unknown version
+//! are refused with a typed [`RequestError::Version`]; job result
+//! lines echo `"v"` back **only when the request line carried it
+//! explicitly**, so version-silent clients see byte-stable output.
+//!
+//! Serve mode additionally accepts two **control records**:
+//! `{"type": "stats"}` (one stats line back on the requesting
+//! connection) and `{"type": "shutdown"}` (graceful drain); batch mode
+//! refuses them, since a file has no connection to answer on.
+//!
 //! The full schema with examples is documented in
 //! `docs/ARCHITECTURE.md`. Everything parses into typed specs here;
 //! malformed input is a [`RequestError`] naming the offending line —
@@ -33,6 +44,13 @@ use ptherm_core::cosim::{DriveWaveform, SweepBackend};
 use ptherm_floorplan::{generator, Block, BuildFloorplanError, ChipGeometry, Floorplan};
 use ptherm_math::ode::ImplicitScheme;
 use std::fmt;
+use std::sync::Arc;
+
+/// The protocol version this build speaks. Request lines may pin it
+/// with `"v": 1`; any other value is a typed per-line refusal
+/// ([`RequestError::Version`]), so old clients fail loudly against a
+/// future incompatible server instead of silently misparsing.
+pub const PROTOCOL_VERSION: u64 = 1;
 
 /// A parse/validation failure, pinned to a 1-based request line.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,6 +76,13 @@ pub enum RequestError {
         /// The underlying validation error.
         error: BuildFloorplanError,
     },
+    /// The line requested a protocol version this build does not speak.
+    Version {
+        /// 1-based line number.
+        line: usize,
+        /// The unsupported version the line asked for.
+        requested: u64,
+    },
 }
 
 impl fmt::Display for RequestError {
@@ -68,6 +93,10 @@ impl fmt::Display for RequestError {
             RequestError::Floorplan { line, error } => {
                 write!(f, "line {line}: invalid floorplan: {error}")
             }
+            RequestError::Version { line, requested } => write!(
+                f,
+                "line {line}: unsupported protocol version {requested} (this build speaks {PROTOCOL_VERSION})"
+            ),
         }
     }
 }
@@ -98,6 +127,11 @@ pub struct SteadyJob {
     /// deadline-exceeded error carrying its partial-progress stats —
     /// no thread is ever killed. `None` = unbounded.
     pub deadline_ms: Option<u64>,
+    /// The protocol version the request line pinned explicitly, if
+    /// any. `Some` makes the result line echo `"v"` back; `None`
+    /// (version-silent, the common case) keeps the line byte-stable
+    /// with pre-versioning output.
+    pub v: Option<u64>,
 }
 
 /// A transient (time-stepped) job.
@@ -164,6 +198,16 @@ impl JobSpec {
             JobSpec::Map(j) => j.base.deadline_ms,
         }
     }
+
+    /// The protocol version the request line pinned explicitly, if any
+    /// (see [`SteadyJob::v`]).
+    pub fn version(&self) -> Option<u64> {
+        match self {
+            JobSpec::Steady(j) => j.v,
+            JobSpec::Transient(j) => j.base.v,
+            JobSpec::Map(j) => j.base.v,
+        }
+    }
 }
 
 /// A parsed request: named floorplans (in definition order) and jobs
@@ -176,7 +220,96 @@ pub struct FleetRequest {
     pub jobs: Vec<JobSpec>,
 }
 
+/// A serve-mode control record (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlRecord {
+    /// `{"type": "stats"}` — answer with one stats line on the
+    /// requesting connection.
+    Stats,
+    /// `{"type": "shutdown"}` — begin a graceful drain: refuse new
+    /// admissions, finish queued and in-flight jobs, then exit.
+    Shutdown,
+}
+
+impl ControlRecord {
+    /// The record's `"type"` tag.
+    pub fn name(self) -> &'static str {
+        match self {
+            ControlRecord::Stats => "stats",
+            ControlRecord::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// One classified request line: what both the batch parser and the
+/// serve-mode [`RequestParser`] produce per JSONL record.
+#[derive(Debug, Clone, PartialEq)]
+enum Record {
+    /// A floorplan definition.
+    Floorplan(String, Floorplan),
+    /// A job spec (with the pinned protocol version, if any, inside).
+    Job(JobSpec),
+    /// A serve-mode control record.
+    Control(ControlRecord),
+}
+
+/// Validates the optional `"v"` field: absent or
+/// [`PROTOCOL_VERSION`] is fine, a non-integer is a schema error, any
+/// other integer is a typed version refusal. Returns the explicitly
+/// pinned version, if any.
+fn validate_version(record: &Json, line: usize) -> Result<Option<u64>, RequestError> {
+    match record.get("v") {
+        None => Ok(None),
+        Some(v) => {
+            let requested = v.as_usize().ok_or_else(|| RequestError::Schema {
+                line,
+                detail: "\"v\" must be a non-negative integer protocol version".into(),
+            })? as u64;
+            if requested != PROTOCOL_VERSION {
+                return Err(RequestError::Version { line, requested });
+            }
+            Ok(Some(requested))
+        }
+    }
+}
+
+/// Classifies one parsed JSON record. `exists` answers whether a
+/// floorplan name has been defined earlier in this request/connection.
+fn classify_record(
+    record: &Json,
+    line: usize,
+    exists: &dyn Fn(&str) -> bool,
+) -> Result<Record, RequestError> {
+    let schema = |detail: String| RequestError::Schema { line, detail };
+    let v = validate_version(record, line)?;
+    let kind = record
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or_else(|| schema("record needs a string \"type\" field".into()))?;
+    match kind {
+        "floorplan" => {
+            let (name, plan) = parse_floorplan(record, line)?;
+            Ok(Record::Floorplan(name, plan))
+        }
+        "steady" => Ok(Record::Job(JobSpec::Steady(parse_steady(
+            record, line, exists, v,
+        )?))),
+        "transient" => Ok(Record::Job(JobSpec::Transient(parse_transient(
+            record, line, exists, v,
+        )?))),
+        "map" => Ok(Record::Job(JobSpec::Map(parse_map(
+            record, line, exists, v,
+        )?))),
+        "stats" => Ok(Record::Control(ControlRecord::Stats)),
+        "shutdown" => Ok(Record::Control(ControlRecord::Shutdown)),
+        other => Err(schema(format!("unknown record type {other:?}"))),
+    }
+}
+
 /// Parses a whole JSONL request (see the [module docs](self)).
+///
+/// Control records (`stats` / `shutdown`) are refused here: they only
+/// make sense on a live serve-mode connection.
 ///
 /// # Errors
 ///
@@ -190,32 +323,135 @@ pub fn parse_jsonl(text: &str) -> Result<FleetRequest, RequestError> {
             continue;
         }
         let record = Json::parse(trimmed).map_err(|error| RequestError::Json { line, error })?;
-        let schema = |detail: String| RequestError::Schema { line, detail };
-        let kind = record
-            .get("type")
-            .and_then(Json::as_str)
-            .ok_or_else(|| schema("record needs a string \"type\" field".into()))?;
-        match kind {
-            "floorplan" => {
-                let (name, plan) = parse_floorplan(&record, line)?;
+        let exists = |name: &str| request.floorplans.iter().any(|(n, _)| n == name);
+        match classify_record(&record, line, &exists)? {
+            Record::Floorplan(name, plan) => {
                 if request.floorplans.iter().any(|(n, _)| *n == name) {
-                    return Err(schema(format!("floorplan {name:?} defined twice")));
+                    return Err(RequestError::Schema {
+                        line,
+                        detail: format!("floorplan {name:?} defined twice"),
+                    });
                 }
                 request.floorplans.push((name, plan));
             }
-            "steady" => request
-                .jobs
-                .push(JobSpec::Steady(parse_steady(&record, line, &request)?)),
-            "transient" => request.jobs.push(JobSpec::Transient(parse_transient(
-                &record, line, &request,
-            )?)),
-            "map" => request
-                .jobs
-                .push(JobSpec::Map(parse_map(&record, line, &request)?)),
-            other => return Err(schema(format!("unknown record type {other:?}"))),
+            Record::Job(spec) => request.jobs.push(spec),
+            Record::Control(ctl) => {
+                return Err(RequestError::Schema {
+                    line,
+                    detail: format!(
+                        "control record \"{}\" is only valid on a serve-mode connection",
+                        ctl.name()
+                    ),
+                })
+            }
         }
     }
     Ok(request)
+}
+
+/// One line's outcome from the streaming [`RequestParser`].
+#[derive(Debug, Clone)]
+pub enum ParsedLine {
+    /// Blank or comment line — nothing to do.
+    Empty,
+    /// A floorplan was defined and registered under this name.
+    Floorplan(String),
+    /// A job, with its floorplan resolved **at admission time** against
+    /// this parser's registry. Carrying the resolved handle (rather
+    /// than re-resolving by name at run time) is what makes serve-mode
+    /// results independent of later floorplan definitions on other
+    /// connections — and therefore bitwise identical to batch mode.
+    Job {
+        /// The parsed job spec.
+        spec: JobSpec,
+        /// The referenced floorplan, resolved on this connection.
+        plan: Arc<Floorplan>,
+    },
+    /// A serve-mode control record.
+    Control(ControlRecord),
+}
+
+/// Incremental per-connection parser for serve mode.
+///
+/// Unlike [`parse_jsonl`] (whole request, first-error refusal), a
+/// `RequestParser` consumes one line at a time and keeps the
+/// connection's floorplan registry across lines, so a long-lived
+/// client can interleave definitions and jobs. Errors are per-line:
+/// the caller reports the refusal and keeps the connection open.
+///
+/// Each connection gets its own parser; floorplans defined on one
+/// connection are invisible to every other, which keeps result lines
+/// free of cross-client interference.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    floorplans: Vec<(String, Arc<Floorplan>)>,
+    line: usize,
+}
+
+impl RequestParser {
+    /// A parser with an empty floorplan registry, at line 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lines consumed so far (including blank/comment/refused lines).
+    pub fn lines_seen(&self) -> usize {
+        self.line
+    }
+
+    /// Looks up a floorplan defined earlier on this connection.
+    pub fn floorplan(&self, name: &str) -> Option<&Arc<Floorplan>> {
+        self.floorplans
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, plan)| plan)
+    }
+
+    /// Consumes one raw request line.
+    ///
+    /// # Errors
+    ///
+    /// A [`RequestError`] pinned to this connection's 1-based line
+    /// count. The parser stays usable: a refused line consumes its
+    /// line number and nothing else.
+    pub fn parse_line(&mut self, raw: &str) -> Result<ParsedLine, RequestError> {
+        self.line += 1;
+        let line = self.line;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            return Ok(ParsedLine::Empty);
+        }
+        let record = Json::parse(trimmed).map_err(|error| RequestError::Json { line, error })?;
+        let exists = |name: &str| self.floorplans.iter().any(|(n, _)| n == name);
+        match classify_record(&record, line, &exists)? {
+            Record::Floorplan(name, plan) => {
+                if self.floorplans.iter().any(|(n, _)| *n == name) {
+                    return Err(RequestError::Schema {
+                        line,
+                        detail: format!("floorplan {name:?} defined twice"),
+                    });
+                }
+                self.floorplans.push((name.clone(), Arc::new(plan)));
+                Ok(ParsedLine::Floorplan(name))
+            }
+            Record::Job(spec) => {
+                // classify_record validated the reference, so the
+                // lookup cannot miss; still, fail typed rather than
+                // unwrap if the invariant ever breaks.
+                let plan = self.floorplan(spec.floorplan()).cloned().ok_or_else(|| {
+                    RequestError::Schema {
+                        line,
+                        detail: format!(
+                            "job references undefined floorplan {:?}",
+                            spec.floorplan()
+                        ),
+                    }
+                })?;
+                Ok(ParsedLine::Job { spec, plan })
+            }
+            Record::Control(ctl) => Ok(ParsedLine::Control(ctl)),
+        }
+    }
 }
 
 fn field_f64(record: &Json, key: &str, line: usize) -> Result<f64, RequestError> {
@@ -362,7 +598,8 @@ fn parse_floorplan(record: &Json, line: usize) -> Result<(String, Floorplan), Re
 fn parse_steady(
     record: &Json,
     line: usize,
-    request: &FleetRequest,
+    exists: &dyn Fn(&str) -> bool,
+    v: Option<u64>,
 ) -> Result<SteadyJob, RequestError> {
     let schema = |detail: String| RequestError::Schema { line, detail };
     let floorplan = record
@@ -370,7 +607,7 @@ fn parse_steady(
         .and_then(Json::as_str)
         .ok_or_else(|| schema("job needs a string \"floorplan\" reference".into()))?
         .to_string();
-    if !request.floorplans.iter().any(|(n, _)| *n == floorplan) {
+    if !exists(&floorplan) {
         return Err(schema(format!(
             "job references undefined floorplan {floorplan:?} (define it on an earlier line)"
         )));
@@ -406,6 +643,7 @@ fn parse_steady(
         ambients_k: optional_f64_list(record, "ambients_k", line)?,
         backend,
         deadline_ms,
+        v,
     })
 }
 
@@ -435,10 +673,11 @@ fn parse_waveform(value: &Json, line: usize) -> Result<DriveWaveform, RequestErr
 fn parse_transient(
     record: &Json,
     line: usize,
-    request: &FleetRequest,
+    exists: &dyn Fn(&str) -> bool,
+    v: Option<u64>,
 ) -> Result<TransientJob, RequestError> {
     let schema = |detail: String| RequestError::Schema { line, detail };
-    let base = parse_steady(record, line, request)?;
+    let base = parse_steady(record, line, exists, v)?;
     let dt_s = field_f64(record, "dt_s", line)?;
     let steps = record
         .get("steps")
@@ -488,9 +727,14 @@ fn parse_transient(
 /// realistic hotspot-localization grid comfortably legal.
 const MAX_MAP_TILES: usize = 1 << 18;
 
-fn parse_map(record: &Json, line: usize, request: &FleetRequest) -> Result<MapJob, RequestError> {
+fn parse_map(
+    record: &Json,
+    line: usize,
+    exists: &dyn Fn(&str) -> bool,
+    v: Option<u64>,
+) -> Result<MapJob, RequestError> {
     let schema = |detail: String| RequestError::Schema { line, detail };
-    let base = parse_steady(record, line, request)?;
+    let base = parse_steady(record, line, exists, v)?;
     let grid = record
         .get("grid")
         .ok_or_else(|| schema("map job needs a \"grid\" object".into()))?;
@@ -649,6 +893,129 @@ mod tests {
     fn unknown_record_type_is_rejected() {
         let err = parse_jsonl(r#"{"type": "mystery"}"#).unwrap_err();
         assert!(matches!(err, RequestError::Schema { line: 1, .. }));
+    }
+
+    #[test]
+    fn explicit_protocol_version_is_accepted_and_recorded() {
+        let req = parse_jsonl(
+            r#"
+{"type": "floorplan", "name": "f", "tiles": {"rows": 1, "cols": 1}}
+{"type": "steady", "v": 1, "floorplan": "f", "dynamic_w": 0.1, "leakage_w": 0.01}
+{"type": "steady", "floorplan": "f", "dynamic_w": 0.1, "leakage_w": 0.01}
+"#,
+        )
+        .unwrap();
+        assert_eq!(req.jobs[0].version(), Some(PROTOCOL_VERSION));
+        // A version-silent line stays silent — its result line must not
+        // grow a "v" field.
+        assert_eq!(req.jobs[1].version(), None);
+    }
+
+    #[test]
+    fn unknown_protocol_version_is_a_typed_refusal() {
+        let err = parse_jsonl(
+            r#"
+{"type": "floorplan", "name": "f", "tiles": {"rows": 1, "cols": 1}}
+{"type": "steady", "v": 2, "floorplan": "f", "dynamic_w": 0.1, "leakage_w": 0.01}
+"#,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            RequestError::Version {
+                line: 3,
+                requested: 2
+            }
+        );
+        assert!(err.to_string().contains("unsupported protocol version 2"));
+        // A mistyped "v" is a schema error, not a version refusal.
+        let err = parse_jsonl(r#"{"type": "stats", "v": "one"}"#).unwrap_err();
+        assert!(matches!(err, RequestError::Schema { line: 1, .. }));
+    }
+
+    #[test]
+    fn control_records_are_refused_in_batch_mode() {
+        for kind in ["stats", "shutdown"] {
+            let err = parse_jsonl(&format!(r#"{{"type": "{kind}"}}"#)).unwrap_err();
+            let RequestError::Schema { line: 1, detail } = err else {
+                panic!("schema error, got {err:?}")
+            };
+            assert!(detail.contains(kind), "{detail}");
+            assert!(detail.contains("serve-mode"), "{detail}");
+        }
+    }
+
+    #[test]
+    fn streaming_parser_interleaves_definitions_and_jobs() {
+        let mut parser = RequestParser::new();
+        assert!(matches!(parser.parse_line(""), Ok(ParsedLine::Empty)));
+        assert!(matches!(
+            parser.parse_line("# comment"),
+            Ok(ParsedLine::Empty)
+        ));
+        let defined = parser
+            .parse_line(r#"{"type": "floorplan", "name": "f", "tiles": {"rows": 2, "cols": 2, "p_min": 0.01, "p_max": 0.02, "seed": 1}}"#)
+            .unwrap();
+        assert!(matches!(defined, ParsedLine::Floorplan(name) if name == "f"));
+        let job = parser
+            .parse_line(
+                r#"{"type": "steady", "floorplan": "f", "dynamic_w": 0.1, "leakage_w": 0.01}"#,
+            )
+            .unwrap();
+        let ParsedLine::Job { spec, plan } = job else {
+            panic!("job line")
+        };
+        assert_eq!(spec.kind(), "steady");
+        // The resolved handle is the registered floorplan itself.
+        assert!(Arc::ptr_eq(&plan, parser.floorplan("f").unwrap()));
+        assert!(matches!(
+            parser.parse_line(r#"{"type": "stats"}"#),
+            Ok(ParsedLine::Control(ControlRecord::Stats))
+        ));
+        assert!(matches!(
+            parser.parse_line(r#"{"type": "shutdown"}"#),
+            Ok(ParsedLine::Control(ControlRecord::Shutdown))
+        ));
+        assert_eq!(parser.lines_seen(), 6);
+    }
+
+    #[test]
+    fn streaming_parser_survives_refused_lines() {
+        let mut parser = RequestParser::new();
+        // Line 1: bad JSON. Line 2: unknown floorplan. Line 3: bad
+        // version. Each refusal names its own line, and the parser
+        // keeps accepting afterwards.
+        assert!(matches!(
+            parser.parse_line("{oops"),
+            Err(RequestError::Json { line: 1, .. })
+        ));
+        assert!(matches!(
+            parser.parse_line(
+                r#"{"type": "steady", "floorplan": "ghost", "dynamic_w": 1, "leakage_w": 0.1}"#
+            ),
+            Err(RequestError::Schema { line: 2, .. })
+        ));
+        assert!(matches!(
+            parser.parse_line(r#"{"type": "stats", "v": 99}"#),
+            Err(RequestError::Version {
+                line: 3,
+                requested: 99
+            })
+        ));
+        assert!(matches!(
+            parser.parse_line(
+                r#"{"type": "floorplan", "name": "f", "tiles": {"rows": 1, "cols": 1}}"#
+            ),
+            Ok(ParsedLine::Floorplan(_))
+        ));
+        // Registries are per-parser: a fresh connection cannot see "f".
+        let mut other = RequestParser::new();
+        assert!(matches!(
+            other.parse_line(
+                r#"{"type": "steady", "floorplan": "f", "dynamic_w": 1, "leakage_w": 0.1}"#
+            ),
+            Err(RequestError::Schema { line: 1, .. })
+        ));
     }
 
     #[test]

@@ -18,14 +18,23 @@
 //! * [`faults`] — deterministic fault injection ([`FaultPlan`]) for
 //!   chaos-testing the engine's panic isolation, retry budgets and
 //!   cache-poisoning recovery;
-//! * [`jobs`] — the typed JSONL job protocol the `fleet` binary
-//!   streams ([`parse_jsonl`]);
+//! * [`jobs`] — the typed, versioned JSONL job protocol: batch parsing
+//!   ([`parse_jsonl`]) and the streaming per-connection
+//!   [`RequestParser`] serve mode admits through;
 //! * [`json`] — the dependency-free JSON tree backing the protocol and
-//!   the bench regression checker.
+//!   the bench regression checker;
+//! * [`server`] — [`FleetServer`]: the persistent socket front-end
+//!   (TCP / Unix) streaming jobs into the scheduler with bounded
+//!   admission, graceful drain and cache warm/persist across restarts;
+//! * [`metrics`] — serve-mode counters and latency quantiles behind
+//!   the `{"type": "stats"}` control record;
+//! * [`persist`] — fingerprint-keyed cache manifests: save rebuild
+//!   recipes on drain, warm a restarted engine's caches from them.
 //!
 //! The `fleet` binary (`cargo run --release -p ptherm-bench --bin
-//! fleet`) serves requests from a JSONL file or benchmarks a synthetic
-//! fleet; `docs/ARCHITECTURE.md` documents the layer and the schema,
+//! fleet`) serves requests from a JSONL file, runs the persistent
+//! service (`serve`) or benchmarks a synthetic fleet;
+//! `docs/ARCHITECTURE.md` documents the layer and the schema,
 //! `docs/PERFORMANCE.md` the `BENCH_fleet.json` baseline.
 
 pub mod cache;
@@ -33,11 +42,21 @@ pub mod engine;
 pub mod faults;
 pub mod jobs;
 pub mod json;
+pub mod metrics;
+pub mod persist;
+pub mod server;
 
 pub use cache::{CacheStats, Lru, OperatorCache};
 pub use engine::{
-    FleetConfig, FleetEngine, FleetReport, JobError, JobRecord, JobReport, RetryPolicy,
+    FleetConfig, FleetConfigError, FleetEngine, FleetEngineBuilder, FleetReport, JobError,
+    JobRecord, JobReport, RetryPolicy,
 };
 pub use faults::{Fault, FaultPlan};
-pub use jobs::{parse_jsonl, FleetRequest, JobSpec, MapJob, RequestError, SteadyJob, TransientJob};
+pub use jobs::{
+    parse_jsonl, ControlRecord, FleetRequest, JobSpec, MapJob, ParsedLine, RequestError,
+    RequestParser, SteadyJob, TransientJob, PROTOCOL_VERSION,
+};
 pub use json::{Json, JsonError};
+pub use metrics::ServeMetrics;
+pub use persist::{CacheRecipe, ManifestError, RecipeKind, WarmReport, MANIFEST_VERSION};
+pub use server::{FleetServer, ServeConfig, ServeListener, ServeSummary};

@@ -1,0 +1,289 @@
+//! Serve-mode observability: lock-free counters and a log₂ latency
+//! histogram behind the `{"type": "stats"}` control record.
+//!
+//! Everything here is an atomic — workers, readers and the stats path
+//! never contend on a lock, and a stats line is a consistent-enough
+//! snapshot (each counter is individually exact; the line as a whole is
+//! taken mid-flight by design). Latency quantiles come from a fixed
+//! 64-bucket power-of-two histogram over per-job wall nanoseconds:
+//! bucket `b` holds jobs with `wall_ns` in `[2^b, 2^(b+1))`, and a
+//! quantile reports the geometric midpoint of the bucket the rank falls
+//! in — deterministic for a given set of recorded jobs, accurate to
+//! ~50% (one octave), which is the right resolution for spotting a
+//! p99 that sits three octaves above p50.
+
+use crate::engine::JobRecord;
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Histogram bucket count: `u64` wall-ns values need at most 64 octaves.
+const BUCKETS: usize = 64;
+
+/// Serve-mode counters (one instance per server, shared by every
+/// connection and worker).
+#[derive(Debug)]
+pub struct ServeMetrics {
+    /// Connections accepted over the server's lifetime.
+    connections_opened: AtomicU64,
+    /// Connections fully closed.
+    connections_closed: AtomicU64,
+    /// Jobs admitted into the work queue.
+    jobs_admitted: AtomicU64,
+    /// Jobs completed with an `Ok` outcome.
+    jobs_ok: AtomicU64,
+    /// Jobs completed with a typed per-job error.
+    jobs_failed: AtomicU64,
+    /// Jobs refused at admission because the queue was at capacity.
+    refused_backpressure: AtomicU64,
+    /// Lines refused at parse time (schema errors, unknown protocol
+    /// versions, unknown floorplans).
+    refused_protocol: AtomicU64,
+    /// Retry attempts beyond each job's first (sum over served jobs).
+    retries: AtomicU64,
+    /// Jobs whose final outcome was a caught worker panic.
+    panics: AtomicU64,
+    /// Per-job wall-time histogram, log₂ ns buckets.
+    latency: [AtomicU64; BUCKETS],
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        ServeMetrics {
+            connections_opened: AtomicU64::new(0),
+            connections_closed: AtomicU64::new(0),
+            jobs_admitted: AtomicU64::new(0),
+            jobs_ok: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            refused_backpressure: AtomicU64::new(0),
+            refused_protocol: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records an accepted connection.
+    pub fn connection_opened(&self) {
+        self.connections_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a fully closed connection.
+    pub fn connection_closed(&self) {
+        self.connections_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a job admitted into the work queue.
+    pub fn job_admitted(&self) {
+        self.jobs_admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a queue-full admission refusal.
+    pub fn refused_backpressure(&self) {
+        self.refused_backpressure.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a parse-time refusal (schema / version / unknown plan).
+    pub fn refused_protocol(&self) {
+        self.refused_protocol.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a completed job: outcome class, retries beyond the first
+    /// attempt, panic classification and wall-time latency.
+    pub fn job_done(&self, record: &JobRecord) {
+        match &record.outcome {
+            Ok(_) => self.jobs_ok.fetch_add(1, Ordering::Relaxed),
+            Err(e) => {
+                if matches!(e, crate::engine::JobError::WorkerPanic { .. }) {
+                    self.panics.fetch_add(1, Ordering::Relaxed);
+                }
+                self.jobs_failed.fetch_add(1, Ordering::Relaxed)
+            }
+        };
+        self.retries
+            .fetch_add(record.attempts.saturating_sub(1) as u64, Ordering::Relaxed);
+        let bucket = (63 - record.wall_ns.max(1).leading_zeros()) as usize;
+        self.latency[bucket.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Jobs recorded as done (ok + failed).
+    pub fn jobs_served(&self) -> u64 {
+        self.jobs_ok.load(Ordering::Relaxed) + self.jobs_failed.load(Ordering::Relaxed)
+    }
+
+    /// Jobs admitted into the queue so far.
+    pub fn jobs_admitted(&self) -> u64 {
+        self.jobs_admitted.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) of recorded job latencies in
+    /// nanoseconds — the geometric midpoint of the histogram bucket the
+    /// rank lands in, or 0 with no recorded jobs.
+    pub fn latency_quantile_ns(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .latency
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for (b, count) in counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                let low = 1u64 << b;
+                return low + (low >> 1);
+            }
+        }
+        // Unreachable: seen reaches total ≥ rank on the last bucket.
+        0
+    }
+
+    /// The full `{"type": "stats", ...}` line: serve counters, queue
+    /// state, latency quantiles and per-cache hit statistics.
+    pub fn stats_json(
+        &self,
+        queue_depth: usize,
+        queue_capacity: usize,
+        caches: &[(&str, crate::cache::CacheStats)],
+    ) -> Json {
+        let hit_rate = |stats: &crate::cache::CacheStats| {
+            let lookups = stats.hits + stats.misses;
+            if lookups == 0 {
+                0.0
+            } else {
+                stats.hits as f64 / lookups as f64
+            }
+        };
+        let cache_fields = caches
+            .iter()
+            .map(|(name, stats)| {
+                (
+                    (*name).to_string(),
+                    Json::Object(vec![
+                        ("hits".into(), Json::Number(stats.hits as f64)),
+                        ("misses".into(), Json::Number(stats.misses as f64)),
+                        ("evictions".into(), Json::Number(stats.evictions as f64)),
+                        ("hit_rate".into(), Json::Number(hit_rate(stats))),
+                    ]),
+                )
+            })
+            .collect();
+        let load = |c: &AtomicU64| Json::Number(c.load(Ordering::Relaxed) as f64);
+        Json::Object(vec![
+            ("type".into(), Json::String("stats".into())),
+            ("connections_opened".into(), load(&self.connections_opened)),
+            ("connections_closed".into(), load(&self.connections_closed)),
+            ("jobs_admitted".into(), load(&self.jobs_admitted)),
+            ("jobs_ok".into(), load(&self.jobs_ok)),
+            ("jobs_failed".into(), load(&self.jobs_failed)),
+            (
+                "refused_backpressure".into(),
+                load(&self.refused_backpressure),
+            ),
+            ("refused_protocol".into(), load(&self.refused_protocol)),
+            ("retries".into(), load(&self.retries)),
+            ("panics".into(), load(&self.panics)),
+            ("queue_depth".into(), Json::Number(queue_depth as f64)),
+            ("queue_capacity".into(), Json::Number(queue_capacity as f64)),
+            (
+                "latency_p50_ns".into(),
+                Json::Number(self.latency_quantile_ns(0.50) as f64),
+            ),
+            (
+                "latency_p99_ns".into(),
+                Json::Number(self.latency_quantile_ns(0.99) as f64),
+            ),
+            ("caches".into(), Json::Object(cache_fields)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{JobError, JobRecord, JobReport};
+    use ptherm_core::cosim::SweepReport;
+
+    fn record(wall_ns: u64, attempts: usize, ok: bool) -> JobRecord {
+        JobRecord {
+            index: 0,
+            outcome: if ok {
+                Ok(JobReport::Steady(SweepReport {
+                    outcomes: Vec::new(),
+                }))
+            } else {
+                Err(JobError::WorkerPanic {
+                    payload: "boom".into(),
+                })
+            },
+            backend: None,
+            attempts,
+            wall_ns,
+        }
+    }
+
+    #[test]
+    fn counters_classify_outcomes_retries_and_panics() {
+        let m = ServeMetrics::new();
+        m.job_done(&record(1_000, 1, true));
+        m.job_done(&record(2_000, 3, true));
+        m.job_done(&record(4_000, 2, false));
+        assert_eq!(m.jobs_served(), 3);
+        assert_eq!(m.jobs_ok.load(Ordering::Relaxed), 2);
+        assert_eq!(m.jobs_failed.load(Ordering::Relaxed), 1);
+        assert_eq!(m.retries.load(Ordering::Relaxed), 3);
+        assert_eq!(m.panics.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn latency_quantiles_land_in_the_right_octave() {
+        let m = ServeMetrics::new();
+        // 99 fast jobs (~1 µs), 1 slow job (~1 ms).
+        for _ in 0..99 {
+            m.job_done(&record(1_024, 1, true));
+        }
+        m.job_done(&record(1_048_576, 1, true));
+        let p50 = m.latency_quantile_ns(0.50);
+        let p99 = m.latency_quantile_ns(0.99);
+        let p100 = m.latency_quantile_ns(1.0);
+        assert!((1_024..2_048).contains(&p50), "p50 {p50}");
+        assert!((1_024..2_048).contains(&p99), "p99 {p99}");
+        assert!((1_048_576..2_097_152).contains(&p100), "p100 {p100}");
+        assert_eq!(m.latency_quantile_ns(0.5), p50, "deterministic");
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let m = ServeMetrics::new();
+        assert_eq!(m.latency_quantile_ns(0.5), 0);
+        assert_eq!(m.jobs_served(), 0);
+    }
+
+    #[test]
+    fn stats_line_carries_queue_and_cache_state() {
+        let m = ServeMetrics::new();
+        m.job_admitted();
+        m.job_done(&record(10_000, 1, true));
+        let stats = crate::cache::CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
+        let line = m.stats_json(2, 8, &[("steady", stats)]).render();
+        assert!(line.contains("\"type\":\"stats\""), "{line}");
+        assert!(line.contains("\"queue_depth\":2"), "{line}");
+        assert!(line.contains("\"queue_capacity\":8"), "{line}");
+        assert!(line.contains("\"hit_rate\":0.75"), "{line}");
+        assert!(line.contains("\"jobs_admitted\":1"), "{line}");
+    }
+}

@@ -1,0 +1,518 @@
+//! Cache persistence: save a restartable *manifest* of what the fleet's
+//! operator caches hold, and warm a fresh engine's caches from one.
+//!
+//! The caches themselves are never serialized — a factored operator is
+//! megabytes of floats whose bit pattern already falls out of a
+//! deterministic build. What persists is the **recipe**: the floorplan
+//! and the handful of parameters ([`RecipeKind`]) that reproduce each
+//! entry, keyed by the same content fingerprint the cache itself uses.
+//! [`warm`] replays the recipes through the ordinary cache paths, so a
+//! restarted service reaches steady-state hit rates before its first
+//! job — and a warmed operator is *bit-identical* to the one the
+//! previous process held, because fingerprint equality implies build
+//! equality (the cache's core invariant).
+//!
+//! Staleness is handled structurally: every entry carries the
+//! fingerprint it was recorded under, and [`warm`] recomputes the
+//! fingerprint from the manifest floorplan and the *warming* engine's
+//! configuration before building. An entry recorded under different
+//! image orders, a different tolerance or an edited floorplan hashes
+//! differently and is skipped (counted in [`WarmReport::skipped`]),
+//! never rebuilt wrong.
+//!
+//! Floats round-trip **exactly**: every `f64` in a manifest is stored
+//! as the hex of its IEEE-754 bit pattern (`f64::to_bits`), not a
+//! decimal rendering — so a floorplan's fingerprint after reload equals
+//! its fingerprint before, and warm hits the same cache keys.
+
+use crate::engine::FleetEngine;
+use crate::json::Json;
+use ptherm_core::cosim::{
+    infer_grid, operator_fingerprint, propagator_fingerprint, spectral_operator_fingerprint,
+};
+use ptherm_core::thermal::capacitance::silicon_block_capacitances;
+use ptherm_core::thermal::map::map_operator_fingerprint;
+use ptherm_floorplan::{Block, ChipGeometry, Floorplan};
+use ptherm_math::ode::ImplicitScheme;
+use std::sync::Arc;
+
+/// Manifest schema version (bumped on any incompatible layout change;
+/// [`warm`] refuses manifests it does not understand).
+pub const MANIFEST_VERSION: u64 = 1;
+
+/// How to rebuild one cached operator from its floorplan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecipeKind {
+    /// Dense steady-state [`ThermalOperator`] (the engine's configured
+    /// image orders are part of the fingerprint, not the recipe).
+    ///
+    /// [`ThermalOperator`]: ptherm_core::cosim::ThermalOperator
+    Steady,
+    /// [`SpectralOperator`] at a refinement tolerance (the tile grid is
+    /// re-inferred from the floorplan).
+    ///
+    /// [`SpectralOperator`]: ptherm_core::cosim::SpectralOperator
+    Spectral {
+        /// Refinement tolerance the operator was built at.
+        tolerance: f64,
+    },
+    /// Transient propagator over the floorplan's steady operator.
+    Transient {
+        /// Time step, s.
+        dt_s: f64,
+        /// Implicit scheme.
+        scheme: ImplicitScheme,
+    },
+    /// Pixel-grid [`MapOperator`].
+    ///
+    /// [`MapOperator`]: ptherm_core::thermal::map::MapOperator
+    Map {
+        /// Horizontal pixel count.
+        nx: usize,
+        /// Vertical pixel count.
+        ny: usize,
+    },
+}
+
+impl RecipeKind {
+    /// The manifest's `"kind"` tag.
+    fn tag(&self) -> &'static str {
+        match self {
+            RecipeKind::Steady => "steady",
+            RecipeKind::Spectral { .. } => "spectral",
+            RecipeKind::Transient { .. } => "transient",
+            RecipeKind::Map { .. } => "map",
+        }
+    }
+}
+
+/// One cached operator's rebuild recipe: the floorplan it was built
+/// from plus the kind-specific parameters.
+#[derive(Debug, Clone)]
+pub struct CacheRecipe {
+    /// The floorplan the operator was built from.
+    pub floorplan: Arc<Floorplan>,
+    /// Kind-specific rebuild parameters.
+    pub kind: RecipeKind,
+}
+
+/// What [`warm`] did with a manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WarmReport {
+    /// Entries rebuilt into the cache (fingerprint matched after
+    /// recomputation — the warmed operator is bit-identical to the one
+    /// the saving process held).
+    pub rebuilt: usize,
+    /// Entries skipped as stale (fingerprint mismatch under the warming
+    /// engine's configuration, unbuildable floorplan, or a malformed
+    /// record).
+    pub skipped: usize,
+}
+
+/// Errors loading a manifest (I/O aside): not JSON, or a layout this
+/// version does not understand. Per-*entry* problems are not errors —
+/// they count as [`WarmReport::skipped`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ManifestError {
+    /// The text was not valid JSON.
+    Json(crate::json::JsonError),
+    /// Parsed, but not a manifest object with a supported
+    /// `"manifest_version"`.
+    Schema(String),
+}
+
+impl std::fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ManifestError::Json(e) => write!(f, "manifest is not valid JSON: {e}"),
+            ManifestError::Schema(detail) => write!(f, "manifest schema error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+fn hex_bits(x: f64) -> Json {
+    Json::String(format!("{:016x}", x.to_bits()))
+}
+
+fn from_hex_bits(j: &Json) -> Option<f64> {
+    let s = j.as_str()?;
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+fn hex_u64(x: u64) -> Json {
+    Json::String(format!("{x:016x}"))
+}
+
+fn from_hex_u64(j: &Json) -> Option<u64> {
+    u64::from_str_radix(j.as_str()?, 16).ok()
+}
+
+fn floorplan_to_json(plan: &Floorplan) -> Json {
+    let g = plan.geometry();
+    let geometry = Json::Object(vec![
+        ("width".into(), hex_bits(g.width)),
+        ("length".into(), hex_bits(g.length)),
+        ("thickness".into(), hex_bits(g.thickness)),
+        ("conductivity".into(), hex_bits(g.conductivity)),
+        ("sink_temperature".into(), hex_bits(g.sink_temperature)),
+    ]);
+    let blocks = plan
+        .blocks()
+        .iter()
+        .map(|b| {
+            Json::Object(vec![
+                ("name".into(), Json::String(b.name.clone())),
+                ("cx".into(), hex_bits(b.cx)),
+                ("cy".into(), hex_bits(b.cy)),
+                ("w".into(), hex_bits(b.w)),
+                ("l".into(), hex_bits(b.l)),
+                ("power".into(), hex_bits(b.power)),
+            ])
+        })
+        .collect();
+    Json::Object(vec![
+        ("geometry".into(), geometry),
+        ("blocks".into(), Json::Array(blocks)),
+    ])
+}
+
+fn floorplan_from_json(j: &Json) -> Option<Floorplan> {
+    let g = j.get("geometry")?;
+    let geometry = ChipGeometry {
+        width: from_hex_bits(g.get("width")?)?,
+        length: from_hex_bits(g.get("length")?)?,
+        thickness: from_hex_bits(g.get("thickness")?)?,
+        conductivity: from_hex_bits(g.get("conductivity")?)?,
+        sink_temperature: from_hex_bits(g.get("sink_temperature")?)?,
+    };
+    let mut blocks = Vec::new();
+    for b in j.get("blocks")?.as_array()? {
+        blocks.push(Block {
+            name: b.get("name")?.as_str()?.to_string(),
+            cx: from_hex_bits(b.get("cx")?)?,
+            cy: from_hex_bits(b.get("cy")?)?,
+            w: from_hex_bits(b.get("w")?)?,
+            l: from_hex_bits(b.get("l")?)?,
+            power: from_hex_bits(b.get("power")?)?,
+        });
+    }
+    Floorplan::new(geometry, blocks).ok()
+}
+
+fn scheme_tag(scheme: ImplicitScheme) -> &'static str {
+    match scheme {
+        ImplicitScheme::Trapezoidal => "trapezoidal",
+        ImplicitScheme::BackwardEuler => "backward_euler",
+    }
+}
+
+fn scheme_from_tag(tag: &str) -> Option<ImplicitScheme> {
+    match tag {
+        "trapezoidal" => Some(ImplicitScheme::Trapezoidal),
+        "backward_euler" => Some(ImplicitScheme::BackwardEuler),
+        _ => None,
+    }
+}
+
+/// Renders the engine's recorded cache recipes as a manifest value.
+///
+/// Entries are fingerprint-ordered, so the manifest of a given cache
+/// state is byte-stable regardless of job arrival order. An engine that
+/// has served no amortized jobs yields a valid empty manifest.
+pub fn manifest(engine: &FleetEngine) -> Json {
+    let entries = engine
+        .recipes_snapshot()
+        .into_iter()
+        .map(|(key, recipe)| {
+            let mut fields = vec![
+                ("kind".into(), Json::String(recipe.kind.tag().into())),
+                ("fingerprint".into(), hex_u64(key)),
+                ("floorplan".into(), floorplan_to_json(&recipe.floorplan)),
+            ];
+            match &recipe.kind {
+                RecipeKind::Steady => {}
+                RecipeKind::Spectral { tolerance } => {
+                    fields.push(("tolerance".into(), hex_bits(*tolerance)));
+                }
+                RecipeKind::Transient { dt_s, scheme } => {
+                    fields.push(("dt_s".into(), hex_bits(*dt_s)));
+                    fields.push(("scheme".into(), Json::String(scheme_tag(*scheme).into())));
+                }
+                RecipeKind::Map { nx, ny } => {
+                    fields.push(("nx".into(), Json::Number(*nx as f64)));
+                    fields.push(("ny".into(), Json::Number(*ny as f64)));
+                }
+            }
+            Json::Object(fields)
+        })
+        .collect();
+    Json::Object(vec![
+        (
+            "manifest_version".into(),
+            Json::Number(MANIFEST_VERSION as f64),
+        ),
+        ("entries".into(), Json::Array(entries)),
+    ])
+}
+
+/// Parses manifest text and checks the schema version.
+///
+/// # Errors
+///
+/// [`ManifestError`] when the text is not JSON or not a supported
+/// manifest layout (individual entries are *not* validated here).
+pub fn parse_manifest(text: &str) -> Result<Json, ManifestError> {
+    let manifest = Json::parse(text).map_err(ManifestError::Json)?;
+    match manifest.get("manifest_version").and_then(Json::as_usize) {
+        Some(v) if v as u64 == MANIFEST_VERSION => {}
+        Some(v) => {
+            return Err(ManifestError::Schema(format!(
+                "unsupported manifest_version {v} (this build reads {MANIFEST_VERSION})"
+            )))
+        }
+        None => {
+            return Err(ManifestError::Schema(
+                "missing integer \"manifest_version\"".into(),
+            ))
+        }
+    }
+    if !matches!(manifest.get("entries"), Some(Json::Array(_))) {
+        return Err(ManifestError::Schema("missing \"entries\" array".into()));
+    }
+    Ok(manifest)
+}
+
+/// Rebuilds every still-valid manifest entry through the engine's
+/// ordinary cache paths (the builds themselves register as misses on
+/// the cache counters, exactly like first-job builds would).
+///
+/// Stale entries — fingerprint mismatch under this engine's image
+/// orders, floorplans that no longer validate, malformed records — are
+/// skipped, never guessed at. Warming also (re-)records each rebuilt
+/// recipe, so a save → warm → save chain is idempotent.
+pub fn warm(engine: &FleetEngine, manifest: &Json) -> WarmReport {
+    let mut report = WarmReport::default();
+    let entries = match manifest.get("entries").and_then(Json::as_array) {
+        Some(entries) => entries,
+        None => return report,
+    };
+    for entry in entries {
+        if warm_entry(engine, entry) {
+            report.rebuilt += 1;
+        } else {
+            report.skipped += 1;
+        }
+    }
+    report
+}
+
+fn warm_entry(engine: &FleetEngine, entry: &Json) -> bool {
+    let (lateral, z) = {
+        let config = engine.config();
+        (config.lateral_order, config.z_order)
+    };
+    let recorded_key = match entry.get("fingerprint").and_then(from_hex_u64) {
+        Some(key) => key,
+        None => return false,
+    };
+    let plan = match entry.get("floorplan").and_then(floorplan_from_json) {
+        Some(plan) => Arc::new(plan),
+        None => return false,
+    };
+    match entry.get("kind").and_then(Json::as_str) {
+        Some("steady") => {
+            if operator_fingerprint(&plan, lateral, z) != recorded_key {
+                return false;
+            }
+            engine.cache().steady_operator(&plan, lateral, z);
+            engine.record_recipe(recorded_key, &plan, RecipeKind::Steady);
+            true
+        }
+        Some("spectral") => {
+            let tolerance = match entry.get("tolerance").and_then(from_hex_bits) {
+                Some(t) => t,
+                None => return false,
+            };
+            let (nx, ny) = match infer_grid(&plan) {
+                Ok(grid) => grid,
+                Err(_) => return false,
+            };
+            if spectral_operator_fingerprint(&plan, lateral, z, nx, ny, tolerance) != recorded_key {
+                return false;
+            }
+            if engine
+                .cache()
+                .spectral_operator(&plan, lateral, z, tolerance)
+                .is_err()
+            {
+                return false;
+            }
+            engine.record_recipe(recorded_key, &plan, RecipeKind::Spectral { tolerance });
+            true
+        }
+        Some("transient") => {
+            let dt_s = match entry.get("dt_s").and_then(from_hex_bits) {
+                Some(dt) => dt,
+                None => return false,
+            };
+            let scheme = match entry
+                .get("scheme")
+                .and_then(Json::as_str)
+                .and_then(scheme_from_tag)
+            {
+                Some(scheme) => scheme,
+                None => return false,
+            };
+            // The propagator is keyed on the (cached) steady operator
+            // it factors through, so warm that first.
+            let op = engine.cache().steady_operator(&plan, lateral, z);
+            let caps = silicon_block_capacitances(&plan);
+            if propagator_fingerprint(&op, &caps, dt_s, scheme) != recorded_key {
+                return false;
+            }
+            if engine
+                .cache()
+                .transient_operator(&op, &caps, dt_s, scheme)
+                .is_err()
+            {
+                return false;
+            }
+            engine.record_recipe(recorded_key, &plan, RecipeKind::Transient { dt_s, scheme });
+            true
+        }
+        Some("map") => {
+            let (nx, ny) = match (
+                entry.get("nx").and_then(Json::as_usize),
+                entry.get("ny").and_then(Json::as_usize),
+            ) {
+                (Some(nx), Some(ny)) if nx > 0 && ny > 0 => (nx, ny),
+                _ => return false,
+            };
+            if map_operator_fingerprint(&plan, lateral, z, nx, ny) != recorded_key {
+                return false;
+            }
+            engine.cache().map_operator(&plan, lateral, z, nx, ny);
+            engine.record_recipe(recorded_key, &plan, RecipeKind::Map { nx, ny });
+            true
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::FleetEngineBuilder;
+    use crate::jobs::parse_jsonl;
+
+    fn request_text() -> &'static str {
+        r#"
+{"type": "floorplan", "name": "fp", "tiles": {"rows": 4, "cols": 4, "p_min": 0.02, "p_max": 0.06, "seed": 7}}
+{"type": "steady", "floorplan": "fp", "dynamic_w": 0.3, "leakage_w": 0.03, "vdd_scales": [0.9, 1.0]}
+{"type": "transient", "floorplan": "fp", "dynamic_w": 0.2, "leakage_w": 0.02, "dt_s": 1e-4, "steps": 10}
+{"type": "map", "floorplan": "fp", "dynamic_w": 0.3, "leakage_w": 0.03, "vdd_scales": [1.0], "grid": {"nx": 8, "ny": 8}}
+"#
+    }
+
+    fn served_engine() -> FleetEngine {
+        let request = parse_jsonl(request_text()).expect("valid request");
+        let engine = FleetEngineBuilder::new()
+            .threads(2)
+            .request(&request)
+            .build()
+            .expect("valid configuration");
+        let report = engine.run(&request.jobs);
+        assert!(report.jobs.iter().all(|j| j.outcome.is_ok()));
+        engine
+    }
+
+    #[test]
+    fn floorplan_round_trips_bit_exactly() {
+        let plan = Floorplan::paper_three_blocks();
+        let json = floorplan_to_json(&plan);
+        let back = floorplan_from_json(&json).expect("round-trip");
+        assert_eq!(back.fingerprint(), plan.fingerprint());
+    }
+
+    #[test]
+    fn manifest_is_deterministic_and_versioned() {
+        let engine = served_engine();
+        let m1 = manifest(&engine).render();
+        let m2 = manifest(&engine).render();
+        assert_eq!(m1, m2);
+        let parsed = parse_manifest(&m1).expect("manifest parses");
+        let entries = parsed
+            .get("entries")
+            .and_then(Json::as_array)
+            .expect("entries");
+        // Steady + transient + map recipes (no spectral: 16 blocks < threshold).
+        assert_eq!(entries.len(), 3);
+    }
+
+    #[test]
+    fn warm_rebuilds_and_matches_fingerprints() {
+        let saved = manifest(&served_engine());
+        let request = parse_jsonl(request_text()).expect("valid request");
+        let fresh = FleetEngineBuilder::new()
+            .threads(2)
+            .request(&request)
+            .build()
+            .expect("valid configuration");
+        let report = warm(&fresh, &saved);
+        assert_eq!(
+            report,
+            WarmReport {
+                rebuilt: 3,
+                skipped: 0
+            }
+        );
+        // Warmed caches make every first job a hit: zero further misses.
+        let before = (
+            fresh.cache().steady_stats().misses,
+            fresh.cache().transient_stats().misses,
+            fresh.cache().map_stats().misses,
+        );
+        let run = fresh.run(&request.jobs);
+        assert!(run.jobs.iter().all(|j| j.outcome.is_ok()));
+        assert_eq!(fresh.cache().steady_stats().misses, before.0);
+        assert_eq!(fresh.cache().transient_stats().misses, before.1);
+        assert_eq!(fresh.cache().map_stats().misses, before.2);
+        // And a save → warm → save chain is idempotent.
+        assert_eq!(manifest(&fresh).render(), saved.render());
+    }
+
+    #[test]
+    fn warm_skips_stale_entries() {
+        let saved = manifest(&served_engine());
+        // A warming engine with different image orders computes
+        // different fingerprints for every entry: all skipped.
+        let mut config = crate::engine::FleetConfig::default();
+        config.lateral_order += 1;
+        let fresh = FleetEngineBuilder::new()
+            .config(config)
+            .build()
+            .expect("valid configuration");
+        let report = warm(&fresh, &saved);
+        assert_eq!(report.rebuilt, 0);
+        assert_eq!(report.skipped, 3);
+    }
+
+    #[test]
+    fn parse_manifest_refuses_unknown_versions() {
+        assert!(matches!(
+            parse_manifest(r#"{"manifest_version": 99, "entries": []}"#),
+            Err(ManifestError::Schema(_))
+        ));
+        assert!(matches!(
+            parse_manifest(r#"{"entries": []}"#),
+            Err(ManifestError::Schema(_))
+        ));
+        assert!(matches!(
+            parse_manifest("not json"),
+            Err(ManifestError::Json(_))
+        ));
+        assert!(parse_manifest(r#"{"manifest_version": 1, "entries": []}"#).is_ok());
+    }
+}

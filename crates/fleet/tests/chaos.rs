@@ -16,13 +16,23 @@ use ptherm_core::cosim::{
     ScenarioGrid, SweepBackend, SweepEngine, SweepOutcome, TransientConfig, TransientOutcome,
 };
 use ptherm_fleet::{
-    parse_jsonl, Fault, FaultPlan, FleetConfig, FleetEngine, FleetReport, JobError, JobSpec,
-    OperatorCache, RetryPolicy,
+    parse_jsonl, Fault, FaultPlan, FleetConfig, FleetEngine, FleetEngineBuilder, FleetReport,
+    FleetRequest, JobError, JobSpec, OperatorCache, RetryPolicy,
 };
 use ptherm_floorplan::{generator, ChipGeometry, Floorplan};
 use ptherm_tech::Technology;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// A validated engine over `request`'s floorplans (shared by every
+/// chaos scenario so construction goes through the one builder path).
+fn engine_for(config: &FleetConfig, request: &FleetRequest) -> FleetEngine {
+    FleetEngineBuilder::new()
+        .config(config.clone())
+        .request(request)
+        .build()
+        .expect("valid configuration")
+}
 
 fn tiled(rows: usize, cols: usize, seed: u64) -> Floorplan {
     generator::tiled(ChipGeometry::paper_1mm(), rows, cols, 0.01, 0.05, seed).expect("valid tiling")
@@ -82,7 +92,7 @@ fn one_panicking_job_is_isolated_and_every_other_line_is_bitwise_identical() {
     let src = chaos_request_jsonl(2);
     let request = parse_jsonl(&src).expect("valid request");
     let config = FleetConfig::default();
-    let engine = FleetEngine::from_request(config.clone(), &request);
+    let engine = engine_for(&config, &request);
     let baseline = normalized_lines(&engine.run(&request.jobs), &request.jobs);
 
     // Targets cover a dense steady, a spectral steady, a transient and
@@ -95,8 +105,8 @@ fn one_panicking_job_is_isolated_and_every_other_line_is_bitwise_identical() {
         (2, Fault::BuilderPanic),
         (3, Fault::BuilderPanic),
     ] {
-        let mut chaotic = FleetEngine::from_request(config.clone(), &request)
-            .with_faults(FaultPlan::new().inject(target, fault.clone()));
+        let mut chaotic = engine_for(&config, &request);
+        chaotic.set_faults(Some(FaultPlan::new().inject(target, fault.clone())));
         let report = chaotic.run(&request.jobs);
         assert_eq!(report.panic_count(), 1, "{fault:?} on job {target}");
         assert_eq!(report.error_count(), 1);
@@ -144,10 +154,11 @@ fn seeded_fault_plans_scatter_mixed_faults_and_the_fleet_recovers() {
     );
 
     let config = FleetConfig::default();
-    let engine = FleetEngine::from_request(config.clone(), &request);
+    let engine = engine_for(&config, &request);
     let baseline = normalized_lines(&engine.run(&request.jobs), &request.jobs);
 
-    let mut chaotic = FleetEngine::from_request(config.clone(), &request).with_faults(plan.clone());
+    let mut chaotic = engine_for(&config, &request);
+    chaotic.set_faults(Some(plan.clone()));
     let report = chaotic.run(&request.jobs);
     let lines = normalized_lines(&report, &request.jobs);
     let mut expected_retries = 0;
@@ -203,7 +214,7 @@ fn transient_faults_retry_within_budget_and_record_attempts() {
         },
         ..FleetConfig::default()
     };
-    let engine = FleetEngine::from_request(config.clone(), &request);
+    let engine = engine_for(&config, &request);
     let baseline = normalized_lines(&engine.run(&request.jobs), &request.jobs);
 
     // Job 0 fails twice then succeeds within the 3-attempt budget; job
@@ -211,9 +222,11 @@ fn transient_faults_retry_within_budget_and_record_attempts() {
     let plan = FaultPlan::new()
         .inject_for(0, Fault::TransientFault, 2)
         .inject_for(1, Fault::TransientFault, usize::MAX);
-    let report = FleetEngine::from_request(config.clone(), &request)
-        .with_faults(plan)
-        .run(&request.jobs);
+    let report = {
+        let mut engine = engine_for(&config, &request);
+        engine.set_faults(Some(plan));
+        engine.run(&request.jobs)
+    };
     let lines = normalized_lines(&report, &request.jobs);
 
     assert!(report.jobs[0].outcome.is_ok());
@@ -250,9 +263,11 @@ fn permanent_errors_never_retry() {
     // Even with the fault armed for 5 attempts, a panic is permanent:
     // one attempt, one typed error.
     let plan = FaultPlan::new().inject_for(0, Fault::BuilderPanic, 5);
-    let report = FleetEngine::from_request(FleetConfig::default(), &request)
-        .with_faults(plan)
-        .run(&request.jobs);
+    let report = {
+        let mut engine = engine_for(&FleetConfig::default(), &request);
+        engine.set_faults(Some(plan));
+        engine.run(&request.jobs)
+    };
     assert!(matches!(
         report.jobs[0].outcome,
         Err(JobError::WorkerPanic { .. })
@@ -261,7 +276,9 @@ fn permanent_errors_never_retry() {
     assert_eq!(report.retry_count(), 0);
 
     // Schema-level failures are permanent too.
-    let engine = FleetEngine::new(FleetConfig::default());
+    let engine = FleetEngineBuilder::new()
+        .build()
+        .expect("valid configuration");
     let report = engine.run(&request.jobs);
     assert!(report.jobs.iter().all(|j| j.attempts == 1));
     assert_eq!(report.retry_count(), 0);
@@ -322,7 +339,7 @@ fn a_blown_deadline_is_a_typed_error_with_partial_progress_not_a_killed_thread()
         // invisible in the results.
         let relaxed = src.replace("\"deadline_ms\": 5", "\"deadline_ms\": 600000");
         let request = parse_jsonl(&relaxed).expect("valid request");
-        let engine = FleetEngine::from_request(FleetConfig::default(), &request);
+        let engine = engine_for(&FleetConfig::default(), &request);
         normalized_lines(&engine.run(&request.jobs), &request.jobs)
     };
 
@@ -330,7 +347,8 @@ fn a_blown_deadline_is_a_typed_error_with_partial_progress_not_a_killed_thread()
         .inject(0, Fault::Delay { ms: 50 })
         .inject(1, Fault::Delay { ms: 50 })
         .inject(2, Fault::Delay { ms: 50 });
-    let mut engine = FleetEngine::from_request(FleetConfig::default(), &request).with_faults(plan);
+    let mut engine = engine_for(&FleetConfig::default(), &request);
+    engine.set_faults(Some(plan));
     let report = engine.run(&request.jobs);
     for j in 0..3 {
         let Err(JobError::DeadlineExceeded {

@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use ptherm_core::cosim::{ThermalOperator, TransientError};
 use ptherm_fleet::{
-    parse_jsonl, CacheStats, FleetConfig, FleetEngine, JobReport, Lru, OperatorCache,
+    parse_jsonl, CacheStats, FleetConfig, FleetEngineBuilder, JobReport, Lru, OperatorCache,
 };
 use ptherm_floorplan::{generator, ChipGeometry, Floorplan};
 use ptherm_math::ode::ImplicitScheme;
@@ -219,7 +219,11 @@ fn run_fleet(threads: usize, amortize: bool) -> ptherm_fleet::FleetReport {
         amortize,
         ..FleetConfig::default()
     };
-    let engine = FleetEngine::from_request(config, &request);
+    let engine = FleetEngineBuilder::new()
+        .config(config)
+        .request(&request)
+        .build()
+        .expect("valid configuration");
     engine.run(&request.jobs)
 }
 
@@ -287,7 +291,9 @@ fn unknown_floorplan_is_a_per_job_error_not_a_panic() {
     .unwrap();
     // Build an engine *without* the floorplan to simulate a stale
     // reference (the parser catches this for well-formed requests).
-    let engine = FleetEngine::new(FleetConfig::default());
+    let engine = FleetEngineBuilder::new()
+        .build()
+        .expect("valid configuration");
     let report = engine.run(&request.jobs);
     assert_eq!(report.ok_count(), 0);
     let err = report.jobs[0].outcome.as_ref().unwrap_err();
@@ -325,7 +331,11 @@ fn run_map_fleet(threads: usize, amortize: bool) -> ptherm_fleet::FleetReport {
         amortize,
         ..FleetConfig::default()
     };
-    let engine = FleetEngine::from_request(config, &request);
+    let engine = FleetEngineBuilder::new()
+        .config(config)
+        .request(&request)
+        .build()
+        .expect("valid configuration");
     engine.run(&request.jobs)
 }
 
@@ -427,7 +437,11 @@ fn run_spectral_fleet(threads: usize, amortize: bool) -> ptherm_fleet::FleetRepo
         amortize,
         ..FleetConfig::default()
     };
-    let engine = FleetEngine::from_request(config, &request);
+    let engine = FleetEngineBuilder::new()
+        .config(config)
+        .request(&request)
+        .build()
+        .expect("valid configuration");
     engine.run(&request.jobs)
 }
 

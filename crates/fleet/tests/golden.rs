@@ -20,7 +20,7 @@
 //! after an intentional protocol change with
 //! `GOLDEN_UPDATE=1 cargo test -p ptherm-fleet --test golden`.
 
-use ptherm_fleet::{parse_jsonl, FleetConfig, FleetEngine};
+use ptherm_fleet::{parse_jsonl, FleetConfig, FleetEngineBuilder};
 use std::path::{Path, PathBuf};
 
 fn golden_dir() -> PathBuf {
@@ -35,7 +35,11 @@ fn serve_normalized(request_text: &str) -> Result<String, String> {
         threads: 2,
         ..FleetConfig::default()
     };
-    let engine = FleetEngine::from_request(config, &request);
+    let engine = FleetEngineBuilder::new()
+        .config(config)
+        .request(&request)
+        .build()
+        .expect("valid configuration");
     let report = engine.run(&request.jobs);
     let mut out = String::new();
     for record in &report.jobs {
@@ -105,6 +109,21 @@ fn floorplan_refusal_matches_the_golden() {
     check_fixture("bad_floorplan");
 }
 
+/// Protocol versioning over the wire: a line pinning `"v": 1` gets the
+/// field echoed on its result line; a version-silent line stays
+/// byte-stable with pre-versioning output (no `"v"` field at all).
+#[test]
+fn versioned_request_matches_the_golden_line_for_line() {
+    check_fixture("versioned");
+}
+
+/// A request pinning a protocol version this build does not speak is a
+/// typed refusal naming both the requested and the supported version.
+#[test]
+fn unknown_version_refusal_matches_the_golden() {
+    check_fixture("bad_version");
+}
+
 /// Every `*.request.jsonl` fixture has its expected pair — no orphaned
 /// fixtures that silently test nothing.
 #[test]
@@ -123,5 +142,5 @@ fn every_fixture_is_paired() {
             );
         }
     }
-    assert_eq!(requests, 5, "fixture inventory drifted");
+    assert_eq!(requests, 7, "fixture inventory drifted");
 }

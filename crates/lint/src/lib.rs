@@ -34,8 +34,9 @@ const SKIP_DIRS: [&str; 4] = ["target", "vendor", ".git", "fixtures"];
 /// and is not part of the set.
 ///
 /// * R1 `panic-freedom`: the job hot path — `core/src/cosim/*`,
-///   `fleet/src/engine.rs`, `fleet/src/cache.rs`, `par/src/*`. A
-///   panic here kills a worker mid-fleet-run.
+///   `fleet/src/engine.rs`, `fleet/src/cache.rs`,
+///   `fleet/src/server.rs`, `par/src/*`. A panic here kills a worker
+///   mid-fleet-run (or a serve-mode connection thread).
 /// * R2 `determinism`: fingerprint, protocol and result-rendering
 ///   modules — `floorplan/src/fingerprint.rs`, `fleet/src/jobs.rs`,
 ///   `fleet/src/json.rs`. Nondeterminism here breaks replayability.
@@ -44,6 +45,7 @@ pub fn rules_for(rel: &str) -> RuleSet {
     let hot_path = rel.starts_with("crates/core/src/cosim/")
         || rel == "crates/fleet/src/engine.rs"
         || rel == "crates/fleet/src/cache.rs"
+        || rel == "crates/fleet/src/server.rs"
         || rel.starts_with("crates/par/src/");
     let determinism = matches!(
         rel,

@@ -41,11 +41,12 @@ fn unsafe_inventory_manifest_matches_tree() {
         report.unsafe_inventory, manifest,
         "unsafe inventory drift — regenerate with `ptherm-lint --write-inventory`"
     );
-    // The audited unsafe surface is exactly the SIMD kernels.
+    // The audited unsafe surface is exactly the SIMD kernels plus the
+    // one signal(2) binding `fleet serve` uses for graceful drain.
     for file in manifest.keys() {
         assert!(
-            file.starts_with("crates/math/src/"),
-            "unexpected unsafe outside the math kernels: {file}"
+            file.starts_with("crates/math/src/") || file == "crates/bench/src/bin/fleet.rs",
+            "unexpected unsafe outside the audited surface: {file}"
         );
     }
 }

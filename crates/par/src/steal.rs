@@ -16,6 +16,21 @@
 //! counter ([`StealQueues::steals`]) makes imbalance observable in fleet
 //! reports.
 //!
+//! Two admission modes share the stealing discipline:
+//!
+//! * **batch** ([`StealQueues::split`]) — a fixed index range dealt out
+//!   up front; workers drain with the non-blocking [`StealQueues::pop`]
+//!   and `None` means the run is over. This is how the fleet engine
+//!   runs a collected job list.
+//! * **streaming** ([`StealQueues::bounded`]) — an initially empty set
+//!   of deques that producers feed live through [`StealQueues::push`]
+//!   under a hard capacity bound (the backpressure seam: an over-full
+//!   queue refuses with a typed [`PushError`] instead of buffering
+//!   without limit), while workers block in [`StealQueues::pop_wait`]
+//!   until an item lands or [`StealQueues::close`] declares the stream
+//!   over. This is how the fleet *server* admits socket traffic
+//!   directly into the scheduler.
+//!
 //! # Example
 //!
 //! ```
@@ -28,17 +43,64 @@
 //! ```
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
 
-/// Per-worker job deques with steal-from-the-back rebalancing.
-#[derive(Debug)]
-pub struct StealQueues {
-    queues: Vec<Mutex<VecDeque<usize>>>,
-    steals: AtomicU64,
+/// Why a streaming push was refused. The queue is unchanged either way;
+/// the producer owns the item again and decides (refuse upstream, shed,
+/// retry later).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue already holds `capacity` items: admission would exceed
+    /// the backpressure bound.
+    Full {
+        /// Queued depth observed at refusal time.
+        depth: usize,
+        /// The bound set by [`StealQueues::bounded`].
+        capacity: usize,
+    },
+    /// [`StealQueues::close`] was called: the stream is over and no new
+    /// item may be admitted.
+    Closed,
 }
 
-impl StealQueues {
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PushError::Full { depth, capacity } => {
+                write!(f, "queue full (depth {depth}/{capacity})")
+            }
+            PushError::Closed => write!(f, "queue closed"),
+        }
+    }
+}
+
+impl std::error::Error for PushError {}
+
+/// Per-worker job deques with steal-from-the-back rebalancing.
+///
+/// Generic over the queued item (`usize` job indices for the batch
+/// fleet engine, whole job envelopes for the streaming fleet server).
+#[derive(Debug)]
+pub struct StealQueues<T = usize> {
+    queues: Vec<Mutex<VecDeque<T>>>,
+    steals: AtomicU64,
+    /// Items currently queued (not yet claimed), across all deques.
+    depth: AtomicUsize,
+    /// Streaming bound; `usize::MAX` in batch mode.
+    capacity: usize,
+    /// Round-robin cursor spreading pushes over the deques.
+    next_push: AtomicUsize,
+    /// Set by [`Self::close`]; pushes refuse and drained waiters leave.
+    closed: AtomicBool,
+    /// Pairs with `sleep` for [`Self::pop_wait`] parking. Pushers take
+    /// this lock around their notify so a waiter cannot check-then-park
+    /// between the push and the wakeup.
+    sleep_lock: Mutex<()>,
+    sleep: Condvar,
+}
+
+impl StealQueues<usize> {
     /// Distributes items `0..total` over `workers` deques in contiguous
     /// runs (worker 0 gets the first run, and so on), front-loading the
     /// remainder. Contiguous runs preserve submission locality — a
@@ -63,6 +125,38 @@ impl StealQueues {
         StealQueues {
             queues,
             steals: AtomicU64::new(0),
+            depth: AtomicUsize::new(total),
+            capacity: usize::MAX,
+            next_push: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+            sleep_lock: Mutex::new(()),
+            sleep: Condvar::new(),
+        }
+    }
+}
+
+impl<T> StealQueues<T> {
+    /// An empty streaming queue set: `workers` deques fed live through
+    /// [`Self::push`], holding at most `capacity` queued items in total.
+    /// Workers claim with [`Self::pop_wait`]; [`Self::close`] ends the
+    /// stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero or `capacity` is zero (a queue that
+    /// can hold nothing would refuse every admission).
+    pub fn bounded(workers: usize, capacity: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        assert!(capacity > 0, "capacity must be positive");
+        StealQueues {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            steals: AtomicU64::new(0),
+            depth: AtomicUsize::new(0),
+            capacity,
+            next_push: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+            sleep_lock: Mutex::new(()),
+            sleep: Condvar::new(),
         }
     }
 
@@ -71,24 +165,105 @@ impl StealQueues {
         self.queues.len()
     }
 
+    /// Items currently queued (admitted, not yet claimed). The live
+    /// backpressure signal a server's metrics report.
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// The admission bound of a [`Self::bounded`] queue set
+    /// (`usize::MAX` for a batch [`StealQueues::split`]).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// True once [`Self::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+
+    /// Admits one item, spreading pushes round-robin over the worker
+    /// deques, and wakes a parked worker.
+    ///
+    /// The capacity check reserves a slot atomically, so concurrent
+    /// producers can never overshoot the bound: at most `capacity`
+    /// items are queued at any instant.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] when the queue already holds `capacity`
+    /// items, [`PushError::Closed`] after [`Self::close`]. The item is
+    /// handed back inside the error-free contract: on `Err` it was
+    /// never enqueued (the caller still owns it — it is not consumed
+    /// because `push` takes it by value and drops it only on success).
+    pub fn push(&self, item: T) -> Result<(), PushError> {
+        if self.is_closed() {
+            return Err(PushError::Closed);
+        }
+        // Reserve a depth slot before touching any deque: strict bound
+        // under concurrent producers.
+        let mut depth = self.depth.load(Ordering::Relaxed);
+        loop {
+            if depth >= self.capacity {
+                return Err(PushError::Full {
+                    depth,
+                    capacity: self.capacity,
+                });
+            }
+            match self.depth.compare_exchange_weak(
+                depth,
+                depth + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(now) => depth = now,
+            }
+        }
+        let slot = self.next_push.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        self.lock(slot).push_back(item);
+        // Notify under the sleep lock so a worker that just found every
+        // deque empty cannot park between our push and this wakeup.
+        let guard = self.sleep_guard();
+        self.sleep.notify_one();
+        drop(guard);
+        Ok(())
+    }
+
+    /// Ends the stream: further pushes refuse with
+    /// [`PushError::Closed`], and once the deques drain every
+    /// [`Self::pop_wait`] returns `None`. Items already queued are
+    /// still claimed and run — close-then-drain is the graceful
+    /// shutdown path.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        let guard = self.sleep_guard();
+        self.sleep.notify_all();
+        drop(guard);
+    }
+
     /// Claims the next job for `worker`: its own deque's front, else the
     /// back of the first non-empty sibling (scanning from `worker + 1`
     /// round-robin, so thieves spread instead of mobbing worker 0).
     /// Returns `None` only when every deque is empty at the moment of
-    /// the scan — and since no items are ever re-queued, `None` is
-    /// stable: the queues have run dry for good.
+    /// the scan — and since batch mode never re-queues items, `None` is
+    /// stable there: the queues have run dry for good. (A streaming
+    /// worker wanting to block for the next admission uses
+    /// [`Self::pop_wait`] instead.)
     ///
     /// # Panics
     ///
     /// Panics if `worker >= self.workers()`.
-    pub fn pop(&self, worker: usize) -> Option<usize> {
+    pub fn pop(&self, worker: usize) -> Option<T> {
         assert!(worker < self.queues.len(), "worker index out of range");
         if let Some(job) = self.lock(worker).pop_front() {
+            self.depth.fetch_sub(1, Ordering::AcqRel);
             return Some(job);
         }
         for offset in 1..self.queues.len() {
             let victim = (worker + offset) % self.queues.len();
             if let Some(job) = self.lock(victim).pop_back() {
+                self.depth.fetch_sub(1, Ordering::AcqRel);
                 self.steals.fetch_add(1, Ordering::Relaxed);
                 return Some(job);
             }
@@ -96,15 +271,53 @@ impl StealQueues {
         None
     }
 
+    /// [`Self::pop`] that parks until an item is admitted or the stream
+    /// ends: returns `Some` for every claimed item and `None` exactly
+    /// when the queue is closed **and** drained. The streaming worker
+    /// loop is simply `while let Some(job) = queues.pop_wait(w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker >= self.workers()`.
+    pub fn pop_wait(&self, worker: usize) -> Option<T> {
+        loop {
+            if let Some(job) = self.pop(worker) {
+                return Some(job);
+            }
+            let guard = self.sleep_guard();
+            // Re-check under the sleep lock: a push that landed after
+            // our scan notified under this same lock, so either we see
+            // its depth here or our wait sees its notification.
+            if self.depth() > 0 {
+                continue;
+            }
+            if self.is_closed() {
+                return None;
+            }
+            drop(
+                self.sleep
+                    .wait(guard)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner()),
+            );
+        }
+    }
+
     /// Number of cross-worker steals so far.
     pub fn steals(&self) -> u64 {
         self.steals.load(Ordering::Relaxed)
     }
 
-    fn lock(&self, idx: usize) -> std::sync::MutexGuard<'_, VecDeque<usize>> {
+    fn lock(&self, idx: usize) -> MutexGuard<'_, VecDeque<T>> {
         // Job indices carry no state; a panicked worker cannot poison
         // anything another worker must not see.
         match self.queues[idx].lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn sleep_guard(&self) -> MutexGuard<'_, ()> {
+        match self.sleep_lock.lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
         }
@@ -127,6 +340,7 @@ mod tests {
             }
             all.sort_unstable();
             assert_eq!(all, (0..total).collect::<Vec<_>>(), "{workers}x{total}");
+            assert_eq!(q.depth(), 0);
         }
     }
 
@@ -176,5 +390,117 @@ mod tests {
     fn out_of_range_worker_is_rejected() {
         let q = StealQueues::split(2, 2);
         let _ = q.pop(2);
+    }
+
+    #[test]
+    fn bounded_push_claims_round_trip() {
+        let q: StealQueues<String> = StealQueues::bounded(2, 8);
+        assert_eq!(q.depth(), 0);
+        assert!(q.push("a".into()).is_ok());
+        assert!(q.push("b".into()).is_ok());
+        assert_eq!(q.depth(), 2);
+        let mut got = vec![q.pop_wait(0).expect("item"), q.pop_wait(1).expect("item")];
+        got.sort();
+        assert_eq!(got, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn full_queue_refuses_with_typed_depth() {
+        let q: StealQueues<u32> = StealQueues::bounded(1, 2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert_eq!(
+            q.push(3),
+            Err(PushError::Full {
+                depth: 2,
+                capacity: 2
+            })
+        );
+        // Claiming one item frees a slot.
+        assert_eq!(q.pop(0), Some(1));
+        assert!(q.push(3).is_ok());
+        assert_eq!(
+            PushError::Full {
+                depth: 2,
+                capacity: 2
+            }
+            .to_string(),
+            "queue full (depth 2/2)"
+        );
+    }
+
+    #[test]
+    fn close_refuses_new_pushes_but_drains_queued_items() {
+        let q: StealQueues<u32> = StealQueues::bounded(2, 8);
+        assert!(q.push(7).is_ok());
+        q.close();
+        assert_eq!(q.push(8), Err(PushError::Closed));
+        // The queued item still drains, then the stream reports over.
+        assert_eq!(q.pop_wait(0), Some(7));
+        assert_eq!(q.pop_wait(0), None);
+        assert_eq!(q.pop_wait(1), None);
+    }
+
+    #[test]
+    fn pop_wait_parks_until_an_item_lands() {
+        let q: StealQueues<u32> = StealQueues::bounded(1, 4);
+        std::thread::scope(|scope| {
+            let consumer = scope.spawn(|| q.pop_wait(0));
+            // Give the consumer a moment to park, then feed it.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert!(q.push(42).is_ok());
+            assert_eq!(consumer.join().expect("join"), Some(42));
+        });
+    }
+
+    #[test]
+    fn streaming_claims_are_exactly_once_under_concurrency() {
+        let total: usize = 2_000;
+        let workers = 4;
+        let q: StealQueues<usize> = StealQueues::bounded(workers, total);
+        std::thread::scope(|scope| {
+            let producers: Vec<_> = (0..2)
+                .map(|p| {
+                    let q = &q;
+                    scope.spawn(move || {
+                        for i in (p..total).step_by(2) {
+                            // Capacity equals the total, so every push
+                            // must be admitted.
+                            q.push(i).expect("under capacity");
+                        }
+                    })
+                })
+                .collect();
+            let consumers: Vec<_> = (0..workers)
+                .map(|w| {
+                    let q = &q;
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        while let Some(item) = q.pop_wait(w) {
+                            mine.push(item);
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            for p in producers {
+                p.join().expect("producer");
+            }
+            q.close();
+            let mut all: Vec<usize> = consumers
+                .into_iter()
+                .flat_map(|c| c.join().expect("consumer"))
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..total).collect::<Vec<_>>());
+        });
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = StealQueues::<u32>::bounded(1, 0);
     }
 }
