@@ -78,6 +78,8 @@ fn synthetic_fleet(cfg: &BenchConfig) -> (Vec<(String, Floorplan)>, Vec<JobSpec>
                 ambients_k: None,
                 backend: ptherm_core::cosim::SweepBackend::Auto,
                 deadline_ms: None,
+                name: None,
+                power: ptherm_fleet::PowerSpec::Scaled,
                 v: None,
             };
             if round % 2 == 0 {

@@ -41,6 +41,50 @@ use crate::cosim::{ElectroThermalSolver, ThermalOperator};
 use ptherm_math::MultiVec;
 use ptherm_par::CancelToken;
 
+/// One scenario start pulled from a [`BatchedSolver::drive`] source:
+/// the caller's scenario id, the lane's ambient, and an optional
+/// warm-start seed.
+///
+/// `seed: None` loads the lane cold — every block starts at
+/// `ambient_k`, exactly the per-scenario oracle's initial state.
+/// `seed: Some(t)` loads block `b` at `t[b].max(ambient_k)` instead
+/// (the clamp keeps a seed borrowed from a cooler neighbor physical:
+/// Picard iterates from below, so an initial state under ambient would
+/// leave the oracle's basin). A seed whose length does not match the
+/// operator's block count is ignored and the lane starts cold — a
+/// mismatched seed must degrade to correctness, never index out of
+/// bounds on a worker thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneStart {
+    /// The caller's scenario index, echoed back through the sink.
+    pub id: usize,
+    /// Lane ambient temperature, K.
+    pub ambient_k: f64,
+    /// Optional per-block initial temperatures, K.
+    pub seed: Option<Vec<f64>>,
+}
+
+impl LaneStart {
+    /// A cold start: every block begins at `ambient_k`.
+    pub fn cold(id: usize, ambient_k: f64) -> Self {
+        LaneStart {
+            id,
+            ambient_k,
+            seed: None,
+        }
+    }
+
+    /// A warm start seeded from `seed` (clamped to at least `ambient_k`
+    /// per block at load time).
+    pub fn warm(id: usize, ambient_k: f64, seed: Vec<f64>) -> Self {
+        LaneStart {
+            id,
+            ambient_k,
+            seed: Some(seed),
+        }
+    }
+}
+
 /// Power evaluation over a batch of scenario lanes.
 ///
 /// The solver drives the model through three calls: [`Self::begin_lane`]
@@ -241,7 +285,7 @@ impl<'a> BatchedSolver<'a> {
                 (next < b).then(|| {
                     let id = next;
                     next += 1;
-                    (id, ambients[id])
+                    LaneStart::cold(id, ambients[id])
                 })
             },
             &mut |id, outcome| out[id] = Some(outcome),
@@ -252,20 +296,26 @@ impl<'a> BatchedSolver<'a> {
             .collect()
     }
 
-    /// The streaming entry point: pulls `(scenario_id, ambient_k)` pairs
-    /// from `source` into `lanes` solver lanes (clamped to at least 1, so
-    /// no scenario can be silently dropped), advances the whole batch one
-    /// Picard step at a time, and hands each retired scenario to `sink`
-    /// as soon as it resolves. Lanes are refilled immediately, so the
+    /// The streaming entry point: pulls [`LaneStart`]s from `source`
+    /// into `lanes` solver lanes (clamped to at least 1, so no scenario
+    /// can be silently dropped), advances the whole batch one Picard
+    /// step at a time, and hands each retired scenario to `sink` as
+    /// soon as it resolves. Lanes are refilled immediately, so the
     /// batch stays dense until `source` is exhausted; each worker of a
     /// parallel sweep runs one `drive` against a shared atomic source.
+    ///
+    /// A `None` from `source` is not final: the source is re-polled on
+    /// every later iteration with a free lane, so a warm-start chain
+    /// may withhold a successor until its predecessor retires through
+    /// the sink. The drive ends when `source` returns `None` while no
+    /// lane is in flight.
     pub fn drive<M: BatchPowerModel + ?Sized>(
         &self,
         lanes: usize,
         model: &mut M,
         ws: &mut BatchWorkspace,
         cancel: Option<&CancelToken>,
-        source: &mut dyn FnMut() -> Option<(usize, f64)>,
+        source: &mut dyn FnMut() -> Option<LaneStart>,
         sink: &mut dyn FnMut(usize, SweepOutcome),
     ) {
         let operator = self.operator;
@@ -301,14 +351,13 @@ pub(crate) fn drive_picard<M: BatchPowerModel + ?Sized>(
     model: &mut M,
     ws: &mut BatchWorkspace,
     cancel: Option<&CancelToken>,
-    source: &mut dyn FnMut() -> Option<(usize, f64)>,
+    source: &mut dyn FnMut() -> Option<LaneStart>,
     sink: &mut dyn FnMut(usize, SweepOutcome),
     apply: &mut dyn FnMut(&MultiVec, &mut MultiVec, &[bool]),
 ) {
     let lanes = lanes.max(1);
     ws.reset(blocks, lanes);
     let mut pending = 0usize;
-    let mut open = true;
     loop {
         // Cooperative-cancellation checkpoint: exactly one poll per
         // Picard iteration (shared by the dense and spectral backends).
@@ -330,26 +379,35 @@ pub(crate) fn drive_picard<M: BatchPowerModel + ?Sized>(
             }
             return;
         }
-        if open {
-            for lane in 0..lanes {
-                if ws.alive[lane] {
-                    continue;
-                }
-                match source() {
-                    Some((id, ambient_k)) => {
-                        ws.lane_id[lane] = id;
-                        ws.lane_iter[lane] = 0;
-                        ws.alive[lane] = true;
-                        ws.ambient[lane] = ambient_k;
-                        ws.temps.fill_lane(lane, ambient_k);
-                        model.begin_lane(lane, id);
-                        pending += 1;
+        // Refill every free lane. A `None` only ends *this* refill
+        // round, not the drive: warm-start chains hold a successor
+        // back until its predecessor retires, so the source is
+        // re-polled each iteration as long as anything is in flight.
+        for lane in 0..lanes {
+            if ws.alive[lane] {
+                continue;
+            }
+            match source() {
+                Some(start) => {
+                    ws.lane_id[lane] = start.id;
+                    ws.lane_iter[lane] = 0;
+                    ws.alive[lane] = true;
+                    ws.ambient[lane] = start.ambient_k;
+                    match &start.seed {
+                        // A well-formed seed loads per block, clamped
+                        // to ambient (see [`LaneStart`]); anything else
+                        // degrades to the cold start.
+                        Some(seed) if seed.len() == blocks => {
+                            for (block, &t) in seed.iter().enumerate() {
+                                ws.temps.set(block, lane, t.max(start.ambient_k));
+                            }
+                        }
+                        _ => ws.temps.fill_lane(lane, start.ambient_k),
                     }
-                    None => {
-                        open = false;
-                        break;
-                    }
+                    model.begin_lane(lane, start.id);
+                    pending += 1;
                 }
+                None => break,
             }
         }
         if pending == 0 {
@@ -709,7 +767,7 @@ mod tests {
                 (next < 11).then(|| {
                     let id = next;
                     next += 1;
-                    (id, ambients[id])
+                    LaneStart::cold(id, ambients[id])
                 })
             },
             &mut |id, o| out[id] = Some(o),
@@ -735,7 +793,7 @@ mod tests {
                 (next < 3).then(|| {
                     let id = next;
                     next += 1;
-                    (id, 300.0)
+                    LaneStart::cold(id, 300.0)
                 })
             },
             &mut |_, outcome| {
@@ -765,6 +823,120 @@ mod tests {
         let mut powers = [0.0; 2];
         model.refresh_lane(0, &[300.0, 300.0], &mut powers);
         assert!(powers.iter().all(|p| p.is_nan()));
+    }
+
+    /// Drives a single scenario through `drive` with the given start.
+    fn drive_one<F: Fn(usize, usize, f64) -> f64>(
+        s: &ElectroThermalSolver,
+        op: &ThermalOperator,
+        start: LaneStart,
+        f: F,
+    ) -> SweepOutcome {
+        let mut fed = false;
+        let mut out = None;
+        BatchedSolver::new(s, op).drive(
+            1,
+            &mut FnBatchPower::new(f),
+            &mut BatchWorkspace::new(),
+            None,
+            &mut || {
+                (!fed).then(|| {
+                    fed = true;
+                    start.clone()
+                })
+            },
+            &mut |_, o| out = Some(o),
+        );
+        out.expect("scenario retired")
+    }
+
+    #[test]
+    fn warm_seed_reaches_the_cold_fixed_point_with_fewer_iterations() {
+        let s = solver();
+        let op = s.operator();
+        let f = |_id: usize, _b: usize, t: f64| 0.2 + 0.03 * ((t - 300.0) / 25.0).exp2();
+        let cold = drive_one(&s, &op, LaneStart::cold(0, 310.0), f);
+        let SweepOutcome::Converged {
+            block_temperatures: cold_t,
+            iterations: cold_iters,
+            ..
+        } = &cold
+        else {
+            panic!("cold run converged, got {cold:?}")
+        };
+        // Seed the warm run with the cold fixed point itself: it must
+        // land on the same temperatures in (far) fewer iterations.
+        let warm = drive_one(&s, &op, LaneStart::warm(0, 310.0, cold_t.clone()), f);
+        let SweepOutcome::Converged {
+            block_temperatures: warm_t,
+            iterations: warm_iters,
+            ..
+        } = &warm
+        else {
+            panic!("warm run converged, got {warm:?}")
+        };
+        assert!(*warm_iters < *cold_iters, "{warm_iters} vs {cold_iters}");
+        for (a, b) in warm_t.iter().zip(cold_t) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sub_ambient_and_mismatched_seeds_degrade_to_the_cold_start() {
+        let s = solver();
+        let op = s.operator();
+        let blocks = op.len();
+        let f = |_id: usize, _b: usize, t: f64| 0.2 + 0.03 * ((t - 300.0) / 25.0).exp2();
+        let cold = drive_one(&s, &op, LaneStart::cold(0, 310.0), f);
+        // A seed entirely below ambient clamps to ambient per block —
+        // bitwise the cold start.
+        let clamped = drive_one(&s, &op, LaneStart::warm(0, 310.0, vec![0.0; blocks]), f);
+        assert_eq!(clamped, cold);
+        // A seed with the wrong block count is ignored, not indexed.
+        let mismatched = drive_one(&s, &op, LaneStart::warm(0, 310.0, vec![500.0]), f);
+        assert_eq!(mismatched, cold);
+    }
+
+    #[test]
+    fn a_chained_source_is_repolled_after_returning_none() {
+        // A warm-chain source withholds scenario 1 until scenario 0 has
+        // retired; the drive must keep polling instead of latching shut
+        // on the first None.
+        let s = solver();
+        let op = s.operator();
+        let f = |_id: usize, _b: usize, _t: f64| 0.2;
+        let mut done0 = false;
+        let mut fed = [false; 2];
+        let mut resolved = 0usize;
+        let out0_seen = std::rc::Rc::new(std::cell::Cell::new(false));
+        let out0_src = std::rc::Rc::clone(&out0_seen);
+        BatchedSolver::new(&s, &op).drive(
+            2,
+            &mut FnBatchPower::new(f),
+            &mut BatchWorkspace::new(),
+            None,
+            &mut || {
+                if !fed[0] {
+                    fed[0] = true;
+                    return Some(LaneStart::cold(0, 300.0));
+                }
+                if out0_src.get() && !fed[1] {
+                    fed[1] = true;
+                    return Some(LaneStart::cold(1, 305.0));
+                }
+                None
+            },
+            &mut |id, o| {
+                assert!(o.is_converged());
+                if id == 0 {
+                    done0 = true;
+                    out0_seen.set(true);
+                }
+                resolved += 1;
+            },
+        );
+        assert!(done0);
+        assert_eq!(resolved, 2, "the withheld successor must still run");
     }
 
     #[test]

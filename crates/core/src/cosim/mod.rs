@@ -40,13 +40,19 @@
 //! Equation-to-code map: see `docs/EQUATIONS.md` at the repository root.
 
 pub mod batch;
+pub mod biased;
+pub mod envelope;
 pub mod operator;
 pub mod power_model;
 pub mod spectral;
 pub mod sweep;
 pub mod transient;
 
-pub use batch::{BatchPowerModel, BatchWorkspace, BatchedSolver};
+pub use batch::{BatchPowerModel, BatchWorkspace, BatchedSolver, LaneStart};
+pub use biased::{BiasedTechPower, DEFAULT_BIAS_THETA_K};
+pub use envelope::{
+    EnvelopeAxis, EnvelopeFiber, EnvelopeReport, EnvelopeSpec, EnvelopeSpecError, FiberBoundary,
+};
 pub use operator::{operator_fingerprint, ThermalOperator, Workspace};
 pub use spectral::{
     infer_grid, spectral_operator_fingerprint, SpectralBatchedSolver, SpectralGridError,

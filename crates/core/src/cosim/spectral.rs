@@ -54,7 +54,7 @@
 //! batch widths, worker counts and cache state — the same contract the
 //! dense batched path holds, asserted by the invariance tests.
 
-use crate::cosim::batch::{drive_picard, BatchPowerModel, BatchWorkspace};
+use crate::cosim::batch::{drive_picard, BatchPowerModel, BatchWorkspace, LaneStart};
 use crate::cosim::sweep::SweepOutcome;
 use crate::cosim::ElectroThermalSolver;
 use crate::thermal::images::expand_images_iter;
@@ -642,7 +642,7 @@ impl<'a> SpectralBatchedSolver<'a> {
                 (next < b).then(|| {
                     let id = next;
                     next += 1;
-                    (id, ambients[id])
+                    LaneStart::cold(id, ambients[id])
                 })
             },
             &mut |id, outcome| out[id] = Some(outcome),
@@ -666,7 +666,7 @@ impl<'a> SpectralBatchedSolver<'a> {
         ws: &mut BatchWorkspace,
         scratch: &mut SpectralScratch,
         cancel: Option<&CancelToken>,
-        source: &mut dyn FnMut() -> Option<(usize, f64)>,
+        source: &mut dyn FnMut() -> Option<LaneStart>,
         sink: &mut dyn FnMut(usize, SweepOutcome),
     ) {
         let operator = self.operator;
@@ -913,7 +913,7 @@ mod tests {
                     (next < ambients.len()).then(|| {
                         let id = next;
                         next += 1;
-                        (id, ambients[id])
+                        LaneStart::cold(id, ambients[id])
                     })
                 },
                 &mut |id, o| out[id] = Some(o),

@@ -43,7 +43,7 @@
 //! assert!(report.converged_count() > 0);
 //! ```
 
-use crate::cosim::batch::{BatchPowerModel, BatchWorkspace, BatchedSolver};
+use crate::cosim::batch::{BatchPowerModel, BatchWorkspace, BatchedSolver, LaneStart};
 use crate::cosim::spectral::{
     infer_grid, spectral_operator_fingerprint, SpectralBatchedSolver, SpectralGridError,
     SpectralOperator, SpectralScratch, DEFAULT_REFINEMENT_TOLERANCE,
@@ -59,6 +59,7 @@ use ptherm_floorplan::Floorplan;
 use ptherm_math::{expv, MultiVec};
 use ptherm_par::CancelToken;
 use ptherm_tech::{Polarity, Technology};
+use std::cell::RefCell;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -141,9 +142,46 @@ impl ScenarioGrid {
         &self.technologies
     }
 
+    /// The supply-scale axis values.
+    pub fn vdd_scale_values(&self) -> &[f64] {
+        &self.vdd_scales
+    }
+
+    /// The activity axis values.
+    pub fn activity_values(&self) -> &[f64] {
+        &self.activities
+    }
+
+    /// The ambient axis values, or `None` when the axis was never set
+    /// (one implicit point at the sweep's default ambient).
+    pub fn ambient_values(&self) -> Option<&[f64]> {
+        self.ambients_k.as_deref()
+    }
+
     /// Width of the ambient axis as enumerated (1 for the unset axis).
     fn ambient_axis_len(&self) -> usize {
         self.ambients_k.as_ref().map_or(1, Vec::len)
+    }
+
+    /// Length of the innermost non-trivial axis — the warm-start chain
+    /// width. Scenarios enumerate with the Vdd axis innermost, so ids
+    /// `[k·L, (k+1)·L)` form one contiguous fiber varying only that
+    /// axis (every axis inside it has a single point, so the fiber's
+    /// stride is 1): exactly the nearest-neighbour chains
+    /// [`SweepEngine::sweep`] seeds along under warm starts. 1 when
+    /// every axis is a single point (nothing to chain).
+    pub(crate) fn warm_chain_len(&self) -> usize {
+        for len in [
+            self.vdd_scales.len(),
+            self.activities.len(),
+            self.ambient_axis_len(),
+            self.technologies.len(),
+        ] {
+            if len > 1 {
+                return len;
+            }
+        }
+        1
     }
 
     /// Number of scenarios in the grid.
@@ -413,7 +451,7 @@ impl ScaledTechPower {
     /// entry when its key matches bitwise, the fresh computation
     /// otherwise. Shared by the scalar and batched evaluation paths, so
     /// both resolve exactly the same reference current.
-    fn reference_off_current(&self, scenario: &Scenario, tech: &Technology) -> f64 {
+    pub(crate) fn reference_off_current(&self, scenario: &Scenario, tech: &Technology) -> f64 {
         match self.i_ref_per_tech.get(scenario.tech_index) {
             Some((key, i_ref)) if *key == IRefKey::of(tech) => *i_ref,
             _ => tech.nominal_off_current(Polarity::Nmos, tech.nmos.w_min, tech.t_ref),
@@ -466,7 +504,7 @@ impl ScenarioPowerModel for ScaledTechPower {
 /// relative each) and `expv` carries ≤5e-13 relative error — together
 /// ≤ ~1e-12 relative on the leakage term, the contract
 /// `docs/PERFORMANCE.md` and the batch-oracle tests assert.
-struct ScaledTechBatch<'a> {
+pub(crate) struct ScaledTechBatch<'a> {
     model: &'a ScaledTechPower,
     grid: &'a ScenarioGrid,
     default_ambient_k: f64,
@@ -510,7 +548,7 @@ fn charge_over_boltzmann() -> f64 {
 }
 
 impl<'a> ScaledTechBatch<'a> {
-    fn new(
+    pub(crate) fn new(
         model: &'a ScaledTechPower,
         grid: &'a ScenarioGrid,
         default_ambient_k: f64,
@@ -923,6 +961,7 @@ pub struct SweepEngine {
     spectral_tolerance: f64,
     threads: usize,
     batch_lanes: usize,
+    warm_start: bool,
 }
 
 /// Default batch width: wide enough to amortize every influence-matrix
@@ -1027,6 +1066,12 @@ pub struct RunOptions<'a, Op> {
     /// dense-factored propagator). `None` uses the engine's configured
     /// backend.
     pub backend: Option<SweepBackend>,
+    /// Warm-start override for this call only (steady sweeps; ignored
+    /// by transients and map renders). `Some(true)` chains scenario
+    /// seeds along the grid's innermost axis (see
+    /// [`SweepEngine::warm_start`]), `Some(false)` forces cold starts,
+    /// `None` uses the engine's configured mode.
+    pub warm_start: Option<bool>,
 }
 
 impl<Op> Default for RunOptions<'_, Op> {
@@ -1035,6 +1080,7 @@ impl<Op> Default for RunOptions<'_, Op> {
             cancel: None,
             operator: None,
             backend: None,
+            warm_start: None,
         }
     }
 }
@@ -1055,6 +1101,7 @@ impl<Op> fmt::Debug for RunOptions<'_, Op> {
             .field("cancel", &self.cancel.is_some())
             .field("operator", &self.operator.is_some())
             .field("backend", &self.backend)
+            .field("warm_start", &self.warm_start)
             .finish()
     }
 }
@@ -1087,6 +1134,47 @@ impl<'a, Op> RunOptions<'a, Op> {
         self.backend = Some(backend);
         self
     }
+
+    /// Overrides warm-start chaining for this call (see
+    /// [`RunOptions::warm_start`]).
+    #[must_use]
+    pub fn warm_start(mut self, warm: bool) -> Self {
+        self.warm_start = Some(warm);
+        self
+    }
+}
+
+/// How `run_batched` seeds each lane's initial temperature vector.
+#[derive(Clone, Copy)]
+pub(crate) enum WarmMode<'s> {
+    /// Every scenario starts at its ambient — the historical behaviour,
+    /// byte-for-byte.
+    Cold,
+    /// Scenarios are claimed in contiguous chains of `chain_len`
+    /// (aligned at `id = k·chain_len`), each chain owned by one worker
+    /// and walked in index order with at most one scenario in flight;
+    /// each link seeds from the most recently converged predecessor in
+    /// its chain. A `chain_len` of 1 degenerates to [`WarmMode::Cold`].
+    Chained { chain_len: usize },
+    /// Per-scenario explicit seeds (`None` = cold) — the delta re-solve
+    /// path ([`SweepEngine::sweep_seeded`]).
+    Seeded(&'s (dyn Fn(usize) -> Option<Vec<f64>> + Sync)),
+}
+
+/// One in-progress warm-start chain owned by a worker (see
+/// [`WarmMode::Chained`]).
+struct ActiveChain {
+    /// Next scenario id this chain will claim.
+    next: usize,
+    /// One past the chain's last scenario id.
+    end: usize,
+    /// Fixed point of the most recently converged link — the next
+    /// link's seed. `None` until a link converges (head starts cold;
+    /// non-converged links keep the last good seed).
+    seed: Option<Vec<f64>>,
+    /// Whether a claimed scenario is still resolving in a lane; the
+    /// chain yields its next link only after the sink retires it.
+    in_flight: bool,
 }
 
 impl SweepEngine {
@@ -1108,6 +1196,7 @@ impl SweepEngine {
             spectral_tolerance: DEFAULT_REFINEMENT_TOLERANCE,
             threads: ptherm_par::default_threads(),
             batch_lanes: DEFAULT_BATCH_LANES,
+            warm_start: false,
         }
     }
 
@@ -1210,6 +1299,27 @@ impl SweepEngine {
     #[must_use]
     pub fn batch_lanes(mut self, lanes: usize) -> Self {
         self.batch_lanes = lanes.max(1);
+        self
+    }
+
+    /// Enables warm-started sweeps (default off). When on,
+    /// [`Self::sweep`] partitions the grid into chains along its
+    /// innermost non-trivial axis and seeds each scenario's initial
+    /// temperature vector from the most recently **converged**
+    /// predecessor in its chain (non-converged links keep the last good
+    /// seed; the chain head starts cold at ambient). Seeds are clamped
+    /// to the lane ambient per block, so the warm orbit starts inside
+    /// `[ambient, T*]` and reaches the same fixed point as a cold run —
+    /// `tests/warm_start_validation.rs` pins agreement and
+    /// never-more-iterations on converged lanes.
+    ///
+    /// Chain identity depends only on the scenario index, and every
+    /// chain is driven by exactly one worker in index order, so warm
+    /// results stay bitwise invariant across thread counts and batch
+    /// widths — the same contract cold sweeps honour.
+    #[must_use]
+    pub fn warm_start(mut self, warm: bool) -> Self {
+        self.warm_start = warm;
         self
     }
 
@@ -1357,6 +1467,12 @@ impl SweepEngine {
         // build under the spectral backend.
         let sink_k = self.solver.floorplan().geometry().sink_temperature;
         let total = grid.len();
+        let chain_len = grid.warm_chain_len();
+        let warm = if opts.warm_start.unwrap_or(self.warm_start) && chain_len > 1 {
+            WarmMode::Chained { chain_len }
+        } else {
+            WarmMode::Cold
+        };
         self.run_batched(
             total,
             |id| grid.scenario(id, sink_k).ambient_k,
@@ -1364,6 +1480,57 @@ impl SweepEngine {
             opts.cancel,
             opts.operator,
             opts.backend,
+            warm,
+        )
+    }
+
+    /// [`Self::sweep`] with per-scenario initial-temperature seeds — the
+    /// incremental re-solve entry point (the fleet's `delta` jobs ride
+    /// it, seeding each scenario from a cached base result's fixed
+    /// point).
+    ///
+    /// `seed_of` maps a scenario index to an optional seed vector
+    /// (block temperatures, floorplan order). `None` — and any seed of
+    /// the wrong length — starts that scenario cold at its ambient, so
+    /// a caller with no usable seeds degrades to exactly
+    /// [`Self::sweep`]'s cold behaviour, bitwise. Seeds are clamped to
+    /// the scenario ambient per block (see
+    /// [`LaneStart`]); callers whose
+    /// seeds lie at or below the true fixed point therefore converge to
+    /// the same fixed points as a cold run, in no more iterations.
+    ///
+    /// Seeding is per scenario index — independent of thread count and
+    /// batch width — so results carry the same bitwise-invariance
+    /// contract as [`Self::sweep`]. `opts.warm_start` is ignored
+    /// (explicit seeds replace chained ordering).
+    pub fn sweep_seeded<M: ScenarioPowerModel>(
+        &self,
+        grid: &ScenarioGrid,
+        model: &M,
+        seed_of: &(dyn Fn(usize) -> Option<Vec<f64>> + Sync),
+        opts: RunOptions<'_, Arc<ThermalOperator>>,
+    ) -> SweepReport {
+        if let Some(op) = opts.operator {
+            assert_eq!(
+                op.fingerprint(),
+                crate::cosim::operator_fingerprint(
+                    self.solver.floorplan(),
+                    self.solver.lateral_order,
+                    self.solver.z_order
+                ),
+                "operator/solver fingerprint mismatch"
+            );
+        }
+        let sink_k = self.solver.floorplan().geometry().sink_temperature;
+        let total = grid.len();
+        self.run_batched(
+            total,
+            |id| grid.scenario(id, sink_k).ambient_k,
+            || model.batched(grid, sink_k, self.batch_lanes),
+            opts.cancel,
+            opts.operator,
+            opts.backend,
+            WarmMode::Seeded(seed_of),
         )
     }
 
@@ -1411,6 +1578,7 @@ impl SweepEngine {
             None,
             None,
             None,
+            WarmMode::Cold,
         )
     }
 
@@ -1542,6 +1710,7 @@ impl SweepEngine {
                 cancel,
                 operator: Some(map_op),
                 backend: None,
+                warm_start: None,
             },
         )
     }
@@ -1575,6 +1744,7 @@ impl SweepEngine {
                 cancel,
                 operator: None,
                 backend,
+                warm_start: None,
             },
         );
         let sink_k = self.solver.floorplan().geometry().sink_temperature;
@@ -1629,7 +1799,8 @@ impl SweepEngine {
     /// Panics when the backend is explicitly [`SweepBackend::Spectral`]
     /// and the floorplan is not grid-coincident. Callers that need a
     /// typed failure (the fleet) pre-validate with [`infer_grid`].
-    fn run_batched<'m>(
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_batched<'m>(
         &self,
         total: usize,
         ambient_of: impl Fn(usize) -> f64 + Sync,
@@ -1637,6 +1808,7 @@ impl SweepEngine {
         cancel: Option<&CancelToken>,
         dense_override: Option<&Arc<ThermalOperator>>,
         backend_override: Option<SweepBackend>,
+        warm: WarmMode<'_>,
     ) -> SweepReport {
         let requested = backend_override.unwrap_or(self.backend);
         let spectral = match self.resolve_backend(requested) {
@@ -1653,16 +1825,98 @@ impl SweepEngine {
             )),
             Some(_) => None,
         };
+        let chain_len = match warm {
+            WarmMode::Chained { chain_len } => chain_len.max(1),
+            _ => 1,
+        };
+        let chain_count = if chain_len > 1 {
+            total.div_ceil(chain_len)
+        } else {
+            0
+        };
         let cursor = AtomicUsize::new(0);
+        let chain_cursor = AtomicUsize::new(0);
         let per_worker = ptherm_par::par_workers(self.threads, |_worker| {
             let mut model = make_model();
             let mut ws = BatchWorkspace::new();
             let mut collected: Vec<(usize, SweepOutcome)> = Vec::new();
-            let mut source = || {
-                let id = cursor.fetch_add(1, Ordering::Relaxed);
-                (id < total).then(|| (id, ambient_of(id)))
+            // Chained-mode bookkeeping: the chains this worker owns.
+            // Shared between the source and sink closures (both run
+            // inside the serial per-worker Picard loop, never
+            // concurrently), hence the RefCell.
+            let chains: RefCell<Vec<ActiveChain>> = RefCell::new(Vec::new());
+            let mut source: Box<dyn FnMut() -> Option<LaneStart> + '_> = match warm {
+                // A chain claims its scenarios in index order, at most
+                // one in flight, seeding each from the most recently
+                // converged predecessor. Claiming whole chains (not
+                // scenarios) from the shared cursor keeps every chain
+                // on one worker, so seeds — and therefore results —
+                // are bitwise independent of the thread count.
+                WarmMode::Chained { .. } if chain_len > 1 => Box::new(|| {
+                    let mut active = chains.borrow_mut();
+                    loop {
+                        if let Some(chain) = active
+                            .iter_mut()
+                            .find(|chain| !chain.in_flight && chain.next < chain.end)
+                        {
+                            let id = chain.next;
+                            chain.next += 1;
+                            chain.in_flight = true;
+                            return Some(match &chain.seed {
+                                Some(seed) => LaneStart::warm(id, ambient_of(id), seed.clone()),
+                                None => LaneStart::cold(id, ambient_of(id)),
+                            });
+                        }
+                        let index = chain_cursor.fetch_add(1, Ordering::Relaxed);
+                        if index >= chain_count {
+                            return None;
+                        }
+                        active.push(ActiveChain {
+                            next: index * chain_len,
+                            end: ((index + 1) * chain_len).min(total),
+                            seed: None,
+                            in_flight: false,
+                        });
+                    }
+                }),
+                WarmMode::Seeded(seed_of) => Box::new(|| {
+                    let id = cursor.fetch_add(1, Ordering::Relaxed);
+                    (id < total).then(|| LaneStart {
+                        id,
+                        ambient_k: ambient_of(id),
+                        seed: seed_of(id),
+                    })
+                }),
+                _ => Box::new(|| {
+                    let id = cursor.fetch_add(1, Ordering::Relaxed);
+                    (id < total).then(|| LaneStart::cold(id, ambient_of(id)))
+                }),
             };
-            let mut sink = |id: usize, outcome: SweepOutcome| collected.push((id, outcome));
+            let mut sink = |id: usize, outcome: SweepOutcome| {
+                if chain_len > 1 {
+                    let mut active = chains.borrow_mut();
+                    // The retiring scenario's chain is the one whose
+                    // in-flight claim was `id` (its cursor already
+                    // advanced past it).
+                    if let Some(pos) = active
+                        .iter()
+                        .position(|chain| chain.in_flight && chain.next == id + 1)
+                    {
+                        let chain = &mut active[pos];
+                        chain.in_flight = false;
+                        if let SweepOutcome::Converged {
+                            block_temperatures, ..
+                        } = &outcome
+                        {
+                            chain.seed = Some(block_temperatures.clone());
+                        }
+                        if chain.next >= chain.end {
+                            active.swap_remove(pos);
+                        }
+                    }
+                }
+                collected.push((id, outcome));
+            };
             match (&spectral, &dense) {
                 (Some(op), _) => SpectralBatchedSolver::new(&self.solver, op).drive(
                     self.batch_lanes,
@@ -1843,6 +2097,7 @@ impl SweepEngine {
                 cancel,
                 operator: Some(top),
                 backend: None,
+                warm_start: None,
             },
         )
     }

@@ -24,7 +24,7 @@
 
 use ptherm_core::cosim::{
     operator_fingerprint, propagator_fingerprint, spectral_operator_fingerprint, SpectralGridError,
-    SpectralOperator, ThermalOperator, TransientError, TransientOperator,
+    SpectralOperator, SweepReport, ThermalOperator, TransientError, TransientOperator,
 };
 use ptherm_core::thermal::map::{map_operator_fingerprint, MapOperator};
 use ptherm_floorplan::Floorplan;
@@ -315,18 +315,20 @@ pub struct OperatorCache {
     transient: Lru<u64, TransientOperator>,
     map: Lru<u64, MapOperator>,
     spectral: Lru<u64, SpectralOperator>,
+    results: Lru<u64, SweepReport>,
 }
 
 impl OperatorCache {
     /// Caches holding at most `capacity` entries **each** (steady
-    /// operators, transient propagators, map kernels and spectral
-    /// operators age independently).
+    /// operators, transient propagators, map kernels, spectral
+    /// operators and steady results age independently).
     pub fn new(capacity: usize) -> Self {
         OperatorCache {
             steady: Lru::new(capacity),
             transient: Lru::new(capacity),
             map: Lru::new(capacity),
             spectral: Lru::new(capacity),
+            results: Lru::new(capacity),
         }
     }
 
@@ -470,12 +472,43 @@ impl OperatorCache {
         })
     }
 
-    /// Flushes every ready entry from all four caches (steady,
-    /// transient, map, spectral), counting each as an eviction, and
-    /// returns the total dropped. In-flight builds are untouched; see
-    /// [`Lru::clear`].
+    /// The **cold** steady result of a resolved delta-base request:
+    /// cached under the base's steady-request fingerprint
+    /// ([`crate::jobs::steady_result_fingerprint`]), solved
+    /// single-flight by `build` on a miss.
+    ///
+    /// # Keying rules
+    ///
+    /// Unlike the operator caches, the key covers the **whole resolved
+    /// request** — floorplan content fingerprint, power budgets, power
+    /// law (and θ), every scenario axis and the resolved backend —
+    /// because the cached value is the solved report itself, not a
+    /// reusable kernel (see [`crate::jobs::steady_result_fingerprint`]
+    /// for the full include/exclude contract). Deadlines, job names
+    /// and cancellation state are deliberately **excluded**: they
+    /// shape scheduling, not the fixed point, and `build` must solve
+    /// cold (no faults, no deadline token) so a recalled entry and a
+    /// re-solved one are bitwise identical — the determinism contract
+    /// `delta` jobs pin in `tests/delta_determinism.rs`.
+    pub fn steady_result(&self, key: u64, build: impl FnOnce() -> SweepReport) -> Arc<SweepReport> {
+        let built: Result<_, std::convert::Infallible> =
+            self.results.get_or_build(key, || Ok(build()));
+        match built {
+            Ok(report) => report,
+            Err(never) => match never {},
+        }
+    }
+
+    /// Flushes every ready entry from all five caches (steady,
+    /// transient, map, spectral, results), counting each as an
+    /// eviction, and returns the total dropped. In-flight builds are
+    /// untouched; see [`Lru::clear`].
     pub fn evict_all(&self) -> u64 {
-        self.steady.clear() + self.transient.clear() + self.map.clear() + self.spectral.clear()
+        self.steady.clear()
+            + self.transient.clear()
+            + self.map.clear()
+            + self.spectral.clear()
+            + self.results.clear()
     }
 
     /// Counter snapshot for the steady-operator cache.
@@ -496,5 +529,10 @@ impl OperatorCache {
     /// Counter snapshot for the spectral-operator cache.
     pub fn spectral_stats(&self) -> CacheStats {
         self.spectral.stats()
+    }
+
+    /// Counter snapshot for the steady-result cache.
+    pub fn result_stats(&self) -> CacheStats {
+        self.results.stats()
     }
 }

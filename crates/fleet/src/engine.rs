@@ -38,14 +38,18 @@
 
 use crate::cache::{CacheStats, OperatorCache};
 use crate::faults::{xorshift64, Fault, FaultPlan};
-use crate::jobs::{JobSpec, MapJob, SteadyJob, TransientJob};
+use crate::jobs::{
+    steady_result_fingerprint, DeltaJob, EnvelopeJob, JobSpec, MapJob, PowerSpec, SteadyJob,
+    TransientJob,
+};
 use crate::json::Json;
 use crate::persist::{CacheRecipe, RecipeKind};
 use ptherm_core::cosim::spectral::DEFAULT_REFINEMENT_TOLERANCE;
 use ptherm_core::cosim::sweep::{ScaledTechPower, Scenario, ScenarioPowerModel};
 use ptherm_core::cosim::{
-    infer_grid, BatchPowerModel, MapReport, ScenarioGrid, SpectralGridError, SpectralOperator,
-    SweepBackend, SweepEngine, SweepReport, ThermalOperator, TransientConfig, TransientError,
+    infer_grid, BatchPowerModel, BiasedTechPower, EnvelopeReport, EnvelopeSpec, EnvelopeSpecError,
+    MapReport, RunOptions, ScenarioGrid, SpectralGridError, SpectralOperator, SweepBackend,
+    SweepEngine, SweepOutcome, SweepReport, ThermalOperator, TransientConfig, TransientError,
     TransientReport, SPECTRAL_AUTO_THRESHOLD,
 };
 use ptherm_core::cosim::{
@@ -380,6 +384,11 @@ pub enum JobError {
         /// 1-based attempt the fault fired on.
         attempt: usize,
     },
+    /// An envelope job's bisection spec was rejected by the core's
+    /// validation. Unreachable through the JSONL protocol (the parser
+    /// refuses bad specs at admission with a line number), but typed
+    /// rather than unwrapped for programmatic [`JobSpec`] callers.
+    Envelope(EnvelopeSpecError),
 }
 
 impl JobError {
@@ -409,6 +418,7 @@ impl fmt::Display for JobError {
             JobError::Injected { attempt } => {
                 write!(f, "injected transient fault (attempt {attempt})")
             }
+            JobError::Envelope(e) => write!(f, "invalid envelope spec: {e}"),
         }
     }
 }
@@ -424,15 +434,29 @@ pub enum JobReport {
     Transient(TransientReport),
     /// Spatial map outcomes.
     Map(MapReport),
+    /// Delta re-solve outcomes: the warm-started sweep plus how many
+    /// of its scenarios actually received a base-derived seed.
+    Delta {
+        /// The delta job's sweep (bitwise identical to a cold solve
+        /// of the same scenarios — warm starting changes iteration
+        /// counts, never fixed points).
+        report: SweepReport,
+        /// Scenarios seeded from a converged base fixed point.
+        seeded: usize,
+    },
+    /// Runaway-envelope bisection outcomes.
+    Envelope(EnvelopeReport),
 }
 
 impl JobReport {
-    /// Scenario/transient count.
+    /// Scenario/transient/fiber count.
     pub fn len(&self) -> usize {
         match self {
             JobReport::Steady(r) => r.len(),
             JobReport::Transient(r) => r.len(),
             JobReport::Map(r) => r.len(),
+            JobReport::Delta { report, .. } => report.len(),
+            JobReport::Envelope(r) => r.len(),
         }
     }
 
@@ -441,23 +465,30 @@ impl JobReport {
         self.len() == 0
     }
 
-    /// Scenarios that resolved successfully (converged / finished).
+    /// Scenarios that resolved successfully (converged / finished /
+    /// classified).
     pub fn resolved_count(&self) -> usize {
         match self {
             JobReport::Steady(r) => r.converged_count(),
             JobReport::Transient(r) => r.finished_count(),
             JobReport::Map(r) => r.converged_count(),
+            JobReport::Delta { report, .. } => report.converged_count(),
+            JobReport::Envelope(r) => r.resolved_count(),
         }
     }
 
     /// Hottest successful operating point / excursion, K. Map jobs
     /// report the hottest **tile** across their rendered maps — the
-    /// spatial answer a block-level peak cannot give.
+    /// spatial answer a block-level peak cannot give. Envelope jobs
+    /// report `None`: their payload is boundary locations, not
+    /// temperatures.
     pub fn max_peak_temperature(&self) -> Option<f64> {
         match self {
             JobReport::Steady(r) => r.max_peak_temperature(),
             JobReport::Transient(r) => r.max_peak_temperature(),
             JobReport::Map(r) => r.max_map_temperature(),
+            JobReport::Delta { report, .. } => report.max_peak_temperature(),
+            JobReport::Envelope(_) => None,
         }
     }
 }
@@ -501,6 +532,14 @@ impl JobRecord {
                 Json::Array(vec![Json::Number(m.nx as f64), Json::Number(m.ny as f64)]),
             ));
         }
+        if let JobSpec::Delta(d) = spec {
+            if let Some(base) = &d.base.name {
+                fields.push(("base".into(), Json::String(base.clone())));
+            }
+        }
+        if let JobSpec::Envelope(e) = spec {
+            fields.push(("axis".into(), Json::String(e.axis.name().into())));
+        }
         match &self.outcome {
             Ok(report) => {
                 fields.push(("ok".into(), Json::Bool(true)));
@@ -518,6 +557,17 @@ impl JobRecord {
                         .max_peak_temperature()
                         .map_or(Json::Null, Json::Number),
                 ));
+                if let JobReport::Delta { seeded, .. } = report {
+                    fields.push(("seeded".into(), Json::Number(*seeded as f64)));
+                }
+                if let JobReport::Envelope(r) = report {
+                    fields.push(("bracketed".into(), Json::Number(r.bracketed_count() as f64)));
+                    fields.push(("solves".into(), Json::Number(r.solves as f64)));
+                    fields.push((
+                        "exhaustive_solves".into(),
+                        Json::Number(r.exhaustive_solves as f64),
+                    ));
+                }
             }
             Err(error) => {
                 fields.push(("ok".into(), Json::Bool(false)));
@@ -549,6 +599,8 @@ pub struct FleetReport {
     pub map_cache: CacheStats,
     /// Spectral-operator cache counters.
     pub spectral_cache: CacheStats,
+    /// Steady-result cache counters (delta-base fixed points).
+    pub result_cache: CacheStats,
 }
 
 impl FleetReport {
@@ -688,6 +740,7 @@ impl FleetEngine {
             transient_cache: self.cache.transient_stats(),
             map_cache: self.cache.map_stats(),
             spectral_cache: self.cache.spectral_stats(),
+            result_cache: self.cache.result_stats(),
         }
     }
 
@@ -812,6 +865,12 @@ impl FleetEngine {
             JobSpec::Map(job) => self
                 .run_map(job, floorplan, cancel.as_ref(), fault)
                 .map(|r| (JobReport::Map(r), SweepBackend::Dense))?,
+            JobSpec::Delta(job) => self
+                .run_delta(job, floorplan, cancel.as_ref(), fault)
+                .map(|(report, seeded, backend)| (JobReport::Delta { report, seeded }, backend))?,
+            JobSpec::Envelope(job) => self
+                .run_envelope(job, floorplan, cancel.as_ref(), fault)
+                .map(|(r, backend)| (JobReport::Envelope(r), backend))?,
         };
         if let Some(token) = &cancel {
             if token.fired() {
@@ -995,6 +1054,37 @@ impl FleetEngine {
         }
     }
 
+    /// Resolves a job's requested backend against the floorplan before
+    /// building any operator: a spectral job must not pay the dense
+    /// O(n²) build, and an explicit "spectral" on an off-grid floorplan
+    /// is a typed job error, not a worker panic. Auto mirrors
+    /// `SweepEngine::resolved_backend`.
+    fn resolved_spectral(&self, job: &SteadyJob, floorplan: &Arc<Floorplan>) -> bool {
+        match job.backend {
+            SweepBackend::Spectral => true,
+            SweepBackend::Dense => false,
+            SweepBackend::Auto => {
+                floorplan.blocks().len() >= SPECTRAL_AUTO_THRESHOLD && infer_grid(floorplan).is_ok()
+            }
+        }
+    }
+
+    /// Builds the resolved backend's [`SweepEngine`] for a steady-class
+    /// job (steady / delta / envelope).
+    fn steady_engine(
+        &self,
+        spectral: bool,
+        floorplan: &Arc<Floorplan>,
+        builder_panic: bool,
+    ) -> Result<SweepEngine, JobError> {
+        if spectral {
+            self.spectral_engine(floorplan, builder_panic)
+                .map_err(JobError::Backend)
+        } else {
+            Ok(self.sweep_engine(floorplan, builder_panic))
+        }
+    }
+
     fn run_steady(
         &self,
         job: &SteadyJob,
@@ -1002,27 +1092,11 @@ impl FleetEngine {
         cancel: Option<&CancelToken>,
         fault: Option<&Fault>,
     ) -> Result<(SweepReport, SweepBackend), JobError> {
-        // Resolve the backend before building any operator: a spectral
-        // job must not pay the dense O(n²) build, and an explicit
-        // "spectral" on an off-grid floorplan is a typed job error, not
-        // a worker panic. Auto mirrors `SweepEngine::resolved_backend`.
-        let spectral = match job.backend {
-            SweepBackend::Spectral => true,
-            SweepBackend::Dense => false,
-            SweepBackend::Auto => {
-                floorplan.blocks().len() >= SPECTRAL_AUTO_THRESHOLD && infer_grid(floorplan).is_ok()
-            }
-        };
+        let spectral = self.resolved_spectral(job, floorplan);
         let builder_panic = matches!(fault, Some(Fault::BuilderPanic));
-        let engine = if spectral {
-            self.spectral_engine(floorplan, builder_panic)
-                .map_err(JobError::Backend)?
-        } else {
-            self.sweep_engine(floorplan, builder_panic)
-        };
+        let engine = self.steady_engine(spectral, floorplan, builder_panic)?;
         let grid = self.grid(job);
-        let model = ScaledTechPower::area_weighted(floorplan, job.dynamic_w, job.leakage_w)
-            .prepared_for(&grid);
+        let model = FleetPower::for_job(job, floorplan, &grid);
         let model = FaultableModel::new(&model, fault);
         let backend = if spectral {
             SweepBackend::Spectral
@@ -1030,6 +1104,133 @@ impl FleetEngine {
             SweepBackend::Dense
         };
         Ok((engine.run_with_cancel(&grid, &model, cancel), backend))
+    }
+
+    /// Solves a delta job: the (cached or re-solved) cold base report
+    /// supplies per-scenario warm-start seeds, then the delta's own
+    /// scenarios run through [`SweepEngine::sweep_seeded`].
+    ///
+    /// Determinism: the base is always solved **cold** — no faults, no
+    /// deadline token — and the result cache only short-circuits that
+    /// deterministic solve, so a cache hit, miss or eviction yields
+    /// bitwise-identical delta output (`tests/delta_determinism.rs`).
+    /// The job's deadline budget covers the delta solve; a cache-miss
+    /// base solve runs to completion first and counts against the
+    /// deadline via the caller's post-solve check.
+    fn run_delta(
+        &self,
+        job: &DeltaJob,
+        floorplan: &Arc<Floorplan>,
+        cancel: Option<&CancelToken>,
+        fault: Option<&Fault>,
+    ) -> Result<(SweepReport, usize, SweepBackend), JobError> {
+        let builder_panic = matches!(fault, Some(Fault::BuilderPanic));
+        // The delta's engine first: an injected builder fault fires on
+        // the delta's own build path, never inside the base solve.
+        let delta_spectral = self.resolved_spectral(&job.job, floorplan);
+        let delta_engine = self.steady_engine(delta_spectral, floorplan, builder_panic)?;
+
+        let base_spectral = self.resolved_spectral(&job.base, floorplan);
+        let base_engine = self.steady_engine(base_spectral, floorplan, false)?;
+        let base_grid = self.grid(&job.base);
+        let base_model = FleetPower::for_job(&job.base, floorplan, &base_grid);
+        let solve_cold = || base_engine.run_with_cancel(&base_grid, &base_model, None);
+        let base_report = if self.config.amortize {
+            let key = steady_result_fingerprint(&job.base, floorplan.fingerprint(), base_spectral);
+            self.cache.steady_result(key, solve_cold)
+        } else {
+            Arc::new(solve_cold())
+        };
+
+        // Converged base fixed points, with their scenario coordinates.
+        let sink_k = floorplan.geometry().sink_temperature;
+        let base_points: Vec<(Scenario, &[f64])> = base_report
+            .outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(id, outcome)| match outcome {
+                SweepOutcome::Converged {
+                    block_temperatures, ..
+                } => Some((
+                    base_grid.scenario(id, sink_k),
+                    block_temperatures.as_slice(),
+                )),
+                _ => None,
+            })
+            .collect();
+
+        let grid = self.grid(&job.job);
+        // Nearest converged base scenario in (vdd, activity, ambient)
+        // space, same technology only; ties break to the lowest base
+        // index (strict `<` keeps the first minimum), so seeding is a
+        // pure function of the two scenario lists.
+        let seed_of = |id: usize| -> Option<Vec<f64>> {
+            let target = grid.scenario(id, sink_k);
+            let mut best: Option<(f64, &[f64])> = None;
+            for (candidate, temps) in &base_points {
+                if candidate.tech_index != target.tech_index {
+                    continue;
+                }
+                let d = (candidate.vdd_scale - target.vdd_scale).powi(2)
+                    + (candidate.activity - target.activity).powi(2)
+                    + (candidate.ambient_k - target.ambient_k).powi(2);
+                if best.as_ref().is_none_or(|(b, _)| d < *b) {
+                    best = Some((d, temps));
+                }
+            }
+            best.map(|(_, temps)| temps.to_vec())
+        };
+        let seeded = (0..grid.len()).filter(|&id| seed_of(id).is_some()).count();
+
+        let model = FleetPower::for_job(&job.job, floorplan, &grid);
+        let model = FaultableModel::new(&model, fault);
+        let mut opts = RunOptions::new();
+        if let Some(token) = cancel {
+            opts = opts.cancel(token);
+        }
+        let report = delta_engine.sweep_seeded(&grid, &model, &seed_of, opts);
+        let backend = if delta_spectral {
+            SweepBackend::Spectral
+        } else {
+            SweepBackend::Dense
+        };
+        Ok((report, seeded, backend))
+    }
+
+    /// Runs an envelope job: [`SweepEngine::map_envelope`] over the
+    /// job's fiber axes, bisecting the requested interval.
+    fn run_envelope(
+        &self,
+        job: &EnvelopeJob,
+        floorplan: &Arc<Floorplan>,
+        cancel: Option<&CancelToken>,
+        fault: Option<&Fault>,
+    ) -> Result<(EnvelopeReport, SweepBackend), JobError> {
+        let spectral = self.resolved_spectral(&job.base, floorplan);
+        let builder_panic = matches!(fault, Some(Fault::BuilderPanic));
+        let engine = self.steady_engine(spectral, floorplan, builder_panic)?;
+        let grid = self.grid(&job.base);
+        let model = FleetPower::for_job(&job.base, floorplan, &grid);
+        let model = FaultableModel::new(&model, fault);
+        let spec = EnvelopeSpec {
+            axis: job.axis,
+            lo: job.lo,
+            hi: job.hi,
+            tolerance: job.tolerance,
+        };
+        let mut opts = RunOptions::new();
+        if let Some(token) = cancel {
+            opts = opts.cancel(token);
+        }
+        let report = engine
+            .map_envelope(&grid, &model, &spec, opts)
+            .map_err(JobError::Envelope)?;
+        let backend = if spectral {
+            SweepBackend::Spectral
+        } else {
+            SweepBackend::Dense
+        };
+        Ok((report, backend))
     }
 
     fn run_map(
@@ -1041,9 +1242,7 @@ impl FleetEngine {
     ) -> Result<MapReport, JobError> {
         let engine = self.sweep_engine(floorplan, matches!(fault, Some(Fault::BuilderPanic)));
         let grid = self.grid(&job.base);
-        let model =
-            ScaledTechPower::area_weighted(floorplan, job.base.dynamic_w, job.base.leakage_w)
-                .prepared_for(&grid);
+        let model = FleetPower::for_job(&job.base, floorplan, &grid);
         let model = FaultableModel::new(&model, fault);
         let map_op = if self.config.amortize {
             let key = map_operator_fingerprint(
@@ -1083,9 +1282,7 @@ impl FleetEngine {
     ) -> Result<TransientReport, JobError> {
         let engine = self.sweep_engine(floorplan, matches!(fault, Some(Fault::BuilderPanic)));
         let grid = self.grid(&job.base);
-        let model =
-            ScaledTechPower::area_weighted(floorplan, job.base.dynamic_w, job.base.leakage_w)
-                .prepared_for(&grid);
+        let model = FleetPower::for_job(&job.base, floorplan, &grid);
         let model = FaultableModel::new(&model, fault);
         let cfg = TransientConfig::new(job.dt_s, job.steps)
             .scheme(job.scheme)
@@ -1114,6 +1311,57 @@ impl FleetEngine {
         engine
             .run_transient_with_cancel(&grid, &model, &cfg, &propagator, cancel)
             .map_err(JobError::Transient)
+    }
+}
+
+/// The power law one fleet job solves under, built from its
+/// [`PowerSpec`]: the paper's flat [`ScaledTechPower`] or the
+/// De Vogeleer [`BiasedTechPower`] wrapped around it. Delegation keeps
+/// the `"scaled"` path byte-identical to the pre-`power`-field
+/// protocol (same model type underneath, same batch adapter).
+enum FleetPower {
+    Scaled(ScaledTechPower),
+    Biased(BiasedTechPower),
+}
+
+impl FleetPower {
+    /// Builds the job's constant-folded model for `grid`.
+    fn for_job(job: &SteadyJob, floorplan: &Arc<Floorplan>, grid: &ScenarioGrid) -> Self {
+        let scaled = ScaledTechPower::area_weighted(floorplan, job.dynamic_w, job.leakage_w)
+            .prepared_for(grid);
+        match job.power {
+            PowerSpec::Scaled => FleetPower::Scaled(scaled),
+            PowerSpec::Biased { theta_k } => {
+                FleetPower::Biased(BiasedTechPower::new(scaled, theta_k))
+            }
+        }
+    }
+}
+
+impl ScenarioPowerModel for FleetPower {
+    fn block_power(
+        &self,
+        scenario: &Scenario,
+        tech: &Technology,
+        block: usize,
+        temperature_k: f64,
+    ) -> f64 {
+        match self {
+            FleetPower::Scaled(m) => m.block_power(scenario, tech, block, temperature_k),
+            FleetPower::Biased(m) => m.block_power(scenario, tech, block, temperature_k),
+        }
+    }
+
+    fn batched<'a>(
+        &'a self,
+        grid: &'a ScenarioGrid,
+        default_ambient_k: f64,
+        lanes: usize,
+    ) -> Box<dyn BatchPowerModel + 'a> {
+        match self {
+            FleetPower::Scaled(m) => m.batched(grid, default_ambient_k, lanes),
+            FleetPower::Biased(m) => m.batched(grid, default_ambient_k, lanes),
+        }
     }
 }
 

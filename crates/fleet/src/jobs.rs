@@ -12,7 +12,25 @@
 //!   die). Floorplans must be defined before any job references them.
 //! * `steady` — a steady-state sweep job: `"floorplan"` (name),
 //!   `"dynamic_w"`/`"leakage_w"` chip budgets, and optional axes
-//!   `"vdd_scales"`, `"activities"`, `"ambients_k"`.
+//!   `"vdd_scales"`, `"activities"`, `"ambients_k"`. An optional
+//!   `"name"` registers the job for later `delta` references; an
+//!   optional `"power"` selects the power law (`"scaled"` default, or
+//!   `"biased"` with an optional positive `"theta_k"` bias
+//!   temperature — the De Vogeleer exponential temperature-bias law).
+//! * `delta` — an incremental re-solve: `"base"` names an earlier
+//!   **named** steady job and the record overrides any of
+//!   `dynamic_w`, `leakage_w`, `vdd_scales`, `activities`,
+//!   `ambients_k`, `backend` or `deadline_ms`. The engine warm-starts
+//!   each delta scenario from the cached base fixed point; output is
+//!   bitwise identical whether the base is cached or re-solved.
+//!   `"floorplan"`, `"power"` and `"name"` are refused: a delta runs
+//!   on its base's floorplan and power law, and cannot itself be a
+//!   base.
+//! * `envelope` — runaway-envelope bisection: the steady fields plus
+//!   `"axis"` (`"vdd_scale"`, `"activity"` or `"ambient_k"`), finite
+//!   `"lo"`/`"hi"` interval endpoints and a positive `"tolerance"`.
+//!   Each fiber of the remaining axes is bisected to bracket the
+//!   converged/runaway boundary.
 //! * `transient` — a transient job: the steady fields plus `"dt_s"`,
 //!   `"steps"`, optional `"scheme"` (`"trapezoidal"` default, or
 //!   `"backward_euler"`) and `"waveforms"` (list of `"step"`,
@@ -40,7 +58,8 @@
 //! never a panic inside a fleet worker.
 
 use crate::json::{Json, JsonError};
-use ptherm_core::cosim::{DriveWaveform, SweepBackend};
+use ptherm_core::cosim::{DriveWaveform, EnvelopeAxis, SweepBackend, DEFAULT_BIAS_THETA_K};
+use ptherm_floorplan::fingerprint::Fingerprinter;
 use ptherm_floorplan::{generator, Block, BuildFloorplanError, ChipGeometry, Floorplan};
 use ptherm_math::ode::ImplicitScheme;
 use std::fmt;
@@ -103,11 +122,45 @@ impl fmt::Display for RequestError {
 
 impl std::error::Error for RequestError {}
 
+/// The power law a job solves under, selected by the record's
+/// optional `"power"` field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PowerSpec {
+    /// The paper's flat scaled-technology law (default):
+    /// temperature-dependent leakage, temperature-flat dynamic power.
+    Scaled,
+    /// The De Vogeleer temperature-bias dynamic-power law
+    /// ([`ptherm_core::cosim::BiasedTechPower`]): dynamic power grows
+    /// as `e^{(T − T_ref)/θ}` on top of the scaled law.
+    Biased {
+        /// Bias temperature θ, K (finite and positive — the parser
+        /// refuses anything else, so the core clamp never fires on
+        /// fleet input).
+        theta_k: f64,
+    },
+}
+
+impl PowerSpec {
+    /// The record tag (`"scaled"` / `"biased"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            PowerSpec::Scaled => "scaled",
+            PowerSpec::Biased { .. } => "biased",
+        }
+    }
+}
+
 /// A steady-state sweep job.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SteadyJob {
     /// Name of a previously defined floorplan.
     pub floorplan: String,
+    /// Optional job name registering this steady job as a `delta`
+    /// base on later lines. Names are per-request/per-connection,
+    /// like floorplan names, and must be unique.
+    pub name: Option<String>,
+    /// The power law to solve under (`"power"` field; scaled default).
+    pub power: PowerSpec,
     /// Chip dynamic-power budget at activity 1 / nominal Vdd, W.
     pub dynamic_w: f64,
     /// Chip leakage budget at `T_ref` / nominal Vdd, W.
@@ -160,6 +213,41 @@ pub struct MapJob {
     pub ny: usize,
 }
 
+/// An incremental delta re-solve: a steady job warm-started from the
+/// fixed points of an earlier **named** steady job.
+///
+/// Resolution happens at parse time: the `"base"` reference is looked
+/// up in the request's (or connection's) named-steady registry and
+/// cloned in, so the spec is self-contained — serve-mode results
+/// cannot depend on later redefinitions, mirroring how floorplan
+/// references bind at admission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaJob {
+    /// The referenced base steady job, resolved at parse time.
+    pub base: SteadyJob,
+    /// The delta job itself: the base with this record's overrides
+    /// applied (same floorplan and power law by construction).
+    pub job: SteadyJob,
+}
+
+/// A runaway-envelope bisection job: bracket the converged/runaway
+/// boundary along one scenario axis per fiber of the remaining axes
+/// (see [`ptherm_core::cosim::envelope`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvelopeJob {
+    /// The steady-state fields (floorplan, budgets, fiber axes; the
+    /// swept axis's own values are ignored).
+    pub base: SteadyJob,
+    /// The axis bisected along each fiber.
+    pub axis: EnvelopeAxis,
+    /// Low end of the searched interval (inclusive).
+    pub lo: f64,
+    /// High end of the searched interval (inclusive).
+    pub hi: f64,
+    /// Maximum final bracket width.
+    pub tolerance: f64,
+}
+
 /// One job of a fleet request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobSpec {
@@ -169,6 +257,10 @@ pub enum JobSpec {
     Transient(TransientJob),
     /// High-resolution spatial map sweep.
     Map(MapJob),
+    /// Incremental delta re-solve against a named steady base.
+    Delta(DeltaJob),
+    /// Runaway-envelope bisection.
+    Envelope(EnvelopeJob),
 }
 
 impl JobSpec {
@@ -178,6 +270,8 @@ impl JobSpec {
             JobSpec::Steady(j) => &j.floorplan,
             JobSpec::Transient(j) => &j.base.floorplan,
             JobSpec::Map(j) => &j.base.floorplan,
+            JobSpec::Delta(j) => &j.job.floorplan,
+            JobSpec::Envelope(j) => &j.base.floorplan,
         }
     }
 
@@ -187,6 +281,8 @@ impl JobSpec {
             JobSpec::Steady(_) => "steady",
             JobSpec::Transient(_) => "transient",
             JobSpec::Map(_) => "map",
+            JobSpec::Delta(_) => "delta",
+            JobSpec::Envelope(_) => "envelope",
         }
     }
 
@@ -196,6 +292,8 @@ impl JobSpec {
             JobSpec::Steady(j) => j.deadline_ms,
             JobSpec::Transient(j) => j.base.deadline_ms,
             JobSpec::Map(j) => j.base.deadline_ms,
+            JobSpec::Delta(j) => j.job.deadline_ms,
+            JobSpec::Envelope(j) => j.base.deadline_ms,
         }
     }
 
@@ -206,8 +304,57 @@ impl JobSpec {
             JobSpec::Steady(j) => j.v,
             JobSpec::Transient(j) => j.base.v,
             JobSpec::Map(j) => j.base.v,
+            JobSpec::Delta(j) => j.job.v,
+            JobSpec::Envelope(j) => j.base.v,
         }
     }
+}
+
+/// The result-cache key of one resolved steady job: what the fleet's
+/// delta path uses to look up (or single-flight build) the base
+/// job's **cold** [`SweepReport`](ptherm_core::cosim::SweepReport) in
+/// [`OperatorCache`](crate::cache::OperatorCache).
+///
+/// Keying rules (documented contract, pinned by
+/// `tests/delta_determinism.rs`):
+///
+/// * **Included** — the floorplan's content fingerprint (not its
+///   name: same die, same results), both power budgets, the power law
+///   and its θ, all three scenario axes, and the **resolved** backend
+///   (dense and spectral fixed points differ at the ULP level).
+/// * **Excluded** — the job/floorplan *names*, `deadline_ms`, the
+///   protocol-version echo, and retry/fault state: none of them
+///   change the fixed points. Engine-fixed configuration (technology
+///   kits, image orders, batch width) is also excluded — the cache
+///   lives and dies with one validated engine configuration, so those
+///   inputs cannot vary across entries.
+///
+/// A cache miss (or eviction) re-solves the base cold and
+/// deterministically reproduces the evicted entry bit for bit, so
+/// delta output never depends on cache state.
+pub fn steady_result_fingerprint(job: &SteadyJob, plan_fingerprint: u64, spectral: bool) -> u64 {
+    let mut f = Fingerprinter::new("ptherm.fleet.steady-result.v1");
+    f.write_u64(plan_fingerprint);
+    f.write_u64(u64::from(spectral));
+    f.write_f64(job.dynamic_w);
+    f.write_f64(job.leakage_w);
+    match job.power {
+        PowerSpec::Scaled => f.write_str("scaled"),
+        PowerSpec::Biased { theta_k } => {
+            f.write_str("biased");
+            f.write_f64(theta_k);
+        }
+    }
+    f.write_f64_slice(&job.vdd_scales);
+    f.write_f64_slice(&job.activities);
+    match &job.ambients_k {
+        None => f.write_str("sink"),
+        Some(ambients) => {
+            f.write_str("ambients");
+            f.write_f64_slice(ambients);
+        }
+    }
+    f.finish()
 }
 
 /// A parsed request: named floorplans (in definition order) and jobs
@@ -248,7 +395,7 @@ enum Record {
     /// A floorplan definition.
     Floorplan(String, Floorplan),
     /// A job spec (with the pinned protocol version, if any, inside).
-    Job(JobSpec),
+    Job(Box<JobSpec>),
     /// A serve-mode control record.
     Control(ControlRecord),
 }
@@ -274,11 +421,14 @@ fn validate_version(record: &Json, line: usize) -> Result<Option<u64>, RequestEr
 }
 
 /// Classifies one parsed JSON record. `exists` answers whether a
-/// floorplan name has been defined earlier in this request/connection.
+/// floorplan name has been defined earlier in this
+/// request/connection; `steady_of` resolves a named steady job for
+/// `delta` references the same way.
 fn classify_record(
     record: &Json,
     line: usize,
     exists: &dyn Fn(&str) -> bool,
+    steady_of: &dyn Fn(&str) -> Option<SteadyJob>,
 ) -> Result<Record, RequestError> {
     let schema = |detail: String| RequestError::Schema { line, detail };
     let v = validate_version(record, line)?;
@@ -291,15 +441,21 @@ fn classify_record(
             let (name, plan) = parse_floorplan(record, line)?;
             Ok(Record::Floorplan(name, plan))
         }
-        "steady" => Ok(Record::Job(JobSpec::Steady(parse_steady(
+        "steady" => Ok(Record::Job(Box::new(JobSpec::Steady(parse_steady(
             record, line, exists, v,
-        )?))),
-        "transient" => Ok(Record::Job(JobSpec::Transient(parse_transient(
+        )?)))),
+        "transient" => Ok(Record::Job(Box::new(JobSpec::Transient(parse_transient(
             record, line, exists, v,
-        )?))),
-        "map" => Ok(Record::Job(JobSpec::Map(parse_map(
+        )?)))),
+        "map" => Ok(Record::Job(Box::new(JobSpec::Map(parse_map(
             record, line, exists, v,
-        )?))),
+        )?)))),
+        "delta" => Ok(Record::Job(Box::new(JobSpec::Delta(parse_delta(
+            record, line, steady_of, v,
+        )?)))),
+        "envelope" => Ok(Record::Job(Box::new(JobSpec::Envelope(parse_envelope(
+            record, line, exists, v,
+        )?)))),
         "stats" => Ok(Record::Control(ControlRecord::Stats)),
         "shutdown" => Ok(Record::Control(ControlRecord::Shutdown)),
         other => Err(schema(format!("unknown record type {other:?}"))),
@@ -316,6 +472,7 @@ fn classify_record(
 /// The first offending line as a [`RequestError`].
 pub fn parse_jsonl(text: &str) -> Result<FleetRequest, RequestError> {
     let mut request = FleetRequest::default();
+    let mut named: Vec<(String, SteadyJob)> = Vec::new();
     for (idx, raw) in text.lines().enumerate() {
         let line = idx + 1;
         let trimmed = raw.trim();
@@ -324,7 +481,13 @@ pub fn parse_jsonl(text: &str) -> Result<FleetRequest, RequestError> {
         }
         let record = Json::parse(trimmed).map_err(|error| RequestError::Json { line, error })?;
         let exists = |name: &str| request.floorplans.iter().any(|(n, _)| n == name);
-        match classify_record(&record, line, &exists)? {
+        let steady_of = |name: &str| {
+            named
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, job)| job.clone())
+        };
+        match classify_record(&record, line, &exists, &steady_of)? {
             Record::Floorplan(name, plan) => {
                 if request.floorplans.iter().any(|(n, _)| *n == name) {
                     return Err(RequestError::Schema {
@@ -334,7 +497,20 @@ pub fn parse_jsonl(text: &str) -> Result<FleetRequest, RequestError> {
                 }
                 request.floorplans.push((name, plan));
             }
-            Record::Job(spec) => request.jobs.push(spec),
+            Record::Job(spec) => {
+                if let JobSpec::Steady(job) = &*spec {
+                    if let Some(name) = &job.name {
+                        if named.iter().any(|(n, _)| n == name) {
+                            return Err(RequestError::Schema {
+                                line,
+                                detail: format!("steady job {name:?} named twice"),
+                            });
+                        }
+                        named.push((name.clone(), job.clone()));
+                    }
+                }
+                request.jobs.push(*spec);
+            }
             Record::Control(ctl) => {
                 return Err(RequestError::Schema {
                     line,
@@ -362,8 +538,9 @@ pub enum ParsedLine {
     /// results independent of later floorplan definitions on other
     /// connections — and therefore bitwise identical to batch mode.
     Job {
-        /// The parsed job spec.
-        spec: JobSpec,
+        /// The parsed job spec (boxed: a spec is an order of magnitude
+        /// larger than the other variants).
+        spec: Box<JobSpec>,
         /// The referenced floorplan, resolved on this connection.
         plan: Arc<Floorplan>,
     },
@@ -385,6 +562,7 @@ pub enum ParsedLine {
 #[derive(Debug, Default)]
 pub struct RequestParser {
     floorplans: Vec<(String, Arc<Floorplan>)>,
+    named_steady: Vec<(String, SteadyJob)>,
     line: usize,
 }
 
@@ -423,7 +601,13 @@ impl RequestParser {
         }
         let record = Json::parse(trimmed).map_err(|error| RequestError::Json { line, error })?;
         let exists = |name: &str| self.floorplans.iter().any(|(n, _)| n == name);
-        match classify_record(&record, line, &exists)? {
+        let steady_of = |name: &str| {
+            self.named_steady
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, job)| job.clone())
+        };
+        match classify_record(&record, line, &exists, &steady_of)? {
             Record::Floorplan(name, plan) => {
                 if self.floorplans.iter().any(|(n, _)| *n == name) {
                     return Err(RequestError::Schema {
@@ -435,6 +619,17 @@ impl RequestParser {
                 Ok(ParsedLine::Floorplan(name))
             }
             Record::Job(spec) => {
+                if let JobSpec::Steady(job) = &*spec {
+                    if let Some(name) = &job.name {
+                        if self.named_steady.iter().any(|(n, _)| n == name) {
+                            return Err(RequestError::Schema {
+                                line,
+                                detail: format!("steady job {name:?} named twice"),
+                            });
+                        }
+                        self.named_steady.push((name.clone(), job.clone()));
+                    }
+                }
                 // classify_record validated the reference, so the
                 // lookup cannot miss; still, fail typed rather than
                 // unwrap if the invariant ever breaks.
@@ -595,6 +790,82 @@ fn parse_floorplan(record: &Json, line: usize) -> Result<(String, Floorplan), Re
     Ok((name, plan))
 }
 
+/// Parses the optional `"backend"` field, falling back to `default`
+/// when the record is silent.
+fn parse_backend(
+    record: &Json,
+    default: SweepBackend,
+    line: usize,
+) -> Result<SweepBackend, RequestError> {
+    match record.get("backend").map(|b| b.as_str()) {
+        None => Ok(default),
+        Some(Some("auto")) => Ok(SweepBackend::Auto),
+        Some(Some("dense")) => Ok(SweepBackend::Dense),
+        Some(Some("spectral")) => Ok(SweepBackend::Spectral),
+        Some(other) => Err(RequestError::Schema {
+            line,
+            detail: format!("unknown backend {other:?} (use \"auto\", \"dense\" or \"spectral\")"),
+        }),
+    }
+}
+
+/// Parses the optional `"deadline_ms"` field, falling back to
+/// `default` when the record is silent.
+fn parse_deadline(
+    record: &Json,
+    default: Option<u64>,
+    line: usize,
+) -> Result<Option<u64>, RequestError> {
+    match record.get("deadline_ms") {
+        None => Ok(default),
+        Some(v) => Ok(Some(
+            v.as_usize()
+                .filter(|&ms| ms > 0)
+                .map(|ms| ms as u64)
+                .ok_or_else(|| RequestError::Schema {
+                    line,
+                    detail: "\"deadline_ms\" must be a positive integer of milliseconds".into(),
+                })?,
+        )),
+    }
+}
+
+/// Parses the optional `"power"` / `"theta_k"` pair into a
+/// [`PowerSpec`]. Unknown laws, a `theta_k` without `"power":
+/// "biased"`, and a non-finite or non-positive θ are all typed
+/// refusals — the core's defensive clamp never fires on fleet input.
+fn parse_power(record: &Json, line: usize) -> Result<PowerSpec, RequestError> {
+    let schema = |detail: String| RequestError::Schema { line, detail };
+    let power = match record.get("power").map(|p| p.as_str()) {
+        None => None,
+        Some(Some(name)) => Some(name),
+        Some(None) => return Err(schema("\"power\" must be a string".into())),
+    };
+    match power {
+        None | Some("scaled") => {
+            if record.get("theta_k").is_some() {
+                return Err(schema(
+                    "\"theta_k\" only applies to the biased power law (add \"power\": \"biased\")"
+                        .into(),
+                ));
+            }
+            Ok(PowerSpec::Scaled)
+        }
+        Some("biased") => {
+            let theta_k = optional_f64(record, "theta_k", DEFAULT_BIAS_THETA_K, line)?;
+            if !theta_k.is_finite() || theta_k <= 0.0 {
+                return Err(schema(format!(
+                    "\"theta_k\" must be a finite positive bias temperature, got {theta_k}"
+                )));
+            }
+            Ok(PowerSpec::Biased { theta_k })
+        }
+        Some(other) => Err(schema(format!(
+            "unknown power law {other:?} (use \"scaled\" or \"biased\")"
+        ))),
+    }
+}
+
 fn parse_steady(
     record: &Json,
     line: usize,
@@ -612,38 +883,135 @@ fn parse_steady(
             "job references undefined floorplan {floorplan:?} (define it on an earlier line)"
         )));
     }
-    let backend = match record.get("backend").map(|b| b.as_str()) {
-        None => SweepBackend::Auto,
-        Some(Some("auto")) => SweepBackend::Auto,
-        Some(Some("dense")) => SweepBackend::Dense,
-        Some(Some("spectral")) => SweepBackend::Spectral,
-        Some(other) => {
-            return Err(schema(format!(
-                "unknown backend {other:?} (use \"auto\", \"dense\" or \"spectral\")"
-            )))
-        }
-    };
-    let deadline_ms = match record.get("deadline_ms") {
+    let name = match record.get("name") {
         None => None,
-        Some(v) => Some(
-            v.as_usize()
-                .filter(|&ms| ms > 0)
-                .map(|ms| ms as u64)
-                .ok_or_else(|| {
-                    schema("\"deadline_ms\" must be a positive integer of milliseconds".into())
-                })?,
+        Some(n) => Some(
+            n.as_str()
+                .ok_or_else(|| schema("\"name\" must be a string".into()))?
+                .to_string(),
         ),
     };
     Ok(SteadyJob {
         floorplan,
+        name,
+        power: parse_power(record, line)?,
         dynamic_w: field_f64(record, "dynamic_w", line)?,
         leakage_w: field_f64(record, "leakage_w", line)?,
         vdd_scales: optional_f64_list(record, "vdd_scales", line)?.unwrap_or_else(|| vec![1.0]),
         activities: optional_f64_list(record, "activities", line)?.unwrap_or_else(|| vec![1.0]),
         ambients_k: optional_f64_list(record, "ambients_k", line)?,
-        backend,
-        deadline_ms,
+        backend: parse_backend(record, SweepBackend::Auto, line)?,
+        deadline_ms: parse_deadline(record, None, line)?,
         v,
+    })
+}
+
+/// Parses a `delta` record, resolving its `"base"` reference against
+/// the named-steady registry and applying the record's overrides.
+fn parse_delta(
+    record: &Json,
+    line: usize,
+    steady_of: &dyn Fn(&str) -> Option<SteadyJob>,
+    v: Option<u64>,
+) -> Result<DeltaJob, RequestError> {
+    let schema = |detail: String| RequestError::Schema { line, detail };
+    // A delta runs on its base's floorplan and power law and cannot
+    // itself be a base; refuse the fields loudly instead of silently
+    // ignoring a plausible mistake.
+    for (key, hint) in [
+        ("floorplan", "delta jobs run on their base's floorplan"),
+        ("power", "delta jobs inherit their base's power law"),
+        ("theta_k", "delta jobs inherit their base's power law"),
+        ("name", "delta jobs cannot be a base for further deltas"),
+    ] {
+        if record.get(key).is_some() {
+            return Err(schema(format!(
+                "\"{key}\" is not allowed on a delta job ({hint})"
+            )));
+        }
+    }
+    let base_name = record.get("base").and_then(Json::as_str).ok_or_else(|| {
+        schema("delta job needs a string \"base\" naming an earlier named steady job".into())
+    })?;
+    let base = steady_of(base_name).ok_or_else(|| {
+        schema(format!(
+            "delta references undefined steady job {base_name:?} (give a steady job on an earlier line a \"name\")"
+        ))
+    })?;
+    let job = SteadyJob {
+        name: None,
+        dynamic_w: optional_f64(record, "dynamic_w", base.dynamic_w, line)?,
+        leakage_w: optional_f64(record, "leakage_w", base.leakage_w, line)?,
+        vdd_scales: optional_f64_list(record, "vdd_scales", line)?
+            .unwrap_or_else(|| base.vdd_scales.clone()),
+        activities: optional_f64_list(record, "activities", line)?
+            .unwrap_or_else(|| base.activities.clone()),
+        ambients_k: optional_f64_list(record, "ambients_k", line)?
+            .or_else(|| base.ambients_k.clone()),
+        backend: parse_backend(record, base.backend, line)?,
+        deadline_ms: parse_deadline(record, base.deadline_ms, line)?,
+        v,
+        ..base.clone()
+    };
+    Ok(DeltaJob { base, job })
+}
+
+/// Parses an `envelope` record: the steady fields plus the bisection
+/// axis, interval and tolerance (validated here so a bad spec is a
+/// parse-time refusal with a line number, not a worker-side error).
+fn parse_envelope(
+    record: &Json,
+    line: usize,
+    exists: &dyn Fn(&str) -> bool,
+    v: Option<u64>,
+) -> Result<EnvelopeJob, RequestError> {
+    let schema = |detail: String| RequestError::Schema { line, detail };
+    let base = parse_steady(record, line, exists, v)?;
+    if base.name.is_some() {
+        return Err(schema(
+            "only steady jobs may carry a \"name\" (delta bases are steady fixed points)".into(),
+        ));
+    }
+    let axis = match record.get("axis").map(|a| a.as_str()) {
+        Some(Some("vdd_scale")) => EnvelopeAxis::VddScale,
+        Some(Some("activity")) => EnvelopeAxis::Activity,
+        Some(Some("ambient_k")) => EnvelopeAxis::AmbientK,
+        Some(other) => {
+            return Err(schema(format!(
+                "unknown envelope axis {other:?} (use \"vdd_scale\", \"activity\" or \"ambient_k\")"
+            )))
+        }
+        None => {
+            return Err(schema(
+                "envelope job needs an \"axis\" (\"vdd_scale\", \"activity\" or \"ambient_k\")"
+                    .into(),
+            ))
+        }
+    };
+    let lo = field_f64(record, "lo", line)?;
+    let hi = field_f64(record, "hi", line)?;
+    let tolerance = field_f64(record, "tolerance", line)?;
+    for (key, value) in [("lo", lo), ("hi", hi), ("tolerance", tolerance)] {
+        if !value.is_finite() {
+            return Err(schema(format!("\"{key}\" must be finite, got {value}")));
+        }
+    }
+    if lo > hi {
+        return Err(schema(format!(
+            "envelope interval is empty: lo {lo} > hi {hi}"
+        )));
+    }
+    if tolerance <= 0.0 {
+        return Err(schema(format!(
+            "\"tolerance\" must be positive, got {tolerance}"
+        )));
+    }
+    Ok(EnvelopeJob {
+        base,
+        axis,
+        lo,
+        hi,
+        tolerance,
     })
 }
 
@@ -678,6 +1046,11 @@ fn parse_transient(
 ) -> Result<TransientJob, RequestError> {
     let schema = |detail: String| RequestError::Schema { line, detail };
     let base = parse_steady(record, line, exists, v)?;
+    if base.name.is_some() {
+        return Err(schema(
+            "only steady jobs may carry a \"name\" (delta bases are steady fixed points)".into(),
+        ));
+    }
     let dt_s = field_f64(record, "dt_s", line)?;
     let steps = record
         .get("steps")
@@ -735,6 +1108,11 @@ fn parse_map(
 ) -> Result<MapJob, RequestError> {
     let schema = |detail: String| RequestError::Schema { line, detail };
     let base = parse_steady(record, line, exists, v)?;
+    if base.name.is_some() {
+        return Err(schema(
+            "only steady jobs may carry a \"name\" (delta bases are steady fixed points)".into(),
+        ));
+    }
     let grid = record
         .get("grid")
         .ok_or_else(|| schema("map job needs a \"grid\" object".into()))?;
@@ -1016,6 +1394,257 @@ mod tests {
             ),
             Err(RequestError::Schema { line: 1, .. })
         ));
+    }
+
+    const DELTA_REQUEST: &str = r#"
+{"type": "floorplan", "name": "tiny", "tiles": {"rows": 2, "cols": 2, "p_min": 0.02, "p_max": 0.05, "seed": 7}}
+{"type": "steady", "floorplan": "tiny", "name": "nominal", "dynamic_w": 0.3, "leakage_w": 0.03, "vdd_scales": [0.9, 1.0], "ambients_k": [300, 340]}
+{"type": "delta", "base": "nominal", "vdd_scales": [0.95, 1.05], "deadline_ms": 500}
+{"type": "envelope", "floorplan": "tiny", "dynamic_w": 0.3, "leakage_w": 0.03, "activities": [0.5, 1.0], "axis": "vdd_scale", "lo": 0.5, "hi": 3.0, "tolerance": 0.01}
+{"type": "steady", "floorplan": "tiny", "dynamic_w": 0.3, "leakage_w": 0.03, "power": "biased", "theta_k": 60}
+"#;
+
+    #[test]
+    fn parses_named_steady_delta_and_envelope_records() {
+        let req = parse_jsonl(DELTA_REQUEST).unwrap();
+        assert_eq!(req.jobs.len(), 4);
+        let JobSpec::Steady(base) = &req.jobs[0] else {
+            panic!("steady")
+        };
+        assert_eq!(base.name.as_deref(), Some("nominal"));
+        assert_eq!(base.power, PowerSpec::Scaled);
+        let JobSpec::Delta(delta) = &req.jobs[1] else {
+            panic!("delta")
+        };
+        // The base resolved at parse time, self-contained.
+        assert_eq!(&delta.base, base);
+        // Overrides applied; everything else inherited; the delta's
+        // own job carries no name.
+        assert_eq!(delta.job.vdd_scales, vec![0.95, 1.05]);
+        assert_eq!(delta.job.ambients_k, base.ambients_k);
+        assert_eq!(delta.job.dynamic_w, base.dynamic_w);
+        assert_eq!(delta.job.deadline_ms, Some(500));
+        assert_eq!(delta.job.name, None);
+        assert_eq!(req.jobs[1].kind(), "delta");
+        assert_eq!(req.jobs[1].floorplan(), "tiny");
+        let JobSpec::Envelope(env) = &req.jobs[2] else {
+            panic!("envelope")
+        };
+        assert_eq!(env.axis, EnvelopeAxis::VddScale);
+        assert_eq!((env.lo, env.hi, env.tolerance), (0.5, 3.0, 0.01));
+        assert_eq!(env.base.activities, vec![0.5, 1.0]);
+        assert_eq!(req.jobs[2].kind(), "envelope");
+        let JobSpec::Steady(biased) = &req.jobs[3] else {
+            panic!("steady")
+        };
+        assert_eq!(biased.power, PowerSpec::Biased { theta_k: 60.0 });
+    }
+
+    #[test]
+    fn dangling_delta_base_is_a_typed_refusal() {
+        let err = parse_jsonl(
+            r#"
+{"type": "floorplan", "name": "f", "tiles": {"rows": 1, "cols": 1}}
+{"type": "delta", "base": "ghost"}
+"#,
+        )
+        .unwrap_err();
+        let RequestError::Schema { line: 3, detail } = err else {
+            panic!("schema error, got {err:?}")
+        };
+        assert!(detail.contains("ghost"), "{detail}");
+        assert!(detail.contains("name"), "{detail}");
+    }
+
+    #[test]
+    fn delta_refuses_floorplan_power_and_name_fields() {
+        let prefix = concat!(
+            r#"{"type": "floorplan", "name": "f", "tiles": {"rows": 1, "cols": 1}}"#,
+            "\n",
+            r#"{"type": "steady", "floorplan": "f", "name": "b", "dynamic_w": 1, "leakage_w": 0.1}"#,
+        );
+        for (field, value) in [
+            ("floorplan", "\"f\""),
+            ("power", "\"biased\""),
+            ("theta_k", "60"),
+            ("name", "\"d\""),
+        ] {
+            let bad =
+                format!("{prefix}\n{{\"type\": \"delta\", \"base\": \"b\", \"{field}\": {value}}}");
+            let err = parse_jsonl(&bad).unwrap_err();
+            let RequestError::Schema { line: 3, detail } = err else {
+                panic!("schema error for {field}, got {err:?}")
+            };
+            assert!(detail.contains(field), "{detail}");
+        }
+    }
+
+    #[test]
+    fn steady_names_are_unique_and_steady_only() {
+        // Duplicate names collide like duplicate floorplans.
+        let dup = r#"
+{"type": "floorplan", "name": "f", "tiles": {"rows": 1, "cols": 1}}
+{"type": "steady", "floorplan": "f", "name": "x", "dynamic_w": 1, "leakage_w": 0.1}
+{"type": "steady", "floorplan": "f", "name": "x", "dynamic_w": 2, "leakage_w": 0.2}
+"#;
+        assert!(matches!(
+            parse_jsonl(dup),
+            Err(RequestError::Schema { line: 4, .. })
+        ));
+        // A name on a transient/map/envelope record would never
+        // register — refused, not silently dropped.
+        for suffix in [
+            r#"{"type": "transient", "floorplan": "f", "name": "t", "dynamic_w": 1, "leakage_w": 0.1, "dt_s": 1e-4, "steps": 5}"#,
+            r#"{"type": "map", "floorplan": "f", "name": "m", "dynamic_w": 1, "leakage_w": 0.1, "grid": {"nx": 4, "ny": 4}}"#,
+            r#"{"type": "envelope", "floorplan": "f", "name": "e", "dynamic_w": 1, "leakage_w": 0.1, "axis": "vdd_scale", "lo": 0.5, "hi": 2.0, "tolerance": 0.1}"#,
+        ] {
+            let bad = format!(
+                "{}\n{suffix}",
+                r#"{"type": "floorplan", "name": "f", "tiles": {"rows": 1, "cols": 1}}"#
+            );
+            let err = parse_jsonl(&bad).unwrap_err();
+            let RequestError::Schema { line: 2, detail } = err else {
+                panic!("schema error, got {err:?}")
+            };
+            assert!(detail.contains("steady"), "{detail}");
+        }
+    }
+
+    #[test]
+    fn power_law_validation_is_typed() {
+        let prefix = r#"{"type": "floorplan", "name": "f", "tiles": {"rows": 1, "cols": 1}}"#;
+        let detail_of = |suffix: &str| -> String {
+            let err = parse_jsonl(&format!("{prefix}\n{suffix}")).unwrap_err();
+            let RequestError::Schema { line: 2, detail } = err else {
+                panic!("schema error on line 2, got {err:?}")
+            };
+            detail
+        };
+        // Unknown law.
+        assert!(detail_of(
+            r#"{"type": "steady", "floorplan": "f", "dynamic_w": 1, "leakage_w": 0.1, "power": "cubic"}"#
+        )
+        .contains("cubic"));
+        // θ without the biased law.
+        assert!(detail_of(
+            r#"{"type": "steady", "floorplan": "f", "dynamic_w": 1, "leakage_w": 0.1, "theta_k": 60}"#
+        )
+        .contains("biased"));
+        // Non-positive θ.
+        assert!(detail_of(
+            r#"{"type": "steady", "floorplan": "f", "dynamic_w": 1, "leakage_w": 0.1, "power": "biased", "theta_k": -5}"#
+        )
+        .contains("theta_k"));
+        // Default θ when the biased law is silent about it.
+        let req = parse_jsonl(&format!(
+            "{prefix}\n{}",
+            r#"{"type": "steady", "floorplan": "f", "dynamic_w": 1, "leakage_w": 0.1, "power": "biased"}"#
+        ))
+        .unwrap();
+        let JobSpec::Steady(s) = &req.jobs[0] else {
+            panic!("steady")
+        };
+        assert_eq!(
+            s.power,
+            PowerSpec::Biased {
+                theta_k: DEFAULT_BIAS_THETA_K
+            }
+        );
+    }
+
+    #[test]
+    fn envelope_jobs_validate_axis_interval_and_tolerance() {
+        let prefix = r#"{"type": "floorplan", "name": "f", "tiles": {"rows": 1, "cols": 1}}"#;
+        let detail_of = |suffix: &str| -> String {
+            let err = parse_jsonl(&format!("{prefix}\n{suffix}")).unwrap_err();
+            let RequestError::Schema { line: 2, detail } = err else {
+                panic!("schema error on line 2, got {err:?}")
+            };
+            detail
+        };
+        assert!(detail_of(
+            r#"{"type": "envelope", "floorplan": "f", "dynamic_w": 1, "leakage_w": 0.1, "lo": 0.5, "hi": 2.0, "tolerance": 0.1}"#
+        )
+        .contains("axis"));
+        assert!(detail_of(
+            r#"{"type": "envelope", "floorplan": "f", "dynamic_w": 1, "leakage_w": 0.1, "axis": "frequency", "lo": 0.5, "hi": 2.0, "tolerance": 0.1}"#
+        )
+        .contains("frequency"));
+        assert!(detail_of(
+            r#"{"type": "envelope", "floorplan": "f", "dynamic_w": 1, "leakage_w": 0.1, "axis": "vdd_scale", "hi": 2.0, "tolerance": 0.1}"#
+        )
+        .contains("lo"));
+        assert!(detail_of(
+            r#"{"type": "envelope", "floorplan": "f", "dynamic_w": 1, "leakage_w": 0.1, "axis": "vdd_scale", "lo": 3.0, "hi": 2.0, "tolerance": 0.1}"#
+        )
+        .contains("empty"));
+        assert!(detail_of(
+            r#"{"type": "envelope", "floorplan": "f", "dynamic_w": 1, "leakage_w": 0.1, "axis": "vdd_scale", "lo": 0.5, "hi": 2.0, "tolerance": 0}"#
+        )
+        .contains("tolerance"));
+    }
+
+    #[test]
+    fn streaming_parser_resolves_delta_bases_per_connection() {
+        let mut parser = RequestParser::new();
+        parser
+            .parse_line(r#"{"type": "floorplan", "name": "f", "tiles": {"rows": 1, "cols": 1}}"#)
+            .unwrap();
+        parser
+            .parse_line(
+                r#"{"type": "steady", "floorplan": "f", "name": "b", "dynamic_w": 1, "leakage_w": 0.1}"#,
+            )
+            .unwrap();
+        let ParsedLine::Job { spec, .. } = parser
+            .parse_line(r#"{"type": "delta", "base": "b", "dynamic_w": 1.1}"#)
+            .unwrap()
+        else {
+            panic!("job line")
+        };
+        let JobSpec::Delta(delta) = *spec else {
+            panic!("delta")
+        };
+        assert_eq!(delta.job.dynamic_w, 1.1);
+        assert_eq!(delta.base.dynamic_w, 1.0);
+        // Registries are per-connection, mirroring floorplans.
+        let mut other = RequestParser::new();
+        assert!(matches!(
+            other.parse_line(r#"{"type": "delta", "base": "b"}"#),
+            Err(RequestError::Schema { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn result_fingerprint_keys_on_physics_not_labels() {
+        let req = parse_jsonl(DELTA_REQUEST).unwrap();
+        let JobSpec::Steady(base) = &req.jobs[0] else {
+            panic!("steady")
+        };
+        let key = steady_result_fingerprint(base, 0x1234, false);
+        // Stable across calls.
+        assert_eq!(key, steady_result_fingerprint(base, 0x1234, false));
+        // Labels and scheduling knobs are excluded...
+        let mut renamed = base.clone();
+        renamed.name = Some("other".into());
+        renamed.deadline_ms = Some(17);
+        renamed.v = Some(PROTOCOL_VERSION);
+        renamed.floorplan = "alias".into();
+        assert_eq!(key, steady_result_fingerprint(&renamed, 0x1234, false));
+        // ...while every physical input is included.
+        let mut hotter = base.clone();
+        hotter.dynamic_w += 0.1;
+        assert_ne!(key, steady_result_fingerprint(&hotter, 0x1234, false));
+        let mut biased = base.clone();
+        biased.power = PowerSpec::Biased { theta_k: 100.0 };
+        assert_ne!(key, steady_result_fingerprint(&biased, 0x1234, false));
+        let mut axes = base.clone();
+        axes.vdd_scales.push(1.2);
+        assert_ne!(key, steady_result_fingerprint(&axes, 0x1234, false));
+        let mut sink = base.clone();
+        sink.ambients_k = None;
+        assert_ne!(key, steady_result_fingerprint(&sink, 0x1234, false));
+        assert_ne!(key, steady_result_fingerprint(base, 0x5678, false));
+        assert_ne!(key, steady_result_fingerprint(base, 0x1234, true));
     }
 
     #[test]

@@ -53,8 +53,9 @@ pub use engine::{
 };
 pub use faults::{Fault, FaultPlan};
 pub use jobs::{
-    parse_jsonl, ControlRecord, FleetRequest, JobSpec, MapJob, ParsedLine, RequestError,
-    RequestParser, SteadyJob, TransientJob, PROTOCOL_VERSION,
+    parse_jsonl, steady_result_fingerprint, ControlRecord, DeltaJob, EnvelopeJob, FleetRequest,
+    JobSpec, MapJob, ParsedLine, PowerSpec, RequestError, RequestParser, SteadyJob, TransientJob,
+    PROTOCOL_VERSION,
 };
 pub use json::{Json, JsonError};
 pub use metrics::ServeMetrics;

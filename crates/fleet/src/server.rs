@@ -240,6 +240,7 @@ impl Shared<'_> {
                     ("transient", self.engine.cache().transient_stats()),
                     ("map", self.engine.cache().map_stats()),
                     ("spectral", self.engine.cache().spectral_stats()),
+                    ("results", self.engine.cache().result_stats()),
                 ],
             )
             .render()
@@ -342,6 +343,7 @@ impl FleetServer {
                     ("transient", self.engine.cache().transient_stats()),
                     ("map", self.engine.cache().map_stats()),
                     ("spectral", self.engine.cache().spectral_stats()),
+                    ("results", self.engine.cache().result_stats()),
                 ],
             ),
         })
@@ -468,7 +470,7 @@ fn reader_loop(conn: Conn, tx: mpsc::Sender<String>, shared: &Shared<'_>) {
                 jobs_seen += 1;
                 let admitted = Admitted {
                     seq,
-                    spec,
+                    spec: *spec,
                     plan,
                     reply: tx.clone(),
                 };

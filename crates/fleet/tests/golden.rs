@@ -124,6 +124,45 @@ fn unknown_version_refusal_matches_the_golden() {
     check_fixture("bad_version");
 }
 
+/// A named steady base plus two `delta` re-solves referencing it: the
+/// result lines echo `"base"` and report the warm-`"seeded"` lane count.
+/// Zero-power workload keeps every output bitwise 300/320 K on any ISA.
+#[test]
+fn delta_request_matches_the_golden_line_for_line() {
+    check_fixture("delta");
+}
+
+/// Runaway-envelope bisection over the wire: zero power never runs
+/// away, so every fiber classifies `all_converged` from its endpoint
+/// probes and the solve counts are exact arithmetic.
+#[test]
+fn envelope_request_matches_the_golden_line_for_line() {
+    check_fixture("envelope");
+}
+
+/// Power-law selection over the wire: `"scaled"`, `"biased"` with the
+/// default theta, and `"biased"` with an explicit `theta_k`. Zero
+/// budgets multiply the bias term by an exact zero, so all three lines
+/// stay bitwise identical to the scaled law.
+#[test]
+fn power_request_matches_the_golden_line_for_line() {
+    check_fixture("power");
+}
+
+/// A `delta` referencing a name no earlier steady line registered is a
+/// line-pinned schema refusal, not a silent cold solve.
+#[test]
+fn dangling_delta_base_matches_the_golden_refusal() {
+    check_fixture("bad_delta");
+}
+
+/// An unknown `"power"` law is a line-pinned schema refusal naming the
+/// supported laws.
+#[test]
+fn unknown_power_law_matches_the_golden_refusal() {
+    check_fixture("bad_power");
+}
+
 /// Every `*.request.jsonl` fixture has its expected pair — no orphaned
 /// fixtures that silently test nothing.
 #[test]
@@ -142,5 +181,5 @@ fn every_fixture_is_paired() {
             );
         }
     }
-    assert_eq!(requests, 7, "fixture inventory drifted");
+    assert_eq!(requests, 12, "fixture inventory drifted");
 }

@@ -14,15 +14,20 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::thread::{self, JoinHandle};
 
-/// A mixed request both floorplan kinds, every job kind, a `"v": 1`
-/// pin and a run-time failure — the same shapes the golden suite pins
-/// for batch mode.
+/// A mixed request both floorplan kinds, every job kind — including a
+/// named steady base, a `delta` re-solve referencing it, an `envelope`
+/// bisection, and a biased-power steady — a `"v": 1` pin and a
+/// run-time failure: the same shapes the golden suite pins for batch
+/// mode.
 const MIXED_REQUEST: &str = r#"{"type": "floorplan", "name": "quad", "tiles": {"rows": 2, "cols": 2, "p_min": 0.0, "p_max": 0.0, "seed": 7}}
 {"type": "floorplan", "name": "solo", "blocks": [{"name": "blk", "cx": 0.5e-3, "cy": 0.5e-3, "w": 0.4e-3, "l": 0.4e-3}]}
 {"type": "steady", "floorplan": "quad", "dynamic_w": 0.0, "leakage_w": 0.0, "vdd_scales": [0.9, 1.0, 1.1], "v": 1}
 {"type": "transient", "floorplan": "solo", "dynamic_w": 0.0, "leakage_w": 0.0, "dt_s": 1e-4, "steps": 10}
 {"type": "map", "floorplan": "quad", "dynamic_w": 0.0, "leakage_w": 0.0, "grid": {"nx": 8, "ny": 8}, "ambients_k": [300, 320]}
 {"type": "transient", "floorplan": "quad", "dynamic_w": 0.0, "leakage_w": 0.0, "dt_s": -1e-4, "steps": 5}
+{"type": "steady", "floorplan": "quad", "name": "base", "dynamic_w": 0.0, "leakage_w": 0.0, "vdd_scales": [0.9, 1.1], "power": "biased"}
+{"type": "delta", "base": "base", "vdd_scales": [0.95, 1.05]}
+{"type": "envelope", "floorplan": "quad", "dynamic_w": 0.0, "leakage_w": 0.0, "axis": "vdd_scale", "lo": 0.5, "hi": 1.5, "tolerance": 0.25}
 "#;
 
 fn engine(threads: usize) -> FleetEngine {
@@ -135,15 +140,15 @@ fn concurrent_connections_match_batch_bitwise() {
         assert_eq!(served_in_job_order(&lines), expected);
     }
 
-    // Drain and check the books: 2 connections, 8 jobs, 2 failures
+    // Drain and check the books: 2 connections, 14 jobs, 2 failures
     // (the negative-dt transient per connection).
     let shutdown = roundtrip(addr, "{\"type\": \"shutdown\"}\n");
     assert_eq!(shutdown.len(), 1, "shutdown ack only: {shutdown:?}");
     let summary = handle.join().expect("server thread");
     assert_eq!(stat(&summary, "connections_opened"), 3.0);
     assert_eq!(stat(&summary, "connections_closed"), 3.0);
-    assert_eq!(stat(&summary, "jobs_admitted"), 8.0);
-    assert_eq!(stat(&summary, "jobs_ok"), 6.0);
+    assert_eq!(stat(&summary, "jobs_admitted"), 14.0);
+    assert_eq!(stat(&summary, "jobs_ok"), 12.0);
     assert_eq!(stat(&summary, "jobs_failed"), 2.0);
     assert_eq!(stat(&summary, "refused_backpressure"), 0.0);
     assert_eq!(stat(&summary, "refused_protocol"), 0.0);

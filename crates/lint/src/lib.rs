@@ -33,13 +33,17 @@ const SKIP_DIRS: [&str; 4] = ["target", "vendor", ".git", "fixtures"];
 /// apply to it. R3 (`unsafe-hygiene`) applies to every scanned file
 /// and is not part of the set.
 ///
-/// * R1 `panic-freedom`: the job hot path — `core/src/cosim/*`,
-///   `fleet/src/engine.rs`, `fleet/src/cache.rs`,
-///   `fleet/src/server.rs`, `par/src/*`. A panic here kills a worker
-///   mid-fleet-run (or a serve-mode connection thread).
+/// * R1 `panic-freedom`: the job hot path — `core/src/cosim/*`
+///   (which includes the warm-start sweep chains, the biased power
+///   law and the envelope bisector), `fleet/src/engine.rs`,
+///   `fleet/src/cache.rs`, `fleet/src/server.rs`, `par/src/*`. A
+///   panic here kills a worker mid-fleet-run (or a serve-mode
+///   connection thread).
 /// * R2 `determinism`: fingerprint, protocol and result-rendering
-///   modules — `floorplan/src/fingerprint.rs`, `fleet/src/jobs.rs`,
-///   `fleet/src/json.rs`. Nondeterminism here breaks replayability.
+///   modules — `floorplan/src/fingerprint.rs`, `fleet/src/jobs.rs`
+///   (home of `steady_result_fingerprint`, the delta result-cache
+///   key), `fleet/src/json.rs`. Nondeterminism here breaks
+///   replayability and delta cache-hit identity.
 /// * R4 `float-compare`: both of the above sets.
 pub fn rules_for(rel: &str) -> RuleSet {
     let hot_path = rel.starts_with("crates/core/src/cosim/")

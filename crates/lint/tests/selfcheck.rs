@@ -3,7 +3,9 @@
 //! This is the same invariant CI's `lint` job gates on, pinned as a
 //! plain test so `cargo test` alone catches drift.
 
-use ptherm_lint::{find_workspace_root, lint_workspace, load_inventory, UNSAFE_INVENTORY};
+use ptherm_lint::{
+    find_workspace_root, lint_workspace, load_inventory, rules_for, UNSAFE_INVENTORY,
+};
 use std::path::Path;
 
 fn root() -> std::path::PathBuf {
@@ -49,4 +51,29 @@ fn unsafe_inventory_manifest_matches_tree() {
             "unexpected unsafe outside the audited surface: {file}"
         );
     }
+}
+
+/// The scenario-space additions sit inside the gated scopes: the
+/// envelope bisector and biased power law ride R1's cosim hot-path
+/// prefix, and the delta result-cache fingerprint in
+/// `fleet/src/jobs.rs` stays under R2's determinism rules. Pinned so
+/// a future scope refactor cannot silently drop them.
+#[test]
+fn scenario_space_sources_are_inside_the_gated_scopes() {
+    for hot in [
+        "crates/core/src/cosim/sweep.rs",
+        "crates/core/src/cosim/envelope.rs",
+        "crates/core/src/cosim/biased.rs",
+        "crates/fleet/src/engine.rs",
+        "crates/fleet/src/cache.rs",
+    ] {
+        let rules = rules_for(hot);
+        assert!(rules.panic_freedom, "{hot} must carry R1 panic-freedom");
+        assert!(rules.float_compare, "{hot} must carry R4 float-compare");
+    }
+    let jobs = rules_for("crates/fleet/src/jobs.rs");
+    assert!(
+        jobs.determinism,
+        "the delta result-cache fingerprint lives in jobs.rs — R2 must apply"
+    );
 }
